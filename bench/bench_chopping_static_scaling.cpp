@@ -1,0 +1,80 @@
+/// \file bench_chopping_static_scaling.cpp
+/// Experiment E10 — Corollary 18 at scale: the static chopping analysis
+/// over random program suites of growing size and the chopped TPC-C mix.
+/// The verdict table records the qualitative result (criteria ordering
+/// SER ⊆ SI ⊆ PSI holds everywhere); the timing section sweeps suite
+/// size and piece counts.
+
+#include "bench_util.hpp"
+#include "chopping/static_chopping_graph.hpp"
+#include "workload/apps.hpp"
+
+namespace sia {
+namespace {
+
+bool reproduction_table() {
+  bench::header("E10", "Static chopping analysis scaling");
+  std::vector<bench::VerdictRow> rows;
+  // Criteria ordering on random suites: SER-correct => SI-correct =>
+  // PSI-correct (Appendix B).
+  bool ordering_holds = true;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    workload::ProgramSuiteSpec spec;
+    spec.programs = 6;
+    spec.pieces_per_program = 3;
+    spec.objects = 24;
+    spec.seed = seed;
+    const std::vector<Program> suite = workload::random_programs(spec);
+    const bool ser = check_chopping_static(suite, Criterion::kSER).correct;
+    const bool si = check_chopping_static(suite, Criterion::kSI).correct;
+    const bool psi = check_chopping_static(suite, Criterion::kPSI).correct;
+    ordering_holds = ordering_holds && (!ser || si) && (!si || psi);
+  }
+  rows.push_back({"criteria ordering on 10 random suites",
+                  "SER => SI => PSI", ordering_holds ? "SER => SI => PSI"
+                                                     : "violated"});
+  const auto tpcc = workload::tpcc_chopped_programs();
+  const ChoppingVerdict v = check_chopping_static(tpcc.programs);
+  rows.push_back({"chopped TPC-C mix under SI",
+                  "incorrect (table granularity)", bench::okbad(v.correct) +
+                      std::string(" (table granularity)")});
+  std::printf("TPC-C SCG cycles examined: %zu (complete: %s)\n",
+              v.cycles_examined, v.complete ? "yes" : "no");
+  return bench::print_verdicts(rows);
+}
+
+void BM_ScgRandomSuites(benchmark::State& state) {
+  workload::ProgramSuiteSpec spec;
+  spec.programs = static_cast<std::size_t>(state.range(0));
+  spec.pieces_per_program = static_cast<std::size_t>(state.range(1));
+  spec.objects = spec.programs * 6;  // moderate conflict density
+  spec.seed = 11;
+  const std::vector<Program> suite = workload::random_programs(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check_chopping_static(suite, Criterion::kSI).correct);
+  }
+  const StaticChoppingGraph scg(suite);
+  state.SetLabel(std::to_string(scg.node_count()) + " pieces, " +
+                 std::to_string(scg.graph().edge_count()) + " edges");
+}
+BENCHMARK(BM_ScgRandomSuites)
+    ->Args({4, 2})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Args({16, 2})
+    ->Args({16, 4});
+
+void BM_ScgTpcc(benchmark::State& state) {
+  const auto tpcc = workload::tpcc_chopped_programs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check_chopping_static(tpcc.programs, Criterion::kSI).correct);
+  }
+}
+BENCHMARK(BM_ScgTpcc);
+
+}  // namespace
+}  // namespace sia
+
+SIA_BENCH_MAIN(sia::reproduction_table)

@@ -1,0 +1,79 @@
+/// \file bench_fig11_si_vs_ser.cpp
+/// Experiment E5 — Figure 11 (Appendix B.1): P3 = {write1, write2} is a
+/// chopping that is correct under SI but incorrect under serializability:
+/// the H6 execution splices into a write skew, which SI admits and SER
+/// does not. Demonstrates that the SI criterion is strictly laxer than
+/// Shasha et al.'s (Theorem 29 vs Corollary 18).
+
+#include "bench_util.hpp"
+#include "chopping/splice.hpp"
+#include "chopping/static_chopping_graph.hpp"
+#include "graph/enumeration.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace sia {
+namespace {
+
+bool reproduction_table() {
+  bench::header("E5", "Figure 11: chopping correct under SI, not SER");
+  const auto p3 = paper::fig11_programs();
+  std::vector<bench::VerdictRow> rows;
+  rows.push_back(
+      {"P3 under SI criterion (Cor. 18)", "correct",
+       bench::okbad(
+           check_chopping_static(p3.programs, Criterion::kSI).correct)});
+  rows.push_back(
+      {"P3 under SER criterion (Thm. 29)", "incorrect",
+       bench::okbad(
+           check_chopping_static(p3.programs, Criterion::kSER).correct)});
+  rows.push_back(
+      {"P3 under PSI criterion (Thm. 31)", "correct",
+       bench::okbad(
+           check_chopping_static(p3.programs, Criterion::kPSI).correct)});
+
+  // The H6 witness: serializable as a chopped run, write skew once
+  // spliced.
+  const DependencyGraph h6 = paper::fig11_h6();
+  rows.push_back({"H6 (chopped run) in GraphSER", "yes",
+                  check_graph_ser(h6).member ? "yes" : "no"});
+  const History spliced = splice_history(h6.history());
+  rows.push_back({"splice(H6) in HistSI", "allowed",
+                  bench::yesno(decide_history(spliced, Model::kSI).allowed)});
+  rows.push_back(
+      {"splice(H6) in HistSER", "no",
+       decide_history(spliced, Model::kSER).allowed ? "allowed"
+                                                    : "no"});
+  const ChoppingVerdict ser =
+      check_chopping_static(p3.programs, Criterion::kSER);
+  if (ser.witness) {
+    const StaticChoppingGraph scg(p3.programs);
+    std::printf("SER-critical (not SI-critical) cycle: %s\n",
+                scg.describe(*ser.witness).c_str());
+  }
+  return bench::print_verdicts(rows);
+}
+
+void BM_CriteriaOnP3(benchmark::State& state) {
+  const auto p3 = paper::fig11_programs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check_chopping_static(p3.programs, Criterion::kSI).correct);
+    benchmark::DoNotOptimize(
+        check_chopping_static(p3.programs, Criterion::kSER).correct);
+  }
+}
+BENCHMARK(BM_CriteriaOnP3);
+
+void BM_SpliceAndDecideH6(benchmark::State& state) {
+  const DependencyGraph h6 = paper::fig11_h6();
+  for (auto _ : state) {
+    const History spliced = splice_history(h6.history());
+    benchmark::DoNotOptimize(decide_history(spliced, Model::kSI).allowed);
+  }
+}
+BENCHMARK(BM_SpliceAndDecideH6);
+
+}  // namespace
+}  // namespace sia
+
+SIA_BENCH_MAIN(sia::reproduction_table)

@@ -1,0 +1,77 @@
+/// \file bench_fig12_psi_vs_si.cpp
+/// Experiment E6 — Figure 12 (Appendix B.2): P4 = {write1, write2, read1,
+/// read2} is a chopping that is correct under parallel SI but incorrect
+/// under SI: the G7 execution splices into a long fork, which PSI admits
+/// and SI does not. Demonstrates that the PSI criterion (Theorem 31) is
+/// strictly laxer than the SI criterion (Corollary 18).
+
+#include "bench_util.hpp"
+#include "chopping/splice.hpp"
+#include "chopping/static_chopping_graph.hpp"
+#include "graph/enumeration.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace sia {
+namespace {
+
+bool reproduction_table() {
+  bench::header("E6", "Figure 12: chopping correct under PSI, not SI");
+  const auto p4 = paper::fig12_programs();
+  std::vector<bench::VerdictRow> rows;
+  rows.push_back(
+      {"P4 under PSI criterion (Thm. 31)", "correct",
+       bench::okbad(
+           check_chopping_static(p4.programs, Criterion::kPSI).correct)});
+  rows.push_back(
+      {"P4 under SI criterion (Cor. 18)", "incorrect",
+       bench::okbad(
+           check_chopping_static(p4.programs, Criterion::kSI).correct)});
+  rows.push_back(
+      {"P4 under SER criterion (Thm. 29)", "incorrect",
+       bench::okbad(
+           check_chopping_static(p4.programs, Criterion::kSER).correct)});
+
+  const DependencyGraph g7 = paper::fig12_g7();
+  rows.push_back({"G7 (chopped run) in GraphSI", "yes",
+                  check_graph_si(g7).member ? "yes" : "no"});
+  const History spliced = splice_history(g7.history());
+  rows.push_back(
+      {"splice(G7) in HistPSI", "allowed",
+       bench::yesno(decide_history(spliced, Model::kPSI).allowed)});
+  rows.push_back(
+      {"splice(G7) in HistSI", "no",
+       decide_history(spliced, Model::kSI).allowed ? "allowed" : "no"});
+  const ChoppingVerdict si =
+      check_chopping_static(p4.programs, Criterion::kSI);
+  if (si.witness) {
+    const StaticChoppingGraph scg(p4.programs);
+    std::printf("SI-critical (not PSI-critical) cycle: %s\n",
+                scg.describe(*si.witness).c_str());
+  }
+  return bench::print_verdicts(rows);
+}
+
+void BM_CriteriaOnP4(benchmark::State& state) {
+  const auto p4 = paper::fig12_programs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check_chopping_static(p4.programs, Criterion::kPSI).correct);
+    benchmark::DoNotOptimize(
+        check_chopping_static(p4.programs, Criterion::kSI).correct);
+  }
+}
+BENCHMARK(BM_CriteriaOnP4);
+
+void BM_SpliceAndDecideG7(benchmark::State& state) {
+  const DependencyGraph g7 = paper::fig12_g7();
+  for (auto _ : state) {
+    const History spliced = splice_history(g7.history());
+    benchmark::DoNotOptimize(decide_history(spliced, Model::kPSI).allowed);
+  }
+}
+BENCHMARK(BM_SpliceAndDecideG7);
+
+}  // namespace
+}  // namespace sia
+
+SIA_BENCH_MAIN(sia::reproduction_table)

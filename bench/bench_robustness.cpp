@@ -1,0 +1,114 @@
+/// \file bench_robustness.cpp
+/// Experiment E11 — §6 robustness analyses: SI→SER (Theorem 19, plain /
+/// vulnerability-refined / concretisation-verified) and PSI→SI
+/// (Theorem 22) on the banking application, TPC-C, and random suites.
+/// The verdict table is the precision ablation DESIGN.md calls out:
+/// plain < refined < verified on the counter and TPC-C inputs.
+
+#include "bench_util.hpp"
+#include "robustness/robustness.hpp"
+#include "workload/apps.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace sia {
+namespace {
+
+bool reproduction_table() {
+  bench::header("E11", "Robustness analyses (Theorems 19 and 22)");
+  std::vector<bench::VerdictRow> rows;
+  const auto banking = paper::banking_programs();
+  rows.push_back({"banking robust against SI (plain)", "not robust",
+                  bench::robust_str(robust_against_si(banking.programs).robust)});
+  rows.push_back(
+      {"banking robust against SI (verified)", "not robust",
+       bench::robust_str(robust_against_si_verified(banking.programs).robust)});
+  rows.push_back(
+      {"banking robust against PSI->SI", "not robust",
+       bench::robust_str(robust_against_psi(banking.programs).robust)});
+
+  const auto tpcc = workload::tpcc_like_programs();
+  rows.push_back({"TPC-C robust against SI (plain)",
+                  "not robust (coarse)",
+                  std::string(bench::robust_str(
+                      robust_against_si(tpcc.programs).robust)) +
+                      " (coarse)"});
+  rows.push_back(
+      {"TPC-C robust against SI (refined)", "robust",
+       bench::robust_str(robust_against_si_refined(tpcc.programs).robust)});
+
+  ObjectTable objs;
+  const ObjId x = objs.intern("x");
+  const std::vector<Program> counter = {
+      Program{"incr", {Piece{"x++", {x}, {x}}}}};
+  rows.push_back({"counter robust against SI (plain)", "not robust",
+                  bench::robust_str(robust_against_si(counter).robust)});
+  rows.push_back(
+      {"counter robust against SI (verified)", "robust",
+       bench::robust_str(robust_against_si_verified(counter).robust)});
+
+  const auto reporting = paper::reporting_programs();
+  rows.push_back(
+      {"reporting robust against SI", "robust",
+       bench::robust_str(robust_against_si(reporting.programs).robust)});
+  rows.push_back(
+      {"reporting robust against PSI->SI", "robust",
+       bench::robust_str(robust_against_psi(reporting.programs).robust)});
+  return bench::print_verdicts(rows);
+}
+
+void BM_RobustSiPlain(benchmark::State& state) {
+  workload::ProgramSuiteSpec spec;
+  spec.programs = static_cast<std::size_t>(state.range(0));
+  spec.pieces_per_program = 1;
+  spec.objects = spec.programs * 4;
+  const std::vector<Program> suite = workload::random_programs(spec);
+  const StaticDependencyGraph g(suite);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(robust_against_si(g).robust);
+  }
+}
+BENCHMARK(BM_RobustSiPlain)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RobustSiRefined(benchmark::State& state) {
+  workload::ProgramSuiteSpec spec;
+  spec.programs = static_cast<std::size_t>(state.range(0));
+  spec.pieces_per_program = 1;
+  spec.objects = spec.programs * 4;
+  const std::vector<Program> suite = workload::random_programs(spec);
+  const StaticDependencyGraph g(suite);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(robust_against_si_refined(g).robust);
+  }
+}
+BENCHMARK(BM_RobustSiRefined)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RobustSiVerifiedBanking(benchmark::State& state) {
+  const auto banking = paper::banking_programs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        robust_against_si_verified(banking.programs).robust);
+  }
+}
+BENCHMARK(BM_RobustSiVerifiedBanking);
+
+void BM_RobustPsiBanking(benchmark::State& state) {
+  const auto banking = paper::banking_programs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(robust_against_psi(banking.programs).robust);
+  }
+}
+BENCHMARK(BM_RobustPsiBanking);
+
+void BM_RobustSiTpcc(benchmark::State& state) {
+  const auto tpcc = workload::tpcc_like_programs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        robust_against_si_refined(tpcc.programs).robust);
+  }
+}
+BENCHMARK(BM_RobustSiTpcc);
+
+}  // namespace
+}  // namespace sia
+
+SIA_BENCH_MAIN(sia::reproduction_table)

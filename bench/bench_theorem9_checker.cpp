@@ -1,0 +1,79 @@
+/// \file bench_theorem9_checker.cpp
+/// Experiment E8 — Theorem 9 at scale: the GraphSI membership check
+/// (acyclicity of (SO ∪ WR ∪ WW) ; RW?) on engine-generated histories of
+/// growing size, against the GraphSER and GraphPSI checks on the same
+/// inputs. Demonstrates that the dependency-graph characterisation turns
+/// SI checking into cheap relation algebra: near-quadratic growth, with
+/// PSI's transitive closure the most expensive of the three.
+
+#include "bench_util.hpp"
+#include "graph/characterization.hpp"
+#include "workload/generator.hpp"
+
+namespace sia {
+namespace {
+
+mvcc::RecordedRun make_run(std::size_t txns) {
+  workload::WorkloadSpec spec;
+  spec.sessions = 8;
+  spec.txns_per_session = txns / 8;
+  spec.ops_per_txn = 4;
+  spec.num_keys = static_cast<std::uint32_t>(txns / 2 + 1);
+  spec.write_ratio = 0.5;
+  spec.concurrent = false;
+  spec.seed = txns;
+  return workload::run_si(spec);
+}
+
+bool reproduction_table() {
+  bench::header("E8", "Theorem 9 checker scaling (engine histories)");
+  std::vector<bench::VerdictRow> rows;
+  for (const std::size_t n : {64u, 256u, 1024u}) {
+    const mvcc::RecordedRun run = make_run(n);
+    rows.push_back({"SI run of " + std::to_string(run.history.txn_count()) +
+                        " txns in GraphSI",
+                    "yes", check_graph_si(run.graph).member ? "yes" : "no"});
+  }
+  return bench::print_verdicts(rows);
+}
+
+void BM_CheckGraphSi(benchmark::State& state) {
+  const mvcc::RecordedRun run = make_run(static_cast<std::size_t>(state.range(0)));
+  const DepRelations rel = run.graph.relations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_graph_si(run.graph, rel).member);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CheckGraphSi)->RangeMultiplier(4)->Range(64, 4096)->Complexity();
+
+void BM_CheckGraphSer(benchmark::State& state) {
+  const mvcc::RecordedRun run = make_run(static_cast<std::size_t>(state.range(0)));
+  const DepRelations rel = run.graph.relations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_graph_ser(run.graph, rel).member);
+  }
+}
+BENCHMARK(BM_CheckGraphSer)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_CheckGraphPsi(benchmark::State& state) {
+  const mvcc::RecordedRun run = make_run(static_cast<std::size_t>(state.range(0)));
+  const DepRelations rel = run.graph.relations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_graph_psi(run.graph, rel).member);
+  }
+}
+BENCHMARK(BM_CheckGraphPsi)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_RelationsExtraction(benchmark::State& state) {
+  const mvcc::RecordedRun run = make_run(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run.graph.relations().rw.edge_count());
+  }
+}
+BENCHMARK(BM_RelationsExtraction)->RangeMultiplier(4)->Range(64, 1024);
+
+}  // namespace
+}  // namespace sia
+
+SIA_BENCH_MAIN(sia::reproduction_table)

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+/// \file bench_util.hpp
+/// Shared scaffolding for the reproduction benches: every binary first
+/// prints its experiment's paper-vs-measured verdict table (the
+/// reproduction artefact), then runs its google-benchmark timings.
+
+namespace sia::bench {
+
+/// Prints a boxed experiment header.
+inline void header(const std::string& experiment, const std::string& title) {
+  std::printf("\n=== %s — %s ===\n", experiment.c_str(), title.c_str());
+}
+
+/// One row of a paper-vs-measured verdict table.
+struct VerdictRow {
+  std::string label;
+  std::string paper;
+  std::string measured;
+};
+
+/// Prints rows and returns false (also printing a FAIL marker) if any
+/// measured value differs from the paper's.
+inline bool print_verdicts(const std::vector<VerdictRow>& rows) {
+  bool all_match = true;
+  std::printf("%-44s %-22s %-22s %s\n", "case", "paper", "measured", "match");
+  for (const VerdictRow& r : rows) {
+    const bool match = r.paper == r.measured;
+    all_match = all_match && match;
+    std::printf("%-44s %-22s %-22s %s\n", r.label.c_str(), r.paper.c_str(),
+                r.measured.c_str(), match ? "yes" : "** MISMATCH **");
+  }
+  std::printf("%s\n", all_match ? "[reproduced]" : "[NOT REPRODUCED]");
+  return all_match;
+}
+
+inline const char* yesno(bool b) { return b ? "allowed" : "disallowed"; }
+inline const char* okbad(bool b) { return b ? "correct" : "incorrect"; }
+inline const char* robust_str(bool b) { return b ? "robust" : "not robust"; }
+
+/// Runs the verdict-table part then google-benchmark. Call from main().
+inline int run(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace sia::bench
+
+/// Defines main(): prints the table via `table_fn` (which should return
+/// true when the paper's verdicts were reproduced), then runs benchmarks.
+#define SIA_BENCH_MAIN(table_fn)                          \
+  int main(int argc, char** argv) {                       \
+    const bool reproduced = table_fn();                   \
+    const int rc = ::sia::bench::run(argc, argv);         \
+    return rc != 0 ? rc : (reproduced ? 0 : 2);           \
+  }

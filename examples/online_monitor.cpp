@@ -1,0 +1,113 @@
+/// \file online_monitor.cpp
+/// Watching a database claim snapshot isolation — live. A
+/// ConsistencyMonitor ingests commits as they happen and raises the alarm
+/// the moment the observed history leaves HistSI (or HistSER / HistPSI).
+/// Here we wire it to the PSI engine, which *claims* less than SI: the
+/// monitor set to SI catches the long fork as soon as the second
+/// fork-observing reader commits, while the PSI-mode monitor stays green.
+///
+/// Run:  ./online_monitor
+
+#include <cstdio>
+
+#include "graph/monitor.hpp"
+#include "mvcc/psi_engine.hpp"
+#include "tools/dot.hpp"
+
+using namespace sia;
+using namespace sia::mvcc;
+
+namespace {
+
+constexpr ObjId kX = 0;
+constexpr ObjId kY = 1;
+
+/// Adapter: converts engine commit records into monitor feed. Engine
+/// handles map 1:1 to monitor ids because both count commits from 1 with
+/// 0 as the initial state.
+class MonitorFeed {
+ public:
+  explicit MonitorFeed(Model m) : monitor_(m) {}
+
+  void ingest(const Recorder& recorder) {
+    const RecordedRun run = recorder.build();
+    while (fed_ < run.history.txn_count() - 1) {
+      ++fed_;
+      const TxnId id = static_cast<TxnId>(fed_);
+      MonitoredCommit c;
+      c.session = run.history.session_of(id) - 1;
+      c.txn = run.history.txn(id);
+      for (const ObjId obj : c.txn.external_read_set()) {
+        c.read_sources[obj] = *run.graph.read_source(obj, id);
+      }
+      monitor_.commit(c);
+      std::printf("  [%s monitor] commit %u ... %s\n",
+                  to_string(monitor_.model()).c_str(), id,
+                  monitor_.consistent() ? "ok" : "VIOLATION");
+      if (!monitor_.consistent() && !reported_) {
+        reported_ = true;
+        std::printf("      %s\n", monitor_.violation_detail().c_str());
+      }
+    }
+  }
+
+  [[nodiscard]] const ConsistencyMonitor& monitor() const { return monitor_; }
+
+ private:
+  ConsistencyMonitor monitor_;
+  std::size_t fed_{0};
+  bool reported_{false};
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Online SI monitoring of a PSI database ===\n\n");
+  Recorder recorder;
+  PSIDatabase db(2, 2, &recorder);
+  PSISession w0 = db.make_session(0);
+  PSISession w1 = db.make_session(1);
+  PSISession r0 = db.make_session(0);
+  PSISession r1 = db.make_session(1);
+
+  MonitorFeed si_feed(Model::kSI);
+  MonitorFeed psi_feed(Model::kPSI);
+
+  auto step = [&](const char* what, auto&& act) {
+    std::printf("%s\n", what);
+    act();
+    si_feed.ingest(recorder);
+    psi_feed.ingest(recorder);
+  };
+
+  step("-- replica 0 writes x", [&] {
+    PSITransaction t = db.begin(w0);
+    t.write(kX, 1);
+    (void)t.commit();
+  });
+  step("-- replica 1 writes y (independently)", [&] {
+    PSITransaction t = db.begin(w1);
+    t.write(kY, 1);
+    (void)t.commit();
+  });
+  step("-- reader at replica 0 sees x but not y", [&] {
+    PSITransaction t = db.begin(r0);
+    (void)t.read(kX);
+    (void)t.read(kY);
+    (void)t.commit();
+  });
+  step("-- reader at replica 1 sees y but not x  (the long fork)", [&] {
+    PSITransaction t = db.begin(r1);
+    (void)t.read(kX);
+    (void)t.read(kY);
+    (void)t.commit();
+  });
+
+  std::printf("\nfinal verdicts: SI monitor %s, PSI monitor %s\n",
+              si_feed.monitor().consistent() ? "consistent" : "VIOLATED",
+              psi_feed.monitor().consistent() ? "consistent" : "VIOLATED");
+
+  std::printf("\nDependency graph of the run (Graphviz DOT):\n%s",
+              dot::dependency_graph(si_feed.monitor().graph()).c_str());
+  return si_feed.monitor().consistent() ? 1 : 0;  // violation expected!
+}

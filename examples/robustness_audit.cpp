@@ -1,0 +1,84 @@
+/// \file robustness_audit.cpp
+/// Auditing an application's transaction programs for robustness (§6):
+/// given read/write sets per transaction, decide whether running under SI
+/// can produce non-serializable behaviour (Theorem 19) and whether
+/// running under parallel SI can produce non-SI behaviour (Theorem 22).
+/// Shows the three precision levels for SI robustness — plain,
+/// vulnerability-refined (Fekete et al.), and concretisation-verified —
+/// on the banking app, a TPC-C-like mix and a naive counter.
+///
+/// Run:  ./robustness_audit
+
+#include <cstdio>
+
+#include "robustness/robustness.hpp"
+#include "workload/apps.hpp"
+#include "workload/paper_examples.hpp"
+
+using namespace sia;
+
+namespace {
+
+void audit(const char* name, const std::vector<Program>& programs) {
+  std::printf("== %s ==\n", name);
+  for (const Program& p : programs) {
+    std::printf("   %-14s reads {", p.name.c_str());
+    for (ObjId x : p.read_set()) std::printf(" %u", x);
+    std::printf(" } writes {");
+    for (ObjId x : p.write_set()) std::printf(" %u", x);
+    std::printf(" }\n");
+  }
+  const RobustnessVerdict plain = robust_against_si(programs);
+  const RobustnessVerdict refined = robust_against_si_refined(programs);
+  const RobustnessVerdict verified = robust_against_si_verified(programs);
+  const RobustnessVerdict psi = robust_against_psi(programs);
+  std::printf("   robust against SI  (plain)    : %s\n",
+              plain.robust ? "yes" : "NO");
+  std::printf("   robust against SI  (refined)  : %s\n",
+              refined.robust ? "yes" : "NO");
+  std::printf("   robust against SI  (verified) : %s%s\n",
+              verified.robust ? "yes" : "NO",
+              verified.verified ? " [concrete witness]" : "");
+  std::printf("   robust against PSI (towards SI): %s%s\n",
+              psi.robust ? "yes" : "NO",
+              psi.verified ? " [concrete witness]" : "");
+  if (!verified.robust) {
+    std::printf("   SI anomaly: %s\n", verified.description.c_str());
+  }
+  if (!psi.robust) {
+    std::printf("   PSI anomaly: %s\n", psi.description.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Robustness audit (Theorems 19 and 22) ===\n\n");
+
+  const auto banking = paper::banking_programs();
+  audit("banking: two withdrawals + combined lookup", banking.programs);
+
+  const auto tpcc = workload::tpcc_like_programs();
+  audit("TPC-C-like mix (table-granularity sets)", tpcc.programs);
+
+  ObjectTable objs;
+  const ObjId counter = objs.intern("counter");
+  audit("naive counter (read-modify-write)",
+        {Program{"incr", {Piece{"counter++", {counter}, {counter}}}}});
+
+  const auto reporting = paper::reporting_programs();
+  audit("append-only log + reporting", reporting.programs);
+
+  std::printf(
+      "Reading the results:\n"
+      " * banking is the classical write skew: not robust at any\n"
+      "   precision — chop nothing, or promote one read to a write.\n"
+      " * TPC-C: the plain Theorem 19 shape check is too coarse at table\n"
+      "   granularity, the vulnerability refinement certifies the\n"
+      "   classical robustness result.\n"
+      " * the counter looks dangerous to the shape check, but every\n"
+      "   candidate cycle concretises into a lost update, which SI's\n"
+      "   write-conflict detection forbids: certified robust.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "chopping/criteria.hpp"
+
+namespace sia {
+
+std::string to_string(Criterion c) {
+  switch (c) {
+    case Criterion::kSER:
+      return "SER";
+    case Criterion::kSI:
+      return "SI";
+    case Criterion::kPSI:
+      return "PSI";
+  }
+  return "?";
+}
+
+bool critical(const TypedCycle& c, Criterion crit) {
+  switch (crit) {
+    case Criterion::kSER:
+      return ser_critical(c);
+    case Criterion::kSI:
+      return si_critical(c);
+    case Criterion::kPSI:
+      return psi_critical(c);
+  }
+  return false;
+}
+
+ChoppingVerdict find_critical_cycle(const TypedGraph& g, Criterion crit,
+                                    std::size_t budget) {
+  ChoppingVerdict verdict;
+  const EnumerationStats stats =
+      enumerate_simple_cycles(g, budget, [&](const TypedCycle& c) {
+        if (critical(c, crit)) {
+          verdict.witness = c;
+          return false;  // stop: criterion violated
+        }
+        return true;
+      });
+  verdict.complete = stats.complete;
+  verdict.cycles_examined = stats.cycles_seen;
+  verdict.correct = stats.complete && !verdict.witness.has_value();
+  return verdict;
+}
+
+}  // namespace sia

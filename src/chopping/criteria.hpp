@@ -1,0 +1,49 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "graph/cycles.hpp"
+
+/// \file criteria.hpp
+/// The three chopping-correctness criteria as per-cycle predicates over
+/// typed chopping-graph cycles, and the generic critical-cycle search they
+/// share:
+///  - SI  (§5, Theorem 16 / Corollary 18),
+///  - SER (Appendix B.1, Definition 28 / Theorem 29),
+///  - PSI (Appendix B.2, Definition 30 / Theorem 31).
+
+namespace sia {
+
+/// Which consistency model's chopping criterion to apply.
+enum class Criterion : std::uint8_t { kSER, kSI, kPSI };
+
+[[nodiscard]] std::string to_string(Criterion c);
+
+/// Applies the criterion's criticality predicate to one vertex-simple
+/// cycle (conditions (i) are guaranteed by the enumerator).
+[[nodiscard]] bool critical(const TypedCycle& c, Criterion crit);
+
+/// Verdict of a chopping analysis.
+struct ChoppingVerdict {
+  /// True iff no critical cycle exists (and the search completed): the
+  /// chopping is correct under the criterion's model.
+  bool correct{false};
+  /// False iff the cycle-enumeration budget was exhausted before either
+  /// finding a critical cycle or completing; the analysis then
+  /// conservatively reports correct == false.
+  bool complete{true};
+  /// A critical cycle, when one was found.
+  std::optional<TypedCycle> witness;
+  /// Simple cycles examined.
+  std::size_t cycles_examined{0};
+};
+
+inline constexpr std::size_t kDefaultCycleBudget = 2'000'000;
+
+/// Searches \p g for a cycle critical under \p crit.
+[[nodiscard]] ChoppingVerdict find_critical_cycle(
+    const TypedGraph& g, Criterion crit,
+    std::size_t budget = kDefaultCycleBudget);
+
+}  // namespace sia

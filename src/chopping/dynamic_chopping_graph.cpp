@@ -1,0 +1,28 @@
+#include "chopping/dynamic_chopping_graph.hpp"
+
+namespace sia {
+
+TypedGraph build_dcg(const DependencyGraph& g) {
+  const History& h = g.history();
+  TypedGraph out(g.txn_count());
+
+  const Relation so = h.session_order();
+  for (const auto& [a, b] : so.edges()) {
+    out.add_edge(a, b, DepKind::kSO);
+    out.add_edge(b, a, DepKind::kSOInv);
+  }
+
+  for (const DepEdge& e : g.edges()) {
+    if (e.kind == DepKind::kSO) continue;  // already added (with inverses)
+    if (h.same_session(e.from, e.to)) continue;  // intra-session: removed
+    out.add_edge(e.from, e.to, e.kind);
+  }
+  return out;
+}
+
+ChoppingVerdict check_chopping_dynamic(const DependencyGraph& g,
+                                       Criterion crit, std::size_t budget) {
+  return find_critical_cycle(build_dcg(g), crit, budget);
+}
+
+}  // namespace sia

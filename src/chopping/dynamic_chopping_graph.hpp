@@ -1,0 +1,28 @@
+#pragma once
+
+#include "chopping/criteria.hpp"
+#include "graph/dependency_graph.hpp"
+
+/// \file dynamic_chopping_graph.hpp
+/// The dynamic chopping graph DCG(G) of §5 and the dynamic chopping
+/// criterion (Theorem 16): if DCG(G) contains no critical cycle, G is
+/// spliceable.
+
+namespace sia {
+
+/// DCG(G): over the transactions of G,
+///  - successor edges: SO (same session, earlier → later);
+///  - predecessor edges: SO^{-1};
+///  - conflict edges: WR/WW/RW edges between transactions of *different*
+///    sessions (dependencies within a session are removed).
+[[nodiscard]] TypedGraph build_dcg(const DependencyGraph& g);
+
+/// Theorem 16 as an analysis: searches DCG(G) for an SI-critical cycle
+/// (or a SER-/PSI-critical one via \p crit, per Appendix B). Verdict
+/// `correct == true` certifies that G is spliceable under the criterion's
+/// model.
+[[nodiscard]] ChoppingVerdict check_chopping_dynamic(
+    const DependencyGraph& g, Criterion crit = Criterion::kSI,
+    std::size_t budget = kDefaultCycleBudget);
+
+}  // namespace sia

@@ -1,0 +1,137 @@
+#include "chopping/repair.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace sia {
+
+std::size_t ChoppingPlan::piece_count() const {
+  std::size_t count = 0;
+  for (const Program& p : programs) count += p.pieces.size();
+  return count;
+}
+
+namespace {
+
+/// Fuses pieces \p j and \p j + 1 of \p program.
+void merge_pieces(Program& program, std::size_t j) {
+  Piece& left = program.pieces[j];
+  const Piece& right = program.pieces[j + 1];
+  if (!right.label.empty()) {
+    left.label += left.label.empty() ? right.label : "; " + right.label;
+  }
+  std::set<ObjId> reads(left.reads.begin(), left.reads.end());
+  reads.insert(right.reads.begin(), right.reads.end());
+  std::set<ObjId> writes(left.writes.begin(), left.writes.end());
+  writes.insert(right.writes.begin(), right.writes.end());
+  left.reads.assign(reads.begin(), reads.end());
+  left.writes.assign(writes.begin(), writes.end());
+  program.pieces.erase(program.pieces.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+}
+
+/// Locates a predecessor step in a critical cycle and returns the
+/// (program, lower piece index) pair whose fusion attacks the cycle.
+std::optional<std::pair<std::size_t, std::size_t>> pick_merge(
+    const StaticChoppingGraph& scg, const TypedCycle& cycle) {
+  for (std::size_t i = 0; i < cycle.length(); ++i) {
+    if ((cycle.masks[i] & kMaskSOInv) == 0) continue;
+    const auto [prog_a, piece_a] = scg.piece_of(cycle.vertices[i]);
+    const auto [prog_b, piece_b] =
+        scg.piece_of(cycle.vertices[(i + 1) % cycle.length()]);
+    if (prog_a != prog_b) continue;  // defensive; P edges are intra-program
+    const std::size_t low = std::min(piece_a, piece_b);
+    return std::make_pair(prog_a, low);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+ChoppingPlan repair_chopping(std::vector<Program> programs, Criterion crit,
+                             std::size_t budget) {
+  ChoppingPlan plan;
+  plan.programs = std::move(programs);
+  for (;;) {
+    const StaticChoppingGraph scg(plan.programs);
+    const ChoppingVerdict verdict =
+        find_critical_cycle(scg.graph(), crit, budget);
+    if (verdict.correct) {
+      plan.certified = true;
+      return plan;
+    }
+    std::optional<std::pair<std::size_t, std::size_t>> target;
+    std::string reason;
+    if (verdict.witness) {
+      target = pick_merge(scg, *verdict.witness);
+      reason = scg.describe(*verdict.witness);
+    }
+    if (!target) {
+      // Budget exhausted (or no usable witness): fall back to coarsening
+      // the most-chopped program; once everything is single-piece there
+      // are no predecessor edges left and the next round must certify —
+      // unless even that exceeds the budget, in which case give up.
+      std::size_t widest = 0;
+      for (std::size_t i = 1; i < plan.programs.size(); ++i) {
+        if (plan.programs[i].pieces.size() >
+            plan.programs[widest].pieces.size()) {
+          widest = i;
+        }
+      }
+      if (plan.programs.empty() ||
+          plan.programs[widest].pieces.size() < 2) {
+        plan.certified = false;  // nothing left to merge
+        return plan;
+      }
+      target = std::make_pair(widest, std::size_t{0});
+      reason = "cycle budget exhausted; coarsening defensively";
+    }
+    merge_pieces(plan.programs[target->first], target->second);
+    plan.merges.push_back(MergeStep{target->first, target->second, reason});
+  }
+}
+
+std::vector<Program> explode_programs(const std::vector<Program>& programs) {
+  std::vector<Program> out;
+  out.reserve(programs.size());
+  for (const Program& p : programs) {
+    Program fine;
+    fine.name = p.name;
+    // One piece per object, in order of first access across the original
+    // pieces (reads and writes of one object stay together).
+    std::vector<ObjId> order;
+    std::set<ObjId> seen;
+    for (const Piece& piece : p.pieces) {
+      for (const ObjId x : piece.reads) {
+        if (seen.insert(x).second) order.push_back(x);
+      }
+      for (const ObjId x : piece.writes) {
+        if (seen.insert(x).second) order.push_back(x);
+      }
+    }
+    const std::vector<ObjId> reads = p.read_set();
+    const std::vector<ObjId> writes = p.write_set();
+    for (const ObjId x : order) {
+      Piece piece;
+      piece.label = "obj" + std::to_string(x);
+      if (std::find(reads.begin(), reads.end(), x) != reads.end()) {
+        piece.reads.push_back(x);
+      }
+      if (std::find(writes.begin(), writes.end(), x) != writes.end()) {
+        piece.writes.push_back(x);
+      }
+      fine.pieces.push_back(std::move(piece));
+    }
+    if (fine.pieces.empty()) {
+      fine.pieces.push_back(Piece{"(empty)", {}, {}});
+    }
+    out.push_back(std::move(fine));
+  }
+  return out;
+}
+
+ChoppingPlan auto_chop(const std::vector<Program>& programs, Criterion crit,
+                       std::size_t budget) {
+  return repair_chopping(explode_programs(programs), crit, budget);
+}
+
+}  // namespace sia

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chopping/static_chopping_graph.hpp"
+
+/// \file repair.hpp
+/// Chopping *synthesis*: §5 motivates chopping as a performance
+/// optimisation, and Corollary 18 gives the safety check — this module
+/// closes the loop. Given programs, it searches for a fine chopping that
+/// the static criterion certifies, by starting from a candidate chopping
+/// and merging adjacent pieces that participate in critical cycles until
+/// none remain. Merging is always safe (a coarser chopping produces
+/// fewer behaviours; the coarsest — one piece per program — is trivially
+/// correct since predecessor edges disappear), so the procedure
+/// terminates with a correct chopping.
+
+namespace sia {
+
+/// One merge performed by the repair loop (pieces \p piece and
+/// \p piece + 1 of program \p program were fused).
+struct MergeStep {
+  std::size_t program;
+  std::size_t piece;
+  std::string reason;  ///< rendering of the critical cycle that forced it
+};
+
+/// Result of repair_chopping / auto_chop.
+struct ChoppingPlan {
+  std::vector<Program> programs;  ///< the certified chopping
+  std::vector<MergeStep> merges;  ///< what was fused, in order
+  /// Total pieces in the result (the objective being maximised).
+  [[nodiscard]] std::size_t piece_count() const;
+  /// True iff the final chopping passes the criterion (always true unless
+  /// the cycle budget was exhausted even for the coarsest chopping).
+  bool certified{false};
+};
+
+/// Repeatedly runs the static analysis and, while a critical cycle
+/// exists, merges the two pieces around one of its predecessor edges
+/// (the cycle needs a "conflict, predecessor, conflict" fragment; fusing
+/// the predecessor's endpoints removes that fragment). Deterministic:
+/// always the first predecessor edge of the reported witness.
+[[nodiscard]] ChoppingPlan repair_chopping(std::vector<Program> programs,
+                                           Criterion crit = Criterion::kSI,
+                                           std::size_t budget = kDefaultCycleBudget);
+
+/// Maximal chopping search: first splits every program into single-access
+/// pieces (one piece per accessed object, reads and writes of the same
+/// object fused), then repairs. The result is a correct chopping at least
+/// as fine as the input and often strictly finer.
+[[nodiscard]] ChoppingPlan auto_chop(const std::vector<Program>& programs,
+                                     Criterion crit = Criterion::kSI,
+                                     std::size_t budget = kDefaultCycleBudget);
+
+/// The single-access split used by auto_chop (exposed for tests): one
+/// piece per object the program touches, preserving object order of first
+/// access; reads and writes of one object share a piece.
+[[nodiscard]] std::vector<Program> explode_programs(
+    const std::vector<Program>& programs);
+
+}  // namespace sia

@@ -1,0 +1,110 @@
+#include "chopping/splice.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "graph/enumeration.hpp"
+
+namespace sia {
+
+History splice_history(const History& h) {
+  History out;
+  for (SessionId s = 0; s < h.session_count(); ++s) {
+    Transaction merged;
+    for (TxnId id : h.session(s)) {
+      for (const Event& e : h.txn(id).events()) merged.append(e);
+    }
+    out.append_singleton(std::move(merged));
+  }
+  return out;
+}
+
+DependencyGraph splice_graph(const DependencyGraph& g) {
+  const History& h = g.history();
+  DependencyGraph out(splice_history(h));
+
+  // Lift WR: inter-session read dependencies, unique source per
+  // (object, spliced reader).
+  for (ObjId x : g.annotated_objects()) {
+    std::map<TxnId, TxnId> lifted;  // spliced reader -> spliced writer
+    for (TxnId s = 0; s < h.txn_count(); ++s) {
+      const auto src = g.read_source(x, s);
+      if (!src) continue;
+      const SessionId reader = h.session_of(s);
+      const SessionId writer = h.session_of(*src);
+      if (reader == writer) continue;  // becomes an internal read
+      auto [it, inserted] = lifted.emplace(reader, writer);
+      if (!inserted && it->second != writer) {
+        throw ModelError(
+            "splice_graph: spliced transaction S" + std::to_string(reader) +
+            " would read obj" + std::to_string(x) +
+            " from two different spliced writers (S" +
+            std::to_string(it->second) + " and S" + std::to_string(writer) +
+            ") — DCG(G) has a critical cycle");
+      }
+    }
+    for (const auto& [reader, writer] : lifted) {
+      // The lifted edge only makes sense if the spliced reader still
+      // externally reads x; Lemma 26 guarantees this when DCG(G) has no
+      // critical cycles.
+      if (!out.history().txn(reader).external_read(x).has_value()) {
+        throw ModelError(
+            "splice_graph: spliced transaction S" + std::to_string(reader) +
+            " writes obj" + std::to_string(x) +
+            " before reading it, yet has an inter-session WR edge — DCG(G) "
+            "has a critical cycle");
+      }
+      out.set_read_from(x, writer, reader);
+    }
+  }
+
+  // Lift WW: sessions' writes to x must occupy disjoint intervals of the
+  // WW(x) order; the interval order is then the lifted total order.
+  for (ObjId x : g.annotated_objects()) {
+    const std::vector<TxnId>& order = g.write_order(x);
+    if (order.empty()) continue;
+    struct Interval {
+      std::size_t min = std::numeric_limits<std::size_t>::max();
+      std::size_t max = 0;
+    };
+    std::map<SessionId, Interval> intervals;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      Interval& iv = intervals[h.session_of(order[i])];
+      iv.min = std::min(iv.min, i);
+      iv.max = std::max(iv.max, i);
+    }
+    std::vector<std::pair<SessionId, Interval>> sorted(intervals.begin(),
+                                                       intervals.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) {
+                return a.second.min < b.second.min;
+              });
+    std::vector<TxnId> lifted_order;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (i + 1 < sorted.size() &&
+          sorted[i].second.max > sorted[i + 1].second.min) {
+        throw ModelError(
+            "splice_graph: WW(obj" + std::to_string(x) +
+            ") interleaves the writes of sessions " +
+            std::to_string(sorted[i].first) + " and " +
+            std::to_string(sorted[i + 1].first) +
+            " — DCG(G) has a critical cycle");
+      }
+      lifted_order.push_back(sorted[i].first);
+    }
+    out.set_write_order(x, std::move(lifted_order));
+  }
+
+  if (auto v = out.validate()) {
+    throw ModelError("splice_graph: lifted graph violates Definition 6: " +
+                     v->detail);
+  }
+  return out;
+}
+
+bool spliceable(const DependencyGraph& g) {
+  return decide_history(splice_history(g.history()), Model::kSI).allowed;
+}
+
+}  // namespace sia

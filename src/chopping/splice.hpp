@@ -1,0 +1,38 @@
+#pragma once
+
+#include "graph/dependency_graph.hpp"
+
+/// \file splice.hpp
+/// Splicing (§5): merging every session of a history into a single
+/// transaction, and lifting a dependency graph along the splice. Splicing
+/// is how the chopping analysis relates executions of the *chopped*
+/// application back to executions of the original one.
+
+namespace sia {
+
+/// splice(H): each session becomes one transaction whose events are the
+/// concatenation, in session order, of the session's transactions' events;
+/// the result has only singleton sessions (SO = ∅). The spliced
+/// transaction of session s has TxnId s.
+[[nodiscard]] History splice_history(const History& h);
+
+/// splice(G) (proof of Theorem 16): lifts WR and WW to spliced
+/// transactions —
+///   T̃ --WR_spl(x)--> S̃  iff  T̃ ≠ S̃ ∧ ∃T ≈ T', S ≈ S'. T' --WR(x)--> S'
+/// and similarly for WW; RW is re-derived per Definition 5.
+///
+/// The lift exists (and the result satisfies Definition 6) whenever DCG(G)
+/// has no critical cycles (Lemmas 17, 26, 27). When the preconditions do
+/// not hold, the lift may be ill-defined; this function then throws
+/// ModelError describing the obstruction (ambiguous WR source, interleaved
+/// WW orders, or a Definition 6 violation of the lifted graph).
+[[nodiscard]] DependencyGraph splice_graph(const DependencyGraph& g);
+
+/// True iff G is spliceable as defined in §5: there exists a dependency
+/// graph G' ∈ GraphSI with H_{G'} = splice(H_G). Decided *exactly* by
+/// exhaustive extension enumeration over splice(H_G) (small histories
+/// only); Theorem 16's criterion — checked by check_chopping_dynamic() —
+/// is the scalable sufficient condition.
+[[nodiscard]] bool spliceable(const DependencyGraph& g);
+
+}  // namespace sia

@@ -1,0 +1,102 @@
+#include "chopping/static_chopping_graph.hpp"
+
+#include <algorithm>
+
+namespace sia {
+
+namespace {
+
+bool intersects(const std::vector<ObjId>& a, const std::vector<ObjId>& b) {
+  return std::any_of(a.begin(), a.end(), [&b](ObjId x) {
+    return std::find(b.begin(), b.end(), x) != b.end();
+  });
+}
+
+}  // namespace
+
+StaticChoppingGraph::StaticChoppingGraph(std::vector<Program> programs)
+    : programs_(std::move(programs)) {
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    first_node_.push_back(next);
+    for (std::size_t j = 0; j < programs_[i].pieces.size(); ++j) {
+      piece_of_.emplace_back(i, j);
+      ++next;
+    }
+  }
+  graph_ = TypedGraph(next);
+
+  // Successor / predecessor edges within each program.
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    const std::size_t k = programs_[i].pieces.size();
+    for (std::size_t j1 = 0; j1 < k; ++j1) {
+      for (std::size_t j2 = j1 + 1; j2 < k; ++j2) {
+        graph_.add_edge(node_of(i, j1), node_of(i, j2), DepKind::kSO);
+        graph_.add_edge(node_of(i, j2), node_of(i, j1), DepKind::kSOInv);
+      }
+    }
+  }
+
+  // Conflict edges between pieces of different programs.
+  for (std::uint32_t n1 = 0; n1 < graph_.size(); ++n1) {
+    for (std::uint32_t n2 = 0; n2 < graph_.size(); ++n2) {
+      const auto [i1, j1] = piece_of_[n1];
+      const auto [i2, j2] = piece_of_[n2];
+      if (i1 == i2) continue;
+      const Piece& p1 = programs_[i1].pieces[j1];
+      const Piece& p2 = programs_[i2].pieces[j2];
+      if (intersects(p1.writes, p2.reads))
+        graph_.add_edge(n1, n2, DepKind::kWR);
+      if (intersects(p1.writes, p2.writes))
+        graph_.add_edge(n1, n2, DepKind::kWW);
+      if (intersects(p1.reads, p2.writes))
+        graph_.add_edge(n1, n2, DepKind::kRW);
+    }
+  }
+}
+
+std::uint32_t StaticChoppingGraph::node_of(std::size_t i,
+                                           std::size_t j) const {
+  return first_node_[i] + static_cast<std::uint32_t>(j);
+}
+
+std::pair<std::size_t, std::size_t> StaticChoppingGraph::piece_of(
+    std::uint32_t node) const {
+  return piece_of_[node];
+}
+
+std::string StaticChoppingGraph::label(std::uint32_t node) const {
+  const auto [i, j] = piece_of_[node];
+  const Piece& piece = programs_[i].pieces[j];
+  std::string out =
+      programs_[i].name + "[" + std::to_string(j) + "]";
+  if (!piece.label.empty()) out += ": " + piece.label;
+  return out;
+}
+
+std::string StaticChoppingGraph::describe(const TypedCycle& c) const {
+  std::string out;
+  for (std::size_t i = 0; i < c.length(); ++i) {
+    out += "(" + label(c.vertices[i]) + ")";
+    const TypeMask m = c.masks[i];
+    std::string kinds;
+    for (DepKind k : {DepKind::kSO, DepKind::kSOInv, DepKind::kWR,
+                      DepKind::kWW, DepKind::kRW}) {
+      if ((m & mask_of(k)) != 0) {
+        if (!kinds.empty()) kinds += "|";
+        kinds += to_string(k);
+      }
+    }
+    out += " -" + kinds + "-> ";
+  }
+  if (!c.vertices.empty()) out += "(" + label(c.vertices[0]) + ")";
+  return out;
+}
+
+ChoppingVerdict check_chopping_static(const std::vector<Program>& programs,
+                                      Criterion crit, std::size_t budget) {
+  const StaticChoppingGraph scg(programs);
+  return find_critical_cycle(scg.graph(), crit, budget);
+}
+
+}  // namespace sia

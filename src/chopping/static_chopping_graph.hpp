@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chopping/criteria.hpp"
+#include "core/program.hpp"
+
+/// \file static_chopping_graph.hpp
+/// The static chopping graph SCG(P) of §5 and the static chopping
+/// analyses: Corollary 18 (SI), Theorem 29 (SER, Appendix B.1) and
+/// Theorem 31 (PSI, Appendix B.2).
+
+namespace sia {
+
+/// SCG(P): nodes are the pieces (i, j) of the programs; edges are
+///  - successor edges within a program (j1 < j2), predecessor edges
+///    (j1 > j2);
+///  - between pieces of *different* programs: a read dependency when
+///    W₁ ∩ R₂ ≠ ∅, a write dependency when W₁ ∩ W₂ ≠ ∅, and an
+///    anti-dependency when R₁ ∩ W₂ ≠ ∅.
+/// The edge set over-approximates the DCG of every dependency graph the
+/// programs can produce.
+class StaticChoppingGraph {
+ public:
+  explicit StaticChoppingGraph(std::vector<Program> programs);
+
+  [[nodiscard]] const TypedGraph& graph() const { return graph_; }
+  [[nodiscard]] const std::vector<Program>& programs() const {
+    return programs_;
+  }
+
+  /// Number of piece nodes.
+  [[nodiscard]] std::size_t node_count() const { return graph_.size(); }
+
+  /// Flat node index of piece \p j of program \p i.
+  [[nodiscard]] std::uint32_t node_of(std::size_t i, std::size_t j) const;
+
+  /// (program, piece) of a flat node index.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> piece_of(
+      std::uint32_t node) const;
+
+  /// "transfer[1]: acct2 = acct2 + 100" — for witness rendering.
+  [[nodiscard]] std::string label(std::uint32_t node) const;
+
+  /// Renders a cycle as "label -WR-> label -P-> ...".
+  [[nodiscard]] std::string describe(const TypedCycle& c) const;
+
+ private:
+  std::vector<Program> programs_;
+  std::vector<std::uint32_t> first_node_;  ///< program -> first flat index
+  std::vector<std::pair<std::size_t, std::size_t>> piece_of_;
+  TypedGraph graph_;
+};
+
+/// The chopping defined by \p programs is correct under the criterion's
+/// model if SCG(P) contains no critical cycle (Corollary 18 / Theorems 29
+/// and 31). `verdict.correct` is the sound answer; a witness explains
+/// incorrect (or potentially incorrect) choppings.
+[[nodiscard]] ChoppingVerdict check_chopping_static(
+    const std::vector<Program>& programs, Criterion crit = Criterion::kSI,
+    std::size_t budget = kDefaultCycleBudget);
+
+}  // namespace sia

@@ -1,0 +1,189 @@
+#include "core/abstract_execution.hpp"
+
+#include <algorithm>
+
+namespace sia::axioms {
+
+namespace {
+
+std::string txn_name(TxnId t) { return "T" + std::to_string(t); }
+
+std::optional<Violation> fail(std::string axiom, std::string detail) {
+  return Violation{std::move(axiom), std::move(detail)};
+}
+
+std::optional<Violation> check_strict_partial(const Relation& r,
+                                              const std::string& name) {
+  if (!r.is_irreflexive())
+    return fail(name, name + " is not irreflexive");
+  if (!r.is_transitive()) return fail(name, name + " is not transitive");
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<TxnId> max_in(const Relation& rel,
+                            const std::vector<TxnId>& set) {
+  for (TxnId a : set) {
+    const bool dominates = std::all_of(
+        set.begin(), set.end(),
+        [&](TxnId b) { return a == b || rel.contains(b, a); });
+    if (dominates) return a;
+  }
+  return std::nullopt;
+}
+
+std::optional<TxnId> min_in(const Relation& rel,
+                            const std::vector<TxnId>& set) {
+  for (TxnId a : set) {
+    const bool dominated = std::all_of(
+        set.begin(), set.end(),
+        [&](TxnId b) { return a == b || rel.contains(a, b); });
+    if (dominated) return a;
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_pre_wellformed(const AbstractExecution& x) {
+  if (x.vis.size() != x.txn_count() || x.co.size() != x.txn_count())
+    return fail("WF", "VIS/CO universe size differs from history");
+  if (auto v = check_strict_partial(x.vis, "VIS")) return v;
+  if (auto v = check_strict_partial(x.co, "CO")) return v;
+  if (!x.co.is_acyclic()) return fail("WF", "CO is cyclic");
+  if (!x.vis.subset_of(x.co)) return fail("WF", "VIS is not a subset of CO");
+  return std::nullopt;
+}
+
+std::optional<Violation> check_wellformed(const AbstractExecution& x) {
+  if (auto v = check_pre_wellformed(x)) return v;
+  if (!x.co.is_total()) return fail("WF", "CO is not total");
+  return std::nullopt;
+}
+
+std::optional<Violation> check_int(const History& h) {
+  for (TxnId t = 0; t < h.txn_count(); ++t) {
+    if (auto idx = h.txn(t).int_violation()) {
+      return fail("INT", txn_name(t) + " event #" + std::to_string(*idx) +
+                             " " + to_string(h.txn(t)[*idx]) +
+                             " disagrees with the preceding operation on the "
+                             "same object");
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_ext(const AbstractExecution& x) {
+  const History& h = x.history;
+  for (TxnId t = 0; t < h.txn_count(); ++t) {
+    for (ObjId obj : h.txn(t).external_read_set()) {
+      const Value expected = *h.txn(t).external_read(obj);
+      // VIS^{-1}(T) ∩ WriteTx_obj
+      std::vector<TxnId> candidates;
+      for (TxnId s : x.vis.predecessors(t)) {
+        if (h.txn(s).writes(obj)) candidates.push_back(s);
+      }
+      if (candidates.empty()) {
+        return fail("EXT", txn_name(t) + " reads obj" + std::to_string(obj) +
+                               " but no visible transaction writes it");
+      }
+      const auto writer = max_in(x.co, candidates);
+      if (!writer) {
+        return fail("EXT",
+                    "max_CO undefined over visible writers of obj" +
+                        std::to_string(obj) + " for " + txn_name(t));
+      }
+      const Value written = *h.txn(*writer).final_write(obj);
+      if (written != expected) {
+        return fail("EXT", txn_name(t) + " reads " + std::to_string(expected) +
+                               " from obj" + std::to_string(obj) +
+                               " but the CO-latest visible writer " +
+                               txn_name(*writer) + " wrote " +
+                               std::to_string(written));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_session(const AbstractExecution& x) {
+  if (!x.history.session_order().subset_of(x.vis))
+    return fail("SESSION", "SO is not a subset of VIS");
+  return std::nullopt;
+}
+
+std::optional<Violation> check_prefix(const AbstractExecution& x) {
+  if (!x.co.compose(x.vis).subset_of(x.vis))
+    return fail("PREFIX", "CO ; VIS is not a subset of VIS");
+  return std::nullopt;
+}
+
+std::optional<Violation> check_noconflict(const AbstractExecution& x) {
+  const History& h = x.history;
+  for (ObjId obj : h.objects()) {
+    const std::vector<TxnId> writers = h.writers_of(obj);
+    for (std::size_t i = 0; i < writers.size(); ++i) {
+      for (std::size_t j = i + 1; j < writers.size(); ++j) {
+        const TxnId a = writers[i];
+        const TxnId b = writers[j];
+        if (!x.vis.contains(a, b) && !x.vis.contains(b, a)) {
+          return fail("NOCONFLICT",
+                      txn_name(a) + " and " + txn_name(b) +
+                          " both write obj" + std::to_string(obj) +
+                          " but are unrelated by VIS");
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> check_totalvis(const AbstractExecution& x) {
+  if (!(x.vis == x.co)) return fail("TOTALVIS", "VIS differs from CO");
+  return std::nullopt;
+}
+
+std::optional<Violation> check_transvis(const AbstractExecution& x) {
+  if (!x.vis.is_transitive()) return fail("TRANSVIS", "VIS is not transitive");
+  return std::nullopt;
+}
+
+std::optional<Violation> check_exec_si(const AbstractExecution& x) {
+  if (auto v = check_wellformed(x)) return v;
+  if (auto v = check_int(x.history)) return v;
+  if (auto v = check_ext(x)) return v;
+  if (auto v = check_session(x)) return v;
+  if (auto v = check_prefix(x)) return v;
+  if (auto v = check_noconflict(x)) return v;
+  return std::nullopt;
+}
+
+std::optional<Violation> check_pre_exec_si(const AbstractExecution& x) {
+  if (auto v = check_pre_wellformed(x)) return v;
+  if (auto v = check_int(x.history)) return v;
+  if (auto v = check_ext(x)) return v;
+  if (auto v = check_session(x)) return v;
+  if (auto v = check_prefix(x)) return v;
+  if (auto v = check_noconflict(x)) return v;
+  return std::nullopt;
+}
+
+std::optional<Violation> check_exec_ser(const AbstractExecution& x) {
+  if (auto v = check_wellformed(x)) return v;
+  if (auto v = check_int(x.history)) return v;
+  if (auto v = check_ext(x)) return v;
+  if (auto v = check_session(x)) return v;
+  if (auto v = check_totalvis(x)) return v;
+  return std::nullopt;
+}
+
+std::optional<Violation> check_exec_psi(const AbstractExecution& x) {
+  if (auto v = check_wellformed(x)) return v;
+  if (auto v = check_int(x.history)) return v;
+  if (auto v = check_ext(x)) return v;
+  if (auto v = check_session(x)) return v;
+  if (auto v = check_transvis(x)) return v;
+  if (auto v = check_noconflict(x)) return v;
+  return std::nullopt;
+}
+
+}  // namespace sia::axioms

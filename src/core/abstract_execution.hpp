@@ -1,0 +1,121 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+#include "core/relation.hpp"
+
+/// \file abstract_execution.hpp
+/// Abstract executions (Definition 3): a history extended with a visibility
+/// relation VIS and a commit order CO, the declarative counterparts of
+/// "whose writes are in my snapshot" and "who committed first" in the SI
+/// concurrency-control algorithm.
+
+namespace sia {
+
+/// X = (T, SO, VIS, CO). Definition 3 requires VIS ⊆ CO, VIS a strict
+/// partial order and CO a strict total order; Definition 11 (pre-execution)
+/// relaxes CO to a strict partial order. The struct itself does not enforce
+/// these — see axioms::check_wellformed() / check_pre_wellformed().
+struct AbstractExecution {
+  History history;
+  Relation vis;
+  Relation co;
+
+  [[nodiscard]] std::size_t txn_count() const { return history.txn_count(); }
+};
+
+/// Description of a failed axiom check, for diagnostics.
+struct Violation {
+  std::string axiom;   ///< e.g. "EXT", "PREFIX"
+  std::string detail;  ///< human-readable explanation with txn ids
+};
+
+/// The consistency axioms of Figure 1 plus the structural conditions of
+/// Definitions 3 and 11. Each check returns nullopt on success or the first
+/// violation found.
+namespace axioms {
+
+/// max_R(A): the element a of \p set such that every other b in set has
+/// (b, a) ∈ rel; nullopt when no such element exists (undefined in the
+/// paper's notation). For a total order this is the maximum.
+[[nodiscard]] std::optional<TxnId> max_in(const Relation& rel,
+                                          const std::vector<TxnId>& set);
+
+/// min_R(A), dually.
+[[nodiscard]] std::optional<TxnId> min_in(const Relation& rel,
+                                          const std::vector<TxnId>& set);
+
+/// Definition 3 structural conditions with CO required total:
+/// VIS and CO strict partial orders, CO total, VIS ⊆ CO.
+[[nodiscard]] std::optional<Violation> check_wellformed(
+    const AbstractExecution& x);
+
+/// Definition 11 structural conditions (CO may be partial).
+[[nodiscard]] std::optional<Violation> check_pre_wellformed(
+    const AbstractExecution& x);
+
+/// INT: within each transaction, a read preceded by an operation on the
+/// same object returns the value of the last such operation.
+[[nodiscard]] std::optional<Violation> check_int(const History& h);
+
+/// EXT: if T ⊢ read(x, n) then max_CO(VIS^{-1}(T) ∩ WriteTx_x) ⊢
+/// write(x, n); the maximum must exist (histories include an initialising
+/// transaction to guarantee this, cf. §2).
+[[nodiscard]] std::optional<Violation> check_ext(const AbstractExecution& x);
+
+/// SESSION: SO ⊆ VIS.
+[[nodiscard]] std::optional<Violation> check_session(
+    const AbstractExecution& x);
+
+/// PREFIX: CO ; VIS ⊆ VIS.
+[[nodiscard]] std::optional<Violation> check_prefix(
+    const AbstractExecution& x);
+
+/// NOCONFLICT: distinct transactions writing the same object are related
+/// by VIS one way or the other.
+[[nodiscard]] std::optional<Violation> check_noconflict(
+    const AbstractExecution& x);
+
+/// TOTALVIS: VIS = CO (hence total) — serializability.
+[[nodiscard]] std::optional<Violation> check_totalvis(
+    const AbstractExecution& x);
+
+/// TRANSVIS: VIS transitive — parallel SI (Definition 20).
+[[nodiscard]] std::optional<Violation> check_transvis(
+    const AbstractExecution& x);
+
+/// ExecSI membership (Definition 4): wellformed ∧ INT ∧ EXT ∧ SESSION ∧
+/// PREFIX ∧ NOCONFLICT.
+[[nodiscard]] std::optional<Violation> check_exec_si(
+    const AbstractExecution& x);
+
+/// PreExecSI membership (Definition 11): as ExecSI but CO may be partial.
+[[nodiscard]] std::optional<Violation> check_pre_exec_si(
+    const AbstractExecution& x);
+
+/// ExecSER membership (Definition 4): wellformed ∧ INT ∧ EXT ∧ SESSION ∧
+/// TOTALVIS.
+[[nodiscard]] std::optional<Violation> check_exec_ser(
+    const AbstractExecution& x);
+
+/// ExecPSI membership (Definition 20): INT ∧ EXT ∧ SESSION ∧ TRANSVIS ∧
+/// NOCONFLICT (CO total as in Definition 3).
+[[nodiscard]] std::optional<Violation> check_exec_psi(
+    const AbstractExecution& x);
+
+[[nodiscard]] inline bool is_exec_si(const AbstractExecution& x) {
+  return !check_exec_si(x).has_value();
+}
+[[nodiscard]] inline bool is_exec_ser(const AbstractExecution& x) {
+  return !check_exec_ser(x).has_value();
+}
+[[nodiscard]] inline bool is_exec_psi(const AbstractExecution& x) {
+  return !check_exec_psi(x).has_value();
+}
+
+}  // namespace axioms
+
+}  // namespace sia

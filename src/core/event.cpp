@@ -1,0 +1,21 @@
+#include "core/event.hpp"
+
+#include <ostream>
+
+namespace sia {
+
+std::string to_string(const Event& e) {
+  return std::string(e.is_read() ? "read(" : "write(") + "obj" +
+         std::to_string(e.obj) + ", " + std::to_string(e.value) + ")";
+}
+
+std::string to_string(const Event& e, const ObjectTable& objs) {
+  return std::string(e.is_read() ? "read(" : "write(") + objs.name(e.obj) +
+         ", " + std::to_string(e.value) + ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Event& e) {
+  return os << to_string(e);
+}
+
+}  // namespace sia

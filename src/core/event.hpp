@@ -1,0 +1,48 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/types.hpp"
+
+/// \file event.hpp
+/// Read/write events (Definition 1 of the paper): a transaction is a set of
+/// events over operations op(e) ∈ {read(x,n), write(x,n)} together with a
+/// program order.
+
+namespace sia {
+
+/// Kind of an operation performed by an event.
+enum class EventKind : std::uint8_t { kRead, kWrite };
+
+/// A single operation instance inside a transaction: read(x,n) or
+/// write(x,n). Events are value types; identity within a transaction is
+/// positional (its index in the transaction's program order).
+struct Event {
+  EventKind kind{EventKind::kRead};
+  ObjId obj{kInvalidObj};
+  Value value{0};
+
+  [[nodiscard]] bool is_read() const { return kind == EventKind::kRead; }
+  [[nodiscard]] bool is_write() const { return kind == EventKind::kWrite; }
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Convenience constructors mirroring the paper's notation.
+[[nodiscard]] inline Event read(ObjId x, Value n) {
+  return Event{EventKind::kRead, x, n};
+}
+[[nodiscard]] inline Event write(ObjId x, Value n) {
+  return Event{EventKind::kWrite, x, n};
+}
+
+/// Renders "read(x, n)" / "write(x, n)" with the numeric object id.
+[[nodiscard]] std::string to_string(const Event& e);
+
+/// Renders with the object's interned name.
+[[nodiscard]] std::string to_string(const Event& e, const ObjectTable& objs);
+
+std::ostream& operator<<(std::ostream& os, const Event& e);
+
+}  // namespace sia

@@ -1,0 +1,111 @@
+#include "core/history.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace sia {
+
+TxnId History::append(SessionId s, Transaction t) {
+  if (s >= sessions_.size()) sessions_.resize(s + 1);
+  const TxnId id = static_cast<TxnId>(txns_.size());
+  txns_.push_back(std::move(t));
+  session_of_.push_back(s);
+  session_index_.push_back(sessions_[s].size());
+  sessions_[s].push_back(id);
+  return id;
+}
+
+TxnId History::append_singleton(Transaction t) {
+  return append(static_cast<SessionId>(sessions_.size()), std::move(t));
+}
+
+Relation History::session_order() const {
+  Relation so(txn_count());
+  for (const auto& sess : sessions_) {
+    for (std::size_t i = 0; i < sess.size(); ++i) {
+      for (std::size_t j = i + 1; j < sess.size(); ++j) {
+        so.add(sess[i], sess[j]);
+      }
+    }
+  }
+  return so;
+}
+
+Relation History::same_session() const {
+  Relation eq(txn_count());
+  for (const auto& sess : sessions_) {
+    for (TxnId a : sess) {
+      for (TxnId b : sess) eq.add(a, b);
+    }
+  }
+  return eq;
+}
+
+std::vector<ObjId> History::objects() const {
+  std::set<ObjId> objs;
+  for (const Transaction& t : txns_) {
+    for (const Event& e : t.events()) objs.insert(e.obj);
+  }
+  return {objs.begin(), objs.end()};
+}
+
+std::vector<TxnId> History::writers_of(ObjId x) const {
+  std::vector<TxnId> out;
+  for (TxnId id = 0; id < txns_.size(); ++id) {
+    if (txns_[id].writes(x)) out.push_back(id);
+  }
+  return out;
+}
+
+bool History::internally_consistent() const {
+  return std::all_of(txns_.begin(), txns_.end(), [](const Transaction& t) {
+    return t.internally_consistent();
+  });
+}
+
+namespace {
+
+template <typename Fmt>
+std::string render(const History& h, Fmt fmt) {
+  std::string out;
+  for (SessionId s = 0; s < h.session_count(); ++s) {
+    out += "s" + std::to_string(s) + ":";
+    for (TxnId id : h.session(s)) {
+      out += " T" + std::to_string(id) + "=" + fmt(h.txn(id));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(const History& h) {
+  return render(h, [](const Transaction& t) { return to_string(t); });
+}
+
+std::string to_string(const History& h, const ObjectTable& objs) {
+  return render(h,
+                [&objs](const Transaction& t) { return to_string(t, objs); });
+}
+
+HistoryBuilder& HistoryBuilder::txn(std::vector<Event> events) {
+  if (!started_) {
+    current_ = static_cast<SessionId>(history_.session_count());
+    started_ = true;
+  }
+  last_ = history_.append(current_, Transaction(std::move(events)));
+  return *this;
+}
+
+TxnId HistoryBuilder::init_txn(const std::vector<ObjId>& objs, Value value) {
+  std::vector<Event> events;
+  events.reserve(objs.size());
+  for (ObjId x : objs) events.push_back(write(x, value));
+  last_ = history_.append_singleton(Transaction(std::move(events)));
+  // Keep subsequent txn() calls out of the initialiser's session.
+  started_ = false;
+  return last_;
+}
+
+}  // namespace sia

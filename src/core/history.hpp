@@ -1,0 +1,133 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/relation.hpp"
+#include "core/transaction.hpp"
+#include "core/types.hpp"
+
+/// \file history.hpp
+/// Histories (Definition 2): a finite set of transactions partitioned into
+/// sessions, with the session order SO relating earlier to later
+/// transactions of the same session. Following the paper we analyse
+/// *strong session* SI/SER/PSI, so sessions are first-class.
+
+namespace sia {
+
+/// A history H = (T, SO).
+///
+/// Transactions are stored in a dense vector; TxnId is the index. Sessions
+/// are sequences of TxnIds; SO is the union of the per-session total
+/// orders. Every transaction belongs to exactly one session (a transaction
+/// outside any client session is modelled as a singleton session, e.g. the
+/// initialisation transaction).
+class History {
+ public:
+  History() = default;
+
+  /// Appends \p t as the next transaction of session \p s (creating
+  /// sessions up to s if needed). Returns the new transaction's id.
+  TxnId append(SessionId s, Transaction t);
+
+  /// Appends a transaction in a fresh singleton session.
+  TxnId append_singleton(Transaction t);
+
+  [[nodiscard]] std::size_t txn_count() const { return txns_.size(); }
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+
+  [[nodiscard]] const Transaction& txn(TxnId id) const { return txns_[id]; }
+  [[nodiscard]] const std::vector<Transaction>& txns() const { return txns_; }
+
+  /// Transactions of session \p s in session order.
+  [[nodiscard]] const std::vector<TxnId>& session(SessionId s) const {
+    return sessions_[s];
+  }
+
+  /// Session that transaction \p id belongs to.
+  [[nodiscard]] SessionId session_of(TxnId id) const {
+    return session_of_[id];
+  }
+
+  /// Position of transaction \p id within its session.
+  [[nodiscard]] std::size_t session_index_of(TxnId id) const {
+    return session_index_[id];
+  }
+
+  /// The session order SO: (T, S) iff same session and T earlier.
+  /// SO is a union of total orders (strict within each session).
+  [[nodiscard]] Relation session_order() const;
+
+  /// The equivalence ≈_H grouping transactions of the same session
+  /// (SO ∪ SO^{-1} ∪ id), as a relation.
+  [[nodiscard]] Relation same_session() const;
+
+  /// True iff T ≈_H S.
+  [[nodiscard]] bool same_session(TxnId a, TxnId b) const {
+    return session_of_[a] == session_of_[b];
+  }
+
+  /// All objects accessed anywhere in the history (sorted, distinct).
+  [[nodiscard]] std::vector<ObjId> objects() const;
+
+  /// Transactions in WriteTx_x, i.e. those writing to \p x, in TxnId order.
+  [[nodiscard]] std::vector<TxnId> writers_of(ObjId x) const;
+
+  /// Axiom INT over all transactions (T |= INT in the paper).
+  [[nodiscard]] bool internally_consistent() const;
+
+  friend bool operator==(const History&, const History&) = default;
+
+ private:
+  std::vector<Transaction> txns_;
+  std::vector<std::vector<TxnId>> sessions_;
+  std::vector<SessionId> session_of_;
+  std::vector<std::size_t> session_index_;
+};
+
+/// Renders each session on one line, e.g.
+///   "s0: [write(x,1)] [read(x,1)]\n s1: ...".
+[[nodiscard]] std::string to_string(const History& h);
+[[nodiscard]] std::string to_string(const History& h, const ObjectTable& objs);
+
+/// Fluent builder for hand-constructing the paper's example histories.
+///
+///   HistoryBuilder b;
+///   auto x = b.obj("x");
+///   b.session().txn({write(x, 1)}).txn({read(x, 1)});
+///   History h = b.build();
+class HistoryBuilder {
+ public:
+  /// Interns an object name.
+  ObjId obj(std::string_view name) { return objects_.intern(name); }
+
+  /// Starts a new session; subsequent txn() calls append to it.
+  HistoryBuilder& session() {
+    current_ = static_cast<SessionId>(history_.session_count());
+    started_ = true;
+    return *this;
+  }
+
+  /// Appends a transaction (events in program order) to the current
+  /// session. Returns the builder; last_txn() exposes the id.
+  HistoryBuilder& txn(std::vector<Event> events);
+
+  /// Appends a transaction writing \p value to every listed object, in its
+  /// own singleton session — the paper's initialisation transaction that
+  /// "writes initial versions of all objects".
+  TxnId init_txn(const std::vector<ObjId>& objs, Value value = 0);
+
+  [[nodiscard]] TxnId last_txn() const { return last_; }
+
+  [[nodiscard]] History build() const { return history_; }
+  [[nodiscard]] const ObjectTable& objects() const { return objects_; }
+
+ private:
+  ObjectTable objects_;
+  History history_;
+  SessionId current_{0};
+  bool started_{false};
+  TxnId last_{kInvalidTxn};
+};
+
+}  // namespace sia

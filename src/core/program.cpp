@@ -1,0 +1,47 @@
+#include "core/program.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace sia {
+
+bool Piece::may_read(ObjId x) const {
+  return std::find(reads.begin(), reads.end(), x) != reads.end();
+}
+
+bool Piece::may_write(ObjId x) const {
+  return std::find(writes.begin(), writes.end(), x) != writes.end();
+}
+
+namespace {
+
+std::vector<ObjId> union_of(const std::vector<Piece>& pieces,
+                            const std::vector<ObjId> Piece::*member) {
+  std::set<ObjId> out;
+  for (const Piece& p : pieces) {
+    for (ObjId x : p.*member) out.insert(x);
+  }
+  return {out.begin(), out.end()};
+}
+
+}  // namespace
+
+std::vector<ObjId> Program::read_set() const {
+  return union_of(pieces, &Piece::reads);
+}
+
+std::vector<ObjId> Program::write_set() const {
+  return union_of(pieces, &Piece::writes);
+}
+
+std::vector<Program> unchop(const std::vector<Program>& programs) {
+  std::vector<Program> out;
+  out.reserve(programs.size());
+  for (const Program& p : programs) {
+    out.push_back(
+        Program{p.name, {Piece{p.name, p.read_set(), p.write_set()}}});
+  }
+  return out;
+}
+
+}  // namespace sia

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// \file program.hpp
+/// Static program abstraction used by the chopping analysis (§5) and the
+/// robustness analyses (§6): each program is the code of one (possibly
+/// chopped) transaction, given as pieces with read and write sets R_i^j /
+/// W_i^j over-approximating the objects the piece may access.
+
+namespace sia {
+
+/// One piece of a chopped transaction: the objects it may read and write.
+struct Piece {
+  std::string label;          ///< e.g. "acct1 = acct1 - 100"
+  std::vector<ObjId> reads;   ///< R_i^j
+  std::vector<ObjId> writes;  ///< W_i^j
+
+  [[nodiscard]] bool may_read(ObjId x) const;
+  [[nodiscard]] bool may_write(ObjId x) const;
+};
+
+/// A program P_i: the code of the sessions resulting from chopping one
+/// transaction into k_i pieces. A program with a single piece is an
+/// unchopped transaction (the robustness analyses of §6 use those).
+struct Program {
+  std::string name;
+  std::vector<Piece> pieces;
+
+  /// Union of the pieces' read sets (the whole transaction's read set).
+  [[nodiscard]] std::vector<ObjId> read_set() const;
+
+  /// Union of the pieces' write sets.
+  [[nodiscard]] std::vector<ObjId> write_set() const;
+};
+
+/// Collapses each program to a single piece — the transaction the chopping
+/// originated from. Used to compare chopped vs unchopped behaviour.
+[[nodiscard]] std::vector<Program> unchop(const std::vector<Program>& programs);
+
+}  // namespace sia

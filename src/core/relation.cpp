@@ -1,0 +1,341 @@
+#include "core/relation.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <deque>
+
+namespace sia {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+}  // namespace
+
+Relation::Relation(std::size_t n)
+    : n_(n), words_((n + kWordBits - 1) / kWordBits), bits_(n_ * words_, 0) {}
+
+Relation Relation::identity(std::size_t n) {
+  Relation r(n);
+  for (TxnId a = 0; a < n; ++a) r.add(a, a);
+  return r;
+}
+
+Relation Relation::from_edges(
+    std::size_t n, const std::vector<std::pair<TxnId, TxnId>>& edges) {
+  Relation r(n);
+  for (const auto& [a, b] : edges) r.add(a, b);
+  return r;
+}
+
+bool Relation::contains(TxnId a, TxnId b) const {
+  assert(a < n_ && b < n_);
+  return (row(a)[b / kWordBits] >> (b % kWordBits)) & 1u;
+}
+
+void Relation::add(TxnId a, TxnId b) {
+  assert(a < n_ && b < n_);
+  row(a)[b / kWordBits] |= std::uint64_t{1} << (b % kWordBits);
+}
+
+void Relation::remove(TxnId a, TxnId b) {
+  assert(a < n_ && b < n_);
+  row(a)[b / kWordBits] &= ~(std::uint64_t{1} << (b % kWordBits));
+}
+
+std::size_t Relation::edge_count() const {
+  std::size_t count = 0;
+  for (std::uint64_t w : bits_) count += static_cast<std::size_t>(std::popcount(w));
+  return count;
+}
+
+std::vector<std::pair<TxnId, TxnId>> Relation::edges() const {
+  std::vector<std::pair<TxnId, TxnId>> out;
+  for (TxnId a = 0; a < n_; ++a) {
+    for_successors(a, [&](TxnId b) { out.emplace_back(a, b); });
+  }
+  return out;
+}
+
+void Relation::for_successors(TxnId a,
+                              const std::function<void(TxnId)>& fn) const {
+  const std::uint64_t* r = row(a);
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t word = r[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      fn(static_cast<TxnId>(w * kWordBits + static_cast<std::size_t>(bit)));
+      word &= word - 1;
+    }
+  }
+}
+
+std::vector<TxnId> Relation::successors(TxnId a) const {
+  std::vector<TxnId> out;
+  for_successors(a, [&](TxnId b) { out.push_back(b); });
+  return out;
+}
+
+std::vector<TxnId> Relation::predecessors(TxnId a) const {
+  std::vector<TxnId> out;
+  for (TxnId b = 0; b < n_; ++b) {
+    if (contains(b, a)) out.push_back(b);
+  }
+  return out;
+}
+
+Relation& Relation::operator|=(const Relation& other) {
+  assert(n_ == other.n_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  return *this;
+}
+
+Relation& Relation::operator&=(const Relation& other) {
+  assert(n_ == other.n_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= other.bits_[i];
+  return *this;
+}
+
+Relation& Relation::operator-=(const Relation& other) {
+  assert(n_ == other.n_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= ~other.bits_[i];
+  return *this;
+}
+
+bool operator==(const Relation& lhs, const Relation& rhs) {
+  return lhs.n_ == rhs.n_ && lhs.bits_ == rhs.bits_;
+}
+
+Relation Relation::compose(const Relation& other) const {
+  assert(n_ == other.n_);
+  Relation out(n_);
+  for (TxnId a = 0; a < n_; ++a) {
+    std::uint64_t* dst = out.row(a);
+    for_successors(a, [&](TxnId c) {
+      const std::uint64_t* src = other.row(c);
+      for (std::size_t w = 0; w < words_; ++w) dst[w] |= src[w];
+    });
+  }
+  return out;
+}
+
+Relation Relation::transitive_closure() const {
+  Relation out = *this;
+  // Bitset Warshall: after iteration k, out contains all paths whose
+  // intermediate vertices are < k+1.
+  for (TxnId k = 0; k < n_; ++k) {
+    const std::uint64_t* rk = out.row(k);
+    // Copy row k since row(i) may alias it when i == k.
+    std::vector<std::uint64_t> krow(rk, rk + words_);
+    for (TxnId i = 0; i < n_; ++i) {
+      if (!out.contains(i, k)) continue;
+      std::uint64_t* ri = out.row(i);
+      for (std::size_t w = 0; w < words_; ++w) ri[w] |= krow[w];
+    }
+  }
+  return out;
+}
+
+Relation Relation::reflexive_closure() const {
+  Relation out = *this;
+  for (TxnId a = 0; a < n_; ++a) out.add(a, a);
+  return out;
+}
+
+Relation Relation::reflexive_transitive_closure() const {
+  return transitive_closure().reflexive_closure();
+}
+
+Relation Relation::inverse() const {
+  Relation out(n_);
+  for (TxnId a = 0; a < n_; ++a) {
+    for_successors(a, [&](TxnId b) { out.add(b, a); });
+  }
+  return out;
+}
+
+bool Relation::is_irreflexive() const {
+  for (TxnId a = 0; a < n_; ++a) {
+    if (contains(a, a)) return false;
+  }
+  return true;
+}
+
+bool Relation::is_acyclic() const { return !find_cycle().has_value(); }
+
+bool Relation::is_transitive() const {
+  const Relation comp = compose(*this);
+  return comp.subset_of(*this);
+}
+
+bool Relation::is_total() const {
+  for (TxnId a = 0; a < n_; ++a) {
+    for (TxnId b = a + 1; b < n_; ++b) {
+      if (!contains(a, b) && !contains(b, a)) return false;
+    }
+  }
+  return true;
+}
+
+bool Relation::is_strict_total_order() const {
+  return is_irreflexive() && is_transitive() && is_total();
+}
+
+bool Relation::subset_of(const Relation& other) const {
+  assert(n_ == other.n_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if ((bits_[i] & ~other.bits_[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::optional<std::pair<TxnId, TxnId>> Relation::unrelated_pair() const {
+  for (TxnId a = 0; a < n_; ++a) {
+    for (TxnId b = a + 1; b < n_; ++b) {
+      if (!contains(a, b) && !contains(b, a)) return std::make_pair(a, b);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<TxnId>> Relation::topological_order() const {
+  std::vector<std::size_t> indegree(n_, 0);
+  for (TxnId a = 0; a < n_; ++a) {
+    for_successors(a, [&](TxnId b) { ++indegree[b]; });
+  }
+  std::deque<TxnId> ready;
+  for (TxnId a = 0; a < n_; ++a) {
+    if (indegree[a] == 0) ready.push_back(a);
+  }
+  std::vector<TxnId> order;
+  order.reserve(n_);
+  while (!ready.empty()) {
+    const TxnId a = ready.front();
+    ready.pop_front();
+    order.push_back(a);
+    for_successors(a, [&](TxnId b) {
+      if (--indegree[b] == 0) ready.push_back(b);
+    });
+  }
+  if (order.size() != n_) return std::nullopt;
+  return order;
+}
+
+std::optional<std::vector<TxnId>> Relation::find_cycle() const {
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Color> color(n_, Color::kWhite);
+  std::vector<TxnId> parent(n_, kInvalidTxn);
+
+  // Iterative DFS; on back edge (u, v) reconstruct the cycle v ... u.
+  struct Frame {
+    TxnId node;
+    std::vector<TxnId> succ;
+    std::size_t next{0};
+  };
+  for (TxnId start = 0; start < n_; ++start) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<Frame> stack;
+    stack.push_back({start, successors(start), 0});
+    color[start] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next >= f.succ.size()) {
+        color[f.node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const TxnId next = f.succ[f.next++];
+      if (color[next] == Color::kGray) {
+        // Back edge: cycle next -> ... -> f.node -> next.
+        std::vector<TxnId> cycle;
+        cycle.push_back(next);
+        if (next != f.node) {
+          for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            cycle.push_back(it->node);
+            if (it->node == next) break;
+          }
+          // cycle currently: next, u_k, ..., next — drop duplicate tail,
+          // then reverse the path portion into forward order.
+          cycle.pop_back();
+          std::reverse(cycle.begin() + 1, cycle.end());
+        }
+        return cycle;
+      }
+      if (color[next] == Color::kWhite) {
+        color[next] = Color::kGray;
+        parent[next] = f.node;
+        stack.push_back({next, successors(next), 0});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<TxnId>> Relation::find_path(TxnId from,
+                                                      TxnId to) const {
+  assert(from < n_ && to < n_);
+  std::vector<TxnId> parent(n_, kInvalidTxn);
+  std::vector<bool> visited(n_, false);
+  std::deque<TxnId> queue;
+  // BFS over one-or-more-edge paths, so do not mark `from` visited up
+  // front: `to == from` requires an actual cycle through `from`.
+  queue.push_back(from);
+  bool found = false;
+  while (!queue.empty() && !found) {
+    const TxnId u = queue.front();
+    queue.pop_front();
+    for_successors(u, [&](TxnId v) {
+      if (found) return;
+      if (v == to) {
+        parent[v] = u;
+        found = true;
+        return;
+      }
+      if (!visited[v]) {
+        visited[v] = true;
+        parent[v] = u;
+        queue.push_back(v);
+      }
+    });
+  }
+  if (!found) return std::nullopt;
+  std::vector<TxnId> path;
+  path.push_back(to);
+  TxnId cur = parent[to];
+  while (cur != kInvalidTxn && cur != from) {
+    path.push_back(cur);
+    cur = parent[cur];
+  }
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+bool Relation::reaches(TxnId from, TxnId to) const {
+  return find_path(from, to).has_value();
+}
+
+void Relation::add_edge_transitively(TxnId a, TxnId b) {
+  assert(a < n_ && b < n_);
+  // row(b) ∪ {b}, snapshotted before mutation in case a reaches b.
+  std::vector<std::uint64_t> brow(row(b), row(b) + words_);
+  brow[b / kWordBits] |= std::uint64_t{1} << (b % kWordBits);
+  for (TxnId p = 0; p < n_; ++p) {
+    if (p != a && !contains(p, a)) continue;
+    std::uint64_t* rp = row(p);
+    for (std::size_t w = 0; w < words_; ++w) rp[w] |= brow[w];
+  }
+}
+
+std::string Relation::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [a, b] : edges()) {
+    if (!first) out += ", ";
+    first = false;
+    out += "(" + std::to_string(a) + "," + std::to_string(b) + ")";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace sia

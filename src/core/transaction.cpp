@@ -1,0 +1,108 @@
+#include "core/transaction.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sia {
+
+std::optional<Value> Transaction::final_write(ObjId x) const {
+  std::optional<Value> result;
+  for (const Event& e : events_) {
+    if (e.is_write() && e.obj == x) result = e.value;
+  }
+  return result;
+}
+
+std::optional<Value> Transaction::external_read(ObjId x) const {
+  for (const Event& e : events_) {
+    if (e.obj != x) continue;
+    if (e.is_read()) return e.value;
+    return std::nullopt;  // first access is a write
+  }
+  return std::nullopt;
+}
+
+bool Transaction::writes(ObjId x) const {
+  return std::any_of(events_.begin(), events_.end(), [x](const Event& e) {
+    return e.is_write() && e.obj == x;
+  });
+}
+
+bool Transaction::accesses(ObjId x) const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [x](const Event& e) { return e.obj == x; });
+}
+
+namespace {
+
+std::vector<ObjId> distinct_objects(const std::vector<Event>& events,
+                                    bool (*pred)(const Event&)) {
+  std::vector<ObjId> out;
+  std::unordered_set<ObjId> seen;
+  for (const Event& e : events) {
+    if (pred(e) && seen.insert(e.obj).second) out.push_back(e.obj);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ObjId> Transaction::write_set() const {
+  return distinct_objects(events_,
+                          [](const Event& e) { return e.is_write(); });
+}
+
+std::vector<ObjId> Transaction::read_set() const {
+  return distinct_objects(events_, [](const Event& e) { return e.is_read(); });
+}
+
+std::vector<ObjId> Transaction::external_read_set() const {
+  std::vector<ObjId> out;
+  std::unordered_set<ObjId> seen;
+  for (const Event& e : events_) {
+    if (!seen.insert(e.obj).second) continue;
+    if (e.is_read()) out.push_back(e.obj);
+  }
+  return out;
+}
+
+std::optional<std::size_t> Transaction::int_violation() const {
+  std::unordered_map<ObjId, Value> last;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    auto it = last.find(e.obj);
+    if (e.is_read() && it != last.end() && it->second != e.value) return i;
+    last[e.obj] = e.value;
+  }
+  return std::nullopt;
+}
+
+bool Transaction::internally_consistent() const {
+  return !int_violation().has_value();
+}
+
+namespace {
+
+template <typename Fmt>
+std::string render(const Transaction& t, Fmt fmt) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += fmt(t[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(const Transaction& t) {
+  return render(t, [](const Event& e) { return to_string(e); });
+}
+
+std::string to_string(const Transaction& t, const ObjectTable& objs) {
+  return render(t, [&objs](const Event& e) { return to_string(e, objs); });
+}
+
+}  // namespace sia

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/types.hpp"
+
+/// \file transaction.hpp
+/// Transactions (Definition 1): a finite, totally ordered sequence of
+/// events. The program order po is the index order of the event vector
+/// (every total order is isomorphic to such a sequence, and the paper only
+/// ever uses po as a total order).
+
+namespace sia {
+
+/// A committed transaction: its events in program order.
+///
+/// Provides the derived judgements used throughout the paper:
+///  - `T ⊢ write(x, n)` — T writes to x and the *last* value written is n
+///    (final_write());
+///  - `T ⊢ read(x, n)`  — T reads x *before* writing to it and n is the
+///    value of the first such read, i.e. the first event of T on x is a
+///    read returning n (external_read());
+///  - membership of WriteTx_x (writes());
+///  - the per-transaction internal consistency axiom INT.
+class Transaction {
+ public:
+  Transaction() = default;
+  explicit Transaction(std::vector<Event> events)
+      : events_(std::move(events)) {}
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] const Event& operator[](std::size_t i) const {
+    return events_[i];
+  }
+
+  /// Appends an event at the end of program order.
+  void append(const Event& e) { events_.push_back(e); }
+
+  /// `T ⊢ write(x, n)`: value of the last write of this transaction to
+  /// \p x, or nullopt if the transaction never writes x.
+  [[nodiscard]] std::optional<Value> final_write(ObjId x) const;
+
+  /// `T ⊢ read(x, n)`: value returned by the first operation of this
+  /// transaction on \p x, provided that operation is a read; nullopt if the
+  /// transaction never accesses x or writes it first. This is the
+  /// "externally visible" read whose value must be explained by other
+  /// transactions (axiom EXT / relation WR).
+  [[nodiscard]] std::optional<Value> external_read(ObjId x) const;
+
+  /// True iff the transaction writes to \p x (membership of WriteTx_x).
+  [[nodiscard]] bool writes(ObjId x) const;
+
+  /// True iff the transaction contains any event on \p x.
+  [[nodiscard]] bool accesses(ObjId x) const;
+
+  /// Distinct objects written, in first-access order.
+  [[nodiscard]] std::vector<ObjId> write_set() const;
+
+  /// Distinct objects with an external read (see external_read()), in
+  /// first-access order.
+  [[nodiscard]] std::vector<ObjId> external_read_set() const;
+
+  /// Distinct objects read anywhere in the transaction, in first-access
+  /// order (used by static over-approximations).
+  [[nodiscard]] std::vector<ObjId> read_set() const;
+
+  /// Axiom INT (Figure 1) restricted to this transaction: every read event
+  /// preceded in po by an operation on the same object returns the value of
+  /// the last such operation.
+  [[nodiscard]] bool internally_consistent() const;
+
+  /// Like internally_consistent(), but returns the index of the first
+  /// violating read event, or nullopt when consistent. Used for
+  /// diagnostics.
+  [[nodiscard]] std::optional<std::size_t> int_violation() const;
+
+  friend bool operator==(const Transaction&, const Transaction&) = default;
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Renders "[read(x,0); write(x,1)]".
+[[nodiscard]] std::string to_string(const Transaction& t);
+[[nodiscard]] std::string to_string(const Transaction& t,
+                                    const ObjectTable& objs);
+
+}  // namespace sia

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// \file types.hpp
+/// Fundamental identifier types of the transactional model of
+/// Cerone & Gotsman, "Analysing Snapshot Isolation" (PODC'16), and the
+/// object-name interning table.
+
+namespace sia {
+
+/// Identifier of a shared object ("x, y, acct1 ..." in the paper).
+/// Objects are interned strings; analyses work on dense ids.
+using ObjId = std::uint32_t;
+
+/// Value stored in an object. The paper's model is untyped registers over
+/// an arbitrary value domain; a 64-bit integer loses no generality.
+using Value = std::int64_t;
+
+/// Index of a transaction within a History (dense, 0-based).
+using TxnId = std::uint32_t;
+
+/// Index of a session within a History (dense, 0-based).
+using SessionId = std::uint32_t;
+
+inline constexpr TxnId kInvalidTxn = std::numeric_limits<TxnId>::max();
+inline constexpr ObjId kInvalidObj = std::numeric_limits<ObjId>::max();
+
+/// Error thrown when an input violates a structural precondition of the
+/// paper's definitions (e.g. a malformed dependency graph per Definition 6).
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Bidirectional map between human-readable object names and dense ObjIds.
+///
+/// All analyses and engines operate on ObjIds; the table is only consulted
+/// when building inputs from source text and when pretty-printing results.
+class ObjectTable {
+ public:
+  /// Interns \p name, returning its id (existing or fresh).
+  ObjId intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    const ObjId id = static_cast<ObjId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Returns the id of \p name or throws ModelError if never interned.
+  [[nodiscard]] ObjId lookup(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    if (it == ids_.end())
+      throw ModelError("ObjectTable: unknown object '" + std::string(name) +
+                       "'");
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return ids_.find(std::string(name)) != ids_.end();
+  }
+
+  /// Name of \p id; ids are only ever produced by intern().
+  [[nodiscard]] const std::string& name(ObjId id) const {
+    if (id >= names_.size())
+      throw ModelError("ObjectTable: invalid object id " + std::to_string(id));
+    return names_[id];
+  }
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ObjId> ids_;
+};
+
+}  // namespace sia

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/dependency_graph.hpp"
+
+/// \file characterization.hpp
+/// The dependency-graph characterisations of serializability (Theorem 8),
+/// snapshot isolation (Theorem 9 — the paper's headline result) and
+/// parallel SI (Theorem 21), with witness cycles, plus the dynamic
+/// robustness criteria of Theorems 19 and 22.
+
+namespace sia {
+
+/// Result of a graph-membership check. On non-membership, \c witness holds
+/// a culprit cycle as typed edges (empty if the failure is INT, in which
+/// case \c int_violation explains it).
+struct GraphCheck {
+  bool member{false};
+  std::vector<DepEdge> witness;          ///< cycle demonstrating exclusion
+  std::optional<Violation> int_violation;
+
+  explicit operator bool() const { return member; }
+};
+
+/// GraphSER (Theorem 8): INT ∧ acyclic(SO ∪ WR ∪ WW ∪ RW).
+[[nodiscard]] GraphCheck check_graph_ser(const DependencyGraph& g);
+[[nodiscard]] GraphCheck check_graph_ser(const DependencyGraph& g,
+                                         const DepRelations& rel);
+
+/// GraphSI (Theorem 9): INT ∧ acyclic((SO ∪ WR ∪ WW) ; RW?). Equivalently:
+/// every cycle of the graph has at least two *adjacent* anti-dependency
+/// edges.
+[[nodiscard]] GraphCheck check_graph_si(const DependencyGraph& g);
+[[nodiscard]] GraphCheck check_graph_si(const DependencyGraph& g,
+                                        const DepRelations& rel);
+
+/// GraphPSI (Theorem 21): INT ∧ irreflexive((SO ∪ WR ∪ WW)+ ; RW?).
+/// Equivalently: every cycle has at least two anti-dependency edges.
+[[nodiscard]] GraphCheck check_graph_psi(const DependencyGraph& g);
+[[nodiscard]] GraphCheck check_graph_psi(const DependencyGraph& g,
+                                         const DepRelations& rel);
+
+/// Dynamic robustness criterion against SI (Theorem 19):
+/// G ∈ GraphSI \ GraphSER — the graph exhibits an SI-only anomaly.
+/// Returns the witness cycle of the GraphSER failure when true.
+struct RobustnessWitness {
+  bool anomaly{false};              ///< true iff G is in the difference set
+  std::vector<DepEdge> cycle;       ///< cycle excluded from the stronger model
+  std::optional<Violation> int_violation;
+};
+[[nodiscard]] RobustnessWitness si_anomaly(const DependencyGraph& g);
+
+/// Dynamic robustness criterion against parallel SI towards SI
+/// (Theorem 22): G ∈ GraphPSI \ GraphSI.
+[[nodiscard]] RobustnessWitness psi_anomaly(const DependencyGraph& g);
+
+/// Expands a cycle of the composed relation C = D ∪ D;RW (or D+ ; RW? for
+/// PSI) back into concrete typed edges of \p g. Exposed for testing.
+[[nodiscard]] std::vector<DepEdge> expand_composed_cycle(
+    const DependencyGraph& g, const DepRelations& rel,
+    const std::vector<TxnId>& cycle, bool through_dplus);
+
+}  // namespace sia

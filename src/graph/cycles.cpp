@@ -1,0 +1,218 @@
+#include "graph/cycles.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace sia {
+
+std::size_t TypedGraph::edge_count() const {
+  std::size_t count = 0;
+  for (const auto& succ : adj_) {
+    for (const auto& [to, mask] : succ) {
+      (void)to;
+      count += static_cast<std::size_t>(__builtin_popcount(mask));
+    }
+  }
+  return count;
+}
+
+namespace {
+
+/// Johnson's simple-cycle enumeration state for one start vertex.
+class JohnsonSearch {
+ public:
+  JohnsonSearch(const TypedGraph& g, std::size_t budget,
+                const std::function<bool(const TypedCycle&)>& visit)
+      : g_(g),
+        budget_(budget),
+        visit_(visit),
+        blocked_(g.size(), false),
+        blocklist_(g.size()) {}
+
+  /// Runs the full enumeration. Returns stats.
+  EnumerationStats run() {
+    for (std::uint32_t s = 0; s < g_.size() && !done_; ++s) {
+      start_ = s;
+      std::fill(blocked_.begin(), blocked_.end(), false);
+      for (auto& b : blocklist_) b.clear();
+      path_.clear();
+      circuit(s);
+    }
+    return {complete_, seen_};
+  }
+
+ private:
+  void unblock(std::uint32_t v) {
+    blocked_[v] = false;
+    for (std::uint32_t w : blocklist_[v]) {
+      if (blocked_[w]) unblock(w);
+    }
+    blocklist_[v].clear();
+  }
+
+  void emit() {
+    ++seen_;
+    TypedCycle cycle;
+    cycle.vertices = path_;
+    cycle.masks.reserve(path_.size());
+    for (std::size_t i = 0; i < path_.size(); ++i) {
+      cycle.masks.push_back(
+          g_.types(path_[i], path_[(i + 1) % path_.size()]));
+    }
+    if (!visit_(cycle)) done_ = true;
+    if (seen_ >= budget_ && !done_) {
+      complete_ = false;
+      done_ = true;
+    }
+  }
+
+  bool circuit(std::uint32_t v) {
+    bool found = false;
+    path_.push_back(v);
+    blocked_[v] = true;
+    for (const auto& [w, mask] : g_.successors(v)) {
+      (void)mask;
+      if (w < start_ || done_) continue;  // restrict to vertices >= start
+      if (w == start_) {
+        emit();
+        found = true;
+        if (done_) break;
+      } else if (!blocked_[w]) {
+        if (circuit(w)) found = true;
+        if (done_) break;
+      }
+    }
+    if (found) {
+      unblock(v);
+    } else {
+      for (const auto& [w, mask] : g_.successors(v)) {
+        (void)mask;
+        if (w < start_) continue;
+        blocklist_[w].insert(v);
+      }
+    }
+    path_.pop_back();
+    return found;
+  }
+
+  const TypedGraph& g_;
+  const std::size_t budget_;
+  const std::function<bool(const TypedCycle&)>& visit_;
+  std::uint32_t start_{0};
+  std::vector<bool> blocked_;
+  std::vector<std::set<std::uint32_t>> blocklist_;
+  std::vector<std::uint32_t> path_;
+  std::size_t seen_{0};
+  bool done_{false};
+  bool complete_{true};
+};
+
+constexpr TypeMask kMaskSep = kMaskWR | kMaskWW;
+
+}  // namespace
+
+EnumerationStats enumerate_simple_cycles(
+    const TypedGraph& g, std::size_t budget,
+    const std::function<bool(const TypedCycle&)>& visit) {
+  return JohnsonSearch(g, budget, visit).run();
+}
+
+std::vector<std::size_t> forced_rw_positions(const TypedCycle& c) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < c.masks.size(); ++i) {
+    if (forced_rw(c.masks[i])) out.push_back(i);
+  }
+  return out;
+}
+
+bool has_conflict_pred_conflict(const TypedCycle& c) {
+  const std::size_t k = c.length();
+  if (k < 2) return false;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (is_conflict(c.masks[i]) && (c.masks[(i + 1) % k] & kMaskSOInv) != 0 &&
+        is_conflict(c.masks[(i + 2) % k])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ser_critical(const TypedCycle& c) { return has_conflict_pred_conflict(c); }
+
+bool si_critical(const TypedCycle& c) {
+  if (!ser_critical(c)) return false;
+  const std::vector<std::size_t> forced = forced_rw_positions(c);
+  if (forced.size() <= 1) return true;
+  const std::size_t k = c.length();
+  // Between every pair of cyclically consecutive forced anti-dependencies
+  // there must be a step that can be a WR/WW dependency.
+  for (std::size_t idx = 0; idx < forced.size(); ++idx) {
+    const std::size_t f1 = forced[idx];
+    const std::size_t f2 = forced[(idx + 1) % forced.size()];
+    bool separated = false;
+    for (std::size_t p = (f1 + 1) % k; p != f2; p = (p + 1) % k) {
+      if ((c.masks[p] & kMaskSep) != 0) {
+        separated = true;
+        break;
+      }
+    }
+    if (!separated) return false;
+  }
+  return true;
+}
+
+bool psi_critical(const TypedCycle& c) {
+  return ser_critical(c) && min_rw_count(c) <= 1;
+}
+
+bool can_have_adjacent_rw_pair(const TypedCycle& c) {
+  const std::size_t k = c.length();
+  if (k < 2) return false;
+  for (std::size_t i = 0; i < k; ++i) {
+    if ((c.masks[i] & kMaskRW) != 0 && (c.masks[(i + 1) % k] & kMaskRW) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool can_avoid_adjacent_rw(const TypedCycle& c) {
+  const std::size_t k = c.length();
+  for (std::size_t i = 0; i < k; ++i) {
+    if (forced_rw(c.masks[i]) && forced_rw(c.masks[(i + 1) % k])) return false;
+  }
+  return true;
+}
+
+bool can_have_two_nonadjacent_rw(const TypedCycle& c) {
+  const std::size_t k = c.length();
+  if (!can_avoid_adjacent_rw(c)) return false;  // forced adjacency spoils all
+  const std::vector<std::size_t> forced = forced_rw_positions(c);
+  if (forced.size() >= 2) return true;
+
+  auto adjacent = [k](std::size_t a, std::size_t b) {
+    return (a + 1) % k == b || (b + 1) % k == a;
+  };
+  std::vector<std::size_t> capable;
+  for (std::size_t i = 0; i < k; ++i) {
+    if ((c.masks[i] & kMaskRW) != 0) capable.push_back(i);
+  }
+  if (forced.size() == 1) {
+    const std::size_t f = forced[0];
+    return std::any_of(capable.begin(), capable.end(), [&](std::size_t p) {
+      return p != f && !adjacent(p, f);
+    });
+  }
+  for (std::size_t i = 0; i < capable.size(); ++i) {
+    for (std::size_t j = i + 1; j < capable.size(); ++j) {
+      if (!adjacent(capable[i], capable[j])) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t min_rw_count(const TypedCycle& c) {
+  return forced_rw_positions(c).size();
+}
+
+}  // namespace sia

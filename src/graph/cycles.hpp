@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "graph/dependency_graph.hpp"
+
+/// \file cycles.hpp
+/// Typed multigraphs and vertex-simple cycle enumeration (Johnson's
+/// algorithm), plus the exact per-cycle predicates used by the chopping
+/// criteria (§5, Appendix B) and the robustness criteria (§6).
+///
+/// Between two vertices several edges of different kinds may exist (e.g.
+/// both a WW and an RW dependency). Cycles are enumerated over *vertices*;
+/// each step carries the set of available edge kinds as a bitmask, and the
+/// per-cycle predicates decide whether SOME choice of one kind per step
+/// yields a cycle with the property of interest. All predicates below are
+/// exact for their property (see the reasoning in DESIGN.md §4): choosing
+/// a non-anti-dependency kind wherever one is available minimises the set
+/// of anti-dependency edges, and an RW is *forced* only where RW is the
+/// sole conflict kind available.
+
+namespace sia {
+
+/// Bitmask over DepKind.
+using TypeMask = std::uint8_t;
+
+[[nodiscard]] constexpr TypeMask mask_of(DepKind k) {
+  return static_cast<TypeMask>(1u << static_cast<std::uint8_t>(k));
+}
+
+inline constexpr TypeMask kMaskSO = mask_of(DepKind::kSO);
+inline constexpr TypeMask kMaskSOInv = mask_of(DepKind::kSOInv);
+inline constexpr TypeMask kMaskWR = mask_of(DepKind::kWR);
+inline constexpr TypeMask kMaskWW = mask_of(DepKind::kWW);
+inline constexpr TypeMask kMaskRW = mask_of(DepKind::kRW);
+/// Conflict edges of a chopping graph: dependencies between transactions
+/// of different sessions.
+inline constexpr TypeMask kMaskConflict = kMaskWR | kMaskWW | kMaskRW;
+
+/// Directed multigraph with DepKind-typed edges, at most one edge per
+/// (source, target, kind).
+class TypedGraph {
+ public:
+  explicit TypedGraph(std::size_t n = 0) : adj_(n) {}
+
+  [[nodiscard]] std::size_t size() const { return adj_.size(); }
+
+  void add_edge(std::uint32_t from, std::uint32_t to, DepKind kind) {
+    adj_[from][to] |= mask_of(kind);
+  }
+
+  /// Kinds available from \p from to \p to (0 if no edge).
+  [[nodiscard]] TypeMask types(std::uint32_t from, std::uint32_t to) const {
+    auto it = adj_[from].find(to);
+    return it == adj_[from].end() ? TypeMask{0} : it->second;
+  }
+
+  /// Successor -> mask map of \p from, ordered by successor id.
+  [[nodiscard]] const std::map<std::uint32_t, TypeMask>& successors(
+      std::uint32_t from) const {
+    return adj_[from];
+  }
+
+  [[nodiscard]] std::size_t edge_count() const;
+
+ private:
+  std::vector<std::map<std::uint32_t, TypeMask>> adj_;
+};
+
+/// A vertex-simple cycle: vertices in order; step i goes from vertices[i]
+/// to vertices[(i+1) % size] and masks[i] holds the kinds available there.
+struct TypedCycle {
+  std::vector<std::uint32_t> vertices;
+  std::vector<TypeMask> masks;
+
+  [[nodiscard]] std::size_t length() const { return vertices.size(); }
+};
+
+/// Outcome of an enumeration: whether it ran to completion (vs hitting the
+/// budget) and how many cycles were visited.
+struct EnumerationStats {
+  bool complete{true};
+  std::size_t cycles_seen{0};
+};
+
+/// Enumerates every vertex-simple cycle of \p g (each exactly once, up to
+/// rotation), invoking \p visit; if visit returns false the enumeration
+/// stops early (complete stays true — the caller found what it wanted).
+/// Stops with complete=false after \p budget cycles. Johnson's algorithm,
+/// O((V+E)(C+1)) over C cycles.
+EnumerationStats enumerate_simple_cycles(
+    const TypedGraph& g, std::size_t budget,
+    const std::function<bool(const TypedCycle&)>& visit);
+
+// ----- per-cycle predicates ------------------------------------------------
+
+/// Step masks that denote a conflict edge (some dependency kind present).
+[[nodiscard]] constexpr bool is_conflict(TypeMask m) {
+  return (m & kMaskConflict) != 0;
+}
+
+/// A step is a *forced* anti-dependency if RW is its only conflict kind.
+[[nodiscard]] constexpr bool forced_rw(TypeMask m) {
+  return (m & kMaskConflict) == kMaskRW;
+}
+
+/// Positions of forced anti-dependency steps.
+[[nodiscard]] std::vector<std::size_t> forced_rw_positions(
+    const TypedCycle& c);
+
+/// True iff the cycle contains three consecutive steps
+/// "conflict, predecessor, conflict" (condition (ii) of critical cycles).
+[[nodiscard]] bool has_conflict_pred_conflict(const TypedCycle& c);
+
+/// SER-critical (Definition 28): simple ∧ conflict-predecessor-conflict.
+[[nodiscard]] bool ser_critical(const TypedCycle& c);
+
+/// SI-critical (§5): SER-critical ∧ some kind assignment in which any two
+/// anti-dependency edges are separated by a read/write dependency edge.
+[[nodiscard]] bool si_critical(const TypedCycle& c);
+
+/// PSI-critical (Definition 30): SER-critical ∧ some assignment with at
+/// most one anti-dependency edge.
+[[nodiscard]] bool psi_critical(const TypedCycle& c);
+
+/// Some assignment has two *adjacent* (cyclically consecutive) RW steps.
+/// Used by the Theorem 19 static robustness analysis: such a cycle is the
+/// signature of an SI-only anomaly.
+[[nodiscard]] bool can_have_adjacent_rw_pair(const TypedCycle& c);
+
+/// Some assignment has no two cyclically-consecutive RW steps.
+[[nodiscard]] bool can_avoid_adjacent_rw(const TypedCycle& c);
+
+/// Some assignment has at least two RW steps, no two of them cyclically
+/// consecutive. Used by the Theorem 22 static robustness analysis (PSI
+/// towards SI).
+[[nodiscard]] bool can_have_two_nonadjacent_rw(const TypedCycle& c);
+
+/// Minimum number of RW steps over all assignments (= number of forced
+/// positions).
+[[nodiscard]] std::size_t min_rw_count(const TypedCycle& c);
+
+}  // namespace sia

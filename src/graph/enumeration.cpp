@@ -1,0 +1,134 @@
+#include "graph/enumeration.hpp"
+
+#include <algorithm>
+
+namespace sia {
+
+std::string to_string(Model m) {
+  switch (m) {
+    case Model::kSER:
+      return "SER";
+    case Model::kSI:
+      return "SI";
+    case Model::kPSI:
+      return "PSI";
+  }
+  return "?";
+}
+
+GraphCheck check_graph(const DependencyGraph& g, Model m) {
+  switch (m) {
+    case Model::kSER:
+      return check_graph_ser(g);
+    case Model::kSI:
+      return check_graph_si(g);
+    case Model::kPSI:
+      return check_graph_psi(g);
+  }
+  throw ModelError("check_graph: unknown model");
+}
+
+namespace {
+
+/// One external read awaiting a WR source.
+struct PendingRead {
+  TxnId reader;
+  ObjId obj;
+  std::vector<TxnId> candidates;  ///< writers of obj with matching value
+};
+
+class GraphEnumerator {
+ public:
+  GraphEnumerator(const History& h,
+                  const std::function<bool(const DependencyGraph&)>& visit)
+      : h_(h), visit_(visit), current_(h) {
+    // Collect reads and their candidate writers.
+    for (TxnId s = 0; s < h.txn_count(); ++s) {
+      for (ObjId x : h.txn(s).external_read_set()) {
+        PendingRead pr{s, x, {}};
+        const Value v = *h.txn(s).external_read(x);
+        for (TxnId t : h.writers_of(x)) {
+          if (t != s && h.txn(t).final_write(x) == v) pr.candidates.push_back(t);
+        }
+        reads_.push_back(std::move(pr));
+      }
+    }
+    for (ObjId x : h.objects()) {
+      std::vector<TxnId> writers = h.writers_of(x);
+      if (writers.empty()) continue;
+      object_ids_.push_back(x);
+      write_objects_.push_back(std::move(writers));
+    }
+  }
+
+  std::size_t run() {
+    assign_read(0);
+    return count_;
+  }
+
+ private:
+  /// Depth-first choice of a WR source for each read, then of a WW
+  /// permutation for each object.
+  void assign_read(std::size_t idx) {
+    if (stop_) return;
+    if (idx == reads_.size()) {
+      assign_ww(0);
+      return;
+    }
+    const PendingRead& pr = reads_[idx];
+    if (pr.candidates.empty()) return;  // no Definition 6 extension exists
+    for (TxnId t : pr.candidates) {
+      current_.set_read_from(pr.obj, t, pr.reader);
+      assign_read(idx + 1);
+      if (stop_) return;
+    }
+  }
+
+  void assign_ww(std::size_t idx) {
+    if (stop_) return;
+    if (idx == object_ids_.size()) {
+      ++count_;
+      if (!visit_(current_)) stop_ = true;
+      return;
+    }
+    std::vector<TxnId> perm = write_objects_[idx];
+    std::sort(perm.begin(), perm.end());
+    do {
+      current_.set_write_order(object_ids_[idx], perm);
+      assign_ww(idx + 1);
+      if (stop_) return;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  }
+
+  const History& h_;
+  const std::function<bool(const DependencyGraph&)>& visit_;
+  DependencyGraph current_;
+  std::vector<PendingRead> reads_;
+  std::vector<ObjId> object_ids_;
+  std::vector<std::vector<TxnId>> write_objects_;
+  std::size_t count_{0};
+  bool stop_{false};
+};
+
+}  // namespace
+
+std::size_t enumerate_dependency_graphs(
+    const History& h,
+    const std::function<bool(const DependencyGraph&)>& visit) {
+  return GraphEnumerator(h, visit).run();
+}
+
+HistDecision decide_history(const History& h, Model m) {
+  HistDecision out;
+  out.graphs_tried = enumerate_dependency_graphs(h, [&](const DependencyGraph& g) {
+    if (check_graph(g, m).member) {
+      out.allowed = true;
+      out.witness = g;
+      return false;  // stop at the first witness
+    }
+    return true;
+  });
+  return out;
+}
+
+}  // namespace sia

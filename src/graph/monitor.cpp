@@ -1,0 +1,211 @@
+#include "graph/monitor.hpp"
+
+#include <algorithm>
+
+namespace sia {
+
+ConsistencyMonitor::ConsistencyMonitor(Model model)
+    : model_(model), closure_(16), d_preds_(1) {}
+
+void ConsistencyMonitor::ensure_capacity(TxnId needed) {
+  if (needed < closure_.size()) return;
+  std::size_t cap = closure_.size();
+  while (cap <= needed) cap *= 2;
+  Relation bigger(cap);
+  for (const auto& [a, b] : closure_.edges()) bigger.add(a, b);
+  closure_ = std::move(bigger);
+}
+
+void ConsistencyMonitor::record_violation(TxnId at,
+                                          const std::string& detail) {
+  if (violation_) return;  // first violation is sticky
+  violation_ = at;
+  violation_detail_ = detail;
+}
+
+void ConsistencyMonitor::add_generator(TxnId a, TxnId b, DepKind kind,
+                                       ObjId obj) {
+  if (a == b) {
+    record_violation(next_id_ - 1,
+                     "reflexive " + to_string(DepEdge{a, b, kind, obj}));
+    return;
+  }
+  if (!violation_ && closure_.contains(b, a)) {
+    record_violation(
+        next_id_ - 1,
+        "cycle closed by " + to_string(DepEdge{a, b, kind, obj}) +
+            " (reverse path already committed)");
+  }
+  closure_.add_edge_transitively(a, b);
+}
+
+void ConsistencyMonitor::add_anti_dependency(TxnId r, TxnId s, ObjId obj) {
+  if (r == s) return;  // Definition 5 requires T != S
+  switch (model_) {
+    case Model::kSER:
+      // RW edges participate directly (Theorem 8).
+      add_generator(r, s, DepKind::kRW, obj);
+      break;
+    case Model::kSI:
+      // Theorem 9's relation is (D ; RW?): an anti-dependency only
+      // matters composed with a D edge into its source. The source's
+      // D-predecessors are final once it has committed.
+      for (const TxnId d : d_preds_[r]) {
+        if (d == s) {
+          record_violation(next_id_ - 1,
+                           "D edge T" + std::to_string(s) + " -> T" +
+                               std::to_string(r) + " composed with " +
+                               to_string(DepEdge{r, s, DepKind::kRW, obj}));
+          continue;
+        }
+        if (!violation_ && closure_.contains(s, d)) {
+          record_violation(
+              next_id_ - 1,
+              "cycle closed by D;RW step T" + std::to_string(d) + " -> T" +
+                  std::to_string(s) + " (via " +
+                  to_string(DepEdge{r, s, DepKind::kRW, obj}) + ")");
+        }
+        closure_.add_edge_transitively(d, s);
+      }
+      break;
+    case Model::kPSI:
+      // Theorem 21: irreflexive(D+ ; RW?). D-paths only ever run from
+      // older to newer commits, so D+(s, r) is already final here.
+      if (!violation_ && closure_.contains(s, r)) {
+        record_violation(next_id_ - 1,
+                         "D+ path T" + std::to_string(s) + " ->+ T" +
+                             std::to_string(r) + " closed by " +
+                             to_string(DepEdge{r, s, DepKind::kRW, obj}));
+      }
+      break;
+  }
+}
+
+TxnId ConsistencyMonitor::commit(const MonitoredCommit& c) {
+  const TxnId id = next_id_++;
+  ensure_capacity(id + 1);
+  d_preds_.resize(id + 1);
+  log_.push_back(c);
+
+  // Pending anti-dependencies, processed after every D edge of this
+  // commit so that d_preds_[id] is complete when they compose.
+  std::vector<std::pair<std::pair<TxnId, TxnId>, ObjId>> pending_rw;
+
+  // --- session order ---------------------------------------------------
+  if (auto it = session_last_.find(c.session); it != session_last_.end()) {
+    add_generator(it->second, id, DepKind::kSO, kInvalidObj);
+    d_preds_[id].push_back(it->second);
+  }
+  session_last_[c.session] = id;
+
+  // --- read dependencies (and anti-dependencies out of this reader) ----
+  for (const ObjId obj : c.txn.external_read_set()) {
+    const auto it = c.read_sources.find(obj);
+    if (it == c.read_sources.end()) {
+      throw ModelError("ConsistencyMonitor: commit " + std::to_string(id) +
+                       " reads obj" + std::to_string(obj) +
+                       " without a read source");
+    }
+    const TxnId src = it->second;
+    ObjectState& state = object_state(obj);
+    const auto pos = state.writer_pos.find(src);
+    if (pos == state.writer_pos.end()) {
+      throw ModelError("ConsistencyMonitor: read source T" +
+                       std::to_string(src) + " never wrote obj" +
+                       std::to_string(obj));
+    }
+    add_generator(src, id, DepKind::kWR, obj);
+    d_preds_[id].push_back(src);
+    // Anti-dependencies against writers that already overtook the source.
+    for (std::size_t p = pos->second + 1; p < state.writers.size(); ++p) {
+      pending_rw.push_back({{id, state.writers[p]}, obj});
+    }
+    state.readers.emplace_back(id, pos->second);
+  }
+
+  // --- write dependencies (and anti-dependencies into this writer) -----
+  for (const ObjId obj : c.txn.write_set()) {
+    ObjectState& state = object_state(obj);
+    const TxnId prev = state.writers.back();
+    if (prev != id) {
+      add_generator(prev, id, DepKind::kWW, obj);
+      d_preds_[id].push_back(prev);
+    }
+    // Every earlier reader of this object read a version this write
+    // overtakes.
+    for (const auto& [reader, src_pos] : state.readers) {
+      (void)src_pos;
+      pending_rw.push_back({{reader, id}, obj});
+    }
+    state.writer_pos.emplace(id, state.writers.size());
+    state.writers.push_back(id);
+  }
+
+  for (const auto& [edge, obj] : pending_rw) {
+    add_anti_dependency(edge.first, edge.second, obj);
+  }
+  return id;
+}
+
+ConsistencyMonitor::ObjectState& ConsistencyMonitor::object_state(ObjId obj) {
+  auto [it, inserted] = objects_.try_emplace(obj);
+  if (inserted) {
+    // The implicit initialising transaction (id 0) wrote version 0.
+    it->second.writers.push_back(0);
+    it->second.writer_pos.emplace(0, 0);
+  }
+  return it->second;
+}
+
+DependencyGraph ConsistencyMonitor::graph() const {
+  History h;
+  {
+    Transaction init;
+    for (const auto& [obj, state] : objects_) {
+      (void)state;
+      init.append(write(obj, 0));
+    }
+    h.append_singleton(std::move(init));
+  }
+  for (const MonitoredCommit& c : log_) {
+    h.append(c.session + 1, c.txn);
+  }
+  DependencyGraph g(std::move(h));
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    const TxnId reader = static_cast<TxnId>(i + 1);
+    for (const auto& [obj, src] : log_[i].read_sources) {
+      if (log_[i].txn.external_read(obj).has_value()) {
+        g.set_read_from(obj, src, reader);
+      }
+    }
+  }
+  for (const auto& [obj, state] : objects_) {
+    g.set_write_order(obj, state.writers);
+  }
+  return g;
+}
+
+ConsistencyMonitor replay(const DependencyGraph& g, Model m) {
+  ConsistencyMonitor monitor(m);
+  const History& h = g.history();
+  // Transaction 0 must be the initialising transaction (the convention of
+  // Recorder::build and HistoryBuilder::init_txn); it is implicit in the
+  // monitor.
+  for (TxnId id = 1; id < h.txn_count(); ++id) {
+    MonitoredCommit c;
+    c.session = h.session_of(id);
+    c.txn = h.txn(id);
+    for (const ObjId obj : h.txn(id).external_read_set()) {
+      const auto src = g.read_source(obj, id);
+      if (!src) {
+        throw ModelError("replay: graph lacks a WR source for T" +
+                         std::to_string(id));
+      }
+      c.read_sources[obj] = *src;
+    }
+    monitor.commit(c);
+  }
+  return monitor;
+}
+
+}  // namespace sia

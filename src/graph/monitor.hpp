@@ -1,0 +1,132 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/dependency_graph.hpp"
+#include "graph/enumeration.hpp"
+
+/// \file monitor.hpp
+/// Online consistency monitoring — the run-time application of the
+/// dependency-graph characterisations that §7 of the paper points at:
+/// ingest committed transactions one at a time (in commit order) and
+/// maintain, incrementally, whether the history so far is still in
+/// GraphSER / GraphSI / GraphPSI.
+///
+/// The key structural fact making this cheap: at the moment a transaction
+/// commits, every dependency edge *into* it is determined, and no future
+/// commit ever adds a dependency edge into an already-committed
+/// transaction — only anti-dependency edges out of it (a later writer
+/// overwriting what it read). Hence:
+///  - a new WR/WW/SO edge (a, S) contributes the generator (a, S) of the
+///    Theorem 9 relation (D ; RW?);
+///  - a new anti-dependency (r, S) contributes generators (d, S) for the
+///    D-predecessors d of r, a set that is already final;
+/// and the transitive closure can be maintained by successor-set
+/// propagation (Relation::add_edge_transitively), O(n²/64) per edge.
+/// A violation is a generator edge (a, b) whose reverse (b, a) is already
+/// in the closure.
+
+namespace sia {
+
+/// One committed transaction as fed to the monitor.
+struct MonitoredCommit {
+  SessionId session{0};
+  Transaction txn;
+  /// For each object the transaction *externally* reads: the monitor id
+  /// of the transaction whose write it observed (0 = the initial state;
+  /// the monitor owns transaction 0, the initialising transaction).
+  std::map<ObjId, TxnId> read_sources;
+};
+
+/// Streaming membership checker for one consistency model.
+///
+/// Writes are assumed to install in commit order (true of the §1 SI
+/// algorithm, S2PL, and this repo's PSI engine, whose per-key versions
+/// are assigned under the commit lock), so WW(x) is the order in which
+/// writers of x are ingested.
+class ConsistencyMonitor {
+ public:
+  explicit ConsistencyMonitor(Model model);
+
+  /// Ingests the next committed transaction; returns its monitor id
+  /// (ids start at 1; id 0 is the implicit initialising transaction).
+  /// \throws ModelError if a read source is unknown or never wrote the
+  ///         object.
+  TxnId commit(const MonitoredCommit& c);
+
+  /// True while the ingested history is still in the model's graph set.
+  [[nodiscard]] bool consistent() const { return !violation_.has_value(); }
+
+  /// The id of the commit whose ingestion broke membership, if any.
+  [[nodiscard]] std::optional<TxnId> violating_commit() const {
+    return violation_;
+  }
+
+  /// Human-readable description of the violation edge.
+  [[nodiscard]] const std::string& violation_detail() const {
+    return violation_detail_;
+  }
+
+  [[nodiscard]] Model model() const { return model_; }
+
+  /// Transactions ingested (excluding the implicit initialiser).
+  [[nodiscard]] std::size_t commit_count() const { return next_id_ - 1; }
+
+  /// Rebuilds the full dependency graph ingested so far (for offline
+  /// inspection; O(history)).
+  [[nodiscard]] DependencyGraph graph() const;
+
+ private:
+  struct ObjectState {
+    std::vector<TxnId> writers;                     ///< WW(x) order
+    std::map<TxnId, std::size_t> writer_pos;        ///< writer -> position
+    /// Readers with the position of the version they read; the source of
+    /// every future anti-dependency on this object.
+    std::vector<std::pair<TxnId, std::size_t>> readers;
+  };
+
+  void ensure_capacity(TxnId needed);
+
+  /// Lazily initialised per-object state (version 0 by the initialiser).
+  ObjectState& object_state(ObjId obj);
+
+  /// Registers a D-kind generator edge (a, b); detects cycles.
+  void add_generator(TxnId a, TxnId b, DepKind kind, ObjId obj);
+
+  /// Registers an anti-dependency r --RW--> s.
+  void add_anti_dependency(TxnId r, TxnId s, ObjId obj);
+
+  void record_violation(TxnId at, const std::string& detail);
+
+  Model model_;
+  TxnId next_id_{1};
+
+  /// Closure of the model's composed relation:
+  ///  SER: (D ∪ RW)+     SI: ((D) ; RW?)+      PSI: D+ (RW handled apart).
+  Relation closure_{1};
+  /// Plain immediate-D-predecessor lists (transitive pairs are recovered
+  /// by the closure), needed to compose new anti-dependencies under SI.
+  std::vector<std::vector<TxnId>> d_preds_{1};
+
+  std::map<ObjId, ObjectState> objects_;
+  std::map<SessionId, TxnId> session_last_;
+  std::optional<TxnId> violation_;
+  std::string violation_detail_;
+
+  // Raw ingested data for graph() reconstruction.
+  std::vector<MonitoredCommit> log_;
+};
+
+/// Replays a recorded engine run through a fresh monitor and returns it.
+/// Transactions are fed in id order with their recorded WR sources;
+/// requires transaction 0 to be the initialising transaction and each
+/// WW(x) order to coincide with id order (true of Recorder-built graphs,
+/// whose versions are assigned under the commit lock). The monitor's
+/// verdict must then agree with the batch check of the same graph — a
+/// property the tests enforce.
+[[nodiscard]] ConsistencyMonitor replay(const DependencyGraph& g, Model m);
+
+}  // namespace sia

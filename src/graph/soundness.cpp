@@ -1,0 +1,79 @@
+#include "graph/soundness.hpp"
+
+namespace sia {
+
+InequalitySolution smallest_solution(const DepRelations& rel,
+                                     const Relation& seed) {
+  const Relation d = rel.dependencies();
+  // step = (D ; RW?) ∪ R  =  D ∪ D;RW ∪ R.
+  Relation step = d | d.compose(rel.rw) | seed;
+  Relation co = step.transitive_closure();
+  // VIS = step* ; D = D ∪ step+ ; D = D ∪ CO ; D.
+  Relation vis = d | co.compose(d);
+  return {std::move(vis), std::move(co)};
+}
+
+InequalitySolution smallest_solution(const DepRelations& rel) {
+  return smallest_solution(rel, Relation(rel.so.size()));
+}
+
+std::optional<std::string> check_inequalities(const DepRelations& rel,
+                                              const Relation& vis,
+                                              const Relation& co) {
+  const Relation d = rel.dependencies();
+  if (!d.subset_of(vis)) return "S1: SO ∪ WR ∪ WW ⊈ VIS";
+  if (!co.compose(vis).subset_of(vis)) return "S2: CO ; VIS ⊈ VIS";
+  if (!vis.subset_of(co)) return "S3: VIS ⊈ CO";
+  if (!co.compose(co).subset_of(co)) return "S4: CO ; CO ⊈ CO";
+  if (!vis.compose(rel.rw).subset_of(co)) return "S5: VIS ; RW ⊈ CO";
+  return std::nullopt;
+}
+
+namespace {
+
+/// Shared front half of the construction: validates the graph, builds the
+/// smallest solution, and checks the GraphSI acyclicity condition.
+InequalitySolution solve_or_throw(const DependencyGraph& g) {
+  if (auto v = g.validate()) {
+    throw ModelError("construct_execution: invalid dependency graph: " +
+                     v->detail);
+  }
+  if (auto v = axioms::check_int(g.history())) {
+    throw ModelError("construct_execution: history violates INT: " +
+                     v->detail);
+  }
+  InequalitySolution sol = smallest_solution(g.relations());
+  if (!sol.co.is_acyclic()) {
+    throw ModelError(
+        "construct_execution: graph is not in GraphSI "
+        "(((SO ∪ WR ∪ WW) ; RW?) has a cycle)");
+  }
+  return sol;
+}
+
+}  // namespace
+
+AbstractExecution construct_pre_execution(const DependencyGraph& g) {
+  InequalitySolution sol = solve_or_throw(g);
+  return {g.history(), std::move(sol.vis), std::move(sol.co)};
+}
+
+AbstractExecution construct_execution(const DependencyGraph& g) {
+  InequalitySolution sol = solve_or_throw(g);
+  const Relation d = g.relations().dependencies();
+
+  // Totalise CO, maintaining at each step the smallest solution with the
+  // accumulated seed R_i (Lemma 15 / proof of Theorem 10(i)). Inserting an
+  // unrelated pair can never create a cycle: CO is transitively closed, so
+  // a cycle through the new edge (a, b) would mean CO(b, a), contradicting
+  // unrelatedness.
+  while (const auto pair = sol.co.unrelated_pair()) {
+    sol.co.add_edge_transitively(pair->first, pair->second);
+  }
+
+  // VIS for the final seed: D ∪ CO ; D.
+  Relation vis = d | sol.co.compose(d);
+  return {g.history(), std::move(vis), std::move(sol.co)};
+}
+
+}  // namespace sia

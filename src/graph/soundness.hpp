@@ -1,0 +1,60 @@
+#pragma once
+
+#include "core/abstract_execution.hpp"
+#include "graph/dependency_graph.hpp"
+
+/// \file soundness.hpp
+/// The constructive content of Theorem 10(i) — the paper's key technical
+/// contribution: from any dependency graph G ∈ GraphSI, build an abstract
+/// execution X ∈ ExecSI with graph(X) = G.
+///
+/// The construction follows §4 exactly:
+///  1. Lemma 15 closed form: for a seed relation R, the smallest solution
+///     of the inequality system (S1)–(S5) of Figure 3 with CO ⊇ R is
+///         CO  = ((D ; RW?) ∪ R)+          where D = SO ∪ WR ∪ WW
+///         VIS = ((D ; RW?) ∪ R)* ; D  =  D ∪ CO ; D
+///  2. Start from R = ∅ (the smallest solution overall); CO₀ is acyclic
+///     exactly when G ∈ GraphSI.
+///  3. While CO is not total, pick an unrelated pair (T, S) and recompute
+///     the smallest solution with the pair forced into CO — equivalently,
+///     CO ← (CO ∪ {(T, S)})+, maintained incrementally.
+///  4. The final pair (VIS, CO) with CO total is the desired execution
+///     (Lemma 13 discharges the SI axioms and graph preservation).
+
+namespace sia {
+
+/// The (VIS, CO) pair produced by the Lemma 15 closed form.
+struct InequalitySolution {
+  Relation vis;
+  Relation co;
+};
+
+/// Lemma 15: smallest solution of the Figure 3 system with CO ⊇ \p seed.
+/// Defined for every dependency graph; the result's CO is acyclic iff the
+/// graph imposes no contradiction given the seed.
+[[nodiscard]] InequalitySolution smallest_solution(const DepRelations& rel,
+                                                   const Relation& seed);
+
+/// Lemma 15 with R = ∅ — the smallest solution overall. Its CO equals
+/// ((SO ∪ WR ∪ WW) ; RW?)+, whose acyclicity is exactly the GraphSI
+/// condition of Theorem 9.
+[[nodiscard]] InequalitySolution smallest_solution(const DepRelations& rel);
+
+/// Verifies that (vis, co) satisfies the inequalities (S1)–(S5) of
+/// Figure 3 with respect to \p rel. Returns the label of the first
+/// violated inequality, or nullopt. Exposed for property tests of
+/// Lemma 15.
+[[nodiscard]] std::optional<std::string> check_inequalities(
+    const DepRelations& rel, const Relation& vis, const Relation& co);
+
+/// Theorem 10(i): builds X ∈ ExecSI with graph(X) = \p g.
+/// \throws ModelError if g ∉ GraphSI (INT fails or CO₀ is cyclic) or if
+///         g is not a valid dependency graph.
+[[nodiscard]] AbstractExecution construct_execution(const DependencyGraph& g);
+
+/// Like construct_execution() but stops at the pre-execution P₀ of the
+/// proof (partial CO, R = ∅). Useful to exercise Lemma 13 on its own.
+[[nodiscard]] AbstractExecution construct_pre_execution(
+    const DependencyGraph& g);
+
+}  // namespace sia

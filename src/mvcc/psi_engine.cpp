@@ -1,0 +1,204 @@
+#include "mvcc/psi_engine.hpp"
+
+#include <cassert>
+#include <chrono>
+
+namespace sia::mvcc {
+
+PSIDatabase::PSIDatabase(std::uint32_t num_keys, ReplicaId num_replicas,
+                         Recorder* recorder)
+    : replicas_(num_replicas),
+      latest_version_(num_keys, 0),
+      num_keys_(num_keys),
+      recorder_(recorder) {
+  if (num_replicas == 0) {
+    throw ModelError("PSIDatabase: need at least one replica");
+  }
+  for (Replica& r : replicas_) {
+    r.chains.resize(num_keys);
+    r.applied_per_home.assign(num_replicas, 0);
+    // Version 0 of every key (the init transaction) is pre-applied
+    // everywhere with apply_seq 0.
+    for (std::uint32_t k = 0; k < num_keys; ++k) {
+      r.chains[k].push_back(Applied{0, 0, 0, kInitHandle});
+    }
+  }
+}
+
+PSIDatabase::~PSIDatabase() { stop_auto_replication(); }
+
+PSISession PSIDatabase::make_session(ReplicaId home) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (home >= replicas_.size()) {
+    throw ModelError("PSIDatabase: no such replica");
+  }
+  return PSISession(this, next_session_++, home);
+}
+
+PSITransaction PSIDatabase::begin(PSISession& session) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return PSITransaction(this, session.id(), session.home(),
+                        replicas_[session.home()].apply_seq);
+}
+
+const PSIDatabase::Applied* PSIDatabase::visible_version(
+    const Replica& r, ObjId key, std::uint64_t snapshot_seq) const {
+  const std::vector<Applied>& chain = r.chains[key];
+  // Same-key versions are causally ordered (the conflict check makes a
+  // later writer see the earlier version), so a replica applies them in
+  // version order: the chain is ascending in both apply_seq and version.
+  const Applied* result = nullptr;
+  for (const Applied& a : chain) {
+    if (a.apply_seq > snapshot_seq) break;
+    result = &a;
+  }
+  return result;
+}
+
+Value PSITransaction::read(ObjId key) {
+  assert(!finished_);
+  if (const auto it = write_buffer_.find(key); it != write_buffer_.end()) {
+    events_.push_back(sia::read(key, it->second));
+    observed_.push_back(kInitHandle);  // own-buffer read; never external
+    return it->second;
+  }
+  const std::lock_guard<std::mutex> lock(db_->mutex_);
+  const auto* v = db_->visible_version(db_->replicas_[home_], key,
+                                       snapshot_seq_);
+  assert(v != nullptr);  // version 0 is always applied
+  events_.push_back(sia::read(key, v->value));
+  observed_.push_back(v->writer);
+  return v->value;
+}
+
+void PSITransaction::write(ObjId key, Value value) {
+  assert(!finished_);
+  write_buffer_[key] = value;
+  events_.push_back(sia::write(key, value));
+  observed_.push_back(kInitHandle);
+}
+
+bool PSITransaction::commit() {
+  assert(!finished_);
+  finished_ = true;
+  if (db_->try_commit(*this)) {
+    db_->commits_.fetch_add(1);
+    return true;
+  }
+  db_->aborts_.fetch_add(1);
+  return false;
+}
+
+void PSITransaction::abort() { finished_ = true; }
+
+bool PSIDatabase::try_commit(PSITransaction& txn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Replica& home = replicas_[txn.home_];
+
+  if (!txn.write_buffer_.empty()) {
+    // NOCONFLICT / first committer wins, globally: the version of each
+    // write key visible in our snapshot must still be the key's globally
+    // latest version.
+    for (const auto& [key, value] : txn.write_buffer_) {
+      (void)value;
+      const Applied* seen = visible_version(home, key, txn.snapshot_seq_);
+      if (seen == nullptr || seen->version != latest_version_[key]) {
+        return false;
+      }
+    }
+  }
+
+  CommitRecord record{txn.session_, txn.events_, txn.observed_, {}};
+  PsiCommit commit;
+  commit.home = txn.home_;
+  commit.deps = home.applied_per_home;  // everything applied at home so far
+  for (const auto& [key, value] : txn.write_buffer_) {
+    const std::uint64_t version = ++latest_version_[key];
+    commit.writes.emplace(key, std::make_pair(value, version));
+    record.write_versions[key] = version;
+  }
+  commit.handle =
+      recorder_ != nullptr ? recorder_->record(std::move(record)) : 0;
+
+  if (txn.write_buffer_.empty()) return true;  // nothing to replicate
+
+  commits_log_.push_back(std::move(commit));
+  const std::size_t idx = commits_log_.size() - 1;
+  apply_at(home, idx);  // synchronous at home (session guarantee)
+  for (ReplicaId r = 0; r < replicas_.size(); ++r) {
+    if (r != txn.home_) replicas_[r].pending.push_back(idx);
+  }
+  return true;
+}
+
+void PSIDatabase::apply_at(Replica& r, std::size_t idx) {
+  const PsiCommit& c = commits_log_[idx];
+  ++r.apply_seq;
+  for (const auto& [key, vv] : c.writes) {
+    r.chains[key].push_back(Applied{r.apply_seq, vv.second, vv.first,
+                                    c.handle});
+  }
+  ++r.applied_per_home[c.home];
+}
+
+std::size_t PSIDatabase::pump(ReplicaId replica, std::size_t max_steps) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Replica& r = replicas_[replica];
+  std::size_t applied = 0;
+  bool progress = true;
+  while (progress && applied < max_steps) {
+    progress = false;
+    for (auto it = r.pending.begin(); it != r.pending.end();) {
+      const PsiCommit& c = commits_log_[*it];
+      bool ready = true;
+      for (ReplicaId h = 0; h < replicas_.size(); ++h) {
+        if (r.applied_per_home[h] < c.deps[h]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        apply_at(r, *it);
+        it = r.pending.erase(it);
+        ++applied;
+        progress = true;
+        if (applied >= max_steps) break;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return applied;
+}
+
+std::size_t PSIDatabase::pump_all() {
+  std::size_t total = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (ReplicaId r = 0; r < replicas_.size(); ++r) {
+      const std::size_t n = pump(r);
+      total += n;
+      if (n > 0) progress = true;
+    }
+  }
+  return total;
+}
+
+void PSIDatabase::start_auto_replication() {
+  if (replicate_running_.exchange(true)) return;
+  replicator_ = std::thread([this] {
+    while (replicate_running_.load()) {
+      if (pump_all() == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  });
+}
+
+void PSIDatabase::stop_auto_replication() {
+  if (!replicate_running_.exchange(false)) return;
+  if (replicator_.joinable()) replicator_.join();
+}
+
+}  // namespace sia::mvcc

@@ -1,0 +1,186 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "mvcc/recorder.hpp"
+
+/// \file psi_engine.hpp
+/// A parallel snapshot isolation (PSI) engine [Sovran et al., Definition
+/// 20 of the paper]: a set of replicas, each holding a full copy of the
+/// key space. A transaction executes against the snapshot its *home*
+/// replica has applied when it begins; commits are checked for write
+/// conflicts globally (NOCONFLICT) and applied at the home replica
+/// immediately, then propagated to the other replicas asynchronously in
+/// causal order (TRANSVIS). There is no global commit prefix (no PREFIX
+/// axiom): two replicas may observe independent transactions in different
+/// orders — the long-fork anomaly of Figure 2(c), which the tests
+/// demonstrate and SI forbids.
+///
+/// Causality is tracked with per-home vector clocks: every transaction
+/// homed at replica h carries, for each home h', the number of h'-homed
+/// transactions applied at h when it committed. A replica applies a
+/// transaction only when its clock is dominated, which keeps every
+/// replica's applied set causally closed — the structure that makes the
+/// recorded dependency graphs land in GraphPSI (Theorem 21), as the
+/// property tests assert.
+///
+/// Replication is *manually pumped* by default (deterministic tests call
+/// pump()); start_auto_replication() runs a background applier instead.
+
+namespace sia::mvcc {
+
+using ReplicaId = std::uint32_t;
+
+class PSIDatabase;
+
+/// A client session, pinned to a home replica (the strong-session
+/// guarantee: the session's own commits apply at its home synchronously).
+class PSISession {
+ public:
+  [[nodiscard]] SessionId id() const { return id_; }
+  [[nodiscard]] ReplicaId home() const { return home_; }
+
+ private:
+  friend class PSIDatabase;
+  PSISession(PSIDatabase* db, SessionId id, ReplicaId home)
+      : db_(db), id_(id), home_(home) {}
+  PSIDatabase* db_;
+  SessionId id_;
+  ReplicaId home_;
+};
+
+/// An in-flight PSI transaction.
+class PSITransaction {
+ public:
+  PSITransaction(const PSITransaction&) = delete;
+  PSITransaction& operator=(const PSITransaction&) = delete;
+  PSITransaction(PSITransaction&&) noexcept = default;
+  PSITransaction& operator=(PSITransaction&&) noexcept = default;
+
+  /// Reads \p key from the home replica's snapshot (or own buffer).
+  [[nodiscard]] Value read(ObjId key);
+
+  /// Buffers a write.
+  void write(ObjId key, Value value);
+
+  /// Global write-conflict check (first committer wins); on success the
+  /// writes apply at the home replica and are queued for the others.
+  [[nodiscard]] bool commit();
+
+  void abort();
+
+ private:
+  friend class PSIDatabase;
+  PSITransaction(PSIDatabase* db, SessionId session, ReplicaId home,
+                 std::uint64_t snapshot_seq)
+      : db_(db), session_(session), home_(home), snapshot_seq_(snapshot_seq) {}
+
+  PSIDatabase* db_;
+  SessionId session_;
+  ReplicaId home_;
+  std::uint64_t snapshot_seq_;  ///< home replica apply-log length at begin
+  bool finished_{false};
+  std::map<ObjId, Value> write_buffer_;
+  std::vector<Event> events_;
+  std::vector<TxnHandle> observed_;
+};
+
+class PSIDatabase {
+ public:
+  PSIDatabase(std::uint32_t num_keys, ReplicaId num_replicas,
+              Recorder* recorder = nullptr);
+  ~PSIDatabase();
+
+  PSIDatabase(const PSIDatabase&) = delete;
+  PSIDatabase& operator=(const PSIDatabase&) = delete;
+
+  [[nodiscard]] PSISession make_session(ReplicaId home);
+  [[nodiscard]] PSITransaction begin(PSISession& session);
+
+  /// Retry-on-abort helper; see SIDatabase::run().
+  template <typename Body>
+  std::size_t run(PSISession& session, Body&& body) {
+    for (std::size_t attempt = 1;; ++attempt) {
+      PSITransaction txn = begin(session);
+      body(txn);
+      if (txn.commit()) return attempt;
+    }
+  }
+
+  /// Applies up to \p max_steps causally-ready remote transactions at
+  /// \p replica. Returns the number applied.
+  std::size_t pump(ReplicaId replica,
+                   std::size_t max_steps = static_cast<std::size_t>(-1));
+
+  /// Pumps every replica until quiescent. Returns transactions applied.
+  std::size_t pump_all();
+
+  /// Starts a background thread that pumps continuously (for stress runs).
+  void start_auto_replication();
+  void stop_auto_replication();
+
+  [[nodiscard]] ReplicaId num_replicas() const {
+    return static_cast<ReplicaId>(replicas_.size());
+  }
+  [[nodiscard]] std::uint64_t commits() const { return commits_.load(); }
+  [[nodiscard]] std::uint64_t aborts() const { return aborts_.load(); }
+
+ private:
+  friend class PSITransaction;
+
+  /// One applied version at a replica.
+  struct Applied {
+    std::uint64_t apply_seq;  ///< position in the replica's apply log
+    std::uint64_t version;    ///< global per-key version number
+    Value value;
+    TxnHandle writer;
+  };
+
+  struct Replica {
+    std::vector<std::vector<Applied>> chains;  ///< per key
+    std::vector<std::uint64_t> applied_per_home;
+    std::uint64_t apply_seq{0};
+    std::deque<std::size_t> pending;  ///< indices into commits_log_
+  };
+
+  /// A committed transaction awaiting replication.
+  struct PsiCommit {
+    TxnHandle handle;
+    ReplicaId home;
+    std::vector<std::uint64_t> deps;  ///< per-home vector clock
+    std::map<ObjId, std::pair<Value, std::uint64_t>> writes;  ///< value, ver
+  };
+
+  /// Latest version of \p key applied at \p r within the first
+  /// \p snapshot_seq applications. Requires mutex_ held.
+  [[nodiscard]] const Applied* visible_version(const Replica& r, ObjId key,
+                                               std::uint64_t snapshot_seq) const;
+
+  /// Applies commit \p idx at replica \p r. Requires mutex_ held and the
+  /// commit causally ready.
+  void apply_at(Replica& r, std::size_t idx);
+
+  bool try_commit(PSITransaction& txn);
+
+  mutable std::mutex mutex_;
+  std::vector<Replica> replicas_;
+  std::vector<PsiCommit> commits_log_;
+  std::vector<std::uint64_t> latest_version_;  ///< per key, global
+  std::uint32_t num_keys_;
+  SessionId next_session_{0};
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> aborts_{0};
+  Recorder* recorder_;
+
+  std::thread replicator_;
+  std::atomic<bool> replicate_running_{false};
+};
+
+}  // namespace sia::mvcc

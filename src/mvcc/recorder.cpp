@@ -1,0 +1,96 @@
+#include "mvcc/recorder.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace sia::mvcc {
+
+TxnHandle Recorder::record(CommitRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(std::move(record));
+  return static_cast<TxnHandle>(records_.size());  // handles start at 1
+}
+
+std::size_t Recorder::commit_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+RecordedRun Recorder::build() const {
+  std::vector<CommitRecord> records;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    records = records_;
+  }
+
+  // Keys touched anywhere: the init transaction writes 0 to each.
+  std::set<ObjId> keys;
+  for (const CommitRecord& r : records) {
+    for (const Event& e : r.events) keys.insert(e.obj);
+  }
+
+  History h;
+  {
+    Transaction init;
+    for (ObjId k : keys) init.append(write(k, 0));
+    h.append_singleton(std::move(init));  // TxnId 0, session 0
+  }
+  for (const CommitRecord& r : records) {
+    // Client session s maps to history session s + 1 (0 is the init's).
+    h.append(r.session + 1, Transaction(r.events));
+  }
+
+  DependencyGraph g(h);
+
+  // WR: first event per object, when it is a read, was observed from the
+  // recorded writer.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const TxnId reader = static_cast<TxnId>(i + 1);
+    std::unordered_set<ObjId> seen;
+    const CommitRecord& r = records[i];
+    for (std::size_t e = 0; e < r.events.size(); ++e) {
+      const Event& ev = r.events[e];
+      if (!seen.insert(ev.obj).second) continue;
+      if (!ev.is_read()) continue;
+      if (e >= r.observed_writer.size()) {
+        throw ModelError("Recorder: commit record lacks observed_writer for "
+                         "read event");
+      }
+      g.set_read_from(ev.obj, RecordedRun::txn_of(r.observed_writer[e]),
+                      reader);
+    }
+  }
+
+  // WW(x): init first, then writers by engine version number.
+  for (ObjId k : keys) {
+    std::vector<std::pair<std::uint64_t, TxnId>> writers;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      auto it = records[i].write_versions.find(k);
+      if (it != records[i].write_versions.end()) {
+        writers.emplace_back(it->second, static_cast<TxnId>(i + 1));
+      }
+    }
+    std::sort(writers.begin(), writers.end());
+    for (std::size_t i = 1; i < writers.size(); ++i) {
+      if (writers[i].first == writers[i - 1].first) {
+        throw ModelError("Recorder: duplicate version number for obj" +
+                         std::to_string(k));
+      }
+    }
+    std::vector<TxnId> order{0};  // the init transaction
+    for (const auto& [version, id] : writers) {
+      (void)version;
+      order.push_back(id);
+    }
+    g.set_write_order(k, std::move(order));
+  }
+
+  if (auto v = g.validate()) {
+    throw ModelError("Recorder: engine-reported graph violates Definition 6: " +
+                     v->detail);
+  }
+  return RecordedRun{std::move(h), std::move(g)};
+}
+
+}  // namespace sia::mvcc

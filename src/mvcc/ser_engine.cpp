@@ -1,0 +1,155 @@
+#include "mvcc/ser_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sia::mvcc {
+
+SERDatabase::SERDatabase(std::uint32_t num_keys, Recorder* recorder)
+    : entries_(num_keys), recorder_(recorder) {}
+
+SERSession SERDatabase::make_session() {
+  const std::lock_guard<std::mutex> lock(session_mutex_);
+  return SERSession(this, next_session_++);
+}
+
+SERTransaction SERDatabase::begin(SERSession& session) {
+  return SERTransaction(this, session.id(), next_token_.fetch_add(1));
+}
+
+bool SERDatabase::acquire_shared(SERTransaction& txn, ObjId key) {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  Entry& e = entries_[key];
+  if (e.exclusive_owner == txn.token_) return true;  // already exclusive
+  if (e.exclusive_owner != 0) return false;
+  if (std::find(e.shared_owners.begin(), e.shared_owners.end(), txn.token_) !=
+      e.shared_owners.end()) {
+    return true;  // already shared
+  }
+  e.shared_owners.push_back(txn.token_);
+  txn.shared_held_.push_back(key);
+  return true;
+}
+
+bool SERDatabase::acquire_exclusive(SERTransaction& txn, ObjId key) {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  Entry& e = entries_[key];
+  if (e.exclusive_owner == txn.token_) return true;
+  if (e.exclusive_owner != 0) return false;
+  const bool self_shared =
+      std::find(e.shared_owners.begin(), e.shared_owners.end(), txn.token_) !=
+      e.shared_owners.end();
+  const std::size_t others = e.shared_owners.size() - (self_shared ? 1 : 0);
+  if (others > 0) return false;  // no-wait: somebody else reads it
+  // Upgrade (or fresh grant).
+  if (self_shared) {
+    e.shared_owners.erase(
+        std::find(e.shared_owners.begin(), e.shared_owners.end(), txn.token_));
+    txn.shared_held_.erase(
+        std::find(txn.shared_held_.begin(), txn.shared_held_.end(), key));
+  }
+  e.exclusive_owner = txn.token_;
+  txn.exclusive_held_.push_back(key);
+  return true;
+}
+
+void SERDatabase::release_all(SERTransaction& txn) {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  for (ObjId key : txn.shared_held_) {
+    Entry& e = entries_[key];
+    e.shared_owners.erase(
+        std::find(e.shared_owners.begin(), e.shared_owners.end(), txn.token_));
+  }
+  for (ObjId key : txn.exclusive_held_) {
+    entries_[key].exclusive_owner = 0;
+  }
+  txn.shared_held_.clear();
+  txn.exclusive_held_.clear();
+}
+
+bool SERDatabase::finish_commit(SERTransaction& txn) {
+  const std::lock_guard<std::mutex> lock(table_mutex_);
+  const std::uint64_t ts = clock_.fetch_add(1) + 1;
+  CommitRecord record{txn.session_, txn.events_, txn.observed_, {}};
+  for (const auto& [key, value] : txn.write_buffer_) {
+    (void)value;
+    record.write_versions[key] = ts;
+  }
+  const TxnHandle handle =
+      recorder_ != nullptr ? recorder_->record(std::move(record)) : 0;
+  for (const auto& [key, value] : txn.write_buffer_) {
+    entries_[key].value = value;
+    entries_[key].writer = handle;
+  }
+  // Release locks while still holding the table mutex (strictness).
+  for (ObjId key : txn.shared_held_) {
+    Entry& e = entries_[key];
+    e.shared_owners.erase(
+        std::find(e.shared_owners.begin(), e.shared_owners.end(), txn.token_));
+  }
+  for (ObjId key : txn.exclusive_held_) {
+    entries_[key].exclusive_owner = 0;
+  }
+  txn.shared_held_.clear();
+  txn.exclusive_held_.clear();
+  return true;
+}
+
+std::optional<Value> SERTransaction::read(ObjId key) {
+  assert(!finished_);
+  if (aborted_) return std::nullopt;
+  if (const auto it = write_buffer_.find(key); it != write_buffer_.end()) {
+    events_.push_back(sia::read(key, it->second));
+    observed_.push_back(kInitHandle);  // own-buffer read; never external
+    return it->second;
+  }
+  if (!db_->acquire_shared(*this, key)) {
+    abort();
+    return std::nullopt;
+  }
+  Value value;
+  TxnHandle writer;
+  {
+    const std::lock_guard<std::mutex> lock(db_->table_mutex_);
+    value = db_->entries_[key].value;
+    writer = db_->entries_[key].writer;
+  }
+  events_.push_back(sia::read(key, value));
+  observed_.push_back(writer);
+  return value;
+}
+
+bool SERTransaction::write(ObjId key, Value value) {
+  assert(!finished_);
+  if (aborted_) return false;
+  if (!db_->acquire_exclusive(*this, key)) {
+    abort();
+    return false;
+  }
+  write_buffer_[key] = value;
+  events_.push_back(sia::write(key, value));
+  observed_.push_back(kInitHandle);
+  return true;
+}
+
+bool SERTransaction::commit() {
+  assert(!finished_);
+  if (aborted_) return false;
+  finished_ = true;
+  db_->finish_commit(*this);
+  db_->commits_.fetch_add(1);
+  return true;
+}
+
+void SERTransaction::abort() {
+  if (finished_ || aborted_) {
+    aborted_ = true;
+    return;
+  }
+  aborted_ = true;
+  finished_ = true;
+  db_->release_all(*this);
+  db_->aborts_.fetch_add(1);
+}
+
+}  // namespace sia::mvcc

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "mvcc/recorder.hpp"
+
+/// \file ser_engine.hpp
+/// A serializable engine: strict two-phase locking with no-wait deadlock
+/// avoidance. Reads take shared locks, writes exclusive locks (with
+/// shared→exclusive upgrade when the transaction is the sole reader); any
+/// lock conflict aborts the requester immediately, so no deadlock can
+/// form. All locks are held until commit/abort — conflict-serializable by
+/// the classical 2PL theorem, hence the recorded dependency graphs must be
+/// acyclic (Theorem 8), which the tests assert.
+
+namespace sia::mvcc {
+
+class SERDatabase;
+
+/// A client session. Obtain from SERDatabase::make_session().
+class SERSession {
+ public:
+  [[nodiscard]] SessionId id() const { return id_; }
+
+ private:
+  friend class SERDatabase;
+  SERSession(SERDatabase* db, SessionId id) : db_(db), id_(id) {}
+  SERDatabase* db_;
+  SessionId id_;
+};
+
+/// An in-flight transaction under S2PL.
+class SERTransaction {
+ public:
+  SERTransaction(const SERTransaction&) = delete;
+  SERTransaction& operator=(const SERTransaction&) = delete;
+  SERTransaction(SERTransaction&&) noexcept = default;
+  SERTransaction& operator=(SERTransaction&&) noexcept = default;
+
+  /// Reads \p key under a shared lock. Returns nullopt if the lock could
+  /// not be granted — the transaction has aborted (no-wait).
+  [[nodiscard]] std::optional<Value> read(ObjId key);
+
+  /// Buffers a write under an exclusive lock; false means abort.
+  [[nodiscard]] bool write(ObjId key, Value value);
+
+  /// Publishes buffered writes and releases all locks. Returns false iff
+  /// the transaction had already aborted.
+  [[nodiscard]] bool commit();
+
+  /// Releases all locks, discarding writes.
+  void abort();
+
+  [[nodiscard]] bool aborted() const { return aborted_; }
+
+ private:
+  friend class SERDatabase;
+  SERTransaction(SERDatabase* db, SessionId session, std::uint64_t token)
+      : db_(db), session_(session), token_(token) {}
+
+  SERDatabase* db_;
+  SessionId session_;
+  /// Stable lock-ownership identity: survives moves of this object, unlike
+  /// the object's address.
+  std::uint64_t token_{0};
+  bool aborted_{false};
+  bool finished_{false};
+  std::map<ObjId, Value> write_buffer_;
+  std::vector<ObjId> shared_held_;
+  std::vector<ObjId> exclusive_held_;
+  std::vector<Event> events_;
+  std::vector<TxnHandle> observed_;
+};
+
+/// Single-version store with a per-key lock table.
+class SERDatabase {
+ public:
+  explicit SERDatabase(std::uint32_t num_keys, Recorder* recorder = nullptr);
+
+  [[nodiscard]] SERSession make_session();
+  [[nodiscard]] SERTransaction begin(SERSession& session);
+
+  /// Runs \p body with retry-on-abort. \p body reads/writes through the
+  /// transaction and must tolerate mid-flight aborts by returning early
+  /// (its reads come back as nullopt / writes return false). Returns the
+  /// number of attempts.
+  template <typename Body>
+  std::size_t run(SERSession& session, Body&& body) {
+    for (std::size_t attempt = 1;; ++attempt) {
+      SERTransaction txn = begin(session);
+      body(txn);
+      if (!txn.aborted() && txn.commit()) return attempt;
+      if (!txn.aborted()) txn.abort();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t commits() const { return commits_.load(); }
+  [[nodiscard]] std::uint64_t aborts() const { return aborts_.load(); }
+
+ private:
+  friend class SERTransaction;
+
+  struct Entry {
+    Value value{0};
+    TxnHandle writer{kInitHandle};
+    // Lock state, guarded by the table mutex.
+    std::uint64_t exclusive_owner{0};  ///< 0 = unlocked
+    std::vector<std::uint64_t> shared_owners;
+  };
+
+  bool acquire_shared(SERTransaction& txn, ObjId key);
+  bool acquire_exclusive(SERTransaction& txn, ObjId key);
+  void release_all(SERTransaction& txn);
+  bool finish_commit(SERTransaction& txn);
+
+  std::vector<Entry> entries_;
+  std::mutex table_mutex_;  ///< guards all lock state and values
+  std::mutex session_mutex_;
+  SessionId next_session_{0};
+  std::atomic<std::uint64_t> next_token_{1};
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> aborts_{0};
+  std::atomic<std::uint64_t> clock_{0};
+  Recorder* recorder_;
+};
+
+}  // namespace sia::mvcc

@@ -1,0 +1,180 @@
+#include "mvcc/si_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sia::mvcc {
+
+SIDatabase::SIDatabase(std::uint32_t num_keys, Recorder* recorder)
+    : chains_(num_keys), recorder_(recorder) {
+  for (Chain& c : chains_) {
+    c.versions.push_back(Version{0, 0, kInitHandle});
+  }
+}
+
+SISession SIDatabase::make_session() {
+  const std::lock_guard<std::mutex> lock(session_mutex_);
+  return SISession(this, next_session_++);
+}
+
+SITransaction SIDatabase::begin(SISession& session) {
+  // The snapshot timestamp: everything committed so far is visible. Taking
+  // the clock under commit_mutex_ guarantees the snapshot is not torn:
+  // every commit with ts <= the snapshot has fully installed its versions
+  // before releasing the mutex. A session's previous transaction committed
+  // at some ts <= clock_, so the strong-session guarantee also holds by
+  // construction.
+  const std::lock_guard<std::mutex> lock(commit_mutex_);
+  const Timestamp start = clock_.load();
+  active_snapshots_.insert(start);
+  return SITransaction(this, session.id(), start);
+}
+
+void SIDatabase::release_snapshot(Timestamp start_ts) {
+  const std::lock_guard<std::mutex> lock(commit_mutex_);
+  const auto it = active_snapshots_.find(start_ts);
+  if (it != active_snapshots_.end()) active_snapshots_.erase(it);
+}
+
+Timestamp SIDatabase::min_active_snapshot() const {
+  const std::lock_guard<std::mutex> lock(commit_mutex_);
+  if (active_snapshots_.empty()) return clock_.load();
+  return *active_snapshots_.begin();
+}
+
+std::size_t SIDatabase::gc(Timestamp watermark) {
+  std::size_t freed = 0;
+  for (Chain& chain : chains_) {
+    const std::lock_guard<std::shared_mutex> lock(chain.mutex);
+    // Keep the newest version with ts <= watermark (the snapshot base for
+    // every active reader) and everything newer.
+    std::size_t keep_from = 0;
+    for (std::size_t i = 0; i < chain.versions.size(); ++i) {
+      if (chain.versions[i].ts <= watermark) keep_from = i;
+    }
+    freed += keep_from;
+    chain.versions.erase(chain.versions.begin(),
+                         chain.versions.begin() +
+                             static_cast<std::ptrdiff_t>(keep_from));
+  }
+  return freed;
+}
+
+std::size_t SIDatabase::version_count() const {
+  std::size_t count = 0;
+  for (const Chain& chain : chains_) {
+    const std::shared_lock<std::shared_mutex> lock(chain.mutex);
+    count += chain.versions.size();
+  }
+  return count;
+}
+
+Version SIDatabase::read_version(ObjId key, Timestamp at) const {
+  const Chain& chain = chains_[key];
+  const std::shared_lock<std::shared_mutex> lock(chain.mutex);
+  // Versions are appended in ascending ts order; find the last with
+  // ts <= at.
+  const auto it = std::upper_bound(
+      chain.versions.begin(), chain.versions.end(), at,
+      [](Timestamp t, const Version& v) { return t < v.ts; });
+  assert(it != chain.versions.begin());  // the initial version has ts 0
+  return *(it - 1);
+}
+
+SITransaction& SITransaction::operator=(SITransaction&& other) noexcept {
+  if (this != &other) {
+    if (db_ != nullptr && !finished_) abort();
+    db_ = other.db_;
+    session_ = other.session_;
+    start_ts_ = other.start_ts_;
+    finished_ = other.finished_;
+    write_buffer_ = std::move(other.write_buffer_);
+    events_ = std::move(other.events_);
+    observed_ = std::move(other.observed_);
+    other.db_ = nullptr;
+    other.finished_ = true;
+  }
+  return *this;
+}
+
+SITransaction::~SITransaction() {
+  if (db_ != nullptr && !finished_) abort();
+}
+
+Value SITransaction::read(ObjId key) {
+  assert(!finished_);
+  if (const auto it = write_buffer_.find(key); it != write_buffer_.end()) {
+    events_.push_back(sia::read(key, it->second));
+    observed_.push_back(kInitHandle);  // own-buffer read; never external
+    return it->second;
+  }
+  const Version v = db_->read_version(key, start_ts_);
+  events_.push_back(sia::read(key, v.value));
+  observed_.push_back(v.writer);
+  return v.value;
+}
+
+void SITransaction::write(ObjId key, Value value) {
+  assert(!finished_);
+  write_buffer_[key] = value;
+  events_.push_back(sia::write(key, value));
+  observed_.push_back(kInitHandle);  // placeholder, unused for writes
+}
+
+bool SITransaction::commit() {
+  assert(!finished_);
+  finished_ = true;
+  db_->release_snapshot(start_ts_);
+  if (write_buffer_.empty()) {
+    // Read-only transactions always commit; record them for the history.
+    if (db_->recorder_ != nullptr) {
+      db_->recorder_->record(
+          CommitRecord{session_, events_, observed_, {}});
+    }
+    db_->commits_.fetch_add(1);
+    return true;
+  }
+  if (db_->try_commit(*this)) {
+    db_->commits_.fetch_add(1);
+    return true;
+  }
+  db_->aborts_.fetch_add(1);
+  return false;
+}
+
+void SITransaction::abort() {
+  if (finished_) return;
+  finished_ = true;
+  db_->release_snapshot(start_ts_);
+}
+
+bool SIDatabase::try_commit(SITransaction& txn) {
+  const std::lock_guard<std::mutex> lock(commit_mutex_);
+  // Write-conflict detection: another transaction committed a version of
+  // one of our write keys after our snapshot — first committer wins.
+  for (const auto& [key, value] : txn.write_buffer_) {
+    (void)value;
+    const Chain& chain = chains_[key];
+    const std::shared_lock<std::shared_mutex> chain_lock(chain.mutex);
+    if (chain.versions.back().ts > txn.start_ts_) return false;
+  }
+  const Timestamp ts = clock_.fetch_add(1) + 1;
+
+  CommitRecord record{txn.session_, txn.events_, txn.observed_, {}};
+  for (const auto& [key, value] : txn.write_buffer_) {
+    record.write_versions[key] = ts;
+  }
+  // Handle assignment and version install happen under commit_mutex_, so
+  // handle order is commit order.
+  const TxnHandle handle =
+      recorder_ != nullptr ? recorder_->record(std::move(record)) : 0;
+
+  for (const auto& [key, value] : txn.write_buffer_) {
+    Chain& chain = chains_[key];
+    const std::lock_guard<std::shared_mutex> chain_lock(chain.mutex);
+    chain.versions.push_back(Version{ts, value, handle});
+  }
+  return true;
+}
+
+}  // namespace sia::mvcc

@@ -1,0 +1,185 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <vector>
+
+#include "mvcc/recorder.hpp"
+
+/// \file si_engine.hpp
+/// An operational multi-version snapshot-isolation engine implementing the
+/// idealised concurrency-control algorithm of §1:
+///  - a transaction reads from the snapshot taken at its start (plus its
+///    own buffered writes);
+///  - it commits only if no committed transaction has written any of its
+///    write keys since its snapshot (first-committer-wins write-conflict
+///    detection), otherwise it aborts;
+///  - committed writes become visible to transactions that take their
+///    snapshot afterwards.
+/// Sessions are first-class: a session's transactions are issued one after
+/// the other, and the global timestamp oracle makes every later snapshot
+/// include the session's earlier commits (strong session SI).
+///
+/// The engine is thread-safe: one thread per session is the intended
+/// concurrency pattern. Every commit is reported to the Recorder with
+/// engine truth (observed writers, per-key versions), so runs can be
+/// checked against the declarative specification (Theorem 9).
+
+namespace sia::mvcc {
+
+/// Timestamps issued by the engine's global clock.
+using Timestamp = std::uint64_t;
+
+/// One committed version of a key.
+struct Version {
+  Timestamp ts{0};
+  Value value{0};
+  TxnHandle writer{kInitHandle};
+};
+
+class SIDatabase;
+
+/// A client session (a sequence of transactions; strong session SI).
+/// Obtain from SIDatabase::make_session(); use from a single thread.
+class SISession {
+ public:
+  [[nodiscard]] SessionId id() const { return id_; }
+
+ private:
+  friend class SIDatabase;
+  friend class SITransaction;
+  SISession(SIDatabase* db, SessionId id) : db_(db), id_(id) {}
+  SIDatabase* db_;
+  SessionId id_;
+};
+
+/// An in-flight transaction. Move-only; must end in commit() or abort().
+class SITransaction {
+ public:
+  SITransaction(const SITransaction&) = delete;
+  SITransaction& operator=(const SITransaction&) = delete;
+  SITransaction(SITransaction&& other) noexcept { *this = std::move(other); }
+  SITransaction& operator=(SITransaction&& other) noexcept;
+  /// A transaction dropped without commit() aborts (RAII).
+  ~SITransaction();
+
+  /// Reads \p key from the snapshot (or the own-write buffer).
+  [[nodiscard]] Value read(ObjId key);
+
+  /// Buffers a write of \p value to \p key.
+  void write(ObjId key, Value value);
+
+  /// First-committer-wins commit. Returns true on success; on conflict the
+  /// transaction aborts and returns false (the client may retry with a new
+  /// transaction, cf. the Shasha et al. client assumptions in §5).
+  [[nodiscard]] bool commit();
+
+  /// Discards the transaction.
+  void abort();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] Timestamp snapshot() const { return start_ts_; }
+
+ private:
+  friend class SIDatabase;
+  SITransaction(SIDatabase* db, SessionId session, Timestamp start_ts)
+      : db_(db), session_(session), start_ts_(start_ts) {}
+
+  // Defaults matter: the move constructor delegates to move assignment,
+  // which inspects db_/finished_ of the (otherwise uninitialised) target.
+  SIDatabase* db_{nullptr};
+  SessionId session_{0};
+  Timestamp start_ts_{0};
+  bool finished_{false};
+  std::map<ObjId, Value> write_buffer_;
+  std::vector<Event> events_;
+  std::vector<TxnHandle> observed_;
+};
+
+/// The database: a fixed key space (keys 0 .. num_keys-1, initial value 0)
+/// with per-key version chains.
+class SIDatabase {
+ public:
+  /// \param recorder optional commit log for offline analysis.
+  explicit SIDatabase(std::uint32_t num_keys, Recorder* recorder = nullptr);
+
+  /// Creates a new session.
+  [[nodiscard]] SISession make_session();
+
+  /// Starts a transaction in \p session, snapshotting now.
+  [[nodiscard]] SITransaction begin(SISession& session);
+
+  /// Runs \p body in a transaction, retrying on write-conflict abort until
+  /// it commits. \p body receives the transaction and may read/write; it
+  /// must not call commit()/abort() itself. Returns the number of attempts.
+  template <typename Body>
+  std::size_t run(SISession& session, Body&& body) {
+    for (std::size_t attempt = 1;; ++attempt) {
+      SITransaction txn = begin(session);
+      body(txn);
+      if (txn.commit()) return attempt;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t num_keys() const {
+    return static_cast<std::uint32_t>(chains_.size());
+  }
+
+  /// Commits so far (aborted transactions are invisible, as in the
+  /// paper's histories).
+  [[nodiscard]] std::uint64_t commits() const { return commits_.load(); }
+  [[nodiscard]] std::uint64_t aborts() const { return aborts_.load(); }
+
+  // ----- version garbage collection ------------------------------------
+
+  /// Oldest snapshot any in-flight transaction may read from (the
+  /// current clock when none is active).
+  [[nodiscard]] Timestamp min_active_snapshot() const;
+
+  /// Prunes versions no active snapshot can reach: for every key, all
+  /// versions strictly older than the newest version with
+  /// ts <= \p watermark are dropped. Returns versions freed. Safe for
+  /// any watermark <= min_active_snapshot().
+  std::size_t gc(Timestamp watermark);
+
+  /// gc(min_active_snapshot()).
+  std::size_t gc() { return gc(min_active_snapshot()); }
+
+  /// Total retained versions across all keys (for tests/metrics).
+  [[nodiscard]] std::size_t version_count() const;
+
+ private:
+  friend class SITransaction;
+
+  struct Chain {
+    mutable std::shared_mutex mutex;
+    std::vector<Version> versions;  ///< ascending ts; [0] is the initial 0
+  };
+
+  /// Latest version of \p key with ts <= \p at.
+  [[nodiscard]] Version read_version(ObjId key, Timestamp at) const;
+
+  /// First-committer-wins validation + install; called by commit().
+  bool try_commit(SITransaction& txn);
+
+  /// Removes one active-snapshot registration (commit/abort/destroy).
+  void release_snapshot(Timestamp start_ts);
+
+  std::vector<Chain> chains_;
+  std::atomic<Timestamp> clock_{0};
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> aborts_{0};
+  mutable std::mutex commit_mutex_;
+  /// Snapshots of in-flight transactions, guarded by commit_mutex_.
+  std::multiset<Timestamp> active_snapshots_;
+  std::mutex session_mutex_;
+  SessionId next_session_{0};
+  Recorder* recorder_;
+};
+
+}  // namespace sia::mvcc

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/program.hpp"
+#include "graph/characterization.hpp"
+
+/// \file concretize.hpp
+/// Witness concretisation: turning a *static* robustness candidate (a
+/// cycle of programs in the static dependency graph) into a *dynamic*
+/// witness — an actual dependency graph over run-time instances of those
+/// programs that the exact characterisation checks (Theorems 9, 19, 21,
+/// 22) confirm as an anomaly.
+///
+/// This is what makes the static analyses precise: object-insensitive
+/// cycle shapes often cannot be realised because the WW orders they force
+/// are contradictory (e.g. a reader/writer pair funnelling through a
+/// single object always induces a one-anti-dependency cycle, excluded
+/// from GraphPSI). Rather than reasoning about realisability symbolically,
+/// we enumerate the small space of dependency graphs over the candidate's
+/// instances and ask the dynamic criteria directly.
+
+namespace sia {
+
+/// Which anomaly set the concrete witness must land in.
+enum class AnomalyTarget : std::uint8_t {
+  kSiNotSer,  ///< GraphSI \ GraphSER — SI-only anomaly (Theorem 19)
+  kPsiNotSi,  ///< GraphPSI \ GraphSI — PSI-only anomaly (Theorem 22)
+};
+
+/// Outcome of a concretisation attempt.
+struct Concretization {
+  /// False iff the assignment space exceeded the budget, in which case
+  /// absence of a witness proves nothing.
+  bool exhaustive{true};
+  /// A dependency graph over one transaction per instance (plus an
+  /// initialising transaction) in the target anomaly set, if found.
+  std::optional<DependencyGraph> witness;
+  std::size_t graphs_tried{0};
+};
+
+/// Searches for a dependency graph over run-time \p instances (one
+/// transaction per entry; list a program twice for two instances) plus an
+/// initialising transaction, such that the graph lies in \p target.
+///
+/// Each instance's transaction reads its program's read set then writes
+/// its write set with distinct values. The search enumerates every WR
+/// source assignment and every WW order (with the initialising
+/// transaction first) up to \p budget assignments.
+[[nodiscard]] Concretization find_concrete_anomaly(
+    const std::vector<Program>& instances, AnomalyTarget target,
+    std::size_t budget = 15'000);
+
+}  // namespace sia

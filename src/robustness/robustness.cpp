@@ -1,0 +1,270 @@
+#include "robustness/robustness.hpp"
+
+#include <algorithm>
+
+#include "graph/cycles.hpp"
+#include "robustness/concretize.hpp"
+
+#include <map>
+#include <set>
+
+namespace sia {
+
+StaticDependencyGraph::StaticDependencyGraph(std::vector<Program> programs)
+    : programs_(std::move(programs)),
+      graph_(programs_.size()),
+      dep_(programs_.size()),
+      rw_(programs_.size()),
+      all_(programs_.size()) {
+  auto intersects = [](const std::vector<ObjId>& a,
+                       const std::vector<ObjId>& b) {
+    return std::any_of(a.begin(), a.end(), [&b](ObjId x) {
+      return std::find(b.begin(), b.end(), x) != b.end();
+    });
+  };
+  std::vector<std::vector<ObjId>> reads;
+  std::vector<std::vector<ObjId>> writes;
+  reads.reserve(programs_.size());
+  writes.reserve(programs_.size());
+  for (const Program& p : programs_) {
+    reads.push_back(p.read_set());
+    writes.push_back(p.write_set());
+  }
+  for (std::uint32_t i = 0; i < programs_.size(); ++i) {
+    for (std::uint32_t j = 0; j < programs_.size(); ++j) {
+      // Self-edges included: two run-time instances of one program.
+      if (intersects(writes[i], reads[j])) {
+        graph_.add_edge(i, j, DepKind::kWR);
+        dep_.add(i, j);
+      }
+      if (intersects(writes[i], writes[j])) {
+        graph_.add_edge(i, j, DepKind::kWW);
+        dep_.add(i, j);
+      }
+      if (intersects(reads[i], writes[j])) {
+        graph_.add_edge(i, j, DepKind::kRW);
+        rw_.add(i, j);
+      }
+    }
+  }
+  all_ = dep_ | rw_;
+}
+
+namespace {
+
+constexpr std::size_t kCycleBudget = 200'000;
+constexpr std::size_t kCandidateLimit = 16;
+
+/// Renders "p0 -> p1 -> ... -> p0".
+std::string render_walk(const StaticDependencyGraph& g,
+                        const std::vector<std::uint32_t>& walk) {
+  std::string out;
+  for (std::uint32_t n : walk) out += g.label(n) + " -> ";
+  if (!walk.empty()) out += g.label(walk[0]);
+  return out;
+}
+
+/// Appends path[first..last] (skipping its initial element) to walk.
+void append_tail(std::vector<std::uint32_t>& walk,
+                 const std::vector<TxnId>& path) {
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    walk.push_back(path[i]);
+  }
+}
+
+}  // namespace
+
+RobustnessVerdict robust_against_si(const StaticDependencyGraph& g) {
+  RobustnessVerdict verdict;
+  const std::size_t n = g.node_count();
+  // A cycle with two adjacent anti-dependencies exists iff some
+  // u -RW-> w -RW-> v admits a closed walk back: v = u or v ->* u.
+  for (TxnId u = 0; u < n; ++u) {
+    for (TxnId w : g.rw().successors(u)) {
+      for (TxnId v : g.rw().successors(w)) {
+        std::optional<std::vector<TxnId>> back;
+        if (v == u) {
+          back = std::vector<TxnId>{v};  // already closed
+        } else if (auto path = g.all().find_path(v, u)) {
+          back = std::move(path);
+        } else {
+          continue;
+        }
+        verdict.witness = {u, w};
+        append_tail(verdict.witness, *back);
+        // The walk returns to u; drop the duplicated closing u if present.
+        if (verdict.witness.size() > 1 && verdict.witness.back() == u)
+          verdict.witness.pop_back();
+        verdict.description =
+            "cycle with adjacent anti-dependencies: " +
+            render_walk(g, verdict.witness) + " (RW, RW, then dependencies)";
+        return verdict;
+      }
+    }
+  }
+  verdict.robust = true;
+  verdict.description = "no cycle with two adjacent anti-dependency edges";
+  return verdict;
+}
+
+RobustnessVerdict robust_against_si(const std::vector<Program>& programs) {
+  return robust_against_si(StaticDependencyGraph(programs));
+}
+
+namespace {
+
+/// Shared candidate-then-concretise pipeline for the Theorem 19/22
+/// analyses. Candidate cycles are vertex-simple cycles of the *doubled*
+/// static dependency graph (two nodes per program: a run-time cycle may
+/// involve two instances of a program); each distinct instance multiset is
+/// concretised against the exact dynamic criteria.
+RobustnessVerdict analyze_with_concretization(
+    const StaticDependencyGraph& g, bool (*predicate)(const TypedCycle&),
+    AnomalyTarget target) {
+  RobustnessVerdict verdict;
+  const std::size_t n = g.node_count();
+  TypedGraph doubled(2 * n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const TypeMask mask = g.graph().types(i, j);
+      if (mask == 0) continue;
+      for (DepKind kind : {DepKind::kWR, DepKind::kWW, DepKind::kRW}) {
+        if ((mask & mask_of(kind)) == 0) continue;
+        for (std::uint32_t a = 0; a < 2; ++a) {
+          for (std::uint32_t b = 0; b < 2; ++b) {
+            const std::uint32_t from = i + a * n;
+            const std::uint32_t to = j + b * n;
+            if (from != to) doubled.add_edge(from, to, kind);
+          }
+        }
+      }
+    }
+  }
+
+  // Collect candidate instance multisets (sorted program-index vectors).
+  std::set<std::vector<std::uint32_t>> candidates;
+  std::map<std::vector<std::uint32_t>, std::vector<std::uint32_t>> walk_of;
+  const EnumerationStats stats = enumerate_simple_cycles(
+      doubled, kCycleBudget, [&](const TypedCycle& c) {
+        if (!predicate(c)) return true;
+        std::vector<std::uint32_t> multiset;
+        for (std::uint32_t v : c.vertices) multiset.push_back(v % n);
+        std::vector<std::uint32_t> walk = multiset;
+        std::sort(multiset.begin(), multiset.end());
+        if (candidates.insert(multiset).second) {
+          walk_of.emplace(std::move(multiset), std::move(walk));
+        }
+        return candidates.size() < kCandidateLimit;
+      });
+
+  bool all_refuted = stats.complete && candidates.size() < kCandidateLimit;
+  for (const auto& multiset : candidates) {
+    std::vector<Program> instances;
+    for (std::uint32_t p : multiset) instances.push_back(g.programs()[p]);
+    const Concretization c = find_concrete_anomaly(instances, target);
+    if (c.witness) {
+      verdict.robust = false;
+      verdict.verified = true;
+      verdict.concrete = c.witness;
+      verdict.witness = walk_of[multiset];
+      verdict.description =
+          "anomaly confirmed by a concrete dependency graph over instances "
+          "of: " +
+          render_walk(g, verdict.witness);
+      return verdict;
+    }
+    if (!c.exhaustive) all_refuted = false;
+  }
+  if (candidates.empty()) {
+    verdict.robust = true;
+    verdict.description = "no candidate cycle shape exists";
+    return verdict;
+  }
+  if (all_refuted) {
+    verdict.robust = true;
+    verdict.description =
+        "all " + std::to_string(candidates.size()) +
+        " candidate cycle shapes refuted by exhaustive concretisation "
+        "(two instances per program)";
+    return verdict;
+  }
+  // Conservative: some candidate could not be settled within budget.
+  verdict.robust = false;
+  verdict.verified = false;
+  verdict.witness = walk_of.begin()->second;
+  verdict.description =
+      "candidate cycle could not be settled within the concretisation "
+      "budget: " +
+      render_walk(g, verdict.witness);
+  return verdict;
+}
+
+}  // namespace
+
+RobustnessVerdict robust_against_psi(const StaticDependencyGraph& g) {
+  return analyze_with_concretization(g, can_have_two_nonadjacent_rw,
+                                     AnomalyTarget::kPsiNotSi);
+}
+
+RobustnessVerdict robust_against_psi(const std::vector<Program>& programs) {
+  return robust_against_psi(StaticDependencyGraph(programs));
+}
+
+RobustnessVerdict robust_against_si_verified(const StaticDependencyGraph& g) {
+  return analyze_with_concretization(g, can_have_adjacent_rw_pair,
+                                     AnomalyTarget::kSiNotSer);
+}
+
+RobustnessVerdict robust_against_si_verified(
+    const std::vector<Program>& programs) {
+  return robust_against_si_verified(StaticDependencyGraph(programs));
+}
+
+RobustnessVerdict robust_against_si_refined(const StaticDependencyGraph& g) {
+  RobustnessVerdict verdict;
+  const std::size_t n = g.node_count();
+  // Vulnerable anti-dependencies: the two programs' write sets are
+  // disjoint, i.e. no WW edge accompanies the RW edge. (Soundness of the
+  // refinement assumes write-set overlap implies a genuine run-time write
+  // conflict — objects modelling rows/cells, not whole tables with
+  // guaranteed-disjoint rows.)
+  Relation vulnerable(n);
+  for (TxnId i = 0; i < n; ++i) {
+    for (TxnId j : g.rw().successors(i)) {
+      if ((g.graph().types(i, j) & kMaskWW) == 0) vulnerable.add(i, j);
+    }
+  }
+  for (TxnId u = 0; u < n; ++u) {
+    for (TxnId w : vulnerable.successors(u)) {
+      for (TxnId v : vulnerable.successors(w)) {
+        std::optional<std::vector<TxnId>> back;
+        if (v == u) {
+          back = std::vector<TxnId>{v};
+        } else if (auto path = g.all().find_path(v, u)) {
+          back = std::move(path);
+        } else {
+          continue;
+        }
+        verdict.witness = {u, w};
+        append_tail(verdict.witness, *back);
+        if (verdict.witness.size() > 1 && verdict.witness.back() == u)
+          verdict.witness.pop_back();
+        verdict.description =
+            "cycle with adjacent *vulnerable* anti-dependencies: " +
+            render_walk(g, verdict.witness);
+        return verdict;
+      }
+    }
+  }
+  verdict.robust = true;
+  verdict.description =
+      "no cycle with two adjacent vulnerable anti-dependency edges";
+  return verdict;
+}
+
+RobustnessVerdict robust_against_si_refined(
+    const std::vector<Program>& programs) {
+  return robust_against_si_refined(StaticDependencyGraph(programs));
+}
+
+}  // namespace sia

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "robustness/static_dependency_graph.hpp"
+
+/// \file robustness.hpp
+/// Static robustness analyses of §6:
+///  - robustness against SI towards serializability (Theorem 19): if the
+///    static dependency graph has no cycle with two *adjacent*
+///    anti-dependency edges, the application's histories under SI are all
+///    serializable;
+///  - robustness against parallel SI towards SI (Theorem 22): if the graph
+///    has no cycle with at least two anti-dependency edges none of which
+///    are adjacent, the application behaves the same under PSI as under
+///    SI.
+///
+/// Cycles here are closed walks: a run-time dependency cycle visits
+/// distinct transactions, but several of them may be instances of the same
+/// program, so its projection onto programs may repeat nodes. Working with
+/// closed walks keeps the analysis sound; detection is by relation
+/// algebra, so it is also complete for walks and needs no enumeration
+/// budget.
+
+namespace sia {
+
+/// Verdict of a static robustness analysis.
+struct RobustnessVerdict {
+  /// True iff no offending cycle exists: every application history under
+  /// the weaker model is allowed by the stronger one.
+  bool robust{false};
+  /// On non-robustness: program indices along the offending closed walk,
+  /// in order (the walk returns to the first entry).
+  std::vector<std::uint32_t> witness;
+  /// Human-readable rendering of the witness with program names.
+  std::string description;
+  /// True iff the witness was *concretised*: an actual dependency graph
+  /// over run-time instances of the programs that the exact dynamic
+  /// criteria (Theorems 19/22 via Theorems 8/9/21) confirm as an anomaly.
+  bool verified{false};
+  /// The concrete dynamic witness, when verified.
+  std::optional<DependencyGraph> concrete;
+};
+
+/// Theorem 19 analysis: robust against SI (towards serializability).
+[[nodiscard]] RobustnessVerdict robust_against_si(
+    const std::vector<Program>& programs);
+[[nodiscard]] RobustnessVerdict robust_against_si(
+    const StaticDependencyGraph& g);
+
+/// Theorem 22 analysis: robust against parallel SI (towards SI).
+/// Candidate cycles (with >= 2 pairwise non-adjacent anti-dependencies)
+/// are searched over a graph with *two copies* of every program (a
+/// run-time cycle may involve two instances of one program, e.g. two
+/// readers observing a long fork from opposite sides); each candidate is
+/// then *concretised* — the analysis accepts it only if an actual
+/// dependency graph over those instances lands in GraphPSI \ GraphSI.
+/// Refuting every candidate is exact for anomalies involving at most two
+/// instances per program (the standard convention of the robustness
+/// literature); concretisation budget exhaustion is reported as
+/// (conservatively) not robust with verified == false.
+[[nodiscard]] RobustnessVerdict robust_against_psi(
+    const std::vector<Program>& programs);
+[[nodiscard]] RobustnessVerdict robust_against_psi(
+    const StaticDependencyGraph& g);
+
+/// Theorem 19 analysis with concretised witnesses: like
+/// robust_against_si() but every candidate cycle (two adjacent
+/// anti-dependencies, over two copies of each program) must be confirmed
+/// by an actual dependency graph in GraphSI \ GraphSER. Strictly more
+/// precise than both robust_against_si() and
+/// robust_against_si_refined(): e.g. a lone read-modify-write counter is
+/// certified robust because every candidate concretisation collapses into
+/// a lost-update shape excluded from GraphSI.
+[[nodiscard]] RobustnessVerdict robust_against_si_verified(
+    const std::vector<Program>& programs);
+[[nodiscard]] RobustnessVerdict robust_against_si_verified(
+    const StaticDependencyGraph& g);
+
+/// Vulnerability-refined Theorem 19 analysis, following Fekete et al. [18]
+/// (whose completeness result the paper strengthens): an anti-dependency
+/// edge between two programs that may also *write-conflict* (overlapping
+/// write sets) is never part of an SI anomaly — under SI, NOCONFLICT
+/// orders the two transactions by visibility, and the resulting cycle has
+/// a lone non-adjacent anti-dependency, excluded from GraphSI by
+/// Theorem 9. Only cycles whose adjacent anti-dependency pair consists of
+/// *vulnerable* edges (disjoint write sets) are reported. This certifies
+/// the classical result that TPC-C is robust against SI, which the plain
+/// object-set analysis is too coarse to see.
+[[nodiscard]] RobustnessVerdict robust_against_si_refined(
+    const std::vector<Program>& programs);
+[[nodiscard]] RobustnessVerdict robust_against_si_refined(
+    const StaticDependencyGraph& g);
+
+}  // namespace sia

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+#include "core/relation.hpp"
+#include "graph/cycles.hpp"
+
+/// \file static_dependency_graph.hpp
+/// The static dependency graph of §6: nodes are the application's
+/// transaction programs; edges over-approximate the dependencies any two
+/// run-time instances of the programs may exhibit. Unlike the static
+/// *chopping* graph, a program may conflict with itself (two run-time
+/// instances of the same program), so self-edges are meaningful and every
+/// ordered pair — including (i, i) — is considered.
+
+namespace sia {
+
+class StaticDependencyGraph {
+ public:
+  explicit StaticDependencyGraph(std::vector<Program> programs);
+
+  [[nodiscard]] const std::vector<Program>& programs() const {
+    return programs_;
+  }
+  [[nodiscard]] std::size_t node_count() const { return graph_.size(); }
+  [[nodiscard]] const TypedGraph& graph() const { return graph_; }
+
+  /// Edges usable as a read/write dependency (WR or WW capability).
+  [[nodiscard]] const Relation& dep() const { return dep_; }
+  /// Edges usable as an anti-dependency (RW capability).
+  [[nodiscard]] const Relation& rw() const { return rw_; }
+  /// All edges regardless of kind.
+  [[nodiscard]] const Relation& all() const { return all_; }
+
+  [[nodiscard]] const std::string& label(std::uint32_t node) const {
+    return programs_[node].name;
+  }
+
+ private:
+  std::vector<Program> programs_;
+  TypedGraph graph_;
+  Relation dep_;
+  Relation rw_;
+  Relation all_;
+};
+
+}  // namespace sia

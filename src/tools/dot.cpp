@@ -1,0 +1,158 @@
+#include "tools/dot.hpp"
+
+#include <map>
+
+namespace sia::dot {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string obj_name(ObjId x, const ObjectTable* objs) {
+  if (objs != nullptr && x < objs->size()) return objs->name(x);
+  return "obj" + std::to_string(x);
+}
+
+std::string edge_style(DepKind kind) {
+  switch (kind) {
+    case DepKind::kSO:
+      return "color=gray50";
+    case DepKind::kSOInv:
+      return "color=gray70, style=dotted";
+    case DepKind::kWR:
+      return "color=black";
+    case DepKind::kWW:
+      return "color=blue";
+    case DepKind::kRW:
+      return "color=red, style=dashed";
+  }
+  return "";
+}
+
+std::string render_dependency_graph(const DependencyGraph& g,
+                                    const ObjectTable* objs) {
+  const History& h = g.history();
+  std::string out = "digraph dependency_graph {\n  rankdir=LR;\n";
+  // Session clusters.
+  for (SessionId s = 0; s < h.session_count(); ++s) {
+    out += "  subgraph cluster_s" + std::to_string(s) + " {\n";
+    out += "    label=\"session " + std::to_string(s) + "\";\n";
+    out += "    color=gray80;\n";
+    for (const TxnId id : h.session(s)) {
+      out += "    T" + std::to_string(id) + " [label=\"T" +
+             std::to_string(id) + "\\n" +
+             escape(objs ? to_string(h.txn(id), *objs)
+                         : to_string(h.txn(id))) +
+             "\", shape=box];\n";
+    }
+    out += "  }\n";
+  }
+  for (const DepEdge& e : g.edges()) {
+    std::string label = to_string(e.kind);
+    if (e.obj != kInvalidObj) label += "(" + obj_name(e.obj, objs) + ")";
+    out += "  T" + std::to_string(e.from) + " -> T" + std::to_string(e.to) +
+           " [label=\"" + escape(label) + "\", " + edge_style(e.kind) +
+           "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+std::string dependency_graph(const DependencyGraph& g) {
+  return render_dependency_graph(g, nullptr);
+}
+
+std::string dependency_graph(const DependencyGraph& g,
+                             const ObjectTable& objs) {
+  return render_dependency_graph(g, &objs);
+}
+
+std::string execution(const AbstractExecution& x) {
+  std::string out = "digraph execution {\n  rankdir=LR;\n";
+  for (TxnId id = 0; id < x.txn_count(); ++id) {
+    out += "  T" + std::to_string(id) + " [label=\"T" + std::to_string(id) +
+           "\\n" + escape(to_string(x.history.txn(id))) + "\", shape=box];\n";
+  }
+  for (const auto& [a, b] : x.co.edges()) {
+    if (x.vis.contains(a, b)) {
+      out += "  T" + std::to_string(a) + " -> T" + std::to_string(b) +
+             " [label=\"VIS\"];\n";
+    } else {
+      out += "  T" + std::to_string(a) + " -> T" + std::to_string(b) +
+             " [label=\"CO\", color=gray60, style=dotted];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+std::string render_typed_edges(
+    const TypedGraph& g,
+    const std::function<std::string(std::uint32_t)>& node_name) {
+  std::string out;
+  for (std::uint32_t from = 0; from < g.size(); ++from) {
+    for (const auto& [to, mask] : g.successors(from)) {
+      for (const DepKind kind :
+           {DepKind::kSO, DepKind::kSOInv, DepKind::kWR, DepKind::kWW,
+            DepKind::kRW}) {
+        if ((mask & mask_of(kind)) == 0) continue;
+        const std::string label =
+            kind == DepKind::kSO
+                ? "S"
+                : kind == DepKind::kSOInv ? "P" : to_string(kind);
+        out += "  " + node_name(from) + " -> " + node_name(to) +
+               " [label=\"" + label + "\", " + edge_style(kind) + "];\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string chopping_graph(const StaticChoppingGraph& scg) {
+  std::string out = "digraph chopping_graph {\n  rankdir=LR;\n";
+  const std::vector<Program>& programs = scg.programs();
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    out += "  subgraph cluster_p" + std::to_string(i) + " {\n";
+    out += "    label=\"" + escape(programs[i].name) + "\";\n";
+    out += "    color=gray80;\n";
+    for (std::size_t j = 0; j < programs[i].pieces.size(); ++j) {
+      const std::uint32_t node = scg.node_of(i, j);
+      out += "    n" + std::to_string(node) + " [label=\"" +
+             escape(scg.label(node)) + "\", shape=box];\n";
+    }
+    out += "  }\n";
+  }
+  out += render_typed_edges(scg.graph(), [](std::uint32_t n) {
+    return "n" + std::to_string(n);
+  });
+  out += "}\n";
+  return out;
+}
+
+std::string static_dependency_graph(const StaticDependencyGraph& g) {
+  std::string out = "digraph static_dependency_graph {\n";
+  for (std::uint32_t i = 0; i < g.node_count(); ++i) {
+    out += "  p" + std::to_string(i) + " [label=\"" + escape(g.label(i)) +
+           "\", shape=box];\n";
+  }
+  out += render_typed_edges(g.graph(), [](std::uint32_t n) {
+    return "p" + std::to_string(n);
+  });
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sia::dot

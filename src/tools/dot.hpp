@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "chopping/static_chopping_graph.hpp"
+#include "core/abstract_execution.hpp"
+#include "graph/dependency_graph.hpp"
+#include "robustness/static_dependency_graph.hpp"
+
+/// \file dot.hpp
+/// Graphviz (DOT) rendering of every graph the library manipulates —
+/// dependency graphs with typed, object-annotated edges (the paper's
+/// bold-arrow figures), abstract executions (VIS/CO), static chopping
+/// graphs and static dependency graphs. Pipe into `dot -Tsvg` to get
+/// pictures in the style of Figures 2, 4, 5, 6, 11 and 12.
+
+namespace sia::dot {
+
+/// Dependency graph: one node per transaction (session clusters), edges
+/// labelled SO / WR(x) / WW(x) / RW(x); anti-dependencies are drawn
+/// dashed, matching the paper's figures.
+[[nodiscard]] std::string dependency_graph(const DependencyGraph& g);
+[[nodiscard]] std::string dependency_graph(const DependencyGraph& g,
+                                           const ObjectTable& objs);
+
+/// Abstract execution: VIS edges solid, CO-only edges dotted grey.
+[[nodiscard]] std::string execution(const AbstractExecution& x);
+
+/// Static chopping graph: program clusters, successor/predecessor edges
+/// grey, conflict edges labelled with their kinds.
+[[nodiscard]] std::string chopping_graph(const StaticChoppingGraph& scg);
+
+/// Static dependency graph of the robustness analyses.
+[[nodiscard]] std::string static_dependency_graph(
+    const StaticDependencyGraph& g);
+
+}  // namespace sia::dot

@@ -1,0 +1,144 @@
+#include "tools/history_parser.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace sia {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw ModelError("parse_history: line " + std::to_string(line) + ": " +
+                   what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+Value parse_value(const std::string& token, std::size_t lineno) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(token, &pos);
+    if (pos != token.size()) fail(lineno, "bad value '" + token + "'");
+    return static_cast<Value>(v);
+  } catch (const std::exception&) {
+    fail(lineno, "bad value '" + token + "'");
+  }
+}
+
+}  // namespace
+
+ParsedHistory parse_history(std::string_view text) {
+  ParsedHistory out;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t lineno = 0;
+  bool in_session = false;
+  bool saw_init = false;
+  bool saw_session = false;
+  SessionId current_session = 0;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "init") {
+      if (saw_init) fail(lineno, "duplicate 'init'");
+      if (saw_session) fail(lineno, "'init' must precede sessions");
+      if (tokens.size() < 2) fail(lineno, "'init' needs object names");
+      Transaction t;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        t.append(write(out.objects.intern(tokens[i]), 0));
+      }
+      out.history.append_singleton(std::move(t));
+      saw_init = true;
+      continue;
+    }
+    if (tokens[0] == "session") {
+      if (in_session) fail(lineno, "nested 'session' (missing '}')");
+      if (tokens.size() != 3 || tokens[2] != "{") {
+        fail(lineno, "expected 'session <name> {'");
+      }
+      current_session = static_cast<SessionId>(out.history.session_count());
+      in_session = true;
+      saw_session = true;
+      continue;
+    }
+    if (tokens[0] == "}") {
+      if (!in_session) fail(lineno, "unmatched '}'");
+      in_session = false;
+      continue;
+    }
+    if (tokens[0] == "txn") {
+      if (!in_session) fail(lineno, "'txn' outside a session");
+      if (tokens.size() < 2 || tokens[1] != "{" || tokens.back() != "}") {
+        fail(lineno, "expected 'txn { ... }' on one line");
+      }
+      Transaction t;
+      const std::size_t ops_end = tokens.size() - 1;  // position of '}'
+      std::size_t i = 2;
+      while (i < ops_end) {
+        const std::string& kind = tokens[i];
+        if (kind != "r" && kind != "w") {
+          fail(lineno, "expected 'r' or 'w', got '" + kind + "'");
+        }
+        if (i + 2 >= ops_end) {
+          fail(lineno, "operation needs '<obj> <value>'");
+        }
+        const ObjId obj = out.objects.intern(tokens[i + 1]);
+        const Value value = parse_value(tokens[i + 2], lineno);
+        t.append(kind == "r" ? read(obj, value) : write(obj, value));
+        i += 3;
+      }
+      if (t.empty()) fail(lineno, "empty transaction");
+      out.history.append(current_session, std::move(t));
+      continue;
+    }
+    fail(lineno, "expected 'init', 'session', 'txn' or '}', got '" +
+                     tokens[0] + "'");
+  }
+  if (in_session) fail(lineno, "missing final '}'");
+  return out;
+}
+
+std::string format_history(const History& h, const ObjectTable& objects) {
+  std::string out;
+  TxnId first_client = 0;
+  if (h.txn_count() > 0 && h.session(h.session_of(0)).size() == 1 &&
+      h.txn(0).read_set().empty() && !h.txn(0).write_set().empty()) {
+    out += "init";
+    for (const ObjId x : h.txn(0).write_set()) out += " " + objects.name(x);
+    out += "\n";
+    first_client = 1;
+  }
+  for (SessionId s = 0; s < h.session_count(); ++s) {
+    bool printed_header = false;
+    for (const TxnId id : h.session(s)) {
+      if (id < first_client) continue;
+      if (!printed_header) {
+        out += "session s" + std::to_string(s) + " {\n";
+        printed_header = true;
+      }
+      out += "  txn {";
+      for (const Event& e : h.txn(id).events()) {
+        out += std::string(e.is_read() ? " r " : " w ") +
+               objects.name(e.obj) + " " + std::to_string(e.value);
+      }
+      out += " }\n";
+    }
+    if (printed_header) out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace sia

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/history.hpp"
+
+/// \file history_parser.hpp
+/// A line-oriented text format for recorded histories, so that traces
+/// from external systems can be checked against the consistency models
+/// without writing C++:
+///
+///     # write skew
+///     init acct1 acct2          # initial version (value 0) of each object
+///     session client1 {
+///       txn { r acct1 0  r acct2 0  w acct1 -100 }
+///     }
+///     session client2 {
+///       txn { r acct1 0  r acct2 0  w acct2 -100 }
+///     }
+///
+/// Grammar (one construct per line, '#' starts a comment):
+///   init <obj>...
+///   session <name> {
+///   txn { (r|w) <obj> <value> ... }
+///   }
+/// `r x 5` is a read of x returning 5; `w x 5` writes 5. The optional
+/// `init` line adds the paper's initialising transaction (§2) in its own
+/// session; at most one is allowed and it must come first.
+
+namespace sia {
+
+/// Parse result: the history plus the interned object names.
+struct ParsedHistory {
+  History history;
+  ObjectTable objects;
+};
+
+/// Parses the format above. \throws ModelError with a line number on
+/// syntax errors.
+[[nodiscard]] ParsedHistory parse_history(std::string_view text);
+
+/// Renders a history back into the text format. The first transaction is
+/// emitted as `init` when it is a write-only singleton-session
+/// transaction (the usual initialiser shape).
+[[nodiscard]] std::string format_history(const History& h,
+                                         const ObjectTable& objects);
+
+}  // namespace sia

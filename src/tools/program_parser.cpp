@@ -1,0 +1,140 @@
+#include "tools/program_parser.hpp"
+
+#include <sstream>
+
+namespace sia {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw ModelError("parse_programs: line " + std::to_string(line) + ": " +
+                   what);
+}
+
+/// Splits a line into tokens; quoted strings form single tokens (with the
+/// quotes kept, so the caller can recognise labels).
+std::vector<std::string> tokenize(const std::string& line, std::size_t lineno) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    if (line[i] == '#') break;  // comment to end of line
+    if (line[i] == '"') {
+      const std::size_t end = line.find('"', i + 1);
+      if (end == std::string::npos) fail(lineno, "unterminated string");
+      tokens.push_back(line.substr(i, end - i + 1));
+      i = end + 1;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[end])) &&
+           line[end] != '#') {
+      ++end;
+    }
+    tokens.push_back(line.substr(i, end - i));
+    i = end;
+  }
+  return tokens;
+}
+
+bool is_quoted(const std::string& token) {
+  return token.size() >= 2 && token.front() == '"' && token.back() == '"';
+}
+
+}  // namespace
+
+ParsedSuite parse_programs(std::string_view text) {
+  ParsedSuite suite;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  std::size_t lineno = 0;
+  bool in_program = false;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::vector<std::string> tokens = tokenize(line, lineno);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "program") {
+      if (in_program) fail(lineno, "nested 'program' (missing '}')");
+      if (tokens.size() < 2 || tokens[1] == "{" || is_quoted(tokens[1])) {
+        fail(lineno, "expected a program name after 'program'");
+      }
+      if (tokens.size() < 3 || tokens[2] != "{" || tokens.size() > 3) {
+        fail(lineno, "expected 'program <name> {'");
+      }
+      suite.programs.push_back(Program{tokens[1], {}});
+      in_program = true;
+      continue;
+    }
+    if (tokens[0] == "}") {
+      if (!in_program) fail(lineno, "unmatched '}'");
+      if (tokens.size() > 1) fail(lineno, "unexpected tokens after '}'");
+      if (suite.programs.back().pieces.empty()) {
+        fail(lineno, "program '" + suite.programs.back().name +
+                         "' has no pieces");
+      }
+      in_program = false;
+      continue;
+    }
+    if (tokens[0] == "piece") {
+      if (!in_program) fail(lineno, "'piece' outside a program");
+      Piece piece;
+      std::size_t i = 1;
+      if (i < tokens.size() && is_quoted(tokens[i])) {
+        piece.label = tokens[i].substr(1, tokens[i].size() - 2);
+        ++i;
+      }
+      std::vector<ObjId>* current = nullptr;
+      for (; i < tokens.size(); ++i) {
+        if (tokens[i] == "reads") {
+          current = &piece.reads;
+        } else if (tokens[i] == "writes") {
+          current = &piece.writes;
+        } else if (current == nullptr) {
+          fail(lineno, "expected 'reads' or 'writes', got '" + tokens[i] +
+                           "'");
+        } else if (is_quoted(tokens[i])) {
+          fail(lineno, "object names must not be quoted");
+        } else {
+          current->push_back(suite.objects.intern(tokens[i]));
+        }
+      }
+      suite.programs.back().pieces.push_back(std::move(piece));
+      continue;
+    }
+    fail(lineno, "expected 'program', 'piece' or '}', got '" + tokens[0] +
+                     "'");
+  }
+  if (in_program) fail(lineno, "missing final '}'");
+  return suite;
+}
+
+std::string format_programs(const std::vector<Program>& programs,
+                            const ObjectTable& objects) {
+  std::string out;
+  for (const Program& p : programs) {
+    out += "program " + p.name + " {\n";
+    for (const Piece& piece : p.pieces) {
+      out += "  piece";
+      if (!piece.label.empty()) out += " \"" + piece.label + "\"";
+      if (!piece.reads.empty()) {
+        out += " reads";
+        for (const ObjId x : piece.reads) out += " " + objects.name(x);
+      }
+      if (!piece.writes.empty()) {
+        out += " writes";
+        for (const ObjId x : piece.writes) out += " " + objects.name(x);
+      }
+      out += "\n";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace sia

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/program.hpp"
+#include "core/types.hpp"
+
+/// \file program_parser.hpp
+/// A small line-oriented text format for describing an application's
+/// transaction programs — the input of the static analyses — so that the
+/// analyser can be used without writing C++:
+///
+///     # transfer between two accounts, chopped into two pieces
+///     program transfer {
+///       piece "debit"  reads acct1 writes acct1
+///       piece "credit" reads acct2 writes acct2
+///     }
+///     program lookupAll {
+///       piece reads acct1 acct2
+///     }
+///
+/// Grammar (one construct per line, '#' starts a comment):
+///   program <name> {
+///   piece ["<label>"] [reads <obj>...] [writes <obj>...]
+///   }
+/// Object names are interned; a piece may omit either list.
+
+namespace sia {
+
+/// Parse result: the programs plus the object-name table.
+struct ParsedSuite {
+  std::vector<Program> programs;
+  ObjectTable objects;
+};
+
+/// Parses the format above. \throws ModelError with a line number on any
+/// syntax error (unterminated program, piece outside a program, missing
+/// name, stray tokens, ...).
+[[nodiscard]] ParsedSuite parse_programs(std::string_view text);
+
+/// Renders programs back into the text format (inverse of
+/// parse_programs up to whitespace/comments).
+[[nodiscard]] std::string format_programs(const std::vector<Program>& programs,
+                                          const ObjectTable& objects);
+
+}  // namespace sia

@@ -1,0 +1,204 @@
+/// \file sia_analyze.cpp
+/// Command-line front end to the static analyses: feed it a program-suite
+/// description (see program_parser.hpp for the format) and get
+///  - the chopping verdicts under SER / SI / PSI with critical cycles,
+///  - the robustness verdicts (Theorems 19 and 22) at every precision,
+///  - optionally a repaired (certified) chopping and Graphviz output.
+///
+/// Usage:
+///   sia_analyze [--repair] [--autochop] [--dot] <file | ->
+///   sia_analyze --history [--dot] <file | ->
+///
+/// In --history mode the input is a recorded trace (history_parser.hpp
+/// format); the tool decides HistSER / HistSI / HistPSI membership
+/// exactly and prints the witness dependency graph.
+///
+/// Exit code: 0 when the suite is SI-chopping-correct and SI-robust (or,
+/// in --history mode, the trace is in HistSI), 1 otherwise, 2 on input
+/// errors.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "chopping/repair.hpp"
+#include "chopping/static_chopping_graph.hpp"
+#include "robustness/robustness.hpp"
+#include "graph/enumeration.hpp"
+#include "tools/dot.hpp"
+#include "tools/history_parser.hpp"
+#include "tools/program_parser.hpp"
+
+using namespace sia;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sia_analyze [--repair] [--autochop] [--dot] <file|->\n"
+               "       sia_analyze --history [--dot] <file|->\n"
+               "  program format: see src/tools/program_parser.hpp\n"
+               "  history format: see src/tools/history_parser.hpp\n");
+  return 2;
+}
+
+int analyze_history(const std::string& text, bool want_dot) {
+  ParsedHistory trace;
+  try {
+    trace = parse_history(text);
+  } catch (const ModelError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::printf("parsed %zu transactions in %zu sessions\n\n",
+              trace.history.txn_count(), trace.history.session_count());
+  bool in_si = false;
+  std::optional<DependencyGraph> witness;
+  for (const Model model : {Model::kSER, Model::kSI, Model::kPSI}) {
+    const HistDecision d = decide_history(trace.history, model);
+    std::printf("allowed under %-3s : %s   (%zu candidate graphs examined)\n",
+                to_string(model).c_str(), d.allowed ? "yes" : "no",
+                d.graphs_tried);
+    if (model == Model::kSI) {
+      in_si = d.allowed;
+      witness = d.witness;
+    }
+    if (!witness && d.witness) witness = d.witness;
+  }
+  if (witness) {
+    std::printf("\nwitness dependencies:\n");
+    for (const DepEdge& e : witness->edges()) {
+      if (e.kind == DepKind::kSO) continue;
+      std::printf("  %s\n", to_string(e).c_str());
+    }
+    if (want_dot) {
+      std::printf("\n%s",
+                  dot::dependency_graph(*witness, trace.objects).c_str());
+    }
+  }
+  return in_si ? 0 : 1;
+}
+
+std::string read_input(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    return buf.str();
+  }
+  std::ifstream in(path);
+  if (!in) throw ModelError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool want_repair = false;
+  bool want_autochop = false;
+  bool want_dot = false;
+  bool want_history = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repair") {
+      want_repair = true;
+    } else if (arg == "--history") {
+      want_history = true;
+    } else if (arg == "--autochop") {
+      want_autochop = true;
+    } else if (arg == "--dot") {
+      want_dot = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!path.empty()) {
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::string text;
+  try {
+    text = read_input(path);
+  } catch (const ModelError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  if (want_history) return analyze_history(text, want_dot);
+
+  ParsedSuite suite;
+  try {
+    suite = parse_programs(text);
+  } catch (const ModelError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("parsed %zu programs over %zu objects\n\n",
+              suite.programs.size(), suite.objects.size());
+
+  // ---- chopping --------------------------------------------------------
+  bool si_choppable = true;
+  std::printf("chopping analysis (critical cycles, Cor. 18 / Thms 29, 31):\n");
+  const StaticChoppingGraph scg(suite.programs);
+  for (const Criterion crit :
+       {Criterion::kSER, Criterion::kSI, Criterion::kPSI}) {
+    const ChoppingVerdict v = check_chopping_static(suite.programs, crit);
+    std::printf("  %-3s : %s", to_string(crit).c_str(),
+                v.correct ? "correct" : "INCORRECT");
+    if (!v.complete) std::printf(" (cycle budget exhausted; conservative)");
+    std::printf("\n");
+    if (v.witness) {
+      std::printf("        cycle: %s\n", scg.describe(*v.witness).c_str());
+    }
+    if (crit == Criterion::kSI) si_choppable = v.correct;
+  }
+
+  // ---- robustness -------------------------------------------------------
+  std::printf("\nrobustness (Thm 19 against SI; Thm 22 against PSI):\n");
+  const RobustnessVerdict plain = robust_against_si(suite.programs);
+  const RobustnessVerdict refined = robust_against_si_refined(suite.programs);
+  const RobustnessVerdict verified =
+      robust_against_si_verified(suite.programs);
+  const RobustnessVerdict psi = robust_against_psi(suite.programs);
+  std::printf("  SI  (plain)    : %s\n", plain.robust ? "robust" : "NOT robust");
+  std::printf("  SI  (refined)  : %s\n",
+              refined.robust ? "robust" : "NOT robust");
+  std::printf("  SI  (verified) : %s%s\n",
+              verified.robust ? "robust" : "NOT robust",
+              verified.verified ? " [concrete witness]" : "");
+  std::printf("  PSI (towards SI): %s%s\n",
+              psi.robust ? "robust" : "NOT robust",
+              psi.verified ? " [concrete witness]" : "");
+  if (!verified.robust) std::printf("    %s\n", verified.description.c_str());
+  if (!psi.robust) std::printf("    %s\n", psi.description.c_str());
+
+  // ---- repair / autochop -------------------------------------------------
+  if (want_repair || (want_autochop && !si_choppable)) {
+    const ChoppingPlan plan = repair_chopping(suite.programs);
+    std::printf("\nrepaired chopping (%zu merges, certified: %s):\n",
+                plan.merges.size(), plan.certified ? "yes" : "no");
+    std::printf("%s", format_programs(plan.programs, suite.objects).c_str());
+  }
+  if (want_autochop) {
+    const ChoppingPlan plan = auto_chop(suite.programs);
+    std::printf("\nfinest certified chopping found (%zu pieces):\n",
+                plan.piece_count());
+    std::printf("%s", format_programs(plan.programs, suite.objects).c_str());
+  }
+
+  if (want_dot) {
+    std::printf("\n// static chopping graph\n%s", dot::chopping_graph(scg).c_str());
+    std::printf("\n// static dependency graph\n%s",
+                dot::static_dependency_graph(
+                    StaticDependencyGraph(suite.programs))
+                    .c_str());
+  }
+
+  return (si_choppable && verified.robust) ? 0 : 1;
+}

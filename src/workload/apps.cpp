@@ -1,0 +1,107 @@
+#include "workload/apps.hpp"
+
+#include <random>
+#include <set>
+
+namespace sia::workload {
+
+namespace {
+
+struct TpccObjects {
+  ObjectTable table;
+  ObjId warehouse, district, customer, item, stock, orders, new_orders,
+      history;
+
+  TpccObjects() {
+    warehouse = table.intern("warehouse");
+    district = table.intern("district");
+    customer = table.intern("customer");
+    item = table.intern("item");
+    stock = table.intern("stock");
+    orders = table.intern("orders");
+    new_orders = table.intern("new_orders");
+    history = table.intern("history");
+  }
+};
+
+}  // namespace
+
+paper::NamedPrograms tpcc_like_programs() {
+  TpccObjects o;
+  std::vector<Program> p;
+  p.push_back(Program{
+      "new_order",
+      {Piece{"place order",
+             {o.warehouse, o.district, o.customer, o.item, o.stock},
+             {o.district, o.orders, o.new_orders, o.stock}}}});
+  p.push_back(Program{
+      "payment",
+      {Piece{"pay",
+             {o.warehouse, o.district, o.customer},
+             {o.warehouse, o.district, o.customer, o.history}}}});
+  p.push_back(Program{
+      "delivery",
+      {Piece{"deliver",
+             {o.new_orders, o.orders, o.customer},
+             {o.new_orders, o.orders, o.customer}}}});
+  p.push_back(Program{
+      "order_status", {Piece{"status", {o.customer, o.orders}, {}}}});
+  p.push_back(Program{
+      "stock_level", {Piece{"level", {o.district, o.stock}, {}}}});
+  return {std::move(p), std::move(o.table)};
+}
+
+paper::NamedPrograms tpcc_chopped_programs() {
+  TpccObjects o;
+  std::vector<Program> p;
+  p.push_back(Program{
+      "new_order",
+      {Piece{"read prices", {o.warehouse, o.district, o.item}, {o.district}},
+       Piece{"insert order", {o.customer}, {o.orders, o.new_orders}},
+       Piece{"update stock", {o.stock}, {o.stock}}}});
+  p.push_back(Program{
+      "payment",
+      {Piece{"update warehouse", {o.warehouse}, {o.warehouse}},
+       Piece{"update district", {o.district}, {o.district}},
+       Piece{"update customer", {o.customer}, {o.customer, o.history}}}});
+  p.push_back(Program{
+      "delivery",
+      {Piece{"deliver",
+             {o.new_orders, o.orders, o.customer},
+             {o.new_orders, o.orders, o.customer}}}});
+  p.push_back(Program{
+      "order_status", {Piece{"status", {o.customer, o.orders}, {}}}});
+  p.push_back(Program{
+      "stock_level", {Piece{"level", {o.district, o.stock}, {}}}});
+  return {std::move(p), std::move(o.table)};
+}
+
+std::vector<Program> random_programs(const ProgramSuiteSpec& s) {
+  std::mt19937_64 rng(s.seed);
+  std::uniform_int_distribution<std::size_t> obj(0, s.objects - 1);
+  std::vector<Program> out;
+  out.reserve(s.programs);
+  for (std::size_t i = 0; i < s.programs; ++i) {
+    Program p;
+    p.name = "prog" + std::to_string(i);
+    for (std::size_t j = 0; j < s.pieces_per_program; ++j) {
+      Piece piece;
+      piece.label = "piece" + std::to_string(j);
+      std::set<ObjId> reads;
+      std::set<ObjId> writes;
+      for (std::size_t k = 0; k < s.reads_per_piece; ++k) {
+        reads.insert(static_cast<ObjId>(obj(rng)));
+      }
+      for (std::size_t k = 0; k < s.writes_per_piece; ++k) {
+        writes.insert(static_cast<ObjId>(obj(rng)));
+      }
+      piece.reads.assign(reads.begin(), reads.end());
+      piece.writes.assign(writes.begin(), writes.end());
+      p.pieces.push_back(std::move(piece));
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace sia::workload

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/program.hpp"
+#include "workload/paper_examples.hpp"
+
+/// \file apps.hpp
+/// Larger application suites for the static analyses: a TPC-C-like
+/// transaction mix (the classical subject of SI robustness studies, cf.
+/// Fekete et al. [18]), chopped variants for the chopping analysis, and a
+/// random program-suite generator for scaling benches.
+
+namespace sia::workload {
+
+/// The five TPC-C transaction programs with table-granularity read/write
+/// sets (warehouse, district, customer, item, stock, orders, new_orders,
+/// history). At this granularity the *plain* Theorem 19 analysis is too
+/// coarse to certify robustness, while the vulnerability-refined analysis
+/// (robust_against_si_refined) certifies it — the classical result that
+/// TPC-C is robust against SI.
+[[nodiscard]] paper::NamedPrograms tpcc_like_programs();
+
+/// TPC-C with new_order and payment chopped into per-table pieces;
+/// analysed by the chopping benches.
+[[nodiscard]] paper::NamedPrograms tpcc_chopped_programs();
+
+/// Parameters for random program suites.
+struct ProgramSuiteSpec {
+  std::size_t programs{8};
+  std::size_t pieces_per_program{3};
+  std::size_t objects{16};
+  std::size_t reads_per_piece{2};
+  std::size_t writes_per_piece{1};
+  std::uint64_t seed{7};
+};
+
+/// Deterministic random suite (for analysis scaling benches).
+[[nodiscard]] std::vector<Program> random_programs(const ProgramSuiteSpec& s);
+
+}  // namespace sia::workload

@@ -1,0 +1,187 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace sia::workload {
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double theta) {
+  cdf_.reserve(n);
+  double sum = 0.0;
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    cdf_.push_back(sum);
+  }
+  for (double& c : cdf_) c /= sum;
+}
+
+std::uint32_t ZipfSampler::operator()(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const double u = dist(rng);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+Script make_script(const WorkloadSpec& spec) {
+  std::mt19937_64 rng(spec.seed);
+  const ZipfSampler zipf(spec.num_keys, spec.zipf_theta);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  Script script(spec.sessions);
+  for (auto& session : script) {
+    session.resize(spec.txns_per_session);
+    for (auto& txn : session) {
+      txn.resize(spec.ops_per_txn);
+      for (ScriptedOp& op : txn) {
+        op.is_write = coin(rng) < spec.write_ratio;
+        op.key = zipf(rng);
+      }
+    }
+  }
+  return script;
+}
+
+namespace {
+
+/// Deterministic distinct-ish value for a write: encodes who wrote it.
+Value value_for(std::size_t session, std::size_t txn, std::size_t op) {
+  return static_cast<Value>(session * 1'000'000 + txn * 1'000 + op + 1);
+}
+
+/// Runs one closure per session, either on threads or round-robin.
+template <typename PerTxn>
+void drive(const WorkloadSpec& spec, const Script& script, PerTxn per_txn) {
+  if (spec.concurrent) {
+    std::vector<std::thread> threads;
+    threads.reserve(spec.sessions);
+    for (std::size_t s = 0; s < spec.sessions; ++s) {
+      threads.emplace_back([&, s] {
+        for (std::size_t t = 0; t < script[s].size(); ++t) per_txn(s, t);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  } else {
+    for (std::size_t t = 0; t < spec.txns_per_session; ++t) {
+      for (std::size_t s = 0; s < spec.sessions; ++s) {
+        if (t < script[s].size()) per_txn(s, t);
+      }
+    }
+  }
+}
+
+template <typename F>
+double timed(F&& f) {
+  const auto start = std::chrono::steady_clock::now();
+  f();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+mvcc::RecordedRun run_si(const WorkloadSpec& spec, RunStats* stats) {
+  const Script script = make_script(spec);
+  mvcc::Recorder recorder;
+  mvcc::SIDatabase db(spec.num_keys, &recorder);
+  std::vector<mvcc::SISession> sessions;
+  sessions.reserve(spec.sessions);
+  for (std::size_t s = 0; s < spec.sessions; ++s) {
+    sessions.push_back(db.make_session());
+  }
+  const double secs = timed([&] {
+    drive(spec, script, [&](std::size_t s, std::size_t t) {
+      db.run(sessions[s], [&](mvcc::SITransaction& txn) {
+        for (std::size_t o = 0; o < script[s][t].size(); ++o) {
+          const ScriptedOp& op = script[s][t][o];
+          if (op.is_write) {
+            txn.write(op.key, value_for(s, t, o));
+          } else {
+            (void)txn.read(op.key);
+          }
+        }
+      });
+    });
+  });
+  if (stats != nullptr) {
+    *stats = RunStats{db.commits(), db.aborts(), secs};
+  }
+  return recorder.build();
+}
+
+mvcc::RecordedRun run_ser(const WorkloadSpec& spec, RunStats* stats) {
+  const Script script = make_script(spec);
+  mvcc::Recorder recorder;
+  mvcc::SERDatabase db(spec.num_keys, &recorder);
+  std::vector<mvcc::SERSession> sessions;
+  sessions.reserve(spec.sessions);
+  for (std::size_t s = 0; s < spec.sessions; ++s) {
+    sessions.push_back(db.make_session());
+  }
+  const double secs = timed([&] {
+    drive(spec, script, [&](std::size_t s, std::size_t t) {
+      db.run(sessions[s], [&](mvcc::SERTransaction& txn) {
+        for (std::size_t o = 0; o < script[s][t].size(); ++o) {
+          const ScriptedOp& op = script[s][t][o];
+          if (op.is_write) {
+            if (!txn.write(op.key, value_for(s, t, o))) return;
+          } else {
+            if (!txn.read(op.key).has_value()) return;
+          }
+        }
+      });
+    });
+  });
+  if (stats != nullptr) {
+    *stats = RunStats{db.commits(), db.aborts(), secs};
+  }
+  return recorder.build();
+}
+
+mvcc::RecordedRun run_psi(const WorkloadSpec& spec, std::uint32_t replicas,
+                          RunStats* stats) {
+  const Script script = make_script(spec);
+  mvcc::Recorder recorder;
+  mvcc::PSIDatabase db(spec.num_keys, replicas, &recorder);
+  std::vector<mvcc::PSISession> sessions;
+  sessions.reserve(spec.sessions);
+  for (std::size_t s = 0; s < spec.sessions; ++s) {
+    sessions.push_back(
+        db.make_session(static_cast<mvcc::ReplicaId>(s % replicas)));
+  }
+  if (spec.concurrent) db.start_auto_replication();
+  const double secs = timed([&] {
+    drive(spec, script, [&](std::size_t s, std::size_t t) {
+      for (;;) {
+        mvcc::PSITransaction txn = db.begin(sessions[s]);
+        for (std::size_t o = 0; o < script[s][t].size(); ++o) {
+          const ScriptedOp& op = script[s][t][o];
+          if (op.is_write) {
+            txn.write(op.key, value_for(s, t, o));
+          } else {
+            (void)txn.read(op.key);
+          }
+        }
+        if (txn.commit()) break;
+        // A conflicting version may not have replicated to our home yet;
+        // retrying with the same stale snapshot would spin, so catch up.
+        if (!spec.concurrent) db.pump_all();
+      }
+      if (!spec.concurrent && (s + t) % 3 == 0) {
+        // Deterministic partial replication: leaves long forks observable
+        // while still making progress.
+        db.pump(static_cast<mvcc::ReplicaId>((s + t) % db.num_replicas()), 2);
+      }
+    });
+  });
+  db.stop_auto_replication();
+  db.pump_all();
+  if (stats != nullptr) {
+    *stats = RunStats{db.commits(), db.aborts(), secs};
+  }
+  return recorder.build();
+}
+
+}  // namespace sia::workload

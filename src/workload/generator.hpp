@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "mvcc/psi_engine.hpp"
+#include "mvcc/recorder.hpp"
+#include "mvcc/ser_engine.hpp"
+#include "mvcc/si_engine.hpp"
+
+/// \file generator.hpp
+/// Random transactional workloads and runners that execute them against
+/// the operational engines, producing recorded histories and engine-truth
+/// dependency graphs. Used by property tests (engine runs must satisfy
+/// their model's characterisation) and by the scaling benches.
+
+namespace sia::workload {
+
+/// Parameters of a random workload.
+struct WorkloadSpec {
+  std::uint32_t num_keys{16};
+  std::size_t sessions{4};
+  std::size_t txns_per_session{8};
+  std::size_t ops_per_txn{4};
+  /// Probability that an operation is a write.
+  double write_ratio{0.5};
+  /// Zipf skew for key choice; 0 = uniform.
+  double zipf_theta{0.0};
+  std::uint64_t seed{42};
+  /// Run sessions on concurrent threads (one per session); otherwise the
+  /// sessions are interleaved deterministically round-robin on the calling
+  /// thread.
+  bool concurrent{true};
+};
+
+/// One scripted operation; written values are filled in by the runner.
+struct ScriptedOp {
+  bool is_write{false};
+  ObjId key{0};
+
+  friend bool operator==(const ScriptedOp&, const ScriptedOp&) = default;
+};
+
+/// A fully scripted workload: [session][txn][op].
+using Script = std::vector<std::vector<std::vector<ScriptedOp>>>;
+
+/// Deterministically expands a spec into per-session transaction scripts.
+[[nodiscard]] Script make_script(const WorkloadSpec& spec);
+
+/// Zipf-distributed key sampler (Gray et al. style, via inverse CDF).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint32_t n, double theta);
+  [[nodiscard]] std::uint32_t operator()(std::mt19937_64& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Statistics of one engine run.
+struct RunStats {
+  std::uint64_t commits{0};
+  std::uint64_t aborts{0};
+  double seconds{0.0};
+};
+
+/// Runs the scripted workload against a fresh SI engine. Every
+/// transaction retries until commit. Returns the recorded run (history +
+/// engine-truth graph) and stats.
+mvcc::RecordedRun run_si(const WorkloadSpec& spec, RunStats* stats = nullptr);
+
+/// Ditto for the S2PL serializable engine.
+mvcc::RecordedRun run_ser(const WorkloadSpec& spec, RunStats* stats = nullptr);
+
+/// Ditto for the PSI engine with \p replicas replicas; sessions are spread
+/// round-robin across replicas. Replication is pumped concurrently and
+/// drained at the end.
+mvcc::RecordedRun run_psi(const WorkloadSpec& spec, std::uint32_t replicas,
+                          RunStats* stats = nullptr);
+
+}  // namespace sia::workload

@@ -1,0 +1,269 @@
+#include "workload/paper_examples.hpp"
+
+namespace sia::paper {
+
+NamedHistory fig2a_session_guarantee() {
+  HistoryBuilder b;
+  const ObjId x = b.obj("x");
+  b.init_txn({x});
+  b.session().txn({write(x, 1)}).txn({read(x, 1)});
+  return {b.build(), b.objects()};
+}
+
+NamedHistory fig2b_lost_update() {
+  HistoryBuilder b;
+  const ObjId acct = b.obj("acct");
+  b.init_txn({acct});
+  b.session().txn({read(acct, 0), write(acct, 50)});
+  b.session().txn({read(acct, 0), write(acct, 25)});
+  return {b.build(), b.objects()};
+}
+
+NamedHistory fig2c_long_fork() {
+  HistoryBuilder b;
+  const ObjId x = b.obj("x");
+  const ObjId y = b.obj("y");
+  b.init_txn({x, y});
+  b.session().txn({write(x, 1)});
+  b.session().txn({write(y, 1)});
+  b.session().txn({read(x, 1), read(y, 0)});
+  b.session().txn({read(x, 0), read(y, 1)});
+  return {b.build(), b.objects()};
+}
+
+NamedHistory fig2d_write_skew() {
+  HistoryBuilder b;
+  const ObjId acct1 = b.obj("acct1");
+  const ObjId acct2 = b.obj("acct2");
+  b.init_txn({acct1, acct2});
+  b.session().txn({read(acct1, 0), read(acct2, 0), write(acct1, -100)});
+  b.session().txn({read(acct1, 0), read(acct2, 0), write(acct2, -100)});
+  return {b.build(), b.objects()};
+}
+
+namespace {
+
+/// Shared scaffold for the Figure 4 graphs: the initialisation transaction
+/// (T0) and the chopped transfer session (T1: debit acct1, T2: credit
+/// acct2).
+struct TransferScaffold {
+  HistoryBuilder b;
+  ObjId acct1, acct2;
+  TxnId t0, t1, t2;
+
+  TransferScaffold() {
+    acct1 = b.obj("acct1");
+    acct2 = b.obj("acct2");
+    t0 = b.init_txn({acct1, acct2});
+    b.session().txn({read(acct1, 0), write(acct1, -100)});
+    t1 = b.last_txn();
+    b.txn({read(acct2, 0), write(acct2, 100)});
+    t2 = b.last_txn();
+  }
+};
+
+}  // namespace
+
+DependencyGraph fig4_g1() {
+  TransferScaffold s;
+  // lookupAll observes the state in the middle of the transfer.
+  s.b.session().txn({read(s.acct1, -100), read(s.acct2, 0)});
+  const TxnId lookup = s.b.last_txn();
+
+  DependencyGraph g(s.b.build());
+  g.set_read_from(s.acct1, s.t0, s.t1);
+  g.set_read_from(s.acct2, s.t0, s.t2);
+  g.set_read_from(s.acct1, s.t1, lookup);
+  g.set_read_from(s.acct2, s.t0, lookup);
+  g.set_write_order(s.acct1, {s.t0, s.t1});
+  g.set_write_order(s.acct2, {s.t0, s.t2});
+  return g;
+}
+
+DependencyGraph fig4_g2() {
+  TransferScaffold s;
+  s.b.session().txn({read(s.acct1, -100)});
+  const TxnId lookup1 = s.b.last_txn();
+  s.b.session().txn({read(s.acct2, 0)});
+  const TxnId lookup2 = s.b.last_txn();
+
+  DependencyGraph g(s.b.build());
+  g.set_read_from(s.acct1, s.t0, s.t1);
+  g.set_read_from(s.acct2, s.t0, s.t2);
+  g.set_read_from(s.acct1, s.t1, lookup1);
+  g.set_read_from(s.acct2, s.t0, lookup2);
+  g.set_write_order(s.acct1, {s.t0, s.t1});
+  g.set_write_order(s.acct2, {s.t0, s.t2});
+  return g;
+}
+
+namespace {
+
+/// Builds the two-piece transfer program over the given accounts.
+Program transfer_program(ObjId acct1, ObjId acct2) {
+  return Program{"transfer",
+                 {Piece{"acct1 = acct1 - 100", {acct1}, {acct1}},
+                  Piece{"acct2 = acct2 + 100", {acct2}, {acct2}}}};
+}
+
+}  // namespace
+
+NamedPrograms fig5_programs() {
+  ObjectTable objs;
+  const ObjId acct1 = objs.intern("acct1");
+  const ObjId acct2 = objs.intern("acct2");
+  std::vector<Program> p;
+  p.push_back(transfer_program(acct1, acct2));
+  p.push_back(Program{
+      "lookupAll",
+      {Piece{"var1 = acct1; var2 = acct2", {acct1, acct2}, {}}}});
+  return {std::move(p), std::move(objs)};
+}
+
+NamedPrograms fig6_programs() {
+  ObjectTable objs;
+  const ObjId acct1 = objs.intern("acct1");
+  const ObjId acct2 = objs.intern("acct2");
+  std::vector<Program> p;
+  p.push_back(transfer_program(acct1, acct2));
+  p.push_back(Program{"lookup1", {Piece{"return acct1", {acct1}, {}}}});
+  p.push_back(Program{"lookup2", {Piece{"return acct2", {acct2}, {}}}});
+  return {std::move(p), std::move(objs)};
+}
+
+NamedPrograms fig11_programs() {
+  ObjectTable objs;
+  const ObjId x = objs.intern("x");
+  const ObjId y = objs.intern("y");
+  std::vector<Program> p;
+  p.push_back(Program{"write1",
+                      {Piece{"var1 = x", {x}, {}}, Piece{"y = var1", {}, {y}}}});
+  p.push_back(Program{"write2",
+                      {Piece{"var2 = y", {y}, {}}, Piece{"x = var2", {}, {x}}}});
+  return {std::move(p), std::move(objs)};
+}
+
+NamedPrograms fig12_programs() {
+  ObjectTable objs;
+  const ObjId x = objs.intern("x");
+  const ObjId y = objs.intern("y");
+  std::vector<Program> p;
+  p.push_back(Program{"write1", {Piece{"x = post1", {}, {x}}}});
+  p.push_back(Program{"write2", {Piece{"y = post2", {}, {y}}}});
+  p.push_back(Program{"read1",
+                      {Piece{"a = y", {y}, {}}, Piece{"b = x", {x}, {}}}});
+  p.push_back(Program{"read2",
+                      {Piece{"a = x", {x}, {}}, Piece{"b = y", {y}, {}}}});
+  return {std::move(p), std::move(objs)};
+}
+
+DependencyGraph fig11_h6() {
+  HistoryBuilder b;
+  const ObjId x = b.obj("x");
+  const ObjId y = b.obj("y");
+  const TxnId t0 = b.init_txn({x, y});
+  b.session().txn({read(x, 0)});
+  const TxnId w1p0 = b.last_txn();
+  b.txn({write(y, 1)});
+  const TxnId w1p1 = b.last_txn();
+  b.session().txn({read(y, 0)});
+  const TxnId w2p0 = b.last_txn();
+  b.txn({write(x, 1)});
+  const TxnId w2p1 = b.last_txn();
+
+  DependencyGraph g(b.build());
+  g.set_read_from(x, t0, w1p0);
+  g.set_read_from(y, t0, w2p0);
+  g.set_write_order(x, {t0, w2p1});
+  g.set_write_order(y, {t0, w1p1});
+  return g;
+}
+
+DependencyGraph fig12_g7() {
+  HistoryBuilder b;
+  const ObjId x = b.obj("x");
+  const ObjId y = b.obj("y");
+  const TxnId t0 = b.init_txn({x, y});
+  b.session().txn({write(x, 1)});
+  const TxnId w1 = b.last_txn();
+  b.session().txn({write(y, 1)});
+  const TxnId w2 = b.last_txn();
+  b.session().txn({read(y, 0)});
+  const TxnId r1a = b.last_txn();
+  b.txn({read(x, 1)});
+  const TxnId r1b = b.last_txn();
+  b.session().txn({read(x, 0)});
+  const TxnId r2a = b.last_txn();
+  b.txn({read(y, 1)});
+  const TxnId r2b = b.last_txn();
+
+  DependencyGraph g(b.build());
+  g.set_read_from(y, t0, r1a);
+  g.set_read_from(x, w1, r1b);
+  g.set_read_from(x, t0, r2a);
+  g.set_read_from(y, w2, r2b);
+  g.set_write_order(x, {t0, w1});
+  g.set_write_order(y, {t0, w2});
+  return g;
+}
+
+AbstractExecution fig13_execution() {
+  HistoryBuilder b;
+  const ObjId x = b.obj("x");
+  const ObjId y = b.obj("y");
+  const TxnId t0 = b.init_txn({x, y});
+  b.session().txn({write(x, 1)});
+  const TxnId t1 = b.last_txn();
+  b.txn({read(y, 0)});
+  const TxnId t2 = b.last_txn();
+  b.session().txn({read(x, 1), write(y, 1)});
+  const TxnId s = b.last_txn();
+
+  const History h = b.build();
+  Relation vis(h.txn_count());
+  Relation co(h.txn_count());
+  // CO: t0 < t1 < s < t2 — the lookup session's transaction commits
+  // between the two transactions of the first session.
+  const TxnId order[] = {t0, t1, s, t2};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) co.add(order[i], order[j]);
+  }
+  // VIS: session order, reads-from, and the CO prefixes they force — but
+  // crucially NOT s -> t2 (t2 does not see s's write to y).
+  vis.add(t0, t1);
+  vis.add(t0, t2);
+  vis.add(t0, s);
+  vis.add(t1, t2);  // SO
+  vis.add(t1, s);   // s reads t1's write to x
+  return {h, std::move(vis), std::move(co)};
+}
+
+NamedPrograms banking_programs() {
+  ObjectTable objs;
+  const ObjId acct1 = objs.intern("acct1");
+  const ObjId acct2 = objs.intern("acct2");
+  std::vector<Program> p;
+  p.push_back(Program{
+      "withdraw1",
+      {Piece{"if (acct1 + acct2 > 100) acct1 -= 100", {acct1, acct2},
+             {acct1}}}});
+  p.push_back(Program{
+      "withdraw2",
+      {Piece{"if (acct1 + acct2 > 100) acct2 -= 100", {acct1, acct2},
+             {acct2}}}});
+  p.push_back(Program{
+      "lookupAll", {Piece{"return acct1 + acct2", {acct1, acct2}, {}}}});
+  return {std::move(p), std::move(objs)};
+}
+
+NamedPrograms reporting_programs() {
+  ObjectTable objs;
+  const ObjId log = objs.intern("log");
+  const ObjId acct1 = objs.intern("acct1");
+  std::vector<Program> p;
+  p.push_back(Program{"ingest", {Piece{"log = entry", {}, {log}}}});
+  p.push_back(Program{"report", {Piece{"read log, acct1", {log, acct1}, {}}}});
+  return {std::move(p), std::move(objs)};
+}
+
+}  // namespace sia::paper

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <vector>
+
+#include "core/abstract_execution.hpp"
+#include "core/program.hpp"
+#include "graph/dependency_graph.hpp"
+
+/// \file paper_examples.hpp
+/// Every worked example of the paper as a ready-made artefact: the
+/// anomalies of Figure 2, the chopping examples of Figures 4–6, the
+/// Appendix B examples of Figures 11–12 and the direct-splicing
+/// counterexample of Figure 13. Tests and benches reproduce the paper's
+/// verdicts from these.
+
+namespace sia::paper {
+
+/// A history together with the object table used to build it.
+struct NamedHistory {
+  History history;
+  ObjectTable objects;
+};
+
+/// A program suite with its object table.
+struct NamedPrograms {
+  std::vector<Program> programs;
+  ObjectTable objects;
+};
+
+// ----- Figure 2: anomalies ------------------------------------------------
+
+/// Fig. 2(a): session guarantees — T1 writes x, T2 (same session) reads it.
+/// Allowed by SER, SI and PSI.
+[[nodiscard]] NamedHistory fig2a_session_guarantee();
+
+/// Fig. 2(b): lost update — two deposits read balance 0 and write 50/25.
+/// Disallowed by SER, SI *and* PSI (NOCONFLICT).
+[[nodiscard]] NamedHistory fig2b_lost_update();
+
+/// Fig. 2(c): long fork — independent writers observed in opposite orders
+/// by two readers. Allowed by PSI, disallowed by SI and SER.
+[[nodiscard]] NamedHistory fig2c_long_fork();
+
+/// Fig. 2(d): write skew — both transactions pass the balance check and
+/// withdraw from different accounts. Allowed by SI and PSI, disallowed by
+/// SER.
+[[nodiscard]] NamedHistory fig2d_write_skew();
+
+// ----- Figure 4: dynamic chopping ------------------------------------------
+
+/// The dependency graph G1 of Figure 4: a chopped transfer (two pieces in
+/// one session) with a lookupAll that observes the mid-transfer state.
+/// G1 ∈ GraphSI but is *not* spliceable; DCG(G1) has a critical cycle.
+[[nodiscard]] DependencyGraph fig4_g1();
+
+/// The companion graph G2: the same chopped transfer with lookups of the
+/// two accounts in separate transactions. Spliceable; DCG(G2) has no
+/// critical cycle.
+[[nodiscard]] DependencyGraph fig4_g2();
+
+// ----- Figures 5, 6, 11, 12: static chopping suites -------------------------
+
+/// Fig. 5 programs P1 = {transfer (2 pieces), lookupAll}: SCG(P1) has an
+/// SI-critical cycle — the chopping is incorrect under SI.
+[[nodiscard]] NamedPrograms fig5_programs();
+
+/// Fig. 6 programs P2 = {transfer, lookup1, lookup2}: no critical cycle —
+/// the chopping is correct under SI (and SER, and PSI).
+[[nodiscard]] NamedPrograms fig6_programs();
+
+/// Fig. 11 programs P3 = {write1, write2}: correct under SI, *incorrect*
+/// under SER (the spliced history is a write skew).
+[[nodiscard]] NamedPrograms fig11_programs();
+
+/// Fig. 12 programs P4 = {write1, write2, read1, read2}: correct under
+/// PSI, *incorrect* under SI (the spliced history is a long fork).
+[[nodiscard]] NamedPrograms fig12_programs();
+
+/// The dependency graph H6 of Figure 11: an execution of P3 whose splice
+/// is a write skew (serializability violated after splicing).
+[[nodiscard]] DependencyGraph fig11_h6();
+
+/// The dependency graph G7 of Figure 12: an execution of P4 whose splice
+/// is a long fork (SI violated after splicing).
+[[nodiscard]] DependencyGraph fig12_g7();
+
+// ----- Figure 13: splicing executions directly ------------------------------
+
+/// The execution X of Figure 13 (in ExecSI), whose *direct* splice has a
+/// cyclic commit order — the reason §5 splices dependency graphs instead.
+[[nodiscard]] AbstractExecution fig13_execution();
+
+// ----- Robustness example suites (§6) ---------------------------------------
+
+/// The banking application {transfer, lookupAll} as single-piece
+/// programs: *not* robust against SI (write-skew-shaped cycle on two
+/// accounts exists) — the classical example of §1.
+[[nodiscard]] NamedPrograms banking_programs();
+
+/// A read-only reporting application over the banking objects: robust
+/// against SI (no writes, no anti-dependency cycles).
+[[nodiscard]] NamedPrograms reporting_programs();
+
+}  // namespace sia::paper

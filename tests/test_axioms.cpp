@@ -1,0 +1,269 @@
+#include "core/abstract_execution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_examples.hpp"
+
+namespace sia {
+namespace {
+
+using axioms::check_exec_psi;
+using axioms::check_exec_ser;
+using axioms::check_exec_si;
+
+constexpr ObjId kX = 0;
+
+/// init -> T1 (write x 1) -> T2 (read x 1), all in one chain of VIS/CO.
+AbstractExecution simple_chain() {
+  History h;
+  h.append_singleton(Transaction({write(kX, 0)}));          // T0 = init
+  h.append(1, Transaction({write(kX, 1)}));                 // T1
+  h.append(1, Transaction({read(kX, 1)}));                  // T2
+  Relation vis(3);
+  Relation co(3);
+  for (TxnId a = 0; a < 3; ++a) {
+    for (TxnId b = a + 1; b < 3; ++b) {
+      vis.add(a, b);
+      co.add(a, b);
+    }
+  }
+  return {std::move(h), std::move(vis), std::move(co)};
+}
+
+TEST(Axioms, MaxInTotalOrder) {
+  Relation r(3);
+  r.add(0, 1);
+  r.add(1, 2);
+  r.add(0, 2);
+  EXPECT_EQ(axioms::max_in(r, {0, 1, 2}), 2u);
+  EXPECT_EQ(axioms::max_in(r, {0, 1}), 1u);
+  EXPECT_EQ(axioms::min_in(r, {0, 1, 2}), 0u);
+  EXPECT_EQ(axioms::max_in(r, {}), std::nullopt);
+}
+
+TEST(Axioms, MaxInUndefinedWithoutDominator) {
+  const Relation r = Relation::from_edges(3, {{0, 2}, {1, 2}});
+  EXPECT_EQ(axioms::max_in(r, {0, 2}), 2u);
+  EXPECT_EQ(axioms::max_in(r, {0, 1}), std::nullopt);  // incomparable
+}
+
+TEST(Axioms, SimpleChainSatisfiesEverything) {
+  const AbstractExecution x = simple_chain();
+  EXPECT_EQ(check_exec_si(x), std::nullopt);
+  EXPECT_EQ(check_exec_ser(x), std::nullopt);
+  EXPECT_EQ(check_exec_psi(x), std::nullopt);
+}
+
+TEST(Axioms, WellformedRejectsNonTotalCO) {
+  AbstractExecution x = simple_chain();
+  x.co.remove(0, 1);
+  const auto v = axioms::check_wellformed(x);
+  ASSERT_TRUE(v.has_value());
+  // VIS ⊆ CO is also broken; either complaint is acceptable, but something
+  // must be reported.
+}
+
+TEST(Axioms, WellformedRejectsVisOutsideCo) {
+  AbstractExecution x = simple_chain();
+  x.co.remove(1, 2);
+  x.co.add(2, 1);  // keep CO total but contradict VIS
+  const auto v = axioms::check_wellformed(x);
+  ASSERT_TRUE(v.has_value());
+}
+
+TEST(Axioms, PreWellformedAllowsPartialCO) {
+  AbstractExecution x = simple_chain();
+  x.vis.remove(0, 2);
+  x.vis.remove(1, 2);
+  x.co.remove(0, 2);
+  x.co.remove(1, 2);
+  // Partial CO is fine for a pre-execution...
+  EXPECT_EQ(axioms::check_pre_wellformed(x), std::nullopt);
+  // ...but not for an execution.
+  EXPECT_TRUE(axioms::check_wellformed(x).has_value());
+}
+
+TEST(Axioms, IntViolationReported) {
+  History h;
+  h.append(0, Transaction({write(kX, 1), read(kX, 3)}));
+  const auto v = axioms::check_int(h);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->axiom, "INT");
+}
+
+TEST(Axioms, ExtRejectsWrongValue) {
+  AbstractExecution x = simple_chain();
+  // T2 claims to read 1; make T1 write 2 instead.
+  History h;
+  h.append_singleton(Transaction({write(kX, 0)}));
+  h.append(1, Transaction({write(kX, 2)}));
+  h.append(1, Transaction({read(kX, 1)}));
+  x.history = h;
+  const auto v = axioms::check_ext(x);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->axiom, "EXT");
+}
+
+TEST(Axioms, ExtRejectsMissingVisibleWriter) {
+  History h;
+  h.append(0, Transaction({read(kX, 0)}));  // nothing visible writes x
+  AbstractExecution x{h, Relation(1), Relation(1)};
+  const auto v = axioms::check_ext(x);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->axiom, "EXT");
+}
+
+TEST(Axioms, ExtPicksCoMaximalWriter) {
+  // Two visible writers; the CO-later one's value must be read.
+  History h;
+  h.append_singleton(Transaction({write(kX, 1)}));  // T0
+  h.append_singleton(Transaction({write(kX, 2)}));  // T1
+  h.append_singleton(Transaction({read(kX, 2)}));   // T2
+  Relation vis(3);
+  vis.add(0, 2);
+  vis.add(1, 2);
+  vis.add(0, 1);
+  Relation co(3);
+  co.add(0, 1);
+  co.add(0, 2);
+  co.add(1, 2);
+  AbstractExecution x{h, vis, co};
+  EXPECT_EQ(axioms::check_ext(x), std::nullopt);
+  // Claiming to read T0's value instead must fail.
+  History h2;
+  h2.append_singleton(Transaction({write(kX, 1)}));
+  h2.append_singleton(Transaction({write(kX, 2)}));
+  h2.append_singleton(Transaction({read(kX, 1)}));
+  AbstractExecution x2{h2, vis, co};
+  EXPECT_TRUE(axioms::check_ext(x2).has_value());
+}
+
+TEST(Axioms, SessionRequiresSoInVis) {
+  AbstractExecution x = simple_chain();
+  x.vis.remove(1, 2);  // T1 -SO-> T2 no longer visible
+  const auto v = axioms::check_session(x);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->axiom, "SESSION");
+}
+
+TEST(Axioms, PrefixClosesVisUnderCo) {
+  // T0 -CO-> T1 -VIS-> T2 but T0 not visible to T2: PREFIX violated.
+  History h;
+  h.append_singleton(Transaction({write(kX, 0)}));
+  h.append_singleton(Transaction({write(kX, 1)}));
+  h.append_singleton(Transaction({read(kX, 1)}));
+  Relation vis(3);
+  vis.add(0, 1);
+  vis.add(1, 2);
+  Relation co(3);
+  co.add(0, 1);
+  co.add(1, 2);
+  co.add(0, 2);
+  AbstractExecution x{h, vis, co};
+  const auto v = axioms::check_prefix(x);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->axiom, "PREFIX");
+}
+
+TEST(Axioms, NoConflictDetectsInvisibleCoWriters) {
+  // Two writers of x unrelated by VIS.
+  History h;
+  h.append_singleton(Transaction({write(kX, 1)}));
+  h.append_singleton(Transaction({write(kX, 2)}));
+  Relation vis(2);
+  Relation co(2);
+  co.add(0, 1);
+  AbstractExecution x{h, vis, co};
+  const auto v = axioms::check_noconflict(x);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->axiom, "NOCONFLICT");
+}
+
+TEST(Axioms, TotalVisRequiresVisEqualsCo) {
+  AbstractExecution x = simple_chain();
+  EXPECT_EQ(axioms::check_totalvis(x), std::nullopt);
+  x.vis.remove(0, 2);
+  EXPECT_TRUE(axioms::check_totalvis(x).has_value());
+}
+
+TEST(Axioms, TransVisChecksTransitivity) {
+  History h;
+  h.append_singleton(Transaction({write(kX, 0)}));
+  h.append_singleton(Transaction({write(kX, 1)}));
+  h.append_singleton(Transaction({read(kX, 1)}));
+  Relation vis(3);
+  vis.add(0, 1);
+  vis.add(1, 2);  // missing (0, 2): not transitive
+  AbstractExecution x{h, vis, vis.transitive_closure()};
+  EXPECT_TRUE(axioms::check_transvis(x).has_value());
+  x.vis.add(0, 2);
+  EXPECT_EQ(axioms::check_transvis(x), std::nullopt);
+}
+
+TEST(Axioms, Figure13ExecutionIsInExecSI) {
+  const AbstractExecution x = paper::fig13_execution();
+  const auto v = check_exec_si(x);
+  EXPECT_EQ(v, std::nullopt) << (v ? v->axiom + ": " + v->detail : "");
+  // It is not serializable as given (VIS is partial).
+  EXPECT_TRUE(axioms::check_totalvis(x).has_value());
+}
+
+TEST(Axioms, WriteSkewExecutionSatisfiesSiButNotSer) {
+  // Figure 2(d): explicit VIS/CO for the write-skew outcome.
+  const auto [h, objs] = paper::fig2d_write_skew();
+  (void)objs;
+  const std::size_t n = h.txn_count();  // init, T1, T2
+  Relation vis(n);
+  vis.add(0, 1);
+  vis.add(0, 2);
+  Relation co = vis;
+  co.add(1, 2);
+  const AbstractExecution x{h, vis, co};
+  EXPECT_EQ(check_exec_si(x), std::nullopt);
+  EXPECT_TRUE(check_exec_ser(x).has_value());
+}
+
+TEST(Axioms, LostUpdateExecutionViolatesNoConflict) {
+  const auto [h, objs] = paper::fig2b_lost_update();
+  (void)objs;
+  Relation vis(3);
+  vis.add(0, 1);
+  vis.add(0, 2);
+  Relation co = vis;
+  co.add(1, 2);
+  const AbstractExecution x{h, vis, co};
+  const auto v = check_exec_si(x);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->axiom, "NOCONFLICT");
+}
+
+TEST(Axioms, LongForkExecutionViolatesPrefix) {
+  const auto [h, objs] = paper::fig2c_long_fork();
+  (void)objs;
+  // init=0, w_x=1, w_y=2, r1=3 (sees x only), r2=4 (sees y only).
+  Relation vis(5);
+  vis.add(0, 1);
+  vis.add(0, 2);
+  vis.add(0, 3);
+  vis.add(0, 4);
+  vis.add(1, 3);
+  vis.add(2, 4);
+  // A total CO extending VIS: 0 < 1 < 3 < 2 < 4.
+  Relation total(5);
+  const TxnId order[] = {0, 1, 3, 2, 4};
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) total.add(order[i], order[j]);
+  }
+  const AbstractExecution x{h, vis, total};
+  // All other axioms hold, PREFIX is the one that fails:
+  EXPECT_EQ(axioms::check_ext(x), std::nullopt);
+  EXPECT_EQ(axioms::check_noconflict(x), std::nullopt);
+  const auto v = check_exec_si(x);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->axiom, "PREFIX");
+  // But it is a valid PSI execution (TRANSVIS instead of PREFIX).
+  EXPECT_EQ(check_exec_psi(x), std::nullopt);
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,194 @@
+#include "chopping/static_chopping_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chopping/dynamic_chopping_graph.hpp"
+#include "chopping/splice.hpp"
+#include "workload/apps.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace sia {
+namespace {
+
+TEST(StaticChoppingGraph, NodesAndLabels) {
+  const auto p1 = paper::fig5_programs();
+  const StaticChoppingGraph scg(p1.programs);
+  EXPECT_EQ(scg.node_count(), 3u);  // transfer[0], transfer[1], lookupAll[0]
+  EXPECT_EQ(scg.node_of(0, 1), 1u);
+  EXPECT_EQ(scg.piece_of(2), (std::pair<std::size_t, std::size_t>{1, 0}));
+  EXPECT_NE(scg.label(0).find("transfer[0]"), std::string::npos);
+  EXPECT_NE(scg.label(2).find("lookupAll"), std::string::npos);
+}
+
+TEST(StaticChoppingGraph, EdgeKindsFollowDefinition) {
+  const auto p1 = paper::fig5_programs();
+  const StaticChoppingGraph scg(p1.programs);
+  const std::uint32_t t0 = scg.node_of(0, 0);  // acct1 piece
+  const std::uint32_t t1 = scg.node_of(0, 1);  // acct2 piece
+  const std::uint32_t la = scg.node_of(1, 0);  // lookupAll
+  // Successor / predecessor within transfer.
+  EXPECT_EQ(scg.graph().types(t0, t1), kMaskSO);
+  EXPECT_EQ(scg.graph().types(t1, t0), kMaskSOInv);
+  // transfer[0] writes acct1 which lookupAll reads: WR; lookupAll reads
+  // acct1 which transfer[0] writes: RW; both also conflict on nothing
+  // else.
+  EXPECT_EQ(scg.graph().types(t0, la), kMaskWR);
+  EXPECT_EQ(scg.graph().types(la, t0), kMaskRW);
+  // No conflict edges within a program.
+  EXPECT_EQ(scg.graph().types(t0, t1) & kMaskConflict, 0);
+}
+
+TEST(ChoppingStatic, Figure5IsIncorrectUnderSi) {
+  const auto p1 = paper::fig5_programs();
+  const ChoppingVerdict v = check_chopping_static(p1.programs, Criterion::kSI);
+  EXPECT_FALSE(v.correct);
+  ASSERT_TRUE(v.witness.has_value());
+  EXPECT_TRUE(si_critical(*v.witness));
+  // Also incorrect under SER and PSI (criteria are strictly ordered).
+  EXPECT_FALSE(
+      check_chopping_static(p1.programs, Criterion::kSER).correct);
+  EXPECT_FALSE(
+      check_chopping_static(p1.programs, Criterion::kPSI).correct);
+}
+
+TEST(ChoppingStatic, Figure6IsCorrectEverywhere) {
+  const auto p2 = paper::fig6_programs();
+  EXPECT_TRUE(check_chopping_static(p2.programs, Criterion::kSI).correct);
+  EXPECT_TRUE(check_chopping_static(p2.programs, Criterion::kSER).correct);
+  EXPECT_TRUE(check_chopping_static(p2.programs, Criterion::kPSI).correct);
+}
+
+TEST(ChoppingStatic, Figure11CorrectUnderSiNotSer) {
+  const auto p3 = paper::fig11_programs();
+  EXPECT_TRUE(check_chopping_static(p3.programs, Criterion::kSI).correct);
+  const ChoppingVerdict ser =
+      check_chopping_static(p3.programs, Criterion::kSER);
+  EXPECT_FALSE(ser.correct);
+  ASSERT_TRUE(ser.witness.has_value());
+  // The offending cycle is the one from Appendix B.1, equation (9):
+  // two anti-dependencies separated only by predecessor edges.
+  EXPECT_TRUE(ser_critical(*ser.witness));
+  EXPECT_FALSE(si_critical(*ser.witness));
+  // Correct under PSI as well (B.2 notes P3 is PSI-correct).
+  EXPECT_TRUE(check_chopping_static(p3.programs, Criterion::kPSI).correct);
+}
+
+TEST(ChoppingStatic, Figure12CorrectUnderPsiNotSi) {
+  const auto p4 = paper::fig12_programs();
+  EXPECT_TRUE(check_chopping_static(p4.programs, Criterion::kPSI).correct);
+  const ChoppingVerdict si =
+      check_chopping_static(p4.programs, Criterion::kSI);
+  EXPECT_FALSE(si.correct);
+  ASSERT_TRUE(si.witness.has_value());
+  EXPECT_TRUE(si_critical(*si.witness));
+  EXPECT_FALSE(psi_critical(*si.witness));
+  // Incorrect under SER too (SER-critical ⊇ SI-critical cycles).
+  EXPECT_FALSE(check_chopping_static(p4.programs, Criterion::kSER).correct);
+}
+
+TEST(ChoppingStatic, CriteriaAreOrdered) {
+  // PSI-critical => SI-critical => SER-critical, hence
+  // SER-correct => SI-correct => PSI-correct, on assorted suites.
+  for (const auto& suite :
+       {paper::fig5_programs(), paper::fig6_programs(),
+        paper::fig11_programs(), paper::fig12_programs(),
+        workload::tpcc_chopped_programs()}) {
+    const bool ser =
+        check_chopping_static(suite.programs, Criterion::kSER).correct;
+    const bool si =
+        check_chopping_static(suite.programs, Criterion::kSI).correct;
+    const bool psi =
+        check_chopping_static(suite.programs, Criterion::kPSI).correct;
+    EXPECT_LE(ser, si) << "SER-correct must imply SI-correct";
+    EXPECT_LE(si, psi) << "SI-correct must imply PSI-correct";
+  }
+}
+
+TEST(ChoppingStatic, SinglePieceProgramsAreAlwaysCorrect) {
+  // Unchopped programs have no predecessor edges, so no critical cycles.
+  const auto p1 = paper::fig5_programs();
+  const std::vector<Program> whole = unchop(p1.programs);
+  EXPECT_TRUE(check_chopping_static(whole, Criterion::kSER).correct);
+  EXPECT_TRUE(check_chopping_static(whole, Criterion::kSI).correct);
+  EXPECT_TRUE(check_chopping_static(whole, Criterion::kPSI).correct);
+}
+
+TEST(ChoppingStatic, UnchopCollapsesPieces) {
+  const auto p1 = paper::fig5_programs();
+  const std::vector<Program> whole = unchop(p1.programs);
+  ASSERT_EQ(whole.size(), 2u);
+  EXPECT_EQ(whole[0].pieces.size(), 1u);
+  EXPECT_EQ(whole[0].pieces[0].reads, p1.programs[0].read_set());
+  EXPECT_EQ(whole[0].pieces[0].writes, p1.programs[0].write_set());
+}
+
+TEST(ChoppingStatic, DescribeRendersWitness) {
+  const auto p1 = paper::fig5_programs();
+  const StaticChoppingGraph scg(p1.programs);
+  const ChoppingVerdict v = find_critical_cycle(scg.graph(), Criterion::kSI);
+  ASSERT_TRUE(v.witness.has_value());
+  const std::string desc = scg.describe(*v.witness);
+  EXPECT_NE(desc.find("transfer"), std::string::npos);
+  EXPECT_NE(desc.find("->"), std::string::npos);
+}
+
+TEST(ChoppingStatic, BudgetExhaustionIsConservative) {
+  // A big complete conflict graph with a chopped program: budget 1 forces
+  // an incomplete search, which must not claim correctness.
+  std::vector<Program> programs;
+  ObjId obj = 0;
+  for (int i = 0; i < 6; ++i) {
+    programs.push_back(Program{
+        "p" + std::to_string(i),
+        {Piece{"a", {obj}, {obj}}, Piece{"b", {obj}, {obj}}}});
+  }
+  const ChoppingVerdict v =
+      check_chopping_static(programs, Criterion::kSI, /*budget=*/1);
+  EXPECT_FALSE(v.complete && !v.witness.has_value());
+  EXPECT_FALSE(v.correct);
+}
+
+TEST(ChoppingDynamic, TpccChoppedVerdict) {
+  // The chopped TPC-C mix: delivery/new_order/payment conflict heavily;
+  // the analysis must terminate and produce a definite verdict with the
+  // default budget.
+  const auto suite = workload::tpcc_chopped_programs();
+  const ChoppingVerdict v =
+      check_chopping_static(suite.programs, Criterion::kSI);
+  EXPECT_TRUE(v.complete);
+  // This particular chopping is too coarse to be correct: new_order and
+  // payment both touch district/customer between pieces.
+  EXPECT_FALSE(v.correct);
+}
+
+TEST(ChoppingDynamic, DcgEdgesExcludeIntraSessionConflicts) {
+  const DependencyGraph g1 = paper::fig4_g1();
+  const TypedGraph dcg = build_dcg(g1);
+  // Transfer pieces (1, 2) are same-session: only SO/SO^{-1} between them.
+  EXPECT_EQ(dcg.types(1, 2) & kMaskConflict, 0);
+  EXPECT_EQ(dcg.types(1, 2) & kMaskSO, kMaskSO);
+  EXPECT_EQ(dcg.types(2, 1) & kMaskSOInv, kMaskSOInv);
+  // lookupAll (3) anti-depends on the credit piece (2): conflict edge.
+  EXPECT_NE(dcg.types(3, 2) & kMaskRW, 0);
+}
+
+TEST(ChoppingDynamic, VerdictsMatchSpliceabilityOnEngineStyleGraphs) {
+  // Dynamic criterion (sufficient) vs exact spliceability on the paper's
+  // graphs: whenever the criterion says correct, splice must be in SI.
+  for (const DependencyGraph& g : {paper::fig4_g1(), paper::fig4_g2(),
+                                   paper::fig11_h6(), paper::fig12_g7()}) {
+    const ChoppingVerdict v = check_chopping_dynamic(g);
+    if (v.correct) {
+      EXPECT_TRUE(spliceable(g));
+    }
+  }
+}
+
+TEST(Criteria, ToStringNames) {
+  EXPECT_EQ(to_string(Criterion::kSER), "SER");
+  EXPECT_EQ(to_string(Criterion::kSI), "SI");
+  EXPECT_EQ(to_string(Criterion::kPSI), "PSI");
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,229 @@
+#include "graph/cycles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sia {
+namespace {
+
+/// Collects all cycles as canonical vertex sets for counting.
+std::vector<TypedCycle> all_cycles(const TypedGraph& g,
+                                   std::size_t budget = 100000) {
+  std::vector<TypedCycle> out;
+  const EnumerationStats stats =
+      enumerate_simple_cycles(g, budget, [&](const TypedCycle& c) {
+        out.push_back(c);
+        return true;
+      });
+  EXPECT_TRUE(stats.complete);
+  return out;
+}
+
+TEST(TypedGraph, EdgesAndMasks) {
+  TypedGraph g(3);
+  g.add_edge(0, 1, DepKind::kWR);
+  g.add_edge(0, 1, DepKind::kRW);
+  g.add_edge(1, 2, DepKind::kSO);
+  EXPECT_EQ(g.types(0, 1), kMaskWR | kMaskRW);
+  EXPECT_EQ(g.types(1, 2), kMaskSO);
+  EXPECT_EQ(g.types(2, 0), 0u);
+  EXPECT_EQ(g.edge_count(), 3u);
+}
+
+TEST(Cycles, TriangleFoundOnce) {
+  TypedGraph g(3);
+  g.add_edge(0, 1, DepKind::kWR);
+  g.add_edge(1, 2, DepKind::kWR);
+  g.add_edge(2, 0, DepKind::kWR);
+  const auto cycles = all_cycles(g);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].length(), 3u);
+}
+
+TEST(Cycles, CountsInCompleteDigraph) {
+  // K4 as a digraph (all ordered pairs): simple cycles = 20
+  // (C(4,2) 2-cycles=6, 4*2=8 triangles, 3!=6 4-cycles).
+  TypedGraph g(4);
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    for (std::uint32_t b = 0; b < 4; ++b) {
+      if (a != b) g.add_edge(a, b, DepKind::kWW);
+    }
+  }
+  EXPECT_EQ(all_cycles(g).size(), 20u);
+}
+
+TEST(Cycles, SelfLoopIsACycle) {
+  TypedGraph g(2);
+  g.add_edge(0, 0, DepKind::kRW);
+  const auto cycles = all_cycles(g);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].length(), 1u);
+}
+
+TEST(Cycles, DagHasNone) {
+  TypedGraph g(4);
+  g.add_edge(0, 1, DepKind::kWR);
+  g.add_edge(1, 2, DepKind::kWW);
+  g.add_edge(0, 3, DepKind::kRW);
+  EXPECT_TRUE(all_cycles(g).empty());
+}
+
+TEST(Cycles, MasksFollowCycleSteps) {
+  TypedGraph g(3);
+  g.add_edge(0, 1, DepKind::kWR);
+  g.add_edge(1, 2, DepKind::kRW);
+  g.add_edge(2, 0, DepKind::kSOInv);
+  const auto cycles = all_cycles(g);
+  ASSERT_EQ(cycles.size(), 1u);
+  const TypedCycle& c = cycles[0];
+  for (std::size_t i = 0; i < c.length(); ++i) {
+    EXPECT_EQ(c.masks[i],
+              g.types(c.vertices[i], c.vertices[(i + 1) % c.length()]));
+  }
+}
+
+TEST(Cycles, BudgetTruncates) {
+  TypedGraph g(4);
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    for (std::uint32_t b = 0; b < 4; ++b) {
+      if (a != b) g.add_edge(a, b, DepKind::kWW);
+    }
+  }
+  std::size_t seen = 0;
+  const EnumerationStats stats =
+      enumerate_simple_cycles(g, 5, [&](const TypedCycle&) {
+        ++seen;
+        return true;
+      });
+  EXPECT_FALSE(stats.complete);
+  EXPECT_EQ(seen, 5u);
+}
+
+TEST(Cycles, EarlyStopKeepsComplete) {
+  TypedGraph g(3);
+  g.add_edge(0, 1, DepKind::kWW);
+  g.add_edge(1, 0, DepKind::kWW);
+  const EnumerationStats stats = enumerate_simple_cycles(
+      g, 1000, [](const TypedCycle&) { return false; });
+  EXPECT_TRUE(stats.complete);
+  EXPECT_EQ(stats.cycles_seen, 1u);
+}
+
+// ----- predicate helpers ----------------------------------------------------
+
+TypedCycle cycle_of(std::vector<TypeMask> masks) {
+  TypedCycle c;
+  for (std::uint32_t i = 0; i < masks.size(); ++i) c.vertices.push_back(i);
+  c.masks = std::move(masks);
+  return c;
+}
+
+TEST(CyclePredicates, ForcedRwPositions) {
+  const TypedCycle c = cycle_of(
+      {kMaskRW, kMaskRW | kMaskWR, kMaskSO, kMaskWW, kMaskRW});
+  EXPECT_EQ(forced_rw_positions(c), (std::vector<std::size_t>{0, 4}));
+  EXPECT_EQ(min_rw_count(c), 2u);
+}
+
+TEST(CyclePredicates, ConflictPredConflict) {
+  EXPECT_TRUE(has_conflict_pred_conflict(
+      cycle_of({kMaskWR, kMaskSOInv, kMaskRW, kMaskSO})));
+  // Successor edge between conflicts does not count.
+  EXPECT_FALSE(has_conflict_pred_conflict(
+      cycle_of({kMaskWR, kMaskSO, kMaskRW, kMaskSO})));
+  // Wrap-around fragment.
+  EXPECT_TRUE(has_conflict_pred_conflict(
+      cycle_of({kMaskSOInv, kMaskRW, kMaskSO, kMaskWW})));
+}
+
+TEST(CyclePredicates, SerCriticalIsJustCpc) {
+  const TypedCycle with = cycle_of({kMaskRW, kMaskSOInv, kMaskRW});
+  EXPECT_TRUE(ser_critical(with));
+  const TypedCycle without = cycle_of({kMaskRW, kMaskWR, kMaskRW});
+  EXPECT_FALSE(ser_critical(without));
+}
+
+TEST(CyclePredicates, SiCriticalSeparationVacuousWithOneRw) {
+  // One anti-dependency: condition (iii) holds vacuously.
+  const TypedCycle c = cycle_of({kMaskRW, kMaskSOInv, kMaskWR});
+  EXPECT_TRUE(si_critical(c));
+}
+
+TEST(CyclePredicates, SiCriticalNeedsSeparators) {
+  // Two forced RWs with only a predecessor edge between them (both arcs):
+  // not SI-critical (this is the Figure 11 situation).
+  const TypedCycle p3 = cycle_of({kMaskRW, kMaskSOInv, kMaskRW, kMaskSOInv});
+  EXPECT_TRUE(ser_critical(p3));
+  EXPECT_FALSE(si_critical(p3));
+  // Add WR separators in both arcs: SI-critical again.
+  const TypedCycle sep = cycle_of(
+      {kMaskRW, kMaskSOInv, kMaskWR, kMaskRW, kMaskSOInv, kMaskWW});
+  EXPECT_TRUE(si_critical(sep));
+  // Separator in only one arc: still not SI-critical.
+  const TypedCycle half = cycle_of(
+      {kMaskRW, kMaskSOInv, kMaskWR, kMaskRW, kMaskSOInv});
+  EXPECT_FALSE(si_critical(half));
+}
+
+TEST(CyclePredicates, SiCriticalUsesChoiceToAvoidRw) {
+  // A position that could be RW but also WR is assigned WR, so only one
+  // forced RW remains: critical.
+  const TypedCycle c = cycle_of(
+      {kMaskRW, kMaskSOInv, kMaskRW | kMaskWR, kMaskSO});
+  EXPECT_TRUE(si_critical(c));
+}
+
+TEST(CyclePredicates, PsiCriticalAtMostOneRw) {
+  EXPECT_TRUE(psi_critical(cycle_of({kMaskRW, kMaskSOInv, kMaskWR})));
+  EXPECT_FALSE(
+      psi_critical(cycle_of({kMaskRW, kMaskSOInv, kMaskRW, kMaskWW})));
+  // Choice avoids the second RW: critical under PSI.
+  EXPECT_TRUE(psi_critical(
+      cycle_of({kMaskRW, kMaskSOInv, kMaskRW | kMaskWW, kMaskWW})));
+}
+
+TEST(CyclePredicates, AdjacentRwPair) {
+  EXPECT_TRUE(can_have_adjacent_rw_pair(cycle_of({kMaskRW, kMaskRW})));
+  EXPECT_TRUE(can_have_adjacent_rw_pair(
+      cycle_of({kMaskWW, kMaskRW | kMaskWR, kMaskRW})));
+  // Non-adjacent in a 4-cycle: no pair.
+  EXPECT_FALSE(can_have_adjacent_rw_pair(
+      cycle_of({kMaskRW, kMaskWW, kMaskRW, kMaskWW})));
+  // In a 3-cycle, the first and last step are wrap-around adjacent.
+  EXPECT_TRUE(
+      can_have_adjacent_rw_pair(cycle_of({kMaskRW, kMaskWW, kMaskRW})));
+}
+
+TEST(CyclePredicates, AvoidAdjacentRw) {
+  EXPECT_FALSE(can_avoid_adjacent_rw(cycle_of({kMaskRW, kMaskRW})));
+  EXPECT_TRUE(can_avoid_adjacent_rw(cycle_of({kMaskRW, kMaskRW | kMaskWW})));
+  EXPECT_TRUE(can_avoid_adjacent_rw(
+      cycle_of({kMaskRW, kMaskWW, kMaskRW, kMaskWW})));
+  // Wrap-around: first and last step of a 3-cycle are adjacent.
+  EXPECT_FALSE(can_avoid_adjacent_rw(cycle_of({kMaskRW, kMaskWW, kMaskRW})));
+}
+
+TEST(CyclePredicates, TwoNonAdjacentRw) {
+  // Forced pair, non-adjacent: yes.
+  EXPECT_TRUE(can_have_two_nonadjacent_rw(
+      cycle_of({kMaskRW, kMaskWW, kMaskRW, kMaskWR})));
+  // Forced pair adjacent: no.
+  EXPECT_FALSE(
+      can_have_two_nonadjacent_rw(cycle_of({kMaskRW, kMaskRW, kMaskWW})));
+  // One forced, one optional far enough: yes.
+  EXPECT_TRUE(can_have_two_nonadjacent_rw(
+      cycle_of({kMaskRW, kMaskWW, kMaskRW | kMaskWW, kMaskWR})));
+  // One forced, optional only adjacent: no.
+  EXPECT_FALSE(can_have_two_nonadjacent_rw(
+      cycle_of({kMaskRW, kMaskRW | kMaskWW, kMaskWW})));
+  // No forced, two optionals non-adjacent in a 4-cycle: yes.
+  EXPECT_TRUE(can_have_two_nonadjacent_rw(
+      cycle_of({kMaskRW | kMaskWW, kMaskWW, kMaskRW | kMaskWW, kMaskWW})));
+  // Triangle: every pair of positions is adjacent — impossible.
+  EXPECT_FALSE(can_have_two_nonadjacent_rw(
+      cycle_of({kMaskRW | kMaskWW, kMaskRW | kMaskWW, kMaskRW | kMaskWW})));
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,82 @@
+#include "tools/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/soundness.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace sia {
+namespace {
+
+TEST(Dot, DependencyGraphContainsNodesAndTypedEdges) {
+  const DependencyGraph g1 = paper::fig4_g1();
+  const std::string d = dot::dependency_graph(g1);
+  EXPECT_NE(d.find("digraph dependency_graph"), std::string::npos);
+  EXPECT_NE(d.find("T0"), std::string::npos);
+  EXPECT_NE(d.find("WR(obj0)"), std::string::npos);
+  EXPECT_NE(d.find("RW(obj1)"), std::string::npos);
+  EXPECT_NE(d.find("style=dashed"), std::string::npos);  // RW styling
+  EXPECT_NE(d.find("cluster_s1"), std::string::npos);    // session cluster
+  EXPECT_EQ(d.find("label=\"\""), std::string::npos);    // no empty labels
+}
+
+TEST(Dot, DependencyGraphUsesObjectNames) {
+  const DependencyGraph g1 = paper::fig4_g1();
+  ObjectTable objs;
+  objs.intern("acct1");
+  objs.intern("acct2");
+  const std::string d = dot::dependency_graph(g1, objs);
+  EXPECT_NE(d.find("WR(acct1)"), std::string::npos);
+  EXPECT_EQ(d.find("WR(obj0)"), std::string::npos);
+}
+
+TEST(Dot, ExecutionSeparatesVisAndCoOnly) {
+  const AbstractExecution x = paper::fig13_execution();
+  const std::string d = dot::execution(x);
+  EXPECT_NE(d.find("digraph execution"), std::string::npos);
+  EXPECT_NE(d.find("label=\"VIS\""), std::string::npos);
+  EXPECT_NE(d.find("label=\"CO\""), std::string::npos);  // CO-only edges
+}
+
+TEST(Dot, ExecutionOfSoundnessConstruction) {
+  const DependencyGraph g2 = paper::fig4_g2();
+  const AbstractExecution x = construct_execution(g2);
+  const std::string d = dot::execution(x);
+  // Every transaction appears.
+  for (TxnId id = 0; id < x.txn_count(); ++id) {
+    EXPECT_NE(d.find("T" + std::to_string(id) + " ["), std::string::npos);
+  }
+}
+
+TEST(Dot, ChoppingGraphClustersPrograms) {
+  const auto p1 = paper::fig5_programs();
+  const StaticChoppingGraph scg(p1.programs);
+  const std::string d = dot::chopping_graph(scg);
+  EXPECT_NE(d.find("cluster_p0"), std::string::npos);
+  EXPECT_NE(d.find("transfer"), std::string::npos);
+  EXPECT_NE(d.find("lookupAll"), std::string::npos);
+  EXPECT_NE(d.find("label=\"P\""), std::string::npos);   // predecessor edge
+  EXPECT_NE(d.find("label=\"S\""), std::string::npos);   // successor edge
+  EXPECT_NE(d.find("label=\"RW\""), std::string::npos);  // anti-dependency
+}
+
+TEST(Dot, StaticDependencyGraphNamesPrograms) {
+  const auto banking = paper::banking_programs();
+  const StaticDependencyGraph g(banking.programs);
+  const std::string d = dot::static_dependency_graph(g);
+  EXPECT_NE(d.find("withdraw1"), std::string::npos);
+  EXPECT_NE(d.find("label=\"RW\""), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotesInLabels) {
+  ObjectTable objs;
+  const ObjId x = objs.intern("x");
+  const std::vector<Program> programs = {
+      Program{"say \"hi\"", {Piece{"quote \"q\"", {x}, {}}}}};
+  const StaticChoppingGraph scg(programs);
+  const std::string d = dot::chopping_graph(scg);
+  EXPECT_NE(d.find("\\\"hi\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sia

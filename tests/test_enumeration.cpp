@@ -1,0 +1,93 @@
+#include "graph/enumeration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_examples.hpp"
+
+namespace sia {
+namespace {
+
+constexpr ObjId kX = 0;
+
+TEST(Enumeration, CountsWwPermutations) {
+  // Three writers of one object, no reads: 3! = 6 extensions.
+  History h;
+  for (int i = 0; i < 3; ++i) {
+    h.append_singleton(Transaction({write(kX, i)}));
+  }
+  std::size_t count = 0;
+  const std::size_t total =
+      enumerate_dependency_graphs(h, [&](const DependencyGraph& g) {
+        EXPECT_EQ(g.validate(), std::nullopt);
+        ++count;
+        return true;
+      });
+  EXPECT_EQ(count, 6u);
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(Enumeration, CountsReadSourceChoices) {
+  // Two writers of the same value, one reader: 2 WR choices x 2 WW orders.
+  History h;
+  h.append_singleton(Transaction({write(kX, 7)}));
+  h.append_singleton(Transaction({write(kX, 7)}));
+  h.append_singleton(Transaction({read(kX, 7)}));
+  const std::size_t total = enumerate_dependency_graphs(
+      h, [](const DependencyGraph&) { return true; });
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(Enumeration, NoExtensionWhenValueUnwritten) {
+  History h;
+  h.append_singleton(Transaction({write(kX, 1)}));
+  h.append_singleton(Transaction({read(kX, 42)}));
+  const std::size_t total = enumerate_dependency_graphs(
+      h, [](const DependencyGraph&) { return true; });
+  EXPECT_EQ(total, 0u);
+  EXPECT_FALSE(decide_history(h, Model::kSI).allowed);
+}
+
+TEST(Enumeration, StopsEarlyWhenVisitorReturnsFalse) {
+  History h;
+  for (int i = 0; i < 4; ++i) {
+    h.append_singleton(Transaction({write(kX, i)}));
+  }
+  std::size_t seen = 0;
+  const std::size_t total =
+      enumerate_dependency_graphs(h, [&](const DependencyGraph&) {
+        ++seen;
+        return seen < 3;
+      });
+  EXPECT_EQ(seen, 3u);
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Enumeration, EmptyHistoryHasOneExtension) {
+  const std::size_t total = enumerate_dependency_graphs(
+      History{}, [](const DependencyGraph&) { return true; });
+  EXPECT_EQ(total, 1u);
+  EXPECT_TRUE(decide_history(History{}, Model::kSER).allowed);
+}
+
+TEST(Enumeration, DecideHistoryCountsTriedGraphs) {
+  const auto b = paper::fig2b_lost_update();
+  const HistDecision dec = decide_history(b.history, Model::kSI);
+  EXPECT_FALSE(dec.allowed);
+  // All extensions were examined: 3! WW orders of {init, T1, T2}; the WR
+  // sources are forced to the init transaction.
+  EXPECT_EQ(dec.graphs_tried, 6u);
+}
+
+TEST(Enumeration, SelfReadsNeverEnumerated) {
+  // A transaction reading the value it later writes cannot read from
+  // itself (Definition 6 requires T ≠ S); with no other writer of that
+  // value there is no extension.
+  History h;
+  h.append_singleton(Transaction({read(kX, 5), write(kX, 5)}));
+  const std::size_t total = enumerate_dependency_graphs(
+      h, [](const DependencyGraph&) { return true; });
+  EXPECT_EQ(total, 0u);
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,130 @@
+#include "core/history.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sia {
+namespace {
+
+constexpr ObjId kX = 0;
+constexpr ObjId kY = 1;
+
+History two_sessions() {
+  History h;
+  h.append(0, Transaction({write(kX, 1)}));  // T0
+  h.append(0, Transaction({read(kX, 1)}));   // T1
+  h.append(1, Transaction({write(kY, 2)}));  // T2
+  return h;
+}
+
+TEST(History, AppendTracksSessions) {
+  const History h = two_sessions();
+  EXPECT_EQ(h.txn_count(), 3u);
+  EXPECT_EQ(h.session_count(), 2u);
+  EXPECT_EQ(h.session(0), (std::vector<TxnId>{0, 1}));
+  EXPECT_EQ(h.session(1), (std::vector<TxnId>{2}));
+  EXPECT_EQ(h.session_of(1), 0u);
+  EXPECT_EQ(h.session_of(2), 1u);
+  EXPECT_EQ(h.session_index_of(1), 1u);
+}
+
+TEST(History, SessionOrderIsPerSessionTotalOrder) {
+  History h;
+  h.append(0, Transaction({write(kX, 1)}));
+  h.append(0, Transaction({write(kX, 2)}));
+  h.append(0, Transaction({write(kX, 3)}));
+  h.append(1, Transaction({write(kY, 1)}));
+  const Relation so = h.session_order();
+  EXPECT_TRUE(so.contains(0, 1));
+  EXPECT_TRUE(so.contains(0, 2));
+  EXPECT_TRUE(so.contains(1, 2));
+  EXPECT_FALSE(so.contains(1, 0));
+  EXPECT_FALSE(so.contains(0, 3));
+  EXPECT_FALSE(so.contains(3, 0));
+  EXPECT_TRUE(so.is_acyclic());
+  EXPECT_TRUE(so.is_transitive());
+}
+
+TEST(History, SameSessionEquivalence) {
+  const History h = two_sessions();
+  EXPECT_TRUE(h.same_session(0, 1));
+  EXPECT_TRUE(h.same_session(1, 0));
+  EXPECT_TRUE(h.same_session(2, 2));
+  EXPECT_FALSE(h.same_session(0, 2));
+  const Relation eq = h.same_session();
+  EXPECT_TRUE(eq.contains(0, 0));
+  EXPECT_TRUE(eq.contains(0, 1));
+  EXPECT_TRUE(eq.contains(1, 0));
+  EXPECT_FALSE(eq.contains(1, 2));
+}
+
+TEST(History, ObjectsAndWriters) {
+  const History h = two_sessions();
+  EXPECT_EQ(h.objects(), (std::vector<ObjId>{kX, kY}));
+  EXPECT_EQ(h.writers_of(kX), (std::vector<TxnId>{0}));
+  EXPECT_EQ(h.writers_of(kY), (std::vector<TxnId>{2}));
+}
+
+TEST(History, AppendSingletonMakesFreshSession) {
+  History h = two_sessions();
+  const TxnId id = h.append_singleton(Transaction({read(kY, 2)}));
+  EXPECT_EQ(h.session_of(id), 2u);
+  EXPECT_EQ(h.session(2), (std::vector<TxnId>{id}));
+}
+
+TEST(History, InternallyConsistent) {
+  History good = two_sessions();
+  EXPECT_TRUE(good.internally_consistent());
+  History bad;
+  bad.append(0, Transaction({write(kX, 1), read(kX, 9)}));
+  EXPECT_FALSE(bad.internally_consistent());
+}
+
+TEST(HistoryBuilder, BuildsSessionsAndObjects) {
+  HistoryBuilder b;
+  const ObjId x = b.obj("x");
+  const ObjId y = b.obj("y");
+  b.session().txn({write(x, 1)}).txn({read(x, 1)});
+  b.session().txn({write(y, 5)});
+  const History h = b.build();
+  EXPECT_EQ(h.txn_count(), 3u);
+  EXPECT_EQ(h.session_count(), 2u);
+  EXPECT_EQ(b.objects().name(x), "x");
+  EXPECT_EQ(h.txn(2).final_write(y), 5);
+}
+
+TEST(HistoryBuilder, InitTxnIsSingletonAndWritesAll) {
+  HistoryBuilder b;
+  const ObjId x = b.obj("x");
+  const ObjId y = b.obj("y");
+  const TxnId init = b.init_txn({x, y});
+  b.session().txn({read(x, 0)});
+  const History h = b.build();
+  EXPECT_EQ(init, 0u);
+  EXPECT_EQ(h.session(h.session_of(init)).size(), 1u);
+  EXPECT_EQ(h.txn(init).final_write(x), 0);
+  EXPECT_EQ(h.txn(init).final_write(y), 0);
+  // The txn after init_txn went to a fresh session, not the init's.
+  EXPECT_FALSE(h.same_session(0, 1));
+}
+
+TEST(HistoryBuilder, LastTxnTracksIds) {
+  HistoryBuilder b;
+  const ObjId x = b.obj("x");
+  b.session().txn({write(x, 1)});
+  const TxnId first = b.last_txn();
+  b.txn({write(x, 2)});
+  const TxnId second = b.last_txn();
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(second, 1u);
+}
+
+TEST(History, ToStringMentionsSessions) {
+  const History h = two_sessions();
+  const std::string s = to_string(h);
+  EXPECT_NE(s.find("s0:"), std::string::npos);
+  EXPECT_NE(s.find("s1:"), std::string::npos);
+  EXPECT_NE(s.find("T2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sia

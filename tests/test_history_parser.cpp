@@ -1,0 +1,96 @@
+#include "tools/history_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/enumeration.hpp"
+
+namespace sia {
+namespace {
+
+constexpr const char* kWriteSkew = R"(
+# the paper's write skew
+init acct1 acct2
+session c1 {
+  txn { r acct1 0  r acct2 0  w acct1 -100 }
+}
+session c2 {
+  txn { r acct1 0  r acct2 0  w acct2 -100 }
+}
+)";
+
+TEST(HistoryParser, ParsesWriteSkewTrace) {
+  const ParsedHistory trace = parse_history(kWriteSkew);
+  ASSERT_EQ(trace.history.txn_count(), 3u);
+  EXPECT_EQ(trace.history.session_count(), 3u);
+  // init = txn 0, singleton session, writes 0 to both objects.
+  EXPECT_EQ(trace.history.txn(0).final_write(trace.objects.lookup("acct1")),
+            0);
+  EXPECT_EQ(trace.history.txn(1).events().size(), 3u);
+  EXPECT_EQ(trace.history.txn(1)[2],
+            write(trace.objects.lookup("acct1"), -100));
+}
+
+TEST(HistoryParser, ParsedTraceFeedsDecisionProcedure) {
+  const ParsedHistory trace = parse_history(kWriteSkew);
+  EXPECT_FALSE(decide_history(trace.history, Model::kSER).allowed);
+  EXPECT_TRUE(decide_history(trace.history, Model::kSI).allowed);
+}
+
+TEST(HistoryParser, MultipleTxnsPerSessionKeepOrder) {
+  const ParsedHistory trace = parse_history(
+      "session s {\n  txn { w x 1 }\n  txn { r x 1 }\n}\n");
+  ASSERT_EQ(trace.history.txn_count(), 2u);
+  EXPECT_TRUE(trace.history.same_session(0, 1));
+  EXPECT_TRUE(trace.history.session_order().contains(0, 1));
+}
+
+TEST(HistoryParser, NegativeAndLargeValues) {
+  const ParsedHistory trace =
+      parse_history("session s {\n  txn { w x -42 r y 100000 }\n}\n");
+  EXPECT_EQ(trace.history.txn(0)[0].value, -42);
+  EXPECT_EQ(trace.history.txn(0)[1].value, 100000);
+}
+
+TEST(HistoryParser, ErrorsCarryLineNumbers) {
+  const auto expect_error = [](const char* text, const char* fragment) {
+    try {
+      (void)parse_history(text);
+      FAIL() << "expected ModelError for: " << text;
+    } catch (const ModelError& e) {
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("txn { r x 0 }\n", "outside a session");
+  expect_error("session a {\nsession b {\n", "nested");
+  expect_error("session a {\n", "missing final");
+  expect_error("}\n", "unmatched");
+  expect_error("session a {\n  txn { q x 0 }\n}\n", "expected 'r' or 'w'");
+  expect_error("session a {\n  txn { r x }\n}\n", "needs");
+  expect_error("session a {\n  txn { }\n}\n", "empty transaction");
+  expect_error("session a {\n  txn { r x zero }\n}\n", "bad value");
+  expect_error("init\n", "needs object names");
+  expect_error("session a {\n  txn { w x 1 }\n}\ninit x\n", "must precede");
+  expect_error("init x\ninit y\n", "duplicate");
+  expect_error("bogus\n", "expected 'init'");
+}
+
+TEST(HistoryParser, FormatRoundTrips) {
+  const ParsedHistory trace = parse_history(kWriteSkew);
+  const std::string text = format_history(trace.history, trace.objects);
+  const ParsedHistory again = parse_history(text);
+  EXPECT_EQ(again.history, trace.history);
+}
+
+TEST(HistoryParser, FormatWithoutInitShape) {
+  // A history whose first transaction reads is not emitted as `init`.
+  const ParsedHistory trace =
+      parse_history("session s {\n  txn { r x 0 w x 1 }\n}\n");
+  const std::string text = format_history(trace.history, trace.objects);
+  EXPECT_EQ(text.find("init"), std::string::npos);
+  EXPECT_EQ(parse_history(text).history, trace.history);
+}
+
+}  // namespace
+}  // namespace sia

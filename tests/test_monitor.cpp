@@ -1,0 +1,207 @@
+#include "graph/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/characterization.hpp"
+#include "workload/generator.hpp"
+
+namespace sia {
+namespace {
+
+constexpr ObjId kX = 0;
+constexpr ObjId kY = 1;
+
+MonitoredCommit make_commit(SessionId s, std::vector<Event> events,
+                            std::map<ObjId, TxnId> sources = {}) {
+  return MonitoredCommit{s, Transaction(std::move(events)),
+                         std::move(sources)};
+}
+
+TEST(Monitor, EmptyIsConsistent) {
+  const ConsistencyMonitor m(Model::kSI);
+  EXPECT_TRUE(m.consistent());
+  EXPECT_EQ(m.commit_count(), 0u);
+}
+
+TEST(Monitor, SimpleChainStaysConsistentEverywhere) {
+  for (const Model model : {Model::kSER, Model::kSI, Model::kPSI}) {
+    ConsistencyMonitor m(model);
+    const TxnId w = m.commit(make_commit(0, {write(kX, 1)}));
+    m.commit(make_commit(1, {read(kX, 1)}, {{kX, w}}));
+    EXPECT_TRUE(m.consistent()) << to_string(model);
+  }
+}
+
+TEST(Monitor, WriteSkewConsistentUnderSiNotSer) {
+  auto feed = [](ConsistencyMonitor& m) {
+    m.commit(make_commit(
+        0, {read(kX, 0), read(kY, 0), write(kX, -100)}, {{kX, 0}, {kY, 0}}));
+    m.commit(make_commit(
+        1, {read(kX, 0), read(kY, 0), write(kY, -100)}, {{kX, 0}, {kY, 0}}));
+  };
+  ConsistencyMonitor si(Model::kSI);
+  feed(si);
+  EXPECT_TRUE(si.consistent());
+  ConsistencyMonitor psi(Model::kPSI);
+  feed(psi);
+  EXPECT_TRUE(psi.consistent());
+  ConsistencyMonitor ser(Model::kSER);
+  feed(ser);
+  EXPECT_FALSE(ser.consistent());
+  EXPECT_EQ(ser.violating_commit(), 2u);  // second commit closes the cycle
+  EXPECT_FALSE(ser.violation_detail().empty());
+}
+
+TEST(Monitor, LostUpdateViolatesAllModels) {
+  auto feed = [](ConsistencyMonitor& m) {
+    m.commit(make_commit(0, {read(kX, 0), write(kX, 50)}, {{kX, 0}}));
+    m.commit(make_commit(1, {read(kX, 0), write(kX, 25)}, {{kX, 0}}));
+  };
+  for (const Model model : {Model::kSER, Model::kSI, Model::kPSI}) {
+    ConsistencyMonitor m(model);
+    feed(m);
+    EXPECT_FALSE(m.consistent()) << to_string(model);
+    EXPECT_EQ(m.violating_commit(), 2u) << to_string(model);
+  }
+}
+
+TEST(Monitor, LongForkConsistentUnderPsiOnly) {
+  auto feed = [](ConsistencyMonitor& m) {
+    const TxnId wx = m.commit(make_commit(0, {write(kX, 1)}));
+    const TxnId wy = m.commit(make_commit(1, {write(kY, 1)}));
+    m.commit(make_commit(2, {read(kX, 1), read(kY, 0)}, {{kX, wx}, {kY, 0}}));
+    m.commit(make_commit(3, {read(kX, 0), read(kY, 1)}, {{kX, 0}, {kY, wy}}));
+  };
+  ConsistencyMonitor psi(Model::kPSI);
+  feed(psi);
+  EXPECT_TRUE(psi.consistent());
+  ConsistencyMonitor si(Model::kSI);
+  feed(si);
+  EXPECT_FALSE(si.consistent());
+  EXPECT_EQ(si.violating_commit(), 4u);  // the second reader closes it
+  ConsistencyMonitor ser(Model::kSER);
+  feed(ser);
+  EXPECT_FALSE(ser.consistent());
+}
+
+TEST(Monitor, LateCommittingReaderCreatesBackwardAntiDependency) {
+  // Reader observes the initial version *after* an overwriter committed:
+  // the RW edge targets an older commit. Allowed by SI on its own.
+  ConsistencyMonitor m(Model::kSI);
+  m.commit(make_commit(0, {write(kX, 1)}));
+  m.commit(make_commit(1, {read(kX, 0)}, {{kX, 0}}));  // stale snapshot
+  EXPECT_TRUE(m.consistent());
+  // But a session successor reading the new version afterwards is fine,
+  // while the *same session* then writing x would have to see it...
+  m.commit(make_commit(1, {read(kX, 1)}, {{kX, 1}}));
+  EXPECT_TRUE(m.consistent());
+}
+
+TEST(Monitor, SessionOrderParticipatesInCycles) {
+  // T1 (session A) writes x; T2 (session B) reads x=1 then session B
+  // writes y; T3 (session A, after T1) reads y stale -> RW into session
+  // B's writer; with SO edges this closes a D;RW cycle only if composed
+  // with two adjacent anti-dependencies — construct the lost-update-like
+  // shape through sessions instead.
+  ConsistencyMonitor m(Model::kSI);
+  const TxnId t1 = m.commit(make_commit(0, {write(kX, 1)}));
+  m.commit(make_commit(1, {read(kX, 1), write(kY, 2)}, {{kX, t1}}));
+  // Session 0 continues: reads y stale (RW to t2), then also reads x own.
+  m.commit(make_commit(0, {read(kY, 0)}, {{kY, 0}}));
+  EXPECT_TRUE(m.consistent());
+  // Now session 1 reads something written after... feed a genuine
+  // violation: t4 in session 1 reads x stale (RW to t1) — D;RW cycle:
+  // t1 -WR-> t2 -SO-> t4 -RW-> t1 has a single anti-dependency.
+  m.commit(make_commit(1, {read(kX, 0)}, {{kX, 0}}));
+  EXPECT_FALSE(m.consistent());
+}
+
+TEST(Monitor, RejectsUnknownReadSource) {
+  ConsistencyMonitor m(Model::kSI);
+  EXPECT_THROW(
+      m.commit(make_commit(0, {read(kX, 7)}, {{kX, 42}})), ModelError);
+  EXPECT_THROW(m.commit(make_commit(0, {read(kX, 7)}, {})), ModelError);
+}
+
+TEST(Monitor, GraphReconstructionValidates) {
+  ConsistencyMonitor m(Model::kSI);
+  const TxnId w = m.commit(make_commit(0, {write(kX, 5)}));
+  m.commit(make_commit(1, {read(kX, 5), write(kY, 6)}, {{kX, w}}));
+  const DependencyGraph g = m.graph();
+  EXPECT_EQ(g.validate(), std::nullopt);
+  EXPECT_TRUE(check_graph_si(g).member);
+  EXPECT_EQ(g.write_order(kX), (std::vector<TxnId>{0, 1}));
+  EXPECT_EQ(g.read_source(kX, 2), 1u);
+}
+
+TEST(Monitor, CapacityGrowsPastInitialReservation) {
+  ConsistencyMonitor m(Model::kSI);
+  TxnId prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::map<ObjId, TxnId> src;
+    std::vector<Event> events;
+    if (i > 0) {
+      events.push_back(read(kX, i));
+      src[kX] = prev;
+    }
+    events.push_back(write(kX, i + 1));
+    prev = m.commit(make_commit(0, std::move(events), std::move(src)));
+  }
+  EXPECT_TRUE(m.consistent());
+  EXPECT_EQ(m.commit_count(), 100u);
+}
+
+// ----- agreement with the batch characterisation on engine runs ------------
+
+struct ReplayParam {
+  std::uint64_t seed;
+  double write_ratio;
+};
+
+class MonitorReplaySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonitorReplaySweep, AgreesWithBatchCheckOnEngineRuns) {
+  workload::WorkloadSpec spec;
+  spec.seed = static_cast<std::uint64_t>(GetParam()) * 131 + 5;
+  spec.sessions = 4;
+  spec.txns_per_session = 8;
+  spec.ops_per_txn = 4;
+  spec.num_keys = 5;
+  spec.write_ratio = 0.4 + 0.05 * (GetParam() % 5);
+  spec.concurrent = false;
+
+  // SI runs are consistent for SI/PSI monitors; SER runs for all three.
+  const mvcc::RecordedRun si_run = workload::run_si(spec);
+  for (const Model model : {Model::kSER, Model::kSI, Model::kPSI}) {
+    const ConsistencyMonitor monitor = replay(si_run.graph, model);
+    const bool batch = check_graph(si_run.graph, model).member;
+    EXPECT_EQ(monitor.consistent(), batch)
+        << "model " << to_string(model) << " disagrees with batch check";
+  }
+  const mvcc::RecordedRun psi_run = workload::run_psi(spec, 3);
+  for (const Model model : {Model::kSER, Model::kSI, Model::kPSI}) {
+    const ConsistencyMonitor monitor = replay(psi_run.graph, model);
+    const bool batch = check_graph(psi_run.graph, model).member;
+    EXPECT_EQ(monitor.consistent(), batch)
+        << "model " << to_string(model) << " disagrees with batch check";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorReplaySweep, ::testing::Range(0, 8));
+
+TEST(Monitor, ReplayedGraphMatchesOriginal) {
+  workload::WorkloadSpec spec;
+  spec.sessions = 3;
+  spec.txns_per_session = 5;
+  spec.num_keys = 4;
+  spec.concurrent = false;
+  const mvcc::RecordedRun run = workload::run_si(spec);
+  const ConsistencyMonitor monitor = replay(run.graph, Model::kSI);
+  const DependencyGraph rebuilt = monitor.graph();
+  for (ObjId obj : run.graph.history().objects()) {
+    EXPECT_EQ(rebuilt.write_order(obj), run.graph.write_order(obj));
+  }
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,120 @@
+#include "tools/program_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chopping/static_chopping_graph.hpp"
+#include "robustness/robustness.hpp"
+
+namespace sia {
+namespace {
+
+constexpr const char* kBanking = R"(
+# the paper's running example
+program transfer {
+  piece "debit"  reads acct1 writes acct1
+  piece "credit" reads acct2 writes acct2
+}
+program lookupAll {
+  piece reads acct1 acct2
+}
+)";
+
+TEST(Parser, ParsesBankingSuite) {
+  const ParsedSuite suite = parse_programs(kBanking);
+  ASSERT_EQ(suite.programs.size(), 2u);
+  EXPECT_EQ(suite.programs[0].name, "transfer");
+  ASSERT_EQ(suite.programs[0].pieces.size(), 2u);
+  EXPECT_EQ(suite.programs[0].pieces[0].label, "debit");
+  EXPECT_EQ(suite.programs[0].pieces[0].reads,
+            std::vector<ObjId>{suite.objects.lookup("acct1")});
+  EXPECT_EQ(suite.programs[0].pieces[0].writes,
+            std::vector<ObjId>{suite.objects.lookup("acct1")});
+  EXPECT_EQ(suite.programs[1].pieces[0].reads.size(), 2u);
+  EXPECT_TRUE(suite.programs[1].pieces[0].writes.empty());
+}
+
+TEST(Parser, ParsedSuiteFeedsAnalyses) {
+  const ParsedSuite suite = parse_programs(kBanking);
+  // Figure 5's verdict from the text format.
+  EXPECT_FALSE(check_chopping_static(suite.programs).correct);
+  EXPECT_FALSE(robust_against_si(unchop(suite.programs)).robust);
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored) {
+  const ParsedSuite suite = parse_programs(
+      "\n# leading comment\nprogram p { # trailing\n"
+      "  piece reads x # more\n}\n\n");
+  ASSERT_EQ(suite.programs.size(), 1u);
+  EXPECT_EQ(suite.programs[0].pieces.size(), 1u);
+}
+
+TEST(Parser, LabelMayContainSpaces) {
+  const ParsedSuite suite = parse_programs(
+      "program p {\n  piece \"two words here\" writes x\n}\n");
+  EXPECT_EQ(suite.programs[0].pieces[0].label, "two words here");
+}
+
+TEST(Parser, PieceMayOmitBothLists) {
+  const ParsedSuite suite =
+      parse_programs("program p {\n  piece \"nop\"\n}\n");
+  EXPECT_TRUE(suite.programs[0].pieces[0].reads.empty());
+  EXPECT_TRUE(suite.programs[0].pieces[0].writes.empty());
+}
+
+TEST(Parser, ReadsWritesMayInterleave) {
+  const ParsedSuite suite = parse_programs(
+      "program p {\n  piece reads a writes b reads c\n}\n");
+  EXPECT_EQ(suite.programs[0].pieces[0].reads.size(), 2u);
+  EXPECT_EQ(suite.programs[0].pieces[0].writes.size(), 1u);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  const auto expect_error = [](const char* text, const char* fragment) {
+    try {
+      (void)parse_programs(text);
+      FAIL() << "expected ModelError for: " << text;
+    } catch (const ModelError& e) {
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos);
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_error("piece reads x\n", "outside a program");
+  expect_error("program p {\nprogram q {\n", "nested");
+  expect_error("program p {\n}\n", "no pieces");
+  expect_error("program p {\n", "missing final");
+  expect_error("program p {\n  piece reads x\n", "missing final");
+  expect_error("}\n", "unmatched");
+  expect_error("program {\n", "expected a program name");
+  expect_error("program p {\n  piece x\n}\n", "expected 'reads' or 'writes'");
+  expect_error("garbage\n", "expected 'program'");
+  expect_error("program p {\n  piece \"unterminated\n}\n",
+               "unterminated string");
+  expect_error("program p {\n  piece reads \"x\"\n}\n", "must not be quoted");
+}
+
+TEST(Parser, FormatRoundTrips) {
+  const ParsedSuite suite = parse_programs(kBanking);
+  const std::string text = format_programs(suite.programs, suite.objects);
+  const ParsedSuite again = parse_programs(text);
+  ASSERT_EQ(again.programs.size(), suite.programs.size());
+  for (std::size_t i = 0; i < suite.programs.size(); ++i) {
+    EXPECT_EQ(again.programs[i].name, suite.programs[i].name);
+    ASSERT_EQ(again.programs[i].pieces.size(),
+              suite.programs[i].pieces.size());
+    for (std::size_t j = 0; j < suite.programs[i].pieces.size(); ++j) {
+      EXPECT_EQ(again.programs[i].pieces[j].label,
+                suite.programs[i].pieces[j].label);
+      EXPECT_EQ(again.programs[i].pieces[j].reads.size(),
+                suite.programs[i].pieces[j].reads.size());
+    }
+  }
+}
+
+TEST(Parser, EmptyInputYieldsNoPrograms) {
+  const ParsedSuite suite = parse_programs("  \n # nothing \n");
+  EXPECT_TRUE(suite.programs.empty());
+}
+
+}  // namespace
+}  // namespace sia

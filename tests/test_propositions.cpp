@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "graph/characterization.hpp"
+#include "graph/soundness.hpp"
+#include "workload/generator.hpp"
+#include "workload/paper_examples.hpp"
+
+/// \file test_propositions.cpp
+/// The paper's auxiliary propositions, checked as executable properties
+/// on executions produced by the Theorem 10(i) construction from engine
+/// histories and from the paper's example graphs:
+///  - Proposition 14: S --RW--> T iff S ≠ T, S reads some x that T
+///    (last-)writes, and T is NOT visible to S;
+///  - Lemma 12: VIS ; RW ⊆ CO in every SI execution;
+///  - Proposition 7 / 23: graph(X) of an execution satisfying EXT is a
+///    valid dependency graph.
+
+namespace sia {
+namespace {
+
+std::vector<AbstractExecution> sample_executions() {
+  std::vector<AbstractExecution> out;
+  out.push_back(construct_execution(paper::fig4_g1()));
+  out.push_back(construct_execution(paper::fig4_g2()));
+  out.push_back(construct_execution(paper::fig11_h6()));
+  out.push_back(construct_execution(paper::fig12_g7()));
+  out.push_back(paper::fig13_execution());
+  for (const std::uint64_t seed : {11u, 22u, 33u}) {
+    workload::WorkloadSpec spec;
+    spec.seed = seed;
+    spec.sessions = 4;
+    spec.txns_per_session = 6;
+    spec.ops_per_txn = 3;
+    spec.num_keys = 5;
+    spec.concurrent = false;
+    out.push_back(construct_execution(workload::run_si(spec).graph));
+  }
+  return out;
+}
+
+TEST(Proposition14, RwIffStaleReadOfInvisibleWriter) {
+  for (const AbstractExecution& x : sample_executions()) {
+    ASSERT_TRUE(axioms::is_exec_si(x));
+    const DependencyGraph g = extract_graph(x);
+    const Relation rw = g.relations().rw;
+    const History& h = x.history;
+    for (TxnId s = 0; s < h.txn_count(); ++s) {
+      for (TxnId t = 0; t < h.txn_count(); ++t) {
+        bool rhs = false;
+        if (s != t) {
+          for (const ObjId obj : h.txn(s).external_read_set()) {
+            if (h.txn(t).writes(obj) && !x.vis.contains(t, s)) {
+              rhs = true;
+              break;
+            }
+          }
+        }
+        EXPECT_EQ(rw.contains(s, t), rhs)
+            << "Proposition 14 fails for S=T" << s << ", T=T" << t;
+      }
+    }
+  }
+}
+
+TEST(Lemma12, VisThenRwWithinCo) {
+  for (const AbstractExecution& x : sample_executions()) {
+    const DependencyGraph g = extract_graph(x);
+    const Relation composed = x.vis.compose(g.relations().rw);
+    EXPECT_TRUE(composed.subset_of(x.co))
+        << "VIS ; RW escapes CO on an SI execution";
+  }
+}
+
+TEST(Proposition7, GraphOfExecutionIsValid) {
+  for (const AbstractExecution& x : sample_executions()) {
+    const DependencyGraph g = extract_graph(x);
+    EXPECT_EQ(g.validate(), std::nullopt);
+    // And by Theorem 10(ii) it lies in GraphSI.
+    EXPECT_TRUE(check_graph_si(g).member);
+  }
+}
+
+TEST(Lemma12, ViolatedByNonSiExecutions) {
+  // Sanity: the property is not vacuous — an execution violating PREFIX
+  // (long fork with total CO) breaks VIS ; RW ⊆ CO.
+  const auto [h, objs] = paper::fig2c_long_fork();
+  (void)objs;
+  Relation vis(5);
+  vis.add(0, 1);
+  vis.add(0, 2);
+  vis.add(0, 3);
+  vis.add(0, 4);
+  vis.add(1, 3);
+  vis.add(2, 4);
+  Relation co(5);
+  const TxnId order[] = {0, 1, 3, 2, 4};
+  for (int i = 0; i < 5; ++i) {
+    for (int j = i + 1; j < 5; ++j) co.add(order[i], order[j]);
+  }
+  const AbstractExecution x{h, vis, co};
+  ASSERT_FALSE(axioms::is_exec_si(x));  // PREFIX fails
+  const DependencyGraph g = extract_graph(x);
+  const Relation composed = x.vis.compose(g.relations().rw);
+  EXPECT_FALSE(composed.subset_of(x.co));
+}
+
+}  // namespace
+}  // namespace sia

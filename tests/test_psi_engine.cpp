@@ -1,0 +1,216 @@
+#include "mvcc/psi_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "graph/characterization.hpp"
+#include "graph/enumeration.hpp"
+
+namespace sia::mvcc {
+namespace {
+
+constexpr ObjId kX = 0;
+constexpr ObjId kY = 1;
+
+TEST(PSIEngine, LocalReadAndCommit) {
+  PSIDatabase db(2, 2);
+  PSISession s = db.make_session(0);
+  PSITransaction t = db.begin(s);
+  EXPECT_EQ(t.read(kX), 0);
+  EXPECT_TRUE(t.commit());
+}
+
+TEST(PSIEngine, RejectsZeroReplicas) {
+  EXPECT_THROW(PSIDatabase(1, 0), ModelError);
+  PSIDatabase db(1, 1);
+  EXPECT_THROW((void)db.make_session(3), ModelError);
+}
+
+TEST(PSIEngine, HomeAppliesSynchronously) {
+  PSIDatabase db(2, 2);
+  PSISession s = db.make_session(0);
+  PSITransaction w = db.begin(s);
+  w.write(kX, 5);
+  ASSERT_TRUE(w.commit());
+  // Session guarantee at the home replica, no pumping needed.
+  PSITransaction r = db.begin(s);
+  EXPECT_EQ(r.read(kX), 5);
+  EXPECT_TRUE(r.commit());
+}
+
+TEST(PSIEngine, RemoteSeesWriteOnlyAfterReplication) {
+  PSIDatabase db(2, 2);
+  PSISession home = db.make_session(0);
+  PSISession remote = db.make_session(1);
+  PSITransaction w = db.begin(home);
+  w.write(kX, 5);
+  ASSERT_TRUE(w.commit());
+  {
+    PSITransaction r = db.begin(remote);
+    EXPECT_EQ(r.read(kX), 0);  // not yet replicated
+    EXPECT_TRUE(r.commit());
+  }
+  EXPECT_EQ(db.pump(1), 1u);
+  {
+    PSITransaction r = db.begin(remote);
+    EXPECT_EQ(r.read(kX), 5);
+    EXPECT_TRUE(r.commit());
+  }
+}
+
+TEST(PSIEngine, GlobalWriteConflictDetection) {
+  // NOCONFLICT holds across replicas even before replication.
+  PSIDatabase db(1, 2);
+  PSISession s0 = db.make_session(0);
+  PSISession s1 = db.make_session(1);
+  PSITransaction t0 = db.begin(s0);
+  PSITransaction t1 = db.begin(s1);
+  t0.write(kX, 1);
+  t1.write(kX, 2);
+  EXPECT_TRUE(t0.commit());
+  EXPECT_FALSE(t1.commit());  // stale snapshot of kX: first committer wins
+}
+
+TEST(PSIEngine, LongForkObservable) {
+  // Figure 2(c): two independent writers, two readers that disagree on
+  // the order — allowed by PSI, impossible under SI.
+  PSIDatabase db(2, 2);
+  PSISession s0 = db.make_session(0);
+  PSISession s1 = db.make_session(1);
+  PSITransaction wx = db.begin(s0);
+  wx.write(kX, 1);
+  ASSERT_TRUE(wx.commit());
+  PSITransaction wy = db.begin(s1);
+  wy.write(kY, 1);
+  ASSERT_TRUE(wy.commit());
+  // Reader at replica 0 sees x=1, y=0; at replica 1 sees x=0, y=1.
+  PSITransaction r0 = db.begin(s0);
+  EXPECT_EQ(r0.read(kX), 1);
+  EXPECT_EQ(r0.read(kY), 0);
+  EXPECT_TRUE(r0.commit());
+  PSITransaction r1 = db.begin(s1);
+  EXPECT_EQ(r1.read(kX), 0);
+  EXPECT_EQ(r1.read(kY), 1);
+  EXPECT_TRUE(r1.commit());
+}
+
+TEST(PSIEngine, LongForkGraphInGraphPsiNotGraphSi) {
+  Recorder rec;
+  PSIDatabase db(2, 2, &rec);
+  PSISession s0 = db.make_session(0);
+  PSISession s1 = db.make_session(1);
+  {
+    PSITransaction wx = db.begin(s0);
+    wx.write(kX, 1);
+    ASSERT_TRUE(wx.commit());
+    PSITransaction wy = db.begin(s1);
+    wy.write(kY, 1);
+    ASSERT_TRUE(wy.commit());
+    PSISession r0s = db.make_session(0);
+    PSISession r1s = db.make_session(1);
+    PSITransaction r0 = db.begin(r0s);
+    (void)r0.read(kX);
+    (void)r0.read(kY);
+    ASSERT_TRUE(r0.commit());
+    PSITransaction r1 = db.begin(r1s);
+    (void)r1.read(kX);
+    (void)r1.read(kY);
+    ASSERT_TRUE(r1.commit());
+  }
+  const RecordedRun run = rec.build();
+  EXPECT_TRUE(check_graph_psi(run.graph).member);
+  EXPECT_FALSE(check_graph_si(run.graph).member);
+  EXPECT_TRUE(decide_history(run.history, Model::kPSI).allowed);
+  EXPECT_FALSE(decide_history(run.history, Model::kSI).allowed);
+}
+
+TEST(PSIEngine, CausalityPreservedAcrossReplicas) {
+  // y := f(x) at replica 1 after seeing x; replica 2 must never see the y
+  // write without the x write (TRANSVIS).
+  PSIDatabase db(2, 3);
+  PSISession s0 = db.make_session(0);
+  PSISession s1 = db.make_session(1);
+  PSITransaction wx = db.begin(s0);
+  wx.write(kX, 1);
+  ASSERT_TRUE(wx.commit());
+  ASSERT_EQ(db.pump(1), 1u);  // x reaches replica 1
+  PSITransaction wy = db.begin(s1);
+  EXPECT_EQ(wy.read(kX), 1);
+  wy.write(kY, 2);
+  ASSERT_TRUE(wy.commit());
+  // Pump replica 2: it must apply wx before wy regardless of queue order.
+  PSISession s2 = db.make_session(2);
+  EXPECT_EQ(db.pump(2, 1), 1u);
+  {
+    PSITransaction r = db.begin(s2);
+    const Value y = r.read(kY);
+    const Value x = r.read(kX);
+    EXPECT_TRUE(y == 0 || x == 1) << "y visible without its cause";
+    EXPECT_TRUE(r.commit());
+  }
+  EXPECT_GE(db.pump(2), 1u);
+  {
+    PSITransaction r = db.begin(s2);
+    EXPECT_EQ(r.read(kY), 2);
+    EXPECT_EQ(r.read(kX), 1);
+    EXPECT_TRUE(r.commit());
+  }
+}
+
+TEST(PSIEngine, PumpAllDrainsEverything) {
+  PSIDatabase db(4, 3);
+  for (ReplicaId r = 0; r < 3; ++r) {
+    PSISession s = db.make_session(r);
+    PSITransaction t = db.begin(s);
+    t.write(static_cast<ObjId>(r), 1);
+    ASSERT_TRUE(t.commit());
+  }
+  EXPECT_EQ(db.pump_all(), 6u);  // 3 commits x 2 remote replicas
+  for (ReplicaId r = 0; r < 3; ++r) {
+    PSISession s = db.make_session(r);
+    PSITransaction t = db.begin(s);
+    for (ObjId k = 0; k < 3; ++k) EXPECT_EQ(t.read(k), 1);
+    ASSERT_TRUE(t.commit());
+  }
+}
+
+TEST(PSIEngine, ConcurrentStressProducesGraphPsi) {
+  Recorder rec;
+  PSIDatabase db(6, 3, &rec);
+  db.start_auto_replication();
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&db, i] {
+      PSISession s = db.make_session(static_cast<ReplicaId>(i % 3));
+      for (int t = 0; t < 30; ++t) {
+        db.run(s, [&](PSITransaction& txn) {
+          const ObjId a = static_cast<ObjId>((i + t) % 6);
+          const ObjId b = static_cast<ObjId>((i * 2 + t) % 6);
+          const Value v = txn.read(a);
+          txn.write(b, v + 1 + i);
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  db.stop_auto_replication();
+  db.pump_all();
+  const RecordedRun run = rec.build();
+  EXPECT_EQ(run.graph.validate(), std::nullopt);
+  EXPECT_TRUE(check_graph_psi(run.graph).member)
+      << "PSI engine produced a history outside GraphPSI";
+}
+
+TEST(PSIEngine, ReadOnlyTransactionsAlwaysCommit) {
+  PSIDatabase db(1, 2);
+  PSISession s = db.make_session(1);
+  PSITransaction t = db.begin(s);
+  (void)t.read(kX);
+  EXPECT_TRUE(t.commit());
+  EXPECT_EQ(db.commits(), 1u);
+}
+
+}  // namespace
+}  // namespace sia::mvcc

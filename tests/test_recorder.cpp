@@ -1,0 +1,101 @@
+#include "mvcc/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sia::mvcc {
+namespace {
+
+constexpr ObjId kX = 0;
+constexpr ObjId kY = 1;
+
+TEST(Recorder, HandlesStartAtOne) {
+  Recorder rec;
+  CommitRecord r;
+  r.session = 0;
+  r.events = {write(kX, 1)};
+  r.observed_writer = {kInitHandle};
+  r.write_versions[kX] = 1;
+  EXPECT_EQ(rec.record(r), 1u);
+  EXPECT_EQ(rec.record(r), 2u);
+  EXPECT_EQ(rec.commit_count(), 2u);
+}
+
+TEST(Recorder, BuildCreatesInitTransaction) {
+  Recorder rec;
+  CommitRecord r;
+  r.session = 0;
+  r.events = {read(kX, 0), write(kY, 7)};
+  r.observed_writer = {kInitHandle, kInitHandle};
+  r.write_versions[kY] = 1;
+  rec.record(r);
+  const RecordedRun run = rec.build();
+  ASSERT_EQ(run.history.txn_count(), 2u);
+  // TxnId 0 is the init transaction writing 0 to every touched key.
+  EXPECT_EQ(run.history.txn(0).final_write(kX), 0);
+  EXPECT_EQ(run.history.txn(0).final_write(kY), 0);
+  // Sessions shifted by one (session 0 is the init's).
+  EXPECT_FALSE(run.history.same_session(0, 1));
+  EXPECT_EQ(run.graph.validate(), std::nullopt);
+  EXPECT_EQ(run.graph.read_source(kX, 1), 0u);
+  EXPECT_EQ(run.graph.write_order(kY), (std::vector<TxnId>{0, 1}));
+}
+
+TEST(Recorder, WwOrderFollowsVersions) {
+  Recorder rec;
+  for (const std::uint64_t version : {2u, 1u}) {  // recorded out of order
+    CommitRecord r;
+    r.session = static_cast<SessionId>(version);
+    r.events = {write(kX, static_cast<Value>(version) * 10)};
+    r.observed_writer = {kInitHandle};
+    r.write_versions[kX] = version;
+    rec.record(r);
+  }
+  const RecordedRun run = rec.build();
+  // Handle 1 has version 2, handle 2 has version 1: WW = init, h2, h1.
+  EXPECT_EQ(run.graph.write_order(kX), (std::vector<TxnId>{0, 2, 1}));
+}
+
+TEST(Recorder, DuplicateVersionsRejected) {
+  Recorder rec;
+  for (int i = 0; i < 2; ++i) {
+    CommitRecord r;
+    r.session = static_cast<SessionId>(i);
+    r.events = {write(kX, i)};
+    r.observed_writer = {kInitHandle};
+    r.write_versions[kX] = 5;  // same version twice: engine bug
+    rec.record(r);
+  }
+  EXPECT_THROW((void)rec.build(), ModelError);
+}
+
+TEST(Recorder, MissingObservedWriterRejected) {
+  Recorder rec;
+  CommitRecord r;
+  r.session = 0;
+  r.events = {read(kX, 0)};
+  r.observed_writer = {};  // missing
+  rec.record(r);
+  EXPECT_THROW((void)rec.build(), ModelError);
+}
+
+TEST(Recorder, SessionsArePreserved) {
+  Recorder rec;
+  for (int i = 0; i < 3; ++i) {
+    CommitRecord r;
+    r.session = 1;  // all in client session 1
+    r.events = {write(kX, i + 1)};
+    r.observed_writer = {kInitHandle};
+    r.write_versions[kX] = static_cast<std::uint64_t>(i + 1);
+    rec.record(r);
+  }
+  const RecordedRun run = rec.build();
+  // Client session 1 -> history session 2, holding handles 1..3.
+  EXPECT_TRUE(run.history.same_session(1, 2));
+  EXPECT_TRUE(run.history.same_session(2, 3));
+  const Relation so = run.history.session_order();
+  EXPECT_TRUE(so.contains(1, 2));
+  EXPECT_TRUE(so.contains(2, 3));
+}
+
+}  // namespace
+}  // namespace sia::mvcc

@@ -1,0 +1,341 @@
+#include "core/relation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sia {
+namespace {
+
+TEST(Relation, EmptyHasNoEdges) {
+  const Relation r(5);
+  EXPECT_EQ(r.edge_count(), 0u);
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.is_irreflexive());
+  EXPECT_TRUE(r.is_acyclic());
+  EXPECT_TRUE(r.is_transitive());
+}
+
+TEST(Relation, AddContainsRemove) {
+  Relation r(4);
+  r.add(1, 2);
+  EXPECT_TRUE(r.contains(1, 2));
+  EXPECT_FALSE(r.contains(2, 1));
+  EXPECT_EQ(r.edge_count(), 1u);
+  r.remove(1, 2);
+  EXPECT_FALSE(r.contains(1, 2));
+  EXPECT_EQ(r.edge_count(), 0u);
+}
+
+TEST(Relation, IdentityIsReflexive) {
+  const Relation id = Relation::identity(3);
+  EXPECT_EQ(id.edge_count(), 3u);
+  for (TxnId a = 0; a < 3; ++a) EXPECT_TRUE(id.contains(a, a));
+  EXPECT_FALSE(id.is_irreflexive());
+}
+
+TEST(Relation, FromEdges) {
+  const Relation r = Relation::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(r.contains(0, 1));
+  EXPECT_TRUE(r.contains(1, 2));
+  EXPECT_FALSE(r.contains(0, 2));
+}
+
+TEST(Relation, EdgesAreLexicographic) {
+  Relation r(70);  // spans multiple 64-bit words
+  r.add(65, 3);
+  r.add(0, 69);
+  r.add(0, 2);
+  const auto edges = r.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (std::pair<TxnId, TxnId>{0, 2}));
+  EXPECT_EQ(edges[1], (std::pair<TxnId, TxnId>{0, 69}));
+  EXPECT_EQ(edges[2], (std::pair<TxnId, TxnId>{65, 3}));
+}
+
+TEST(Relation, SuccessorsPredecessors) {
+  Relation r(4);
+  r.add(0, 1);
+  r.add(0, 3);
+  r.add(2, 3);
+  EXPECT_EQ(r.successors(0), (std::vector<TxnId>{1, 3}));
+  EXPECT_EQ(r.predecessors(3), (std::vector<TxnId>{0, 2}));
+  EXPECT_TRUE(r.successors(1).empty());
+}
+
+TEST(Relation, UnionIntersectionDifference) {
+  Relation a = Relation::from_edges(3, {{0, 1}, {1, 2}});
+  const Relation b = Relation::from_edges(3, {{1, 2}, {2, 0}});
+  const Relation u = a | b;
+  EXPECT_EQ(u.edge_count(), 3u);
+  const Relation i = a & b;
+  EXPECT_EQ(i.edges(), (std::vector<std::pair<TxnId, TxnId>>{{1, 2}}));
+  const Relation d = a - b;
+  EXPECT_EQ(d.edges(), (std::vector<std::pair<TxnId, TxnId>>{{0, 1}}));
+}
+
+TEST(Relation, Compose) {
+  const Relation a = Relation::from_edges(4, {{0, 1}, {2, 3}});
+  const Relation b = Relation::from_edges(4, {{1, 2}, {3, 0}});
+  const Relation c = a.compose(b);
+  EXPECT_EQ(c.edges(), (std::vector<std::pair<TxnId, TxnId>>{{0, 2}, {2, 0}}));
+}
+
+TEST(Relation, ComposeMatchesDefinition) {
+  // R1 ; R2 = {(a,b) | ∃c. R1(a,c) ∧ R2(c,b)} — brute-force check.
+  Relation r1(6);
+  Relation r2(6);
+  for (TxnId a = 0; a < 6; ++a) {
+    for (TxnId b = 0; b < 6; ++b) {
+      if ((a * 7 + b * 3) % 5 == 0) r1.add(a, b);
+      if ((a * 3 + b * 11) % 4 == 0) r2.add(a, b);
+    }
+  }
+  const Relation c = r1.compose(r2);
+  for (TxnId a = 0; a < 6; ++a) {
+    for (TxnId b = 0; b < 6; ++b) {
+      bool expected = false;
+      for (TxnId mid = 0; mid < 6; ++mid) {
+        expected = expected || (r1.contains(a, mid) && r2.contains(mid, b));
+      }
+      EXPECT_EQ(c.contains(a, b), expected) << a << "," << b;
+    }
+  }
+}
+
+TEST(Relation, TransitiveClosureChain) {
+  const Relation r = Relation::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Relation tc = r.transitive_closure();
+  EXPECT_TRUE(tc.contains(0, 3));
+  EXPECT_TRUE(tc.contains(0, 2));
+  EXPECT_TRUE(tc.contains(1, 3));
+  EXPECT_FALSE(tc.contains(3, 0));
+  EXPECT_TRUE(tc.is_transitive());
+}
+
+TEST(Relation, TransitiveClosureCycle) {
+  const Relation r = Relation::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  const Relation tc = r.transitive_closure();
+  for (TxnId a = 0; a < 3; ++a) {
+    for (TxnId b = 0; b < 3; ++b) EXPECT_TRUE(tc.contains(a, b));
+  }
+}
+
+TEST(Relation, ReflexiveClosure) {
+  const Relation r = Relation::from_edges(3, {{0, 1}});
+  const Relation rc = r.reflexive_closure();
+  EXPECT_TRUE(rc.contains(0, 0));
+  EXPECT_TRUE(rc.contains(1, 1));
+  EXPECT_TRUE(rc.contains(2, 2));
+  EXPECT_TRUE(rc.contains(0, 1));
+  EXPECT_EQ(rc.edge_count(), 4u);
+}
+
+TEST(Relation, Inverse) {
+  const Relation r = Relation::from_edges(3, {{0, 1}, {1, 2}});
+  const Relation inv = r.inverse();
+  EXPECT_TRUE(inv.contains(1, 0));
+  EXPECT_TRUE(inv.contains(2, 1));
+  EXPECT_EQ(inv.edge_count(), 2u);
+}
+
+TEST(Relation, AcyclicDetection) {
+  Relation r = Relation::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_TRUE(r.is_acyclic());
+  r.add(3, 1);
+  EXPECT_FALSE(r.is_acyclic());
+}
+
+TEST(Relation, SelfLoopIsCycle) {
+  Relation r(2);
+  r.add(0, 0);
+  EXPECT_FALSE(r.is_acyclic());
+  const auto cycle = r.find_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(*cycle, std::vector<TxnId>{0});
+}
+
+TEST(Relation, FindCycleReturnsRealCycle) {
+  const Relation r =
+      Relation::from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 1}, {4, 5}});
+  const auto cycle = r.find_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  ASSERT_GE(cycle->size(), 2u);
+  // Every consecutive pair (and the wrap-around) must be an edge.
+  for (std::size_t i = 0; i < cycle->size(); ++i) {
+    EXPECT_TRUE(
+        r.contains((*cycle)[i], (*cycle)[(i + 1) % cycle->size()]));
+  }
+  // The cycle must be vertex-simple.
+  auto sorted = *cycle;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Relation, TotalityAndStrictTotalOrder) {
+  Relation r(3);
+  r.add(0, 1);
+  r.add(1, 2);
+  EXPECT_FALSE(r.is_total());
+  r.add(0, 2);
+  EXPECT_TRUE(r.is_total());
+  EXPECT_TRUE(r.is_strict_total_order());
+  r.add(2, 2);
+  EXPECT_FALSE(r.is_strict_total_order());
+}
+
+TEST(Relation, UnrelatedPairFindsGap) {
+  Relation r(3);
+  r.add(0, 1);
+  const auto pair = r.unrelated_pair();
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(*pair, (std::pair<TxnId, TxnId>{0, 2}));
+  r.add(0, 2);
+  r.add(1, 2);
+  EXPECT_FALSE(r.unrelated_pair().has_value());
+}
+
+TEST(Relation, SubsetOf) {
+  const Relation small = Relation::from_edges(3, {{0, 1}});
+  const Relation big = Relation::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(small.subset_of(big));
+  EXPECT_FALSE(big.subset_of(small));
+  EXPECT_TRUE(big.subset_of(big));
+}
+
+TEST(Relation, TopologicalOrderRespectsEdges) {
+  const Relation r = Relation::from_edges(5, {{3, 1}, {1, 0}, {4, 2}, {0, 2}});
+  const auto order = r.topological_order();
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(5);
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  for (const auto& [a, b] : r.edges()) EXPECT_LT(pos[a], pos[b]);
+}
+
+TEST(Relation, TopologicalOrderFailsOnCycle) {
+  const Relation r = Relation::from_edges(3, {{0, 1}, {1, 0}});
+  EXPECT_FALSE(r.topological_order().has_value());
+}
+
+TEST(Relation, FindPathBfs) {
+  const Relation r =
+      Relation::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 3}});
+  const auto path = r.find_path(0, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->front(), 0u);
+  EXPECT_EQ(path->back(), 3u);
+  EXPECT_EQ(path->size(), 3u);  // shortest: 0 -> 4 -> 3
+  for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+    EXPECT_TRUE(r.contains((*path)[i], (*path)[i + 1]));
+  }
+  EXPECT_FALSE(r.find_path(3, 0).has_value());
+}
+
+TEST(Relation, FindPathToSelfNeedsCycle) {
+  Relation r = Relation::from_edges(3, {{0, 1}});
+  EXPECT_FALSE(r.find_path(0, 0).has_value());
+  r.add(1, 0);
+  const auto path = r.find_path(0, 0);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_GE(path->size(), 2u);
+}
+
+TEST(Relation, ReachesMatchesFindPath) {
+  const Relation r = Relation::from_edges(4, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(r.reaches(0, 2));
+  EXPECT_FALSE(r.reaches(2, 0));
+  EXPECT_FALSE(r.reaches(0, 3));
+}
+
+TEST(Relation, AddEdgeTransitivelyMaintainsClosure) {
+  // Start from a transitively closed relation, insert, compare against
+  // recomputation from scratch.
+  Relation base = Relation::from_edges(6, {{0, 1}, {1, 2}, {4, 5}});
+  Relation closed = base.transitive_closure();
+  closed.add_edge_transitively(2, 4);
+  base.add(2, 4);
+  EXPECT_EQ(closed, base.transitive_closure());
+  EXPECT_TRUE(closed.contains(0, 5));
+}
+
+TEST(Relation, AddEdgeTransitivelyManyInsertions) {
+  Relation incremental(8);
+  Relation reference(8);
+  const std::vector<std::pair<TxnId, TxnId>> inserts = {
+      {0, 1}, {2, 3}, {1, 2}, {5, 6}, {3, 5}, {6, 7}, {4, 0}};
+  for (const auto& [a, b] : inserts) {
+    incremental.add_edge_transitively(a, b);
+    reference.add(a, b);
+    EXPECT_EQ(incremental, reference.transitive_closure());
+  }
+}
+
+TEST(Relation, CompositionWithReflexiveClosureIsRMaybe) {
+  // R ; S? = R ∪ R ; S — the shape used throughout Theorem 9.
+  const Relation r = Relation::from_edges(4, {{0, 1}, {2, 3}});
+  const Relation s = Relation::from_edges(4, {{1, 2}});
+  const Relation lhs = r.compose(s.reflexive_closure());
+  const Relation rhs = r | r.compose(s);
+  EXPECT_EQ(lhs, rhs);
+}
+
+class RelationClosureProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelationClosureProperty, ClosureIsIdempotentAndMinimal) {
+  // Pseudo-random graphs: R+ is transitive, contains R, and equals the
+  // fixpoint of R ∪ R;R.
+  const int seed = GetParam();
+  Relation r(10);
+  std::uint64_t state = static_cast<std::uint64_t>(seed) * 2654435761u + 1;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int e = 0; e < 15; ++e) {
+    r.add(static_cast<TxnId>(next() % 10), static_cast<TxnId>(next() % 10));
+  }
+  const Relation tc = r.transitive_closure();
+  EXPECT_TRUE(r.subset_of(tc));
+  EXPECT_TRUE(tc.is_transitive());
+  EXPECT_EQ(tc, tc.transitive_closure());
+  // Fixpoint computation as an independent oracle.
+  Relation fix = r;
+  for (;;) {
+    Relation nextRel = fix | fix.compose(fix);
+    if (nextRel == fix) break;
+    fix = std::move(nextRel);
+  }
+  EXPECT_EQ(tc, fix);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationClosureProperty,
+                         ::testing::Range(0, 20));
+
+class RelationAcyclicityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelationAcyclicityProperty, DfsAgreesWithClosureDiagonal) {
+  const int seed = GetParam();
+  Relation r(9);
+  std::uint64_t state = static_cast<std::uint64_t>(seed) * 11400714819323198485ULL + 3;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int e = 0; e < 12; ++e) {
+    r.add(static_cast<TxnId>(next() % 9), static_cast<TxnId>(next() % 9));
+  }
+  const Relation tc = r.transitive_closure();
+  bool diag = false;
+  for (TxnId a = 0; a < 9; ++a) diag = diag || tc.contains(a, a);
+  EXPECT_EQ(r.is_acyclic(), !diag);
+  EXPECT_EQ(r.topological_order().has_value(), r.is_acyclic());
+  EXPECT_EQ(r.find_cycle().has_value(), !r.is_acyclic());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationAcyclicityProperty,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,142 @@
+#include "chopping/repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/apps.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace sia {
+namespace {
+
+TEST(Repair, AlreadyCorrectChoppingUntouched) {
+  const auto p2 = paper::fig6_programs();
+  const ChoppingPlan plan = repair_chopping(p2.programs);
+  EXPECT_TRUE(plan.certified);
+  EXPECT_TRUE(plan.merges.empty());
+  ASSERT_EQ(plan.programs.size(), p2.programs.size());
+  for (std::size_t i = 0; i < plan.programs.size(); ++i) {
+    EXPECT_EQ(plan.programs[i].pieces.size(),
+              p2.programs[i].pieces.size());
+  }
+}
+
+TEST(Repair, Figure5MergesTheTransfer) {
+  // The only cure for {transfer (2 pieces), lookupAll} is fusing the
+  // transfer back into one transaction.
+  const auto p1 = paper::fig5_programs();
+  const ChoppingPlan plan = repair_chopping(p1.programs);
+  EXPECT_TRUE(plan.certified);
+  ASSERT_EQ(plan.merges.size(), 1u);
+  EXPECT_EQ(plan.merges[0].program, 0u);  // transfer
+  EXPECT_EQ(plan.programs[0].pieces.size(), 1u);
+  EXPECT_TRUE(check_chopping_static(plan.programs).correct);
+  // The merged piece covers both accounts.
+  EXPECT_EQ(plan.programs[0].pieces[0].reads.size(), 2u);
+  EXPECT_EQ(plan.programs[0].pieces[0].writes.size(), 2u);
+}
+
+TEST(Repair, ResultIsAlwaysCertifiedForPaperSuites) {
+  for (const auto& suite :
+       {paper::fig5_programs(), paper::fig11_programs(),
+        paper::fig12_programs(), workload::tpcc_chopped_programs()}) {
+    for (const Criterion crit :
+         {Criterion::kSER, Criterion::kSI, Criterion::kPSI}) {
+      const ChoppingPlan plan = repair_chopping(suite.programs, crit);
+      EXPECT_TRUE(plan.certified);
+      EXPECT_TRUE(check_chopping_static(plan.programs, crit).correct);
+    }
+  }
+}
+
+TEST(Repair, SerRepairIsAtLeastAsCoarseAsSi) {
+  // SER-criticality is weaker to avoid, so repairing for SER can never
+  // leave more pieces than repairing for SI.
+  for (const auto& suite :
+       {paper::fig11_programs(), workload::tpcc_chopped_programs()}) {
+    const ChoppingPlan si = repair_chopping(suite.programs, Criterion::kSI);
+    const ChoppingPlan ser = repair_chopping(suite.programs, Criterion::kSER);
+    EXPECT_LE(ser.piece_count(), si.piece_count());
+  }
+}
+
+TEST(Repair, MergeReasonsNameTheCycle) {
+  const auto p1 = paper::fig5_programs();
+  const ChoppingPlan plan = repair_chopping(p1.programs);
+  ASSERT_FALSE(plan.merges.empty());
+  EXPECT_NE(plan.merges[0].reason.find("transfer"), std::string::npos);
+}
+
+TEST(Explode, OnePiecePerObject) {
+  const auto banking = paper::banking_programs();
+  const std::vector<Program> fine = explode_programs(banking.programs);
+  ASSERT_EQ(fine.size(), 3u);
+  // withdraw1 touches acct1 (rw) and acct2 (r): two pieces.
+  EXPECT_EQ(fine[0].pieces.size(), 2u);
+  // Read/write sets are preserved as unions.
+  EXPECT_EQ(fine[0].read_set(), banking.programs[0].read_set());
+  EXPECT_EQ(fine[0].write_set(), banking.programs[0].write_set());
+}
+
+TEST(Explode, EmptyProgramGetsPlaceholderPiece) {
+  const std::vector<Program> fine =
+      explode_programs({Program{"noop", {Piece{"", {}, {}}}}});
+  ASSERT_EQ(fine.size(), 1u);
+  EXPECT_EQ(fine[0].pieces.size(), 1u);
+}
+
+TEST(AutoChop, FindsFineCorrectChopping) {
+  // TPC-C at table granularity: auto_chop must certify something at least
+  // as fine as one piece per program.
+  const auto tpcc = workload::tpcc_like_programs();
+  const ChoppingPlan plan = auto_chop(tpcc.programs);
+  EXPECT_TRUE(plan.certified);
+  EXPECT_TRUE(check_chopping_static(plan.programs).correct);
+  EXPECT_GE(plan.piece_count(), tpcc.programs.size());
+}
+
+TEST(AutoChop, DisjointProgramsStayFullyChopped) {
+  // Programs over disjoint objects never conflict: the single-access
+  // chopping survives unmerged.
+  ObjectTable objs;
+  std::vector<Program> programs;
+  for (int i = 0; i < 3; ++i) {
+    const ObjId a = objs.intern("a" + std::to_string(i));
+    const ObjId b = objs.intern("b" + std::to_string(i));
+    programs.push_back(Program{
+        "p" + std::to_string(i),
+        {Piece{"", {a}, {a}}, Piece{"", {b}, {b}}}});
+  }
+  const ChoppingPlan plan = auto_chop(programs);
+  EXPECT_TRUE(plan.certified);
+  EXPECT_TRUE(plan.merges.empty());
+  EXPECT_EQ(plan.piece_count(), 6u);
+}
+
+TEST(AutoChop, BankingCollapsesToSafeShape) {
+  const auto banking = paper::banking_programs();
+  const ChoppingPlan plan = auto_chop(banking.programs);
+  EXPECT_TRUE(plan.certified);
+  EXPECT_TRUE(check_chopping_static(plan.programs).correct);
+}
+
+TEST(Repair, BudgetExhaustionFallsBackToCoarsening) {
+  // Heavily conflicting chopped programs with a tiny budget: the repair
+  // loop must still terminate, possibly at the coarsest chopping.
+  ObjId obj = 0;
+  std::vector<Program> programs;
+  for (int i = 0; i < 4; ++i) {
+    programs.push_back(Program{
+        "p" + std::to_string(i),
+        {Piece{"a", {obj}, {obj}}, Piece{"b", {obj}, {obj}}}});
+  }
+  const ChoppingPlan plan =
+      repair_chopping(programs, Criterion::kSI, /*budget=*/2);
+  // Terminates; certification depends on whether even the coarsest
+  // chopping's (cycle-rich) graph fits the budget — just require sanity:
+  for (const Program& p : plan.programs) {
+    EXPECT_GE(p.pieces.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace sia

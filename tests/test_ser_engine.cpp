@@ -1,0 +1,168 @@
+#include "mvcc/ser_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "graph/characterization.hpp"
+
+namespace sia::mvcc {
+namespace {
+
+constexpr ObjId kX = 0;
+constexpr ObjId kY = 1;
+
+TEST(SEREngine, ReadAndCommit) {
+  SERDatabase db(2);
+  SERSession s = db.make_session();
+  SERTransaction t = db.begin(s);
+  EXPECT_EQ(t.read(kX), 0);
+  EXPECT_TRUE(t.commit());
+}
+
+TEST(SEREngine, WritesVisibleAfterCommit) {
+  SERDatabase db(2);
+  SERSession s = db.make_session();
+  SERTransaction w = db.begin(s);
+  ASSERT_TRUE(w.write(kX, 3));
+  ASSERT_TRUE(w.commit());
+  SERTransaction r = db.begin(s);
+  EXPECT_EQ(r.read(kX), 3);
+  EXPECT_TRUE(r.commit());
+}
+
+TEST(SEREngine, ReadYourOwnWrites) {
+  SERDatabase db(2);
+  SERSession s = db.make_session();
+  SERTransaction t = db.begin(s);
+  ASSERT_TRUE(t.write(kX, 4));
+  EXPECT_EQ(t.read(kX), 4);
+  EXPECT_TRUE(t.commit());
+}
+
+TEST(SEREngine, SharedLocksCoexist) {
+  SERDatabase db(1);
+  SERSession s1 = db.make_session();
+  SERSession s2 = db.make_session();
+  SERTransaction t1 = db.begin(s1);
+  SERTransaction t2 = db.begin(s2);
+  EXPECT_EQ(t1.read(kX), 0);
+  EXPECT_EQ(t2.read(kX), 0);  // two readers: fine
+  EXPECT_TRUE(t1.commit());
+  EXPECT_TRUE(t2.commit());
+}
+
+TEST(SEREngine, NoWaitAbortsOnWriteReadConflict) {
+  SERDatabase db(1);
+  SERSession s1 = db.make_session();
+  SERSession s2 = db.make_session();
+  SERTransaction writer = db.begin(s1);
+  ASSERT_TRUE(writer.write(kX, 1));
+  SERTransaction reader = db.begin(s2);
+  EXPECT_EQ(reader.read(kX), std::nullopt);  // X-lock held: abort
+  EXPECT_TRUE(reader.aborted());
+  EXPECT_TRUE(writer.commit());
+}
+
+TEST(SEREngine, NoWaitAbortsOnReadWriteConflict) {
+  SERDatabase db(1);
+  SERSession s1 = db.make_session();
+  SERSession s2 = db.make_session();
+  SERTransaction reader = db.begin(s1);
+  ASSERT_TRUE(reader.read(kX).has_value());
+  SERTransaction writer = db.begin(s2);
+  EXPECT_FALSE(writer.write(kX, 1));  // S-lock held by another: abort
+  EXPECT_TRUE(writer.aborted());
+  EXPECT_TRUE(reader.commit());
+}
+
+TEST(SEREngine, LockUpgradeWhenSoleReader) {
+  SERDatabase db(1);
+  SERSession s = db.make_session();
+  SERTransaction t = db.begin(s);
+  ASSERT_TRUE(t.read(kX).has_value());
+  EXPECT_TRUE(t.write(kX, 5));  // upgrade S -> X
+  EXPECT_TRUE(t.commit());
+}
+
+TEST(SEREngine, WriteSkewPrevented) {
+  // Under S2PL the write-skew interleaving aborts one transaction.
+  SERDatabase db(2);
+  SERSession s1 = db.make_session();
+  SERSession s2 = db.make_session();
+  SERTransaction t1 = db.begin(s1);
+  SERTransaction t2 = db.begin(s2);
+  ASSERT_TRUE(t1.read(kX).has_value());
+  ASSERT_TRUE(t2.read(kY).has_value());
+  const bool w1 = t1.write(kY, -100);  // t2 holds S(kY): no-wait abort
+  EXPECT_FALSE(w1);
+  EXPECT_TRUE(t1.aborted());
+  EXPECT_TRUE(t2.write(kX, -100));  // t1's locks were released on abort
+  EXPECT_TRUE(t2.commit());
+}
+
+TEST(SEREngine, AbortReleasesLocks) {
+  SERDatabase db(1);
+  SERSession s1 = db.make_session();
+  SERSession s2 = db.make_session();
+  SERTransaction t1 = db.begin(s1);
+  ASSERT_TRUE(t1.write(kX, 1));
+  t1.abort();
+  SERTransaction t2 = db.begin(s2);
+  EXPECT_EQ(t2.read(kX), 0);  // lock free again, write discarded
+  EXPECT_TRUE(t2.commit());
+}
+
+TEST(SEREngine, RunRetriesThroughAborts) {
+  SERDatabase db(2);
+  constexpr int kThreads = 4;
+  constexpr int kTxns = 100;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&db] {
+      SERSession s = db.make_session();
+      for (int t = 0; t < kTxns; ++t) {
+        db.run(s, [&](SERTransaction& txn) {
+          const auto v = txn.read(kX);
+          if (!v) return;  // aborted mid-flight; run() retries
+          if (!txn.write(kX, *v + 1)) return;
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(db.commits(), kThreads * kTxns);
+  SERSession s = db.make_session();
+  SERTransaction r = db.begin(s);
+  EXPECT_EQ(r.read(kX), kThreads * kTxns);  // no lost updates
+  EXPECT_TRUE(r.commit());
+}
+
+TEST(SEREngine, RecordedGraphsAreSerializable) {
+  Recorder rec;
+  SERDatabase db(4, &rec);
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&db, i] {
+      SERSession s = db.make_session();
+      for (int t = 0; t < 40; ++t) {
+        db.run(s, [&](SERTransaction& txn) {
+          const ObjId a = static_cast<ObjId>((i + t) % 4);
+          const ObjId b = static_cast<ObjId>((i + 2 * t) % 4);
+          const auto v = txn.read(a);
+          if (!v) return;
+          if (!txn.write(b, *v + 1)) return;
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const RecordedRun run = rec.build();
+  EXPECT_EQ(run.graph.validate(), std::nullopt);
+  EXPECT_TRUE(check_graph_ser(run.graph).member)
+      << "S2PL produced a non-serializable history";
+}
+
+}  // namespace
+}  // namespace sia::mvcc

@@ -1,0 +1,204 @@
+#include "graph/soundness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/characterization.hpp"
+#include "graph/enumeration.hpp"
+#include "workload/generator.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace sia {
+namespace {
+
+/// Checks the full Theorem 10(i) contract for a graph in GraphSI:
+/// construct_execution yields X ∈ ExecSI with graph(X) = G.
+void expect_soundness_contract(const DependencyGraph& g) {
+  ASSERT_TRUE(check_graph_si(g).member);
+  const AbstractExecution x = construct_execution(g);
+  const auto violation = axioms::check_exec_si(x);
+  EXPECT_EQ(violation, std::nullopt)
+      << (violation ? violation->axiom + ": " + violation->detail : "");
+  const DependencyGraph extracted = extract_graph(x);
+  // graph(X) = G: same WR sources and same WW orders.
+  for (ObjId obj : g.history().objects()) {
+    EXPECT_EQ(extracted.write_order(obj), g.write_order(obj))
+        << "WW mismatch on obj" << obj;
+    for (TxnId t = 0; t < g.txn_count(); ++t) {
+      EXPECT_EQ(extracted.read_source(obj, t), g.read_source(obj, t))
+          << "WR mismatch for T" << t << " on obj" << obj;
+    }
+  }
+}
+
+DependencyGraph write_skew_graph() {
+  const auto [h, objs] = paper::fig2d_write_skew();
+  const ObjId a1 = objs.lookup("acct1");
+  const ObjId a2 = objs.lookup("acct2");
+  DependencyGraph g(h);
+  g.set_read_from(a1, 0, 1);
+  g.set_read_from(a2, 0, 1);
+  g.set_read_from(a1, 0, 2);
+  g.set_read_from(a2, 0, 2);
+  g.set_write_order(a1, {0, 1});
+  g.set_write_order(a2, {0, 2});
+  return g;
+}
+
+TEST(Lemma15, ClosedFormSatisfiesInequalities) {
+  for (const DependencyGraph& g :
+       {write_skew_graph(), paper::fig4_g1(), paper::fig4_g2(),
+        paper::fig11_h6(), paper::fig12_g7()}) {
+    const DepRelations rel = g.relations();
+    const InequalitySolution sol = smallest_solution(rel);
+    EXPECT_EQ(check_inequalities(rel, sol.vis, sol.co), std::nullopt);
+  }
+}
+
+TEST(Lemma15, SeededSolutionContainsSeedAndSatisfiesSystem) {
+  const DependencyGraph g = write_skew_graph();
+  const DepRelations rel = g.relations();
+  Relation seed(g.txn_count());
+  seed.add(1, 2);
+  const InequalitySolution sol = smallest_solution(rel, seed);
+  EXPECT_TRUE(seed.subset_of(sol.co));
+  EXPECT_EQ(check_inequalities(rel, sol.vis, sol.co), std::nullopt);
+}
+
+TEST(Lemma15, SolutionIsSmallest) {
+  // Minimality: any other solution (VIS', CO') with CO' ⊇ seed satisfies
+  // VIS ⊆ VIS' and CO ⊆ CO'. We check against the solution induced by a
+  // full SI execution of the same graph.
+  const DependencyGraph g = write_skew_graph();
+  const DepRelations rel = g.relations();
+  const InequalitySolution smallest = smallest_solution(rel);
+  const AbstractExecution x = construct_execution(g);
+  // (VIS_X, CO_X) is a solution by Lemma 12 / Definition 4.
+  EXPECT_EQ(check_inequalities(rel, x.vis, x.co), std::nullopt);
+  EXPECT_TRUE(smallest.vis.subset_of(x.vis));
+  EXPECT_TRUE(smallest.co.subset_of(x.co));
+}
+
+TEST(Lemma15, CoIsTransitiveAndVisWithinCo) {
+  const DependencyGraph g = paper::fig4_g1();
+  const InequalitySolution sol = smallest_solution(g.relations());
+  EXPECT_TRUE(sol.co.is_transitive());
+  EXPECT_TRUE(sol.vis.subset_of(sol.co));
+}
+
+TEST(Lemma15, CoAcyclicityEquivalentToGraphSi) {
+  // CO₀ = ((SO ∪ WR ∪ WW);RW?)+ is acyclic iff G ∈ GraphSI (Theorem 9's
+  // condition) — check on both a member and a non-member.
+  const DependencyGraph in = write_skew_graph();
+  EXPECT_TRUE(smallest_solution(in.relations()).co.is_acyclic());
+  // Lost update graph is not in GraphSI.
+  const auto [h, objs] = paper::fig2b_lost_update();
+  const ObjId acct = objs.lookup("acct");
+  DependencyGraph out(h);
+  out.set_read_from(acct, 0, 1);
+  out.set_read_from(acct, 0, 2);
+  out.set_write_order(acct, {0, 1, 2});
+  EXPECT_FALSE(check_graph_si(out).member);
+  EXPECT_FALSE(smallest_solution(out.relations()).co.is_acyclic());
+}
+
+TEST(Theorem10, PreExecutionSatisfiesPreExecSi) {
+  // Lemma 13: the smallest solution yields a pre-execution in PreExecSI
+  // with graph(P) = G.
+  for (const DependencyGraph& g :
+       {write_skew_graph(), paper::fig4_g1(), paper::fig4_g2()}) {
+    const AbstractExecution p = construct_pre_execution(g);
+    const auto v = axioms::check_pre_exec_si(p);
+    EXPECT_EQ(v, std::nullopt) << (v ? v->axiom + ": " + v->detail : "");
+  }
+}
+
+TEST(Theorem10, SoundnessOnPaperExamples) {
+  expect_soundness_contract(write_skew_graph());
+  expect_soundness_contract(paper::fig4_g1());
+  expect_soundness_contract(paper::fig4_g2());
+  expect_soundness_contract(paper::fig11_h6());
+  expect_soundness_contract(paper::fig12_g7());
+}
+
+TEST(Theorem10, ConstructionRejectsNonMembers) {
+  const auto [h, objs] = paper::fig2b_lost_update();
+  const ObjId acct = objs.lookup("acct");
+  DependencyGraph g(h);
+  g.set_read_from(acct, 0, 1);
+  g.set_read_from(acct, 0, 2);
+  g.set_write_order(acct, {0, 1, 2});
+  EXPECT_THROW((void)construct_execution(g), ModelError);
+}
+
+TEST(Theorem10, ConstructionRejectsInvalidGraphs) {
+  const auto [h, objs] = paper::fig2d_write_skew();
+  (void)objs;
+  DependencyGraph g(h);  // no WR/WW annotations at all
+  EXPECT_THROW((void)construct_execution(g), ModelError);
+}
+
+TEST(Theorem10, ConstructionRejectsIntViolations) {
+  History h;
+  h.append_singleton(Transaction({write(0, 1), read(0, 9)}));
+  DependencyGraph g(std::move(h));
+  g.set_write_order(0, {0});
+  EXPECT_THROW((void)construct_execution(g), ModelError);
+}
+
+TEST(Theorem10, FinalCoIsTotalOrder) {
+  const AbstractExecution x = construct_execution(write_skew_graph());
+  EXPECT_TRUE(x.co.is_strict_total_order());
+}
+
+TEST(Theorem10, SoundnessOverAllSiExtensionsOfFig2d) {
+  // Every Definition-6 extension of the write-skew history that lands in
+  // GraphSI must admit the construction (exhaustive over the small
+  // history).
+  const auto d = paper::fig2d_write_skew();
+  std::size_t si_graphs = 0;
+  enumerate_dependency_graphs(d.history, [&](const DependencyGraph& g) {
+    if (check_graph_si(g).member) {
+      ++si_graphs;
+      expect_soundness_contract(g);
+    }
+    return true;
+  });
+  EXPECT_GT(si_graphs, 0u);
+}
+
+TEST(Theorem10, CompletenessOnEngineRuns) {
+  // Theorem 10(ii): graph(X) ∈ GraphSI for executions produced by the SI
+  // engine; and soundness round-trips them.
+  workload::WorkloadSpec spec;
+  spec.sessions = 3;
+  spec.txns_per_session = 6;
+  spec.ops_per_txn = 3;
+  spec.num_keys = 4;
+  spec.concurrent = false;
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    spec.seed = seed;
+    const mvcc::RecordedRun run = workload::run_si(spec);
+    ASSERT_TRUE(check_graph_si(run.graph).member);
+    expect_soundness_contract(run.graph);
+  }
+}
+
+class SoundnessRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoundnessRandomSweep, EngineGraphsRoundTrip) {
+  workload::WorkloadSpec spec;
+  spec.sessions = 4;
+  spec.txns_per_session = 5;
+  spec.ops_per_txn = 4;
+  spec.num_keys = 6;
+  spec.write_ratio = 0.4;
+  spec.concurrent = false;
+  spec.seed = static_cast<std::uint64_t>(GetParam()) * 7919 + 13;
+  const mvcc::RecordedRun run = workload::run_si(spec);
+  expect_soundness_contract(run.graph);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoundnessRandomSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace sia

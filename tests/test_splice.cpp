@@ -1,0 +1,161 @@
+#include "chopping/splice.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chopping/dynamic_chopping_graph.hpp"
+#include "graph/characterization.hpp"
+#include "graph/enumeration.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace sia {
+namespace {
+
+TEST(SpliceHistory, MergesSessionsInOrder) {
+  HistoryBuilder b;
+  const ObjId x = b.obj("x");
+  const ObjId y = b.obj("y");
+  b.session().txn({write(x, 1)}).txn({read(x, 1), write(y, 2)});
+  b.session().txn({read(y, 0)});
+  const History h = b.build();
+  const History s = splice_history(h);
+  ASSERT_EQ(s.txn_count(), 2u);
+  EXPECT_EQ(s.session_count(), 2u);
+  // Spliced transaction 0 = session 0's events concatenated.
+  EXPECT_EQ(s.txn(0).events(),
+            (std::vector<Event>{write(x, 1), read(x, 1), write(y, 2)}));
+  EXPECT_EQ(s.txn(1).events(), (std::vector<Event>{read(y, 0)}));
+  // All sessions become singletons: SO is empty.
+  EXPECT_TRUE(s.session_order().empty());
+}
+
+TEST(SpliceHistory, EmptyHistory) {
+  const History s = splice_history(History{});
+  EXPECT_EQ(s.txn_count(), 0u);
+}
+
+TEST(SpliceHistory, InternalReadsBecomeIntReads) {
+  // After splicing, a read of the session's own earlier write is covered
+  // by INT, not EXT.
+  HistoryBuilder b;
+  const ObjId x = b.obj("x");
+  b.session().txn({write(x, 5)}).txn({read(x, 5)});
+  const History s = splice_history(b.build());
+  EXPECT_TRUE(s.internally_consistent());
+  EXPECT_EQ(s.txn(0).external_read_set(), std::vector<ObjId>{});
+}
+
+TEST(SpliceGraph, Figure4G2IsLiftable) {
+  const DependencyGraph g2 = paper::fig4_g2();
+  const DependencyGraph spliced = splice_graph(g2);
+  EXPECT_EQ(spliced.validate(), std::nullopt);
+  // The spliced graph is in GraphSI — G2 is spliceable (Theorem 16).
+  EXPECT_TRUE(check_graph_si(spliced).member);
+  // Its history is splice(H_{G2}).
+  EXPECT_EQ(spliced.history(), splice_history(g2.history()));
+}
+
+TEST(SpliceGraph, LiftedEdgesAreInterSessionOnly) {
+  const DependencyGraph spliced = splice_graph(paper::fig4_g2());
+  // Sessions: 0=init, 1=transfer, 2=lookup1, 3=lookup2.
+  const ObjId acct1 = 0;
+  const ObjId acct2 = 1;
+  // lookup1 reads acct1 from the spliced transfer.
+  EXPECT_EQ(spliced.read_source(acct1, 2), 1u);
+  // lookup2 reads acct2 from init.
+  EXPECT_EQ(spliced.read_source(acct2, 3), 0u);
+  // The transfer's own reads became internal: no WR edge for them...
+  // (its first access to acct1 is still the read, from init):
+  EXPECT_EQ(spliced.read_source(acct1, 1), 0u);
+}
+
+TEST(SpliceGraph, Figure4G1LiftExistsButLeavesSi) {
+  // G1's lift is structurally fine (the WR/WW lifts are unambiguous), but
+  // the spliced graph has a cycle without two adjacent anti-dependencies:
+  // splice(H_{G1}) is not SI — G1 is not spliceable.
+  const DependencyGraph g1 = paper::fig4_g1();
+  const DependencyGraph spliced = splice_graph(g1);
+  EXPECT_EQ(spliced.validate(), std::nullopt);
+  EXPECT_FALSE(check_graph_si(spliced).member);
+}
+
+TEST(Spliceable, MatchesPaperVerdictsOnFigure4) {
+  EXPECT_FALSE(spliceable(paper::fig4_g1()));
+  EXPECT_TRUE(spliceable(paper::fig4_g2()));
+}
+
+TEST(SpliceGraph, ThrowsOnInterleavedWriteOrders) {
+  // Two sessions each writing x twice, interleaved in WW: not liftable.
+  HistoryBuilder b;
+  const ObjId x = b.obj("x");
+  b.session().txn({write(x, 1)}).txn({write(x, 3)});
+  b.session().txn({write(x, 2)}).txn({write(x, 4)});
+  DependencyGraph g(b.build());
+  g.set_write_order(x, {0, 2, 1, 3});  // s0, s1, s0, s1: interleaved
+  EXPECT_THROW((void)splice_graph(g), ModelError);
+}
+
+TEST(SpliceGraph, ThrowsOnAmbiguousLiftedWr) {
+  // One session's two transactions read x from different sessions: the
+  // lifted reader would have two WR sources.
+  HistoryBuilder b;
+  const ObjId x = b.obj("x");
+  const TxnId init = b.init_txn({x});
+  b.session().txn({write(x, 1)});
+  const TxnId w1 = b.last_txn();
+  b.session().txn({write(x, 2)});
+  const TxnId w2 = b.last_txn();
+  b.session().txn({read(x, 1)}).txn({read(x, 2)});
+  DependencyGraph g(b.build());
+  g.set_read_from(x, w1, 3);
+  g.set_read_from(x, w2, 4);
+  g.set_write_order(x, {init, w1, w2});
+  EXPECT_THROW((void)splice_graph(g), ModelError);
+}
+
+TEST(SpliceGraph, ThrowsWhenSplicedReaderWritesFirst) {
+  // The session writes x in piece 1 and reads it from elsewhere in piece
+  // 2 — after splicing the read is no longer external, so the lifted WR
+  // edge is rejected.
+  HistoryBuilder b;
+  const ObjId x = b.obj("x");
+  const TxnId init = b.init_txn({x});
+  b.session().txn({write(x, 1)});
+  const TxnId w1 = b.last_txn();
+  b.session().txn({write(x, 2)}).txn({read(x, 1)});
+  const TxnId s1 = b.last_txn() - 1;
+  DependencyGraph g(b.build());
+  g.set_read_from(x, w1, b.last_txn());
+  g.set_write_order(x, {init, s1, w1});
+  EXPECT_THROW((void)splice_graph(g), ModelError);
+}
+
+TEST(SpliceGraph, Figure11H6SplicesToWriteSkew) {
+  // Appendix B.1: splice(H6) is a write skew — in HistSI but not HistSER.
+  const DependencyGraph h6 = paper::fig11_h6();
+  EXPECT_TRUE(check_graph_ser(h6).member);  // H6 itself is serializable
+  const History spliced = splice_history(h6.history());
+  EXPECT_FALSE(decide_history(spliced, Model::kSER).allowed);
+  EXPECT_TRUE(decide_history(spliced, Model::kSI).allowed);
+}
+
+TEST(SpliceGraph, Figure12G7SplicesToLongFork) {
+  // Appendix B.2: splice(H_{G7}) is a long fork — in HistPSI \ HistSI.
+  const DependencyGraph g7 = paper::fig12_g7();
+  EXPECT_TRUE(check_graph_si(g7).member);  // the chopped run is SI
+  const History spliced = splice_history(g7.history());
+  EXPECT_FALSE(decide_history(spliced, Model::kSI).allowed);
+  EXPECT_TRUE(decide_history(spliced, Model::kPSI).allowed);
+}
+
+TEST(SpliceGraph, Theorem16OnPaperExamples) {
+  // No critical cycle => spliceable, with the spliced graph as witness.
+  const ChoppingVerdict g2 = check_chopping_dynamic(paper::fig4_g2());
+  EXPECT_TRUE(g2.correct);
+  // G1 has a critical cycle, and indeed is not spliceable.
+  const ChoppingVerdict g1 = check_chopping_dynamic(paper::fig4_g1());
+  EXPECT_FALSE(g1.correct);
+  ASSERT_TRUE(g1.witness.has_value());
+}
+
+}  // namespace
+}  // namespace sia

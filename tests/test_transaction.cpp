@@ -1,0 +1,119 @@
+#include "core/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sia {
+namespace {
+
+constexpr ObjId kX = 0;
+constexpr ObjId kY = 1;
+
+TEST(Event, ConstructorsAndEquality) {
+  const Event r = read(kX, 5);
+  EXPECT_TRUE(r.is_read());
+  EXPECT_FALSE(r.is_write());
+  EXPECT_EQ(r.obj, kX);
+  EXPECT_EQ(r.value, 5);
+  const Event w = write(kX, 5);
+  EXPECT_TRUE(w.is_write());
+  EXPECT_NE(r, w);
+  EXPECT_EQ(r, read(kX, 5));
+}
+
+TEST(Event, ToString) {
+  EXPECT_EQ(to_string(read(kX, 3)), "read(obj0, 3)");
+  EXPECT_EQ(to_string(write(kY, -1)), "write(obj1, -1)");
+  ObjectTable objs;
+  objs.intern("x");
+  objs.intern("y");
+  EXPECT_EQ(to_string(write(kY, 7), objs), "write(y, 7)");
+}
+
+TEST(ObjectTable, InternAndLookup) {
+  ObjectTable t;
+  const ObjId x = t.intern("x");
+  const ObjId y = t.intern("y");
+  EXPECT_NE(x, y);
+  EXPECT_EQ(t.intern("x"), x);  // idempotent
+  EXPECT_EQ(t.lookup("y"), y);
+  EXPECT_EQ(t.name(x), "x");
+  EXPECT_TRUE(t.contains("x"));
+  EXPECT_FALSE(t.contains("z"));
+  EXPECT_THROW((void)t.lookup("z"), ModelError);
+  EXPECT_THROW((void)t.name(99), ModelError);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Transaction, FinalWriteTakesLast) {
+  const Transaction t({write(kX, 1), write(kX, 2), write(kY, 9)});
+  EXPECT_EQ(t.final_write(kX), 2);
+  EXPECT_EQ(t.final_write(kY), 9);
+  EXPECT_EQ(t.final_write(7), std::nullopt);
+}
+
+TEST(Transaction, ExternalReadIsFirstAccessOnly) {
+  // T ⊢ read(x, n) requires the first access to x to be a read.
+  const Transaction reads_first({read(kX, 4), write(kX, 5), read(kX, 5)});
+  EXPECT_EQ(reads_first.external_read(kX), 4);
+  const Transaction writes_first({write(kX, 5), read(kX, 5)});
+  EXPECT_EQ(writes_first.external_read(kX), std::nullopt);
+  const Transaction untouched({read(kY, 0)});
+  EXPECT_EQ(untouched.external_read(kX), std::nullopt);
+}
+
+TEST(Transaction, WritesAndAccesses) {
+  const Transaction t({read(kX, 0), write(kY, 1)});
+  EXPECT_FALSE(t.writes(kX));
+  EXPECT_TRUE(t.writes(kY));
+  EXPECT_TRUE(t.accesses(kX));
+  EXPECT_FALSE(t.accesses(3));
+}
+
+TEST(Transaction, ReadWriteSets) {
+  const Transaction t(
+      {read(kX, 0), write(kY, 1), write(kX, 2), read(kY, 1)});
+  EXPECT_EQ(t.write_set(), (std::vector<ObjId>{kY, kX}));
+  EXPECT_EQ(t.read_set(), (std::vector<ObjId>{kX, kY}));
+  EXPECT_EQ(t.external_read_set(), (std::vector<ObjId>{kX}));
+}
+
+TEST(Transaction, InternalConsistencyReadsLastWrite) {
+  const Transaction good({write(kX, 1), read(kX, 1)});
+  EXPECT_TRUE(good.internally_consistent());
+  const Transaction bad({write(kX, 1), read(kX, 2)});
+  EXPECT_FALSE(bad.internally_consistent());
+  EXPECT_EQ(bad.int_violation(), 1u);
+}
+
+TEST(Transaction, InternalConsistencyReadsLastRead) {
+  // A read after a read of the same object must repeat its value.
+  const Transaction good({read(kX, 7), read(kX, 7)});
+  EXPECT_TRUE(good.internally_consistent());
+  const Transaction bad({read(kX, 7), read(kX, 8)});
+  EXPECT_FALSE(bad.internally_consistent());
+}
+
+TEST(Transaction, InternalConsistencyFirstReadUnconstrained) {
+  // The first access being a read is constrained by EXT, not INT.
+  const Transaction t({read(kX, 42), write(kX, 1), read(kX, 1)});
+  EXPECT_TRUE(t.internally_consistent());
+}
+
+TEST(Transaction, InternalConsistencyDifferentObjectsIndependent) {
+  const Transaction t({write(kX, 1), read(kY, 5), read(kX, 1)});
+  EXPECT_TRUE(t.internally_consistent());
+}
+
+TEST(Transaction, EmptyTransactionIsConsistent) {
+  const Transaction t;
+  EXPECT_TRUE(t.internally_consistent());
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Transaction, ToString) {
+  const Transaction t({read(kX, 0), write(kX, 1)});
+  EXPECT_EQ(to_string(t), "[read(obj0, 0); write(obj0, 1)]");
+}
+
+}  // namespace
+}  // namespace sia

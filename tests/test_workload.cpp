@@ -1,0 +1,167 @@
+#include "workload/apps.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/generator.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace sia {
+namespace {
+
+TEST(Programs, ReadWriteSetUnions) {
+  const auto p1 = paper::fig5_programs();
+  const Program& transfer = p1.programs[0];
+  EXPECT_EQ(transfer.read_set().size(), 2u);
+  EXPECT_EQ(transfer.write_set().size(), 2u);
+  const Program& lookup = p1.programs[1];
+  EXPECT_EQ(lookup.read_set().size(), 2u);
+  EXPECT_TRUE(lookup.write_set().empty());
+}
+
+TEST(Programs, PieceMembership) {
+  const auto p1 = paper::fig5_programs();
+  const Piece& debit = p1.programs[0].pieces[0];
+  const ObjId acct1 = p1.objects.lookup("acct1");
+  const ObjId acct2 = p1.objects.lookup("acct2");
+  EXPECT_TRUE(debit.may_read(acct1));
+  EXPECT_TRUE(debit.may_write(acct1));
+  EXPECT_FALSE(debit.may_read(acct2));
+}
+
+TEST(Apps, TpccSuitesAreWellFormed) {
+  const auto flat = workload::tpcc_like_programs();
+  EXPECT_EQ(flat.programs.size(), 5u);
+  for (const Program& p : flat.programs) {
+    EXPECT_EQ(p.pieces.size(), 1u);
+  }
+  const auto chopped = workload::tpcc_chopped_programs();
+  EXPECT_EQ(chopped.programs.size(), 5u);
+  EXPECT_GT(chopped.programs[0].pieces.size(), 1u);  // new_order chopped
+  // Chopping preserves whole-transaction footprints for the chopped
+  // programs (their pieces partition the same accesses).
+  EXPECT_EQ(chopped.programs[0].read_set().size(),
+            flat.programs[0].read_set().size());
+}
+
+TEST(Apps, RandomProgramsAreDeterministic) {
+  workload::ProgramSuiteSpec spec;
+  spec.seed = 99;
+  const std::vector<Program> a = workload::random_programs(spec);
+  const std::vector<Program> b = workload::random_programs(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pieces.size(), b[i].pieces.size());
+    for (std::size_t j = 0; j < a[i].pieces.size(); ++j) {
+      EXPECT_EQ(a[i].pieces[j].reads, b[i].pieces[j].reads);
+      EXPECT_EQ(a[i].pieces[j].writes, b[i].pieces[j].writes);
+    }
+  }
+}
+
+TEST(Apps, RandomProgramsRespectSpec) {
+  workload::ProgramSuiteSpec spec;
+  spec.programs = 5;
+  spec.pieces_per_program = 4;
+  spec.objects = 10;
+  const std::vector<Program> suite = workload::random_programs(spec);
+  ASSERT_EQ(suite.size(), 5u);
+  for (const Program& p : suite) {
+    EXPECT_EQ(p.pieces.size(), 4u);
+    for (const Piece& piece : p.pieces) {
+      EXPECT_LE(piece.reads.size(), spec.reads_per_piece);
+      EXPECT_LE(piece.writes.size(), spec.writes_per_piece);
+      for (const ObjId x : piece.reads) EXPECT_LT(x, spec.objects);
+      for (const ObjId x : piece.writes) EXPECT_LT(x, spec.objects);
+    }
+  }
+}
+
+TEST(Generator, ZipfThetaZeroIsRoughlyUniform) {
+  workload::ZipfSampler zipf(10, 0.0);
+  std::mt19937_64 rng(7);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf(rng)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Generator, ZipfHighThetaConcentrates) {
+  workload::ZipfSampler zipf(100, 1.2);
+  std::mt19937_64 rng(7);
+  int first = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (zipf(rng) == 0) ++first;
+  }
+  EXPECT_GT(first, 2000);  // the hottest key dominates (~27% at theta=1.2)
+}
+
+TEST(Generator, ScriptShapeMatchesSpec) {
+  workload::WorkloadSpec spec;
+  spec.sessions = 3;
+  spec.txns_per_session = 4;
+  spec.ops_per_txn = 5;
+  spec.num_keys = 7;
+  const workload::Script script = workload::make_script(spec);
+  ASSERT_EQ(script.size(), 3u);
+  for (const auto& session : script) {
+    ASSERT_EQ(session.size(), 4u);
+    for (const auto& txn : session) {
+      ASSERT_EQ(txn.size(), 5u);
+      for (const workload::ScriptedOp& op : txn) EXPECT_LT(op.key, 7u);
+    }
+  }
+}
+
+TEST(Generator, WriteRatioExtremes) {
+  workload::WorkloadSpec spec;
+  spec.write_ratio = 0.0;
+  for (const auto& session : workload::make_script(spec)) {
+    for (const auto& txn : session) {
+      for (const auto& op : txn) EXPECT_FALSE(op.is_write);
+    }
+  }
+  spec.write_ratio = 1.0;
+  for (const auto& session : workload::make_script(spec)) {
+    for (const auto& txn : session) {
+      for (const auto& op : txn) EXPECT_TRUE(op.is_write);
+    }
+  }
+}
+
+TEST(Generator, RunnersProduceExpectedCommitCounts) {
+  workload::WorkloadSpec spec;
+  spec.sessions = 3;
+  spec.txns_per_session = 4;
+  spec.concurrent = false;
+  workload::RunStats si_stats;
+  const mvcc::RecordedRun si = workload::run_si(spec, &si_stats);
+  EXPECT_EQ(si_stats.commits, 12u);
+  EXPECT_EQ(si.history.txn_count(), 13u);  // + init
+  workload::RunStats ser_stats;
+  const mvcc::RecordedRun ser = workload::run_ser(spec, &ser_stats);
+  EXPECT_EQ(ser_stats.commits, 12u);
+  workload::RunStats psi_stats;
+  const mvcc::RecordedRun psi = workload::run_psi(spec, 2, &psi_stats);
+  EXPECT_EQ(psi_stats.commits, 12u);
+  EXPECT_EQ(psi.history.txn_count(), 13u);
+}
+
+TEST(Generator, SessionsMapToHistorySessions) {
+  workload::WorkloadSpec spec;
+  spec.sessions = 4;
+  spec.txns_per_session = 3;
+  spec.concurrent = false;
+  const mvcc::RecordedRun run = workload::run_si(spec);
+  // 4 client sessions + the init session.
+  EXPECT_EQ(run.history.session_count(), 5u);
+  for (SessionId s = 1; s <= 4; ++s) {
+    EXPECT_EQ(run.history.session(s).size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace sia
