@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_engines"
+  "../bench/bench_engines.pdb"
+  "CMakeFiles/bench_engines.dir/bench_engines.cpp.o"
+  "CMakeFiles/bench_engines.dir/bench_engines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_si_vs_ser"
+  "../bench/bench_fig11_si_vs_ser.pdb"
+  "CMakeFiles/bench_fig11_si_vs_ser.dir/bench_fig11_si_vs_ser.cpp.o"
+  "CMakeFiles/bench_fig11_si_vs_ser.dir/bench_fig11_si_vs_ser.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_si_vs_ser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

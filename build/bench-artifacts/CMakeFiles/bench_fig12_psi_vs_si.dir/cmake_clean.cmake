@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_psi_vs_si"
+  "../bench/bench_fig12_psi_vs_si.pdb"
+  "CMakeFiles/bench_fig12_psi_vs_si.dir/bench_fig12_psi_vs_si.cpp.o"
+  "CMakeFiles/bench_fig12_psi_vs_si.dir/bench_fig12_psi_vs_si.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_psi_vs_si.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

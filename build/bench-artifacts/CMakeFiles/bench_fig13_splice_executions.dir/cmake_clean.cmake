@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_splice_executions"
+  "../bench/bench_fig13_splice_executions.pdb"
+  "CMakeFiles/bench_fig13_splice_executions.dir/bench_fig13_splice_executions.cpp.o"
+  "CMakeFiles/bench_fig13_splice_executions.dir/bench_fig13_splice_executions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_splice_executions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

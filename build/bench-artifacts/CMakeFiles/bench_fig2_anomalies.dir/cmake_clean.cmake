@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_anomalies"
+  "../bench/bench_fig2_anomalies.pdb"
+  "CMakeFiles/bench_fig2_anomalies.dir/bench_fig2_anomalies.cpp.o"
+  "CMakeFiles/bench_fig2_anomalies.dir/bench_fig2_anomalies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_dynamic_chopping"
+  "../bench/bench_fig4_dynamic_chopping.pdb"
+  "CMakeFiles/bench_fig4_dynamic_chopping.dir/bench_fig4_dynamic_chopping.cpp.o"
+  "CMakeFiles/bench_fig4_dynamic_chopping.dir/bench_fig4_dynamic_chopping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_dynamic_chopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

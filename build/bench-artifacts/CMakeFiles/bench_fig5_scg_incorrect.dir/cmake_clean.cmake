@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_scg_incorrect"
+  "../bench/bench_fig5_scg_incorrect.pdb"
+  "CMakeFiles/bench_fig5_scg_incorrect.dir/bench_fig5_scg_incorrect.cpp.o"
+  "CMakeFiles/bench_fig5_scg_incorrect.dir/bench_fig5_scg_incorrect.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_scg_incorrect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_scg_correct"
+  "../bench/bench_fig6_scg_correct.pdb"
+  "CMakeFiles/bench_fig6_scg_correct.dir/bench_fig6_scg_correct.cpp.o"
+  "CMakeFiles/bench_fig6_scg_correct.dir/bench_fig6_scg_correct.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_scg_correct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

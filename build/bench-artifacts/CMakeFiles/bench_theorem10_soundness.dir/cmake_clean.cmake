@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_theorem10_soundness"
+  "../bench/bench_theorem10_soundness.pdb"
+  "CMakeFiles/bench_theorem10_soundness.dir/bench_theorem10_soundness.cpp.o"
+  "CMakeFiles/bench_theorem10_soundness.dir/bench_theorem10_soundness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem10_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_theorem9_checker"
+  "../bench/bench_theorem9_checker.pdb"
+  "CMakeFiles/bench_theorem9_checker.dir/bench_theorem9_checker.cpp.o"
+  "CMakeFiles/bench_theorem9_checker.dir/bench_theorem9_checker.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem9_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_explorer.dir/anomaly_explorer.cpp.o"
+  "CMakeFiles/anomaly_explorer.dir/anomaly_explorer.cpp.o.d"
+  "anomaly_explorer"
+  "anomaly_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

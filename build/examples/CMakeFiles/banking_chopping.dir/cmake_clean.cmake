@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_chopping.dir/banking_chopping.cpp.o"
+  "CMakeFiles/banking_chopping.dir/banking_chopping.cpp.o.d"
+  "banking_chopping"
+  "banking_chopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_chopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_audit.dir/robustness_audit.cpp.o"
+  "CMakeFiles/robustness_audit.dir/robustness_audit.cpp.o.d"
+  "robustness_audit"
+  "robustness_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

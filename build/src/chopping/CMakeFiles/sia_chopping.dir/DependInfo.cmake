@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chopping/criteria.cpp" "src/chopping/CMakeFiles/sia_chopping.dir/criteria.cpp.o" "gcc" "src/chopping/CMakeFiles/sia_chopping.dir/criteria.cpp.o.d"
+  "/root/repo/src/chopping/dynamic_chopping_graph.cpp" "src/chopping/CMakeFiles/sia_chopping.dir/dynamic_chopping_graph.cpp.o" "gcc" "src/chopping/CMakeFiles/sia_chopping.dir/dynamic_chopping_graph.cpp.o.d"
+  "/root/repo/src/chopping/repair.cpp" "src/chopping/CMakeFiles/sia_chopping.dir/repair.cpp.o" "gcc" "src/chopping/CMakeFiles/sia_chopping.dir/repair.cpp.o.d"
+  "/root/repo/src/chopping/splice.cpp" "src/chopping/CMakeFiles/sia_chopping.dir/splice.cpp.o" "gcc" "src/chopping/CMakeFiles/sia_chopping.dir/splice.cpp.o.d"
+  "/root/repo/src/chopping/static_chopping_graph.cpp" "src/chopping/CMakeFiles/sia_chopping.dir/static_chopping_graph.cpp.o" "gcc" "src/chopping/CMakeFiles/sia_chopping.dir/static_chopping_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sia_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

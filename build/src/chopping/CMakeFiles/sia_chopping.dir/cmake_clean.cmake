@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_chopping.dir/criteria.cpp.o"
+  "CMakeFiles/sia_chopping.dir/criteria.cpp.o.d"
+  "CMakeFiles/sia_chopping.dir/dynamic_chopping_graph.cpp.o"
+  "CMakeFiles/sia_chopping.dir/dynamic_chopping_graph.cpp.o.d"
+  "CMakeFiles/sia_chopping.dir/repair.cpp.o"
+  "CMakeFiles/sia_chopping.dir/repair.cpp.o.d"
+  "CMakeFiles/sia_chopping.dir/splice.cpp.o"
+  "CMakeFiles/sia_chopping.dir/splice.cpp.o.d"
+  "CMakeFiles/sia_chopping.dir/static_chopping_graph.cpp.o"
+  "CMakeFiles/sia_chopping.dir/static_chopping_graph.cpp.o.d"
+  "libsia_chopping.a"
+  "libsia_chopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_chopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/abstract_execution.cpp" "src/core/CMakeFiles/sia_core.dir/abstract_execution.cpp.o" "gcc" "src/core/CMakeFiles/sia_core.dir/abstract_execution.cpp.o.d"
+  "/root/repo/src/core/event.cpp" "src/core/CMakeFiles/sia_core.dir/event.cpp.o" "gcc" "src/core/CMakeFiles/sia_core.dir/event.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/sia_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/sia_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/core/CMakeFiles/sia_core.dir/program.cpp.o" "gcc" "src/core/CMakeFiles/sia_core.dir/program.cpp.o.d"
+  "/root/repo/src/core/relation.cpp" "src/core/CMakeFiles/sia_core.dir/relation.cpp.o" "gcc" "src/core/CMakeFiles/sia_core.dir/relation.cpp.o.d"
+  "/root/repo/src/core/transaction.cpp" "src/core/CMakeFiles/sia_core.dir/transaction.cpp.o" "gcc" "src/core/CMakeFiles/sia_core.dir/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_core.dir/abstract_execution.cpp.o"
+  "CMakeFiles/sia_core.dir/abstract_execution.cpp.o.d"
+  "CMakeFiles/sia_core.dir/event.cpp.o"
+  "CMakeFiles/sia_core.dir/event.cpp.o.d"
+  "CMakeFiles/sia_core.dir/history.cpp.o"
+  "CMakeFiles/sia_core.dir/history.cpp.o.d"
+  "CMakeFiles/sia_core.dir/program.cpp.o"
+  "CMakeFiles/sia_core.dir/program.cpp.o.d"
+  "CMakeFiles/sia_core.dir/relation.cpp.o"
+  "CMakeFiles/sia_core.dir/relation.cpp.o.d"
+  "CMakeFiles/sia_core.dir/transaction.cpp.o"
+  "CMakeFiles/sia_core.dir/transaction.cpp.o.d"
+  "libsia_core.a"
+  "libsia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

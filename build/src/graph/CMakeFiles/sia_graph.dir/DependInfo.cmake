@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/characterization.cpp" "src/graph/CMakeFiles/sia_graph.dir/characterization.cpp.o" "gcc" "src/graph/CMakeFiles/sia_graph.dir/characterization.cpp.o.d"
+  "/root/repo/src/graph/cycles.cpp" "src/graph/CMakeFiles/sia_graph.dir/cycles.cpp.o" "gcc" "src/graph/CMakeFiles/sia_graph.dir/cycles.cpp.o.d"
+  "/root/repo/src/graph/dependency_graph.cpp" "src/graph/CMakeFiles/sia_graph.dir/dependency_graph.cpp.o" "gcc" "src/graph/CMakeFiles/sia_graph.dir/dependency_graph.cpp.o.d"
+  "/root/repo/src/graph/enumeration.cpp" "src/graph/CMakeFiles/sia_graph.dir/enumeration.cpp.o" "gcc" "src/graph/CMakeFiles/sia_graph.dir/enumeration.cpp.o.d"
+  "/root/repo/src/graph/monitor.cpp" "src/graph/CMakeFiles/sia_graph.dir/monitor.cpp.o" "gcc" "src/graph/CMakeFiles/sia_graph.dir/monitor.cpp.o.d"
+  "/root/repo/src/graph/soundness.cpp" "src/graph/CMakeFiles/sia_graph.dir/soundness.cpp.o" "gcc" "src/graph/CMakeFiles/sia_graph.dir/soundness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sia_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_graph.dir/characterization.cpp.o"
+  "CMakeFiles/sia_graph.dir/characterization.cpp.o.d"
+  "CMakeFiles/sia_graph.dir/cycles.cpp.o"
+  "CMakeFiles/sia_graph.dir/cycles.cpp.o.d"
+  "CMakeFiles/sia_graph.dir/dependency_graph.cpp.o"
+  "CMakeFiles/sia_graph.dir/dependency_graph.cpp.o.d"
+  "CMakeFiles/sia_graph.dir/enumeration.cpp.o"
+  "CMakeFiles/sia_graph.dir/enumeration.cpp.o.d"
+  "CMakeFiles/sia_graph.dir/monitor.cpp.o"
+  "CMakeFiles/sia_graph.dir/monitor.cpp.o.d"
+  "CMakeFiles/sia_graph.dir/soundness.cpp.o"
+  "CMakeFiles/sia_graph.dir/soundness.cpp.o.d"
+  "libsia_graph.a"
+  "libsia_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mvcc/psi_engine.cpp" "src/mvcc/CMakeFiles/sia_mvcc.dir/psi_engine.cpp.o" "gcc" "src/mvcc/CMakeFiles/sia_mvcc.dir/psi_engine.cpp.o.d"
+  "/root/repo/src/mvcc/recorder.cpp" "src/mvcc/CMakeFiles/sia_mvcc.dir/recorder.cpp.o" "gcc" "src/mvcc/CMakeFiles/sia_mvcc.dir/recorder.cpp.o.d"
+  "/root/repo/src/mvcc/ser_engine.cpp" "src/mvcc/CMakeFiles/sia_mvcc.dir/ser_engine.cpp.o" "gcc" "src/mvcc/CMakeFiles/sia_mvcc.dir/ser_engine.cpp.o.d"
+  "/root/repo/src/mvcc/si_engine.cpp" "src/mvcc/CMakeFiles/sia_mvcc.dir/si_engine.cpp.o" "gcc" "src/mvcc/CMakeFiles/sia_mvcc.dir/si_engine.cpp.o.d"
+  "/root/repo/src/mvcc/ssi_engine.cpp" "src/mvcc/CMakeFiles/sia_mvcc.dir/ssi_engine.cpp.o" "gcc" "src/mvcc/CMakeFiles/sia_mvcc.dir/ssi_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sia_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

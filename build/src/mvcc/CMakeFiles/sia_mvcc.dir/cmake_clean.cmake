@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_mvcc.dir/psi_engine.cpp.o"
+  "CMakeFiles/sia_mvcc.dir/psi_engine.cpp.o.d"
+  "CMakeFiles/sia_mvcc.dir/recorder.cpp.o"
+  "CMakeFiles/sia_mvcc.dir/recorder.cpp.o.d"
+  "CMakeFiles/sia_mvcc.dir/ser_engine.cpp.o"
+  "CMakeFiles/sia_mvcc.dir/ser_engine.cpp.o.d"
+  "CMakeFiles/sia_mvcc.dir/si_engine.cpp.o"
+  "CMakeFiles/sia_mvcc.dir/si_engine.cpp.o.d"
+  "CMakeFiles/sia_mvcc.dir/ssi_engine.cpp.o"
+  "CMakeFiles/sia_mvcc.dir/ssi_engine.cpp.o.d"
+  "libsia_mvcc.a"
+  "libsia_mvcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_mvcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/robustness/concretize.cpp" "src/robustness/CMakeFiles/sia_robustness.dir/concretize.cpp.o" "gcc" "src/robustness/CMakeFiles/sia_robustness.dir/concretize.cpp.o.d"
+  "/root/repo/src/robustness/robustness.cpp" "src/robustness/CMakeFiles/sia_robustness.dir/robustness.cpp.o" "gcc" "src/robustness/CMakeFiles/sia_robustness.dir/robustness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/sia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sia_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_robustness.dir/concretize.cpp.o"
+  "CMakeFiles/sia_robustness.dir/concretize.cpp.o.d"
+  "CMakeFiles/sia_robustness.dir/robustness.cpp.o"
+  "CMakeFiles/sia_robustness.dir/robustness.cpp.o.d"
+  "libsia_robustness.a"
+  "libsia_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

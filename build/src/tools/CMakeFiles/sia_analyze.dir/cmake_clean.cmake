@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_analyze.dir/sia_analyze.cpp.o"
+  "CMakeFiles/sia_analyze.dir/sia_analyze.cpp.o.d"
+  "sia_analyze"
+  "sia_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_tools.dir/dot.cpp.o"
+  "CMakeFiles/sia_tools.dir/dot.cpp.o.d"
+  "CMakeFiles/sia_tools.dir/history_parser.cpp.o"
+  "CMakeFiles/sia_tools.dir/history_parser.cpp.o.d"
+  "CMakeFiles/sia_tools.dir/program_parser.cpp.o"
+  "CMakeFiles/sia_tools.dir/program_parser.cpp.o.d"
+  "libsia_tools.a"
+  "libsia_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

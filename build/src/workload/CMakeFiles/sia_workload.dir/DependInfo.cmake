@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/apps.cpp" "src/workload/CMakeFiles/sia_workload.dir/apps.cpp.o" "gcc" "src/workload/CMakeFiles/sia_workload.dir/apps.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/sia_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/sia_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/paper_examples.cpp" "src/workload/CMakeFiles/sia_workload.dir/paper_examples.cpp.o" "gcc" "src/workload/CMakeFiles/sia_workload.dir/paper_examples.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mvcc/CMakeFiles/sia_mvcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sia_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_workload.dir/apps.cpp.o"
+  "CMakeFiles/sia_workload.dir/apps.cpp.o.d"
+  "CMakeFiles/sia_workload.dir/generator.cpp.o"
+  "CMakeFiles/sia_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/sia_workload.dir/paper_examples.cpp.o"
+  "CMakeFiles/sia_workload.dir/paper_examples.cpp.o.d"
+  "libsia_workload.a"
+  "libsia_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chopping.dir/test_chopping.cpp.o"
+  "CMakeFiles/test_chopping.dir/test_chopping.cpp.o.d"
+  "test_chopping"
+  "test_chopping.pdb"
+  "test_chopping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dependency_graph.dir/test_dependency_graph.cpp.o"
+  "CMakeFiles/test_dependency_graph.dir/test_dependency_graph.cpp.o.d"
+  "test_dependency_graph"
+  "test_dependency_graph.pdb"
+  "test_dependency_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dependency_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

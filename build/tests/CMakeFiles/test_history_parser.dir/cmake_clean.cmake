@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_history_parser.dir/test_history_parser.cpp.o"
+  "CMakeFiles/test_history_parser.dir/test_history_parser.cpp.o.d"
+  "test_history_parser"
+  "test_history_parser.pdb"
+  "test_history_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_history_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

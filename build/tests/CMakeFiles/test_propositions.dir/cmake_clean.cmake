@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_propositions.dir/test_propositions.cpp.o"
+  "CMakeFiles/test_propositions.dir/test_propositions.cpp.o.d"
+  "test_propositions"
+  "test_propositions.pdb"
+  "test_propositions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_propositions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

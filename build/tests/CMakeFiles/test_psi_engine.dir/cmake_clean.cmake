@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_psi_engine.dir/test_psi_engine.cpp.o"
+  "CMakeFiles/test_psi_engine.dir/test_psi_engine.cpp.o.d"
+  "test_psi_engine"
+  "test_psi_engine.pdb"
+  "test_psi_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_psi_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_relation.cpp" "tests/CMakeFiles/test_relation.dir/test_relation.cpp.o" "gcc" "tests/CMakeFiles/test_relation.dir/test_relation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sia_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/chopping/CMakeFiles/sia_chopping.dir/DependInfo.cmake"
+  "/root/repo/build/src/robustness/CMakeFiles/sia_robustness.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvcc/CMakeFiles/sia_mvcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sia_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/sia_tools.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

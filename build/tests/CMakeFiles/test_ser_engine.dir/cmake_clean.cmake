@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ser_engine.dir/test_ser_engine.cpp.o"
+  "CMakeFiles/test_ser_engine.dir/test_ser_engine.cpp.o.d"
+  "test_ser_engine"
+  "test_ser_engine.pdb"
+  "test_ser_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ser_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

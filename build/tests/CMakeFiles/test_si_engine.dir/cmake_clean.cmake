@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_si_engine.dir/test_si_engine.cpp.o"
+  "CMakeFiles/test_si_engine.dir/test_si_engine.cpp.o.d"
+  "test_si_engine"
+  "test_si_engine.pdb"
+  "test_si_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_si_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

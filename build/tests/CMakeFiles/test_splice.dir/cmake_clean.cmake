@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_splice.dir/test_splice.cpp.o"
+  "CMakeFiles/test_splice.dir/test_splice.cpp.o.d"
+  "test_splice"
+  "test_splice.pdb"
+  "test_splice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_splice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

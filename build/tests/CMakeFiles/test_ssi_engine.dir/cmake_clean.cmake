@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssi_engine.dir/test_ssi_engine.cpp.o"
+  "CMakeFiles/test_ssi_engine.dir/test_ssi_engine.cpp.o.d"
+  "test_ssi_engine"
+  "test_ssi_engine.pdb"
+  "test_ssi_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssi_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_theorem_equivalences.dir/test_theorem_equivalences.cpp.o"
+  "CMakeFiles/test_theorem_equivalences.dir/test_theorem_equivalences.cpp.o.d"
+  "test_theorem_equivalences"
+  "test_theorem_equivalences.pdb"
+  "test_theorem_equivalences[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_theorem_equivalences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_relation[1]_include.cmake")
+include("/root/repo/build/tests/test_transaction[1]_include.cmake")
+include("/root/repo/build/tests/test_history[1]_include.cmake")
+include("/root/repo/build/tests/test_axioms[1]_include.cmake")
+include("/root/repo/build/tests/test_dependency_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_characterization[1]_include.cmake")
+include("/root/repo/build/tests/test_soundness[1]_include.cmake")
+include("/root/repo/build/tests/test_cycles[1]_include.cmake")
+include("/root/repo/build/tests/test_splice[1]_include.cmake")
+include("/root/repo/build/tests/test_chopping[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_si_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_ser_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_psi_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_recorder[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_enumeration[1]_include.cmake")
+include("/root/repo/build/tests/test_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_repair[1]_include.cmake")
+include("/root/repo/build/tests/test_dot[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_theorem_equivalences[1]_include.cmake")
+include("/root/repo/build/tests/test_ssi_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_propositions[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_history_parser[1]_include.cmake")
