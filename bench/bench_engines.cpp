@@ -15,6 +15,7 @@
 #include "mvcc/ser_engine.hpp"
 #include "mvcc/si_engine.hpp"
 #include "mvcc/ssi_engine.hpp"
+#include "workload/generator.hpp"
 
 namespace sia {
 namespace {
@@ -173,6 +174,26 @@ void BM_MixSer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MixSer)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_VerifyEngineRun(benchmark::State& state) {
+  // End-to-end verification cost: record an SI engine run of n txns and
+  // decide GraphSI membership via Theorem 9 (relations included). This is
+  // the whole-pipeline number the implicit-edge fast path improves.
+  workload::WorkloadSpec spec;
+  spec.sessions = 8;
+  spec.txns_per_session = static_cast<std::size_t>(state.range(0)) / 8;
+  spec.ops_per_txn = 4;
+  spec.num_keys = static_cast<std::uint32_t>(state.range(0) / 2 + 1);
+  spec.concurrent = false;
+  spec.seed = static_cast<std::uint64_t>(state.range(0)) * 29 + 7;
+  const mvcc::RecordedRun run = workload::run_si(spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_graph_si(run.graph).member);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_VerifyEngineRun)->RangeMultiplier(4)->Range(256, 8192);
 
 }  // namespace
 }  // namespace sia

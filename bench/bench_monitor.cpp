@@ -38,6 +38,12 @@ bool reproduction_table() {
                           " agree under " + to_string(model),
                       batch ? "consistent" : "violation",
                       online ? "consistent" : "violation"});
+      // Deferred batching must not change any verdict either.
+      const bool batched = replay_batched(run.graph, model, 64).consistent();
+      rows.push_back({"n=" + std::to_string(run.history.txn_count()) +
+                          " commit_all(64) under " + to_string(model),
+                      online ? "consistent" : "violation",
+                      batched ? "consistent" : "violation"});
     }
   }
   return bench::print_verdicts(rows);
@@ -53,7 +59,23 @@ void BM_MonitorFullReplay(benchmark::State& state) {
                           state.range(0));
   state.SetLabel("per-run; divide by n for per-commit cost");
 }
-BENCHMARK(BM_MonitorFullReplay)->RangeMultiplier(4)->Range(64, 1024);
+BENCHMARK(BM_MonitorFullReplay)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_MonitorReplayBatched(benchmark::State& state) {
+  // commit_all with per-batch deferred closure propagation; batch size is
+  // the second range argument.
+  const mvcc::RecordedRun run =
+      make_run(static_cast<std::size_t>(state.range(0)));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        replay_batched(run.graph, Model::kSI, batch).consistent());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MonitorReplayBatched)
+    ->ArgsProduct({{64, 256, 1024, 4096}, {16, 64, 256}});
 
 void BM_BatchCheckAfterEveryCommit(benchmark::State& state) {
   // The naive online strategy: rebuild relations and run the Theorem 9

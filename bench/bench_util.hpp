@@ -2,6 +2,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -38,6 +39,82 @@ inline bool print_verdicts(const std::vector<VerdictRow>& rows) {
   }
   std::printf("%s\n", all_match ? "[reproduced]" : "[NOT REPRODUCED]");
   return all_match;
+}
+
+// ----- old-vs-new kernel sweeps -------------------------------------------
+
+/// One measured old/new pair of a kernel (or checker) at one problem size.
+struct KernelRow {
+  std::string kernel;
+  std::size_t n{0};
+  double old_ns{0};
+  double new_ns{0};
+
+  [[nodiscard]] double speedup() const {
+    return new_ns > 0 ? old_ns / new_ns : 0.0;
+  }
+};
+
+/// Wall-clock of one invocation of \p fn, in nanoseconds.
+template <typename Fn>
+double time_once_ns(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+/// Best-of-k wall-clock of \p fn: repeats until \p budget_ns total run time
+/// or \p max_reps repetitions, whichever first (slow kernels run once).
+template <typename Fn>
+double time_best_ns(Fn&& fn, double budget_ns = 2e8, int max_reps = 7) {
+  double best = time_once_ns(fn);
+  double total = best;
+  for (int rep = 1; rep < max_reps && total < budget_ns; ++rep) {
+    const double t = time_once_ns(fn);
+    best = t < best ? t : best;
+    total += t;
+  }
+  return best;
+}
+
+/// Prints a speedup table for a sweep.
+inline void print_kernel_rows(const std::vector<KernelRow>& rows) {
+  std::printf("%-28s %8s %14s %14s %9s\n", "kernel", "n", "old (us)",
+              "new (us)", "speedup");
+  for (const KernelRow& r : rows) {
+    std::printf("%-28s %8zu %14.1f %14.1f %8.2fx\n", r.kernel.c_str(), r.n,
+                r.old_ns / 1e3, r.new_ns / 1e3, r.speedup());
+  }
+}
+
+/// Persists a sweep as machine-readable JSON (for EXPERIMENTS.md and
+/// regression tracking across commits).
+inline bool write_kernel_json(const std::string& path,
+                              const std::string& bench_name,
+                              std::size_t threads,
+                              const std::vector<KernelRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"threads\": %zu,\n",
+               bench_name.c_str(), threads);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const KernelRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"n\": %zu, \"old_ns\": %.0f, "
+                 "\"new_ns\": %.0f, \"speedup\": %.3f}%s\n",
+                 r.kernel.c_str(), r.n, r.old_ns, r.new_ns, r.speedup(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+  return true;
 }
 
 inline const char* yesno(bool b) { return b ? "allowed" : "disallowed"; }

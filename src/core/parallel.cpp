@@ -1,0 +1,137 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sia {
+
+namespace {
+
+/// One fork/join batch: workers repeatedly claim the next grain-sized chunk
+/// of [next, end) until the range is exhausted.
+struct Job {
+  std::atomic<std::size_t> next{0};
+  std::size_t end{0};
+  std::size_t grain{1};
+  const std::function<void(std::size_t, std::size_t)>* body{nullptr};
+  std::atomic<std::size_t> active{0};  ///< workers still inside run()
+
+  void run() {
+    for (;;) {
+      const std::size_t chunk = next.fetch_add(grain, std::memory_order_relaxed);
+      if (chunk >= end) return;
+      (*body)(chunk, std::min(chunk + grain, end));
+    }
+  }
+};
+
+thread_local bool t_inside_pool = false;
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  void dispatch(Job& job) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &job;
+      ++epoch_;
+    }
+    cv_.notify_all();
+    job.run();  // the caller is one of the workers
+    // Wait until every worker that picked the job up has left run().
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = nullptr;
+    done_cv_.wait(lock, [&job] {
+      return job.active.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+ private:
+  Pool() {
+    std::size_t threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+    if (const char* env = std::getenv("SIA_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) threads = static_cast<std::size_t>(v);
+    }
+    workers_.reserve(threads - 1);
+    for (std::size_t i = 0; i + 1 < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      ++epoch_;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  void worker_loop() {
+    t_inside_pool = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+        seen = epoch_;
+        if (stop_) return;
+        job = job_;
+        if (job != nullptr) job->active.fetch_add(1, std::memory_order_acq_rel);
+      }
+      if (job == nullptr) continue;  // job finished before we woke up
+      job->run();
+      if (job->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Job* job_{nullptr};
+  std::uint64_t epoch_{0};
+  bool stop_{false};
+};
+
+}  // namespace
+
+std::size_t parallel_thread_count() { return Pool::instance().thread_count(); }
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  // Inline when there is nothing to split, no one to split across, or the
+  // caller is a pool worker already (nested parallelism runs sequentially).
+  if (end - begin <= grain || t_inside_pool ||
+      Pool::instance().thread_count() == 1) {
+    body(begin, end);
+    return;
+  }
+  Job job;
+  job.next.store(begin, std::memory_order_relaxed);
+  job.end = end;
+  job.grain = grain;
+  job.body = &body;
+  Pool::instance().dispatch(job);
+}
+
+}  // namespace sia

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+/// \file parallel.hpp
+/// A minimal process-wide fork/join helper for the relation kernels: a
+/// lazily started pool of worker threads plus parallel_for, which splits an
+/// index range into fixed-size chunks and runs a body over them on all
+/// workers (the calling thread participates). Designed for the row-blocked
+/// bit-matrix kernels in relation.cpp, where every chunk touches disjoint
+/// rows and no synchronisation beyond the final join is needed.
+///
+/// The pool sizes itself to std::thread::hardware_concurrency(), capped by
+/// the SIA_THREADS environment variable when set (SIA_THREADS=1 forces every
+/// parallel_for to run inline, which is also the automatic behaviour on
+/// single-core hosts). Nested parallel_for calls execute the nested range
+/// inline on the calling worker rather than deadlocking on the pool.
+
+namespace sia {
+
+/// Number of threads parallel_for may use (>= 1). Resolved once per
+/// process from hardware_concurrency() and SIA_THREADS.
+[[nodiscard]] std::size_t parallel_thread_count();
+
+/// Invokes body(chunk_begin, chunk_end) over a partition of [begin, end)
+/// into chunks of at most \p grain indices. Chunks run concurrently on the
+/// pool; the call returns only after every chunk has completed. Falls back
+/// to a single inline body(begin, end) call when the range fits one grain,
+/// the pool has a single thread, or the caller is itself a pool worker.
+///
+/// The body must be safe to run concurrently on disjoint chunks; exceptions
+/// thrown by it terminate the process (the kernels it serves never throw).
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace sia

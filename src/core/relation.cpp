@@ -5,10 +5,37 @@
 #include <cassert>
 #include <deque>
 
+#include "core/parallel.hpp"
+
 namespace sia {
 
 namespace {
+
 constexpr std::size_t kWordBits = 64;
+
+/// Rows handed to one pool task by the row-partitioned kernels.
+constexpr std::size_t kRowGrain = 16;
+
+/// Words handed to one pool task by the bulk set operations; below
+/// kBulkParallelWords total the scalar loop wins.
+constexpr std::size_t kWordGrain = std::size_t{1} << 15;
+constexpr std::size_t kBulkParallelWords = std::size_t{1} << 17;
+
+template <typename WordOp>
+void bulk_words(std::vector<std::uint64_t>& dst,
+                const std::vector<std::uint64_t>& src, WordOp op) {
+  if (dst.size() < kBulkParallelWords) {
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = op(dst[i], src[i]);
+    return;
+  }
+  parallel_for(0, dst.size(), kWordGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) {
+                   dst[i] = op(dst[i], src[i]);
+                 }
+               });
+}
+
 }  // namespace
 
 Relation::Relation(std::size_t n)
@@ -40,6 +67,14 @@ void Relation::add(TxnId a, TxnId b) {
 void Relation::remove(TxnId a, TxnId b) {
   assert(a < n_ && b < n_);
   row(a)[b / kWordBits] &= ~(std::uint64_t{1} << (b % kWordBits));
+}
+
+void Relation::absorb_row(TxnId dst, TxnId src) {
+  assert(dst < n_ && src < n_);
+  if (dst == src) return;
+  const std::uint64_t* rs = row(src);
+  std::uint64_t* rd = row(dst);
+  for (std::size_t w = 0; w < words_; ++w) rd[w] |= rs[w];
 }
 
 std::size_t Relation::edge_count() const {
@@ -85,19 +120,22 @@ std::vector<TxnId> Relation::predecessors(TxnId a) const {
 
 Relation& Relation::operator|=(const Relation& other) {
   assert(n_ == other.n_);
-  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  bulk_words(bits_, other.bits_,
+             [](std::uint64_t a, std::uint64_t b) { return a | b; });
   return *this;
 }
 
 Relation& Relation::operator&=(const Relation& other) {
   assert(n_ == other.n_);
-  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= other.bits_[i];
+  bulk_words(bits_, other.bits_,
+             [](std::uint64_t a, std::uint64_t b) { return a & b; });
   return *this;
 }
 
 Relation& Relation::operator-=(const Relation& other) {
   assert(n_ == other.n_);
-  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= ~other.bits_[i];
+  bulk_words(bits_, other.bits_,
+             [](std::uint64_t a, std::uint64_t b) { return a & ~b; });
   return *this;
 }
 
@@ -106,6 +144,11 @@ bool operator==(const Relation& lhs, const Relation& rhs) {
 }
 
 Relation Relation::compose(const Relation& other) const {
+  return n_ >= kParallelThreshold ? compose_parallel(other)
+                                  : compose_serial(other);
+}
+
+Relation Relation::compose_serial(const Relation& other) const {
   assert(n_ == other.n_);
   Relation out(n_);
   for (TxnId a = 0; a < n_; ++a) {
@@ -118,7 +161,35 @@ Relation Relation::compose(const Relation& other) const {
   return out;
 }
 
+Relation Relation::compose_parallel(const Relation& other) const {
+  assert(n_ == other.n_);
+  Relation out(n_);
+  // Destination rows are written by exactly one task; `other` is read-only.
+  parallel_for(0, n_, kRowGrain, [&](std::size_t lo, std::size_t hi) {
+    for (TxnId a = lo; a < hi; ++a) {
+      const std::uint64_t* ra = row(a);
+      std::uint64_t* dst = out.row(a);
+      for (std::size_t w = 0; w < words_; ++w) {
+        std::uint64_t word = ra[w];
+        while (word != 0) {
+          const std::size_t c =
+              w * kWordBits + static_cast<std::size_t>(std::countr_zero(word));
+          const std::uint64_t* src = other.row(static_cast<TxnId>(c));
+          for (std::size_t v = 0; v < words_; ++v) dst[v] |= src[v];
+          word &= word - 1;
+        }
+      }
+    }
+  });
+  return out;
+}
+
 Relation Relation::transitive_closure() const {
+  return n_ >= kParallelThreshold ? transitive_closure_blocked()
+                                  : transitive_closure_serial();
+}
+
+Relation Relation::transitive_closure_serial() const {
   Relation out = *this;
   // Bitset Warshall: after iteration k, out contains all paths whose
   // intermediate vertices are < k+1.
@@ -131,6 +202,39 @@ Relation Relation::transitive_closure() const {
       std::uint64_t* ri = out.row(i);
       for (std::size_t w = 0; w < words_; ++w) ri[w] |= krow[w];
     }
+  }
+  return out;
+}
+
+Relation Relation::transitive_closure_blocked() const {
+  Relation out = *this;
+  // Blocked Warshall over word-aligned blocks of 64 intermediates. After
+  // the step for block [k0, k1), `out` holds every path whose intermediate
+  // vertices are < k1 — the phase-1 sub-Warshall gives the block's own rows
+  // their closure over in-block intermediates, after which each remaining
+  // row only needs to absorb the block rows it can enter (phase 2, where
+  // distinct rows are independent and the loop is pool-partitioned).
+  for (std::size_t k0 = 0; k0 < n_; k0 += kWordBits) {
+    const std::size_t k1 = std::min(k0 + kWordBits, n_);
+    for (TxnId k = k0; k < k1; ++k) {
+      const std::uint64_t* rk = out.row(k);
+      for (TxnId i = k0; i < k1; ++i) {
+        if (i == k || !out.contains(i, k)) continue;
+        std::uint64_t* ri = out.row(i);
+        for (std::size_t w = 0; w < words_; ++w) ri[w] |= rk[w];
+      }
+    }
+    parallel_for(0, n_, kRowGrain, [&](std::size_t lo, std::size_t hi) {
+      for (TxnId i = lo; i < hi; ++i) {
+        if (k0 <= i && i < k1) continue;  // closed in phase 1
+        std::uint64_t* ri = out.row(i);
+        for (TxnId k = k0; k < k1; ++k) {
+          if (!out.contains(i, k)) continue;
+          const std::uint64_t* rk = out.row(k);
+          for (std::size_t w = 0; w < words_; ++w) ri[w] |= rk[w];
+        }
+      }
+    });
   }
   return out;
 }
@@ -312,6 +416,71 @@ std::optional<std::vector<TxnId>> Relation::find_path(TxnId from,
 
 bool Relation::reaches(TxnId from, TxnId to) const {
   return find_path(from, to).has_value();
+}
+
+std::optional<TxnId> Relation::first_common_successor(
+    TxnId a, const Relation& other, TxnId b) const {
+  assert(a < n_ && b < other.n_ && words_ == other.words_);
+  const std::uint64_t* ra = row(a);
+  const std::uint64_t* rb = other.row(b);
+  for (std::size_t w = 0; w < words_; ++w) {
+    const std::uint64_t word = ra[w] & rb[w];
+    if (word != 0) {
+      return static_cast<TxnId>(
+          w * kWordBits + static_cast<std::size_t>(std::countr_zero(word)));
+    }
+  }
+  return std::nullopt;
+}
+
+bool Relation::closed_reaches_with(
+    TxnId from, TxnId to,
+    const std::vector<std::vector<TxnId>>& extra) const {
+  assert(from < n_ && to < n_);
+  // `reached` = nodes with a (≥1)-edge path from `from`; a worklist node is
+  // expanded at most once (`absorbed`). Closure rows of nodes reached
+  // through a closure row are subsets of rows already absorbed, so only
+  // nodes with overlay edges (or reached through an overlay edge) are
+  // queued for expansion.
+  std::vector<std::uint64_t> reached(words_, 0);
+  std::vector<std::uint64_t> absorbed(words_, 0);
+  const auto test = [](const std::vector<std::uint64_t>& set, TxnId t) {
+    return ((set[t / kWordBits] >> (t % kWordBits)) & 1u) != 0;
+  };
+  const auto mark = [](std::vector<std::uint64_t>& set, TxnId t) {
+    set[t / kWordBits] |= std::uint64_t{1} << (t % kWordBits);
+  };
+  const auto has_overlay = [&extra](TxnId t) {
+    return t < extra.size() && !extra[t].empty();
+  };
+  std::vector<TxnId> work{from};
+  while (!work.empty()) {
+    const TxnId u = work.back();
+    work.pop_back();
+    if (test(absorbed, u)) continue;
+    mark(absorbed, u);
+    const std::uint64_t* ru = row(u);
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t fresh = ru[w] & ~reached[w];
+      reached[w] |= ru[w];
+      while (fresh != 0) {
+        const TxnId v = static_cast<TxnId>(
+            w * kWordBits + static_cast<std::size_t>(std::countr_zero(fresh)));
+        if (has_overlay(v)) work.push_back(v);
+        fresh &= fresh - 1;
+      }
+    }
+    if (u < extra.size()) {
+      for (const TxnId v : extra[u]) {
+        if (!test(reached, v)) {
+          mark(reached, v);
+          work.push_back(v);  // row(v) is not implied by any absorbed row
+        }
+      }
+    }
+    if (test(reached, to)) return true;
+  }
+  return test(reached, to);
 }
 
 void Relation::add_edge_transitively(TxnId a, TxnId b) {

@@ -21,11 +21,25 @@
 /// O(n^3 / 64). Intended scale is up to a few thousand transactions per
 /// analysed history, where this representation is both the fastest and the
 /// simplest option.
+///
+/// Above kParallelThreshold rows the O(n^3/64) kernels switch to
+/// multi-threaded variants (compose partitions destination rows across the
+/// parallel.hpp pool; transitive closure runs 64-row-blocked Warshall with
+/// the off-block panel update parallelised), and the bulk set operations
+/// partition their word range. Small relations keep the scalar kernels so
+/// tiny histories pay no thread overhead. Both variants of each kernel are
+/// public: the *_serial forms are the reference implementations the
+/// differential tests and the old-vs-new benchmarks run against.
 
 namespace sia {
 
 class Relation {
  public:
+  /// Universe size at which compose / transitive_closure dispatch to their
+  /// parallel kernels and the bulk set ops start splitting their word
+  /// range. Below it the scalar kernels win on overhead.
+  static constexpr std::size_t kParallelThreshold = 256;
+
   /// Empty relation over a universe of size \p n.
   explicit Relation(std::size_t n = 0);
 
@@ -41,6 +55,10 @@ class Relation {
   [[nodiscard]] bool contains(TxnId a, TxnId b) const;
   void add(TxnId a, TxnId b);
   void remove(TxnId a, TxnId b);
+
+  /// row(dst) |= row(src): dst's successor set absorbs src's in one
+  /// word-parallel pass — the propagation primitive of DAG reachability.
+  void absorb_row(TxnId dst, TxnId src);
 
   /// Number of pairs in the relation.
   [[nodiscard]] std::size_t edge_count() const;
@@ -86,10 +104,29 @@ class Relation {
   friend bool operator==(const Relation&, const Relation&);
 
   /// Sequential composition R1 ; R2 = {(a,b) | ∃c. (a,c) ∈ R1 ∧ (c,b) ∈ R2}.
+  /// Dispatches to compose_parallel above kParallelThreshold.
   [[nodiscard]] Relation compose(const Relation& other) const;
 
-  /// Transitive closure R+.
+  /// Reference single-threaded composition kernel.
+  [[nodiscard]] Relation compose_serial(const Relation& other) const;
+
+  /// Row-partitioned composition: destination rows are independent, so the
+  /// outer loop is split across the parallel.hpp pool. Identical result to
+  /// compose_serial at every size (the differential tests enforce this).
+  [[nodiscard]] Relation compose_parallel(const Relation& other) const;
+
+  /// Transitive closure R+. Dispatches to transitive_closure_blocked above
+  /// kParallelThreshold.
   [[nodiscard]] Relation transitive_closure() const;
+
+  /// Reference single-threaded bitset-Warshall closure kernel.
+  [[nodiscard]] Relation transitive_closure_serial() const;
+
+  /// Blocked bitset Warshall: intermediates are processed 64 at a time —
+  /// a serial in-block closure phase followed by a panel update of all
+  /// remaining rows, which is row-partitioned across the pool. One
+  /// fork/join per 64 intermediates instead of per intermediate.
+  [[nodiscard]] Relation transitive_closure_blocked() const;
 
   /// Reflexive closure R? = R ∪ id.
   [[nodiscard]] Relation reflexive_closure() const;
@@ -144,6 +181,24 @@ class Relation {
 
   /// True iff \p to is reachable from \p from by one or more edges.
   [[nodiscard]] bool reaches(TxnId from, TxnId to) const;
+
+  /// Smallest c with (a, c) in this and (b, c) in \p other — one
+  /// word-parallel AND of the two successor rows. With other = R^{-1} this
+  /// answers "smallest c with (a, c) here and (c, b) in R", the
+  /// intermediate-vertex query of composed-cycle expansion.
+  [[nodiscard]] std::optional<TxnId> first_common_successor(
+      TxnId a, const Relation& other, TxnId b) const;
+
+  /// Precondition: this relation is transitively closed. True iff \p to is
+  /// reachable from \p from by one or more edges of (this ∪ extra), where
+  /// \p extra is a sparse adjacency overlay (indices past its size have no
+  /// overlay edges). Because this relation is closed, a row absorbed into
+  /// the reached set never needs re-expansion through closure edges, so the
+  /// scan is O(reached · n/64) plus the overlay degree — the exact deferred
+  /// cycle check of ConsistencyMonitor::commit_all.
+  [[nodiscard]] bool closed_reaches_with(
+      TxnId from, TxnId to,
+      const std::vector<std::vector<TxnId>>& extra) const;
 
   // ----- closure maintenance (Theorem 10(i) construction) ----------------
 

@@ -33,15 +33,35 @@ struct GraphCheck {
 /// GraphSI (Theorem 9): INT ∧ acyclic((SO ∪ WR ∪ WW) ; RW?). Equivalently:
 /// every cycle of the graph has at least two *adjacent* anti-dependency
 /// edges.
+///
+/// The membership verdict is decided by the implicit-edge cycle search of
+/// cycles.hpp in O(V + E) adjacency scans; only a failed check (rare, and
+/// on small graphs in practice) falls back to the materialised reference
+/// below to build the witness — so verdicts and witnesses are identical to
+/// check_graph_si_reference on every input, at a fraction of its cost.
 [[nodiscard]] GraphCheck check_graph_si(const DependencyGraph& g);
 [[nodiscard]] GraphCheck check_graph_si(const DependencyGraph& g,
                                         const DepRelations& rel);
 
+/// Reference implementation of the Theorem 9 check: materialises
+/// D ∪ D;RW with the relation algebra and runs the bitset cycle search.
+/// Kept as the differential-testing and benchmarking baseline.
+[[nodiscard]] GraphCheck check_graph_si_reference(const DependencyGraph& g,
+                                                  const DepRelations& rel);
+
 /// GraphPSI (Theorem 21): INT ∧ irreflexive((SO ∪ WR ∪ WW)+ ; RW?).
 /// Equivalently: every cycle has at least two anti-dependency edges.
+///
+/// Decided via SCC condensation of D plus DAG reachability propagation
+/// (cycles.hpp), never materialising the O(n³/64) transitive closure on
+/// the membership path; failures fall back to the reference for witnesses.
 [[nodiscard]] GraphCheck check_graph_psi(const DependencyGraph& g);
 [[nodiscard]] GraphCheck check_graph_psi(const DependencyGraph& g,
                                          const DepRelations& rel);
+
+/// Reference implementation of the Theorem 21 check (materialised D+).
+[[nodiscard]] GraphCheck check_graph_psi_reference(const DependencyGraph& g,
+                                                   const DepRelations& rel);
 
 /// Dynamic robustness criterion against SI (Theorem 19):
 /// G ∈ GraphSI \ GraphSER — the graph exhibits an SI-only anomaly.

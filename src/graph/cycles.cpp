@@ -215,4 +215,157 @@ std::size_t min_rw_count(const TypedCycle& c) {
   return forced_rw_positions(c).size();
 }
 
+namespace {
+
+/// Successor lists of D = SO ∪ WR ∪ WW, extracted once; duplicates across
+/// the three relations are harmless for a verdict-only search.
+std::vector<std::vector<TxnId>> merged_d_adjacency(const Relation& so,
+                                                   const Relation& wr,
+                                                   const Relation& ww) {
+  std::vector<std::vector<TxnId>> adj(so.size());
+  for (TxnId u = 0; u < so.size(); ++u) {
+    const auto append = [&adj, u](TxnId v) { adj[u].push_back(v); };
+    so.for_successors(u, append);
+    wr.for_successors(u, append);
+    ww.for_successors(u, append);
+  }
+  return adj;
+}
+
+/// Iterative Tarjan over \p adj. Returns false on any cycle (a self-loop
+/// or a non-trivial SCC); otherwise fills \p order with every node in SCC
+/// completion order — each node after all of its successors (reverse
+/// topological), the processing order of DAG reachability propagation.
+bool tarjan_trivial_sccs(const std::vector<std::vector<TxnId>>& adj,
+                         std::vector<TxnId>& order) {
+  const std::size_t n = adj.size();
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<TxnId> scc_stack;
+  struct Frame {
+    TxnId node;
+    std::size_t next{0};
+  };
+  std::vector<Frame> frames;
+  std::uint32_t counter = 0;
+  order.clear();
+  order.reserve(n);
+
+  for (TxnId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = counter++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const TxnId u = f.node;
+      if (f.next < adj[u].size()) {
+        const TxnId v = adj[u][f.next++];
+        if (v == u) return false;  // self-loop
+        if (index[v] == kUnvisited) {
+          frames.push_back({v, 0});
+          index[v] = lowlink[v] = counter++;
+          scc_stack.push_back(v);
+          on_stack[v] = true;
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+        continue;
+      }
+      if (lowlink[u] == index[u]) {
+        // Root of an SCC; more than one member means a D-cycle.
+        if (scc_stack.back() != u) return false;
+        scc_stack.pop_back();
+        on_stack[u] = false;
+        order.push_back(u);
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] =
+            std::min(lowlink[frames.back().node], lowlink[u]);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool composed_si_relation_acyclic(const Relation& so, const Relation& wr,
+                                  const Relation& ww, const Relation& rw) {
+  const std::size_t n = so.size();
+  const std::vector<std::vector<TxnId>> d_adj = merged_d_adjacency(so, wr, ww);
+  std::vector<std::vector<TxnId>> rw_adj(n);
+  for (TxnId u = 0; u < n; ++u) rw_adj[u] = rw.successors(u);
+
+  // Layered graph: real node u < n, shadow node û = n + u. u → ŵ for each
+  // D(u, w); ŵ → w (a plain D step of C) and ŵ → v for each RW(w, v) (a
+  // composed D;RW step). Every cycle passes a real node, so real roots
+  // suffice.
+  const auto succ_count = [&](std::size_t node) {
+    return node < n ? d_adj[node].size() : 1 + rw_adj[node - n].size();
+  };
+  const auto succ_at = [&](std::size_t node, std::size_t i) -> std::size_t {
+    if (node < n) return n + d_adj[node][i];
+    return i == 0 ? node - n : rw_adj[node - n][i - 1];
+  };
+
+  enum : std::uint8_t { kWhite = 0, kGray = 1, kBlack = 2 };
+  std::vector<std::uint8_t> color(2 * n, kWhite);
+  struct Frame {
+    std::size_t node;
+    std::size_t next;
+  };
+  std::vector<Frame> stack;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (color[s] != kWhite) continue;
+    color[s] = kGray;
+    stack.push_back({s, 0});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.next >= succ_count(f.node)) {
+        color[f.node] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const std::size_t v = succ_at(f.node, f.next++);
+      if (color[v] == kGray) return false;  // back edge closes a C-cycle
+      if (color[v] == kWhite) {
+        color[v] = kGray;
+        stack.push_back({v, 0});
+      }
+    }
+  }
+  return true;
+}
+
+bool dplus_rw_irreflexive(const Relation& so, const Relation& wr,
+                          const Relation& ww, const Relation& rw) {
+  const std::size_t n = so.size();
+  const std::vector<std::vector<TxnId>> d_adj = merged_d_adjacency(so, wr, ww);
+  std::vector<TxnId> order;
+  if (!tarjan_trivial_sccs(d_adj, order)) return false;  // diagonal in D+
+
+  // D is a DAG; propagate reachability sinks-first: reach(u) = ⋃ over D
+  // successors v of ({v} ∪ reach(v)). One row union per D edge.
+  Relation reach(n);
+  for (const TxnId u : order) {
+    for (const TxnId v : d_adj[u]) {
+      reach.add(u, v);
+      reach.absorb_row(u, v);
+    }
+  }
+  // A violating diagonal entry of D+ ; RW is an RW edge (w, t) with
+  // D+(t, w).
+  for (TxnId w = 0; w < n; ++w) {
+    bool hit = false;
+    rw.for_successors(w, [&](TxnId t) { hit = hit || reach.contains(t, w); });
+    if (hit) return false;
+  }
+  return true;
+}
+
 }  // namespace sia

@@ -143,4 +143,36 @@ EnumerationStats enumerate_simple_cycles(
 /// positions).
 [[nodiscard]] std::size_t min_rw_count(const TypedCycle& c);
 
+// ----- implicit-edge cycle search (Theorem 9 / 21 fast paths) --------------
+//
+// The batch checkers need acyclicity of C = D ∪ D;RW (SI, Theorem 9) and
+// irreflexivity of D+ ; RW? (PSI, Theorem 21) where D = SO ∪ WR ∪ WW.
+// Materialising the composition or the closure costs O(n³/64) bit-matrix
+// work; the predicates themselves are decidable by sparse graph search over
+// the *virtual* relations in O(V + E) adjacency scans. These entry points
+// answer the predicates only — witness extraction, which is off the hot
+// path, stays with the materialised reference implementations.
+
+/// True iff D ∪ D;RW is acyclic, decided without materialising D or the
+/// composition: iterative DFS over the layered graph with one shadow node
+/// û per transaction u, edges u → ŵ for D(u, w), ŵ → w, and ŵ → v for
+/// RW(w, v). Cycles of the layered graph correspond exactly to cycles of
+/// D ∪ D;RW (a ŵ-through step picks "use the D edge into w, then
+/// optionally one RW out of w").
+[[nodiscard]] bool composed_si_relation_acyclic(const Relation& so,
+                                                const Relation& wr,
+                                                const Relation& ww,
+                                                const Relation& rw);
+
+/// True iff D+ ; RW? is irreflexive, decided without materialising D+:
+/// Tarjan's SCC condensation of D detects any D-cycle (a non-trivial SCC
+/// or a self-loop puts the diagonal into D+); on a D-DAG, per-node
+/// reachability sets are propagated in reverse topological order (one row
+/// union per D edge, O(E · n/64) total instead of Warshall's O(n³/64)),
+/// and a violation is an RW edge (w, t) with t →+ w in D.
+[[nodiscard]] bool dplus_rw_irreflexive(const Relation& so,
+                                        const Relation& wr,
+                                        const Relation& ww,
+                                        const Relation& rw);
+
 }  // namespace sia

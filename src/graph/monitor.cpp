@@ -23,6 +23,49 @@ void ConsistencyMonitor::record_violation(TxnId at,
   violation_detail_ = detail;
 }
 
+bool ConsistencyMonitor::closure_would_reach(TxnId a, TxnId b) const {
+  if (closure_.contains(a, b)) return true;
+  if (!batching_ || deferred_edges_.empty()) return false;
+  return closure_.closed_reaches_with(a, b, deferred_adj_);
+}
+
+void ConsistencyMonitor::add_closure_edge(TxnId a, TxnId b) {
+  if (batching_) {
+    deferred_edges_.emplace_back(a, b);
+    if (deferred_adj_.size() <= a) deferred_adj_.resize(a + 1);
+    deferred_adj_[a].push_back(b);
+    return;
+  }
+  // Implied edges are no-ops for a transitive closure: every predecessor
+  // of a already sees b and its successors.
+  if (!closure_.contains(a, b)) closure_.add_edge_transitively(a, b);
+}
+
+void ConsistencyMonitor::flush_deferred() {
+  for (const auto& [a, b] : deferred_edges_) {
+    if (!closure_.contains(a, b)) closure_.add_edge_transitively(a, b);
+  }
+  deferred_edges_.clear();
+  deferred_adj_.clear();
+}
+
+std::vector<TxnId> ConsistencyMonitor::commit_all(
+    const std::vector<MonitoredCommit>& batch) {
+  std::vector<TxnId> ids;
+  ids.reserve(batch.size());
+  batching_ = true;
+  try {
+    for (const MonitoredCommit& c : batch) ids.push_back(commit(c));
+  } catch (...) {
+    batching_ = false;
+    flush_deferred();
+    throw;
+  }
+  batching_ = false;
+  flush_deferred();
+  return ids;
+}
+
 void ConsistencyMonitor::add_generator(TxnId a, TxnId b, DepKind kind,
                                        ObjId obj) {
   if (a == b) {
@@ -30,13 +73,13 @@ void ConsistencyMonitor::add_generator(TxnId a, TxnId b, DepKind kind,
                      "reflexive " + to_string(DepEdge{a, b, kind, obj}));
     return;
   }
-  if (!violation_ && closure_.contains(b, a)) {
+  if (!violation_ && closure_would_reach(b, a)) {
     record_violation(
         next_id_ - 1,
         "cycle closed by " + to_string(DepEdge{a, b, kind, obj}) +
             " (reverse path already committed)");
   }
-  closure_.add_edge_transitively(a, b);
+  add_closure_edge(a, b);
 }
 
 void ConsistencyMonitor::add_anti_dependency(TxnId r, TxnId s, ObjId obj) {
@@ -58,20 +101,20 @@ void ConsistencyMonitor::add_anti_dependency(TxnId r, TxnId s, ObjId obj) {
                                to_string(DepEdge{r, s, DepKind::kRW, obj}));
           continue;
         }
-        if (!violation_ && closure_.contains(s, d)) {
+        if (!violation_ && closure_would_reach(s, d)) {
           record_violation(
               next_id_ - 1,
               "cycle closed by D;RW step T" + std::to_string(d) + " -> T" +
                   std::to_string(s) + " (via " +
                   to_string(DepEdge{r, s, DepKind::kRW, obj}) + ")");
         }
-        closure_.add_edge_transitively(d, s);
+        add_closure_edge(d, s);
       }
       break;
     case Model::kPSI:
       // Theorem 21: irreflexive(D+ ; RW?). D-paths only ever run from
       // older to newer commits, so D+(s, r) is already final here.
-      if (!violation_ && closure_.contains(s, r)) {
+      if (!violation_ && closure_would_reach(s, r)) {
         record_violation(next_id_ - 1,
                          "D+ path T" + std::to_string(s) + " ->+ T" +
                              std::to_string(r) + " closed by " +
@@ -185,12 +228,15 @@ DependencyGraph ConsistencyMonitor::graph() const {
   return g;
 }
 
-ConsistencyMonitor replay(const DependencyGraph& g, Model m) {
-  ConsistencyMonitor monitor(m);
+namespace {
+
+std::vector<MonitoredCommit> commits_of(const DependencyGraph& g) {
   const History& h = g.history();
   // Transaction 0 must be the initialising transaction (the convention of
   // Recorder::build and HistoryBuilder::init_txn); it is implicit in the
   // monitor.
+  std::vector<MonitoredCommit> commits;
+  commits.reserve(h.txn_count() > 0 ? h.txn_count() - 1 : 0);
   for (TxnId id = 1; id < h.txn_count(); ++id) {
     MonitoredCommit c;
     c.session = h.session_of(id);
@@ -203,7 +249,28 @@ ConsistencyMonitor replay(const DependencyGraph& g, Model m) {
       }
       c.read_sources[obj] = *src;
     }
-    monitor.commit(c);
+    commits.push_back(std::move(c));
+  }
+  return commits;
+}
+
+}  // namespace
+
+ConsistencyMonitor replay(const DependencyGraph& g, Model m) {
+  ConsistencyMonitor monitor(m);
+  for (const MonitoredCommit& c : commits_of(g)) monitor.commit(c);
+  return monitor;
+}
+
+ConsistencyMonitor replay_batched(const DependencyGraph& g, Model m,
+                                  std::size_t batch_size) {
+  if (batch_size == 0) batch_size = 1;
+  ConsistencyMonitor monitor(m);
+  const std::vector<MonitoredCommit> commits = commits_of(g);
+  for (std::size_t lo = 0; lo < commits.size(); lo += batch_size) {
+    const auto hi = std::min(lo + batch_size, commits.size());
+    monitor.commit_all({commits.begin() + static_cast<std::ptrdiff_t>(lo),
+                        commits.begin() + static_cast<std::ptrdiff_t>(hi)});
   }
   return monitor;
 }

@@ -53,9 +53,21 @@ class ConsistencyMonitor {
 
   /// Ingests the next committed transaction; returns its monitor id
   /// (ids start at 1; id 0 is the implicit initialising transaction).
+  /// Generator edges already implied by the closure skip propagation
+  /// entirely (the closure is transitive, so they are no-ops).
   /// \throws ModelError if a read source is unknown or never wrote the
   ///         object.
   TxnId commit(const MonitoredCommit& c);
+
+  /// Ingests a batch of commits in order and returns their ids, deferring
+  /// closure propagation across the batch: generator edges accumulate in a
+  /// sparse overlay, cycle checks run against the exact reachability of
+  /// (closure ∪ overlay) — so verdicts, violating ids and details are
+  /// identical to per-commit ingestion — and the closure invariant is
+  /// restored once at the end of the batch, where edges implied by earlier
+  /// propagation have become free skips. On a ModelError thrown mid-batch
+  /// the already-ingested prefix is flushed before rethrowing.
+  std::vector<TxnId> commit_all(const std::vector<MonitoredCommit>& batch);
 
   /// True while the ingested history is still in the model's graph set.
   [[nodiscard]] bool consistent() const { return !violation_.has_value(); }
@@ -101,6 +113,17 @@ class ConsistencyMonitor {
 
   void record_violation(TxnId at, const std::string& detail);
 
+  /// (a, b) present in the closure-so-far — including, while batching, the
+  /// not-yet-propagated overlay edges. Exactly contains() outside a batch.
+  [[nodiscard]] bool closure_would_reach(TxnId a, TxnId b) const;
+
+  /// Propagates (a, b) into the closure, or defers it while batching.
+  /// Skips edges the closure already implies.
+  void add_closure_edge(TxnId a, TxnId b);
+
+  /// Applies every deferred edge and clears the overlay.
+  void flush_deferred();
+
   Model model_;
   TxnId next_id_{1};
 
@@ -116,6 +139,12 @@ class ConsistencyMonitor {
   std::optional<TxnId> violation_;
   std::string violation_detail_;
 
+  /// Batch-mode state: generator edges awaiting propagation, in arrival
+  /// order plus as a per-source adjacency overlay for the cycle checks.
+  bool batching_{false};
+  std::vector<std::pair<TxnId, TxnId>> deferred_edges_;
+  std::vector<std::vector<TxnId>> deferred_adj_;
+
   // Raw ingested data for graph() reconstruction.
   std::vector<MonitoredCommit> log_;
 };
@@ -128,5 +157,11 @@ class ConsistencyMonitor {
 /// verdict must then agree with the batch check of the same graph — a
 /// property the tests enforce.
 [[nodiscard]] ConsistencyMonitor replay(const DependencyGraph& g, Model m);
+
+/// replay() through commit_all in batches of \p batch_size commits —
+/// identical verdicts, closure propagation deferred per batch.
+[[nodiscard]] ConsistencyMonitor replay_batched(const DependencyGraph& g,
+                                                Model m,
+                                                std::size_t batch_size);
 
 }  // namespace sia

@@ -217,6 +217,38 @@ TEST(Characterization, PsiAnomalyDynamicCriterion) {
   EXPECT_FALSE(psi_anomaly(lost_update_graph(false)).anomaly);
 }
 
+TEST(Characterization, FastPathsMatchReferenceOnNamedGraphs) {
+  // The fast checkers must reproduce the reference GraphCheck exactly —
+  // verdict AND witness — on every named graph of the paper, member or not.
+  DependencyGraph spliced_long_fork = [] {
+    const auto [h, objs] = paper::fig2c_long_fork();
+    const ObjId x = objs.lookup("x");
+    const ObjId y = objs.lookup("y");
+    DependencyGraph g(h);
+    g.set_read_from(x, 1, 3);
+    g.set_read_from(y, 0, 3);
+    g.set_read_from(x, 0, 4);
+    g.set_read_from(y, 2, 4);
+    g.set_write_order(x, {0, 1});
+    g.set_write_order(y, {0, 2});
+    return g;
+  }();
+  for (const DependencyGraph& g :
+       {write_skew_graph(), lost_update_graph(true), lost_update_graph(false),
+        std::move(spliced_long_fork), paper::fig4_g1(), paper::fig4_g2(),
+        paper::fig11_h6(), paper::fig12_g7()}) {
+    const DepRelations rel = g.relations();
+    const GraphCheck si_fast = check_graph_si(g, rel);
+    const GraphCheck si_ref = check_graph_si_reference(g, rel);
+    EXPECT_EQ(si_fast.member, si_ref.member);
+    EXPECT_EQ(si_fast.witness, si_ref.witness);
+    const GraphCheck psi_fast = check_graph_psi(g, rel);
+    const GraphCheck psi_ref = check_graph_psi_reference(g, rel);
+    EXPECT_EQ(psi_fast.member, psi_ref.member);
+    EXPECT_EQ(psi_fast.witness, psi_ref.witness);
+  }
+}
+
 TEST(Characterization, CheckGraphDispatch) {
   const DependencyGraph g = write_skew_graph();
   EXPECT_EQ(check_graph(g, Model::kSER).member, check_graph_ser(g).member);

@@ -225,5 +225,117 @@ TEST(CyclePredicates, TwoNonAdjacentRw) {
       cycle_of({kMaskRW | kMaskWW, kMaskRW | kMaskWW, kMaskRW | kMaskWW})));
 }
 
+// ----- implicit-edge fast paths vs materialised relation algebra ----------
+
+/// Random sparse relation over n transactions, xorshift-seeded.
+Relation sparse_relation(std::size_t n, std::uint64_t seed,
+                         std::size_t edges) {
+  Relation r(n);
+  std::uint64_t s = seed * 0x9E3779B97F4A7C15ULL + 1;
+  auto next = [&s] {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  };
+  for (std::size_t e = 0; e < edges; ++e) {
+    r.add(static_cast<TxnId>(next() % n), static_cast<TxnId>(next() % n));
+  }
+  return r;
+}
+
+class ImplicitEdgeDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImplicitEdgeDifferential, SiSearchMatchesMaterialisedComposition) {
+  // composed_si_relation_acyclic must agree with materialising
+  // D ∪ D;RW and running the bitset cycle finder, across densities that
+  // straddle the acyclic/cyclic boundary and sizes off word alignment.
+  const std::uint64_t base = static_cast<std::uint64_t>(GetParam());
+  for (const std::size_t n : {3UL, 17UL, 64UL, 65UL, 130UL}) {
+    for (const std::size_t edges : {n / 2, n, 2 * n}) {
+      const Relation so = sparse_relation(n, base * 11 + n + edges, edges / 3);
+      const Relation wr = sparse_relation(n, base * 13 + n + edges, edges / 3);
+      const Relation ww = sparse_relation(n, base * 17 + n + edges, edges / 3);
+      const Relation rw = sparse_relation(n, base * 19 + n + edges, edges);
+      const Relation d = so | wr | ww;
+      const Relation composed = d | d.compose(rw);
+      EXPECT_EQ(composed_si_relation_acyclic(so, wr, ww, rw),
+                !composed.find_cycle().has_value())
+          << "n=" << n << " edges=" << edges;
+    }
+  }
+}
+
+TEST_P(ImplicitEdgeDifferential, PsiSearchMatchesMaterialisedClosure) {
+  const std::uint64_t base = static_cast<std::uint64_t>(GetParam());
+  for (const std::size_t n : {3UL, 17UL, 64UL, 65UL, 130UL}) {
+    for (const std::size_t edges : {n / 2, n, 2 * n}) {
+      const Relation so = sparse_relation(n, base * 23 + n + edges, edges / 3);
+      const Relation wr = sparse_relation(n, base * 29 + n + edges, edges / 3);
+      const Relation ww = sparse_relation(n, base * 31 + n + edges, edges / 3);
+      const Relation rw = sparse_relation(n, base * 37 + n + edges, edges);
+      const Relation dplus = (so | wr | ww).transitive_closure();
+      const Relation composed = dplus | dplus.compose(rw);
+      bool reflexive = false;
+      for (TxnId t = 0; t < n; ++t) {
+        if (composed.contains(t, t)) reflexive = true;
+      }
+      EXPECT_EQ(dplus_rw_irreflexive(so, wr, ww, rw), !reflexive)
+          << "n=" << n << " edges=" << edges;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicitEdgeDifferential,
+                         ::testing::Range(0, 8));
+
+TEST(ImplicitEdgeDifferential, HandCraftedShapes) {
+  const std::size_t n = 6;
+  const Relation none(n);
+  // Pure D-cycle: caught with no RW at all.
+  {
+    const Relation d_cycle = Relation::from_edges(n, {{0, 1}, {1, 0}});
+    EXPECT_FALSE(composed_si_relation_acyclic(d_cycle, none, none, none));
+    EXPECT_FALSE(dplus_rw_irreflexive(d_cycle, none, none, none));
+  }
+  // D;RW self-composition: 0 -D-> 1 -RW-> 0 is a 2-cycle of D∪D;RW only
+  // through the composed edge (0,0).
+  {
+    const Relation d = Relation::from_edges(n, {{0, 1}});
+    const Relation rw = Relation::from_edges(n, {{1, 0}});
+    EXPECT_FALSE(composed_si_relation_acyclic(d, none, none, rw));
+    EXPECT_FALSE(dplus_rw_irreflexive(d, none, none, rw));
+  }
+  // Two adjacent RW edges: 0 -D-> 1 -RW-> 2 -RW-> 0 needs RW;RW, which
+  // neither SI nor PSI composition forms — both accept (write skew).
+  {
+    const Relation d = Relation::from_edges(n, {{0, 1}});
+    const Relation rw = Relation::from_edges(n, {{1, 2}, {2, 0}});
+    EXPECT_TRUE(composed_si_relation_acyclic(d, none, none, rw));
+    EXPECT_TRUE(dplus_rw_irreflexive(d, none, none, rw));
+  }
+  // Long-fork shape: 0 -D-> 1 -RW-> 2 -D-> 3 -RW-> 0. Two RW edges but
+  // never adjacent — excluded from GraphSI (Theorem 9 needs two adjacent
+  // RW per cycle) yet inside GraphPSI (two RW suffice for Theorem 21).
+  {
+    const Relation d = Relation::from_edges(n, {{0, 1}, {2, 3}});
+    const Relation rw = Relation::from_edges(n, {{1, 2}, {3, 0}});
+    EXPECT_FALSE(composed_si_relation_acyclic(d, none, none, rw));
+    EXPECT_TRUE(dplus_rw_irreflexive(d, none, none, rw));
+  }
+  // D-path feeding an RW back-edge: 0 -D-> 1 -D-> 2 -RW-> 0. The SI
+  // composition already sees 1 -D;RW-> 0; the PSI closure sees
+  // 0 -D+-> 2 -RW-> 0. Both reject.
+  {
+    const Relation d = Relation::from_edges(n, {{0, 1}, {1, 2}});
+    const Relation rw = Relation::from_edges(n, {{2, 0}});
+    EXPECT_FALSE(composed_si_relation_acyclic(d, none, none, rw));
+    EXPECT_FALSE(dplus_rw_irreflexive(d, none, none, rw));
+  }
+  // Empty relations: trivially acyclic/irreflexive.
+  EXPECT_TRUE(composed_si_relation_acyclic(none, none, none, none));
+  EXPECT_TRUE(dplus_rw_irreflexive(none, none, none, none));
+}
+
 }  // namespace
 }  // namespace sia

@@ -4,6 +4,7 @@
 
 #include "chopping/dynamic_chopping_graph.hpp"
 #include "chopping/splice.hpp"
+#include "graph/characterization.hpp"
 #include "graph/enumeration.hpp"
 #include "graph/monitor.hpp"
 #include "graph/soundness.hpp"
@@ -122,6 +123,70 @@ TEST_P(FuzzSweep, ChoppingCriterionSoundOnWitnesses) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(0, 12));
+
+TEST_P(FuzzSweep, FastCheckersMatchReferenceBitForBit) {
+  // The implicit-edge fast paths of check_graph_si / check_graph_psi must
+  // return the exact GraphCheck of the materialised reference — same
+  // verdict, same witness edges in the same order, same INT outcome — on
+  // every graph extension of arbitrary histories, consistent or not.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 3);
+  for (int round = 0; round < 10; ++round) {
+    const History h = random_history(rng);
+    std::size_t budget = 40;  // graphs per history; extensions blow up fast
+    enumerate_dependency_graphs(h, [&](const DependencyGraph& g) {
+      const DepRelations rel = g.relations();
+      const GraphCheck si_fast = check_graph_si(g, rel);
+      const GraphCheck si_ref = check_graph_si_reference(g, rel);
+      EXPECT_EQ(si_fast.member, si_ref.member) << to_string(h);
+      EXPECT_EQ(si_fast.witness, si_ref.witness) << to_string(h);
+      EXPECT_EQ(si_fast.int_violation.has_value(),
+                si_ref.int_violation.has_value());
+
+      const GraphCheck psi_fast = check_graph_psi(g, rel);
+      const GraphCheck psi_ref = check_graph_psi_reference(g, rel);
+      EXPECT_EQ(psi_fast.member, psi_ref.member) << to_string(h);
+      EXPECT_EQ(psi_fast.witness, psi_ref.witness) << to_string(h);
+      EXPECT_EQ(psi_fast.int_violation.has_value(),
+                psi_ref.int_violation.has_value());
+      return --budget > 0;
+    });
+  }
+}
+
+TEST_P(FuzzSweep, BatchedMonitorMatchesSequential) {
+  // commit_all must be observationally identical to per-commit ingestion:
+  // same verdict, same violating id, same detail string — at every batch
+  // size, on every replayable witness graph.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 1597 + 4);
+  for (int round = 0; round < 10; ++round) {
+    const History h = random_history(rng);
+    for (const Model m : {Model::kSER, Model::kSI, Model::kPSI}) {
+      const HistDecision d = decide_history(h, m);
+      if (!d.allowed) continue;
+      bool replayable = true;
+      for (const ObjId obj : h.objects()) {
+        const auto& order = d.witness->write_order(obj);
+        replayable =
+            replayable && std::is_sorted(order.begin(), order.end());
+        for (TxnId t = 0; t < h.txn_count() && replayable; ++t) {
+          const auto src = d.witness->read_source(obj, t);
+          if (src && *src >= t) replayable = false;
+        }
+      }
+      if (!replayable) continue;
+      const ConsistencyMonitor seq = replay(*d.witness, m);
+      for (const std::size_t batch : {std::size_t{1}, std::size_t{3},
+                                      std::size_t{100}}) {
+        const ConsistencyMonitor bat = replay_batched(*d.witness, m, batch);
+        EXPECT_EQ(bat.consistent(), seq.consistent())
+            << to_string(m) << " batch=" << batch << "\n" << to_string(h);
+        EXPECT_EQ(bat.violating_commit(), seq.violating_commit());
+        EXPECT_EQ(bat.violation_detail(), seq.violation_detail());
+        EXPECT_EQ(bat.commit_count(), seq.commit_count());
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace sia

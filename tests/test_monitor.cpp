@@ -189,6 +189,54 @@ TEST_P(MonitorReplaySweep, AgreesWithBatchCheckOnEngineRuns) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MonitorReplaySweep, ::testing::Range(0, 8));
 
+TEST_P(MonitorReplaySweep, BatchedReplayMatchesSequentialOnEngineRuns) {
+  workload::WorkloadSpec spec;
+  spec.seed = static_cast<std::uint64_t>(GetParam()) * 263 + 11;
+  spec.sessions = 4;
+  spec.txns_per_session = 8;
+  spec.ops_per_txn = 4;
+  spec.num_keys = 5;
+  spec.write_ratio = 0.4 + 0.05 * (GetParam() % 5);
+  spec.concurrent = false;
+
+  for (const mvcc::RecordedRun& run :
+       {workload::run_si(spec), workload::run_psi(spec, 3)}) {
+    for (const Model model : {Model::kSER, Model::kSI, Model::kPSI}) {
+      const ConsistencyMonitor seq = replay(run.graph, model);
+      for (const std::size_t batch :
+           {std::size_t{1}, std::size_t{7}, std::size_t{1000}}) {
+        const ConsistencyMonitor bat = replay_batched(run.graph, model, batch);
+        EXPECT_EQ(bat.consistent(), seq.consistent())
+            << to_string(model) << " batch=" << batch;
+        EXPECT_EQ(bat.violating_commit(), seq.violating_commit());
+        EXPECT_EQ(bat.violation_detail(), seq.violation_detail());
+      }
+    }
+  }
+}
+
+TEST(Monitor, CommitAllFlushesPrefixOnError) {
+  // A mid-batch ModelError must leave the already-ingested prefix fully
+  // propagated, so a subsequent per-commit ingest sees a consistent state.
+  ConsistencyMonitor m(Model::kSER);
+  MonitoredCommit good;
+  good.session = 0;
+  good.txn.append(write(0, 1));
+  MonitoredCommit bad;
+  bad.session = 1;
+  bad.txn.append(read(0, 1));
+  bad.read_sources[0] = 99;  // unknown source
+  EXPECT_THROW(m.commit_all({good, bad}), ModelError);
+  EXPECT_EQ(m.commit_count(), 2u);  // good + the failed slot's id burn
+  // The monitor keeps working sequentially after the failed batch.
+  MonitoredCommit next;
+  next.session = 0;
+  next.txn.append(read(0, 1));
+  next.read_sources[0] = 1;
+  m.commit(next);
+  EXPECT_TRUE(m.consistent());
+}
+
 TEST(Monitor, ReplayedGraphMatchesOriginal) {
   workload::WorkloadSpec spec;
   spec.sessions = 3;
