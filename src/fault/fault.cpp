@@ -1,0 +1,139 @@
+#include "fault/fault.hpp"
+
+#include <thread>
+
+namespace sia::fault {
+
+std::string to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kPreRead:
+      return "pre-read";
+    case FaultSite::kPreCommit:
+      return "pre-commit";
+    case FaultSite::kMidCommit:
+      return "mid-commit";
+    case FaultSite::kPostCommit:
+      return "post-commit";
+  }
+  return "?";
+}
+
+std::string to_string(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone:
+      return "none";
+    case FaultAction::kAbort:
+      return "abort";
+    case FaultAction::kCrash:
+      return "crash";
+    case FaultAction::kDelay:
+      return "delay";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::uniform(std::uint64_t seed, double abort, double crash,
+                             double delay) {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (SiteProbabilities& p : plan.sites) {
+    p = SiteProbabilities{abort, crash, delay};
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const ScheduledFault& f : plan_.schedule) {
+    if (static_cast<std::size_t>(f.site) >= kFaultSiteCount) {
+      throw ModelError("FaultPlan: schedule entry with invalid site");
+    }
+  }
+}
+
+namespace {
+
+/// SplitMix64 — the standard 64-bit finaliser; a pure function of the
+/// input, which is what makes per-(site, hit) decisions interleaving-
+/// independent.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from the top 53 bits.
+double unit(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultAction FaultInjector::decide(FaultSite site, std::uint64_t hit) const {
+  for (const ScheduledFault& f : plan_.schedule) {
+    if (f.site == site && f.hit == hit) return f.action;
+  }
+  const SiteProbabilities& p = plan_.at(site);
+  if (p.abort <= 0 && p.crash <= 0 && p.delay <= 0) return FaultAction::kNone;
+  const std::uint64_t bits = mix64(
+      plan_.seed ^ mix64((static_cast<std::uint64_t>(site) << 56) | hit));
+  const double u = unit(bits);
+  if (u < p.abort) return FaultAction::kAbort;
+  if (u < p.abort + p.crash) return FaultAction::kCrash;
+  if (u < p.abort + p.crash + p.delay) return FaultAction::kDelay;
+  return FaultAction::kNone;
+}
+
+void FaultInjector::on(FaultSite site) {
+  const std::size_t s = static_cast<std::size_t>(site);
+  FaultAction action;
+  std::uint64_t hit;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hit = hits_[s]++;
+    action = decide(site, hit);
+    injected_[s][static_cast<std::size_t>(action)]++;
+  }
+  switch (action) {
+    case FaultAction::kNone:
+      return;
+    case FaultAction::kDelay: {
+      // Bounded: derive the spin count from the same deterministic stream.
+      const std::uint64_t bits =
+          mix64(plan_.seed ^ mix64(0x64656c6179ULL ^ hit));
+      const std::uint32_t spins =
+          plan_.max_delay_spins > 0
+              ? static_cast<std::uint32_t>(bits % plan_.max_delay_spins) + 1
+              : 0;
+      for (std::uint32_t i = 0; i < spins; ++i) std::this_thread::yield();
+      return;
+    }
+    case FaultAction::kAbort:
+    case FaultAction::kCrash:
+      throw FaultInjected(action, site);
+  }
+}
+
+std::uint64_t FaultInjector::hits(FaultSite site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_[static_cast<std::size_t>(site)];
+}
+
+std::uint64_t FaultInjector::injected(FaultSite site,
+                                      FaultAction action) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return injected_[static_cast<std::size_t>(site)]
+                  [static_cast<std::size_t>(action)];
+}
+
+std::uint64_t FaultInjector::total_failures() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& site : injected_) {
+    total += site[static_cast<std::size_t>(FaultAction::kAbort)];
+    total += site[static_cast<std::size_t>(FaultAction::kCrash)];
+  }
+  return total;
+}
+
+}  // namespace sia::fault

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+/// \file fault.hpp
+/// Deterministic fault injection for the operational engines. The paper's
+/// chopping and robustness results (§5–§6) assume Shasha-style clients
+/// that re-execute aborted pieces and an environment where a transaction
+/// can abort at *any* point — not only on first-committer-wins conflicts.
+/// This subsystem makes that environment reproducible: a seedable
+/// FaultPlan decides, per engine hook site, whether to inject an abort, a
+/// simulated session crash, or a bounded scheduling delay, and the chaos
+/// tests then assert that the recorded dependency graphs still land in
+/// GraphSI / GraphPSI / GraphSER (completeness under faults, Theorems 9,
+/// 8 and 21).
+///
+/// Hook sites (threaded through all four engines):
+///  - kPreRead:    before a snapshot/lock read is served;
+///  - kPreCommit:  commit() entered, before validation;
+///  - kMidCommit:  validation passed, before version install / publish;
+///  - kPostCommit: the commit is fully installed *and recorded*, but the
+///    client has not yet observed the acknowledgement. (The record is
+///    written first on purpose: engine truth stays consistent, and the
+///    lost-ack crash is exactly the classic "unknown outcome" fault a
+///    retrying client must cope with.)
+///
+/// Determinism: each site's decision for its n-th hit is a pure function
+/// of (plan seed, site, n) — independent of thread interleaving — so a
+/// single-threaded drive of the engines replays bit-identically, and
+/// multi-threaded drives inject the same multiset of faults per site.
+///
+/// The no-op path costs one branch on a pointer an engine already holds;
+/// with no injector configured the hooks compile to nothing measurable
+/// (bench_fault_overhead persists the proof to BENCH_fault_overhead.json).
+
+namespace sia::fault {
+
+/// Engine locations where a fault may fire.
+enum class FaultSite : std::uint8_t {
+  kPreRead = 0,
+  kPreCommit = 1,
+  kMidCommit = 2,
+  kPostCommit = 3,
+};
+
+inline constexpr std::size_t kFaultSiteCount = 4;
+
+[[nodiscard]] std::string to_string(FaultSite site);
+
+/// What to inject at a hook.
+enum class FaultAction : std::uint8_t {
+  kNone = 0,
+  kAbort = 1,  ///< spurious abort: the engine aborts the transaction
+  kCrash = 2,  ///< simulated session crash: the client loses the session
+  kDelay = 3,  ///< bounded scheduling delay (yield loop), then proceed
+};
+
+inline constexpr std::size_t kFaultActionCount = 4;
+
+[[nodiscard]] std::string to_string(FaultAction action);
+
+/// Thrown out of an engine operation when an abort or crash fires. By the
+/// time it propagates the engine has already restored its invariants
+/// (locks released, snapshot pins dropped, the transaction finished), so
+/// catching and retrying with a *new* transaction is always safe.
+class FaultInjected : public std::runtime_error {
+ public:
+  FaultInjected(FaultAction action, FaultSite site)
+      : std::runtime_error("injected " + sia::fault::to_string(action) +
+                           " at " + sia::fault::to_string(site)),
+        action_(action),
+        site_(site) {}
+
+  [[nodiscard]] FaultAction action() const { return action_; }
+  [[nodiscard]] FaultSite site() const { return site_; }
+
+ private:
+  FaultAction action_;
+  FaultSite site_;
+};
+
+/// Injection probabilities of one site (the remainder is kNone).
+struct SiteProbabilities {
+  double abort{0.0};
+  double crash{0.0};
+  double delay{0.0};
+};
+
+/// A fault fired unconditionally at the \p hit-th time \p site is reached
+/// (0-based, counted per site). Schedule entries override probabilities.
+struct ScheduledFault {
+  FaultSite site{FaultSite::kPreCommit};
+  std::uint64_t hit{0};
+  FaultAction action{FaultAction::kAbort};
+};
+
+/// A complete, seedable description of the faults of one run.
+struct FaultPlan {
+  std::uint64_t seed{0};
+  std::array<SiteProbabilities, kFaultSiteCount> sites{};
+  std::vector<ScheduledFault> schedule;
+  /// Upper bound on the yield-loop length of one injected delay.
+  std::uint32_t max_delay_spins{32};
+
+  [[nodiscard]] SiteProbabilities& at(FaultSite site) {
+    return sites[static_cast<std::size_t>(site)];
+  }
+  [[nodiscard]] const SiteProbabilities& at(FaultSite site) const {
+    return sites[static_cast<std::size_t>(site)];
+  }
+
+  /// Uniform plan: the same probabilities at every site.
+  [[nodiscard]] static FaultPlan uniform(std::uint64_t seed, double abort,
+                                         double crash, double delay);
+};
+
+/// Decides and executes faults. Thread-safe; share one injector across
+/// every session of a database (or several databases, to correlate their
+/// fault streams).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// The engine hook: decides the action for this hit of \p site, then
+  /// either returns (kNone), spins-and-returns (kDelay), or throws
+  /// FaultInjected (kAbort / kCrash). Engines catch, restore invariants,
+  /// and rethrow.
+  void on(FaultSite site);
+
+  /// Pure decision function — what on() will do at hit \p hit of \p site.
+  /// Exposed so tests can predict a plan without running an engine.
+  [[nodiscard]] FaultAction decide(FaultSite site, std::uint64_t hit) const;
+
+  /// Times \p site has been reached so far.
+  [[nodiscard]] std::uint64_t hits(FaultSite site) const;
+
+  /// Times \p action was injected at \p site.
+  [[nodiscard]] std::uint64_t injected(FaultSite site,
+                                       FaultAction action) const;
+
+  /// Total aborts+crashes injected anywhere (delays excluded).
+  [[nodiscard]] std::uint64_t total_failures() const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  std::array<std::uint64_t, kFaultSiteCount> hits_{};
+  std::array<std::array<std::uint64_t, kFaultActionCount>, kFaultSiteCount>
+      injected_{};
+};
+
+}  // namespace sia::fault

@@ -1,0 +1,30 @@
+#include "fault/retry.hpp"
+
+namespace sia::fault {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t RetryPolicy::backoff_steps(std::size_t attempt) const {
+  if (attempt == 0) attempt = 1;
+  std::uint64_t base = base_backoff_steps;
+  // Saturating shift: attempt counts can exceed the width of the type.
+  for (std::size_t i = 1; i < attempt && base < max_backoff_steps; ++i) {
+    base <<= 1;
+  }
+  if (base > max_backoff_steps) base = max_backoff_steps;
+  // Full jitter over [0, base]: decorrelates colliding retriers while
+  // keeping every run of a fixed seed bit-identical.
+  const std::uint64_t jitter = mix64(jitter_seed ^ attempt) % (base + 1);
+  return base + jitter;
+}
+
+}  // namespace sia::fault

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "fault/fault.hpp"
+
+/// \file retry.hpp
+/// The client side of the §5 assumptions, made operational: Shasha-style
+/// clients re-execute aborted transactions (and aborted pieces of chopped
+/// transactions) until they commit. RetryPolicy bounds that loop — a
+/// retry budget with bounded exponential backoff and deterministic jitter
+/// — and RetryingClient re-runs a transaction closure against any of the
+/// four engines until commit or budget exhaustion, classifying every
+/// failed attempt (write-conflict abort vs injected abort vs injected
+/// session crash vs fatal error).
+///
+/// A crash reported at the post-commit site means the commit is installed
+/// but the acknowledgement was lost; like a real at-least-once client,
+/// RetryingClient re-executes the closure, so closures should be
+/// idempotent-by-construction (read-modify-write against the current
+/// snapshot — the natural style for these engines — is exactly that).
+
+namespace sia::fault {
+
+/// Why one attempt failed.
+enum class AbortClass : std::uint8_t {
+  kConflict,       ///< engine validation abort (first-committer-wins, 2PL
+                   ///< no-wait, SSI pivot prevention)
+  kInjectedAbort,  ///< FaultInjected with action kAbort
+  kInjectedCrash,  ///< FaultInjected with action kCrash
+  kFatal,          ///< anything else: not retried, rethrown
+};
+
+[[nodiscard]] inline AbortClass classify(const FaultInjected& f) {
+  return f.action() == FaultAction::kCrash ? AbortClass::kInjectedCrash
+                                           : AbortClass::kInjectedAbort;
+}
+
+/// Bounded exponential backoff with deterministic jitter.
+struct RetryPolicy {
+  /// Attempts before giving up (>= 1). Exhaustion is reported through
+  /// RetryStats::committed == false, never an exception.
+  std::size_t max_attempts{32};
+  /// Backoff after the n-th failed attempt (1-based) is
+  ///   min(base_backoff_steps << (n-1), max_backoff_steps) + jitter,
+  /// jitter deterministic in (jitter_seed, n), in "steps" (yields).
+  std::uint64_t base_backoff_steps{1};
+  std::uint64_t max_backoff_steps{64};
+  std::uint64_t jitter_seed{0};
+
+  /// The deterministic backoff (including jitter) after failed attempt
+  /// \p attempt (1-based).
+  [[nodiscard]] std::uint64_t backoff_steps(std::size_t attempt) const;
+};
+
+/// Outcome of one RetryingClient::run.
+struct RetryStats {
+  bool committed{false};
+  std::size_t attempts{0};
+  std::uint64_t conflict_aborts{0};
+  std::uint64_t injected_aborts{0};
+  std::uint64_t injected_crashes{0};
+  std::uint64_t backoff_steps{0};  ///< total deterministic delay served
+};
+
+/// Re-runs transaction closures against one engine session until commit
+/// or budget exhaustion.
+///
+/// \tparam Db any of SIDatabase / PSIDatabase / SERDatabase / SSIDatabase
+///         (anything with begin(Session&) returning a transaction whose
+///         commit() yields bool).
+template <typename Db>
+class RetryingClient {
+ public:
+  RetryingClient(Db& db, RetryPolicy policy) : db_(&db), policy_(policy) {}
+
+  /// Runs \p body(txn) in a fresh transaction per attempt. \p body must
+  /// not call commit()/abort() itself. Non-fault exceptions from the
+  /// engine or the body are fatal and propagate after the transaction is
+  /// torn down.
+  template <typename Session, typename Body>
+  RetryStats run(Session& session, Body&& body) {
+    RetryStats stats;
+    for (std::size_t attempt = 1; attempt <= policy_.max_attempts;
+         ++attempt) {
+      stats.attempts = attempt;
+      try {
+        auto txn = db_->begin(session);
+        body(txn);
+        // The SER engine aborts mid-flight on lock conflicts; its commit()
+        // must not be called on an already-aborted transaction.
+        if constexpr (requires { txn.aborted(); }) {
+          if (txn.aborted()) {
+            ++stats.conflict_aborts;
+            wait(attempt, stats);
+            continue;
+          }
+        }
+        if (txn.commit()) {
+          stats.committed = true;
+          return stats;
+        }
+        ++stats.conflict_aborts;
+      } catch (const FaultInjected& f) {
+        if (classify(f) == AbortClass::kInjectedCrash) {
+          ++stats.injected_crashes;
+        } else {
+          ++stats.injected_aborts;
+        }
+      }
+      wait(attempt, stats);
+    }
+    return stats;
+  }
+
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  void wait(std::size_t attempt, RetryStats& stats) {
+    const std::uint64_t steps = policy_.backoff_steps(attempt);
+    stats.backoff_steps += steps;
+    for (std::uint64_t i = 0; i < steps; ++i) std::this_thread::yield();
+  }
+
+  Db* db_;
+  RetryPolicy policy_;
+};
+
+}  // namespace sia::fault

@@ -4,6 +4,18 @@
 
 namespace sia {
 
+std::string to_string(MonitorVerdict v) {
+  switch (v) {
+    case MonitorVerdict::kConsistent:
+      return "Consistent";
+    case MonitorVerdict::kViolation:
+      return "Violation";
+    case MonitorVerdict::kSaturated:
+      return "Saturated";
+  }
+  return "?";
+}
+
 ConsistencyMonitor::ConsistencyMonitor(Model model)
     : model_(model), closure_(16), d_preds_(1) {}
 
@@ -66,6 +78,27 @@ std::vector<TxnId> ConsistencyMonitor::commit_all(
   return ids;
 }
 
+BatchResult ConsistencyMonitor::commit_all_guarded(
+    const std::vector<MonitoredCommit>& batch) {
+  BatchResult result;
+  result.ids.reserve(batch.size());
+  batching_ = true;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    try {
+      result.ids.push_back(commit(batch[i]));
+    } catch (const ModelError& e) {
+      // commit() validated before mutating, so the monitor is untouched:
+      // quarantine this commit and keep going.
+      result.ids.push_back(0);
+      result.quarantined.push_back(i);
+      result.errors.emplace_back(e.what());
+    }
+  }
+  batching_ = false;
+  flush_deferred();
+  return result;
+}
+
 void ConsistencyMonitor::add_generator(TxnId a, TxnId b, DepKind kind,
                                        ObjId obj) {
   if (a == b) {
@@ -124,7 +157,35 @@ void ConsistencyMonitor::add_anti_dependency(TxnId r, TxnId s, ObjId obj) {
   }
 }
 
+void ConsistencyMonitor::validate(const MonitoredCommit& c) const {
+  for (const ObjId obj : c.txn.external_read_set()) {
+    const auto it = c.read_sources.find(obj);
+    if (it == c.read_sources.end()) {
+      throw ModelError("ConsistencyMonitor: commit " +
+                       std::to_string(next_id_) + " reads obj" +
+                       std::to_string(obj) + " without a read source");
+    }
+    const TxnId src = it->second;
+    // Objects not yet in objects_ have exactly one writer: the implicit
+    // initialiser (id 0) — the same state object_state() lazily creates.
+    const auto obj_it = objects_.find(obj);
+    const bool known = obj_it != objects_.end()
+                           ? obj_it->second.writer_pos.count(src) != 0
+                           : src == 0;
+    if (!known) {
+      throw ModelError("ConsistencyMonitor: read source T" +
+                       std::to_string(src) + " never wrote obj" +
+                       std::to_string(obj));
+    }
+  }
+}
+
 TxnId ConsistencyMonitor::commit(const MonitoredCommit& c) {
+  validate(c);  // throws before any state below is touched
+  if (max_transactions_ != 0 && commit_count() >= max_transactions_) {
+    ++dropped_commits_;  // saturated: drop unanalysed, keep memory bounded
+    return 0;
+  }
   const TxnId id = next_id_++;
   ensure_capacity(id + 1);
   d_preds_.resize(id + 1);

@@ -41,6 +41,33 @@ struct MonitoredCommit {
   std::map<ObjId, TxnId> read_sources;
 };
 
+/// The monitor's overall judgement of the history so far.
+///  - kConsistent: every ingested commit kept the graph in the model set.
+///  - kViolation: some commit broke membership (sticky; see
+///    violating_commit()). Violations found before saturation remain
+///    authoritative afterwards.
+///  - kSaturated: the configured transaction ceiling was reached and later
+///    commits were dropped unanalysed — the monitor can no longer claim
+///    consistency, but has not observed a violation either.
+enum class MonitorVerdict { kConsistent, kViolation, kSaturated };
+
+[[nodiscard]] std::string to_string(MonitorVerdict v);
+
+/// Outcome of ConsistencyMonitor::commit_all_guarded: malformed commits
+/// are quarantined (rejected without mutating the monitor) instead of
+/// aborting the batch, so the verdict on the well-formed subsequence is
+/// exactly what per-commit ingestion of that subsequence would produce.
+struct BatchResult {
+  /// One entry per batch element, in order: the assigned monitor id, or 0
+  /// for a commit that was quarantined or dropped by saturation (real ids
+  /// start at 1, so 0 is unambiguous).
+  std::vector<TxnId> ids;
+  /// Indices into the batch of the quarantined commits, ascending.
+  std::vector<std::size_t> quarantined;
+  /// Parallel to `quarantined`: why each commit was rejected.
+  std::vector<std::string> errors;
+};
+
 /// Streaming membership checker for one consistency model.
 ///
 /// Writes are assumed to install in commit order (true of the §1 SI
@@ -55,6 +82,11 @@ class ConsistencyMonitor {
   /// (ids start at 1; id 0 is the implicit initialising transaction).
   /// Generator edges already implied by the closure skip propagation
   /// entirely (the closure is transitive, so they are no-ops).
+  /// Strongly exception-safe: validation happens before any state is
+  /// touched, so a commit that throws leaves the monitor exactly as it
+  /// was (ids, log, session order, verdict — everything).
+  /// Past the set_max_transactions() ceiling the commit is dropped
+  /// unanalysed and 0 is returned; the verdict degrades to kSaturated.
   /// \throws ModelError if a read source is unknown or never wrote the
   ///         object.
   TxnId commit(const MonitoredCommit& c);
@@ -68,6 +100,32 @@ class ConsistencyMonitor {
   /// propagation have become free skips. On a ModelError thrown mid-batch
   /// the already-ingested prefix is flushed before rethrowing.
   std::vector<TxnId> commit_all(const std::vector<MonitoredCommit>& batch);
+
+  /// commit_all with graceful degradation: a malformed commit (missing or
+  /// unknown read source) is *quarantined* — rejected without mutating any
+  /// monitor state — and ingestion continues with the rest of the batch.
+  /// Verdict, violating id and details on the well-formed subsequence are
+  /// identical to per-commit ingestion of that subsequence. Never throws
+  /// ModelError for malformed input.
+  BatchResult commit_all_guarded(const std::vector<MonitoredCommit>& batch);
+
+  /// Caps the number of ingested transactions (a memory ceiling: closure
+  /// state grows O(n²/64)). Once commit_count() reaches \p cap, further
+  /// commits are dropped unanalysed and the verdict becomes kSaturated.
+  /// 0 (the default) means unlimited.
+  void set_max_transactions(std::size_t cap) { max_transactions_ = cap; }
+
+  /// Overall judgement; see MonitorVerdict.
+  [[nodiscard]] MonitorVerdict verdict() const {
+    if (violation_) return MonitorVerdict::kViolation;
+    if (dropped_commits_ > 0) return MonitorVerdict::kSaturated;
+    return MonitorVerdict::kConsistent;
+  }
+
+  /// Commits dropped after the ceiling was reached.
+  [[nodiscard]] std::size_t dropped_commits() const {
+    return dropped_commits_;
+  }
 
   /// True while the ingested history is still in the model's graph set.
   [[nodiscard]] bool consistent() const { return !violation_.has_value(); }
@@ -102,6 +160,11 @@ class ConsistencyMonitor {
 
   void ensure_capacity(TxnId needed);
 
+  /// Throws ModelError iff \p c is malformed (a read without a source, or
+  /// a source that never wrote the object). Touches no monitor state —
+  /// the basis of commit()'s strong exception safety and of quarantine.
+  void validate(const MonitoredCommit& c) const;
+
   /// Lazily initialised per-object state (version 0 by the initialiser).
   ObjectState& object_state(ObjId obj);
 
@@ -126,6 +189,8 @@ class ConsistencyMonitor {
 
   Model model_;
   TxnId next_id_{1};
+  std::size_t max_transactions_{0};  ///< 0 = unlimited
+  std::size_t dropped_commits_{0};
 
   /// Closure of the model's composed relation:
   ///  SER: (D ∪ RW)+     SI: ((D) ; RW?)+      PSI: D+ (RW handled apart).

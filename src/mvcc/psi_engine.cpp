@@ -3,14 +3,17 @@
 #include <cassert>
 #include <chrono>
 
+#include "fault/fault.hpp"
+
 namespace sia::mvcc {
 
 PSIDatabase::PSIDatabase(std::uint32_t num_keys, ReplicaId num_replicas,
-                         Recorder* recorder)
+                         Recorder* recorder, fault::FaultInjector* fault)
     : replicas_(num_replicas),
       latest_version_(num_keys, 0),
       num_keys_(num_keys),
-      recorder_(recorder) {
+      recorder_(recorder),
+      fault_(fault) {
   if (num_replicas == 0) {
     throw ModelError("PSIDatabase: need at least one replica");
   }
@@ -55,8 +58,38 @@ const PSIDatabase::Applied* PSIDatabase::visible_version(
   return result;
 }
 
+PSITransaction& PSITransaction::operator=(PSITransaction&& other) noexcept {
+  if (this != &other) {
+    if (db_ != nullptr && !finished_) abort();
+    db_ = other.db_;
+    session_ = other.session_;
+    home_ = other.home_;
+    snapshot_seq_ = other.snapshot_seq_;
+    finished_ = other.finished_;
+    write_buffer_ = std::move(other.write_buffer_);
+    events_ = std::move(other.events_);
+    observed_ = std::move(other.observed_);
+    other.db_ = nullptr;
+    other.finished_ = true;
+  }
+  return *this;
+}
+
+PSITransaction::~PSITransaction() {
+  if (db_ != nullptr && !finished_) abort();
+}
+
 Value PSITransaction::read(ObjId key) {
   assert(!finished_);
+  if (db_->fault_ != nullptr) [[unlikely]] {
+    try {
+      db_->fault_->on(fault::FaultSite::kPreRead);
+    } catch (const fault::FaultInjected&) {
+      abort();
+      db_->aborts_.fetch_add(1);
+      throw;
+    }
+  }
   if (const auto it = write_buffer_.find(key); it != write_buffer_.end()) {
     events_.push_back(sia::read(key, it->second));
     observed_.push_back(kInitHandle);  // own-buffer read; never external
@@ -80,16 +113,38 @@ void PSITransaction::write(ObjId key, Value value) {
 
 bool PSITransaction::commit() {
   assert(!finished_);
+  if (db_->fault_ != nullptr) [[unlikely]] {
+    try {
+      db_->fault_->on(fault::FaultSite::kPreCommit);
+    } catch (const fault::FaultInjected&) {
+      abort();
+      db_->aborts_.fetch_add(1);
+      throw;
+    }
+  }
   finished_ = true;
-  if (db_->try_commit(*this)) {
+  bool committed;
+  try {
+    committed = db_->try_commit(*this);
+  } catch (const fault::FaultInjected&) {
+    // Mid-commit fault: NOCONFLICT passed but no version was assigned,
+    // applied or queued — the transaction simply aborted.
+    db_->aborts_.fetch_add(1);
+    throw;
+  }
+  if (committed) {
     db_->commits_.fetch_add(1);
+    db_->post_commit_fault();
     return true;
   }
   db_->aborts_.fetch_add(1);
   return false;
 }
 
-void PSITransaction::abort() { finished_ = true; }
+void PSITransaction::abort() {
+  if (finished_) return;
+  finished_ = true;
+}
 
 bool PSIDatabase::try_commit(PSITransaction& txn) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -106,6 +161,11 @@ bool PSIDatabase::try_commit(PSITransaction& txn) {
         return false;
       }
     }
+  }
+
+  // Mid-commit fault window: NOCONFLICT passed, nothing assigned yet.
+  if (fault_ != nullptr) [[unlikely]] {
+    fault_->on(fault::FaultSite::kMidCommit);
   }
 
   CommitRecord record{txn.session_, txn.events_, txn.observed_, {}};
@@ -129,6 +189,12 @@ bool PSIDatabase::try_commit(PSITransaction& txn) {
     if (r != txn.home_) replicas_[r].pending.push_back(idx);
   }
   return true;
+}
+
+void PSIDatabase::post_commit_fault() {
+  if (fault_ != nullptr) [[unlikely]] {
+    fault_->on(fault::FaultSite::kPostCommit);
+  }
 }
 
 void PSIDatabase::apply_at(Replica& r, std::size_t idx) {

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "mvcc/recorder.hpp"
@@ -33,6 +34,14 @@
 ///
 /// Replication is *manually pumped* by default (deterministic tests call
 /// pump()); start_auto_replication() runs a background applier instead.
+///
+/// Fault injection: see si_engine.hpp — the same four hook sites, the
+/// same invariant (FaultInjected propagates only after the transaction is
+/// finished and the engine consistent).
+
+namespace sia::fault {
+class FaultInjector;
+}
 
 namespace sia::mvcc {
 
@@ -56,13 +65,15 @@ class PSISession {
   ReplicaId home_;
 };
 
-/// An in-flight PSI transaction.
+/// An in-flight PSI transaction. Move-only; a transaction dropped without
+/// commit() aborts (RAII), and a moved-from object is inert.
 class PSITransaction {
  public:
   PSITransaction(const PSITransaction&) = delete;
   PSITransaction& operator=(const PSITransaction&) = delete;
-  PSITransaction(PSITransaction&&) noexcept = default;
-  PSITransaction& operator=(PSITransaction&&) noexcept = default;
+  PSITransaction(PSITransaction&& other) noexcept { *this = std::move(other); }
+  PSITransaction& operator=(PSITransaction&& other) noexcept;
+  ~PSITransaction();
 
   /// Reads \p key from the home replica's snapshot (or own buffer).
   [[nodiscard]] Value read(ObjId key);
@@ -82,10 +93,12 @@ class PSITransaction {
                  std::uint64_t snapshot_seq)
       : db_(db), session_(session), home_(home), snapshot_seq_(snapshot_seq) {}
 
-  PSIDatabase* db_;
-  SessionId session_;
-  ReplicaId home_;
-  std::uint64_t snapshot_seq_;  ///< home replica apply-log length at begin
+  // Defaults matter: the move constructor delegates to move assignment,
+  // which inspects db_/finished_ of the (otherwise uninitialised) target.
+  PSIDatabase* db_{nullptr};
+  SessionId session_{0};
+  ReplicaId home_{0};
+  std::uint64_t snapshot_seq_{0};  ///< home replica apply-log length at begin
   bool finished_{false};
   std::map<ObjId, Value> write_buffer_;
   std::vector<Event> events_;
@@ -95,7 +108,8 @@ class PSITransaction {
 class PSIDatabase {
  public:
   PSIDatabase(std::uint32_t num_keys, ReplicaId num_replicas,
-              Recorder* recorder = nullptr);
+              Recorder* recorder = nullptr,
+              fault::FaultInjector* fault = nullptr);
   ~PSIDatabase();
 
   PSIDatabase(const PSIDatabase&) = delete;
@@ -169,6 +183,9 @@ class PSIDatabase {
 
   bool try_commit(PSITransaction& txn);
 
+  /// Fires the post-commit fault site; the commit stands regardless.
+  void post_commit_fault();
+
   mutable std::mutex mutex_;
   std::vector<Replica> replicas_;
   std::vector<PsiCommit> commits_log_;
@@ -178,6 +195,7 @@ class PSIDatabase {
   std::atomic<std::uint64_t> commits_{0};
   std::atomic<std::uint64_t> aborts_{0};
   Recorder* recorder_;
+  fault::FaultInjector* fault_;
 
   std::thread replicator_;
   std::atomic<bool> replicate_running_{false};

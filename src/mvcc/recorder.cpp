@@ -4,10 +4,15 @@
 #include <set>
 #include <unordered_set>
 
+#include "mvcc/recorder_log.hpp"
+
 namespace sia::mvcc {
 
 TxnHandle Recorder::record(CommitRecord record) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  // Write-ahead: the record is durable before the handle is handed back
+  // to the engine (which is still inside its commit critical section).
+  if (wal_ != nullptr) wal_->append(record);
   records_.push_back(std::move(record));
   return static_cast<TxnHandle>(records_.size());  // handles start at 1
 }
@@ -15,6 +20,11 @@ TxnHandle Recorder::record(CommitRecord record) {
 std::size_t Recorder::commit_count() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return records_.size();
+}
+
+std::vector<CommitRecord> Recorder::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
 }
 
 RecordedRun Recorder::build() const {

@@ -36,6 +36,8 @@ struct CommitRecord {
   std::vector<TxnHandle> observed_writer;
   /// Per written key: the engine's per-key version number, defining WW.
   std::map<ObjId, std::uint64_t> write_versions;
+
+  friend bool operator==(const CommitRecord&, const CommitRecord&) = default;
 };
 
 /// History + engine-truth dependency graph reconstructed from a run.
@@ -49,15 +51,29 @@ struct RecordedRun {
   }
 };
 
+class RecorderLog;
+
 /// Thread-safe commit log.
 class Recorder {
  public:
+  Recorder() = default;
+
+  /// A recorder that also appends every record to \p wal (a write-ahead
+  /// RecorderLog, see recorder_log.hpp) inside the recording critical
+  /// section, so the on-disk order is the handle order and a crashed run
+  /// can be rebuilt by replay. \p wal must outlive the recorder.
+  explicit Recorder(RecorderLog* wal) : wal_(wal) {}
+
   /// Registers a commit; returns the transaction's handle. Engines call
   /// this inside their commit critical section so that handle order is a
   /// valid commit order.
   TxnHandle record(CommitRecord record);
 
   [[nodiscard]] std::size_t commit_count() const;
+
+  /// Snapshot of every record so far, in handle order (handle i is
+  /// records()[i-1]). The raw material for crash-replay comparisons.
+  [[nodiscard]] std::vector<CommitRecord> records() const;
 
   /// Builds the History (init transaction first, then commits in handle
   /// order, each appended to its client session) and the engine-truth
@@ -73,6 +89,7 @@ class Recorder {
  private:
   mutable std::mutex mutex_;
   std::vector<CommitRecord> records_;
+  RecorderLog* wal_{nullptr};
 };
 
 }  // namespace sia::mvcc

@@ -1,0 +1,209 @@
+#include "mvcc/recorder_log.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace sia::mvcc {
+
+namespace {
+
+/// CRC-32 (the reflected 0xEDB88320 polynomial), table-driven.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+/// Bounds-checked little-endian reader over a payload.
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos{0};
+
+  bool u8(std::uint8_t& v) {
+    if (pos + 1 > size) return false;
+    v = data[pos++];
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (pos + 4 > size) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (pos + 8 > size) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> RecorderLog::encode(const CommitRecord& record) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, record.session);
+  put_u32(out, static_cast<std::uint32_t>(record.events.size()));
+  for (const Event& e : record.events) {
+    put_u8(out, static_cast<std::uint8_t>(e.kind));
+    put_u32(out, e.obj);
+    put_u64(out, static_cast<std::uint64_t>(e.value));
+  }
+  put_u32(out, static_cast<std::uint32_t>(record.observed_writer.size()));
+  for (const TxnHandle h : record.observed_writer) put_u64(out, h);
+  put_u32(out, static_cast<std::uint32_t>(record.write_versions.size()));
+  for (const auto& [obj, version] : record.write_versions) {
+    put_u32(out, obj);
+    put_u64(out, version);
+  }
+  return out;
+}
+
+bool RecorderLog::decode(const std::uint8_t* data, std::size_t size,
+                         CommitRecord& out) {
+  Cursor c{data, size};
+  out = CommitRecord{};
+  if (!c.u32(out.session)) return false;
+  std::uint32_t n = 0;
+  if (!c.u32(n)) return false;
+  out.events.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint8_t kind = 0;
+    std::uint32_t obj = 0;
+    std::uint64_t value = 0;
+    if (!c.u8(kind) || !c.u32(obj) || !c.u64(value)) return false;
+    if (kind > static_cast<std::uint8_t>(EventKind::kWrite)) return false;
+    out.events.push_back(Event{static_cast<EventKind>(kind), obj,
+                               static_cast<Value>(value)});
+  }
+  if (!c.u32(n)) return false;
+  out.observed_writer.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t h = 0;
+    if (!c.u64(h)) return false;
+    out.observed_writer.push_back(h);
+  }
+  if (!c.u32(n)) return false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t obj = 0;
+    std::uint64_t version = 0;
+    if (!c.u32(obj) || !c.u64(version)) return false;
+    out.write_versions[obj] = version;
+  }
+  return c.pos == c.size;  // trailing garbage means a framing bug
+}
+
+RecorderLog::RecorderLog(std::string path, bool truncate)
+    : path_(std::move(path)),
+      file_(std::fopen(path_.c_str(), truncate ? "wb" : "ab")) {
+  if (file_ == nullptr) {
+    throw ModelError("RecorderLog: cannot open '" + path_ + "' for writing");
+  }
+}
+
+RecorderLog::~RecorderLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void RecorderLog::append(const CommitRecord& record) {
+  const std::vector<std::uint8_t> payload = encode(record);
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + 8);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload.data(), payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    throw ModelError("RecorderLog: short write to '" + path_ + "'");
+  }
+  std::fflush(file_);
+  ++appended_;
+}
+
+std::size_t RecorderLog::appended() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return appended_;
+}
+
+std::vector<CommitRecord> RecorderLog::replay(const std::string& path,
+                                              ReplayReport* report) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw ModelError("RecorderLog: cannot open '" + path + "' for replay");
+  }
+  std::vector<std::uint8_t> bytes;
+  std::array<std::uint8_t, 4096> buf;
+  std::size_t n = 0;
+  while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0) {
+    bytes.insert(bytes.end(), buf.begin(), buf.begin() + n);
+  }
+  std::fclose(f);
+
+  std::vector<CommitRecord> records;
+  std::size_t pos = 0;
+  while (true) {
+    if (bytes.size() - pos < 8) break;  // torn or empty header
+    Cursor header{bytes.data() + pos, 8};
+    std::uint32_t len = 0;
+    std::uint32_t sum = 0;
+    (void)header.u32(len);
+    (void)header.u32(sum);
+    if (bytes.size() - pos - 8 < len) break;  // torn payload
+    const std::uint8_t* payload = bytes.data() + pos + 8;
+    if (crc32(payload, len) != sum) break;  // corrupt (torn mid-frame)
+    CommitRecord record;
+    if (!decode(payload, len, record)) break;
+    records.push_back(std::move(record));
+    pos += 8 + len;
+  }
+  if (report != nullptr) {
+    report->records = records.size();
+    report->valid_bytes = pos;
+    report->torn_tail = pos != bytes.size();
+  }
+  return records;
+}
+
+RecordedRun recover_run(const std::string& path,
+                        RecorderLog::ReplayReport* report) {
+  Recorder recorder;
+  for (CommitRecord& r : RecorderLog::replay(path, report)) {
+    (void)recorder.record(std::move(r));
+  }
+  return recorder.build();
+}
+
+}  // namespace sia::mvcc

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mvcc/recorder.hpp"
+
+/// \file recorder_log.hpp
+/// Crash-recoverable recording: a write-ahead, append-only binary log of
+/// CommitRecords. The in-memory Recorder vanishes with the process; with a
+/// RecorderLog attached, every record is framed, checksummed and appended
+/// to a file *inside the recording critical section* (so file order equals
+/// handle order), and a crashed run can be replayed into a bit-identical
+/// RecordedRun — which the chaos tests then re-check against the
+/// Theorem 9/21 graph classes.
+///
+/// Frame format (little-endian):
+///     u32 payload length | u32 CRC-32 of payload | payload
+/// Payload:
+///     u32 session
+///     u32 #events   then per event:  u8 kind, u32 obj, i64 value
+///     u32 #observed then per entry:  u64 writer handle
+///     u32 #writes   then per entry:  u32 obj, u64 version
+///
+/// Replay reads frames until the file ends or a frame fails to decode
+/// (short header, short payload, checksum mismatch, malformed counts). A
+/// failing *final* frame is the expected shape of a crash — a torn tail —
+/// and is dropped; everything before it is intact by checksum.
+
+namespace sia::mvcc {
+
+/// Append-side of the log. Thread-safe; attach to a Recorder so engines
+/// write through it transparently.
+class RecorderLog {
+ public:
+  /// Opens \p path for writing. \p truncate starts a fresh log; pass
+  /// false to continue an existing one (recovery-then-resume).
+  explicit RecorderLog(std::string path, bool truncate = true);
+  ~RecorderLog();
+
+  RecorderLog(const RecorderLog&) = delete;
+  RecorderLog& operator=(const RecorderLog&) = delete;
+
+  /// Appends one framed record and flushes it to the OS.
+  void append(const CommitRecord& record);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::size_t appended() const;
+
+  /// Serialised payload of one record (no frame header); exposed so tests
+  /// can assert bit-identity and craft torn tails.
+  [[nodiscard]] static std::vector<std::uint8_t> encode(
+      const CommitRecord& record);
+
+  /// Inverse of encode(). Returns false (leaving \p out unspecified) if
+  /// the payload is malformed.
+  [[nodiscard]] static bool decode(const std::uint8_t* data, std::size_t size,
+                                   CommitRecord& out);
+
+  /// What replay() found.
+  struct ReplayReport {
+    std::size_t records{0};      ///< complete records recovered
+    std::size_t valid_bytes{0};  ///< file prefix covered by those records
+    bool torn_tail{false};       ///< trailing bytes were discarded
+  };
+
+  /// Reads back every intact record of \p path, tolerating a torn final
+  /// record. \throws ModelError only if the file cannot be opened.
+  [[nodiscard]] static std::vector<CommitRecord> replay(
+      const std::string& path, ReplayReport* report = nullptr);
+
+ private:
+  std::string path_;
+  std::FILE* file_;
+  mutable std::mutex mutex_;
+  std::size_t appended_{0};
+};
+
+/// Replays \p path into a fresh Recorder and builds the RecordedRun —
+/// the crash-restart path: identical history and graph to the run the
+/// crashed process would have built (torn tail dropped).
+[[nodiscard]] RecordedRun recover_run(const std::string& path,
+                                      RecorderLog::ReplayReport* report =
+                                          nullptr);
+
+}  // namespace sia::mvcc

@@ -3,10 +3,44 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/fault.hpp"
+
 namespace sia::mvcc {
 
-SERDatabase::SERDatabase(std::uint32_t num_keys, Recorder* recorder)
-    : entries_(num_keys), recorder_(recorder) {}
+SERDatabase::SERDatabase(std::uint32_t num_keys, Recorder* recorder,
+                         fault::FaultInjector* fault)
+    : entries_(num_keys), recorder_(recorder), fault_(fault) {}
+
+SERTransaction& SERTransaction::operator=(SERTransaction&& other) noexcept {
+  if (this != &other) {
+    if (db_ != nullptr && !finished_) abort();
+    db_ = other.db_;
+    session_ = other.session_;
+    token_ = other.token_;
+    aborted_ = other.aborted_;
+    finished_ = other.finished_;
+    write_buffer_ = std::move(other.write_buffer_);
+    shared_held_ = std::move(other.shared_held_);
+    exclusive_held_ = std::move(other.exclusive_held_);
+    events_ = std::move(other.events_);
+    observed_ = std::move(other.observed_);
+    other.db_ = nullptr;
+    other.finished_ = true;
+    other.shared_held_.clear();
+    other.exclusive_held_.clear();
+  }
+  return *this;
+}
+
+SERTransaction::~SERTransaction() {
+  if (db_ != nullptr && !finished_) abort();
+}
+
+void SERDatabase::post_commit_fault() {
+  if (fault_ != nullptr) [[unlikely]] {
+    fault_->on(fault::FaultSite::kPostCommit);
+  }
+}
 
 SERSession SERDatabase::make_session() {
   const std::lock_guard<std::mutex> lock(session_mutex_);
@@ -98,6 +132,14 @@ bool SERDatabase::finish_commit(SERTransaction& txn) {
 std::optional<Value> SERTransaction::read(ObjId key) {
   assert(!finished_);
   if (aborted_) return std::nullopt;
+  if (db_->fault_ != nullptr) [[unlikely]] {
+    try {
+      db_->fault_->on(fault::FaultSite::kPreRead);
+    } catch (const fault::FaultInjected&) {
+      abort();  // releases every held lock and counts the abort
+      throw;
+    }
+  }
   if (const auto it = write_buffer_.find(key); it != write_buffer_.end()) {
     events_.push_back(sia::read(key, it->second));
     observed_.push_back(kInitHandle);  // own-buffer read; never external
@@ -135,9 +177,22 @@ bool SERTransaction::write(ObjId key, Value value) {
 bool SERTransaction::commit() {
   assert(!finished_);
   if (aborted_) return false;
+  if (db_->fault_ != nullptr) [[unlikely]] {
+    try {
+      // Pre-commit, then mid-commit: under no-wait 2PL all validation
+      // happened at lock-acquisition time, so the two sites are adjacent —
+      // both fire before the publish step.
+      db_->fault_->on(fault::FaultSite::kPreCommit);
+      db_->fault_->on(fault::FaultSite::kMidCommit);
+    } catch (const fault::FaultInjected&) {
+      abort();  // releases every held lock and counts the abort
+      throw;
+    }
+  }
   finished_ = true;
   db_->finish_commit(*this);
   db_->commits_.fetch_add(1);
+  db_->post_commit_fault();
   return true;
 }
 

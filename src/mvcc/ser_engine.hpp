@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "mvcc/recorder.hpp"
@@ -16,6 +18,14 @@
 /// form. All locks are held until commit/abort — conflict-serializable by
 /// the classical 2PL theorem, hence the recorded dependency graphs must be
 /// acyclic (Theorem 8), which the tests assert.
+///
+/// Fault injection: see si_engine.hpp — the same four hook sites. An
+/// injected abort/crash releases every held lock before FaultInjected
+/// propagates (a crashed session must never wedge the lock table).
+
+namespace sia::fault {
+class FaultInjector;
+}
 
 namespace sia::mvcc {
 
@@ -33,13 +43,16 @@ class SERSession {
   SessionId id_;
 };
 
-/// An in-flight transaction under S2PL.
+/// An in-flight transaction under S2PL. Move-only; a transaction dropped
+/// without commit() aborts and releases its locks (RAII) — a moved-from
+/// object is inert and owns nothing.
 class SERTransaction {
  public:
   SERTransaction(const SERTransaction&) = delete;
   SERTransaction& operator=(const SERTransaction&) = delete;
-  SERTransaction(SERTransaction&&) noexcept = default;
-  SERTransaction& operator=(SERTransaction&&) noexcept = default;
+  SERTransaction(SERTransaction&& other) noexcept { *this = std::move(other); }
+  SERTransaction& operator=(SERTransaction&& other) noexcept;
+  ~SERTransaction();
 
   /// Reads \p key under a shared lock. Returns nullopt if the lock could
   /// not be granted — the transaction has aborted (no-wait).
@@ -62,8 +75,10 @@ class SERTransaction {
   SERTransaction(SERDatabase* db, SessionId session, std::uint64_t token)
       : db_(db), session_(session), token_(token) {}
 
-  SERDatabase* db_;
-  SessionId session_;
+  // Defaults matter: the move constructor delegates to move assignment,
+  // which inspects db_/finished_ of the (otherwise uninitialised) target.
+  SERDatabase* db_{nullptr};
+  SessionId session_{0};
   /// Stable lock-ownership identity: survives moves of this object, unlike
   /// the object's address.
   std::uint64_t token_{0};
@@ -79,7 +94,8 @@ class SERTransaction {
 /// Single-version store with a per-key lock table.
 class SERDatabase {
  public:
-  explicit SERDatabase(std::uint32_t num_keys, Recorder* recorder = nullptr);
+  explicit SERDatabase(std::uint32_t num_keys, Recorder* recorder = nullptr,
+                       fault::FaultInjector* fault = nullptr);
 
   [[nodiscard]] SERSession make_session();
   [[nodiscard]] SERTransaction begin(SERSession& session);
@@ -117,6 +133,9 @@ class SERDatabase {
   void release_all(SERTransaction& txn);
   bool finish_commit(SERTransaction& txn);
 
+  /// Fires the post-commit fault site; the commit stands regardless.
+  void post_commit_fault();
+
   std::vector<Entry> entries_;
   std::mutex table_mutex_;  ///< guards all lock state and values
   std::mutex session_mutex_;
@@ -126,6 +145,7 @@ class SERDatabase {
   std::atomic<std::uint64_t> aborts_{0};
   std::atomic<std::uint64_t> clock_{0};
   Recorder* recorder_;
+  fault::FaultInjector* fault_;
 };
 
 }  // namespace sia::mvcc

@@ -3,12 +3,21 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/fault.hpp"
+
 namespace sia::mvcc {
 
-SIDatabase::SIDatabase(std::uint32_t num_keys, Recorder* recorder)
-    : chains_(num_keys), recorder_(recorder) {
+SIDatabase::SIDatabase(std::uint32_t num_keys, Recorder* recorder,
+                       fault::FaultInjector* fault)
+    : chains_(num_keys), recorder_(recorder), fault_(fault) {
   for (Chain& c : chains_) {
     c.versions.push_back(Version{0, 0, kInitHandle});
+  }
+}
+
+void SIDatabase::post_commit_fault() {
+  if (fault_ != nullptr) [[unlikely]] {
+    fault_->on(fault::FaultSite::kPostCommit);
   }
 }
 
@@ -103,6 +112,15 @@ SITransaction::~SITransaction() {
 
 Value SITransaction::read(ObjId key) {
   assert(!finished_);
+  if (db_->fault_ != nullptr) [[unlikely]] {
+    try {
+      db_->fault_->on(fault::FaultSite::kPreRead);
+    } catch (const fault::FaultInjected&) {
+      abort();
+      db_->aborts_.fetch_add(1);
+      throw;
+    }
+  }
   if (const auto it = write_buffer_.find(key); it != write_buffer_.end()) {
     events_.push_back(sia::read(key, it->second));
     observed_.push_back(kInitHandle);  // own-buffer read; never external
@@ -123,6 +141,15 @@ void SITransaction::write(ObjId key, Value value) {
 
 bool SITransaction::commit() {
   assert(!finished_);
+  if (db_->fault_ != nullptr) [[unlikely]] {
+    try {
+      db_->fault_->on(fault::FaultSite::kPreCommit);
+    } catch (const fault::FaultInjected&) {
+      abort();
+      db_->aborts_.fetch_add(1);
+      throw;
+    }
+  }
   finished_ = true;
   db_->release_snapshot(start_ts_);
   if (write_buffer_.empty()) {
@@ -132,10 +159,21 @@ bool SITransaction::commit() {
           CommitRecord{session_, events_, observed_, {}});
     }
     db_->commits_.fetch_add(1);
+    db_->post_commit_fault();
     return true;
   }
-  if (db_->try_commit(*this)) {
+  bool committed;
+  try {
+    committed = db_->try_commit(*this);
+  } catch (const fault::FaultInjected&) {
+    // Mid-commit fault: validation had passed but nothing was installed
+    // or recorded, so the transaction simply aborted.
+    db_->aborts_.fetch_add(1);
+    throw;
+  }
+  if (committed) {
     db_->commits_.fetch_add(1);
+    db_->post_commit_fault();
     return true;
   }
   db_->aborts_.fetch_add(1);
@@ -157,6 +195,10 @@ bool SIDatabase::try_commit(SITransaction& txn) {
     const Chain& chain = chains_[key];
     const std::shared_lock<std::shared_mutex> chain_lock(chain.mutex);
     if (chain.versions.back().ts > txn.start_ts_) return false;
+  }
+  // Mid-commit fault window: conflict check passed, no version installed.
+  if (fault_ != nullptr) [[unlikely]] {
+    fault_->on(fault::FaultSite::kMidCommit);
   }
   const Timestamp ts = clock_.fetch_add(1) + 1;
 

@@ -29,6 +29,17 @@
 /// concurrency pattern. Every commit is reported to the Recorder with
 /// engine truth (observed writers, per-key versions), so runs can be
 /// checked against the declarative specification (Theorem 9).
+///
+/// Fault injection: an optional FaultInjector (fault/fault.hpp) fires at
+/// pre-read, pre-commit, mid-commit (validation passed, nothing installed)
+/// and post-commit (installed and recorded, acknowledgement not yet
+/// delivered). Injected aborts/crashes surface as fault::FaultInjected
+/// *after* the engine restored its invariants; with no injector the hooks
+/// are a single pointer test.
+
+namespace sia::fault {
+class FaultInjector;
+}
 
 namespace sia::mvcc {
 
@@ -106,7 +117,9 @@ class SITransaction {
 class SIDatabase {
  public:
   /// \param recorder optional commit log for offline analysis.
-  explicit SIDatabase(std::uint32_t num_keys, Recorder* recorder = nullptr);
+  /// \param fault optional fault injector; see the file comment.
+  explicit SIDatabase(std::uint32_t num_keys, Recorder* recorder = nullptr,
+                      fault::FaultInjector* fault = nullptr);
 
   /// Creates a new session.
   [[nodiscard]] SISession make_session();
@@ -117,6 +130,8 @@ class SIDatabase {
   /// Runs \p body in a transaction, retrying on write-conflict abort until
   /// it commits. \p body receives the transaction and may read/write; it
   /// must not call commit()/abort() itself. Returns the number of attempts.
+  /// Fault-free loop: with an injector configured, use
+  /// fault::RetryingClient, which classifies and bounds injected failures.
   template <typename Body>
   std::size_t run(SISession& session, Body&& body) {
     for (std::size_t attempt = 1;; ++attempt) {
@@ -167,6 +182,10 @@ class SIDatabase {
   /// First-committer-wins validation + install; called by commit().
   bool try_commit(SITransaction& txn);
 
+  /// Fires the post-commit fault site (lost-acknowledgement crashes). The
+  /// commit stands regardless of what the hook throws.
+  void post_commit_fault();
+
   /// Removes one active-snapshot registration (commit/abort/destroy).
   void release_snapshot(Timestamp start_ts);
 
@@ -180,6 +199,7 @@ class SIDatabase {
   std::mutex session_mutex_;
   SessionId next_session_{0};
   Recorder* recorder_;
+  fault::FaultInjector* fault_;
 };
 
 }  // namespace sia::mvcc

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/fault.hpp"
+
 namespace sia::mvcc {
 
-SSIDatabase::SSIDatabase(std::uint32_t num_keys, Recorder* recorder)
-    : chains_(num_keys), recorder_(recorder) {
+SSIDatabase::SSIDatabase(std::uint32_t num_keys, Recorder* recorder,
+                         fault::FaultInjector* fault)
+    : chains_(num_keys), recorder_(recorder), fault_(fault) {
   for (Chain& c : chains_) {
     c.versions.push_back(Version{0, 0, /*writer token*/ 0});
   }
@@ -71,8 +74,38 @@ Value SSIDatabase::read_locked(SSITransaction& txn, ObjId key) {
   return visible.value;
 }
 
+SSITransaction& SSITransaction::operator=(SSITransaction&& other) noexcept {
+  if (this != &other) {
+    if (db_ != nullptr && !finished_) abort();
+    db_ = other.db_;
+    session_ = other.session_;
+    token_ = other.token_;
+    start_ts_ = other.start_ts_;
+    finished_ = other.finished_;
+    write_buffer_ = std::move(other.write_buffer_);
+    events_ = std::move(other.events_);
+    observed_ = std::move(other.observed_);
+    other.db_ = nullptr;
+    other.finished_ = true;
+  }
+  return *this;
+}
+
+SSITransaction::~SSITransaction() {
+  if (db_ != nullptr && !finished_) abort();
+}
+
 Value SSITransaction::read(ObjId key) {
   assert(!finished_);
+  if (db_->fault_ != nullptr) [[unlikely]] {
+    try {
+      db_->fault_->on(fault::FaultSite::kPreRead);
+    } catch (const fault::FaultInjected&) {
+      abort();  // marks meta_ aborted so conflict checks ignore us
+      db_->aborts_.fetch_add(1);
+      throw;
+    }
+  }
   if (const auto it = write_buffer_.find(key); it != write_buffer_.end()) {
     events_.push_back(sia::read(key, it->second));
     observed_.push_back(kInitHandle);  // own-buffer read; never external
@@ -133,6 +166,12 @@ bool SSIDatabase::try_commit(SSITransaction& txn) {
     return false;
   }
 
+  // Mid-commit fault window: both validations passed, no version installed
+  // yet. The catch in commit() marks our metadata aborted.
+  if (fault_ != nullptr) [[unlikely]] {
+    fault_->on(fault::FaultSite::kMidCommit);
+  }
+
   const Timestamp ts = clock_.fetch_add(1) + 1;
   CommitRecord record{txn.session_, txn.events_, txn.observed_, {}};
   for (const auto& [key, value] : txn.write_buffer_) {
@@ -152,18 +191,46 @@ bool SSIDatabase::try_commit(SSITransaction& txn) {
 
 bool SSITransaction::commit() {
   assert(!finished_);
+  if (db_->fault_ != nullptr) [[unlikely]] {
+    try {
+      db_->fault_->on(fault::FaultSite::kPreCommit);
+    } catch (const fault::FaultInjected&) {
+      abort();
+      db_->aborts_.fetch_add(1);
+      throw;
+    }
+  }
   finished_ = true;
-  if (db_->try_commit(*this)) {
+  bool committed;
+  try {
+    committed = db_->try_commit(*this);
+  } catch (const fault::FaultInjected&) {
+    // Mid-commit fault: validation passed but nothing was installed; mark
+    // the metadata aborted so later conflict checks ignore this txn.
+    const std::lock_guard<std::mutex> lock(db_->mutex_);
+    db_->meta_.at(token_).aborted = true;
+    db_->aborts_.fetch_add(1);
+    throw;
+  }
+  if (committed) {
     db_->commits_.fetch_add(1);
+    db_->post_commit_fault();
     return true;
   }
   return false;
 }
 
 void SSITransaction::abort() {
+  if (finished_) return;
   finished_ = true;
   const std::lock_guard<std::mutex> lock(db_->mutex_);
   db_->meta_.at(token_).aborted = true;
+}
+
+void SSIDatabase::post_commit_fault() {
+  if (fault_ != nullptr) [[unlikely]] {
+    fault_->on(fault::FaultSite::kPostCommit);
+  }
 }
 
 }  // namespace sia::mvcc

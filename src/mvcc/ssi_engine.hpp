@@ -5,6 +5,7 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "mvcc/recorder.hpp"
@@ -33,6 +34,16 @@
 ///    that did not see the new version (reader gains OUT, writer IN).
 /// Metadata of committed transactions is retained for the lifetime of
 /// the database (this is a study engine, not a production store).
+///
+/// Fault injection: see si_engine.hpp — the same four hook sites. An
+/// injected abort/crash marks the transaction's metadata aborted before
+/// FaultInjected propagates; a dropped transaction does the same via RAII
+/// (otherwise its SIREAD entries would stay "concurrent" forever and doom
+/// every later writer of those keys).
+
+namespace sia::fault {
+class FaultInjector;
+}
 
 namespace sia::mvcc {
 
@@ -50,13 +61,15 @@ class SSISession {
   SessionId id_;
 };
 
-/// An in-flight SSI transaction.
+/// An in-flight SSI transaction. Move-only; a transaction dropped without
+/// commit() aborts (RAII), and a moved-from object is inert.
 class SSITransaction {
  public:
   SSITransaction(const SSITransaction&) = delete;
   SSITransaction& operator=(const SSITransaction&) = delete;
-  SSITransaction(SSITransaction&&) noexcept = default;
-  SSITransaction& operator=(SSITransaction&&) noexcept = default;
+  SSITransaction(SSITransaction&& other) noexcept { *this = std::move(other); }
+  SSITransaction& operator=(SSITransaction&& other) noexcept;
+  ~SSITransaction();
 
   /// Snapshot (or own-buffer) read. May doom this transaction if the
   /// read establishes a dangerous anti-dependency; the transaction then
@@ -76,10 +89,12 @@ class SSITransaction {
                  Timestamp start_ts)
       : db_(db), session_(session), token_(token), start_ts_(start_ts) {}
 
-  SSIDatabase* db_;
-  SessionId session_;
-  std::uint64_t token_;
-  Timestamp start_ts_;
+  // Defaults matter: the move constructor delegates to move assignment,
+  // which inspects db_/finished_ of the (otherwise uninitialised) target.
+  SSIDatabase* db_{nullptr};
+  SessionId session_{0};
+  std::uint64_t token_{0};
+  Timestamp start_ts_{0};
   bool finished_{false};
   std::map<ObjId, Value> write_buffer_;
   std::vector<Event> events_;
@@ -88,7 +103,8 @@ class SSITransaction {
 
 class SSIDatabase {
  public:
-  explicit SSIDatabase(std::uint32_t num_keys, Recorder* recorder = nullptr);
+  explicit SSIDatabase(std::uint32_t num_keys, Recorder* recorder = nullptr,
+                       fault::FaultInjector* fault = nullptr);
 
   [[nodiscard]] SSISession make_session();
   [[nodiscard]] SSITransaction begin(SSISession& session);
@@ -134,6 +150,9 @@ class SSIDatabase {
   Value read_locked(SSITransaction& txn, ObjId key);
   bool try_commit(SSITransaction& txn);
 
+  /// Fires the post-commit fault site; the commit stands regardless.
+  void post_commit_fault();
+
   std::vector<Chain> chains_;
   std::map<std::uint64_t, TxnMeta> meta_;
   std::map<std::uint64_t, TxnHandle> handle_of_;  ///< token -> recorder id
@@ -146,6 +165,7 @@ class SSIDatabase {
   std::mutex session_mutex_;
   SessionId next_session_{0};
   Recorder* recorder_;
+  fault::FaultInjector* fault_;
 };
 
 }  // namespace sia::mvcc

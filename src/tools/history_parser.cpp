@@ -1,37 +1,59 @@
 #include "tools/history_parser.hpp"
 
 #include <cctype>
+#include <set>
 #include <sstream>
 #include <vector>
+
+#include "tools/parse_error.hpp"
 
 namespace sia {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw ModelError("parse_history: line " + std::to_string(line) + ": " +
-                   what);
+/// A token plus its 1-based starting column, for error positions.
+struct Token {
+  std::string text;
+  std::size_t col;
+};
+
+[[noreturn]] void fail(std::size_t line, std::size_t col,
+                       const std::string& what) {
+  throw ParseError("parse_history", line, col, what);
 }
 
-std::vector<std::string> tokenize(const std::string& line) {
-  std::vector<std::string> tokens;
-  std::istringstream in(line);
-  std::string token;
-  while (in >> token) {
-    if (token[0] == '#') break;
-    tokens.push_back(token);
+std::vector<Token> tokenize(const std::string& line) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    if (line[i] == '#') break;  // comment to end of line
+    std::size_t end = i;
+    while (end < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[end]))) {
+      ++end;
+    }
+    tokens.push_back(Token{line.substr(i, end - i), i + 1});
+    i = end;
   }
   return tokens;
 }
 
-Value parse_value(const std::string& token, std::size_t lineno) {
+Value parse_value(const Token& token, std::size_t lineno) {
   try {
     std::size_t pos = 0;
-    const long long v = std::stoll(token, &pos);
-    if (pos != token.size()) fail(lineno, "bad value '" + token + "'");
+    const long long v = std::stoll(token.text, &pos);
+    if (pos != token.text.size()) {
+      fail(lineno, token.col, "bad value '" + token.text + "'");
+    }
     return static_cast<Value>(v);
+  } catch (const ParseError&) {
+    throw;
   } catch (const std::exception&) {
-    fail(lineno, "bad value '" + token + "'");
+    fail(lineno, token.col, "bad value '" + token.text + "'");
   }
 }
 
@@ -46,68 +68,112 @@ ParsedHistory parse_history(std::string_view text) {
   bool saw_init = false;
   bool saw_session = false;
   SessionId current_session = 0;
+  std::set<std::string> session_names;
+  // Line of each appended transaction, in txn-id order (for the semantic
+  // pass below, which runs once the whole write set is known).
+  std::vector<std::size_t> txn_lines;
 
   while (std::getline(in, line)) {
     ++lineno;
-    const std::vector<std::string> tokens = tokenize(line);
+    const std::vector<Token> tokens = tokenize(line);
     if (tokens.empty()) continue;
 
-    if (tokens[0] == "init") {
-      if (saw_init) fail(lineno, "duplicate 'init'");
-      if (saw_session) fail(lineno, "'init' must precede sessions");
-      if (tokens.size() < 2) fail(lineno, "'init' needs object names");
+    if (tokens[0].text == "init") {
+      if (saw_init) fail(lineno, tokens[0].col, "duplicate 'init'");
+      if (saw_session) {
+        fail(lineno, tokens[0].col, "'init' must precede sessions");
+      }
+      if (tokens.size() < 2) {
+        fail(lineno, tokens[0].col, "'init' needs object names");
+      }
       Transaction t;
+      std::set<ObjId> init_objs;
       for (std::size_t i = 1; i < tokens.size(); ++i) {
-        t.append(write(out.objects.intern(tokens[i]), 0));
+        const ObjId obj = out.objects.intern(tokens[i].text);
+        if (!init_objs.insert(obj).second) {
+          fail(lineno, tokens[i].col,
+               "duplicate object '" + tokens[i].text + "' in 'init'");
+        }
+        t.append(write(obj, 0));
       }
       out.history.append_singleton(std::move(t));
+      txn_lines.push_back(lineno);
       saw_init = true;
       continue;
     }
-    if (tokens[0] == "session") {
-      if (in_session) fail(lineno, "nested 'session' (missing '}')");
-      if (tokens.size() != 3 || tokens[2] != "{") {
-        fail(lineno, "expected 'session <name> {'");
+    if (tokens[0].text == "session") {
+      if (in_session) {
+        fail(lineno, tokens[0].col, "nested 'session' (missing '}')");
+      }
+      if (tokens.size() != 3 || tokens[2].text != "{") {
+        fail(lineno, tokens[0].col, "expected 'session <name> {'");
+      }
+      if (!session_names.insert(tokens[1].text).second) {
+        fail(lineno, tokens[1].col,
+             "duplicate session name '" + tokens[1].text + "'");
       }
       current_session = static_cast<SessionId>(out.history.session_count());
       in_session = true;
       saw_session = true;
       continue;
     }
-    if (tokens[0] == "}") {
-      if (!in_session) fail(lineno, "unmatched '}'");
+    if (tokens[0].text == "}") {
+      if (!in_session) fail(lineno, tokens[0].col, "unmatched '}'");
       in_session = false;
       continue;
     }
-    if (tokens[0] == "txn") {
-      if (!in_session) fail(lineno, "'txn' outside a session");
-      if (tokens.size() < 2 || tokens[1] != "{" || tokens.back() != "}") {
-        fail(lineno, "expected 'txn { ... }' on one line");
+    if (tokens[0].text == "txn") {
+      if (!in_session) fail(lineno, tokens[0].col, "'txn' outside a session");
+      if (tokens.size() < 2 || tokens[1].text != "{" ||
+          tokens.back().text != "}") {
+        fail(lineno, tokens[0].col, "expected 'txn { ... }' on one line");
       }
       Transaction t;
       const std::size_t ops_end = tokens.size() - 1;  // position of '}'
       std::size_t i = 2;
       while (i < ops_end) {
-        const std::string& kind = tokens[i];
-        if (kind != "r" && kind != "w") {
-          fail(lineno, "expected 'r' or 'w', got '" + kind + "'");
+        const Token& kind = tokens[i];
+        if (kind.text != "r" && kind.text != "w") {
+          fail(lineno, kind.col,
+               "expected 'r' or 'w', got '" + kind.text + "'");
         }
         if (i + 2 >= ops_end) {
-          fail(lineno, "operation needs '<obj> <value>'");
+          fail(lineno, kind.col, "operation needs '<obj> <value>'");
         }
-        const ObjId obj = out.objects.intern(tokens[i + 1]);
+        const ObjId obj = out.objects.intern(tokens[i + 1].text);
         const Value value = parse_value(tokens[i + 2], lineno);
-        t.append(kind == "r" ? read(obj, value) : write(obj, value));
+        t.append(kind.text == "r" ? read(obj, value) : write(obj, value));
         i += 3;
       }
-      if (t.empty()) fail(lineno, "empty transaction");
+      if (t.empty()) fail(lineno, tokens[0].col, "empty transaction");
       out.history.append(current_session, std::move(t));
+      txn_lines.push_back(lineno);
       continue;
     }
-    fail(lineno, "expected 'init', 'session', 'txn' or '}', got '" +
-                     tokens[0] + "'");
+    fail(lineno, tokens[0].col,
+         "expected 'init', 'session', 'txn' or '}', got '" + tokens[0].text +
+             "'");
   }
-  if (in_session) fail(lineno, "missing final '}'");
+  if (in_session) fail(lineno, 0, "missing final '}'");
+
+  // Semantic pass: every external read needs *some* writer of the object
+  // in the history (otherwise there is no version it could have observed
+  // and the dependency-graph builders have no valid WR assignment).
+  std::set<ObjId> written;
+  for (TxnId id = 0; id < out.history.txn_count(); ++id) {
+    for (const ObjId obj : out.history.txn(id).write_set()) {
+      written.insert(obj);
+    }
+  }
+  for (TxnId id = 0; id < out.history.txn_count(); ++id) {
+    for (const ObjId obj : out.history.txn(id).external_read_set()) {
+      if (written.count(obj) == 0) {
+        fail(txn_lines[id], 0,
+             "read of never-written object '" + out.objects.name(obj) +
+                 "' (no 'init' entry and no write in any transaction)");
+      }
+    }
+  }
   return out;
 }
 

@@ -36,8 +36,11 @@ struct ParsedHistory {
   ObjectTable objects;
 };
 
-/// Parses the format above. \throws ModelError with a line number on
-/// syntax errors.
+/// Parses the format above. \throws ParseError (a ModelError carrying the
+/// 1-based line and column, see tools/parse_error.hpp) on syntax errors
+/// and on semantic ones: duplicate session names, duplicate objects in
+/// 'init', or a read of an object no transaction ever writes (which would
+/// leave downstream graph builders without a valid WR assignment).
 [[nodiscard]] ParsedHistory parse_history(std::string_view text);
 
 /// Renders a history back into the text format. The first transaction is

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/types.hpp"
+
+/// \file parse_error.hpp
+/// Structured error for the text-format parsers. Derives from ModelError
+/// so existing catch sites keep working, but carries the position as data
+/// (1-based line, 1-based column; column 0 = whole line) so tools can
+/// point at the offending token instead of grepping the message.
+
+namespace sia {
+
+class ParseError : public ModelError {
+ public:
+  ParseError(const std::string& parser, std::size_t line, std::size_t column,
+             const std::string& what)
+      : ModelError(parser + ": line " + std::to_string(line) +
+                   (column > 0 ? ", col " + std::to_string(column) : "") +
+                   ": " + what),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+}  // namespace sia

@@ -1,20 +1,31 @@
 #include "tools/program_parser.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <set>
 #include <sstream>
+
+#include "tools/parse_error.hpp"
 
 namespace sia {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw ModelError("parse_programs: line " + std::to_string(line) + ": " +
-                   what);
+/// A token plus its 1-based starting column, for error positions.
+struct Token {
+  std::string text;
+  std::size_t col;
+};
+
+[[noreturn]] void fail(std::size_t line, std::size_t col,
+                       const std::string& what) {
+  throw ParseError("parse_programs", line, col, what);
 }
 
 /// Splits a line into tokens; quoted strings form single tokens (with the
 /// quotes kept, so the caller can recognise labels).
-std::vector<std::string> tokenize(const std::string& line, std::size_t lineno) {
-  std::vector<std::string> tokens;
+std::vector<Token> tokenize(const std::string& line, std::size_t lineno) {
+  std::vector<Token> tokens;
   std::size_t i = 0;
   while (i < line.size()) {
     if (std::isspace(static_cast<unsigned char>(line[i]))) {
@@ -24,8 +35,10 @@ std::vector<std::string> tokenize(const std::string& line, std::size_t lineno) {
     if (line[i] == '#') break;  // comment to end of line
     if (line[i] == '"') {
       const std::size_t end = line.find('"', i + 1);
-      if (end == std::string::npos) fail(lineno, "unterminated string");
-      tokens.push_back(line.substr(i, end - i + 1));
+      if (end == std::string::npos) {
+        fail(lineno, i + 1, "unterminated string");
+      }
+      tokens.push_back(Token{line.substr(i, end - i + 1), i + 1});
       i = end + 1;
       continue;
     }
@@ -35,7 +48,7 @@ std::vector<std::string> tokenize(const std::string& line, std::size_t lineno) {
            line[end] != '#') {
       ++end;
     }
-    tokens.push_back(line.substr(i, end - i));
+    tokens.push_back(Token{line.substr(i, end - i), i + 1});
     i = end;
   }
   return tokens;
@@ -53,64 +66,82 @@ ParsedSuite parse_programs(std::string_view text) {
   std::string line;
   std::size_t lineno = 0;
   bool in_program = false;
+  std::set<std::string> program_names;
 
   while (std::getline(in, line)) {
     ++lineno;
-    const std::vector<std::string> tokens = tokenize(line, lineno);
+    const std::vector<Token> tokens = tokenize(line, lineno);
     if (tokens.empty()) continue;
 
-    if (tokens[0] == "program") {
-      if (in_program) fail(lineno, "nested 'program' (missing '}')");
-      if (tokens.size() < 2 || tokens[1] == "{" || is_quoted(tokens[1])) {
-        fail(lineno, "expected a program name after 'program'");
+    if (tokens[0].text == "program") {
+      if (in_program) {
+        fail(lineno, tokens[0].col, "nested 'program' (missing '}')");
       }
-      if (tokens.size() < 3 || tokens[2] != "{" || tokens.size() > 3) {
-        fail(lineno, "expected 'program <name> {'");
+      if (tokens.size() < 2 || tokens[1].text == "{" ||
+          is_quoted(tokens[1].text)) {
+        fail(lineno, tokens[0].col, "expected a program name after 'program'");
       }
-      suite.programs.push_back(Program{tokens[1], {}});
+      if (tokens.size() < 3 || tokens[2].text != "{" || tokens.size() > 3) {
+        fail(lineno, tokens[0].col, "expected 'program <name> {'");
+      }
+      if (!program_names.insert(tokens[1].text).second) {
+        fail(lineno, tokens[1].col,
+             "duplicate program name '" + tokens[1].text + "'");
+      }
+      suite.programs.push_back(Program{tokens[1].text, {}});
       in_program = true;
       continue;
     }
-    if (tokens[0] == "}") {
-      if (!in_program) fail(lineno, "unmatched '}'");
-      if (tokens.size() > 1) fail(lineno, "unexpected tokens after '}'");
+    if (tokens[0].text == "}") {
+      if (!in_program) fail(lineno, tokens[0].col, "unmatched '}'");
+      if (tokens.size() > 1) {
+        fail(lineno, tokens[1].col, "unexpected tokens after '}'");
+      }
       if (suite.programs.back().pieces.empty()) {
-        fail(lineno, "program '" + suite.programs.back().name +
-                         "' has no pieces");
+        fail(lineno, tokens[0].col,
+             "program '" + suite.programs.back().name + "' has no pieces");
       }
       in_program = false;
       continue;
     }
-    if (tokens[0] == "piece") {
-      if (!in_program) fail(lineno, "'piece' outside a program");
+    if (tokens[0].text == "piece") {
+      if (!in_program) {
+        fail(lineno, tokens[0].col, "'piece' outside a program");
+      }
       Piece piece;
       std::size_t i = 1;
-      if (i < tokens.size() && is_quoted(tokens[i])) {
-        piece.label = tokens[i].substr(1, tokens[i].size() - 2);
+      if (i < tokens.size() && is_quoted(tokens[i].text)) {
+        piece.label = tokens[i].text.substr(1, tokens[i].text.size() - 2);
         ++i;
       }
       std::vector<ObjId>* current = nullptr;
       for (; i < tokens.size(); ++i) {
-        if (tokens[i] == "reads") {
+        if (tokens[i].text == "reads") {
           current = &piece.reads;
-        } else if (tokens[i] == "writes") {
+        } else if (tokens[i].text == "writes") {
           current = &piece.writes;
         } else if (current == nullptr) {
-          fail(lineno, "expected 'reads' or 'writes', got '" + tokens[i] +
-                           "'");
-        } else if (is_quoted(tokens[i])) {
-          fail(lineno, "object names must not be quoted");
+          fail(lineno, tokens[i].col,
+               "expected 'reads' or 'writes', got '" + tokens[i].text + "'");
+        } else if (is_quoted(tokens[i].text)) {
+          fail(lineno, tokens[i].col, "object names must not be quoted");
         } else {
-          current->push_back(suite.objects.intern(tokens[i]));
+          const ObjId obj = suite.objects.intern(tokens[i].text);
+          if (std::find(current->begin(), current->end(), obj) !=
+              current->end()) {
+            fail(lineno, tokens[i].col,
+                 "duplicate object '" + tokens[i].text + "' in list");
+          }
+          current->push_back(obj);
         }
       }
       suite.programs.back().pieces.push_back(std::move(piece));
       continue;
     }
-    fail(lineno, "expected 'program', 'piece' or '}', got '" + tokens[0] +
-                     "'");
+    fail(lineno, tokens[0].col,
+         "expected 'program', 'piece' or '}', got '" + tokens[0].text + "'");
   }
-  if (in_program) fail(lineno, "missing final '}'");
+  if (in_program) fail(lineno, 0, "missing final '}'");
   return suite;
 }
 

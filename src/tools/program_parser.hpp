@@ -35,9 +35,11 @@ struct ParsedSuite {
   ObjectTable objects;
 };
 
-/// Parses the format above. \throws ModelError with a line number on any
-/// syntax error (unterminated program, piece outside a program, missing
-/// name, stray tokens, ...).
+/// Parses the format above. \throws ParseError (a ModelError carrying the
+/// 1-based line and column, see tools/parse_error.hpp) on any syntax
+/// error (unterminated program, piece outside a program, missing name,
+/// stray tokens, ...) and on duplicate program names or duplicate objects
+/// within one reads/writes list.
 [[nodiscard]] ParsedSuite parse_programs(std::string_view text);
 
 /// Renders programs back into the text format (inverse of

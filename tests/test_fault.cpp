@@ -1,0 +1,211 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "fault/retry.hpp"
+#include "mvcc/si_engine.hpp"
+
+namespace sia::fault {
+namespace {
+
+TEST(FaultPlan, UniformFillsEverySite) {
+  const FaultPlan plan = FaultPlan::uniform(7, 0.1, 0.2, 0.3);
+  EXPECT_EQ(plan.seed, 7u);
+  for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+    EXPECT_DOUBLE_EQ(plan.sites[s].abort, 0.1);
+    EXPECT_DOUBLE_EQ(plan.sites[s].crash, 0.2);
+    EXPECT_DOUBLE_EQ(plan.sites[s].delay, 0.3);
+  }
+}
+
+TEST(FaultInjector, DecisionsArePureInSeedSiteHit) {
+  const FaultPlan plan = FaultPlan::uniform(42, 0.3, 0.2, 0.1);
+  const FaultInjector a(plan);
+  const FaultInjector b(plan);
+  for (std::size_t s = 0; s < kFaultSiteCount; ++s) {
+    for (std::uint64_t hit = 0; hit < 200; ++hit) {
+      const auto site = static_cast<FaultSite>(s);
+      EXPECT_EQ(a.decide(site, hit), b.decide(site, hit));
+    }
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiffer) {
+  const FaultInjector a(FaultPlan::uniform(1, 0.5, 0.0, 0.0));
+  const FaultInjector b(FaultPlan::uniform(2, 0.5, 0.0, 0.0));
+  std::size_t differing = 0;
+  for (std::uint64_t hit = 0; hit < 200; ++hit) {
+    if (a.decide(FaultSite::kPreCommit, hit) !=
+        b.decide(FaultSite::kPreCommit, hit)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0u);
+}
+
+TEST(FaultInjector, RatesRoughlyMatchProbabilities) {
+  const FaultInjector inj(FaultPlan::uniform(9, 0.25, 0.0, 0.0));
+  std::uint64_t aborts = 0;
+  const std::uint64_t n = 10000;
+  for (std::uint64_t hit = 0; hit < n; ++hit) {
+    if (inj.decide(FaultSite::kPreRead, hit) == FaultAction::kAbort) ++aborts;
+  }
+  // 0.25 +- generous slack; the point is "not 0 and not 1".
+  EXPECT_GT(aborts, n / 8);
+  EXPECT_LT(aborts, n / 2);
+}
+
+TEST(FaultInjector, ZeroPlanNeverFires) {
+  FaultInjector inj(FaultPlan{});
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_NO_THROW(inj.on(FaultSite::kPreCommit));
+  }
+  EXPECT_EQ(inj.hits(FaultSite::kPreCommit), 1000u);
+  EXPECT_EQ(inj.total_failures(), 0u);
+}
+
+TEST(FaultInjector, ScheduleOverridesProbabilities) {
+  FaultPlan plan;  // all probabilities zero
+  plan.schedule.push_back({FaultSite::kMidCommit, 2, FaultAction::kCrash});
+  FaultInjector inj(plan);
+  EXPECT_NO_THROW(inj.on(FaultSite::kMidCommit));  // hit 0
+  EXPECT_NO_THROW(inj.on(FaultSite::kMidCommit));  // hit 1
+  try {
+    inj.on(FaultSite::kMidCommit);  // hit 2: scheduled crash
+    FAIL() << "expected FaultInjected";
+  } catch (const FaultInjected& f) {
+    EXPECT_EQ(f.action(), FaultAction::kCrash);
+    EXPECT_EQ(f.site(), FaultSite::kMidCommit);
+  }
+  EXPECT_NO_THROW(inj.on(FaultSite::kMidCommit));  // hit 3
+  EXPECT_EQ(inj.injected(FaultSite::kMidCommit, FaultAction::kCrash), 1u);
+  EXPECT_EQ(inj.total_failures(), 1u);
+}
+
+TEST(FaultInjector, DelayReturnsNormally) {
+  FaultPlan plan;
+  plan.schedule.push_back({FaultSite::kPreRead, 0, FaultAction::kDelay});
+  plan.max_delay_spins = 4;
+  FaultInjector inj(plan);
+  EXPECT_NO_THROW(inj.on(FaultSite::kPreRead));
+  EXPECT_EQ(inj.injected(FaultSite::kPreRead, FaultAction::kDelay), 1u);
+  EXPECT_EQ(inj.total_failures(), 0u);  // delays are not failures
+}
+
+TEST(FaultInjector, ConcurrentHitsInjectTheSameMultiset) {
+  // Determinism under interleaving: the decision depends on the hit index,
+  // not the thread, so N hits always produce the same number of aborts.
+  const FaultPlan plan = FaultPlan::uniform(123, 0.3, 0.0, 0.0);
+  const std::uint64_t kHitsPerThread = 500;
+  const unsigned kThreads = 4;
+
+  std::uint64_t expected = 0;
+  {
+    const FaultInjector oracle(plan);
+    for (std::uint64_t h = 0; h < kHitsPerThread * kThreads; ++h) {
+      if (oracle.decide(FaultSite::kPreCommit, h) == FaultAction::kAbort) {
+        ++expected;
+      }
+    }
+  }
+
+  FaultInjector inj(plan);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&inj] {
+      for (std::uint64_t i = 0; i < kHitsPerThread; ++i) {
+        try {
+          inj.on(FaultSite::kPreCommit);
+        } catch (const FaultInjected&) {
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(inj.hits(FaultSite::kPreCommit), kHitsPerThread * kThreads);
+  EXPECT_EQ(inj.injected(FaultSite::kPreCommit, FaultAction::kAbort),
+            expected);
+}
+
+TEST(RetryPolicy, BackoffIsBoundedAndDeterministic) {
+  RetryPolicy p;
+  p.base_backoff_steps = 1;
+  p.max_backoff_steps = 8;
+  p.jitter_seed = 5;
+  std::uint64_t prev_base = 0;
+  for (std::size_t attempt = 1; attempt <= 20; ++attempt) {
+    const std::uint64_t steps = p.backoff_steps(attempt);
+    EXPECT_EQ(steps, p.backoff_steps(attempt));  // deterministic
+    // base doubles up to the cap; jitter adds at most base.
+    EXPECT_LE(steps, 2 * p.max_backoff_steps);
+    prev_base = steps;
+  }
+  (void)prev_base;
+}
+
+TEST(RetryPolicy, HugeAttemptDoesNotOverflow) {
+  RetryPolicy p;
+  p.base_backoff_steps = 3;
+  p.max_backoff_steps = 100;
+  // Shifting by >= 64 is UB if done naively; the policy must saturate.
+  EXPECT_LE(p.backoff_steps(1000), 200u);
+}
+
+TEST(RetryingClient, RunsAgainstSIEngineUnderScheduledFaults) {
+  FaultPlan plan;
+  // First two commit attempts die (pre-commit abort, then mid-commit
+  // crash); the third succeeds.
+  plan.schedule.push_back({FaultSite::kPreCommit, 0, FaultAction::kAbort});
+  plan.schedule.push_back({FaultSite::kMidCommit, 0, FaultAction::kCrash});
+  FaultInjector inj(plan);
+
+  mvcc::Recorder recorder;
+  mvcc::SIDatabase db(2, &recorder, &inj);
+  auto session = db.make_session();
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  RetryingClient<mvcc::SIDatabase> client(db, policy);
+  const RetryStats stats = client.run(session, [](mvcc::SITransaction& txn) {
+    const Value v = txn.read(0);
+    txn.write(0, v + 1);
+  });
+  EXPECT_TRUE(stats.committed);
+  EXPECT_EQ(stats.attempts, 3u);
+  EXPECT_EQ(stats.injected_aborts, 1u);
+  EXPECT_EQ(stats.injected_crashes, 1u);
+  EXPECT_EQ(db.commits(), 1u);
+  EXPECT_EQ(db.aborts(), 2u);
+}
+
+TEST(RetryingClient, BudgetExhaustionIsReportedNotThrown) {
+  // Abort every commit attempt.
+  FaultPlan plan;
+  for (std::uint64_t h = 0; h < 64; ++h) {
+    plan.schedule.push_back({FaultSite::kPreCommit, h, FaultAction::kAbort});
+  }
+  FaultInjector always(plan);
+  mvcc::SIDatabase db(1, nullptr, &always);
+  auto session = db.make_session();
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  RetryingClient<mvcc::SIDatabase> client(db, policy);
+  const RetryStats stats =
+      client.run(session, [](mvcc::SITransaction& txn) { txn.write(0, 1); });
+  EXPECT_FALSE(stats.committed);
+  EXPECT_EQ(stats.attempts, 5u);
+  EXPECT_EQ(stats.injected_aborts, 5u);
+  EXPECT_EQ(db.commits(), 0u);
+}
+
+TEST(ToString, CoversEveryEnumerator) {
+  EXPECT_EQ(to_string(FaultSite::kPreRead), "pre-read");
+  EXPECT_EQ(to_string(FaultSite::kPostCommit), "post-commit");
+  EXPECT_EQ(to_string(FaultAction::kCrash), "crash");
+  EXPECT_EQ(to_string(FaultAction::kNone), "none");
+}
+
+}  // namespace
+}  // namespace sia::fault

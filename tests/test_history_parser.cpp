@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/enumeration.hpp"
+#include "tools/parse_error.hpp"
 
 namespace sia {
 namespace {
@@ -45,10 +46,10 @@ TEST(HistoryParser, MultipleTxnsPerSessionKeepOrder) {
 }
 
 TEST(HistoryParser, NegativeAndLargeValues) {
-  const ParsedHistory trace =
-      parse_history("session s {\n  txn { w x -42 r y 100000 }\n}\n");
-  EXPECT_EQ(trace.history.txn(0)[0].value, -42);
-  EXPECT_EQ(trace.history.txn(0)[1].value, 100000);
+  const ParsedHistory trace = parse_history(
+      "init y\nsession s {\n  txn { w x -42 r y 100000 }\n}\n");
+  EXPECT_EQ(trace.history.txn(1)[0].value, -42);
+  EXPECT_EQ(trace.history.txn(1)[1].value, 100000);
 }
 
 TEST(HistoryParser, ErrorsCarryLineNumbers) {
@@ -74,6 +75,49 @@ TEST(HistoryParser, ErrorsCarryLineNumbers) {
   expect_error("session a {\n  txn { w x 1 }\n}\ninit x\n", "must precede");
   expect_error("init x\ninit y\n", "duplicate");
   expect_error("bogus\n", "expected 'init'");
+}
+
+TEST(HistoryParser, ErrorsAreStructured) {
+  // The thrown type carries line/column as data, not just in the message.
+  try {
+    (void)parse_history("session a {\n  txn { q x 0 }\n}\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 9u);  // the 'q' token
+  }
+}
+
+TEST(HistoryParser, RejectsDuplicateSessionNames) {
+  try {
+    (void)parse_history(
+        "session a {\n  txn { w x 1 }\n}\nsession a {\n  txn { w x 2 }\n}\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_NE(std::string(e.what()).find("duplicate session name"),
+              std::string::npos);
+  }
+}
+
+TEST(HistoryParser, RejectsReadOfNeverWrittenObject) {
+  try {
+    (void)parse_history("session a {\n  txn { r ghost 0 }\n}\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_NE(std::string(e.what()).find("never-written"), std::string::npos);
+  }
+  // The same read is fine once 'init' provides the version.
+  EXPECT_NO_THROW(
+      (void)parse_history("init ghost\nsession a {\n  txn { r ghost 0 }\n}\n"));
+  // A read-after-own-write needs no init: the object has a writer.
+  EXPECT_NO_THROW(
+      (void)parse_history("session a {\n  txn { r x 0 w x 1 }\n}\n"));
+}
+
+TEST(HistoryParser, RejectsDuplicateInitObjects) {
+  EXPECT_THROW((void)parse_history("init x x\n"), ParseError);
 }
 
 TEST(HistoryParser, FormatRoundTrips) {

@@ -227,7 +227,9 @@ TEST(Monitor, CommitAllFlushesPrefixOnError) {
   bad.txn.append(read(0, 1));
   bad.read_sources[0] = 99;  // unknown source
   EXPECT_THROW(m.commit_all({good, bad}), ModelError);
-  EXPECT_EQ(m.commit_count(), 2u);  // good + the failed slot's id burn
+  // commit() validates before mutating, so the malformed commit burns no
+  // id: only the good prefix is ingested.
+  EXPECT_EQ(m.commit_count(), 1u);
   // The monitor keeps working sequentially after the failed batch.
   MonitoredCommit next;
   next.session = 0;
@@ -235,6 +237,120 @@ TEST(Monitor, CommitAllFlushesPrefixOnError) {
   next.read_sources[0] = 1;
   m.commit(next);
   EXPECT_TRUE(m.consistent());
+}
+
+TEST(Monitor, CommitAllErrorLeavesPrefixIdenticalToPerCommit) {
+  // Satellite check: after a mid-batch ModelError, the batched monitor's
+  // state (ids, verdict, detail, rebuilt graph) is byte-for-byte what
+  // per-commit ingestion of the same prefix produces — and both continue
+  // identically afterwards.
+  const MonitoredCommit c1 = make_commit(0, {write(kX, 1)});
+  const MonitoredCommit c2 =
+      make_commit(1, {read(kX, 1), write(kY, 2)}, {{kX, 1}});
+  MonitoredCommit bad = make_commit(2, {read(kY, 2)});  // no read source
+  const MonitoredCommit c4 = make_commit(0, {read(kY, 2)}, {{kY, 2}});
+
+  ConsistencyMonitor batched(Model::kSI);
+  EXPECT_THROW(batched.commit_all({c1, c2, bad, c4}), ModelError);
+
+  ConsistencyMonitor sequential(Model::kSI);
+  EXPECT_EQ(sequential.commit(c1), 1u);
+  EXPECT_EQ(sequential.commit(c2), 2u);
+
+  EXPECT_EQ(batched.commit_count(), sequential.commit_count());
+  EXPECT_EQ(batched.verdict(), sequential.verdict());
+  EXPECT_EQ(batched.violating_commit(), sequential.violating_commit());
+  EXPECT_EQ(batched.violation_detail(), sequential.violation_detail());
+  for (const ObjId obj : {kX, kY}) {
+    EXPECT_EQ(batched.graph().write_order(obj),
+              sequential.graph().write_order(obj));
+  }
+  // c4 lands on the same id in both monitors: the bad commit burned none.
+  EXPECT_EQ(batched.commit(c4), sequential.commit(c4));
+  EXPECT_EQ(batched.consistent(), sequential.consistent());
+}
+
+TEST(Monitor, GuardedBatchQuarantinesMalformedCommits) {
+  // Malformed commits anywhere in the batch are quarantined; the verdict
+  // on the well-formed subsequence matches per-commit ingestion of it.
+  MonitoredCommit no_source = make_commit(2, {read(kY, 7)});
+  MonitoredCommit bad_source =
+      make_commit(3, {read(kX, 1)}, {{kX, 42}});  // T42 never wrote x
+  const std::vector<MonitoredCommit> batch = {
+      no_source,
+      make_commit(0, {write(kX, 1)}),
+      bad_source,
+      make_commit(1, {read(kX, 1), write(kY, 2)}, {{kX, 1}}),
+  };
+
+  ConsistencyMonitor m(Model::kSI);
+  const BatchResult r = m.commit_all_guarded(batch);
+  ASSERT_EQ(r.ids.size(), 4u);
+  EXPECT_EQ(r.ids, (std::vector<TxnId>{0, 1, 0, 2}));
+  EXPECT_EQ(r.quarantined, (std::vector<std::size_t>{0, 2}));
+  ASSERT_EQ(r.errors.size(), 2u);
+  EXPECT_NE(r.errors[0].find("without a read source"), std::string::npos);
+  EXPECT_NE(r.errors[1].find("never wrote"), std::string::npos);
+  EXPECT_EQ(m.verdict(), MonitorVerdict::kConsistent);
+
+  ConsistencyMonitor filtered(Model::kSI);
+  filtered.commit(batch[1]);
+  filtered.commit(batch[3]);
+  EXPECT_EQ(m.commit_count(), filtered.commit_count());
+  EXPECT_EQ(m.graph().write_order(kX), filtered.graph().write_order(kX));
+}
+
+TEST(Monitor, GuardedBatchKeepsExactVerdictOnValidSubsequence) {
+  // A genuine violation among the valid commits is still detected, with
+  // the same violating id as per-commit ingestion of the subsequence.
+  MonitoredCommit bad = make_commit(5, {read(kY, 0)});  // quarantined
+  const std::vector<MonitoredCommit> batch = {
+      make_commit(0, {read(kX, 0), write(kX, 50)}, {{kX, 0}}),
+      bad,
+      make_commit(1, {read(kX, 0), write(kX, 25)}, {{kX, 0}}),  // lost update
+  };
+  ConsistencyMonitor m(Model::kSI);
+  const BatchResult r = m.commit_all_guarded(batch);
+  EXPECT_EQ(r.ids, (std::vector<TxnId>{1, 0, 2}));
+  EXPECT_EQ(m.verdict(), MonitorVerdict::kViolation);
+  EXPECT_EQ(m.violating_commit(), 2u);
+}
+
+TEST(Monitor, SaturationDegradesToExplicitVerdict) {
+  ConsistencyMonitor m(Model::kSI);
+  m.set_max_transactions(2);
+  EXPECT_EQ(m.commit(make_commit(0, {write(kX, 1)})), 1u);
+  EXPECT_EQ(m.commit(make_commit(0, {write(kX, 2)})), 2u);
+  EXPECT_EQ(m.verdict(), MonitorVerdict::kConsistent);
+  // Past the ceiling: dropped unanalysed, id 0, verdict degrades.
+  EXPECT_EQ(m.commit(make_commit(0, {write(kX, 3)})), 0u);
+  EXPECT_EQ(m.commit(make_commit(1, {write(kY, 1)})), 0u);
+  EXPECT_EQ(m.commit_count(), 2u);
+  EXPECT_EQ(m.dropped_commits(), 2u);
+  EXPECT_EQ(m.verdict(), MonitorVerdict::kSaturated);
+  // Saturated is honest: no violation was *observed*.
+  EXPECT_TRUE(m.consistent());
+  // Malformed commits are still rejected, not silently dropped.
+  EXPECT_THROW(m.commit(make_commit(0, {read(kY, 9)}, {{kY, 77}})),
+               ModelError);
+}
+
+TEST(Monitor, ViolationBeforeSaturationStaysAuthoritative) {
+  ConsistencyMonitor m(Model::kSI);
+  m.set_max_transactions(2);
+  m.commit(make_commit(0, {read(kX, 0), write(kX, 50)}, {{kX, 0}}));
+  m.commit(make_commit(1, {read(kX, 0), write(kX, 25)}, {{kX, 0}}));
+  ASSERT_EQ(m.verdict(), MonitorVerdict::kViolation);
+  m.commit(make_commit(0, {write(kY, 1)}));  // dropped by the ceiling
+  EXPECT_EQ(m.dropped_commits(), 1u);
+  EXPECT_EQ(m.verdict(), MonitorVerdict::kViolation);  // sticky
+  EXPECT_EQ(m.violating_commit(), 2u);
+}
+
+TEST(Monitor, VerdictToStringCoversAllStates) {
+  EXPECT_EQ(to_string(MonitorVerdict::kConsistent), "Consistent");
+  EXPECT_EQ(to_string(MonitorVerdict::kViolation), "Violation");
+  EXPECT_EQ(to_string(MonitorVerdict::kSaturated), "Saturated");
 }
 
 TEST(Monitor, ReplayedGraphMatchesOriginal) {

@@ -4,6 +4,7 @@
 
 #include "chopping/static_chopping_graph.hpp"
 #include "robustness/robustness.hpp"
+#include "tools/parse_error.hpp"
 
 namespace sia {
 namespace {
@@ -91,6 +92,36 @@ TEST(Parser, ErrorsCarryLineNumbers) {
   expect_error("program p {\n  piece \"unterminated\n}\n",
                "unterminated string");
   expect_error("program p {\n  piece reads \"x\"\n}\n", "must not be quoted");
+}
+
+TEST(Parser, ErrorsAreStructured) {
+  try {
+    (void)parse_programs("program p {\n  piece x\n}\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 9u);  // the 'x' token
+  }
+}
+
+TEST(Parser, RejectsDuplicateProgramNames) {
+  try {
+    (void)parse_programs(
+        "program p {\n  piece reads x\n}\nprogram p {\n  piece reads y\n}\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 4u);
+    EXPECT_NE(std::string(e.what()).find("duplicate program name"),
+              std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsDuplicateObjectInOneList) {
+  EXPECT_THROW((void)parse_programs("program p {\n  piece reads x x\n}\n"),
+               ParseError);
+  // The same object in *different* lists (or pieces) is fine.
+  EXPECT_NO_THROW(
+      (void)parse_programs("program p {\n  piece reads x writes x\n}\n"));
 }
 
 TEST(Parser, FormatRoundTrips) {
