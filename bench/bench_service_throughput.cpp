@@ -1,0 +1,149 @@
+/// \file bench_service_throughput.cpp
+/// Experiment E16 (extension) — siad service throughput: commits/sec and
+/// request latency (p50/p99) of the sharded SI-checking service as the
+/// number of concurrent loadgen connections sweeps 1 / 4 / 16, against an
+/// in-process server on an ephemeral localhost port. The verdict table is
+/// the acceptance audit — every sweep point must run clean (verdicts
+/// equal to an offline ConsistencyMonitor replay, server ack counts equal
+/// to client ack counts, zero protocol errors). Results persist to
+/// BENCH_service_throughput.json.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "service/client.hpp"
+#include "service/loadgen.hpp"
+#include "service/server.hpp"
+#include "workload/generator.hpp"
+
+namespace sia::service {
+namespace {
+
+struct SweepRow {
+  std::size_t connections{0};
+  LoadReport report;
+};
+
+LoadgenConfig sweep_config(std::uint16_t port, std::size_t connections) {
+  LoadgenConfig cfg;
+  cfg.port = port;
+  cfg.connections = connections;
+  cfg.streams_per_connection = 2;
+  cfg.txns_per_stream = 96;
+  cfg.batch_size = 8;
+  cfg.model = Model::kSI;
+  cfg.seed = 42 + connections;
+  return cfg;
+}
+
+std::vector<SweepRow> run_sweep() {
+  std::vector<SweepRow> rows;
+  for (const std::size_t connections : {1u, 4u, 16u}) {
+    ServerConfig scfg;
+    scfg.shards = 4;  // fixed shard count so only the client side sweeps
+    Server server(scfg);
+    server.start();
+    const LoadgenConfig cfg = sweep_config(server.port(), connections);
+    rows.push_back({connections, run_load(cfg)});
+    server.drain();
+  }
+  return rows;
+}
+
+bool write_json(const std::string& path, const std::vector<SweepRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_service_throughput\",\n"
+               "  \"model\": \"SI\",\n  \"shards\": 4,\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const LoadReport& r = rows[i].report;
+    std::fprintf(
+        f,
+        "    {\"connections\": %zu, \"streams\": %zu, "
+        "\"commits_acked\": %llu, \"commits_per_sec\": %.0f, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"retry_later\": %llu, "
+        "\"clean\": %s}%s\n",
+        rows[i].connections, r.streams,
+        static_cast<unsigned long long>(r.commits_acked), r.commits_per_sec,
+        r.p50_ms, r.p99_ms, static_cast<unsigned long long>(r.retry_later),
+        clean(r) ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+  return true;
+}
+
+bool table() {
+  bench::header("E16", "siad throughput vs concurrent connections");
+  const std::vector<SweepRow> rows = run_sweep();
+  std::vector<bench::VerdictRow> verdicts;
+  for (const SweepRow& row : rows) {
+    verdicts.push_back(
+        {"connections=" + std::to_string(row.connections) + " audit",
+         "clean", clean(row.report) ? "clean" : "NOT CLEAN"});
+  }
+  const bool reproduced = bench::print_verdicts(verdicts);
+  std::printf("%-14s %10s %14s %10s %10s\n", "connections", "commits",
+              "commits/sec", "p50 (ms)", "p99 (ms)");
+  for (const SweepRow& row : rows) {
+    std::printf("%-14zu %10llu %14.0f %10.3f %10.3f\n", row.connections,
+                static_cast<unsigned long long>(row.report.commits_acked),
+                row.report.commits_per_sec, row.report.p50_ms,
+                row.report.p99_ms);
+  }
+  write_json("BENCH_service_throughput.json", rows);
+  return reproduced;
+}
+
+// One COMMIT round-trip (batch of 8) against a warm server: the service
+// layer's per-request overhead on top of the monitor itself.
+void BM_ServiceCommitRoundTrip(benchmark::State& state) {
+  ServerConfig scfg;
+  scfg.shards = 1;
+  Server server(scfg);
+  server.start();
+  ServiceClient client;
+  client.connect("127.0.0.1", server.port());
+  std::uint64_t stream = client.open_stream(Model::kSI);
+
+  workload::WorkloadSpec spec;
+  spec.sessions = 2;
+  spec.txns_per_session = 64;
+  spec.concurrent = false;
+  const std::vector<MonitoredCommit> traffic =
+      monitored_commits(workload::run_si(spec).graph);
+
+  std::size_t off = 0;
+  std::uint64_t acked = 0;
+  for (auto _ : state) {
+    const std::size_t n = std::min<std::size_t>(8, traffic.size() - off);
+    const std::vector<MonitoredCommit> batch(traffic.begin() + off,
+                                             traffic.begin() + off + n);
+    const Message reply = client.commit(stream, batch);
+    benchmark::DoNotOptimize(reply.type);
+    acked += reply.ids.size();
+    off += n;
+    if (off >= traffic.size()) {
+      // Fresh stream so the monitor does not grow without bound.
+      state.PauseTiming();
+      (void)client.close_stream(stream);
+      stream = client.open_stream(Model::kSI);
+      off = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(acked));
+  server.drain();
+}
+BENCHMARK(BM_ServiceCommitRoundTrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sia::service
+
+SIA_BENCH_MAIN(sia::service::table)

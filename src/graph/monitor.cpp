@@ -289,9 +289,7 @@ DependencyGraph ConsistencyMonitor::graph() const {
   return g;
 }
 
-namespace {
-
-std::vector<MonitoredCommit> commits_of(const DependencyGraph& g) {
+std::vector<MonitoredCommit> monitored_commits(const DependencyGraph& g) {
   const History& h = g.history();
   // Transaction 0 must be the initialising transaction (the convention of
   // Recorder::build and HistoryBuilder::init_txn); it is implicit in the
@@ -315,11 +313,9 @@ std::vector<MonitoredCommit> commits_of(const DependencyGraph& g) {
   return commits;
 }
 
-}  // namespace
-
 ConsistencyMonitor replay(const DependencyGraph& g, Model m) {
   ConsistencyMonitor monitor(m);
-  for (const MonitoredCommit& c : commits_of(g)) monitor.commit(c);
+  for (const MonitoredCommit& c : monitored_commits(g)) monitor.commit(c);
   return monitor;
 }
 
@@ -327,7 +323,7 @@ ConsistencyMonitor replay_batched(const DependencyGraph& g, Model m,
                                   std::size_t batch_size) {
   if (batch_size == 0) batch_size = 1;
   ConsistencyMonitor monitor(m);
-  const std::vector<MonitoredCommit> commits = commits_of(g);
+  const std::vector<MonitoredCommit> commits = monitored_commits(g);
   for (std::size_t lo = 0; lo < commits.size(); lo += batch_size) {
     const auto hi = std::min(lo + batch_size, commits.size());
     monitor.commit_all({commits.begin() + static_cast<std::ptrdiff_t>(lo),

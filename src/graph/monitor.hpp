@@ -145,6 +145,14 @@ class ConsistencyMonitor {
   /// Transactions ingested (excluding the implicit initialiser).
   [[nodiscard]] std::size_t commit_count() const { return next_id_ - 1; }
 
+  /// Alias of commit_count(), named for container-style call sites
+  /// (shard admission control asks "how full is this monitor?").
+  [[nodiscard]] std::size_t size() const { return commit_count(); }
+
+  /// The set_max_transactions() ceiling; 0 = unlimited. Headroom before
+  /// saturation is capacity() - size() when capacity() is nonzero.
+  [[nodiscard]] std::size_t capacity() const { return max_transactions_; }
+
   /// Rebuilds the full dependency graph ingested so far (for offline
   /// inspection; O(history)).
   [[nodiscard]] DependencyGraph graph() const;
@@ -213,6 +221,15 @@ class ConsistencyMonitor {
   // Raw ingested data for graph() reconstruction.
   std::vector<MonitoredCommit> log_;
 };
+
+/// The commit sequence replay() feeds: transactions 1..n of \p g in id
+/// order, each with its recorded WR sources. Exposed so that clients which
+/// stream recorded runs into a *remote* monitor (the service load
+/// generator, the service tests) produce exactly the commits an in-process
+/// replay would. \throws ModelError if the graph lacks a WR source for an
+/// external read.
+[[nodiscard]] std::vector<MonitoredCommit> monitored_commits(
+    const DependencyGraph& g);
 
 /// Replays a recorded engine run through a fresh monitor and returns it.
 /// Transactions are fed in id order with their recorded WR sources;

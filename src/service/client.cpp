@@ -1,0 +1,185 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace sia::service {
+
+ServiceClient::~ServiceClient() { close(); }
+
+void ServiceClient::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw ModelError("client: socket: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw ModelError("client: not an IPv4 address: '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw ModelError("client: connect to " + host + ":" +
+                     std::to_string(port) + ": " + err);
+  }
+  const int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ServiceClient::send_all(const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw ModelError("client: connection closed while sending");
+  }
+}
+
+Message ServiceClient::read_message() {
+  std::array<std::uint8_t, 16384> buf;
+  for (;;) {
+    Message msg;
+    std::string error;
+    const FrameDecoder::Status st = decoder_.next(msg, &error);
+    if (st == FrameDecoder::Status::kFrame) return msg;
+    if (st == FrameDecoder::Status::kMalformed) {
+      throw ModelError("client: malformed reply: " + error);
+    }
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n > 0) {
+      decoder_.feed(buf.data(), static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw ModelError("client: connection closed by server");
+  }
+}
+
+Message ServiceClient::request(const Message& req) {
+  if (fd_ < 0) throw ModelError("client: not connected");
+  send_all(encode_frame(req));
+  for (;;) {
+    Message reply = read_message();
+    // A CLOSED frame is the reply only to the CLOSE of that stream; any
+    // other is a drain push — park it and keep waiting for ours.
+    if (reply.type == MsgType::kClosed &&
+        !(req.type == MsgType::kClose && reply.stream == req.stream)) {
+      drained_[reply.stream] = std::move(reply);
+      continue;
+    }
+    return reply;
+  }
+}
+
+std::uint64_t ServiceClient::open_stream(Model model, std::uint64_t ceiling) {
+  Message req;
+  req.type = MsgType::kOpenStream;
+  req.model = static_cast<std::uint8_t>(model);
+  req.capacity = ceiling;
+  const fault::RetryPolicy policy;  // default bounded budget
+  for (std::size_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    const Message reply = request(req);
+    if (reply.type == MsgType::kStreamOpened) return reply.stream;
+    if (reply.type != MsgType::kRetryLater) {
+      throw ModelError("client: open_stream failed: " + to_string(reply.type) +
+                       (reply.text.empty() ? "" : " (" + reply.text + ")"));
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        kBackoffStepUs * policy.backoff_steps(attempt)));
+  }
+  throw ModelError("client: open_stream retry budget exhausted");
+}
+
+Message ServiceClient::commit(std::uint64_t stream,
+                              const std::vector<MonitoredCommit>& batch) {
+  Message req;
+  req.type = MsgType::kCommit;
+  req.stream = stream;
+  req.commits = batch;
+  return request(req);
+}
+
+Message ServiceClient::commit_retry(std::uint64_t stream,
+                                    const std::vector<MonitoredCommit>& batch,
+                                    const fault::RetryPolicy& policy,
+                                    fault::RetryStats* stats) {
+  fault::RetryStats st;
+  Message reply;
+  for (std::size_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    st.attempts = attempt;
+    reply = commit(stream, batch);
+    if (reply.type != MsgType::kRetryLater) break;
+    if (attempt == policy.max_attempts) break;  // budget exhausted
+    const std::uint64_t steps = policy.backoff_steps(attempt);
+    st.backoff_steps += steps;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(kBackoffStepUs * steps));
+  }
+  st.committed = reply.type == MsgType::kCommitted;
+  if (stats != nullptr) *stats = st;
+  return reply;
+}
+
+Message ServiceClient::verdict(std::uint64_t stream) {
+  Message req;
+  req.type = MsgType::kVerdict;
+  req.stream = stream;
+  return request(req);
+}
+
+Message ServiceClient::close_stream(std::uint64_t stream) {
+  Message req;
+  req.type = MsgType::kClose;
+  req.stream = stream;
+  return request(req);
+}
+
+std::string ServiceClient::analyze(const std::string& history_text) {
+  Message req;
+  req.type = MsgType::kAnalyze;
+  req.text = history_text;
+  const Message reply = request(req);
+  if (reply.type != MsgType::kAnalyzed) {
+    throw ModelError("client: analyze failed: " + to_string(reply.type) +
+                     (reply.text.empty() ? "" : " (" + reply.text + ")"));
+  }
+  return reply.text;
+}
+
+void ServiceClient::drain() {
+  Message req;
+  req.type = MsgType::kDrain;
+  const Message reply = request(req);
+  if (reply.type != MsgType::kDrained) {
+    throw ModelError("client: drain failed: " + to_string(reply.type));
+  }
+}
+
+}  // namespace sia::service

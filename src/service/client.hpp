@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/retry.hpp"
+#include "service/wire.hpp"
+
+/// \file client.hpp
+/// Blocking client for siad: one TCP connection, strict request/reply.
+/// The only unsolicited frame a server ever pushes is the CLOSED final
+/// verdict of a draining stream; the client parks those in drained() so a
+/// load generator can reconcile its own ack counts against the server's
+/// final word (the "nothing dropped silently" audit).
+///
+/// RETRY_LATER is surfaced two ways: commit() returns it verbatim, and
+/// commit_retry() maps it onto the existing fault::RetryPolicy — bounded
+/// exponential backoff with deterministic jitter, one policy "step"
+/// sleeping kBackoffStep so a draining or overloaded shard has real time
+/// to make progress between attempts.
+
+namespace sia::service {
+
+class ServiceClient {
+ public:
+  /// One RetryPolicy backoff step, in microseconds of wall sleep.
+  static constexpr std::uint64_t kBackoffStepUs = 50;
+
+  ServiceClient() = default;
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Connects to \p host (dotted-quad IPv4) : \p port.
+  /// \throws ModelError on failure.
+  void connect(const std::string& host, std::uint16_t port);
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// OPEN_STREAM with bounded retries on RETRY_LATER; returns the stream
+  /// id. \throws ModelError on protocol errors or budget exhaustion.
+  [[nodiscard]] std::uint64_t open_stream(Model model,
+                                          std::uint64_t ceiling = 0);
+
+  /// One COMMIT round-trip. The reply is kCommitted or kRetryLater.
+  Message commit(std::uint64_t stream,
+                 const std::vector<MonitoredCommit>& batch);
+
+  /// commit() with RETRY_LATER mapped onto \p policy. Returns the final
+  /// reply — still kRetryLater if the budget ran out. \p stats (optional)
+  /// reports attempts and backoff served, like RetryingClient::run.
+  Message commit_retry(std::uint64_t stream,
+                       const std::vector<MonitoredCommit>& batch,
+                       const fault::RetryPolicy& policy,
+                       fault::RetryStats* stats = nullptr);
+
+  Message verdict(std::uint64_t stream);
+  Message close_stream(std::uint64_t stream);
+
+  /// ANALYZE round-trip: returns the JSON report.
+  /// \throws ModelError when the server rejects the input.
+  [[nodiscard]] std::string analyze(const std::string& history_text);
+
+  /// DRAIN round-trip: returns once every shard flushed its queue.
+  void drain();
+
+  /// Sends \p request and blocks for its reply. Unsolicited CLOSED frames
+  /// received meanwhile are recorded in drained().
+  Message request(const Message& request);
+
+  /// Final verdicts the server pushed while draining, keyed by stream.
+  [[nodiscard]] const std::map<std::uint64_t, Message>& drained() const {
+    return drained_;
+  }
+
+ private:
+  Message read_message();
+  void send_all(const std::vector<std::uint8_t>& bytes);
+
+  int fd_{-1};
+  FrameDecoder decoder_;
+  std::map<std::uint64_t, Message> drained_;
+};
+
+}  // namespace sia::service

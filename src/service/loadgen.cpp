@@ -1,0 +1,294 @@
+#include "service/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "service/client.hpp"
+#include "workload/generator.hpp"
+
+namespace sia::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The commit sequence for one stream, pre-generated from an SI-engine
+/// run so read sources are engine truth (exactly what an in-process
+/// replay would feed a monitor).
+std::vector<MonitoredCommit> stream_commits(const LoadgenConfig& cfg,
+                                            std::size_t stream_index) {
+  workload::WorkloadSpec spec;
+  spec.num_keys = cfg.num_keys;
+  spec.sessions = 2;
+  spec.txns_per_session = std::max<std::size_t>(1, cfg.txns_per_stream / 2);
+  spec.ops_per_txn = cfg.ops_per_txn;
+  spec.write_ratio = cfg.write_ratio;
+  spec.seed = cfg.seed + stream_index * 7919;
+  spec.concurrent = false;  // deterministic per-stream history
+  const mvcc::RecordedRun run = workload::run_si(spec);
+  return monitored_commits(run.graph);
+}
+
+/// Offline truth: the same batches through a local monitor.
+MonitorVerdict offline_verdict(Model model,
+                               const std::vector<MonitoredCommit>& commits,
+                               std::size_t batch_size, std::size_t batches) {
+  ConsistencyMonitor monitor(model);
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::size_t lo = b * batch_size;
+    const std::size_t hi = std::min(lo + batch_size, commits.size());
+    if (lo >= hi) break;
+    (void)monitor.commit_all_guarded(
+        {commits.begin() + static_cast<std::ptrdiff_t>(lo),
+         commits.begin() + static_cast<std::ptrdiff_t>(hi)});
+  }
+  return monitor.verdict();
+}
+
+struct StreamOutcome {
+  std::uint64_t acked{0};      ///< commits acknowledged (ids minus quarantine)
+  std::uint64_t batches_acked{0};
+  std::uint64_t rejected{0};
+  bool closed_by_server{false};
+  bool have_final{false};
+  Message final_verdict;  ///< kClosed (ours or the server's drain push)
+};
+
+}  // namespace
+
+LoadReport run_load(const LoadgenConfig& cfg) {
+  LoadReport report;
+  report.streams = cfg.connections * cfg.streams_per_connection;
+
+  // Pre-generate all stream traffic before timing starts.
+  std::vector<std::vector<MonitoredCommit>> traffic(report.streams);
+  for (std::size_t s = 0; s < report.streams; ++s) {
+    traffic[s] = stream_commits(cfg, s);
+  }
+
+  std::mutex merge_mutex;
+  std::vector<double> latencies_ms;
+  const auto t0 = Clock::now();
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.connections);
+  for (std::size_t c = 0; c < cfg.connections; ++c) {
+    threads.emplace_back([&, c] {
+      LoadReport local;
+      std::vector<double> local_latencies;
+      ServiceClient client;
+      try {
+        client.connect(cfg.host, cfg.port);
+      } catch (const ModelError&) {
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        ++report.protocol_errors;
+        return;
+      }
+
+      const std::size_t base = c * cfg.streams_per_connection;
+      std::vector<std::uint64_t> stream_ids(cfg.streams_per_connection, 0);
+      std::vector<StreamOutcome> outcomes(cfg.streams_per_connection);
+      std::vector<std::size_t> next_batch(cfg.streams_per_connection, 0);
+      bool connection_dead = false;
+      try {
+        for (std::size_t k = 0; k < cfg.streams_per_connection; ++k) {
+          stream_ids[k] = client.open_stream(cfg.model);
+        }
+      } catch (const ModelError&) {
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        ++report.protocol_errors;
+        return;
+      }
+
+      // Streams advance round-robin, one batch per turn, so every shard
+      // sees interleaved load rather than one stream at a time.
+      bool progressed = true;
+      while (progressed && !connection_dead) {
+        progressed = false;
+        for (std::size_t k = 0;
+             k < cfg.streams_per_connection && !connection_dead; ++k) {
+          const std::vector<MonitoredCommit>& commits = traffic[base + k];
+          StreamOutcome& out = outcomes[k];
+          if (out.closed_by_server || out.rejected > 0) continue;
+          const std::size_t lo = next_batch[k] * cfg.batch_size;
+          if (lo >= commits.size()) continue;
+          const std::size_t hi =
+              std::min(lo + cfg.batch_size, commits.size());
+          const std::vector<MonitoredCommit> batch(
+              commits.begin() + static_cast<std::ptrdiff_t>(lo),
+              commits.begin() + static_cast<std::ptrdiff_t>(hi));
+          local.commits_sent += batch.size();
+          ++local.batches;
+          fault::RetryStats rs;
+          const auto rt0 = Clock::now();
+          Message reply;
+          try {
+            reply = client.commit_retry(stream_ids[k], batch, cfg.retry, &rs);
+          } catch (const ModelError&) {
+            // Server drained (or died) under us; the batch was never
+            // acked — count it rejected, not lost.
+            local.drained_mid_run = true;
+            ++local.rejected;
+            connection_dead = true;
+            break;
+          }
+          local_latencies.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - rt0)
+                  .count());
+          local.retry_later += rs.attempts - 1;
+          if (reply.type == MsgType::kCommitted) {
+            out.acked += reply.ids.size() - reply.quarantined.size();
+            ++out.batches_acked;
+            ++next_batch[k];
+            progressed = true;
+          } else if (reply.type == MsgType::kRetryLater) {
+            ++local.rejected;
+            ++out.rejected;
+          } else {
+            ++local.protocol_errors;
+            ++out.rejected;
+          }
+        }
+      }
+
+      // Close every stream for its final verdict; on a drained server the
+      // pushed CLOSED frames in client.drained() stand in.
+      for (std::size_t k = 0; k < cfg.streams_per_connection; ++k) {
+        StreamOutcome& out = outcomes[k];
+        if (!connection_dead) {
+          try {
+            Message closed = client.close_stream(stream_ids[k]);
+            if (closed.type == MsgType::kClosed) {
+              out.final_verdict = std::move(closed);
+              out.have_final = true;
+            } else if (closed.type != MsgType::kRetryLater) {
+              ++local.protocol_errors;
+            }
+          } catch (const ModelError&) {
+            local.drained_mid_run = true;
+            connection_dead = true;
+          }
+        }
+        if (!out.have_final) {
+          const auto it = client.drained().find(stream_ids[k]);
+          if (it != client.drained().end()) {
+            out.final_verdict = it->second;
+            out.have_final = true;
+          }
+        }
+      }
+
+      // Audit: the server's final commit count must equal what we saw
+      // acked (nothing dropped silently, nothing invented), and its
+      // verdict must equal the offline replay of the acked prefix.
+      for (std::size_t k = 0; k < cfg.streams_per_connection; ++k) {
+        const StreamOutcome& out = outcomes[k];
+        local.commits_acked += out.acked;
+        if (!out.have_final) continue;
+        if (out.final_verdict.commit_count != out.acked) {
+          ++local.ack_count_mismatches;
+        }
+        const MonitorVerdict expected =
+            offline_verdict(cfg.model, traffic[base + k], cfg.batch_size,
+                            out.batches_acked);
+        if (static_cast<MonitorVerdict>(out.final_verdict.verdict) !=
+            expected) {
+          ++local.verdict_mismatches;
+        }
+      }
+
+      const std::lock_guard<std::mutex> lock(merge_mutex);
+      report.commits_sent += local.commits_sent;
+      report.commits_acked += local.commits_acked;
+      report.batches += local.batches;
+      report.retry_later += local.retry_later;
+      report.rejected += local.rejected;
+      report.protocol_errors += local.protocol_errors;
+      report.verdict_mismatches += local.verdict_mismatches;
+      report.ack_count_mismatches += local.ack_count_mismatches;
+      report.drained_mid_run = report.drained_mid_run || local.drained_mid_run;
+      latencies_ms.insert(latencies_ms.end(), local_latencies.begin(),
+                          local_latencies.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  report.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  report.commits_per_sec =
+      report.seconds > 0
+          ? static_cast<double>(report.commits_acked) / report.seconds
+          : 0.0;
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    const auto pct = [&latencies_ms](double p) {
+      const std::size_t i = std::min(
+          latencies_ms.size() - 1,
+          static_cast<std::size_t>(p * static_cast<double>(
+                                           latencies_ms.size())));
+      return latencies_ms[i];
+    };
+    report.p50_ms = pct(0.50);
+    report.p99_ms = pct(0.99);
+  }
+  return report;
+}
+
+bool clean(const LoadReport& r) {
+  return r.protocol_errors == 0 && r.verdict_mismatches == 0 &&
+         r.ack_count_mismatches == 0;
+}
+
+std::string to_json(const LoadgenConfig& cfg, const LoadReport& r) {
+  std::ostringstream out;
+  char num[64];
+  const auto f2 = [&num](double v) {
+    std::snprintf(num, sizeof(num), "%.3f", v);
+    return std::string(num);
+  };
+  out << "{\"connections\": " << cfg.connections
+      << ", \"streams\": " << r.streams
+      << ", \"txns_per_stream\": " << cfg.txns_per_stream
+      << ", \"batch_size\": " << cfg.batch_size
+      << ", \"commits_acked\": " << r.commits_acked
+      << ", \"commits_per_sec\": " << f2(r.commits_per_sec)
+      << ", \"p50_ms\": " << f2(r.p50_ms) << ", \"p99_ms\": " << f2(r.p99_ms)
+      << ", \"retry_later\": " << r.retry_later
+      << ", \"rejected\": " << r.rejected
+      << ", \"protocol_errors\": " << r.protocol_errors
+      << ", \"verdict_mismatches\": " << r.verdict_mismatches
+      << ", \"ack_count_mismatches\": " << r.ack_count_mismatches
+      << ", \"seconds\": " << f2(r.seconds) << "}";
+  return out.str();
+}
+
+void print_report(const LoadgenConfig& cfg, const LoadReport& r) {
+  std::printf(
+      "sia_loadgen: %zu connections x %zu streams (%s), %zu txns/stream, "
+      "batch %zu\n",
+      cfg.connections, cfg.streams_per_connection,
+      to_string(cfg.model).c_str(), cfg.txns_per_stream, cfg.batch_size);
+  std::printf("  commits  : %llu sent, %llu acked, %llu batches\n",
+              static_cast<unsigned long long>(r.commits_sent),
+              static_cast<unsigned long long>(r.commits_acked),
+              static_cast<unsigned long long>(r.batches));
+  std::printf("  backoff  : %llu RETRY_LATER absorbed, %llu rejected%s\n",
+              static_cast<unsigned long long>(r.retry_later),
+              static_cast<unsigned long long>(r.rejected),
+              r.drained_mid_run ? " (server drained mid-run)" : "");
+  std::printf("  latency  : p50 %.3f ms, p99 %.3f ms\n", r.p50_ms, r.p99_ms);
+  std::printf("  rate     : %.0f commits/sec over %.3f s\n",
+              r.commits_per_sec, r.seconds);
+  std::printf(
+      "  audit    : %llu protocol errors, %llu verdict mismatches, "
+      "%llu ack-count mismatches -> %s\n",
+      static_cast<unsigned long long>(r.protocol_errors),
+      static_cast<unsigned long long>(r.verdict_mismatches),
+      static_cast<unsigned long long>(r.ack_count_mismatches),
+      clean(r) ? "clean" : "NOT CLEAN");
+}
+
+}  // namespace sia::service

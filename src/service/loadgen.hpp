@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/retry.hpp"
+#include "graph/monitor.hpp"
+
+/// \file loadgen.hpp
+/// The sia_loadgen core: drives a live siad with N connections × M
+/// streams of engine-generated commit traffic, measures commit-request
+/// latency (p50/p99) and throughput, and audits the service against an
+/// offline replay — every stream's commits are also fed through a local
+/// ConsistencyMonitor with the same batching, and the server's final
+/// verdict, violating id and commit count must match. Built as a library
+/// so the CLI driver and bench_service_throughput share one harness.
+
+namespace sia::service {
+
+struct LoadgenConfig {
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{7401};
+  std::size_t connections{4};
+  std::size_t streams_per_connection{2};
+  /// Committed transactions fed per stream (workload-generated).
+  std::size_t txns_per_stream{64};
+  /// Commits per COMMIT request.
+  std::size_t batch_size{8};
+  Model model{Model::kSI};
+  std::uint32_t num_keys{16};
+  std::size_t ops_per_txn{4};
+  double write_ratio{0.5};
+  std::uint64_t seed{42};
+  fault::RetryPolicy retry{};
+};
+
+struct LoadReport {
+  std::size_t streams{0};
+  std::uint64_t commits_sent{0};
+  std::uint64_t commits_acked{0};  ///< acked by COMMITTED (minus quarantined)
+  std::uint64_t batches{0};
+  std::uint64_t retry_later{0};  ///< RETRY_LATER replies absorbed by backoff
+  std::uint64_t rejected{0};     ///< batches given up on (budget / drain)
+  std::uint64_t protocol_errors{0};
+  std::uint64_t verdict_mismatches{0};  ///< server vs offline replay
+  std::uint64_t ack_count_mismatches{0};  ///< server count != client count
+  bool drained_mid_run{false};  ///< server drained under us (expected on
+                                ///< SIGTERM tests, an event otherwise)
+  double seconds{0.0};
+  double commits_per_sec{0.0};
+  double p50_ms{0.0};
+  double p99_ms{0.0};
+};
+
+/// Runs the workload against a live server. Never throws for server-side
+/// overload or drain — those are counted; throws ModelError only when the
+/// server is unreachable at startup.
+[[nodiscard]] LoadReport run_load(const LoadgenConfig& cfg);
+
+/// True when the run is clean: no protocol errors, no verdict or ack-count
+/// mismatches. (RETRY_LATER and drain are normal operation, not failures.)
+[[nodiscard]] bool clean(const LoadReport& r);
+
+[[nodiscard]] std::string to_json(const LoadgenConfig& cfg,
+                                  const LoadReport& r);
+
+void print_report(const LoadgenConfig& cfg, const LoadReport& r);
+
+}  // namespace sia::service

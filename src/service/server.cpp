@@ -1,0 +1,545 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "core/parallel.hpp"
+#include "tools/analysis_json.hpp"
+
+namespace sia::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw ModelError("siad: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+/// One accepted socket. The IO thread owns the read side (decoder);
+/// workers and the IO thread both write replies, serialised by
+/// write_mutex. Closed fds are owned by the destructor so that a worker
+/// holding a Job's shared_ptr can still (fail to) reply after the IO
+/// thread dropped the connection.
+struct Server::Connection {
+  int fd{-1};
+  FrameDecoder decoder;
+  std::mutex write_mutex;
+  std::atomic<bool> open{true};
+
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// Blocking, serialised frame write; the socket is non-blocking (epoll
+  /// read side), so EAGAIN waits for writability. Returns false once the
+  /// peer is gone — replies to dead clients are dropped, not errors.
+  bool send_message(const Message& m) {
+    const std::vector<std::uint8_t> frame = encode_frame(m);
+    const std::lock_guard<std::mutex> lock(write_mutex);
+    if (!open.load(std::memory_order_acquire)) return false;
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n =
+          ::send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        struct pollfd p{fd, POLLOUT, 0};
+        (void)::poll(&p, 1, 1000);
+        continue;
+      }
+      open.store(false, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+};
+
+/// One stream: a monitor plus the connection final verdicts go to.
+struct Server::StreamState {
+  ConsistencyMonitor monitor;
+  std::weak_ptr<Connection> owner;
+
+  StreamState(Model m, std::weak_ptr<Connection> conn)
+      : monitor(m), owner(std::move(conn)) {}
+};
+
+struct Server::Job {
+  std::shared_ptr<Connection> conn;
+  Message msg;
+  /// kDrain barrier: the last shard to see it sends DRAINED.
+  std::shared_ptr<std::atomic<std::size_t>> barrier;
+  /// Shutdown sentinel; always the queue's last entry.
+  bool stop{false};
+};
+
+struct Server::Shard {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Job> queue;
+  /// Once true no further job is admitted (the stop sentinel is queued).
+  bool stopping{false};
+  /// Streams owned by this shard; only its worker thread touches them.
+  std::unordered_map<std::uint64_t, StreamState> streams;
+  std::thread thread;
+};
+
+Server::Server(ServerConfig cfg) : cfg_(cfg) {
+  if (cfg_.shards == 0) cfg_.shards = parallel_thread_count();
+  if (cfg_.queue_capacity == 0) cfg_.queue_capacity = 1;
+}
+
+Server::~Server() {
+  try {
+    drain();
+  } catch (...) {
+    // Destructor: nothing sensible left to do with a teardown failure.
+  }
+}
+
+void Server::start() {
+  const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (started_) return;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(cfg_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw_errno("bind to port " + std::to_string(cfg_.port));
+  }
+  if (::listen(listen_fd_, 128) < 0) throw_errno("listen");
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) throw_errno("eventfd");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    throw_errno("epoll_ctl(listen)");
+  }
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    throw_errno("epoll_ctl(wake)");
+  }
+
+  shards_.reserve(cfg_.shards);
+  for (std::size_t i = 0; i < cfg_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([this, s = shard.get()] { shard_loop(*s); });
+  }
+  io_thread_ = std::thread([this] { io_loop(); });
+  started_ = true;
+}
+
+void Server::drain() {
+  const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (!started_ || stopped_) return;
+  draining_.store(true, std::memory_order_release);
+
+  // 1. Stop accepting: pull the listen socket out of the loop. The IO
+  //    thread keeps running — in-flight requests still get replies, and
+  //    anything arriving from here on is answered RETRY_LATER.
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+
+  // 2. Flush every shard: admit nothing more, queue the stop sentinel
+  //    behind the backlog. FIFO order means every admitted job is
+  //    processed — and acknowledged — before the shard finalises.
+  for (auto& shard : shards_) {
+    {
+      const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+      shard->stopping = true;
+      shard->queue.push_back(Job{nullptr, Message{}, nullptr, /*stop=*/true});
+    }
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+
+  // 3. Stop the IO thread; it closes the connections on the way out.
+  io_stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+  if (io_thread_.joinable()) io_thread_.join();
+
+  ::close(listen_fd_);
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+  listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+  stopped_ = true;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections = n_connections_.load(std::memory_order_relaxed);
+  s.frames = n_frames_.load(std::memory_order_relaxed);
+  s.commits = n_commits_.load(std::memory_order_relaxed);
+  s.retry_later = n_retry_later_.load(std::memory_order_relaxed);
+  s.malformed = n_malformed_.load(std::memory_order_relaxed);
+  s.errors = n_errors_.load(std::memory_order_relaxed);
+  s.analyzes = n_analyzes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::io_loop() {
+  std::array<epoll_event, 64> events;
+  std::array<std::uint8_t, 16384> buf;
+  while (!io_stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), 200);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        std::uint64_t drainv = 0;
+        (void)!::read(wake_fd_, &drainv, sizeof(drainv));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        for (;;) {
+          const int cfd =
+              ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+          if (cfd < 0) break;
+          const int one = 1;
+          (void)::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one,
+                             sizeof(one));
+          epoll_event ev{};
+          ev.events = EPOLLIN;
+          ev.data.fd = cfd;
+          if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &ev) == 0) {
+            connections_.emplace(cfd, std::make_shared<Connection>(cfd));
+            n_connections_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            ::close(cfd);
+          }
+        }
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      const std::shared_ptr<Connection> conn = it->second;
+      bool closed = false;
+      for (;;) {
+        const ssize_t r = ::recv(fd, buf.data(), buf.size(), 0);
+        if (r > 0) {
+          conn->decoder.feed(buf.data(), static_cast<std::size_t>(r));
+          continue;
+        }
+        if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (r < 0 && errno == EINTR) continue;
+        closed = true;  // orderly EOF or a hard error
+        break;
+      }
+      // Drain the decoder even when the peer already closed: pipelined
+      // requests that made it in are still served.
+      for (;;) {
+        Message msg;
+        std::string error;
+        const FrameDecoder::Status st = conn->decoder.next(msg, &error);
+        if (st == FrameDecoder::Status::kNeedMore) break;
+        if (st == FrameDecoder::Status::kMalformed) {
+          n_malformed_.fetch_add(1, std::memory_order_relaxed);
+          Message reply;
+          reply.type = MsgType::kMalformed;
+          reply.text = error;
+          (void)conn->send_message(reply);
+          closed = true;  // cannot resync a byte stream after a bad frame
+          break;
+        }
+        n_frames_.fetch_add(1, std::memory_order_relaxed);
+        dispatch(conn, std::move(msg));
+      }
+      if (closed) close_connection(fd);
+    }
+  }
+  // Teardown: mark peers closed and drop them.
+  for (auto& [fd, conn] : connections_) {
+    conn->open.store(false, std::memory_order_release);
+  }
+  connections_.clear();
+}
+
+void Server::close_connection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  it->second->open.store(false, std::memory_order_release);
+  connections_.erase(it);  // fd closed by ~Connection when workers let go
+}
+
+void Server::reply_retry_later(const std::shared_ptr<Connection>& conn,
+                               std::uint64_t stream) {
+  n_retry_later_.fetch_add(1, std::memory_order_relaxed);
+  Message reply;
+  reply.type = MsgType::kRetryLater;
+  reply.stream = stream;
+  (void)conn->send_message(reply);
+}
+
+bool Server::try_enqueue(Shard& shard, Job&& job) {
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.stopping || shard.queue.size() >= cfg_.queue_capacity) {
+      return false;
+    }
+    shard.queue.push_back(std::move(job));
+  }
+  shard.cv.notify_one();
+  return true;
+}
+
+void Server::dispatch(const std::shared_ptr<Connection>& conn,
+                      Message&& msg) {
+  if (!is_request(msg.type)) {
+    n_errors_.fetch_add(1, std::memory_order_relaxed);
+    Message reply;
+    reply.type = MsgType::kError;
+    reply.text = "not a request: " + to_string(msg.type);
+    (void)conn->send_message(reply);
+    return;
+  }
+  const bool draining = draining_.load(std::memory_order_acquire);
+  switch (msg.type) {
+    case MsgType::kOpenStream: {
+      if (draining) {
+        reply_retry_later(conn, 0);
+        return;
+      }
+      const std::uint64_t id =
+          next_stream_.fetch_add(1, std::memory_order_relaxed);
+      msg.stream = id;
+      Shard& shard = *shards_[id % shards_.size()];
+      if (!try_enqueue(shard, Job{conn, std::move(msg), nullptr})) {
+        reply_retry_later(conn, 0);
+      }
+      return;
+    }
+    case MsgType::kCommit:
+    case MsgType::kVerdict:
+    case MsgType::kClose: {
+      if (draining) {
+        reply_retry_later(conn, msg.stream);
+        return;
+      }
+      const std::uint64_t stream = msg.stream;
+      Shard& shard = *shards_[stream % shards_.size()];
+      if (!try_enqueue(shard, Job{conn, std::move(msg), nullptr})) {
+        reply_retry_later(conn, stream);
+      }
+      return;
+    }
+    case MsgType::kAnalyze: {
+      if (draining) {
+        reply_retry_later(conn, 0);
+        return;
+      }
+      const std::size_t s =
+          analyze_rr_.fetch_add(1, std::memory_order_relaxed) %
+          shards_.size();
+      if (!try_enqueue(*shards_[s], Job{conn, std::move(msg), nullptr})) {
+        reply_retry_later(conn, 0);
+      }
+      return;
+    }
+    case MsgType::kDrain: {
+      if (draining) {
+        // Queues are being flushed anyway; answer directly.
+        Message reply;
+        reply.type = MsgType::kDrained;
+        (void)conn->send_message(reply);
+        return;
+      }
+      // A flush barrier through every shard; force-enqueued (control
+      // traffic must not starve behind the very backlog it flushes).
+      auto barrier =
+          std::make_shared<std::atomic<std::size_t>>(shards_.size());
+      for (auto& shard : shards_) {
+        {
+          const std::lock_guard<std::mutex> lock(shard->mutex);
+          if (shard->stopping) {
+            // drain() raced us; its flush supersedes this one.
+            if (barrier->fetch_sub(1) == 1) {
+              Message reply;
+              reply.type = MsgType::kDrained;
+              (void)conn->send_message(reply);
+            }
+            continue;
+          }
+          shard->queue.push_back(Job{conn, Message{msg}, barrier});
+        }
+        shard->cv.notify_one();
+      }
+      return;
+    }
+    default:
+      return;  // unreachable: is_request() filtered
+  }
+}
+
+Message Server::verdict_reply(MsgType type, std::uint64_t stream,
+                              const ConsistencyMonitor& monitor) {
+  Message reply;
+  reply.type = type;
+  reply.stream = stream;
+  reply.verdict = static_cast<std::uint8_t>(monitor.verdict());
+  reply.commit_count = monitor.size();
+  reply.capacity = monitor.capacity();
+  reply.violating = monitor.violating_commit().value_or(0);
+  reply.text = monitor.violation_detail();
+  return reply;
+}
+
+void Server::shard_loop(Shard& shard) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      shard.cv.wait(lock, [&shard] { return !shard.queue.empty(); });
+      job = std::move(shard.queue.front());
+      shard.queue.pop_front();
+    }
+    if (job.stop) {
+      finalize_streams(shard);
+      return;
+    }
+    if (cfg_.worker_delay_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(cfg_.worker_delay_us));
+    }
+    process(shard, job);
+  }
+}
+
+void Server::process(Shard& shard, const Job& job) {
+  const Message& msg = job.msg;
+  Message reply;
+  switch (msg.type) {
+    case MsgType::kOpenStream: {
+      const auto model = static_cast<Model>(msg.model);
+      StreamState state(model, job.conn);
+      state.monitor.set_max_transactions(
+          msg.capacity != 0 ? msg.capacity : cfg_.stream_ceiling);
+      shard.streams.emplace(msg.stream, std::move(state));
+      reply.type = MsgType::kStreamOpened;
+      reply.stream = msg.stream;
+      break;
+    }
+    case MsgType::kCommit: {
+      auto it = shard.streams.find(msg.stream);
+      if (it == shard.streams.end()) {
+        n_errors_.fetch_add(1, std::memory_order_relaxed);
+        reply.type = MsgType::kError;
+        reply.stream = msg.stream;
+        reply.text = "unknown stream " + std::to_string(msg.stream);
+        break;
+      }
+      ConsistencyMonitor& monitor = it->second.monitor;
+      const BatchResult r = monitor.commit_all_guarded(msg.commits);
+      n_commits_.fetch_add(msg.commits.size(), std::memory_order_relaxed);
+      reply.type = MsgType::kCommitted;
+      reply.stream = msg.stream;
+      reply.verdict = static_cast<std::uint8_t>(monitor.verdict());
+      reply.ids = r.ids;
+      reply.quarantined.assign(r.quarantined.begin(), r.quarantined.end());
+      break;
+    }
+    case MsgType::kVerdict: {
+      auto it = shard.streams.find(msg.stream);
+      if (it == shard.streams.end()) {
+        n_errors_.fetch_add(1, std::memory_order_relaxed);
+        reply.type = MsgType::kError;
+        reply.stream = msg.stream;
+        reply.text = "unknown stream " + std::to_string(msg.stream);
+        break;
+      }
+      reply = verdict_reply(MsgType::kVerdictReply, msg.stream,
+                            it->second.monitor);
+      break;
+    }
+    case MsgType::kClose: {
+      auto it = shard.streams.find(msg.stream);
+      if (it == shard.streams.end()) {
+        n_errors_.fetch_add(1, std::memory_order_relaxed);
+        reply.type = MsgType::kError;
+        reply.stream = msg.stream;
+        reply.text = "unknown stream " + std::to_string(msg.stream);
+        break;
+      }
+      reply = verdict_reply(MsgType::kClosed, msg.stream, it->second.monitor);
+      shard.streams.erase(it);
+      break;
+    }
+    case MsgType::kAnalyze: {
+      n_analyzes_.fetch_add(1, std::memory_order_relaxed);
+      if (job.barrier == nullptr) {
+        try {
+          const HistoryAnalysis a = analyze_history_text(msg.text);
+          reply.type = MsgType::kAnalyzed;
+          reply.text = to_json(a);
+        } catch (const ModelError& e) {
+          n_errors_.fetch_add(1, std::memory_order_relaxed);
+          reply.type = MsgType::kError;
+          reply.text = e.what();
+        }
+      }
+      break;
+    }
+    case MsgType::kDrain: {
+      if (job.barrier != nullptr && job.barrier->fetch_sub(1) == 1) {
+        reply.type = MsgType::kDrained;
+        break;
+      }
+      return;  // not the last shard: no reply yet
+    }
+    default:
+      return;
+  }
+  if (job.conn != nullptr) (void)job.conn->send_message(reply);
+}
+
+void Server::finalize_streams(Shard& shard) {
+  for (auto& [id, state] : shard.streams) {
+    const std::shared_ptr<Connection> conn = state.owner.lock();
+    if (conn == nullptr) continue;
+    (void)conn->send_message(
+        verdict_reply(MsgType::kClosed, id, state.monitor));
+  }
+  shard.streams.clear();
+}
+
+}  // namespace sia::service

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/wire.hpp"
+
+/// \file server.hpp
+/// siad's engine: a POSIX-sockets SI-checking service. One epoll IO
+/// thread accepts connections and decodes frames; streams are sharded
+/// across worker threads by stream id (shard = id mod #shards, #shards
+/// defaulting to core/parallel's thread count), each shard owning its
+/// streams' ConsistencyMonitor instances outright — no cross-thread
+/// monitor access, FIFO per shard, hence per-stream request order is the
+/// ingestion order.
+///
+/// Admission control: each shard has a bounded job queue; a request whose
+/// shard is full is answered RETRY_LATER from the IO thread without ever
+/// touching the shard (overload sheds work at the door, it does not grow
+/// queues). Commit batches go through commit_all_guarded, so malformed
+/// client input is quarantined per commit, never fatal to the stream,
+/// let alone the server.
+///
+/// Graceful drain (SIGTERM in siad, or drain()): stop accepting, reject
+/// new work with RETRY_LATER, flush every shard queue — every in-flight
+/// commit is acknowledged — then push a final CLOSED verdict frame for
+/// each still-open stream to its owning connection and shut down. Nothing
+/// is dropped silently: a commit is either acked, or its client heard
+/// RETRY_LATER / saw the connection refuse it.
+
+namespace sia::service {
+
+struct ServerConfig {
+  /// TCP port; 0 binds an ephemeral port (see Server::port()).
+  std::uint16_t port{0};
+  /// Worker shards; 0 = sia::parallel_thread_count().
+  std::size_t shards{0};
+  /// Bounded per-shard queue (requests); beyond it, RETRY_LATER.
+  std::size_t queue_capacity{256};
+  /// Default ConsistencyMonitor ceiling per stream (0 = unlimited);
+  /// OPEN_STREAM may lower/raise its own stream's ceiling.
+  std::size_t stream_ceiling{0};
+  /// Artificial per-job service delay in microseconds. 0 in production;
+  /// tests and overload experiments use it to fill shard queues
+  /// deterministically and observe the RETRY_LATER path.
+  std::uint64_t worker_delay_us{0};
+};
+
+struct ServerStats {
+  std::uint64_t connections{0};
+  std::uint64_t frames{0};
+  std::uint64_t commits{0};      ///< individual commits ingested
+  std::uint64_t retry_later{0};  ///< backpressure replies sent
+  std::uint64_t malformed{0};    ///< frames rejected by the decoder
+  std::uint64_t errors{0};       ///< ERROR replies (unknown stream etc.)
+  std::uint64_t analyzes{0};
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the IO and shard threads.
+  /// \throws ModelError on socket errors.
+  void start();
+
+  /// The bound port (after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Graceful shutdown as described above. Idempotent; blocks until all
+  /// threads have exited. ~Server calls it.
+  void drain();
+
+  [[nodiscard]] bool running() const { return started_ && !stopped_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Connection;
+  struct StreamState;
+  struct Job;
+  struct Shard;
+
+  void io_loop();
+  void shard_loop(Shard& shard);
+  void dispatch(const std::shared_ptr<Connection>& conn, Message&& msg);
+  bool try_enqueue(Shard& shard, Job&& job);
+  void process(Shard& shard, const Job& job);
+  void finalize_streams(Shard& shard);
+  void close_connection(int fd);
+  void reply_retry_later(const std::shared_ptr<Connection>& conn,
+                         std::uint64_t stream);
+  static Message verdict_reply(MsgType type, std::uint64_t stream,
+                               const ConsistencyMonitor& monitor);
+
+  ServerConfig cfg_;
+  std::uint16_t port_{0};
+  int listen_fd_{-1};
+  int epoll_fd_{-1};
+  int wake_fd_{-1};
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::thread io_thread_;
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+
+  std::atomic<std::uint64_t> next_stream_{1};
+  std::atomic<std::size_t> analyze_rr_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> io_stop_{false};
+  bool started_{false};
+  bool stopped_{false};
+  std::mutex lifecycle_mutex_;
+
+  // Stats counters (relaxed; read via stats()).
+  std::atomic<std::uint64_t> n_connections_{0};
+  std::atomic<std::uint64_t> n_frames_{0};
+  std::atomic<std::uint64_t> n_commits_{0};
+  std::atomic<std::uint64_t> n_retry_later_{0};
+  std::atomic<std::uint64_t> n_malformed_{0};
+  std::atomic<std::uint64_t> n_errors_{0};
+  std::atomic<std::uint64_t> n_analyzes_{0};
+};
+
+}  // namespace sia::service

@@ -1,0 +1,339 @@
+#include "service/wire.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace sia::service {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked little-endian reader (the RecorderLog Cursor).
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos{0};
+
+  [[nodiscard]] std::size_t remaining() const { return size - pos; }
+
+  bool u8(std::uint8_t& v) {
+    if (pos + 1 > size) return false;
+    v = data[pos++];
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (pos + 4 > size) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (pos + 8 > size) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+  bool string(std::string& s) {
+    std::uint32_t n = 0;
+    if (!u32(n) || n > remaining()) return false;
+    s.assign(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return true;
+  }
+  /// Reads a count that precedes elements of at least \p elem_bytes each;
+  /// rejecting counts the remaining bytes cannot possibly hold bounds
+  /// every subsequent reserve() by the actual input size.
+  bool count(std::uint32_t& n, std::size_t elem_bytes) {
+    if (!u32(n)) return false;
+    return static_cast<std::size_t>(n) <= remaining() / elem_bytes;
+  }
+};
+
+void put_commit(std::vector<std::uint8_t>& out, const MonitoredCommit& c) {
+  put_u32(out, c.session);
+  put_u32(out, static_cast<std::uint32_t>(c.txn.size()));
+  for (const Event& e : c.txn.events()) {
+    put_u8(out, static_cast<std::uint8_t>(e.kind));
+    put_u32(out, e.obj);
+    put_u64(out, static_cast<std::uint64_t>(e.value));
+  }
+  put_u32(out, static_cast<std::uint32_t>(c.read_sources.size()));
+  for (const auto& [obj, src] : c.read_sources) {
+    put_u32(out, obj);
+    put_u32(out, src);
+  }
+}
+
+bool get_commit(Cursor& c, MonitoredCommit& out) {
+  out = MonitoredCommit{};
+  if (!c.u32(out.session)) return false;
+  std::uint32_t n = 0;
+  if (!c.count(n, 13)) return false;  // u8 kind + u32 obj + u64 value
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint8_t kind = 0;
+    std::uint32_t obj = 0;
+    std::uint64_t value = 0;
+    if (!c.u8(kind) || !c.u32(obj) || !c.u64(value)) return false;
+    if (kind > static_cast<std::uint8_t>(EventKind::kWrite)) return false;
+    out.txn.append(Event{static_cast<EventKind>(kind), obj,
+                         static_cast<Value>(value)});
+  }
+  if (!c.count(n, 8)) return false;  // u32 obj + u32 source
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint32_t obj = 0;
+    std::uint32_t src = 0;
+    if (!c.u32(obj) || !c.u32(src)) return false;
+    out.read_sources[obj] = src;
+  }
+  return true;
+}
+
+/// A verdict-shaped reply body (kVerdictReply and kClosed share it).
+void put_verdict_body(std::vector<std::uint8_t>& out, const Message& m) {
+  put_u64(out, m.stream);
+  put_u8(out, m.verdict);
+  put_u64(out, m.commit_count);
+  put_u64(out, m.capacity);
+  put_u32(out, m.violating);
+  put_string(out, m.text);
+}
+
+bool get_verdict_body(Cursor& c, Message& out) {
+  return c.u64(out.stream) && c.u8(out.verdict) && out.verdict <= 2 &&
+         c.u64(out.commit_count) && c.u64(out.capacity) &&
+         c.u32(out.violating) && c.string(out.text);
+}
+
+}  // namespace
+
+bool is_request(MsgType t) {
+  switch (t) {
+    case MsgType::kOpenStream:
+    case MsgType::kCommit:
+    case MsgType::kVerdict:
+    case MsgType::kAnalyze:
+    case MsgType::kClose:
+    case MsgType::kDrain:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kOpenStream: return "OPEN_STREAM";
+    case MsgType::kCommit: return "COMMIT";
+    case MsgType::kVerdict: return "VERDICT";
+    case MsgType::kAnalyze: return "ANALYZE";
+    case MsgType::kClose: return "CLOSE";
+    case MsgType::kDrain: return "DRAIN";
+    case MsgType::kStreamOpened: return "STREAM_OPENED";
+    case MsgType::kCommitted: return "COMMITTED";
+    case MsgType::kVerdictReply: return "VERDICT_REPLY";
+    case MsgType::kAnalyzed: return "ANALYZED";
+    case MsgType::kClosed: return "CLOSED";
+    case MsgType::kDrained: return "DRAINED";
+    case MsgType::kRetryLater: return "RETRY_LATER";
+    case MsgType::kMalformed: return "MALFORMED";
+    case MsgType::kError: return "ERROR";
+  }
+  return "UNKNOWN(" + std::to_string(static_cast<unsigned>(t)) + ")";
+}
+
+std::uint32_t wire_crc32(const std::uint8_t* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode_payload(const Message& m) {
+  std::vector<std::uint8_t> out;
+  put_u8(out, static_cast<std::uint8_t>(m.type));
+  switch (m.type) {
+    case MsgType::kOpenStream:
+      put_u8(out, m.model);
+      put_u64(out, m.capacity);
+      break;
+    case MsgType::kCommit:
+      put_u64(out, m.stream);
+      put_u32(out, static_cast<std::uint32_t>(m.commits.size()));
+      for (const MonitoredCommit& c : m.commits) put_commit(out, c);
+      break;
+    case MsgType::kVerdict:
+    case MsgType::kClose:
+    case MsgType::kStreamOpened:
+    case MsgType::kRetryLater:
+      put_u64(out, m.stream);
+      break;
+    case MsgType::kAnalyze:
+    case MsgType::kAnalyzed:
+    case MsgType::kMalformed:
+    case MsgType::kError:
+      put_string(out, m.text);
+      break;
+    case MsgType::kDrain:
+    case MsgType::kDrained:
+      break;
+    case MsgType::kCommitted:
+      put_u64(out, m.stream);
+      put_u8(out, m.verdict);
+      put_u32(out, static_cast<std::uint32_t>(m.ids.size()));
+      for (const TxnId id : m.ids) put_u32(out, id);
+      put_u32(out, static_cast<std::uint32_t>(m.quarantined.size()));
+      for (const std::uint32_t q : m.quarantined) put_u32(out, q);
+      break;
+    case MsgType::kVerdictReply:
+    case MsgType::kClosed:
+      put_verdict_body(out, m);
+      break;
+  }
+  return out;
+}
+
+bool decode_payload(const std::uint8_t* data, std::size_t size,
+                    Message& out) {
+  Cursor c{data, size};
+  out = Message{};
+  std::uint8_t type = 0;
+  if (!c.u8(type)) return false;
+  out.type = static_cast<MsgType>(type);
+  std::uint32_t n = 0;
+  switch (out.type) {
+    case MsgType::kOpenStream:
+      if (!c.u8(out.model) || out.model > 2 || !c.u64(out.capacity)) {
+        return false;
+      }
+      break;
+    case MsgType::kCommit: {
+      // A commit is at least session + two counts = 12 bytes.
+      if (!c.u64(out.stream) || !c.count(n, 12)) return false;
+      out.commits.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!get_commit(c, out.commits[i])) return false;
+      }
+      break;
+    }
+    case MsgType::kVerdict:
+    case MsgType::kClose:
+    case MsgType::kStreamOpened:
+    case MsgType::kRetryLater:
+      if (!c.u64(out.stream)) return false;
+      break;
+    case MsgType::kAnalyze:
+    case MsgType::kAnalyzed:
+    case MsgType::kMalformed:
+    case MsgType::kError:
+      if (!c.string(out.text)) return false;
+      break;
+    case MsgType::kDrain:
+    case MsgType::kDrained:
+      break;
+    case MsgType::kCommitted: {
+      if (!c.u64(out.stream) || !c.u8(out.verdict) || out.verdict > 2) {
+        return false;
+      }
+      if (!c.count(n, 4)) return false;
+      out.ids.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!c.u32(out.ids[i])) return false;
+      }
+      if (!c.count(n, 4)) return false;
+      out.quarantined.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (!c.u32(out.quarantined[i])) return false;
+      }
+      break;
+    }
+    case MsgType::kVerdictReply:
+    case MsgType::kClosed:
+      if (!get_verdict_body(c, out)) return false;
+      break;
+    default:
+      return false;  // unknown message type
+  }
+  return c.pos == c.size;  // trailing garbage means a framing bug
+}
+
+std::vector<std::uint8_t> encode_frame(const Message& m) {
+  const std::vector<std::uint8_t> payload = encode_payload(m);
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + 8);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, wire_crc32(payload.data(), payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameDecoder::Status FrameDecoder::next(Message& out, std::string* error) {
+  // Reclaim consumed prefix once it dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  if (buffered() < 8) return Status::kNeedMore;
+  Cursor header{buf_.data() + pos_, 8};
+  std::uint32_t len = 0;
+  std::uint32_t sum = 0;
+  (void)header.u32(len);
+  (void)header.u32(sum);
+  if (len > kMaxFramePayload) {
+    if (error != nullptr) {
+      *error = "oversized frame (" + std::to_string(len) + " bytes)";
+    }
+    return Status::kMalformed;
+  }
+  if (buffered() - 8 < len) return Status::kNeedMore;
+  const std::uint8_t* payload = buf_.data() + pos_ + 8;
+  if (wire_crc32(payload, len) != sum) {
+    if (error != nullptr) *error = "frame checksum mismatch";
+    return Status::kMalformed;
+  }
+  if (!decode_payload(payload, len, out)) {
+    if (error != nullptr) *error = "undecodable payload";
+    return Status::kMalformed;
+  }
+  pos_ += 8 + len;
+  return Status::kFrame;
+}
+
+}  // namespace sia::service

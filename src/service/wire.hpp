@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/monitor.hpp"
+
+/// \file wire.hpp
+/// The siad wire protocol: length-prefixed, CRC-framed messages over a
+/// byte stream, reusing the RecorderLog framing discipline so the torn /
+/// corrupt-frame story is identical on the wire and on disk:
+///
+///     u32 payload length | u32 CRC-32 of payload | payload   (little-endian)
+///
+/// The payload starts with a one-byte message type, then type-specific
+/// fields. Requests and replies:
+///
+///     OPEN_STREAM(model, ceiling)        -> STREAM_OPENED(stream)
+///     COMMIT(stream, MonitoredCommit*)   -> COMMITTED(stream, ids,
+///                                             quarantined, verdict)
+///                                         | RETRY_LATER(stream)
+///     VERDICT(stream)                    -> VERDICT_REPLY(stream, verdict,
+///                                             count, capacity, violating,
+///                                             detail)
+///     ANALYZE(history text)              -> ANALYZED(json) | ERROR(text)
+///     CLOSE(stream)                      -> CLOSED(= VERDICT_REPLY shape)
+///     DRAIN                              -> DRAINED  (queues flushed)
+///
+/// Any frame that fails to decode — short, oversized, bit-flipped,
+/// bad CRC, trailing garbage — earns a MALFORMED reply and the server
+/// closes the connection (a byte stream cannot resync after a bad length
+/// prefix). RETRY_LATER is the admission-control reply: the owning
+/// shard's queue is full (or the server is draining); clients map it onto
+/// fault::RetryPolicy backoff.
+
+namespace sia::service {
+
+enum class MsgType : std::uint8_t {
+  // Requests.
+  kOpenStream = 0x01,
+  kCommit = 0x02,
+  kVerdict = 0x03,
+  kAnalyze = 0x04,
+  kClose = 0x05,
+  kDrain = 0x06,
+  // Replies.
+  kStreamOpened = 0x81,
+  kCommitted = 0x82,
+  kVerdictReply = 0x83,
+  kAnalyzed = 0x84,
+  kClosed = 0x85,
+  kDrained = 0x86,
+  kRetryLater = 0xF0,
+  kMalformed = 0xF1,
+  kError = 0xF2,
+};
+
+[[nodiscard]] bool is_request(MsgType t);
+[[nodiscard]] std::string to_string(MsgType t);
+
+/// Hard ceiling on one frame's payload. A length prefix beyond this is
+/// malformed and rejected before any allocation (a 4-byte flip must not
+/// become a 4 GiB buffer).
+inline constexpr std::size_t kMaxFramePayload = 8u << 20;
+
+/// One decoded message; which fields are meaningful depends on `type`
+/// (see the protocol table above). Kept as a single struct so the framing
+/// layer stays payload-agnostic, like RecorderLog's CommitRecord.
+struct Message {
+  MsgType type{MsgType::kError};
+  std::uint64_t stream{0};
+  std::uint8_t model{0};     ///< kOpenStream: Model enum value (0/1/2)
+  std::uint64_t capacity{0};  ///< kOpenStream ceiling; verdicts: monitor cap
+  std::vector<MonitoredCommit> commits;     ///< kCommit
+  std::vector<TxnId> ids;                   ///< kCommitted: BatchResult.ids
+  std::vector<std::uint32_t> quarantined;   ///< kCommitted: batch indices
+  std::uint8_t verdict{0};        ///< MonitorVerdict in verdict replies
+  std::uint64_t commit_count{0};  ///< verdict replies: monitor.size()
+  std::uint32_t violating{0};     ///< violating commit id, 0 = none
+  std::string text;  ///< analyze in/out, error text, violation detail
+};
+
+/// Serialised payload (no frame header).
+[[nodiscard]] std::vector<std::uint8_t> encode_payload(const Message& m);
+
+/// Inverse of encode_payload. Returns false (leaving \p out unspecified)
+/// on any malformed input: unknown type, short field, impossible count,
+/// out-of-range enum value, or trailing bytes.
+[[nodiscard]] bool decode_payload(const std::uint8_t* data, std::size_t size,
+                                  Message& out);
+
+/// Full frame: length | crc | payload.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Message& m);
+
+/// CRC-32 (reflected 0xEDB88320), the RecorderLog checksum.
+[[nodiscard]] std::uint32_t wire_crc32(const std::uint8_t* data,
+                                       std::size_t size);
+
+/// Incremental frame extractor over a received byte stream; feed() bytes
+/// as they arrive, then pull complete messages with next(). Malformed is
+/// sticky per connection: after it, the stream offset is unreliable.
+class FrameDecoder {
+ public:
+  enum class Status : std::uint8_t { kNeedMore, kFrame, kMalformed };
+
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Extracts the next complete frame into \p out. On kMalformed, \p error
+  /// (when given) says why.
+  [[nodiscard]] Status next(Message& out, std::string* error = nullptr);
+
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_{0};
+};
+
+}  // namespace sia::service

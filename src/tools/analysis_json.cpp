@@ -1,0 +1,169 @@
+#include "tools/analysis_json.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "chopping/static_chopping_graph.hpp"
+#include "robustness/robustness.hpp"
+#include "tools/history_parser.hpp"
+#include "tools/program_parser.hpp"
+
+namespace sia {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", s);
+  return buf;
+}
+
+const char* boolean(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+HistoryAnalysis analyze_history_text(const std::string& text) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const ParsedHistory trace = parse_history(text);
+  HistoryAnalysis a;
+  a.txns = trace.history.txn_count();
+  a.sessions = trace.history.session_count();
+  std::optional<DependencyGraph> witness;
+  for (const Model model : {Model::kSER, Model::kSI, Model::kPSI}) {
+    const HistDecision d = decide_history(trace.history, model);
+    a.models.push_back({model, d.allowed, d.graphs_tried});
+    if (model == Model::kSI) {
+      a.in_si = d.allowed;
+      if (d.witness) witness = d.witness;
+    }
+    if (!witness && d.witness) witness = d.witness;
+  }
+  if (witness) {
+    for (const DepEdge& e : witness->edges()) {
+      if (e.kind == DepKind::kSO) continue;
+      a.witness_edges.push_back(to_string(e));
+    }
+  }
+  a.seconds = seconds_since(t0);
+  return a;
+}
+
+std::string to_json(const HistoryAnalysis& a) {
+  std::ostringstream out;
+  out << "{\n  \"kind\": \"history\",\n"
+      << "  \"transactions\": " << a.txns << ",\n"
+      << "  \"sessions\": " << a.sessions << ",\n"
+      << "  \"models\": [";
+  for (std::size_t i = 0; i < a.models.size(); ++i) {
+    const auto& m = a.models[i];
+    out << (i != 0 ? ", " : "") << "{\"model\": "
+        << json_quote(to_string(m.model))
+        << ", \"allowed\": " << boolean(m.allowed)
+        << ", \"graphs_tried\": " << m.graphs_tried << "}";
+  }
+  out << "],\n"
+      << "  \"verdict\": " << (a.in_si ? "\"consistent\"" : "\"violation\"")
+      << ",\n  \"witness_edges\": [";
+  for (std::size_t i = 0; i < a.witness_edges.size(); ++i) {
+    out << (i != 0 ? ", " : "") << json_quote(a.witness_edges[i]);
+  }
+  out << "],\n  \"seconds\": " << fmt_seconds(a.seconds) << "\n}\n";
+  return out.str();
+}
+
+SuiteAnalysis analyze_suite_text(const std::string& text) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const ParsedSuite suite = parse_programs(text);
+  SuiteAnalysis a;
+  a.programs = suite.programs.size();
+  a.objects = suite.objects.size();
+
+  const StaticChoppingGraph scg(suite.programs);
+  for (const Criterion crit :
+       {Criterion::kSER, Criterion::kSI, Criterion::kPSI}) {
+    const ChoppingVerdict v = check_chopping_static(suite.programs, crit);
+    SuiteAnalysis::ChoppingResult r;
+    r.criterion = to_string(crit);
+    r.correct = v.correct;
+    r.complete = v.complete;
+    if (v.witness) r.cycle = scg.describe(*v.witness);
+    a.chopping.push_back(std::move(r));
+    if (crit == Criterion::kSI) a.si_choppable = v.correct;
+  }
+
+  const auto push_robust = [&a](const char* method,
+                                const RobustnessVerdict& v) {
+    a.robustness.push_back({method, v.robust, v.verified, v.description});
+  };
+  push_robust("si_plain", robust_against_si(suite.programs));
+  push_robust("si_refined", robust_against_si_refined(suite.programs));
+  const RobustnessVerdict verified = robust_against_si_verified(suite.programs);
+  push_robust("si_verified", verified);
+  push_robust("psi_towards_si", robust_against_psi(suite.programs));
+  a.si_robust = verified.robust;
+  a.seconds = seconds_since(t0);
+  return a;
+}
+
+std::string to_json(const SuiteAnalysis& a) {
+  std::ostringstream out;
+  out << "{\n  \"kind\": \"programs\",\n"
+      << "  \"programs\": " << a.programs << ",\n"
+      << "  \"objects\": " << a.objects << ",\n"
+      << "  \"chopping\": [";
+  for (std::size_t i = 0; i < a.chopping.size(); ++i) {
+    const auto& c = a.chopping[i];
+    out << (i != 0 ? ", " : "") << "{\"criterion\": "
+        << json_quote(c.criterion) << ", \"correct\": " << boolean(c.correct)
+        << ", \"complete\": " << boolean(c.complete)
+        << ", \"cycle\": " << json_quote(c.cycle) << "}";
+  }
+  out << "],\n  \"robustness\": [";
+  for (std::size_t i = 0; i < a.robustness.size(); ++i) {
+    const auto& r = a.robustness[i];
+    out << (i != 0 ? ", " : "") << "{\"method\": " << json_quote(r.method)
+        << ", \"robust\": " << boolean(r.robust)
+        << ", \"verified\": " << boolean(r.verified)
+        << ", \"description\": " << json_quote(r.description) << "}";
+  }
+  out << "],\n  \"verdict\": "
+      << (a.si_choppable && a.si_robust ? "\"ok\"" : "\"violation\"")
+      << ",\n  \"seconds\": " << fmt_seconds(a.seconds) << "\n}\n";
+  return out.str();
+}
+
+}  // namespace sia

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/enumeration.hpp"
+
+/// \file analysis_json.hpp
+/// The machine-readable face of the analyses: structured results of the
+/// history-membership and program-suite checks plus their JSON rendering.
+/// One serializer serves both front ends — `sia_analyze --format json`
+/// and the service's ANALYZE request — so a violation always looks the
+/// same to downstream tooling: a verdict, a witness, and the wall-clock
+/// spent deciding.
+
+namespace sia {
+
+/// RFC 8259 string quoting (returns the string with surrounding quotes).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// Result of deciding one recorded trace against all three models.
+struct HistoryAnalysis {
+  std::size_t txns{0};
+  std::size_t sessions{0};
+  struct ModelResult {
+    Model model{Model::kSER};
+    bool allowed{false};
+    std::size_t graphs_tried{0};
+  };
+  std::vector<ModelResult> models;  ///< SER, SI, PSI in order
+  bool in_si{false};
+  /// Non-SO dependency edges of the witness graph (the SI witness when
+  /// one exists, otherwise the first witness found).
+  std::vector<std::string> witness_edges;
+  double seconds{0.0};
+};
+
+/// Parses \p text (history_parser.hpp format) and decides HistSER /
+/// HistSI / HistPSI membership exactly. \throws ParseError / ModelError
+/// on bad input.
+[[nodiscard]] HistoryAnalysis analyze_history_text(const std::string& text);
+
+[[nodiscard]] std::string to_json(const HistoryAnalysis& a);
+
+/// Result of the static analyses over one program suite.
+struct SuiteAnalysis {
+  std::size_t programs{0};
+  std::size_t objects{0};
+  struct ChoppingResult {
+    std::string criterion;
+    bool correct{false};
+    bool complete{true};
+    std::string cycle;  ///< critical-cycle description, "" when correct
+  };
+  std::vector<ChoppingResult> chopping;
+  struct RobustnessResult {
+    std::string method;
+    bool robust{false};
+    bool verified{false};
+    std::string description;
+  };
+  std::vector<RobustnessResult> robustness;
+  bool si_choppable{false};
+  bool si_robust{false};
+  double seconds{0.0};
+};
+
+/// Parses \p text (program_parser.hpp format) and runs the chopping and
+/// robustness analyses of sia_analyze. \throws ParseError / ModelError.
+[[nodiscard]] SuiteAnalysis analyze_suite_text(const std::string& text);
+
+[[nodiscard]] std::string to_json(const SuiteAnalysis& a);
+
+}  // namespace sia

@@ -6,12 +6,16 @@
 ///  - optionally a repaired (certified) chopping and Graphviz output.
 ///
 /// Usage:
-///   sia_analyze [--repair] [--autochop] [--dot] <file | ->
-///   sia_analyze --history [--dot] <file | ->
+///   sia_analyze [--repair] [--autochop] [--dot] [--format json] <file | ->
+///   sia_analyze --history [--dot] [--format json] <file | ->
 ///
 /// In --history mode the input is a recorded trace (history_parser.hpp
 /// format); the tool decides HistSER / HistSI / HistPSI membership
 /// exactly and prints the witness dependency graph.
+///
+/// `--format json` emits the machine-readable report (verdict, witness
+/// cycle, timing) through the same serializer the siad ANALYZE request
+/// uses (tools/analysis_json.hpp); errors become {"error": ...} on stdout.
 ///
 /// Exit code: 0 when the suite is SI-chopping-correct and SI-robust (or,
 /// in --history mode, the trace is in HistSI), 1 otherwise, 2 on input
@@ -27,6 +31,7 @@
 #include "chopping/static_chopping_graph.hpp"
 #include "robustness/robustness.hpp"
 #include "graph/enumeration.hpp"
+#include "tools/analysis_json.hpp"
 #include "tools/dot.hpp"
 #include "tools/history_parser.hpp"
 #include "tools/program_parser.hpp"
@@ -37,10 +42,18 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: sia_analyze [--repair] [--autochop] [--dot] <file|->\n"
-               "       sia_analyze --history [--dot] <file|->\n"
+               "usage: sia_analyze [--repair] [--autochop] [--dot] "
+               "[--format json|text] <file|->\n"
+               "       sia_analyze --history [--dot] [--format json|text] "
+               "<file|->\n"
                "  program format: see src/tools/program_parser.hpp\n"
                "  history format: see src/tools/history_parser.hpp\n");
+  return 2;
+}
+
+/// JSON-mode error report: still on stdout (it *is* the report), exit 2.
+int json_error(const std::string& what) {
+  std::printf("{\"error\": %s}\n", json_quote(what).c_str());
   return 2;
 }
 
@@ -101,6 +114,7 @@ int main(int argc, char** argv) {
   bool want_autochop = false;
   bool want_dot = false;
   bool want_history = false;
+  bool want_json = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -112,6 +126,14 @@ int main(int argc, char** argv) {
       want_autochop = true;
     } else if (arg == "--dot") {
       want_dot = true;
+    } else if (arg == "--format") {
+      if (i + 1 >= argc) return usage();
+      const std::string format = argv[++i];
+      if (format == "json") {
+        want_json = true;
+      } else if (format != "text") {
+        return usage();
+      }
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else if (!path.empty()) {
@@ -126,9 +148,26 @@ int main(int argc, char** argv) {
   try {
     text = read_input(path);
   } catch (const ModelError& e) {
+    if (want_json) return json_error(e.what());
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
+
+  if (want_json) {
+    try {
+      if (want_history) {
+        const HistoryAnalysis a = analyze_history_text(text);
+        std::printf("%s", to_json(a).c_str());
+        return a.in_si ? 0 : 1;
+      }
+      const SuiteAnalysis a = analyze_suite_text(text);
+      std::printf("%s", to_json(a).c_str());
+      return (a.si_choppable && a.si_robust) ? 0 : 1;
+    } catch (const ModelError& e) {
+      return json_error(e.what());
+    }
+  }
+
   if (want_history) return analyze_history(text, want_dot);
 
   ParsedSuite suite;

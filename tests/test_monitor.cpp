@@ -353,6 +353,38 @@ TEST(Monitor, VerdictToStringCoversAllStates) {
   EXPECT_EQ(to_string(MonitorVerdict::kSaturated), "Saturated");
 }
 
+TEST(Monitor, SizeAndCapacityTrackCeiling) {
+  ConsistencyMonitor m(Model::kSI);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.capacity(), 0u);  // 0 = unlimited
+  m.set_max_transactions(2);
+  EXPECT_EQ(m.capacity(), 2u);
+  m.commit(make_commit(0, {write(kX, 1)}));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.size(), m.commit_count());  // size() is the alias
+  m.commit(make_commit(1, {write(kX, 2)}));
+  m.commit(make_commit(2, {write(kX, 3)}));  // past the ceiling: dropped
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.capacity(), 2u);
+  EXPECT_EQ(m.verdict(), MonitorVerdict::kSaturated);
+}
+
+TEST(Monitor, MonitoredCommitsRoundTripThroughFreshMonitor) {
+  workload::WorkloadSpec spec;
+  spec.sessions = 2;
+  spec.txns_per_session = 4;
+  spec.num_keys = 4;
+  spec.concurrent = false;
+  const mvcc::RecordedRun run = workload::run_si(spec);
+  const std::vector<MonitoredCommit> commits = monitored_commits(run.graph);
+  EXPECT_EQ(commits.size(), run.graph.history().txn_count() - 1);  // no init
+  ConsistencyMonitor by_hand(Model::kSI);
+  for (const MonitoredCommit& c : commits) by_hand.commit(c);
+  const ConsistencyMonitor replayed = replay(run.graph, Model::kSI);
+  EXPECT_EQ(by_hand.verdict(), replayed.verdict());
+  EXPECT_EQ(by_hand.size(), replayed.size());
+}
+
 TEST(Monitor, ReplayedGraphMatchesOriginal) {
   workload::WorkloadSpec spec;
   spec.sessions = 3;

@@ -1,0 +1,362 @@
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "service/client.hpp"
+#include "service/loadgen.hpp"
+#include "tools/analysis_json.hpp"
+#include "workload/generator.hpp"
+
+namespace sia::service {
+namespace {
+
+constexpr ObjId kX = 0;
+constexpr ObjId kY = 1;
+
+MonitoredCommit make_commit(SessionId s, std::vector<Event> events,
+                            std::map<ObjId, TxnId> sources = {}) {
+  return MonitoredCommit{s, Transaction(std::move(events)),
+                         std::move(sources)};
+}
+
+/// A started server on an ephemeral port plus a connected client.
+struct Fixture {
+  explicit Fixture(ServerConfig cfg = {}) : server(std::move(cfg)) {
+    server.start();
+    client.connect("127.0.0.1", server.port());
+  }
+  Server server;
+  ServiceClient client;
+};
+
+/// Workload-generated commit traffic for one stream: deterministic
+/// (single-threaded engine run), replayable offline.
+std::vector<MonitoredCommit> stream_traffic(std::uint64_t seed,
+                                            std::size_t txns) {
+  workload::WorkloadSpec spec;
+  spec.sessions = 2;
+  spec.txns_per_session = (txns + 1) / 2;
+  spec.num_keys = 8;
+  spec.seed = seed;
+  spec.concurrent = false;
+  return monitored_commits(workload::run_si(spec).graph);
+}
+
+TEST(Service, EndToEndVerdictMatchesOfflineReplay) {
+  Fixture f;
+  for (const Model model : {Model::kSER, Model::kSI, Model::kPSI}) {
+    const auto traffic = stream_traffic(7 + static_cast<int>(model), 12);
+    const std::uint64_t stream = f.client.open_stream(model);
+
+    ConsistencyMonitor offline(model);
+    for (std::size_t i = 0; i < traffic.size(); i += 4) {
+      const std::vector<MonitoredCommit> batch(
+          traffic.begin() + i,
+          traffic.begin() + std::min(i + 4, traffic.size()));
+      const Message reply = f.client.commit(stream, batch);
+      ASSERT_EQ(reply.type, MsgType::kCommitted) << to_string(model);
+      const BatchResult local = offline.commit_all_guarded(batch);
+      EXPECT_EQ(reply.ids, local.ids) << to_string(model);
+      EXPECT_TRUE(reply.quarantined.empty()) << to_string(model);
+    }
+
+    const Message v = f.client.verdict(stream);
+    ASSERT_EQ(v.type, MsgType::kVerdictReply);
+    EXPECT_EQ(v.verdict, static_cast<std::uint8_t>(offline.verdict()));
+    EXPECT_EQ(v.commit_count, offline.size());
+    EXPECT_EQ(v.violating, offline.violating_commit().value_or(0));
+
+    const Message closed = f.client.close_stream(stream);
+    ASSERT_EQ(closed.type, MsgType::kClosed);
+    EXPECT_EQ(closed.verdict, v.verdict);
+    EXPECT_EQ(closed.commit_count, v.commit_count);
+  }
+}
+
+TEST(Service, WriteSkewViolatesSerButNotSi) {
+  Fixture f;
+  const auto feed = [&](Model model) {
+    const std::uint64_t stream = f.client.open_stream(model);
+    const std::vector<MonitoredCommit> batch{
+        make_commit(0, {read(kX, 0), read(kY, 0), write(kX, -100)},
+                    {{kX, 0}, {kY, 0}}),
+        make_commit(1, {read(kX, 0), read(kY, 0), write(kY, -100)},
+                    {{kX, 0}, {kY, 0}}),
+    };
+    const Message reply = f.client.commit(stream, batch);
+    EXPECT_EQ(reply.type, MsgType::kCommitted);
+    return f.client.verdict(stream);
+  };
+
+  const Message ser = feed(Model::kSER);
+  EXPECT_EQ(ser.verdict,
+            static_cast<std::uint8_t>(MonitorVerdict::kViolation));
+  EXPECT_EQ(ser.violating, 2u);
+  EXPECT_FALSE(ser.text.empty());  // violation detail travels the wire
+
+  const Message si = feed(Model::kSI);
+  EXPECT_EQ(si.verdict,
+            static_cast<std::uint8_t>(MonitorVerdict::kConsistent));
+  EXPECT_EQ(si.commit_count, 2u);
+}
+
+TEST(Service, StreamCeilingSaturatesNotViolates) {
+  Fixture f;
+  const std::uint64_t stream = f.client.open_stream(Model::kSI, 2);
+  const std::vector<MonitoredCommit> batch{
+      make_commit(0, {write(kX, 1)}),
+      make_commit(1, {write(kX, 2)}),
+      make_commit(2, {write(kX, 3)}),  // beyond the ceiling: dropped
+  };
+  const Message reply = f.client.commit(stream, batch);
+  ASSERT_EQ(reply.type, MsgType::kCommitted);
+  ASSERT_EQ(reply.ids.size(), 3u);
+  EXPECT_EQ(reply.ids[2], 0u);  // dropped commits report id 0
+
+  const Message v = f.client.verdict(stream);
+  EXPECT_EQ(v.verdict, static_cast<std::uint8_t>(MonitorVerdict::kSaturated));
+  EXPECT_EQ(v.commit_count, 2u);
+  EXPECT_EQ(v.capacity, 2u);
+}
+
+TEST(Service, MalformedCommitIsQuarantinedNotFatal) {
+  Fixture f;
+  const std::uint64_t stream = f.client.open_stream(Model::kSI);
+  const std::vector<MonitoredCommit> batch{
+      make_commit(0, {write(kX, 1)}),
+      make_commit(1, {read(kX, 7)}),  // read with no read source: malformed
+      make_commit(2, {write(kY, 1)}),
+  };
+  const Message reply = f.client.commit(stream, batch);
+  ASSERT_EQ(reply.type, MsgType::kCommitted);
+  ASSERT_EQ(reply.quarantined.size(), 1u);
+  EXPECT_EQ(reply.quarantined[0], 1u);
+  EXPECT_EQ(reply.ids[1], 0u);
+
+  // The stream (and the server) survive; the well-formed subsequence is
+  // exactly what the monitor saw.
+  const Message v = f.client.verdict(stream);
+  EXPECT_EQ(v.verdict,
+            static_cast<std::uint8_t>(MonitorVerdict::kConsistent));
+  EXPECT_EQ(v.commit_count, 2u);
+}
+
+TEST(Service, UnknownStreamEarnsErrorReply) {
+  Fixture f;
+  const Message commit_reply =
+      f.client.commit(999, {make_commit(0, {write(kX, 1)})});
+  EXPECT_EQ(commit_reply.type, MsgType::kError);
+  EXPECT_FALSE(commit_reply.text.empty());
+  EXPECT_EQ(f.client.verdict(999).type, MsgType::kError);
+  EXPECT_GE(f.server.stats().errors, 2u);
+}
+
+TEST(Service, AnalyzeMatchesLocalSerializer) {
+  constexpr const char* kWriteSkew = R"(
+init acct1 acct2
+session c1 {
+  txn { r acct1 0  r acct2 0  w acct1 -100 }
+}
+session c2 {
+  txn { r acct1 0  r acct2 0  w acct2 -100 }
+}
+)";
+  Fixture f;
+  const std::string remote = f.client.analyze(kWriteSkew);
+  const std::string local = to_json(analyze_history_text(kWriteSkew));
+  // Timing differs per run; the verdict fields must not. Write skew is
+  // the canonical SI-allowed / SER-forbidden anomaly.
+  for (const char* field :
+       {"\"verdict\": \"consistent\"",
+        "{\"model\": \"SER\", \"allowed\": false",
+        "{\"model\": \"SI\", \"allowed\": true",
+        "\"transactions\": 3"}) {
+    EXPECT_NE(remote.find(field), std::string::npos) << field;
+    EXPECT_NE(local.find(field), std::string::npos) << field;
+  }
+  EXPECT_EQ(f.server.stats().analyzes, 1u);
+
+  // Garbage input is an ERROR reply, not a dead server.
+  EXPECT_THROW((void)f.client.analyze("txn { r }"), ModelError);
+  EXPECT_EQ(f.client.verdict(12345).type, MsgType::kError);  // still alive
+}
+
+// Pipelines three COMMIT frames at a 1-deep shard with a slow worker:
+// at least one must be shed with RETRY_LATER from the IO thread, at
+// least one must be served, and a retrying client must get through.
+TEST(Service, BackpressureShedsWithRetryLater) {
+  ServerConfig cfg;
+  cfg.shards = 1;
+  cfg.queue_capacity = 1;
+  cfg.worker_delay_us = 20000;
+  Fixture f(cfg);
+  const std::uint64_t stream = f.client.open_stream(Model::kSI);
+
+  // Raw socket so the frames really are pipelined back-to-back.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(f.server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  Message req;
+  req.type = MsgType::kCommit;
+  req.stream = stream;
+  std::vector<std::uint8_t> wire;
+  for (int i = 0; i < 3; ++i) {
+    req.commits = {make_commit(0, {write(kX, i)})};
+    const auto frame = encode_frame(req);
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+
+  FrameDecoder decoder;
+  std::size_t committed = 0, retried = 0;
+  std::uint8_t buf[4096];
+  while (committed + retried < 3) {
+    Message reply;
+    const FrameDecoder::Status st = decoder.next(reply);
+    ASSERT_NE(st, FrameDecoder::Status::kMalformed);
+    if (st == FrameDecoder::Status::kFrame) {
+      if (reply.type == MsgType::kCommitted) ++committed;
+      if (reply.type == MsgType::kRetryLater) ++retried;
+      continue;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    decoder.feed(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_GE(committed, 1u);
+  EXPECT_GE(retried, 1u);
+  EXPECT_GE(f.server.stats().retry_later, retried);
+
+  // Backoff absorbs the shedding: a patient client always lands.
+  fault::RetryPolicy patient;
+  patient.max_attempts = 50;
+  fault::RetryStats stats;
+  const Message reply = f.client.commit_retry(
+      stream, {make_commit(1, {write(kY, 1)})}, patient, &stats);
+  EXPECT_EQ(reply.type, MsgType::kCommitted);
+  EXPECT_GE(stats.attempts, 1u);
+}
+
+TEST(Service, ClientDrainFlushesQueuesServerStaysUp) {
+  ServerConfig cfg;
+  cfg.worker_delay_us = 1000;
+  Fixture f(cfg);
+  const std::uint64_t stream = f.client.open_stream(Model::kSI);
+  ASSERT_EQ(f.client.commit(stream, {make_commit(0, {write(kX, 1)})}).type,
+            MsgType::kCommitted);
+  f.client.drain();  // DRAIN round-trip: barriers through every shard
+  EXPECT_TRUE(f.server.running());
+  // Queues were flushed, not closed: the stream keeps accepting work.
+  EXPECT_EQ(f.client.commit(stream, {make_commit(0, {write(kX, 2)})}).type,
+            MsgType::kCommitted);
+}
+
+// The acceptance bar for graceful shutdown: drain mid-load, then check
+// that the server's final CLOSED verdict accounts for exactly the
+// commits the client saw acked — nothing dropped silently — and that the
+// final verdict equals an offline replay of the acked prefix.
+TEST(Service, DrainMidLoadAcksOrRejectsEveryCommit) {
+  ServerConfig cfg;
+  cfg.shards = 2;
+  cfg.queue_capacity = 4;
+  cfg.worker_delay_us = 2000;
+  Fixture f(cfg);
+  const std::uint64_t stream = f.client.open_stream(Model::kSI);
+  const auto traffic = stream_traffic(99, 400);
+
+  std::atomic<bool> done{false};
+  std::uint64_t acked = 0;
+  std::uint64_t rejected = 0;
+  std::thread pump([&] {
+    for (std::size_t i = 0; i + 2 <= traffic.size() && !done; i += 2) {
+      const std::vector<MonitoredCommit> batch(traffic.begin() + i,
+                                               traffic.begin() + i + 2);
+      try {
+        const Message reply = f.client.commit(stream, batch);
+        if (reply.type == MsgType::kCommitted) {
+          acked += batch.size();
+        } else {
+          ++rejected;  // RETRY_LATER during drain: rejected, not dropped
+        }
+      } catch (const ModelError&) {
+        break;  // connection torn down after the drain finished
+      }
+    }
+    done = true;
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  f.server.drain();
+  done = true;
+  pump.join();
+
+  // Absorb the pushed CLOSED frame (and any stragglers) off the socket.
+  for (int i = 0; i < 10 && f.client.drained().count(stream) == 0; ++i) {
+    try {
+      (void)f.client.verdict(stream);
+    } catch (const ModelError&) {
+      break;  // EOF: everything buffered has been decoded
+    }
+  }
+  ASSERT_EQ(f.client.drained().count(stream), 1u)
+      << "drain must push a final CLOSED verdict for the open stream";
+  const Message& final_verdict = f.client.drained().at(stream);
+  EXPECT_EQ(final_verdict.type, MsgType::kClosed);
+  EXPECT_EQ(final_verdict.commit_count, acked)
+      << "server ingested a different number of commits than it acked "
+      << "(rejected batches: " << rejected << ")";
+
+  ConsistencyMonitor offline(Model::kSI);
+  for (std::uint64_t i = 0; i < acked; i += 2) {
+    (void)offline.commit_all_guarded(
+        {traffic.begin() + i, traffic.begin() + i + 2});
+  }
+  EXPECT_EQ(final_verdict.verdict,
+            static_cast<std::uint8_t>(offline.verdict()));
+  EXPECT_FALSE(f.server.running());
+}
+
+// The loadgen harness against an in-process server: 16 concurrent
+// connections, every audit clean (verdicts match offline replay, acks
+// match the server's final counts).
+TEST(Service, LoadgenSixteenConnectionsRunsClean) {
+  ServerConfig scfg;
+  scfg.shards = 4;
+  Fixture f(scfg);
+  LoadgenConfig cfg;
+  cfg.port = f.server.port();
+  cfg.connections = 16;
+  cfg.streams_per_connection = 1;
+  cfg.txns_per_stream = 16;
+  cfg.batch_size = 4;
+  const LoadReport report = run_load(cfg);
+  EXPECT_TRUE(clean(report)) << to_json(cfg, report);
+  EXPECT_EQ(report.streams, 16u);
+  EXPECT_EQ(report.protocol_errors, 0u);
+  EXPECT_EQ(report.verdict_mismatches, 0u);
+  EXPECT_EQ(report.ack_count_mismatches, 0u);
+  EXPECT_FALSE(report.drained_mid_run);
+  EXPECT_EQ(report.commits_sent, report.commits_acked);
+  EXPECT_GT(report.commits_per_sec, 0.0);
+  EXPECT_GE(f.server.stats().commits, report.commits_acked);
+}
+
+}  // namespace
+}  // namespace sia::service

@@ -1,0 +1,259 @@
+#include "service/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <random>
+
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+/// Wire-protocol fuzzing, mirroring test_recorder_log's torn-tail and
+/// bit-flip suites: no input — truncated, flipped, oversized, or plain
+/// garbage — may crash the decoder, hang it, or decode to a frame that
+/// was never sent. Against a live server, a bad frame earns a MALFORMED
+/// reply and a closed connection while the server keeps serving others.
+
+namespace sia::service {
+namespace {
+
+constexpr ObjId kX = 0;
+
+Message sample_commit_message() {
+  Message m;
+  m.type = MsgType::kCommit;
+  m.stream = 42;
+  MonitoredCommit c{3,
+                    Transaction({read(kX, 7), write(kX, 9)}),
+                    {{kX, 2}}};
+  m.commits = {c, c};
+  return m;
+}
+
+TEST(WireFuzz, RoundTripPreservesEveryField) {
+  const Message m = sample_commit_message();
+  const auto payload = encode_payload(m);
+  Message out;
+  ASSERT_TRUE(decode_payload(payload.data(), payload.size(), out));
+  EXPECT_EQ(out.type, m.type);
+  EXPECT_EQ(out.stream, m.stream);
+  ASSERT_EQ(out.commits.size(), 2u);
+  EXPECT_EQ(out.commits[0].session, 3u);
+  EXPECT_EQ(out.commits[0].txn.events(), m.commits[0].txn.events());
+  EXPECT_EQ(out.commits[0].read_sources, m.commits[0].read_sources);
+
+  Message v;
+  v.type = MsgType::kClosed;
+  v.stream = 7;
+  v.verdict = 1;
+  v.commit_count = 123;
+  v.capacity = 456;
+  v.violating = 9;
+  v.text = "T9 closes a cycle";
+  const auto vp = encode_payload(v);
+  Message vout;
+  ASSERT_TRUE(decode_payload(vp.data(), vp.size(), vout));
+  EXPECT_EQ(vout.verdict, v.verdict);
+  EXPECT_EQ(vout.commit_count, v.commit_count);
+  EXPECT_EQ(vout.capacity, v.capacity);
+  EXPECT_EQ(vout.violating, v.violating);
+  EXPECT_EQ(vout.text, v.text);
+}
+
+// Every strict prefix of a valid frame is "need more", never a frame and
+// never malformed; the full frame decodes. Byte-at-a-time feeding (the
+// torn-read case) behaves identically.
+TEST(WireFuzz, TruncationAtEveryOffsetNeedsMore) {
+  const auto frame = encode_frame(sample_commit_message());
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameDecoder d;
+    d.feed(frame.data(), cut);
+    Message out;
+    ASSERT_EQ(d.next(out), FrameDecoder::Status::kNeedMore) << "cut " << cut;
+  }
+  FrameDecoder d;
+  Message out;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    ASSERT_EQ(d.next(out), FrameDecoder::Status::kNeedMore) << "byte " << i;
+    d.feed(&frame[i], 1);
+  }
+  ASSERT_EQ(d.next(out), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(out.stream, 42u);
+  EXPECT_EQ(d.buffered(), 0u);
+}
+
+// A flipped bit anywhere in a frame must never yield a decoded frame:
+// CRC-32 catches payload and checksum flips; length-field flips either
+// starve (need more) or reject (oversized / CRC-over-wrong-span).
+TEST(WireFuzz, SingleBitFlipsNeverDecode) {
+  const auto frame = encode_frame(sample_commit_message());
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupt = frame;
+      corrupt[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      FrameDecoder d;
+      d.feed(corrupt.data(), corrupt.size());
+      Message out;
+      const FrameDecoder::Status st = d.next(out);
+      ASSERT_NE(st, FrameDecoder::Status::kFrame)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(WireFuzz, OversizedLengthRejectedBeforeAllocation) {
+  std::vector<std::uint8_t> header(8, 0);
+  const std::uint32_t huge = 0x7fffffff;  // ~2 GiB claimed payload
+  std::memcpy(header.data(), &huge, 4);
+  FrameDecoder d;
+  d.feed(header.data(), header.size());
+  Message out;
+  std::string error;
+  EXPECT_EQ(d.next(out, &error), FrameDecoder::Status::kMalformed);
+  EXPECT_FALSE(error.empty());
+}
+
+// A syntactically valid frame whose payload claims 2^32-1 commits must be
+// rejected by the count guard, not taken as a resize() request.
+TEST(WireFuzz, HugeElementCountRejected) {
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(MsgType::kCommit));
+  for (int i = 0; i < 8; ++i) payload.push_back(0);  // stream id
+  for (int i = 0; i < 4; ++i) payload.push_back(0xff);  // commit count
+  std::vector<std::uint8_t> frame(8, 0);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = wire_crc32(payload.data(), payload.size());
+  std::memcpy(frame.data(), &len, 4);
+  std::memcpy(frame.data() + 4, &crc, 4);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  FrameDecoder d;
+  d.feed(frame.data(), frame.size());
+  Message out;
+  EXPECT_EQ(d.next(out), FrameDecoder::Status::kMalformed);
+}
+
+TEST(WireFuzz, TrailingGarbageAfterPayloadRejected) {
+  auto payload = encode_payload(sample_commit_message());
+  payload.push_back(0xab);  // one stray byte after a complete message
+  std::vector<std::uint8_t> frame(8, 0);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = wire_crc32(payload.data(), payload.size());
+  std::memcpy(frame.data(), &len, 4);
+  std::memcpy(frame.data() + 4, &crc, 4);
+  frame.insert(frame.end(), payload.begin(), payload.end());
+
+  FrameDecoder d;
+  d.feed(frame.data(), frame.size());
+  Message out;
+  EXPECT_EQ(d.next(out), FrameDecoder::Status::kMalformed);
+}
+
+// Deterministic random garbage, fed in random-sized chunks: the decoder
+// must terminate (no livelock) and never produce a frame whose CRC did
+// not check out. Seeded, so failures replay.
+TEST(WireFuzz, RandomGarbageNeverCrashesOrLoops) {
+  std::mt19937_64 rng(0xf00dcafe);
+  for (int round = 0; round < 200; ++round) {
+    std::uniform_int_distribution<std::size_t> size_dist(0, 512);
+    std::vector<std::uint8_t> blob(size_dist(rng));
+    for (auto& b : blob) b = static_cast<std::uint8_t>(rng());
+    FrameDecoder d;
+    std::size_t off = 0;
+    int pulls = 0;
+    while (off < blob.size()) {
+      std::uniform_int_distribution<std::size_t> chunk_dist(
+          1, blob.size() - off);
+      const std::size_t chunk = chunk_dist(rng);
+      d.feed(blob.data() + off, chunk);
+      off += chunk;
+      for (;;) {
+        ASSERT_LT(++pulls, 10000) << "decoder livelock on garbage";
+        Message out;
+        const FrameDecoder::Status st = d.next(out);
+        if (st != FrameDecoder::Status::kFrame) break;
+      }
+    }
+  }
+}
+
+// Valid frames interleaved with a corrupted one: the two leading frames
+// decode, the corruption is caught, and (per the sticky-malformed
+// contract) the decoder does not resynchronise on the trailing frame.
+TEST(WireFuzz, CorruptionMidStreamIsSticky) {
+  const auto good = encode_frame(sample_commit_message());
+  std::vector<std::uint8_t> stream;
+  stream.insert(stream.end(), good.begin(), good.end());
+  stream.insert(stream.end(), good.begin(), good.end());
+  auto bad = good;
+  bad[9] ^= 0x40;  // inside the payload: CRC mismatch
+  stream.insert(stream.end(), bad.begin(), bad.end());
+  stream.insert(stream.end(), good.begin(), good.end());
+
+  FrameDecoder d;
+  d.feed(stream.data(), stream.size());
+  Message out;
+  EXPECT_EQ(d.next(out), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(d.next(out), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(d.next(out), FrameDecoder::Status::kMalformed);
+}
+
+// Live-socket garbage: the server answers MALFORMED, closes that
+// connection, and keeps serving well-behaved clients.
+TEST(WireFuzz, LiveServerRepliesMalformedAndSurvives) {
+  Server server(ServerConfig{});
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  auto bad = encode_frame(sample_commit_message());
+  bad[bad.size() - 1] ^= 0x01;  // payload flip: CRC mismatch
+  ASSERT_EQ(::send(fd, bad.data(), bad.size(), 0),
+            static_cast<ssize_t>(bad.size()));
+
+  // Expect one MALFORMED reply, then EOF (server hangs up).
+  FrameDecoder d;
+  std::uint8_t buf[4096];
+  Message reply;
+  bool got_reply = false, got_eof = false;
+  for (int i = 0; i < 100 && !got_eof; ++i) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      got_eof = true;
+      break;
+    }
+    ASSERT_GT(n, 0);
+    d.feed(buf, static_cast<std::size_t>(n));
+    if (!got_reply &&
+        d.next(reply) == FrameDecoder::Status::kFrame) {
+      got_reply = true;
+      EXPECT_EQ(reply.type, MsgType::kMalformed);
+    }
+  }
+  ::close(fd);
+  EXPECT_TRUE(got_reply);
+  EXPECT_TRUE(got_eof);
+  EXPECT_GE(server.stats().malformed, 1u);
+
+  // The server is still alive and correct for a clean client.
+  ServiceClient client;
+  client.connect("127.0.0.1", server.port());
+  const std::uint64_t stream = client.open_stream(Model::kSI);
+  MonitoredCommit ok{0, Transaction({write(kX, 1)}), {}};
+  EXPECT_EQ(client.commit(stream, {ok}).type, MsgType::kCommitted);
+}
+
+}  // namespace
+}  // namespace sia::service
