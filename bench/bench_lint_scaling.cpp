@@ -1,0 +1,173 @@
+/// \file bench_lint_scaling.cpp
+/// Experiment E17 — sia_lint driver scaling: the full check registry over
+/// suite files of growing size and count. The verdict table pins the
+/// qualitative results (Figure 5 flags an SI-critical cycle, Figure 6 is
+/// cycle-free, the SARIF report parses); the sweep compares linting N
+/// files one run_lint call at a time against one parallel run over all of
+/// them, persisted as BENCH_lint_scaling.json.
+
+#include <thread>
+
+#include "bench_util.hpp"
+#include "lint/lint.hpp"
+#include "lint/sarif.hpp"
+#include "tools/json_min.hpp"
+#include "tools/program_parser.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace sia {
+namespace {
+
+/// Deterministic suite text: \p programs programs of \p pieces pieces,
+/// reading/writing consecutive objects from a pool of \p objects (so no
+/// reads/writes list ever repeats an object). Text, not Program values —
+/// the lint driver's unit of work is a source file.
+std::string make_suite_text(std::size_t programs, std::size_t pieces,
+                            std::size_t objects, std::uint64_t seed) {
+  std::uint64_t state = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+  const auto next = [&state](std::size_t bound) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::size_t>((state >> 33) % bound);
+  };
+  std::string out;
+  for (std::size_t i = 0; i < programs; ++i) {
+    out += "program p" + std::to_string(i) + " {\n";
+    for (std::size_t j = 0; j < pieces; ++j) {
+      const std::size_t base = next(objects);
+      out += "  piece reads o" + std::to_string(base) + " o" +
+             std::to_string((base + 1) % objects) + " writes o" +
+             std::to_string((base + 2) % objects) + "\n";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::vector<lint::SourceFile> make_files(std::size_t count,
+                                         std::size_t programs,
+                                         std::size_t pieces) {
+  std::vector<lint::SourceFile> files;
+  for (std::size_t i = 0; i < count; ++i) {
+    files.push_back(lint::SourceFile{
+        "suite" + std::to_string(i) + ".sia",
+        make_suite_text(programs, pieces, 4 * programs, /*seed=*/i + 1)});
+  }
+  return files;
+}
+
+/// The sweep times the driver, not the analyses' worst case: it runs
+/// every check except robust-psi-si (whose mandatory concretization can
+/// take seconds per suite on dense random inputs) and bounds the cycle
+/// enumeration, exactly as a CI deployment of sia_lint would.
+lint::LintOptions sweep_opts() {
+  lint::LintOptions opts;
+  for (const lint::CheckInfo& c : lint::all_checks()) {
+    if (std::string_view(c.id) != "robust-psi-si") opts.enabled.push_back(c.id);
+  }
+  opts.check.cycle_budget = 20'000;
+  return opts;
+}
+
+bool has_check(const lint::LintRun& run, const std::string& check) {
+  for (const lint::FileResult& f : run.files) {
+    for (const Diagnostic& d : f.diagnostics) {
+      if (d.check == check) return true;
+    }
+  }
+  return false;
+}
+
+bool reproduction_table() {
+  bench::header("E17", "sia_lint driver scaling");
+  std::vector<bench::VerdictRow> rows;
+
+  const paper::NamedPrograms fig5 = paper::fig5_programs();
+  const lint::LintRun r5 = lint::run_lint(
+      {{"fig5.sia", format_programs(fig5.programs, fig5.objects)}}, {});
+  rows.push_back({"Fig. 5 (transfer + lookupAll) under SI",
+                  "SI-critical cycle",
+                  has_check(r5, "si-critical-cycle") ? "SI-critical cycle"
+                                                     : "no cycle"});
+
+  const paper::NamedPrograms fig6 = paper::fig6_programs();
+  const lint::LintRun r6 = lint::run_lint(
+      {{"fig6.sia", format_programs(fig6.programs, fig6.objects)}}, {});
+  rows.push_back({"Fig. 6 (transfer + split lookups) under SI", "no cycle",
+                  has_check(r6, "si-critical-cycle") ? "SI-critical cycle"
+                                                     : "no cycle"});
+
+  bool sarif_ok = true;
+  try {
+    const JsonValue doc = parse_json(lint::to_sarif(r5));
+    sarif_ok = doc.at("version").string == "2.1.0";
+  } catch (const ModelError&) {
+    sarif_ok = false;
+  }
+  rows.push_back({"SARIF report of the Fig. 5 run", "parses as SARIF 2.1.0",
+                  sarif_ok ? "parses as SARIF 2.1.0" : "malformed"});
+  const bool reproduced = bench::print_verdicts(rows);
+
+  // ---- file-count sweep: sequential per-file runs vs one parallel run.
+  const lint::LintOptions opts = sweep_opts();
+  std::vector<bench::KernelRow> sweep;
+  for (const std::size_t programs : {6u, 16u}) {
+    for (const std::size_t count : {1u, 4u, 16u, 64u}) {
+      const std::vector<lint::SourceFile> files =
+          make_files(count, programs, /*pieces=*/3);
+      bench::KernelRow row;
+      row.kernel = "lint/p" + std::to_string(programs);
+      row.n = count;
+      row.old_ns = bench::time_best_ns([&] {
+        for (const lint::SourceFile& f : files) {
+          benchmark::DoNotOptimize(lint::run_lint({f}, opts).counts.findings());
+        }
+      });
+      row.new_ns = bench::time_best_ns([&] {
+        benchmark::DoNotOptimize(
+            lint::run_lint(files, opts).counts.findings());
+      });
+      sweep.push_back(row);
+    }
+  }
+  bench::print_kernel_rows(sweep);
+  const bool wrote =
+      bench::write_kernel_json("BENCH_lint_scaling.json", "bench_lint_scaling",
+                               std::thread::hardware_concurrency(), sweep);
+  return reproduced && wrote;
+}
+
+void BM_LintOneSuite(benchmark::State& state) {
+  const std::vector<lint::SourceFile> files =
+      make_files(1, static_cast<std::size_t>(state.range(0)), 3);
+  const lint::LintOptions opts = sweep_opts();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint::run_lint(files, opts).counts.findings());
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " programs");
+}
+BENCHMARK(BM_LintOneSuite)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_LintManyFiles(benchmark::State& state) {
+  const std::vector<lint::SourceFile> files =
+      make_files(static_cast<std::size_t>(state.range(0)), 8, 3);
+  const lint::LintOptions opts = sweep_opts();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint::run_lint(files, opts).counts.findings());
+  }
+}
+BENCHMARK(BM_LintManyFiles)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_SarifRender(benchmark::State& state) {
+  const lint::LintRun run = lint::run_lint(
+      make_files(static_cast<std::size_t>(state.range(0)), 8, 3),
+      sweep_opts());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint::to_sarif(run).size());
+  }
+}
+BENCHMARK(BM_SarifRender)->Arg(1)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace sia
+
+SIA_BENCH_MAIN(sia::reproduction_table)

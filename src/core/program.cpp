@@ -38,8 +38,12 @@ std::vector<Program> unchop(const std::vector<Program>& programs) {
   std::vector<Program> out;
   out.reserve(programs.size());
   for (const Program& p : programs) {
-    out.push_back(
-        Program{p.name, {Piece{p.name, p.read_set(), p.write_set()}}});
+    const SourceSpan piece_span =
+        p.pieces.empty() ? p.span : p.pieces.front().span;
+    out.push_back(Program{
+        p.name,
+        {Piece{p.name, p.read_set(), p.write_set(), piece_span}},
+        p.span});
   }
   return out;
 }

@@ -13,11 +13,26 @@
 
 namespace sia {
 
+/// Position of a construct in its source text (1-based line and column;
+/// 0 means unknown — programs built in C++ have no source). end_col is
+/// one past the last column of the token, 0 when only a point is known.
+/// Carried on Program/Piece so analyses over parsed suites can render
+/// source-located diagnostics (tools/diagnostic.hpp).
+struct SourceSpan {
+  std::size_t line{0};
+  std::size_t col{0};
+  std::size_t end_col{0};
+
+  [[nodiscard]] bool known() const { return line != 0; }
+  [[nodiscard]] bool operator==(const SourceSpan&) const = default;
+};
+
 /// One piece of a chopped transaction: the objects it may read and write.
 struct Piece {
   std::string label;          ///< e.g. "acct1 = acct1 - 100"
   std::vector<ObjId> reads;   ///< R_i^j
   std::vector<ObjId> writes;  ///< W_i^j
+  SourceSpan span{};          ///< the `piece` line, when parsed from text
 
   [[nodiscard]] bool may_read(ObjId x) const;
   [[nodiscard]] bool may_write(ObjId x) const;
@@ -29,6 +44,7 @@ struct Piece {
 struct Program {
   std::string name;
   std::vector<Piece> pieces;
+  SourceSpan span{};  ///< the program's name token, when parsed from text
 
   /// Union of the pieces' read sets (the whole transaction's read set).
   [[nodiscard]] std::vector<ObjId> read_set() const;

@@ -1,0 +1,377 @@
+#include "lint/checks.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+
+#include "chopping/repair.hpp"
+#include "chopping/static_chopping_graph.hpp"
+#include "robustness/robustness.hpp"
+
+namespace sia::lint {
+
+namespace {
+
+std::string piece_context(const Program& p, std::size_t j) {
+  return p.name + "[" + std::to_string(j) + "]";
+}
+
+/// "WR|RW" — the kinds available on one cycle step.
+std::string kinds_string(TypeMask m) {
+  std::string kinds;
+  for (DepKind k : {DepKind::kSO, DepKind::kSOInv, DepKind::kWR, DepKind::kWW,
+                    DepKind::kRW}) {
+    if ((m & mask_of(k)) != 0) {
+      if (!kinds.empty()) kinds += "|";
+      kinds += to_string(k);
+    }
+  }
+  return kinds;
+}
+
+const char* theorem_of(Criterion crit) {
+  switch (crit) {
+    case Criterion::kSI: return "Corollary 18";
+    case Criterion::kSER: return "Theorem 29";
+    case Criterion::kPSI: return "Theorem 31";
+  }
+  return "?";
+}
+
+// ----- critical-cycle checks (Cor. 18 / Thm 29 / Thm 31) -------------------
+
+void critical_cycle_check(Criterion crit, const char* id,
+                          const SuiteContext& ctx, const CheckOptions& opts,
+                          std::vector<Diagnostic>& out) {
+  const std::vector<Program>& programs = ctx.suite.programs;
+  if (programs.empty()) return;
+  const StaticChoppingGraph scg(programs);
+  const ChoppingVerdict v =
+      find_critical_cycle(scg.graph(), crit, opts.cycle_budget);
+  if (v.correct) return;
+
+  Diagnostic d;
+  d.check = id;
+  d.severity = Severity::kWarning;
+  d.file = ctx.file;
+  if (v.witness) {
+    const TypedCycle& c = *v.witness;
+    const std::size_t n = c.length();
+    // Primary location: the piece that observes the broken atomicity —
+    // the first cycle vertex entered *and* left via conflict edges (for
+    // Fig. 5 that is the lookupAll piece reading both accounts mid
+    // transfer). Every cycle has one: a critical cycle contains a
+    // "conflict, predecessor, conflict" fragment, so not every step is a
+    // successor/predecessor edge.
+    std::size_t primary = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_conflict(c.masks[(i + n - 1) % n]) && is_conflict(c.masks[i])) {
+        primary = i;
+        break;
+      }
+    }
+    const auto [pi, pj] = scg.piece_of(c.vertices[primary]);
+    d.span = programs[pi].pieces[pj].span;
+    d.context = piece_context(programs[pi], pj);
+    d.message = "chopping is incorrect under " + to_string(crit) + " (" +
+                theorem_of(crit) + "): SCG(P) has a critical cycle through " +
+                d.context;
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto [i, j] = scg.piece_of(c.vertices[k]);
+      RelatedLocation r;
+      r.file = ctx.file;
+      r.span = programs[i].pieces[j].span;
+      r.message = "cycle step " + std::to_string(k + 1) + ": " +
+                  scg.label(c.vertices[k]) + " -" + kinds_string(c.masks[k]) +
+                  "-> " + scg.label(c.vertices[(k + 1) % n]);
+      d.related.push_back(std::move(r));
+    }
+  } else {
+    d.context = "cycle-budget";
+    d.message = "cycle enumeration budget exhausted after " +
+                std::to_string(v.cycles_examined) +
+                " cycles; the chopping is conservatively not certified "
+                "under " +
+                to_string(crit);
+  }
+  if (opts.fix_suggest) {
+    const ChoppingPlan plan = repair_chopping(programs, crit, opts.cycle_budget);
+    if (plan.certified) {
+      FixIt fix;
+      fix.description = "merging " + std::to_string(plan.merges.size()) +
+                        " adjacent piece pair(s) yields a chopping "
+                        "certified under " +
+                        to_string(crit);
+      fix.replacement = format_programs(plan.programs, ctx.suite.objects);
+      d.fix = std::move(fix);
+    }
+  }
+  out.push_back(std::move(d));
+}
+
+void check_si_cycle(const SuiteContext& ctx, const CheckOptions& opts,
+                    std::vector<Diagnostic>& out) {
+  critical_cycle_check(Criterion::kSI, "si-critical-cycle", ctx, opts, out);
+}
+
+void check_ser_cycle(const SuiteContext& ctx, const CheckOptions& opts,
+                     std::vector<Diagnostic>& out) {
+  critical_cycle_check(Criterion::kSER, "ser-critical-cycle", ctx, opts, out);
+}
+
+void check_psi_cycle(const SuiteContext& ctx, const CheckOptions& opts,
+                     std::vector<Diagnostic>& out) {
+  critical_cycle_check(Criterion::kPSI, "psi-critical-cycle", ctx, opts, out);
+}
+
+// ----- robustness checks (Thm 19 / Thm 22) ---------------------------------
+
+void robustness_diagnostic(const char* id, const RobustnessVerdict& v,
+                           const std::string& headline,
+                           const SuiteContext& ctx,
+                           std::vector<Diagnostic>& out) {
+  if (v.robust) return;
+  const std::vector<Program>& programs = ctx.suite.programs;
+  Diagnostic d;
+  d.check = id;
+  d.severity = Severity::kWarning;
+  d.file = ctx.file;
+  d.message = headline + ": " + v.description;
+  if (v.verified) {
+    d.message += " [confirmed by a concrete dependency-graph witness]";
+  }
+  if (!v.witness.empty() && v.witness[0] < programs.size()) {
+    const Program& first = programs[v.witness[0]];
+    d.span = first.span;
+    d.context = first.name;
+    for (std::size_t k = 0; k < v.witness.size(); ++k) {
+      if (v.witness[k] >= programs.size()) continue;
+      const Program& p = programs[v.witness[k]];
+      RelatedLocation r;
+      r.file = ctx.file;
+      r.span = p.span;
+      r.message =
+          "dependency-cycle step " + std::to_string(k + 1) + ": program '" +
+          p.name + "'";
+      d.related.push_back(std::move(r));
+    }
+  } else {
+    d.context = "no-witness";
+  }
+  out.push_back(std::move(d));
+}
+
+void check_robust_si(const SuiteContext& ctx, const CheckOptions& opts,
+                     std::vector<Diagnostic>& out) {
+  if (ctx.suite.programs.empty()) return;
+  const RobustnessVerdict v = opts.concretize
+                                  ? robust_against_si_verified(
+                                        ctx.suite.programs)
+                                  : robust_against_si(ctx.suite.programs);
+  robustness_diagnostic(
+      "robust-si-ser", v,
+      "application is not robust against SI (Theorem 19): histories under "
+      "SI may be non-serializable",
+      ctx, out);
+}
+
+void check_robust_psi(const SuiteContext& ctx, const CheckOptions& opts,
+                      std::vector<Diagnostic>& out) {
+  (void)opts;  // robust_against_psi always concretises its candidates
+  if (ctx.suite.programs.empty()) return;
+  const RobustnessVerdict v = robust_against_psi(ctx.suite.programs);
+  robustness_diagnostic(
+      "robust-psi-si", v,
+      "application is not robust against parallel SI (Theorem 22): "
+      "histories under PSI may violate SI",
+      ctx, out);
+}
+
+// ----- structural lints ----------------------------------------------------
+
+void check_empty_piece(const SuiteContext& ctx, const CheckOptions&,
+                       std::vector<Diagnostic>& out) {
+  for (const Program& p : ctx.suite.programs) {
+    for (std::size_t j = 0; j < p.pieces.size(); ++j) {
+      const Piece& piece = p.pieces[j];
+      if (!piece.reads.empty() || !piece.writes.empty()) continue;
+      Diagnostic d;
+      d.check = "empty-piece";
+      d.severity = Severity::kWarning;
+      d.file = ctx.file;
+      d.span = piece.span;
+      d.context = piece_context(p, j);
+      d.message = "piece " + std::to_string(j) + " of program '" + p.name +
+                  "' reads and writes nothing; it cannot affect or observe "
+                  "any object";
+      out.push_back(std::move(d));
+    }
+  }
+}
+
+void check_write_never_read(const SuiteContext& ctx, const CheckOptions&,
+                            std::vector<Diagnostic>& out) {
+  std::set<ObjId> read_anywhere;
+  for (const Program& p : ctx.suite.programs) {
+    for (const Piece& piece : p.pieces) {
+      read_anywhere.insert(piece.reads.begin(), piece.reads.end());
+    }
+  }
+  std::set<ObjId> reported;
+  for (const Program& p : ctx.suite.programs) {
+    for (std::size_t j = 0; j < p.pieces.size(); ++j) {
+      for (const ObjId x : p.pieces[j].writes) {
+        if (read_anywhere.count(x) != 0 || !reported.insert(x).second) {
+          continue;
+        }
+        Diagnostic d;
+        d.check = "write-never-read";
+        d.severity = Severity::kWarning;
+        d.file = ctx.file;
+        d.span = p.pieces[j].span;
+        d.context = "obj:" + ctx.suite.objects.name(x);
+        d.message = "object '" + ctx.suite.objects.name(x) +
+                    "' is written (program '" + p.name + "', piece " +
+                    std::to_string(j) + ") but never read by any program";
+        out.push_back(std::move(d));
+      }
+    }
+  }
+}
+
+void check_duplicate_access(const SuiteContext& ctx, const CheckOptions&,
+                            std::vector<Diagnostic>& out) {
+  for (const Program& p : ctx.suite.programs) {
+    // (object, is_write) -> pieces listing that access.
+    std::map<std::pair<ObjId, bool>, std::vector<std::size_t>> accesses;
+    for (std::size_t j = 0; j < p.pieces.size(); ++j) {
+      for (const ObjId x : p.pieces[j].reads) {
+        accesses[{x, false}].push_back(j);
+      }
+      for (const ObjId x : p.pieces[j].writes) {
+        accesses[{x, true}].push_back(j);
+      }
+    }
+    for (const auto& [key, pieces] : accesses) {
+      if (pieces.size() < 2) continue;
+      const auto [x, is_write] = key;
+      Diagnostic d;
+      d.check = "duplicate-piece-access";
+      d.severity = Severity::kWarning;
+      d.file = ctx.file;
+      d.span = p.pieces[pieces[1]].span;
+      d.context = piece_context(p, pieces[1]) + ":" +
+                  (is_write ? "writes:" : "reads:") +
+                  ctx.suite.objects.name(x);
+      d.message = std::string("program '") + p.name + "' " +
+                  (is_write ? "writes" : "reads") + " object '" +
+                  ctx.suite.objects.name(x) + "' in " +
+                  std::to_string(pieces.size()) +
+                  " pieces; under chopping each piece commits separately, "
+                  "so the repeated access spans transaction boundaries";
+      RelatedLocation r;
+      r.file = ctx.file;
+      r.span = p.pieces[pieces[0]].span;
+      r.message = "first " + std::string(is_write ? "write" : "read") +
+                  " of '" + ctx.suite.objects.name(x) + "' is here (piece " +
+                  std::to_string(pieces[0]) + ")";
+      d.related.push_back(std::move(r));
+      out.push_back(std::move(d));
+    }
+  }
+}
+
+void check_single_piece(const SuiteContext& ctx, const CheckOptions&,
+                        std::vector<Diagnostic>& out) {
+  if (ctx.suite.programs.size() < 2) return;  // nothing to chop against
+  for (const Program& p : ctx.suite.programs) {
+    if (p.pieces.size() != 1) continue;
+    Diagnostic d;
+    d.check = "single-piece-program";
+    d.severity = Severity::kNote;
+    d.file = ctx.file;
+    d.span = p.span;
+    d.context = p.name;
+    d.message = "program '" + p.name +
+                "' is a single piece, so the chopping criteria are trivial "
+                "for it; `sia_analyze --autochop` can search for a finer "
+                "certified chopping";
+    out.push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+const std::vector<CheckInfo>& all_checks() {
+  static const std::vector<CheckInfo> kChecks = {
+      {"si-critical-cycle",
+       "SCG(P) has an SI-critical cycle: the chopping is incorrect under "
+       "snapshot isolation (Corollary 18)",
+       Severity::kWarning, check_si_cycle},
+      {"ser-critical-cycle",
+       "SCG(P) has a SER-critical cycle: the chopping is incorrect under "
+       "serializability (Theorem 29)",
+       Severity::kWarning, check_ser_cycle},
+      {"psi-critical-cycle",
+       "SCG(P) has a PSI-critical cycle: the chopping is incorrect under "
+       "parallel snapshot isolation (Theorem 31)",
+       Severity::kWarning, check_psi_cycle},
+      {"robust-si-ser",
+       "the application is not robust against SI: some history under SI "
+       "is not serializable (Theorem 19)",
+       Severity::kWarning, check_robust_si},
+      {"robust-psi-si",
+       "the application is not robust against parallel SI: some history "
+       "under PSI violates SI (Theorem 22)",
+       Severity::kWarning, check_robust_psi},
+      {"empty-piece", "a piece reads and writes nothing", Severity::kWarning,
+       check_empty_piece},
+      {"write-never-read",
+       "an object is written but never read by any program",
+       Severity::kWarning, check_write_never_read},
+      {"duplicate-piece-access",
+       "a program accesses one object in several pieces",
+       Severity::kWarning, check_duplicate_access},
+      {"single-piece-program",
+       "a single-piece program, for which chopping analysis is trivial",
+       Severity::kNote, check_single_piece},
+  };
+  return kChecks;
+}
+
+const CheckInfo* find_check(std::string_view id) {
+  for (const CheckInfo& c : all_checks()) {
+    if (id == c.id) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<Diagnostic> run_checks(const SuiteContext& ctx,
+                                   const CheckOptions& opts,
+                                   const std::vector<std::string>& enabled_ids,
+                                   std::vector<double>* check_seconds) {
+  const std::vector<CheckInfo>& registry = all_checks();
+  if (check_seconds != nullptr) {
+    check_seconds->assign(registry.size(), 0.0);
+  }
+  std::vector<Diagnostic> out;
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const CheckInfo& check = registry[i];
+    if (!enabled_ids.empty() &&
+        std::find(enabled_ids.begin(), enabled_ids.end(), check.id) ==
+            enabled_ids.end()) {
+      continue;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    check.run(ctx, opts, out);
+    if (check_seconds != nullptr) {
+      (*check_seconds)[i] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    }
+  }
+  return out;
+}
+
+}  // namespace sia::lint

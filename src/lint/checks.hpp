@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "chopping/criteria.hpp"
+#include "tools/diagnostic.hpp"
+#include "tools/program_parser.hpp"
+
+/// \file checks.hpp
+/// The sia_lint check registry: every named analysis the driver can run
+/// over one parsed suite file. Checks come in three families —
+///  - critical-cycle checks (si-/ser-/psi-critical-cycle): the static
+///    chopping analyses of Cor. 18 / Thm 29 / Thm 31, rendered as caret
+///    diagnostics whose related locations walk the SCG cycle witness;
+///  - robustness checks (robust-si-ser, robust-psi-si): Thm 19 / Thm 22
+///    over the static dependency graph, optionally confirmed by the
+///    concretization layer (robustness/concretize.hpp);
+///  - structural lints (empty-piece, write-never-read,
+///    duplicate-piece-access, single-piece-program): cheap shape checks
+///    that catch suite-file mistakes before they distort the analyses.
+
+namespace sia::lint {
+
+/// Knobs shared by every check invocation.
+struct CheckOptions {
+  /// Confirm robustness counterexamples with a concrete dependency-graph
+  /// witness (robust_against_si_verified instead of robust_against_si).
+  bool concretize{false};
+  /// Attach a repaired-chopping fix-it (chopping/repair.hpp) to
+  /// critical-cycle findings.
+  bool fix_suggest{false};
+  /// Cycle-enumeration budget for the chopping analyses.
+  std::size_t cycle_budget{kDefaultCycleBudget};
+};
+
+/// One suite file under analysis.
+struct SuiteContext {
+  std::string file;    ///< display path (diagnostics, SARIF uri)
+  std::string source;  ///< raw text (caret rendering, fix regions)
+  ParsedSuite suite;
+};
+
+/// A registered check. `run` appends its findings; it never throws.
+struct CheckInfo {
+  const char* id;
+  const char* summary;  ///< one-line rule description (SARIF rules[])
+  Severity default_severity;
+  void (*run)(const SuiteContext&, const CheckOptions&,
+              std::vector<Diagnostic>&);
+};
+
+/// The registry, in deterministic (rendering) order. The pseudo-rule for
+/// parse failures ("parse-error") is not listed here — the driver emits
+/// it before any check runs.
+[[nodiscard]] const std::vector<CheckInfo>& all_checks();
+
+/// Registry lookup; nullptr for unknown ids.
+[[nodiscard]] const CheckInfo* find_check(std::string_view id);
+
+/// Runs the checks enabled by \p enabled_ids (empty = all) over one
+/// suite, in registry order. When \p check_seconds is non-null it
+/// receives one wall-clock entry per registry slot (0.0 for disabled
+/// checks) for the driver's --stats aggregation.
+[[nodiscard]] std::vector<Diagnostic> run_checks(
+    const SuiteContext& ctx, const CheckOptions& opts,
+    const std::vector<std::string>& enabled_ids,
+    std::vector<double>* check_seconds);
+
+}  // namespace sia::lint

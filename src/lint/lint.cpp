@@ -1,0 +1,245 @@
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "core/parallel.hpp"
+#include "tools/analysis_json.hpp"
+#include "tools/parse_error.hpp"
+
+namespace sia::lint {
+
+namespace {
+
+/// Does \p line contain non-space characters before \p pos?
+bool has_code_before(std::string_view line, std::size_t pos) {
+  for (std::size_t i = 0; i < pos; ++i) {
+    if (!std::isspace(static_cast<unsigned char>(line[i]))) return true;
+  }
+  return false;
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.span.line != b.span.line) {
+                       return a.span.line < b.span.line;
+                     }
+                     if (a.span.col != b.span.col) {
+                       return a.span.col < b.span.col;
+                     }
+                     return a.check < b.check;
+                   });
+}
+
+void lint_one_file(const SourceFile& in, const LintOptions& opts,
+                   FileResult& out) {
+  out.file = in.path;
+  out.source = in.text;
+  const SuppressionSet suppressions = scan_suppressions(in.text);
+
+  std::vector<Diagnostic> raw;
+  SuiteContext ctx;
+  ctx.file = in.path;
+  ctx.source = in.text;
+  try {
+    ctx.suite = parse_programs(in.text);
+    raw = run_checks(ctx, opts.check, opts.enabled, &out.check_seconds);
+  } catch (const ParseError& e) {
+    out.parse_failed = true;
+    Diagnostic d;
+    d.check = "parse-error";
+    d.severity = Severity::kError;
+    d.file = in.path;
+    d.span = SourceSpan{e.line(), e.column(),
+                        e.column() == 0 ? 0 : e.column() + 1};
+    d.message = e.what();
+    d.context = "line:" + std::to_string(e.line());
+    raw.push_back(std::move(d));
+  } catch (const ModelError& e) {
+    out.parse_failed = true;
+    Diagnostic d;
+    d.check = "parse-error";
+    d.severity = Severity::kError;
+    d.file = in.path;
+    d.message = e.what();
+    d.context = "file";
+    raw.push_back(std::move(d));
+  }
+
+  for (Diagnostic& d : raw) {
+    if (d.check != "parse-error" &&
+        suppressions.suppressed(d.check, d.span.line)) {
+      ++out.suppressed;
+      continue;
+    }
+    if (opts.baseline.count(d.fingerprint()) != 0) {
+      ++out.baselined;
+      continue;
+    }
+    if (opts.werror && d.severity == Severity::kWarning) {
+      d.severity = Severity::kError;
+    }
+    out.diagnostics.push_back(std::move(d));
+  }
+  sort_diagnostics(out.diagnostics);
+}
+
+}  // namespace
+
+SuppressionSet scan_suppressions(std::string_view source) {
+  SuppressionSet out;
+  std::istringstream in{std::string(source)};
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash == std::string::npos) continue;
+    const std::size_t marker = line.find("sia-lint:", hash);
+    if (marker == std::string::npos) continue;
+    const std::size_t open = line.find("disable(", marker);
+    if (open == std::string::npos) continue;
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos) continue;
+    // A trailing comment governs its own line; a standalone comment
+    // governs the line below it.
+    const std::size_t target =
+        has_code_before(line, hash) ? lineno : lineno + 1;
+    std::string inner = line.substr(open + 8, close - open - 8);
+    std::replace(inner.begin(), inner.end(), ',', ' ');
+    std::istringstream ids{inner};
+    std::string id;
+    while (ids >> id) out.add(target, id);
+  }
+  return out;
+}
+
+std::unordered_set<std::string> parse_baseline(std::string_view text) {
+  std::unordered_set<std::string> out;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    while (!line.empty() &&
+           std::isspace(static_cast<unsigned char>(line.back()))) {
+      line.pop_back();
+    }
+    std::size_t begin = 0;
+    while (begin < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[begin]))) {
+      ++begin;
+    }
+    if (begin < line.size()) out.insert(line.substr(begin));
+  }
+  return out;
+}
+
+int LintRun::exit_code() const {
+  if (parse_failed) return 2;
+  return counts.findings() ? 1 : 0;
+}
+
+std::vector<CheckStats> LintRun::stats() const {
+  const std::vector<CheckInfo>& registry = all_checks();
+  std::vector<CheckStats> out;
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    CheckStats s;
+    s.check = registry[i].id;
+    bool ran = false;
+    for (const FileResult& f : files) {
+      if (i < f.check_seconds.size()) {
+        s.seconds += f.check_seconds[i];
+        ran = ran || f.check_seconds[i] > 0.0;
+      }
+      for (const Diagnostic& d : f.diagnostics) {
+        if (d.check == s.check) ++s.findings;
+      }
+    }
+    if (ran || s.findings > 0) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string LintRun::baseline_text() const {
+  std::string out =
+      "# sia_lint baseline: one accepted finding per line "
+      "(check|file|context)\n";
+  for (const FileResult& f : files) {
+    for (const Diagnostic& d : f.diagnostics) {
+      if (d.check == "parse-error") continue;
+      out += d.fingerprint() + "\n";
+    }
+  }
+  return out;
+}
+
+LintRun run_lint(const std::vector<SourceFile>& files,
+                 const LintOptions& opts) {
+  LintRun run;
+  run.files.resize(files.size());
+  parallel_for(0, files.size(), 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      lint_one_file(files[i], opts, run.files[i]);
+    }
+  });
+  for (const FileResult& f : run.files) {
+    const DiagnosticCounts c = count_diagnostics(f.diagnostics);
+    run.counts.errors += c.errors;
+    run.counts.warnings += c.warnings;
+    run.counts.notes += c.notes;
+    run.suppressed += f.suppressed;
+    run.baselined += f.baselined;
+    run.parse_failed = run.parse_failed || f.parse_failed;
+  }
+  return run;
+}
+
+std::string render_human(const LintRun& run, bool color) {
+  std::string out;
+  for (const FileResult& f : run.files) {
+    for (const Diagnostic& d : f.diagnostics) {
+      out += sia::render_human(d, f.source, color);
+    }
+  }
+  std::ostringstream summary;
+  summary << run.counts.errors << " error(s), " << run.counts.warnings
+          << " warning(s), " << run.counts.notes << " note(s)";
+  if (run.suppressed > 0) summary << ", " << run.suppressed << " suppressed";
+  if (run.baselined > 0) summary << ", " << run.baselined << " baselined";
+  summary << " across " << run.files.size() << " file(s)\n";
+  out += summary.str();
+  return out;
+}
+
+std::string to_json(const LintRun& run) {
+  std::ostringstream out;
+  out << "{\n  \"tool\": \"sia_lint\",\n  \"version\": \"" << kLintVersion
+      << "\",\n  \"files\": [";
+  for (std::size_t i = 0; i < run.files.size(); ++i) {
+    const FileResult& f = run.files[i];
+    out << (i != 0 ? "," : "") << "\n    {\"file\": " << json_quote(f.file)
+        << ", \"parse_failed\": " << (f.parse_failed ? "true" : "false")
+        << ", \"diagnostics\": [";
+    for (std::size_t j = 0; j < f.diagnostics.size(); ++j) {
+      out << (j != 0 ? ",\n      " : "\n      ")
+          << sia::to_json(f.diagnostics[j]);
+    }
+    out << (f.diagnostics.empty() ? "]" : "\n    ]") << "}";
+  }
+  out << (run.files.empty() ? "]" : "\n  ]") << ",\n  \"summary\": {"
+      << "\"errors\": " << run.counts.errors
+      << ", \"warnings\": " << run.counts.warnings
+      << ", \"notes\": " << run.counts.notes
+      << ", \"suppressed\": " << run.suppressed
+      << ", \"baselined\": " << run.baselined << ", \"verdict\": "
+      << (run.parse_failed
+              ? "\"parse-error\""
+              : (run.counts.findings() ? "\"findings\"" : "\"ok\""))
+      << "}\n}\n";
+  return out.str();
+}
+
+}  // namespace sia::lint

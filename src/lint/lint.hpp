@@ -1,0 +1,126 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/checks.hpp"
+
+/// \file lint.hpp
+/// The sia_lint driver: runs the check registry over many suite files in
+/// parallel (core/parallel.hpp) and renders the findings as human,
+/// JSON or SARIF output. Two adoption mechanisms keep existing suites
+/// lintable incrementally:
+///  - inline suppressions: a `# sia-lint: disable(check-id, ...)` comment
+///    suppresses matching findings on its own line (when the line has
+///    code) or on the following line (when the comment stands alone);
+///    `disable(all)` suppresses every check there;
+///  - baselines: a text file of finding fingerprints
+///    ("check|file|context", one per line, '#' comments) that filters
+///    previously-accepted findings out of the run.
+
+namespace sia::lint {
+
+/// Inline `# sia-lint: disable(...)` comments of one file, resolved to
+/// the lines they govern.
+class SuppressionSet {
+ public:
+  void add(std::size_t line, const std::string& check) {
+    by_line_[line].insert(check);
+  }
+
+  /// True iff \p check (or "all") is disabled on \p line.
+  [[nodiscard]] bool suppressed(const std::string& check,
+                                std::size_t line) const {
+    const auto it = by_line_.find(line);
+    if (it == by_line_.end()) return false;
+    return it->second.count("all") != 0 || it->second.count(check) != 0;
+  }
+
+  [[nodiscard]] bool empty() const { return by_line_.empty(); }
+
+ private:
+  std::unordered_map<std::size_t, std::unordered_set<std::string>> by_line_;
+};
+
+/// Scans \p source for suppression comments.
+[[nodiscard]] SuppressionSet scan_suppressions(std::string_view source);
+
+/// Parses a baseline file's text into the fingerprint set.
+[[nodiscard]] std::unordered_set<std::string> parse_baseline(
+    std::string_view text);
+
+/// Driver configuration (the CLI flags, minus output formatting).
+struct LintOptions {
+  /// Check ids to run; empty = every registered check.
+  std::vector<std::string> enabled;
+  /// Promote warnings to errors in the rendered output.
+  bool werror{false};
+  /// Fingerprints to filter out (from --baseline).
+  std::unordered_set<std::string> baseline;
+  CheckOptions check;
+};
+
+/// One input: a display path plus its text. The CLI reads files from
+/// disk; tests and the bench feed in-memory sources with stable names so
+/// output stays deterministic.
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+/// Per-file outcome.
+struct FileResult {
+  std::string file;
+  std::string source;
+  std::vector<Diagnostic> diagnostics;  ///< post-filter, by line/col
+  bool parse_failed{false};
+  std::size_t suppressed{0};
+  std::size_t baselined{0};
+  /// Wall-clock per registry slot (indexed like all_checks()).
+  std::vector<double> check_seconds;
+};
+
+/// Aggregated per-check timing for --stats.
+struct CheckStats {
+  std::string check;
+  double seconds{0};
+  std::size_t findings{0};
+};
+
+/// Outcome of one driver run over all files.
+struct LintRun {
+  std::vector<FileResult> files;
+  DiagnosticCounts counts;  ///< totals over every file, post-filter
+  std::size_t suppressed{0};
+  std::size_t baselined{0};
+  bool parse_failed{false};
+
+  /// Uniform analyzer exit code: 2 on any parse failure, 1 when findings
+  /// (warnings or errors) remain, 0 when clean (notes do not count).
+  [[nodiscard]] int exit_code() const;
+
+  /// Per-check totals across files, registry order, checks that ran.
+  [[nodiscard]] std::vector<CheckStats> stats() const;
+
+  /// Fingerprints of every remaining finding (for --write-baseline).
+  [[nodiscard]] std::string baseline_text() const;
+};
+
+/// Parses and checks every file (files analyzed in parallel via
+/// parallel_for; per-file work stays sequential).
+[[nodiscard]] LintRun run_lint(const std::vector<SourceFile>& files,
+                               const LintOptions& opts);
+
+/// Human rendering of the whole run: caret diagnostics per file plus a
+/// closing summary line ("N errors, M warnings, K notes ...").
+[[nodiscard]] std::string render_human(const LintRun& run, bool color);
+
+/// JSON report: {"tool", "version", "files": [...], "summary": {...}} —
+/// diagnostics use the same object schema as sia_analyze --format json.
+[[nodiscard]] std::string to_json(const LintRun& run);
+
+inline constexpr const char* kLintVersion = "1.0.0";
+
+}  // namespace sia::lint

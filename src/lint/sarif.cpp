@@ -1,0 +1,130 @@
+#include "lint/sarif.hpp"
+
+#include <sstream>
+
+#include "tools/analysis_json.hpp"
+
+namespace sia::lint {
+
+namespace {
+
+constexpr const char* kSchemaUri =
+    "https://json.schemastore.org/sarif-2.1.0.json";
+constexpr const char* kInfoUri =
+    "https://github.com/sia/sia#sia_lint";
+
+/// Region one past the end of \p source, for whole-file replacements:
+/// (1,1)..(L+1,1) when the text ends in a newline, else (1,1)..(L,len+1).
+std::pair<std::size_t, std::size_t> end_of(const std::string& source) {
+  std::size_t line = 1;
+  std::size_t col = 1;
+  for (const char c : source) {
+    if (c == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  return {line, col};
+}
+
+void append_region(std::ostringstream& out, const SourceSpan& span) {
+  out << "\"region\": {\"startLine\": " << span.line;
+  if (span.col != 0) out << ", \"startColumn\": " << span.col;
+  if (span.end_col > span.col) out << ", \"endColumn\": " << span.end_col;
+  out << "}";
+}
+
+void append_location(std::ostringstream& out, const std::string& file,
+                     const SourceSpan& span) {
+  out << "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": "
+      << json_quote(file) << "}";
+  if (span.line != 0) {
+    out << ", ";
+    append_region(out, span);
+  }
+  out << "}";
+}
+
+void append_result(std::ostringstream& out, const FileResult& f,
+                   const Diagnostic& d, std::size_t rule_index) {
+  out << "      {\"ruleId\": " << json_quote(d.check)
+      << ", \"ruleIndex\": " << rule_index
+      << ", \"level\": " << json_quote(to_string(d.severity))
+      << ",\n       \"message\": {\"text\": " << json_quote(d.message)
+      << "},\n       \"locations\": [";
+  append_location(out, d.file, d.span);
+  out << "}]";
+  if (!d.related.empty()) {
+    out << ",\n       \"relatedLocations\": [";
+    for (std::size_t i = 0; i < d.related.size(); ++i) {
+      const RelatedLocation& r = d.related[i];
+      out << (i != 0 ? ", " : "");
+      append_location(out, r.file.empty() ? d.file : r.file, r.span);
+      out << ", \"message\": {\"text\": " << json_quote(r.message) << "}}";
+    }
+    out << "]";
+  }
+  out << ",\n       \"partialFingerprints\": {\"siaLintContext/v1\": "
+      << json_quote(d.fingerprint()) << "}";
+  if (d.fix) {
+    const auto [end_line, end_col] = end_of(f.source);
+    out << ",\n       \"fixes\": [{\"description\": {\"text\": "
+        << json_quote(d.fix->description)
+        << "},\n         \"artifactChanges\": [{\"artifactLocation\": "
+           "{\"uri\": "
+        << json_quote(d.file)
+        << "},\n           \"replacements\": [{\"deletedRegion\": "
+           "{\"startLine\": 1, \"startColumn\": 1, \"endLine\": "
+        << end_line << ", \"endColumn\": " << end_col
+        << "},\n             \"insertedContent\": {\"text\": "
+        << json_quote(d.fix->replacement) << "}}]}]}]";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string to_sarif(const LintRun& run) {
+  const std::vector<CheckInfo>& registry = all_checks();
+  std::ostringstream out;
+  out << "{\n  \"$schema\": " << json_quote(kSchemaUri)
+      << ",\n  \"version\": \"2.1.0\",\n  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\"name\": \"sia_lint\", \"version\": \""
+      << kLintVersion << "\",\n      \"informationUri\": "
+      << json_quote(kInfoUri) << ",\n      \"rules\": [\n";
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    out << "        {\"id\": " << json_quote(registry[i].id)
+        << ", \"shortDescription\": {\"text\": "
+        << json_quote(registry[i].summary)
+        << "}, \"defaultConfiguration\": {\"level\": "
+        << json_quote(to_string(registry[i].default_severity)) << "}},\n";
+  }
+  out << "        {\"id\": \"parse-error\", \"shortDescription\": {\"text\": "
+         "\"the suite file does not parse\"}, \"defaultConfiguration\": "
+         "{\"level\": \"error\"}}\n      ]}},\n"
+      << "    \"columnKind\": \"unicodeCodePoints\",\n"
+      << "    \"results\": [";
+
+  // Rule index lookup: registry order, parse-error appended last.
+  const auto rule_index = [&registry](const std::string& id) -> std::size_t {
+    for (std::size_t i = 0; i < registry.size(); ++i) {
+      if (id == registry[i].id) return i;
+    }
+    return registry.size();  // parse-error
+  };
+
+  bool first = true;
+  for (const FileResult& f : run.files) {
+    for (const Diagnostic& d : f.diagnostics) {
+      out << (first ? "\n" : ",\n");
+      first = false;
+      append_result(out, f, d, rule_index(d.check));
+    }
+  }
+  out << (first ? "]" : "\n    ]") << "\n  }]\n}\n";
+  return out.str();
+}
+
+}  // namespace sia::lint

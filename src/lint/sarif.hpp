@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "lint/lint.hpp"
+
+/// \file sarif.hpp
+/// SARIF 2.1.0 (OASIS Static Analysis Results Interchange Format) output
+/// for sia_lint, so GitHub code scanning and CI gates consume findings
+/// directly. One run per invocation; the tool.driver.rules array lists
+/// the whole check registry (plus the "parse-error" pseudo-rule) and
+/// every result carries ruleIndex, physical locations with regions,
+/// relatedLocations for cycle witnesses, partialFingerprints matching
+/// the baseline fingerprint, and fixes when --fix-suggest produced a
+/// certified repair.
+
+namespace sia::lint {
+
+/// Renders the whole run as one SARIF 2.1.0 log (a single run object).
+[[nodiscard]] std::string to_sarif(const LintRun& run);
+
+}  // namespace sia::lint

@@ -139,7 +139,11 @@ SuiteAnalysis analyze_suite_text(const std::string& text) {
   return a;
 }
 
-std::string to_json(const SuiteAnalysis& a) {
+namespace {
+
+/// Everything up to (and excluding) the trailing "seconds" member, so the
+/// diagnostics-carrying overload can splice its array in before it.
+std::ostringstream suite_json_prefix(const SuiteAnalysis& a) {
   std::ostringstream out;
   out << "{\n  \"kind\": \"programs\",\n"
       << "  \"programs\": " << a.programs << ",\n"
@@ -161,7 +165,26 @@ std::string to_json(const SuiteAnalysis& a) {
         << ", \"description\": " << json_quote(r.description) << "}";
   }
   out << "],\n  \"verdict\": "
-      << (a.si_choppable && a.si_robust ? "\"ok\"" : "\"violation\"")
+      << (a.si_choppable && a.si_robust ? "\"ok\"" : "\"violation\"");
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const SuiteAnalysis& a) {
+  std::ostringstream out = suite_json_prefix(a);
+  out << ",\n  \"seconds\": " << fmt_seconds(a.seconds) << "\n}\n";
+  return out.str();
+}
+
+std::string to_json(const SuiteAnalysis& a,
+                    const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream out = suite_json_prefix(a);
+  out << ",\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    out << (i != 0 ? ",\n    " : "\n    ") << to_json(diagnostics[i]);
+  }
+  out << (diagnostics.empty() ? "]" : "\n  ]")
       << ",\n  \"seconds\": " << fmt_seconds(a.seconds) << "\n}\n";
   return out.str();
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/enumeration.hpp"
+#include "tools/diagnostic.hpp"
 
 /// \file analysis_json.hpp
 /// The machine-readable face of the analyses: structured results of the
@@ -71,5 +72,12 @@ struct SuiteAnalysis {
 [[nodiscard]] SuiteAnalysis analyze_suite_text(const std::string& text);
 
 [[nodiscard]] std::string to_json(const SuiteAnalysis& a);
+
+/// Like to_json(a) but with source-located findings appended under
+/// "diagnostics", one object per Diagnostic in the exact schema
+/// `sia_lint --format json` uses — so CI tooling can consume either
+/// front end with one parser.
+[[nodiscard]] std::string to_json(const SuiteAnalysis& a,
+                                  const std::vector<Diagnostic>& diagnostics);
 
 }  // namespace sia

@@ -1,0 +1,147 @@
+#include "tools/diagnostic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tools/analysis_json.hpp"
+
+namespace sia {
+
+namespace {
+
+constexpr const char* kReset = "\x1b[0m";
+constexpr const char* kBold = "\x1b[1m";
+
+const char* severity_color(Severity s) {
+  switch (s) {
+    case Severity::kError: return "\x1b[1;31m";    // bold red
+    case Severity::kWarning: return "\x1b[1;35m";  // bold magenta
+    case Severity::kNote: return "\x1b[1;36m";     // bold cyan
+  }
+  return "";
+}
+
+/// The 1-based line \p lineno of \p source ("" when out of range).
+std::string_view source_line(std::string_view source, std::size_t lineno) {
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i < lineno; ++i) {
+    const std::size_t nl = source.find('\n', begin);
+    if (nl == std::string_view::npos) return {};
+    begin = nl + 1;
+  }
+  if (begin >= source.size()) return {};
+  const std::size_t end = source.find('\n', begin);
+  return source.substr(begin,
+                       end == std::string_view::npos ? end : end - begin);
+}
+
+void append_location(std::string& out, const std::string& file,
+                     const SourceSpan& span) {
+  out += file;
+  if (span.line != 0) {
+    out += ":" + std::to_string(span.line);
+    if (span.col != 0) out += ":" + std::to_string(span.col);
+  }
+}
+
+}  // namespace
+
+std::string to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::fingerprint() const {
+  return check + "|" + file + "|" + context;
+}
+
+DiagnosticCounts count_diagnostics(const std::vector<Diagnostic>& diags) {
+  DiagnosticCounts c;
+  for (const Diagnostic& d : diags) {
+    switch (d.severity) {
+      case Severity::kError: ++c.errors; break;
+      case Severity::kWarning: ++c.warnings; break;
+      case Severity::kNote: ++c.notes; break;
+    }
+  }
+  return c;
+}
+
+std::string render_human(const Diagnostic& d, std::string_view source,
+                         bool color) {
+  std::string out;
+  const auto emit_line = [&](const std::string& file, const SourceSpan& span,
+                             Severity sev, const std::string& message,
+                             const std::string& suffix) {
+    if (color) out += kBold;
+    append_location(out, file, span);
+    out += ": ";
+    if (color) out += severity_color(sev);
+    out += to_string(sev) + ": ";
+    if (color) {
+      out += kReset;
+      out += kBold;
+    }
+    out += message + suffix;
+    if (color) out += kReset;
+    out += "\n";
+    // The offending source line with a caret under the span.
+    if (span.line == 0 || span.col == 0) return;
+    const std::string_view text = source_line(source, span.line);
+    if (text.empty() || span.col > text.size()) return;
+    out += "  ";
+    out += text;
+    out += "\n  ";
+    out.append(span.col - 1, ' ');
+    if (color) out += "\x1b[1;32m";
+    out += "^";
+    if (span.end_col > span.col + 1) {
+      out.append(std::min(span.end_col, text.size() + 1) - span.col - 1, '~');
+    }
+    if (color) out += kReset;
+    out += "\n";
+  };
+
+  emit_line(d.file, d.span, d.severity, d.message, " [" + d.check + "]");
+  for (const RelatedLocation& r : d.related) {
+    emit_line(r.file.empty() ? d.file : r.file, r.span, Severity::kNote,
+              r.message, "");
+  }
+  if (d.fix) {
+    emit_line(d.file, SourceSpan{}, Severity::kNote,
+              d.fix->description + "; suggested replacement:", "");
+    std::istringstream lines{d.fix->replacement};
+    std::string line;
+    while (std::getline(lines, line)) out += "  | " + line + "\n";
+  }
+  return out;
+}
+
+std::string to_json(const Diagnostic& d) {
+  std::ostringstream out;
+  out << "{\"check\": " << json_quote(d.check)
+      << ", \"severity\": " << json_quote(to_string(d.severity))
+      << ", \"file\": " << json_quote(d.file) << ", \"line\": " << d.span.line
+      << ", \"col\": " << d.span.col << ", \"end_col\": " << d.span.end_col
+      << ", \"message\": " << json_quote(d.message)
+      << ", \"context\": " << json_quote(d.context) << ", \"related\": [";
+  for (std::size_t i = 0; i < d.related.size(); ++i) {
+    const RelatedLocation& r = d.related[i];
+    out << (i != 0 ? ", " : "") << "{\"file\": " << json_quote(r.file)
+        << ", \"line\": " << r.span.line << ", \"col\": " << r.span.col
+        << ", \"message\": " << json_quote(r.message) << "}";
+  }
+  out << "]";
+  if (d.fix) {
+    out << ", \"fix\": {\"description\": " << json_quote(d.fix->description)
+        << ", \"replacement\": " << json_quote(d.fix->replacement) << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace sia

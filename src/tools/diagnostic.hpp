@@ -1,0 +1,80 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/program.hpp"
+
+/// \file diagnostic.hpp
+/// Source-located findings — the shared currency of the analyzer front
+/// ends. `sia_lint` (src/lint) produces Diagnostics from its check
+/// registry and `sia_analyze` routes its violation reporting through the
+/// same type, so the human, JSON and SARIF renderers agree on one schema:
+/// a check id, a severity, a primary span into the suite file, related
+/// locations (e.g. the remaining steps of a critical cycle) and an
+/// optional fix-it replacement.
+
+namespace sia {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+[[nodiscard]] std::string to_string(Severity s);
+
+/// A secondary location attached to a finding (SARIF relatedLocations,
+/// clang-style "note:" lines in human output).
+struct RelatedLocation {
+  std::string file;
+  SourceSpan span;
+  std::string message;
+};
+
+/// A suggested repair: a full replacement for the suite file's text
+/// (choppings are whole-suite properties, so fixes are whole-suite too).
+struct FixIt {
+  std::string description;
+  std::string replacement;
+};
+
+/// One finding of one check over one file.
+struct Diagnostic {
+  std::string check;  ///< registry id, e.g. "si-critical-cycle"
+  Severity severity{Severity::kWarning};
+  std::string file;
+  SourceSpan span;  ///< primary location (line 0 = whole file)
+  std::string message;
+  std::vector<RelatedLocation> related;
+  std::optional<FixIt> fix;
+  /// Position-independent context for baselines (e.g. "lookupAll[0]"):
+  /// stable under edits that only move lines around.
+  std::string context;
+
+  /// Baseline key: "<check>|<file>|<context>".
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// Totals by severity (after suppression / baseline filtering).
+struct DiagnosticCounts {
+  std::size_t errors{0};
+  std::size_t warnings{0};
+  std::size_t notes{0};
+
+  [[nodiscard]] bool findings() const { return errors + warnings > 0; }
+};
+
+[[nodiscard]] DiagnosticCounts count_diagnostics(
+    const std::vector<Diagnostic>& diags);
+
+/// Clang-style rendering: "file:line:col: warning: msg [check]" with the
+/// source line and a caret underneath (when \p source, the file's text,
+/// contains the span), then one "note:" line per related location and the
+/// fix-it suggestion when present. \p color enables ANSI colors.
+[[nodiscard]] std::string render_human(const Diagnostic& d,
+                                       std::string_view source, bool color);
+
+/// One-object JSON rendering (shared by `sia_lint --format json` and
+/// `sia_analyze --format json`).
+[[nodiscard]] std::string to_json(const Diagnostic& d);
+
+}  // namespace sia

@@ -1,0 +1,247 @@
+#include "tools/json_min.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "tools/parse_error.hpp"
+
+namespace sia {
+
+namespace {
+
+/// Cursor over the input that tracks 1-based line/column for errors.
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("parse_json", line_, col_, what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      advance();
+    }
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+
+  [[nodiscard]] char peek() const {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    advance();
+    return c;
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    advance();
+  }
+
+  bool consume_keyword(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    for (std::size_t i = 0; i < word.size(); ++i) advance();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = peek() == 't';
+        if (!consume_keyword(v.boolean ? "true" : "false")) {
+          fail("bad literal");
+        }
+        return v;
+      }
+      case 'n': {
+        if (!consume_keyword("null")) fail("bad literal");
+        return JsonValue{};
+      }
+      default: return parse_number();
+    }
+  }
+
+ private:
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("control char in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by any serializer in this repo).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    std::string digits;
+    if (peek() == '-') digits.push_back(take());
+    const auto take_digits = [&] {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        digits.push_back(take());
+      }
+    };
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("bad number");
+    take_digits();
+    if (!eof() && text_[pos_] == '.') {
+      digits.push_back(take());
+      take_digits();
+    }
+    if (!eof() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      digits.push_back(take());
+      if (!eof() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        digits.push_back(take());
+      }
+      take_digits();
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(digits.c_str(), nullptr);
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      advance();
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      advance();
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_{0};
+  std::size_t line_{1};
+  std::size_t col_{1};
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) {
+    throw ModelError("JsonValue: missing member '" + std::string(key) + "'");
+  }
+  return *v;
+}
+
+JsonValue parse_json(std::string_view text) {
+  Reader r(text);
+  JsonValue v = r.parse_value();
+  r.skip_ws();
+  if (!r.eof()) r.fail("trailing content after document");
+  return v;
+}
+
+}  // namespace sia

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file json_min.hpp
+/// A minimal RFC 8259 JSON reader. The repo's serializers (analysis_json,
+/// diagnostic, lint/sarif) only ever *write* JSON; this is the matching
+/// read side, used by the tests to validate their output structurally
+/// (e.g. that sia_lint's SARIF really is well-formed SARIF 2.1.0) instead
+/// of by string comparison alone. Numbers are held as double — ample for
+/// line/column/count payloads.
+
+namespace sia {
+
+/// One parsed JSON value; a small closed sum over the seven JSON shapes.
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+
+  Kind kind{Kind::kNull};
+  bool boolean{false};
+  double number{0};
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Members in source order (SARIF consumers care about none of the
+  /// ordering, but keeping it makes error messages reproducible).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is(Kind k) const { return kind == k; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// find() that throws ModelError when the member is missing.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed).
+/// \throws ParseError (tools/parse_error.hpp) with 1-based line/column on
+/// malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace sia

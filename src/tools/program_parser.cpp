@@ -58,6 +58,11 @@ bool is_quoted(const std::string& token) {
   return token.size() >= 2 && token.front() == '"' && token.back() == '"';
 }
 
+/// Span of \p t on line \p lineno (columns are 1-based, end exclusive).
+SourceSpan span_of(const Token& t, std::size_t lineno) {
+  return SourceSpan{lineno, t.col, t.col + t.text.size()};
+}
+
 }  // namespace
 
 ParsedSuite parse_programs(std::string_view text) {
@@ -79,16 +84,28 @@ ParsedSuite parse_programs(std::string_view text) {
       }
       if (tokens.size() < 2 || tokens[1].text == "{" ||
           is_quoted(tokens[1].text)) {
-        fail(lineno, tokens[0].col, "expected a program name after 'program'");
+        // Point just past 'program' (or at the bad token) rather than at
+        // the keyword.
+        const std::size_t col = tokens.size() < 2
+                                    ? tokens[0].col + tokens[0].text.size()
+                                    : tokens[1].col;
+        fail(lineno, col, "expected a program name after 'program'");
       }
-      if (tokens.size() < 3 || tokens[2].text != "{" || tokens.size() > 3) {
-        fail(lineno, tokens[0].col, "expected 'program <name> {'");
+      if (tokens.size() < 3 || tokens[2].text != "{") {
+        const std::size_t col = tokens.size() < 3
+                                    ? tokens[1].col + tokens[1].text.size()
+                                    : tokens[2].col;
+        fail(lineno, col, "expected 'program <name> {'");
+      }
+      if (tokens.size() > 3) {
+        fail(lineno, tokens[3].col, "unexpected tokens after '{'");
       }
       if (!program_names.insert(tokens[1].text).second) {
         fail(lineno, tokens[1].col,
              "duplicate program name '" + tokens[1].text + "'");
       }
-      suite.programs.push_back(Program{tokens[1].text, {}});
+      suite.programs.push_back(
+          Program{tokens[1].text, {}, span_of(tokens[1], lineno)});
       in_program = true;
       continue;
     }
@@ -109,6 +126,7 @@ ParsedSuite parse_programs(std::string_view text) {
         fail(lineno, tokens[0].col, "'piece' outside a program");
       }
       Piece piece;
+      piece.span = span_of(tokens[0], lineno);
       std::size_t i = 1;
       if (i < tokens.size() && is_quoted(tokens[i].text)) {
         piece.label = tokens[i].text.substr(1, tokens[i].text.size() - 2);

@@ -29,7 +29,10 @@
 
 namespace sia {
 
-/// Parse result: the programs plus the object-name table.
+/// Parse result: the programs plus the object-name table. Every Program
+/// carries the span of its name token and every Piece the span of its
+/// `piece` keyword (1-based line/col, see core/program.hpp), so analyses
+/// can point diagnostics back into the suite text.
 struct ParsedSuite {
   std::vector<Program> programs;
   ObjectTable objects;

@@ -15,11 +15,14 @@
 ///
 /// `--format json` emits the machine-readable report (verdict, witness
 /// cycle, timing) through the same serializer the siad ANALYZE request
-/// uses (tools/analysis_json.hpp); errors become {"error": ...} on stdout.
+/// uses (tools/analysis_json.hpp). In programs mode the report also
+/// carries a "diagnostics" array — source-located findings in the exact
+/// per-diagnostic schema `sia_lint --format json` uses (one parser serves
+/// both front ends). Errors become {"error": ...} on stdout.
 ///
-/// Exit code: 0 when the suite is SI-chopping-correct and SI-robust (or,
-/// in --history mode, the trace is in HistSI), 1 otherwise, 2 on input
-/// errors.
+/// Exit code (uniform with sia_lint): 0 when the suite is
+/// SI-chopping-correct and SI-robust (or, in --history mode, the trace is
+/// in HistSI), 1 on findings, 2 on usage/input errors.
 
 #include <cstdio>
 #include <fstream>
@@ -31,7 +34,9 @@
 #include "chopping/static_chopping_graph.hpp"
 #include "robustness/robustness.hpp"
 #include "graph/enumeration.hpp"
+#include "lint/checks.hpp"
 #include "tools/analysis_json.hpp"
+#include "tools/diagnostic.hpp"
 #include "tools/dot.hpp"
 #include "tools/history_parser.hpp"
 #include "tools/program_parser.hpp"
@@ -39,6 +44,25 @@
 using namespace sia;
 
 namespace {
+
+/// The violation findings, in the shared Diagnostic schema: every lint
+/// check except the purely stylistic ones, with robustness candidates
+/// concretised so the findings agree with this tool's (verified) exit
+/// verdict.
+std::vector<Diagnostic> suite_diagnostics(const std::string& path,
+                                          const std::string& text,
+                                          ParsedSuite suite) {
+  lint::SuiteContext ctx;
+  ctx.file = path;
+  ctx.source = text;
+  ctx.suite = std::move(suite);
+  lint::CheckOptions opts;
+  opts.concretize = true;
+  static const std::vector<std::string> kViolationChecks = {
+      "si-critical-cycle", "ser-critical-cycle", "psi-critical-cycle",
+      "robust-si-ser", "robust-psi-si"};
+  return lint::run_checks(ctx, opts, kViolationChecks, nullptr);
+}
 
 int usage() {
   std::fprintf(stderr,
@@ -135,7 +159,8 @@ int main(int argc, char** argv) {
         return usage();
       }
     } else if (arg == "--help" || arg == "-h") {
-      return usage();
+      (void)usage();
+      return 0;
     } else if (!path.empty()) {
       return usage();
     } else {
@@ -161,7 +186,9 @@ int main(int argc, char** argv) {
         return a.in_si ? 0 : 1;
       }
       const SuiteAnalysis a = analyze_suite_text(text);
-      std::printf("%s", to_json(a).c_str());
+      const std::vector<Diagnostic> diags =
+          suite_diagnostics(path, text, parse_programs(text));
+      std::printf("%s", to_json(a, diags).c_str());
       return (a.si_choppable && a.si_robust) ? 0 : 1;
     } catch (const ModelError& e) {
       return json_error(e.what());
@@ -214,8 +241,15 @@ int main(int argc, char** argv) {
   std::printf("  PSI (towards SI): %s%s\n",
               psi.robust ? "robust" : "NOT robust",
               psi.verified ? " [concrete witness]" : "");
-  if (!verified.robust) std::printf("    %s\n", verified.description.c_str());
-  if (!psi.robust) std::printf("    %s\n", psi.description.c_str());
+
+  // ---- diagnostics (shared with sia_lint) -------------------------------
+  const std::vector<Diagnostic> diags = suite_diagnostics(path, text, suite);
+  if (!diags.empty()) {
+    std::printf("\n");
+    for (const Diagnostic& d : diags) {
+      std::printf("%s", render_human(d, text, false).c_str());
+    }
+  }
 
   // ---- repair / autochop -------------------------------------------------
   if (want_repair || (want_autochop && !si_choppable)) {

@@ -1,0 +1,216 @@
+/// \file sia_lint.cpp
+/// Diagnostics-grade front end to the static analyses: lint one or more
+/// program-suite files (program_parser.hpp format) with the registered
+/// checks and render source-located findings.
+///
+/// Usage:
+///   sia_lint [options] <file.sia ...>
+///     --format human|json|sarif   output format (default human)
+///     --checks=<id,id,...>        run only the named checks
+///     --werror                    promote warnings to errors
+///     --fix-suggest               attach repaired-chopping fix-its
+///     --concretize                confirm robustness findings with a
+///                                 concrete dependency-graph witness
+///     --baseline <file>           filter findings listed in the baseline
+///     --write-baseline <file>     write the current findings' fingerprints
+///     --stats                     per-check wall-time to stderr
+///     --color always|never|auto   ANSI colors in human output
+///     --list-checks               print the registry and exit
+///
+/// Inline suppressions: `# sia-lint: disable(check-id, ...)` — trailing a
+/// line it governs that line, standing alone it governs the next line.
+///
+/// Exit code: 0 clean (notes allowed), 1 findings, 2 usage/parse error.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "lint/lint.hpp"
+#include "lint/sarif.hpp"
+
+using namespace sia;
+
+namespace {
+
+int usage(int code) {
+  std::fprintf(
+      stderr,
+      "usage: sia_lint [--format human|json|sarif] [--checks=id,...]\n"
+      "                [--werror] [--fix-suggest] [--concretize]\n"
+      "                [--baseline file] [--write-baseline file] [--stats]\n"
+      "                [--color always|never|auto] [--list-checks]\n"
+      "                <file.sia ...>\n"
+      "  suite format: see src/tools/program_parser.hpp\n"
+      "  checks:       see --list-checks\n");
+  return code;
+}
+
+int list_checks() {
+  for (const lint::CheckInfo& c : lint::all_checks()) {
+    std::printf("%-24s %-8s %s\n", c.id, to_string(c.default_severity).c_str(),
+                c.summary);
+  }
+  return 0;
+}
+
+std::vector<std::string> split_ids(const std::string& list) {
+  std::vector<std::string> out;
+  std::string id;
+  std::istringstream in{list};
+  while (std::getline(in, id, ',')) {
+    if (!id.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  if (path == "-") {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    out = buf.str();
+    return true;
+  }
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Format { kHuman, kJson, kSarif };
+  Format format = Format::kHuman;
+  lint::LintOptions opts;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string color = "auto";
+  bool want_stats = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sia_lint: %s needs a value\n", flag);
+        std::exit(usage(2));
+      }
+      return argv[++i];
+    };
+    if (arg == "--format") {
+      const std::string f = value_of("--format");
+      if (f == "human") {
+        format = Format::kHuman;
+      } else if (f == "json") {
+        format = Format::kJson;
+      } else if (f == "sarif") {
+        format = Format::kSarif;
+      } else {
+        return usage(2);
+      }
+    } else if (arg.rfind("--checks=", 0) == 0) {
+      opts.enabled = split_ids(arg.substr(9));
+    } else if (arg == "--checks") {
+      opts.enabled = split_ids(value_of("--checks"));
+    } else if (arg == "--werror") {
+      opts.werror = true;
+    } else if (arg == "--fix-suggest") {
+      opts.check.fix_suggest = true;
+    } else if (arg == "--concretize") {
+      opts.check.concretize = true;
+    } else if (arg == "--baseline") {
+      baseline_path = value_of("--baseline");
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = value_of("--write-baseline");
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--color") {
+      color = value_of("--color");
+      if (color != "always" && color != "never" && color != "auto") {
+        return usage(2);
+      }
+    } else if (arg == "--list-checks") {
+      return list_checks();
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(0);
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::fprintf(stderr, "sia_lint: unknown option '%s'\n", arg.c_str());
+      return usage(2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return usage(2);
+
+  for (const std::string& id : opts.enabled) {
+    if (lint::find_check(id) == nullptr) {
+      std::fprintf(stderr, "sia_lint: unknown check '%s' (see --list-checks)\n",
+                   id.c_str());
+      return 2;
+    }
+  }
+
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, text)) {
+      std::fprintf(stderr, "sia_lint: cannot open baseline '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    opts.baseline = lint::parse_baseline(text);
+  }
+
+  std::vector<lint::SourceFile> files;
+  for (const std::string& path : paths) {
+    lint::SourceFile f;
+    f.path = path;
+    if (!read_file(path, f.text)) {
+      std::fprintf(stderr, "sia_lint: cannot open '%s'\n", path.c_str());
+      return 2;
+    }
+    files.push_back(std::move(f));
+  }
+
+  const lint::LintRun run = lint::run_lint(files, opts);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "sia_lint: cannot write baseline '%s'\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    out << run.baseline_text();
+  }
+
+  switch (format) {
+    case Format::kHuman: {
+      const bool use_color =
+          color == "always" || (color == "auto" && isatty(STDOUT_FILENO) != 0);
+      std::fputs(lint::render_human(run, use_color).c_str(), stdout);
+      break;
+    }
+    case Format::kJson:
+      std::fputs(lint::to_json(run).c_str(), stdout);
+      break;
+    case Format::kSarif:
+      std::fputs(lint::to_sarif(run).c_str(), stdout);
+      break;
+  }
+
+  if (want_stats) {
+    std::fprintf(stderr, "%-24s %12s %9s\n", "check", "seconds", "findings");
+    for (const lint::CheckStats& s : run.stats()) {
+      std::fprintf(stderr, "%-24s %12.6f %9zu\n", s.check.c_str(), s.seconds,
+                   s.findings);
+    }
+  }
+  return run.exit_code();
+}

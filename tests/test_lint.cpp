@@ -1,0 +1,480 @@
+#include "lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "chopping/static_chopping_graph.hpp"
+#include "lint/sarif.hpp"
+#include "tools/json_min.hpp"
+#include "tools/program_parser.hpp"
+
+/// \file test_lint.cpp
+/// The sia_lint driver: check registry, Figure 5/6 findings, suppression
+/// and baseline filtering, fix-its, and the JSON/SARIF reports. The
+/// goldens under tests/golden/ pin the exact serialized output for the
+/// shipped examples (regenerate with sia_lint from the repo root, see
+/// EXPERIMENTS.md); the SARIF structural test keeps the shape honest
+/// independently of them.
+
+namespace sia {
+namespace {
+
+using lint::LintOptions;
+using lint::LintRun;
+using lint::SourceFile;
+
+std::string read_repo_file(const std::string& rel) {
+  const std::string path = std::string(SIA_SOURCE_DIR) + "/" + rel;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The shipped example, with the repo-relative path as its display name
+/// so output matches a CLI run from the repo root (and the goldens).
+SourceFile example(const std::string& rel) {
+  return SourceFile{rel, read_repo_file(rel)};
+}
+
+LintRun lint_text(const std::string& text, const LintOptions& opts = {}) {
+  return lint::run_lint({SourceFile{"test.sia", text}}, opts);
+}
+
+const Diagnostic* find_diag(const LintRun& run, const std::string& check) {
+  for (const lint::FileResult& f : run.files) {
+    for (const Diagnostic& d : f.diagnostics) {
+      if (d.check == check) return &d;
+    }
+  }
+  return nullptr;
+}
+
+std::size_t count_diags(const LintRun& run, const std::string& check) {
+  std::size_t n = 0;
+  for (const lint::FileResult& f : run.files) {
+    for (const Diagnostic& d : f.diagnostics) {
+      n += d.check == check ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+TEST(LintRegistry, ChecksHaveUniqueIdsAndLookups) {
+  const std::vector<lint::CheckInfo>& checks = lint::all_checks();
+  ASSERT_GE(checks.size(), 9u);
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    for (std::size_t j = i + 1; j < checks.size(); ++j) {
+      EXPECT_STRNE(checks[i].id, checks[j].id);
+    }
+    EXPECT_EQ(lint::find_check(checks[i].id), &checks[i]);
+  }
+  EXPECT_NE(lint::find_check("si-critical-cycle"), nullptr);
+  EXPECT_EQ(lint::find_check("no-such-check"), nullptr);
+}
+
+// ---- Figure 5 / Figure 6 ------------------------------------------------
+
+TEST(LintFig5, PrimarySpanPointsAtLookupAllPieceLine) {
+  const SourceFile banking = example("examples/banking.sia");
+  const LintRun run = lint::run_lint({banking}, {});
+  EXPECT_EQ(run.exit_code(), 1);
+
+  const Diagnostic* d = find_diag(run, "si-critical-cycle");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->context, "lookupAll[0]");
+  // The primary span is the `piece` line of lookupAll — the piece both
+  // entered and left by conflict edges in the critical cycle.
+  ASSERT_TRUE(d->span.known());
+  std::istringstream in{banking.text};
+  std::string line;
+  for (std::size_t i = 0; i < d->span.line; ++i) std::getline(in, line);
+  EXPECT_NE(line.find("piece"), std::string::npos) << line;
+  EXPECT_NE(line.find("read both balances"), std::string::npos) << line;
+  EXPECT_EQ(line.find("piece"), d->span.col - 1);
+  // The full cycle is attached as related locations, one per SCG step.
+  ASSERT_EQ(d->related.size(), 3u);
+  EXPECT_NE(d->related[0].message.find("-WR->"), std::string::npos);
+  EXPECT_NE(d->related[1].message.find("-RW->"), std::string::npos);
+  EXPECT_NE(d->related[2].message.find("-SO^-1->"), std::string::npos);
+  for (const RelatedLocation& r : d->related) {
+    EXPECT_EQ(r.file, banking.path);
+    EXPECT_TRUE(r.span.known());
+  }
+
+  // All three chopping criteria reject Figure 5.
+  EXPECT_NE(find_diag(run, "ser-critical-cycle"), nullptr);
+  EXPECT_NE(find_diag(run, "psi-critical-cycle"), nullptr);
+  // And the suite is not SI-robust (write skew between the lookups).
+  EXPECT_NE(find_diag(run, "robust-si-ser"), nullptr);
+}
+
+TEST(LintFig6, SplitLookupsHaveNoCriticalCycle) {
+  const LintRun run = lint::run_lint({example("examples/banking_safe.sia")}, {});
+  EXPECT_EQ(find_diag(run, "si-critical-cycle"), nullptr);
+  EXPECT_EQ(find_diag(run, "ser-critical-cycle"), nullptr);
+  EXPECT_EQ(find_diag(run, "psi-critical-cycle"), nullptr);
+  // Still not robust: the write-skew between debit and credit remains.
+  EXPECT_NE(find_diag(run, "robust-si-ser"), nullptr);
+  EXPECT_EQ(run.exit_code(), 1);
+}
+
+TEST(LintFig5, FixSuggestReparsesAndCertifiesClean) {
+  LintOptions opts;
+  opts.check.fix_suggest = true;
+  const LintRun run = lint::run_lint({example("examples/banking.sia")}, opts);
+  const Diagnostic* d = find_diag(run, "si-critical-cycle");
+  ASSERT_NE(d, nullptr);
+  ASSERT_TRUE(d->fix.has_value());
+
+  // The suggested replacement is a complete suite file: it re-parses and
+  // the repaired chopping is certified under every criterion.
+  const ParsedSuite repaired = parse_programs(d->fix->replacement);
+  EXPECT_EQ(repaired.programs.size(), 2u);
+  for (const Criterion crit :
+       {Criterion::kSER, Criterion::kSI, Criterion::kPSI}) {
+    EXPECT_TRUE(check_chopping_static(repaired.programs, crit).correct);
+  }
+}
+
+// ---- structural lints ---------------------------------------------------
+
+TEST(LintStructural, EmptyPieceAndDuplicateAccess) {
+  const LintRun run = lint_text(
+      "program p {\n"
+      "  piece \"nop\"\n"
+      "  piece reads x writes y\n"
+      "  piece reads z writes y\n"
+      "}\n"
+      "program q {\n"
+      "  piece reads y x z\n"
+      "}\n");
+  const Diagnostic* empty = find_diag(run, "empty-piece");
+  ASSERT_NE(empty, nullptr);
+  EXPECT_EQ(empty->span.line, 2u);
+
+  const Diagnostic* dup = find_diag(run, "duplicate-piece-access");
+  ASSERT_NE(dup, nullptr);
+  EXPECT_EQ(dup->context, "p[2]:writes:y");
+  ASSERT_EQ(dup->related.size(), 1u);
+  EXPECT_EQ(dup->related[0].span.line, 3u);  // first write of y
+}
+
+TEST(LintStructural, WriteNeverReadAndSinglePiece) {
+  const LintRun run = lint_text(
+      "program p {\n"
+      "  piece reads x writes log\n"
+      "}\n"
+      "program q {\n"
+      "  piece reads x writes x\n"
+      "}\n");
+  const Diagnostic* wnr = find_diag(run, "write-never-read");
+  ASSERT_NE(wnr, nullptr);
+  EXPECT_EQ(wnr->context, "obj:log");
+  EXPECT_EQ(wnr->span.line, 2u);
+  // Both programs are single-piece notes.
+  EXPECT_EQ(count_diags(run, "single-piece-program"), 2u);
+  EXPECT_EQ(find_diag(run, "single-piece-program")->severity, Severity::kNote);
+}
+
+TEST(LintStructural, EnabledSubsetRunsOnlyThoseChecks) {
+  LintOptions opts;
+  opts.enabled = {"empty-piece"};
+  const LintRun run = lint_text(
+      "program p {\n  piece\n}\nprogram q {\n  piece reads x\n}\n", opts);
+  EXPECT_EQ(count_diags(run, "empty-piece"), 1u);
+  std::size_t total = 0;
+  for (const lint::FileResult& f : run.files) total += f.diagnostics.size();
+  EXPECT_EQ(total, 1u);
+}
+
+// ---- suppression / baseline / werror ------------------------------------
+
+TEST(LintSuppression, TrailingCommentGovernsItsOwnLine) {
+  const LintRun run = lint_text(
+      "program p {\n"
+      "  piece  # sia-lint: disable(empty-piece)\n"
+      "  piece reads x\n"
+      "}\n"
+      "program q {\n"
+      "  piece reads x writes x\n"
+      "}\n");
+  EXPECT_EQ(find_diag(run, "empty-piece"), nullptr);
+  EXPECT_EQ(run.suppressed, 1u);
+}
+
+TEST(LintSuppression, StandaloneCommentGovernsNextLine) {
+  const LintRun run = lint_text(
+      "# sia-lint: disable(single-piece-program)\n"
+      "program p {\n"
+      "  piece reads x writes x\n"
+      "}\n"
+      "program q {\n"
+      "  piece reads x\n"
+      "}\n");
+  // p's note is suppressed (the comment governs line 2); q's is not.
+  EXPECT_EQ(count_diags(run, "single-piece-program"), 1u);
+  EXPECT_EQ(find_diag(run, "single-piece-program")->context, "q");
+  EXPECT_EQ(run.suppressed, 1u);
+}
+
+TEST(LintSuppression, DisableAllIsAWildcard) {
+  const LintRun run = lint_text(
+      "program p {\n"
+      "  piece  # sia-lint: disable(all)\n"
+      "}\n"
+      "program q {\n"
+      "  piece reads x writes x\n"
+      "}\n");
+  EXPECT_EQ(find_diag(run, "empty-piece"), nullptr);
+  EXPECT_GE(run.suppressed, 1u);
+}
+
+TEST(LintBaseline, RoundTripSilencesEveryFinding) {
+  const SourceFile banking = example("examples/banking.sia");
+  const LintRun first = lint::run_lint({banking}, {});
+  EXPECT_EQ(first.exit_code(), 1);
+  const std::size_t findings =
+      first.counts.errors + first.counts.warnings + first.counts.notes;
+  ASSERT_GT(findings, 0u);
+
+  LintOptions opts;
+  opts.baseline = lint::parse_baseline(first.baseline_text());
+  const LintRun second = lint::run_lint({banking}, opts);
+  EXPECT_EQ(second.exit_code(), 0);
+  EXPECT_EQ(second.baselined, findings);
+  EXPECT_EQ(second.counts.findings(), 0u);
+}
+
+TEST(LintBaseline, FingerprintsArePositionIndependent) {
+  // Baselines must survive edits that move findings to other lines, so
+  // fingerprints carry context ("lookupAll[0]"), not line numbers.
+  const LintRun run = lint::run_lint({example("examples/banking.sia")}, {});
+  const Diagnostic* d = find_diag(run, "si-critical-cycle");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->fingerprint(),
+            "si-critical-cycle|examples/banking.sia|lookupAll[0]");
+}
+
+TEST(LintWerror, PromotesWarningsToErrors) {
+  LintOptions opts;
+  opts.werror = true;
+  const LintRun run = lint::run_lint({example("examples/banking.sia")}, opts);
+  EXPECT_EQ(run.counts.warnings, 0u);
+  EXPECT_GT(run.counts.errors, 0u);
+  EXPECT_EQ(run.exit_code(), 1);
+  EXPECT_EQ(find_diag(run, "si-critical-cycle")->severity, Severity::kError);
+}
+
+// ---- exit codes / parse failures ---------------------------------------
+
+TEST(LintExitCodes, CleanNotesParseError) {
+  // Only notes -> exit 0. (single-piece-program stays quiet for suites
+  // of one program, so use two.)
+  const LintRun notes = lint_text(
+      "program p {\n  piece reads x\n}\nprogram q {\n  piece reads x\n}\n");
+  EXPECT_EQ(notes.counts.notes, 2u);
+  EXPECT_EQ(notes.exit_code(), 0);
+  // Findings -> exit 1 (covered above). Parse failure -> exit 2, with a
+  // parse-error diagnostic carrying the error's span.
+  const LintRun bad = lint_text("program p {\n  piece x\n}\n");
+  EXPECT_TRUE(bad.parse_failed);
+  EXPECT_EQ(bad.exit_code(), 2);
+  const Diagnostic* d = find_diag(bad, "parse-error");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->span.line, 2u);
+  EXPECT_EQ(d->span.col, 9u);
+}
+
+TEST(LintStats, CoverEveryCheckThatRan) {
+  const LintRun run = lint::run_lint({example("examples/banking.sia")}, {});
+  const std::vector<lint::CheckStats> stats = run.stats();
+  ASSERT_GT(stats.size(), 0u);
+  ASSERT_LE(stats.size(), lint::all_checks().size());
+  std::size_t findings = 0;
+  for (const lint::CheckStats& s : stats) {
+    EXPECT_NE(lint::find_check(s.check), nullptr);
+    EXPECT_GE(s.seconds, 0.0);
+    findings += s.findings;
+  }
+  EXPECT_EQ(findings,
+            run.counts.errors + run.counts.warnings + run.counts.notes);
+}
+
+TEST(LintDriver, ManyFilesInParallelKeepInputOrder) {
+  std::vector<SourceFile> files;
+  for (int i = 0; i < 32; ++i) {
+    files.push_back(SourceFile{
+        "f" + std::to_string(i) + ".sia",
+        "program p {\n  piece reads x\n}\nprogram q {\n  piece reads x\n}\n"});
+  }
+  const LintRun run = lint::run_lint(files, {});
+  ASSERT_EQ(run.files.size(), files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    EXPECT_EQ(run.files[i].file, files[i].path);
+    EXPECT_EQ(run.files[i].diagnostics.size(), 2u);
+  }
+  EXPECT_EQ(run.counts.notes, 2 * files.size());
+}
+
+// ---- human rendering ----------------------------------------------------
+
+TEST(LintHuman, CaretLineAndSummary) {
+  const LintRun run = lint_text("program p {\n  piece\n}\n");
+  const std::string out = lint::render_human(run, /*color=*/false);
+  EXPECT_NE(out.find("test.sia:2:3: warning:"), std::string::npos) << out;
+  EXPECT_NE(out.find("[empty-piece]"), std::string::npos);
+  EXPECT_NE(out.find("    piece\n    ^~~~~"), std::string::npos) << out;
+  EXPECT_NE(out.find("warning(s)"), std::string::npos);
+  // Color mode brackets the severity with ANSI escapes.
+  const std::string colored = lint::render_human(run, /*color=*/true);
+  EXPECT_NE(colored.find("\x1b["), std::string::npos);
+}
+
+// ---- JSON / SARIF -------------------------------------------------------
+
+TEST(LintJson, ReportParsesAndSummarizes) {
+  const LintRun run = lint::run_lint({example("examples/banking.sia")}, {});
+  const JsonValue doc = parse_json(lint::to_json(run));
+  EXPECT_EQ(doc.at("tool").string, "sia_lint");
+  EXPECT_EQ(doc.at("version").string, lint::kLintVersion);
+  const JsonValue& files = doc.at("files");
+  ASSERT_EQ(files.array.size(), 1u);
+  EXPECT_EQ(files.array[0].at("file").string, "examples/banking.sia");
+  EXPECT_FALSE(files.array[0].at("parse_failed").boolean);
+  EXPECT_GT(files.array[0].at("diagnostics").array.size(), 0u);
+  const JsonValue& summary = doc.at("summary");
+  EXPECT_EQ(summary.at("verdict").string, "findings");
+  EXPECT_EQ(static_cast<std::size_t>(summary.at("warnings").number),
+            run.counts.warnings);
+}
+
+/// Structural SARIF 2.1.0 validation: the invariants a SARIF consumer
+/// (GitHub code scanning, VS Code SARIF viewer) relies on.
+void expect_valid_sarif(const JsonValue& doc, const std::string& uri) {
+  EXPECT_EQ(doc.at("$schema").string,
+            "https://json.schemastore.org/sarif-2.1.0.json");
+  EXPECT_EQ(doc.at("version").string, "2.1.0");
+  const JsonValue& runs = doc.at("runs");
+  ASSERT_TRUE(runs.is(JsonValue::Kind::kArray));
+  ASSERT_EQ(runs.array.size(), 1u);
+  const JsonValue& run = runs.array[0];
+  EXPECT_EQ(run.at("columnKind").string, "unicodeCodePoints");
+
+  const JsonValue& driver = run.at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").string, "sia_lint");
+  EXPECT_EQ(driver.at("version").string, lint::kLintVersion);
+  const JsonValue& rules = driver.at("rules");
+  ASSERT_TRUE(rules.is(JsonValue::Kind::kArray));
+  ASSERT_GT(rules.array.size(), 0u);
+  for (const JsonValue& rule : rules.array) {
+    EXPECT_TRUE(rule.at("id").is(JsonValue::Kind::kString));
+    EXPECT_FALSE(rule.at("shortDescription").at("text").string.empty());
+  }
+
+  const JsonValue& results = run.at("results");
+  ASSERT_TRUE(results.is(JsonValue::Kind::kArray));
+  for (const JsonValue& r : results.array) {
+    // ruleIndex must point at the rule whose id is ruleId.
+    const std::string& rule_id = r.at("ruleId").string;
+    const auto index = static_cast<std::size_t>(r.at("ruleIndex").number);
+    ASSERT_LT(index, rules.array.size());
+    EXPECT_EQ(rules.array[index].at("id").string, rule_id);
+    const std::string& level = r.at("level").string;
+    EXPECT_TRUE(level == "note" || level == "warning" || level == "error")
+        << level;
+    EXPECT_FALSE(r.at("message").at("text").string.empty());
+    const JsonValue& locs = r.at("locations");
+    ASSERT_EQ(locs.array.size(), 1u);
+    const JsonValue& phys = locs.array[0].at("physicalLocation");
+    EXPECT_EQ(phys.at("artifactLocation").at("uri").string, uri);
+    const JsonValue& region = phys.at("region");
+    EXPECT_GE(region.at("startLine").number, 1.0);
+    EXPECT_GE(region.at("startColumn").number, 1.0);
+    EXPECT_GT(region.at("endColumn").number, region.at("startColumn").number);
+    if (const JsonValue* related = r.find("relatedLocations")) {
+      for (const JsonValue& rel : related->array) {
+        EXPECT_FALSE(rel.at("message").at("text").string.empty());
+        (void)rel.at("physicalLocation").at("region").at("startLine");
+      }
+    }
+    const JsonValue& prints = r.at("partialFingerprints");
+    EXPECT_FALSE(prints.at("siaLintContext/v1").string.empty());
+  }
+}
+
+TEST(LintSarif, Fig5ReportIsStructurallyValidSarif210) {
+  LintOptions opts;
+  opts.check.fix_suggest = true;
+  const LintRun run = lint::run_lint({example("examples/banking.sia")}, opts);
+  const JsonValue doc = parse_json(lint::to_sarif(run));
+  expect_valid_sarif(doc, "examples/banking.sia");
+
+  // The cycle findings carry a fix whose replacement is the whole
+  // repaired suite: deletedRegion spans the file from 1:1.
+  const JsonValue& results = doc.at("runs").array[0].at("results");
+  bool saw_fix = false;
+  for (const JsonValue& r : results.array) {
+    const JsonValue* fixes = r.find("fixes");
+    if (fixes == nullptr) continue;
+    saw_fix = true;
+    const JsonValue& change = fixes->array[0].at("artifactChanges").array[0];
+    EXPECT_EQ(change.at("artifactLocation").at("uri").string,
+              "examples/banking.sia");
+    const JsonValue& repl = change.at("replacements").array[0];
+    const JsonValue& del = repl.at("deletedRegion");
+    EXPECT_EQ(del.at("startLine").number, 1.0);
+    EXPECT_EQ(del.at("startColumn").number, 1.0);
+    const std::string& text = repl.at("insertedContent").at("text").string;
+    EXPECT_NO_THROW((void)parse_programs(text));
+  }
+  EXPECT_TRUE(saw_fix);
+}
+
+TEST(LintSarif, ParseErrorReportIsStructurallyValid) {
+  const LintRun run = lint_text("program p {\n  piece x\n}\n");
+  const JsonValue doc = parse_json(lint::to_sarif(run));
+  expect_valid_sarif(doc, "test.sia");
+  const JsonValue& results = doc.at("runs").array[0].at("results");
+  ASSERT_EQ(results.array.size(), 1u);
+  EXPECT_EQ(results.array[0].at("ruleId").string, "parse-error");
+  EXPECT_EQ(results.array[0].at("level").string, "error");
+}
+
+// ---- goldens ------------------------------------------------------------
+
+/// Pinned serialized output for the shipped examples. Regenerate from the
+/// repo root after an intentional change:
+///   build/src/tools/sia_lint examples/banking.sia --fix-suggest
+///       --format sarif > tests/golden/banking.sarif   (etc.)
+void expect_matches_golden(const std::string& actual,
+                           const std::string& golden_rel) {
+  const std::string expected = read_repo_file(golden_rel);
+  EXPECT_EQ(actual, expected) << "output drifted from " << golden_rel
+                              << " — inspect and regenerate if intentional";
+}
+
+TEST(LintGolden, BankingSarifAndJson) {
+  LintOptions opts;
+  opts.check.fix_suggest = true;
+  const LintRun run = lint::run_lint({example("examples/banking.sia")}, opts);
+  expect_matches_golden(lint::to_sarif(run), "tests/golden/banking.sarif");
+  expect_matches_golden(lint::to_json(run), "tests/golden/banking.lint.json");
+}
+
+TEST(LintGolden, BankingSafeSarifAndJson) {
+  const LintRun run =
+      lint::run_lint({example("examples/banking_safe.sia")}, {});
+  expect_matches_golden(lint::to_sarif(run),
+                        "tests/golden/banking_safe.sarif");
+  expect_matches_golden(lint::to_json(run),
+                        "tests/golden/banking_safe.lint.json");
+}
+
+}  // namespace
+}  // namespace sia

@@ -142,6 +142,67 @@ TEST(Parser, FormatRoundTrips) {
   }
 }
 
+TEST(Parser, RecordsSourceSpans) {
+  // kBanking starts with a blank line, so `program transfer` is line 3.
+  const ParsedSuite suite = parse_programs(kBanking);
+  const Program& transfer = suite.programs[0];
+  EXPECT_EQ(transfer.span, (SourceSpan{3, 9, 17}));  // the name token
+  EXPECT_EQ(transfer.pieces[0].span, (SourceSpan{4, 3, 8}));  // `piece`
+  EXPECT_EQ(transfer.pieces[1].span, (SourceSpan{5, 3, 8}));
+  const Program& lookup = suite.programs[1];
+  EXPECT_EQ(lookup.span.line, 7u);
+  EXPECT_EQ(lookup.pieces[0].span, (SourceSpan{8, 3, 8}));
+  EXPECT_TRUE(lookup.span.known());
+  // Programs built in C++ carry no span.
+  EXPECT_FALSE(Program{}.span.known());
+}
+
+TEST(Parser, UnchopPropagatesSpans) {
+  const ParsedSuite suite = parse_programs(kBanking);
+  const std::vector<Program> merged = unchop(suite.programs);
+  ASSERT_EQ(merged.size(), 2u);
+  // The merged piece keeps the first piece's span; the program its own.
+  EXPECT_EQ(merged[0].span, suite.programs[0].span);
+  EXPECT_EQ(merged[0].pieces[0].span, suite.programs[0].pieces[0].span);
+}
+
+TEST(Parser, ErrorColumnsPointAtTheOffendingToken) {
+  const auto error_at = [](const char* text, std::size_t line,
+                           std::size_t col) {
+    try {
+      (void)parse_programs(text);
+      FAIL() << "expected ParseError for: " << text;
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), line) << text;
+      EXPECT_EQ(e.column(), col) << text;
+    }
+  };
+  error_at("program {\n", 1, 9);             // missing name: at '{'
+  error_at("program\n", 1, 8);               // missing name: past keyword
+  error_at("program p q {\n", 1, 11);        // stray token before '{'
+  error_at("program p { x\n", 1, 13);        // stray token after '{'
+  error_at("program p {\n  piece reads x x\n}\n", 2, 17);  // duplicate obj
+}
+
+TEST(Parser, RoundTripPreservesLabelsAndSpansStayFresh) {
+  // format_programs drops comments but keeps labels; re-parsing yields
+  // spans for the *formatted* text, still self-consistent.
+  const ParsedSuite suite = parse_programs(
+      "# header comment\n"
+      "program p { # trailing\n"
+      "  piece \"two words\" reads x writes y # note\n"
+      "}\n");
+  const std::string text = format_programs(suite.programs, suite.objects);
+  EXPECT_EQ(text.find('#'), std::string::npos);
+  const ParsedSuite again = parse_programs(text);
+  ASSERT_EQ(again.programs.size(), 1u);
+  EXPECT_EQ(again.programs[0].pieces[0].label, "two words");
+  EXPECT_TRUE(again.programs[0].span.known());
+  EXPECT_TRUE(again.programs[0].pieces[0].span.known());
+  EXPECT_EQ(again.programs[0].pieces[0].span.line,
+            again.programs[0].span.line + 1);
+}
+
 TEST(Parser, EmptyInputYieldsNoPrograms) {
   const ParsedSuite suite = parse_programs("  \n # nothing \n");
   EXPECT_TRUE(suite.programs.empty());
