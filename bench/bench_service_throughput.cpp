@@ -7,6 +7,12 @@
 /// equal to an offline ConsistencyMonitor replay, server ack counts equal
 /// to client ack counts, zero protocol errors). Results persist to
 /// BENCH_service_throughput.json.
+///
+/// Two variants per connection count: "baseline" (short streams, GC never
+/// fires) and "gc" (4x longer streams against a small gc_window, so the
+/// streaming monitor's stable-prefix GC runs repeatedly mid-load) — the
+/// gc rows show that watermark advancement adds no cliff to service
+/// latency or throughput.
 
 #include <cstdio>
 #include <string>
@@ -23,15 +29,19 @@ namespace {
 
 struct SweepRow {
   std::size_t connections{0};
+  std::string variant;
   LoadReport report;
 };
 
-LoadgenConfig sweep_config(std::uint16_t port, std::size_t connections) {
+LoadgenConfig sweep_config(std::uint16_t port, std::size_t connections,
+                           bool gc) {
   LoadgenConfig cfg;
   cfg.port = port;
   cfg.connections = connections;
   cfg.streams_per_connection = 2;
-  cfg.txns_per_stream = 96;
+  // The gc variant runs 4x longer streams against a small window so the
+  // stable-prefix GC fires repeatedly while requests are in flight.
+  cfg.txns_per_stream = gc ? 384 : 96;
   cfg.batch_size = 8;
   cfg.model = Model::kSI;
   cfg.seed = 42 + connections;
@@ -40,14 +50,18 @@ LoadgenConfig sweep_config(std::uint16_t port, std::size_t connections) {
 
 std::vector<SweepRow> run_sweep() {
   std::vector<SweepRow> rows;
-  for (const std::size_t connections : {1u, 4u, 16u}) {
-    ServerConfig scfg;
-    scfg.shards = 4;  // fixed shard count so only the client side sweeps
-    Server server(scfg);
-    server.start();
-    const LoadgenConfig cfg = sweep_config(server.port(), connections);
-    rows.push_back({connections, run_load(cfg)});
-    server.drain();
+  for (const bool gc : {false, true}) {
+    for (const std::size_t connections : {1u, 4u, 16u}) {
+      ServerConfig scfg;
+      scfg.shards = 4;  // fixed shard count so only the client side sweeps
+      if (gc) scfg.gc_window = 64;
+      Server server(scfg);
+      server.start();
+      const LoadgenConfig cfg =
+          sweep_config(server.port(), connections, gc);
+      rows.push_back({connections, gc ? "gc" : "baseline", run_load(cfg)});
+      server.drain();
+    }
   }
   return rows;
 }
@@ -64,11 +78,11 @@ bool write_json(const std::string& path, const std::vector<SweepRow>& rows) {
     const LoadReport& r = rows[i].report;
     std::fprintf(
         f,
-        "    {\"connections\": %zu, \"streams\": %zu, "
+        "    {\"connections\": %zu, \"variant\": \"%s\", \"streams\": %zu, "
         "\"commits_acked\": %llu, \"commits_per_sec\": %.0f, "
         "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"retry_later\": %llu, "
         "\"clean\": %s}%s\n",
-        rows[i].connections, r.streams,
+        rows[i].connections, rows[i].variant.c_str(), r.streams,
         static_cast<unsigned long long>(r.commits_acked), r.commits_per_sec,
         r.p50_ms, r.p99_ms, static_cast<unsigned long long>(r.retry_later),
         clean(r) ? "true" : "false", i + 1 < rows.size() ? "," : "");
@@ -84,15 +98,16 @@ bool table() {
   const std::vector<SweepRow> rows = run_sweep();
   std::vector<bench::VerdictRow> verdicts;
   for (const SweepRow& row : rows) {
-    verdicts.push_back(
-        {"connections=" + std::to_string(row.connections) + " audit",
-         "clean", clean(row.report) ? "clean" : "NOT CLEAN"});
+    verdicts.push_back({"connections=" + std::to_string(row.connections) +
+                            " (" + row.variant + ") audit",
+                        "clean", clean(row.report) ? "clean" : "NOT CLEAN"});
   }
   const bool reproduced = bench::print_verdicts(verdicts);
-  std::printf("%-14s %10s %14s %10s %10s\n", "connections", "commits",
-              "commits/sec", "p50 (ms)", "p99 (ms)");
+  std::printf("%-14s %-10s %10s %14s %10s %10s\n", "connections", "variant",
+              "commits", "commits/sec", "p50 (ms)", "p99 (ms)");
   for (const SweepRow& row : rows) {
-    std::printf("%-14zu %10llu %14.0f %10.3f %10.3f\n", row.connections,
+    std::printf("%-14zu %-10s %10llu %14.0f %10.3f %10.3f\n",
+                row.connections, row.variant.c_str(),
                 static_cast<unsigned long long>(row.report.commits_acked),
                 row.report.commits_per_sec, row.report.p50_ms,
                 row.report.p99_ms);

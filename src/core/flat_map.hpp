@@ -1,0 +1,79 @@
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <map>
+#include <utility>
+#include <vector>
+
+/// \file flat_map.hpp
+/// A minimal sorted-vector map for the monitor ingest hot path. The
+/// node-based std::map in MonitoredCommit cost one allocation per entry
+/// on every decoded commit (profile: the dominant allocator churn at
+/// million-commit stream rates); a flat sorted vector is one allocation
+/// per commit, cache-dense to iterate, and keeps std::map's ascending
+/// iteration order — so wire encodings and reconstructed graphs stay
+/// byte-identical. Only the operations the ingest path uses are provided.
+
+namespace sia {
+
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+  using iterator = typename std::vector<value_type>::iterator;
+
+  FlatMap() = default;
+
+  FlatMap(std::initializer_list<value_type> init) {
+    for (const value_type& kv : init) (*this)[kv.first] = kv.second;
+  }
+
+  /// Implicit conversion from std::map keeps existing call sites (tests,
+  /// builders) source-compatible; the input is already sorted.
+  FlatMap(const std::map<K, V>& m) : entries_(m.begin(), m.end()) {}
+  FlatMap(std::map<K, V>&& m) : entries_(m.begin(), m.end()) {}
+
+  V& operator[](const K& key) {
+    auto it = lower(key);
+    if (it != entries_.end() && it->first == key) return it->second;
+    return entries_.insert(it, {key, V{}})->second;
+  }
+
+  [[nodiscard]] const_iterator find(const K& key) const {
+    auto it = lower(key);
+    if (it != entries_.end() && it->first == key) return it;
+    return entries_.end();
+  }
+
+  [[nodiscard]] std::size_t count(const K& key) const {
+    return find(key) != end() ? 1 : 0;
+  }
+
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  friend bool operator==(const FlatMap&, const FlatMap&) = default;
+
+ private:
+  [[nodiscard]] typename std::vector<value_type>::const_iterator lower(
+      const K& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& kv, const K& k) { return kv.first < k; });
+  }
+  [[nodiscard]] typename std::vector<value_type>::iterator lower(
+      const K& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& kv, const K& k) { return kv.first < k; });
+  }
+
+  std::vector<value_type> entries_;
+};
+
+}  // namespace sia

@@ -1,0 +1,753 @@
+#include "graph/incremental.hpp"
+
+#include <algorithm>
+
+namespace sia {
+
+// ---------------------------------------------------------------------------
+// IncrementalDigraph
+// ---------------------------------------------------------------------------
+
+IncrementalDigraph::Slot IncrementalDigraph::add_node() {
+  Slot s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    s = static_cast<Slot>(nodes_.size());
+    nodes_.emplace_back();
+    gen_.push_back(0);
+    mark_.push_back(0);
+  }
+  Node& n = nodes_[s];
+  n.out.clear();
+  n.in.clear();
+  n.live = true;
+  // Fresh nodes take a strictly maximal order; the stride leaves gaps so
+  // that backward edges can usually relocate their source in O(degree)
+  // instead of searching (see insert_edge). Reorders only permute or
+  // bisect existing values, so next_ord_ stays an upper bound forever.
+  n.ord = next_ord_;
+  next_ord_ += kOrdStride;
+  ++live_;
+  return s;
+}
+
+void IncrementalDigraph::free_node(Slot s) {
+  Node& n = nodes_[s];
+  // Release capacity for real: the flat-memory claim is about the heap,
+  // not the node count.
+  n.out.clear();
+  n.out.shrink_to_fit();
+  n.in.clear();
+  n.in.shrink_to_fit();
+  n.live = false;
+  ++gen_[s];
+  free_.push_back(s);
+  --live_;
+}
+
+void IncrementalDigraph::free_nodes(const std::vector<Slot>& dead) {
+  for (const Slot s : dead) {
+    nodes_[s].live = false;
+    --live_;
+  }
+  // One erase_if pass per affected survivor (epoch-deduped), instead of
+  // one linear scan per removed edge: the batch is linear in the touched
+  // adjacency. Survivor out-lists never reference dead nodes — an edge
+  // q -> p ascends in ord, so ord(q) < ord(p) < barrier would have put q
+  // in the dead set too.
+  ++epoch_;
+  for (const Slot s : dead) {
+    for (const Slot q : nodes_[s].out) {
+      if (!nodes_[q].live || mark_[q] == epoch_) continue;
+      mark_[q] = epoch_;
+      std::erase_if(nodes_[q].in,
+                    [this](Slot p) { return !nodes_[p].live; });
+    }
+  }
+  for (const Slot s : dead) {
+    Node& n = nodes_[s];
+    n.out.clear();
+    n.out.shrink_to_fit();
+    n.in.clear();
+    n.in.shrink_to_fit();
+    ++gen_[s];
+    free_.push_back(s);
+  }
+}
+
+void IncrementalDigraph::remove_in_ref(Slot q, Slot p) {
+  std::vector<Slot>& in = nodes_[q].in;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == p) {
+      in[i] = in.back();
+      in.pop_back();
+      return;
+    }
+  }
+}
+
+bool IncrementalDigraph::insert_edge(Slot a, Slot b) {
+  if (a == b) return false;
+  Node& na = nodes_[a];
+  Node& nb = nodes_[b];
+  if (na.ord < nb.ord) {  // already topologically consistent: O(1)
+    na.out.push_back(b);
+    nb.in.push_back(a);
+    return true;
+  }
+  // Backward edge. First try the O(degree) relocation: if a's entire
+  // neighbourhood already fits around a slot below b — every predecessor
+  // of a ordered before min(b, successors of a) — then no path b ⇝ a can
+  // exist (it would have to enter a through a predecessor ordered after
+  // b), so sliding a into the gap restores the order with no search at
+  // all. This is the hot case for monitor streams: a fresh reader with a
+  // handful of final D-predecessors anti-depending on an old writer.
+  {
+    std::uint64_t max_pred = 0;
+    for (const Slot p : na.in) max_pred = std::max(max_pred, nodes_[p].ord);
+    std::uint64_t min_succ = nb.ord;
+    for (const Slot q : na.out) min_succ = std::min(min_succ, nodes_[q].ord);
+    if (max_pred + 1 < min_succ) {
+      na.ord = max_pred + (min_succ - max_pred) / 2;
+      na.out.push_back(b);
+      nb.in.push_back(a);
+      return true;
+    }
+  }
+  // Pearce–Kelly: the affected region is the ord-interval (lo, hi). A
+  // forward search from b bounded by hi either meets a (a cycle — the
+  // edge is rejected and nothing changes) or yields the set to shift.
+  const std::uint64_t lo = nb.ord;
+  const std::uint64_t hi = na.ord;
+  ++epoch_;
+  delta_f_.clear();
+  stack_.clear();
+  stack_.push_back(b);
+  mark_[b] = epoch_;
+  while (!stack_.empty()) {
+    const Slot u = stack_.back();
+    stack_.pop_back();
+    delta_f_.push_back(u);
+    for (const Slot v : nodes_[u].out) {
+      if (v == a) return false;  // b ⇝ a exists: a -> b closes a cycle
+      if (nodes_[v].ord < hi && mark_[v] != epoch_) {
+        mark_[v] = epoch_;
+        stack_.push_back(v);
+      }
+    }
+  }
+  ++epoch_;
+  delta_b_.clear();
+  stack_.push_back(a);
+  mark_[a] = epoch_;
+  while (!stack_.empty()) {
+    const Slot u = stack_.back();
+    stack_.pop_back();
+    delta_b_.push_back(u);
+    for (const Slot v : nodes_[u].in) {
+      if (nodes_[v].ord > lo && mark_[v] != epoch_) {
+        mark_[v] = epoch_;
+        stack_.push_back(v);
+      }
+    }
+  }
+  // Shift: everything that reaches a must order before everything b
+  // reaches. Pool the affected ord values and redistribute (the two sets
+  // are disjoint, else the forward pass would have found the cycle).
+  const auto by_ord = [this](Slot x, Slot y) {
+    return nodes_[x].ord < nodes_[y].ord;
+  };
+  std::sort(delta_b_.begin(), delta_b_.end(), by_ord);
+  std::sort(delta_f_.begin(), delta_f_.end(), by_ord);
+  ord_pool_.clear();
+  for (const Slot s : delta_b_) ord_pool_.push_back(nodes_[s].ord);
+  for (const Slot s : delta_f_) ord_pool_.push_back(nodes_[s].ord);
+  std::sort(ord_pool_.begin(), ord_pool_.end());
+  std::size_t i = 0;
+  for (const Slot s : delta_b_) nodes_[s].ord = ord_pool_[i++];
+  for (const Slot s : delta_f_) nodes_[s].ord = ord_pool_[i++];
+  na.out.push_back(b);
+  nb.in.push_back(a);
+  return true;
+}
+
+bool IncrementalDigraph::reaches(Slot from, Slot to) const {
+  if (from == to) return true;
+  const std::uint64_t hi = nodes_[to].ord;
+  if (nodes_[from].ord > hi) return false;  // paths only ascend in ord
+  ++epoch_;
+  stack_.clear();
+  stack_.push_back(from);
+  mark_[from] = epoch_;
+  while (!stack_.empty()) {
+    const Slot u = stack_.back();
+    stack_.pop_back();
+    for (const Slot v : nodes_[u].out) {
+      if (v == to) return true;
+      if (nodes_[v].ord < hi && mark_[v] != epoch_) {
+        mark_[v] = epoch_;
+        stack_.push_back(v);
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t IncrementalDigraph::approx_bytes() const {
+  std::size_t total = nodes_.capacity() * sizeof(Node) +
+                      gen_.capacity() * sizeof(std::uint32_t) +
+                      free_.capacity() * sizeof(Slot) +
+                      mark_.capacity() * sizeof(std::uint64_t);
+  for (const Node& n : nodes_) {
+    total += (n.out.capacity() + n.in.capacity()) * sizeof(Slot);
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// StreamingMonitor
+// ---------------------------------------------------------------------------
+
+StreamingMonitor::StreamingMonitor(Model model, StreamingConfig cfg)
+    : model_(model), cfg_(cfg) {
+  // The implicit initialising transaction (id 0) starts as a real node;
+  // like any other it can be pruned once the watermark passes its last
+  // readable version, after which edges out of it are dropped.
+  const auto s0 = graph_.add_node();
+  d_preds_.resize(s0 + 1);
+  id_to_slot_.emplace(0, s0);
+}
+
+void StreamingMonitor::record_violation(TxnId at, const std::string& detail) {
+  if (violation_) return;  // first violation is sticky
+  violation_ = at;
+  violation_detail_ = detail;
+}
+
+IncrementalDigraph::Slot StreamingMonitor::slot_of(TxnId id) const {
+  const auto it = id_to_slot_.find(id);
+  return it == id_to_slot_.end() ? IncrementalDigraph::kNoSlot : it->second;
+}
+
+bool StreamingMonitor::edge_seen(IncrementalDigraph::Slot a,
+                                 IncrementalDigraph::Slot b) {
+  if (b != seen_target_) {  // stamps are scoped to one target's burst
+    seen_target_ = b;
+    ++seen_epoch_;
+  }
+  if (seen_src_.size() < graph_.slot_count()) {
+    seen_src_.resize(graph_.slot_count(), 0);
+  }
+  if (seen_src_[a] == seen_epoch_) return true;
+  seen_src_[a] = seen_epoch_;
+  return false;
+}
+
+void StreamingMonitor::validate(const MonitoredCommit& c) const {
+  for (const ObjId obj : c.txn.external_read_set()) {
+    const auto it = c.read_sources.find(obj);
+    if (it == c.read_sources.end()) {
+      throw ModelError("StreamingMonitor: commit " +
+                       std::to_string(next_id_) + " reads obj" +
+                       std::to_string(obj) + " without a read source");
+    }
+    const TxnId src = it->second;
+    const auto obj_it = objects_.find(obj);
+    const bool known = obj_it != objects_.end()
+                           ? obj_it->second.writer_pos.count(src) != 0
+                           : src == 0;
+    if (!known) {
+      throw ModelError("StreamingMonitor: read source T" +
+                       std::to_string(src) + " never wrote obj" +
+                       std::to_string(obj) +
+                       " or predates the GC watermark T" +
+                       std::to_string(watermark_) +
+                       " (staleness window exceeded)");
+    }
+  }
+}
+
+StreamingMonitor::ObjectState& StreamingMonitor::object_state(ObjId obj) {
+  auto [it, inserted] = objects_.try_emplace(obj);
+  if (inserted) {
+    // The implicit initialising transaction (id 0) wrote version 0.
+    it->second.writers.push_back(0);
+    it->second.writer_pos.emplace(0, 0);
+  }
+  return it->second;
+}
+
+void StreamingMonitor::add_generator(TxnId a, TxnId b, DepKind kind,
+                                     ObjId obj) {
+  if (a == b) {
+    record_violation(next_id_ - 1,
+                     "reflexive " + to_string(DepEdge{a, b, kind, obj}));
+    return;
+  }
+  if (violation_) return;
+  add_generator_slots(a, b, slot_of(a), slot_of(b), kind, obj);
+}
+
+void StreamingMonitor::add_generator_slots(TxnId a, TxnId b,
+                                           IncrementalDigraph::Slot sa,
+                                           IncrementalDigraph::Slot sb,
+                                           DepKind kind, ObjId obj) {
+  if (a == b) {
+    record_violation(next_id_ - 1,
+                     "reflexive " + to_string(DepEdge{a, b, kind, obj}));
+    return;
+  }
+  if (violation_) return;
+  // A pruned source cannot be re-entered by any future path (DESIGN.md
+  // §4f): dropping the edge — and the provably-false cycle query — is
+  // exactly what the closure monitor would conclude.
+  if (sa == IncrementalDigraph::kNoSlot ||
+      sb == IncrementalDigraph::kNoSlot) {
+    return;
+  }
+  if (edge_seen(sa, sb)) return;
+  if (!graph_.insert_edge(sa, sb)) {
+    record_violation(
+        next_id_ - 1,
+        "cycle closed by " + to_string(DepEdge{a, b, kind, obj}) +
+            " (reverse path already committed)");
+  }
+}
+
+void StreamingMonitor::add_anti_dependency(const PendingRw& p) {
+  if (p.compose_union) {
+    // SI writes-path: compose the object's reader-predecessor union
+    // against the new writer. Contributing readers are always older than
+    // s, so the Definition 5 r != s requirement holds per entry.
+    const auto ss = resolve(p.s);
+    const auto& preds = objects_.at(p.obj).reader_preds;
+    // Entries below from_seq are implied via the WW chain; seqs are
+    // appended in order, so the live suffix starts at a binary search.
+    auto it = std::lower_bound(
+        preds.begin(), preds.end(), p.from_seq,
+        [](const ReaderPred& e, std::uint64_t seq) { return e.seq < seq; });
+    for (; it != preds.end(); ++it) {
+      const ReaderPred& e = *it;
+      if (e.d.id == p.s.id) {
+        record_violation(
+            next_id_ - 1,
+            "D edge T" + std::to_string(p.s.id) + " -> T" +
+                std::to_string(e.reader) + " composed with " +
+                to_string(DepEdge{e.reader, p.s.id, DepKind::kRW, p.obj}));
+        continue;
+      }
+      if (violation_) continue;
+      const auto sd = resolve(e.d);
+      if (sd == IncrementalDigraph::kNoSlot ||
+          ss == IncrementalDigraph::kNoSlot) {
+        continue;  // pruned D-predecessor: composed edge is irrelevant
+      }
+      if (edge_seen(sd, ss)) continue;
+      if (!graph_.insert_edge(sd, ss)) {
+        record_violation(
+            next_id_ - 1,
+            "cycle closed by D;RW step T" + std::to_string(e.d.id) +
+                " -> T" + std::to_string(p.s.id) + " (via " +
+                to_string(
+                    DepEdge{e.reader, p.s.id, DepKind::kRW, p.obj}) +
+                ")");
+      }
+    }
+    return;
+  }
+  if (p.r.id == p.s.id) return;  // Definition 5 requires T != S
+  switch (model_) {
+    case Model::kSER:
+      if (violation_) break;
+      add_generator_slots(p.r.id, p.s.id, resolve(p.r), resolve(p.s),
+                          DepKind::kRW, p.obj);
+      break;
+    case Model::kSI: {
+      const auto sr = resolve(p.r);
+      if (sr == IncrementalDigraph::kNoSlot) break;  // r pruned: no preds
+      const auto ss = resolve(p.s);
+      for (const NodeRef& d : d_preds_[sr]) {
+        if (d.id == p.s.id) {
+          record_violation(
+              next_id_ - 1,
+              "D edge T" + std::to_string(p.s.id) + " -> T" +
+                  std::to_string(p.r.id) + " composed with " +
+                  to_string(DepEdge{p.r.id, p.s.id, DepKind::kRW, p.obj}));
+          continue;
+        }
+        if (violation_) continue;
+        const auto sd = resolve(d);
+        if (sd == IncrementalDigraph::kNoSlot ||
+            ss == IncrementalDigraph::kNoSlot) {
+          continue;  // pruned D-predecessor: composed edge is irrelevant
+        }
+        if (edge_seen(sd, ss)) continue;
+        if (!graph_.insert_edge(sd, ss)) {
+          record_violation(
+              next_id_ - 1,
+              "cycle closed by D;RW step T" + std::to_string(d.id) +
+                  " -> T" + std::to_string(p.s.id) + " (via " +
+                  to_string(DepEdge{p.r.id, p.s.id, DepKind::kRW, p.obj}) +
+                  ")");
+        }
+      }
+      break;
+    }
+    case Model::kPSI: {
+      if (violation_) break;
+      const auto ss = resolve(p.s);
+      const auto sr = resolve(p.r);
+      if (ss == IncrementalDigraph::kNoSlot ||
+          sr == IncrementalDigraph::kNoSlot) {
+        break;
+      }
+      if (graph_.reaches(ss, sr)) {
+        record_violation(
+            next_id_ - 1,
+            "D+ path T" + std::to_string(p.s.id) + " ->+ T" +
+                std::to_string(p.r.id) + " closed by " +
+                to_string(DepEdge{p.r.id, p.s.id, DepKind::kRW, p.obj}));
+      }
+      break;
+    }
+  }
+}
+
+TxnId StreamingMonitor::commit(const MonitoredCommit& c) {
+  validate(c);  // throws before any state below is touched
+  if (cfg_.max_transactions != 0 &&
+      commit_count() >= cfg_.max_transactions) {
+    ++dropped_commits_;  // explicit opt-in ceiling, kept for compatibility
+    return 0;
+  }
+  const TxnId id = next_id_++;
+  if (cfg_.keep_log) log_.push_back(c);
+  // Invalidate edge_seen stamps from the previous commit (GC may have
+  // recycled slots in between, so stale marks must never carry over).
+  ++seen_epoch_;
+  seen_target_ = IncrementalDigraph::kNoSlot;
+
+  // After the first violation the verdict is sticky and every cycle query
+  // is short-circuited, so the graph structure goes quiescent; only the
+  // validator state (session tails, version table) keeps advancing.
+  IncrementalDigraph::Slot slot = IncrementalDigraph::kNoSlot;
+  if (!violation_) {
+    slot = graph_.add_node();
+    if (d_preds_.size() <= slot) d_preds_.resize(slot + 1);
+    d_preds_[slot].clear();
+    id_to_slot_.emplace(id, slot);
+  }
+
+  pending_rw_.clear();
+
+  // --- session order ---------------------------------------------------
+  if (auto it = session_last_.find(c.session); it != session_last_.end()) {
+    if (!violation_) {
+      add_generator(it->second, id, DepKind::kSO, kInvalidObj);
+      d_preds_[slot].push_back(make_ref(it->second));
+    }
+  }
+  session_last_[c.session] = id;
+
+  // --- read dependencies (and anti-dependencies out of this reader) ----
+  for (const ObjId obj : c.txn.external_read_set()) {
+    const auto it = c.read_sources.find(obj);
+    if (it == c.read_sources.end()) {
+      throw ModelError("StreamingMonitor: commit " + std::to_string(id) +
+                       " reads obj" + std::to_string(obj) +
+                       " without a read source");
+    }
+    const TxnId src = it->second;
+    ObjectState& state = object_state(obj);
+    const auto pos = state.writer_pos.find(src);
+    if (pos == state.writer_pos.end()) {
+      throw ModelError("StreamingMonitor: read source T" +
+                       std::to_string(src) + " never wrote obj" +
+                       std::to_string(obj));
+    }
+    if (!violation_) {
+      add_generator(src, id, DepKind::kWR, obj);
+    }
+    if (!violation_) {
+      d_preds_[slot].push_back(make_ref(src));
+      // Anti-dependencies against writers that already overtook the
+      // source. Every overwriter of a still-readable version is itself
+      // retained, so the retained suffix sees exactly the overtakers the
+      // full writer list would.
+      const NodeRef self{id, slot, graph_.gen(slot)};
+      for (std::size_t p = pos->second - state.base + 1;
+           p < state.writers.size(); ++p) {
+        pending_rw_.push_back({self, make_ref(state.writers[p]), obj});
+      }
+      state.readers.push_back(
+          {id, slot, graph_.gen(slot), pos->second, state.readers_seq++});
+    }
+  }
+
+  // --- write dependencies (and anti-dependencies into this writer) -----
+  for (const ObjId obj : c.txn.write_set()) {
+    ObjectState& state = object_state(obj);
+    const TxnId prev = state.writers.back();
+    if (!violation_ && prev != id) {
+      add_generator(prev, id, DepKind::kWW, obj);
+      d_preds_[slot].push_back(make_ref(prev));
+    }
+    if (!violation_) {
+      // Every retained earlier reader of this object read a version this
+      // write overtakes (pruned readers' anti-dependencies are provably
+      // cycle-free; see §4f).
+      const NodeRef self{id, slot, graph_.gen(slot)};
+      if (model_ == Model::kSI) {
+        // One deferred entry stands for the whole readers × preds
+        // product via the object's deduplicated union; entries already
+        // composed against the previous writer are implied via its WW
+        // edge and skipped.
+        pending_rw_.push_back(
+            {NodeRef{}, self, obj, true, state.composed_preds_upto});
+        state.composed_preds_upto = state.preds_seq;
+      } else {
+        // Under SER the same WW-chain implication applies to the direct
+        // RW(r -> w) edges; under PSI no edge is materialised for them,
+        // so every retained reader must stay in the (O(1)-per-query)
+        // reachability loop.
+        for (const Reader& rd : state.readers) {
+          if (model_ == Model::kSER &&
+              rd.seq < state.composed_readers_upto) {
+            continue;
+          }
+          pending_rw_.push_back({{rd.id, rd.slot, rd.gen}, self, obj});
+        }
+        if (model_ == Model::kSER) {
+          state.composed_readers_upto = state.readers_seq;
+        }
+      }
+    }
+    state.writer_pos.emplace(id, state.base + state.writers.size());
+    state.writers.push_back(id);
+  }
+
+  for (const PendingRw& p : pending_rw_) {
+    add_anti_dependency(p);
+  }
+
+  // This commit's D-predecessor list is now final (the paper's structural
+  // fact); fold it into the reader-predecessor union of every object it
+  // read, so future overwriters compose against it. Done after the
+  // pending pass: a transaction never anti-depends on itself.
+  if (model_ == Model::kSI && !violation_) {
+    for (const ObjId obj : c.txn.external_read_set()) {
+      ObjectState& state = objects_.at(obj);
+      for (const NodeRef& d : d_preds_[slot]) {
+        if (state.reader_pred_ids.insert(d.id).second) {
+          state.reader_preds.push_back({d, id, state.preds_seq++});
+        }
+      }
+    }
+  }
+
+  if (cfg_.gc_window != 0 &&
+      next_id_ - 1 - last_gc_at_ >=
+          std::max<std::size_t>(1, cfg_.gc_window / 2)) {
+    last_gc_at_ = next_id_ - 1;
+    run_gc();
+  }
+  return id;
+}
+
+void StreamingMonitor::run_gc() {
+  const std::size_t ingested = commit_count();
+  if (ingested <= cfg_.gc_window) return;
+  const TxnId W = static_cast<TxnId>(ingested - cfg_.gc_window);
+  if (W <= watermark_) return;
+  watermark_ = W;
+
+  if (!violation_) {
+    // The stable prefix: every node ordered before each and every
+    // post-watermark transaction. Since all edges ascend in ord, the
+    // prefix has no in-edges from the rest of the graph by construction,
+    // no future generator edge targets it (all overwriters of readable
+    // versions are newer than W), and no query walks into it — pruning
+    // is verdict-preserving (DESIGN.md §4f).
+    std::uint64_t barrier = ~static_cast<std::uint64_t>(0);
+    for (const auto& [id, slot] : id_to_slot_) {
+      if (id > W) barrier = std::min(barrier, graph_.ord(slot));
+    }
+    prune_list_.clear();
+    for (const auto& [id, slot] : id_to_slot_) {
+      if (graph_.ord(slot) < barrier) prune_list_.push_back({id, slot});
+    }
+    // Surviving nodes may hold in-refs to pruned ones (forward edges out
+    // of the prefix); the batch free drops those and recycles the slots.
+    dead_slots_.clear();
+    for (const auto& [id, slot] : prune_list_) {
+      (void)id;
+      dead_slots_.push_back(slot);
+    }
+    graph_.free_nodes(dead_slots_);
+    for (const auto& [id, slot] : prune_list_) {
+      d_preds_[slot].clear();
+      d_preds_[slot].shrink_to_fit();
+      id_to_slot_.erase(id);
+    }
+    pruned_ += prune_list_.size();
+  }
+
+  // Version-table compaction: any version overwritten by a transaction
+  // with id <= W is dead — a future read naming it is out of the
+  // staleness window and rejected by validate(). Runs even after a
+  // violation so the validator state stays flat too.
+  for (auto& [obj, st] : objects_) {
+    (void)obj;
+    const auto cut_it =
+        std::upper_bound(st.writers.begin(), st.writers.end(), W);
+    if (cut_it != st.writers.begin()) {
+      const std::size_t cut =
+          static_cast<std::size_t>(cut_it - st.writers.begin()) - 1;
+      if (cut > 0) {
+        for (std::size_t i = 0; i < cut; ++i) {
+          st.writer_pos.erase(st.writers[i]);
+        }
+        st.writers.erase(st.writers.begin(),
+                         st.writers.begin() +
+                             static_cast<std::ptrdiff_t>(cut));
+        st.base += cut;
+      }
+    }
+    if (violation_) {
+      // Readers only seed future anti-dependency queries, all of which
+      // are short-circuited once the verdict is sticky.
+      st.readers.clear();
+      st.readers.shrink_to_fit();
+      st.reader_preds.clear();
+      st.reader_preds.shrink_to_fit();
+      st.reader_pred_ids.clear();
+      continue;
+    }
+    std::erase_if(st.readers, [this](const Reader& rd) {
+      return rd.slot == IncrementalDigraph::kNoSlot ||
+             graph_.gen(rd.slot) != rd.gen;
+    });
+    std::erase_if(st.reader_preds, [this, &st](const ReaderPred& e) {
+      if (resolve(e.d) == IncrementalDigraph::kNoSlot) {
+        st.reader_pred_ids.erase(e.d.id);
+        return true;
+      }
+      return false;
+    });
+  }
+}
+
+std::vector<TxnId> StreamingMonitor::commit_all(
+    const std::vector<MonitoredCommit>& batch) {
+  std::vector<TxnId> ids;
+  ids.reserve(batch.size());
+  for (const MonitoredCommit& c : batch) ids.push_back(commit(c));
+  return ids;
+}
+
+BatchResult StreamingMonitor::commit_all_guarded(
+    const std::vector<MonitoredCommit>& batch) {
+  BatchResult result;
+  result.ids.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    try {
+      result.ids.push_back(commit(batch[i]));
+    } catch (const ModelError& e) {
+      // commit() validated before mutating: quarantine and keep going.
+      result.ids.push_back(0);
+      result.quarantined.push_back(i);
+      result.errors.emplace_back(e.what());
+    }
+  }
+  return result;
+}
+
+std::size_t StreamingMonitor::approx_bytes() const {
+  std::size_t total = graph_.approx_bytes();
+  total += id_to_slot_.size() *
+           (sizeof(std::pair<TxnId, IncrementalDigraph::Slot>) + 2 * 8);
+  for (const auto& preds : d_preds_) {
+    total += preds.capacity() * sizeof(NodeRef);
+  }
+  total += d_preds_.capacity() * sizeof(std::vector<NodeRef>);
+  total += seen_src_.capacity() * sizeof(std::uint64_t);
+  for (const auto& [obj, st] : objects_) {
+    (void)obj;
+    total += st.writers.capacity() * sizeof(TxnId);
+    total += st.writer_pos.size() *
+             (sizeof(std::pair<TxnId, std::size_t>) + 2 * 8);
+    total += st.readers.capacity() * sizeof(Reader);
+    total += st.reader_preds.capacity() * sizeof(ReaderPred);
+    total += st.reader_pred_ids.size() * (sizeof(TxnId) + 2 * 8);
+    total += sizeof(ObjectState) + 2 * 8;
+  }
+  total += session_last_.size() *
+           (sizeof(std::pair<SessionId, TxnId>) + 2 * 8);
+  for (const MonitoredCommit& c : log_) {
+    total += sizeof(MonitoredCommit) +
+             c.txn.events().size() * sizeof(Event) +
+             c.read_sources.size() * sizeof(std::pair<ObjId, TxnId>);
+  }
+  return total;
+}
+
+DependencyGraph StreamingMonitor::graph() const {
+  if (!cfg_.keep_log && commit_count() > 0) {
+    throw ModelError(
+        "StreamingMonitor: graph() requires the commit log; construct "
+        "with keep_log = true (the default trades reconstruction for "
+        "flat memory)");
+  }
+  // The live object table is pruned, so derive the object set and the
+  // WW(x) orders from the log, which is complete: writers install in
+  // ingestion order, exactly how the live table was built.
+  std::unordered_map<ObjId, std::vector<TxnId>> ww;
+  std::vector<ObjId> obj_ids;
+  const auto touch = [&](ObjId obj) -> std::vector<TxnId>& {
+    auto [it, inserted] = ww.try_emplace(obj);
+    if (inserted) {
+      it->second.push_back(0);
+      obj_ids.push_back(obj);
+    }
+    return it->second;
+  };
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    const TxnId id = static_cast<TxnId>(i + 1);
+    for (const ObjId obj : log_[i].txn.external_read_set()) touch(obj);
+    for (const ObjId obj : log_[i].txn.write_set()) touch(obj).push_back(id);
+  }
+  std::sort(obj_ids.begin(), obj_ids.end());
+  History h;
+  {
+    Transaction init;
+    for (const ObjId obj : obj_ids) init.append(write(obj, 0));
+    h.append_singleton(std::move(init));
+  }
+  for (const MonitoredCommit& c : log_) {
+    h.append(c.session + 1, c.txn);
+  }
+  DependencyGraph g(std::move(h));
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    const TxnId reader = static_cast<TxnId>(i + 1);
+    for (const auto& [obj, src] : log_[i].read_sources) {
+      if (log_[i].txn.external_read(obj).has_value()) {
+        g.set_read_from(obj, src, reader);
+      }
+    }
+  }
+  for (const ObjId obj : obj_ids) {
+    g.set_write_order(obj, ww.at(obj));
+  }
+  return g;
+}
+
+StreamingMonitor replay_streaming(const DependencyGraph& g, Model m,
+                                  StreamingConfig cfg) {
+  StreamingMonitor monitor(m, cfg);
+  for (const MonitoredCommit& c : monitored_commits(g)) monitor.commit(c);
+  return monitor;
+}
+
+}  // namespace sia

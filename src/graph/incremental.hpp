@@ -1,0 +1,362 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/monitor.hpp"
+
+/// \file incremental.hpp
+/// The streaming monitor: same verdicts as ConsistencyMonitor, flat
+/// memory at million-commit scale.
+///
+/// ConsistencyMonitor maintains a dense bitset transitive closure —
+/// O(n²/64) work per edge and O(n²/8) bytes, which forces the
+/// set_max_transactions ceiling and the kSaturated give-up verdict.
+/// StreamingMonitor replaces both mechanisms:
+///
+///  1. **Incremental cycle detection.** The composed relation is kept as
+///     a sparse digraph with an online topological order (Pearce–Kelly).
+///     Inserting an edge (a, b) with ord(a) < ord(b) is O(1); otherwise a
+///     two-way bounded search over the affected ord-interval either finds
+///     the reverse path b ⇝ a (= the cycle the closure query would have
+///     found — the same violation, same detail string) or locally repairs
+///     the order. The paper's structural fact that D edges into a
+///     transaction are final at commit keeps the affected intervals
+///     small: edges point backwards only as far as the read-staleness
+///     window.
+///
+///  2. **Stable-prefix GC.** In a maintained topological order every
+///     edge runs ord-upward, so the node set {p : ord(p) < B}, where B is
+///     the minimum ord among transactions newer than the watermark W, has
+///     *no in-edges from the rest of the graph* — by construction, not by
+///     search. Future generator edges only target post-watermark
+///     transactions (every still-readable version's overwriters are newer
+///     than W), and reachability queries only walk ord-upward, so no
+///     future query can enter the prefix: pruning it is exactly
+///     verdict-preserving. See DESIGN.md §4f for the invariant and its
+///     proof obligations.
+///
+/// External monitor ids are never renumbered: internally nodes live in
+/// reusable dense slots and an id→slot remap table translates; pruned
+/// ids simply leave the table. violating_commit(), details and graph()
+/// always speak original ids.
+
+namespace sia {
+
+/// Sparse DAG with an online topological order (Pearce & Kelly 2006) over
+/// reusable dense node slots. Detects, at insertion time, edges that
+/// would close a cycle — in which case the edge is *not* inserted, so the
+/// structure stays acyclic and the order stays valid.
+class IncrementalDigraph {
+ public:
+  using Slot = std::uint32_t;
+  static constexpr Slot kNoSlot = 0xFFFFFFFFu;
+
+  /// Allocates a node (reusing freed slots) with maximal order.
+  [[nodiscard]] Slot add_node();
+
+  /// Frees a node: clears its adjacency and recycles the slot. The caller
+  /// must already have removed every in-list reference to it held by
+  /// surviving nodes (see remove_in_ref).
+  void free_node(Slot s);
+
+  /// Batch variant used by the GC: marks every slot in \p dead as
+  /// not-live, drops all dead in-refs from each affected survivor in a
+  /// single pass per survivor, then recycles the slots. Requires (and
+  /// relies on) survivor out-lists never referencing the dead set — true
+  /// of any topological lower-set, see free_nodes() for why.
+  void free_nodes(const std::vector<Slot>& dead);
+
+  /// Inserts a -> b unless it would close a cycle; returns false (and
+  /// inserts nothing) in that case. a == b counts as a cycle.
+  bool insert_edge(Slot a, Slot b);
+
+  /// Is there a path from -> to (of >= 0 edges)? Bounded by the
+  /// topological order: only nodes with ord inside (ord(from), ord(to))
+  /// are ever visited.
+  [[nodiscard]] bool reaches(Slot from, Slot to) const;
+
+  [[nodiscard]] bool live(Slot s) const { return nodes_[s].live; }
+  [[nodiscard]] std::uint64_t ord(Slot s) const { return nodes_[s].ord; }
+  /// Reuse generation of a slot; bumped on every free. A cached (slot,
+  /// gen) pair is still the same live node iff gen(slot) matches — an
+  /// O(1) array probe that replaces a hash lookup on the hot path.
+  [[nodiscard]] std::uint32_t gen(Slot s) const { return gen_[s]; }
+  [[nodiscard]] const std::vector<Slot>& out(Slot s) const {
+    return nodes_[s].out;
+  }
+
+  /// Swap-removes one reference to \p p from in(q) (in-list order is
+  /// irrelevant to the algorithms here).
+  void remove_in_ref(Slot q, Slot p);
+
+  [[nodiscard]] std::size_t live_count() const { return live_; }
+  [[nodiscard]] std::size_t slot_count() const { return nodes_.size(); }
+
+  /// Rough heap footprint of the adjacency structure, for gauges.
+  [[nodiscard]] std::size_t approx_bytes() const;
+
+ private:
+  struct Node {
+    std::vector<Slot> out;
+    std::vector<Slot> in;
+    std::uint64_t ord{0};
+    bool live{false};
+  };
+
+  /// Gap between consecutive fresh ord values; relocation bisects gaps.
+  static constexpr std::uint64_t kOrdStride = 1ull << 20;
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> gen_;
+  std::vector<Slot> free_;
+  std::uint64_t next_ord_{kOrdStride};
+  std::size_t live_{0};
+
+  // Epoch-stamped scratch for the searches (no per-call allocation).
+  mutable std::vector<std::uint64_t> mark_;
+  mutable std::uint64_t epoch_{0};
+  mutable std::vector<Slot> stack_;
+  mutable std::vector<Slot> delta_f_;
+  mutable std::vector<Slot> delta_b_;
+  mutable std::vector<std::uint64_t> ord_pool_;
+};
+
+/// Tuning knobs for StreamingMonitor.
+struct StreamingConfig {
+  /// Staleness window, in commits: a read may only name a version that
+  /// was current or overwritten at most `gc_window` commits ago. The GC
+  /// watermark is W = ingested - gc_window; versions overwritten by a
+  /// transaction with id <= W are dead and a read naming one throws
+  /// ModelError. 0 disables GC entirely (unbounded retention, closure
+  /// semantics for arbitrarily stale reads).
+  std::size_t gc_window{8192};
+  /// Retain every MonitoredCommit for graph() reconstruction. Off by
+  /// default: the log alone defeats the flat-memory claim.
+  bool keep_log{false};
+  /// Compatibility ceiling (see ConsistencyMonitor::set_max_transactions);
+  /// 0 = unlimited. Only explicit opt-in saturates a streaming monitor.
+  std::size_t max_transactions{0};
+};
+
+/// Drop-in streaming replacement for ConsistencyMonitor: identical
+/// verdicts, violating ids and detail strings on any history whose reads
+/// respect the staleness window, with memory proportional to the window
+/// (plus one retained version per object), not to the stream length.
+class StreamingMonitor {
+ public:
+  explicit StreamingMonitor(Model model, StreamingConfig cfg = {});
+
+  /// Ingests the next committed transaction; same contract as
+  /// ConsistencyMonitor::commit (validation before mutation, ids from 1,
+  /// ceiling drops return 0), plus: \throws ModelError if a read names a
+  /// version already pruned below the GC watermark.
+  TxnId commit(const MonitoredCommit& c);
+
+  /// Per-commit ingestion of a batch (the incremental structure has no
+  /// closure to defer, so batching is just a loop; verdict parity with
+  /// ConsistencyMonitor::commit_all holds by construction).
+  std::vector<TxnId> commit_all(const std::vector<MonitoredCommit>& batch);
+
+  /// Quarantining batch ingestion; see ConsistencyMonitor.
+  BatchResult commit_all_guarded(const std::vector<MonitoredCommit>& batch);
+
+  void set_max_transactions(std::size_t cap) { cfg_.max_transactions = cap; }
+  void set_keep_log(bool keep) { cfg_.keep_log = keep; }
+
+  [[nodiscard]] MonitorVerdict verdict() const {
+    if (violation_) return MonitorVerdict::kViolation;
+    if (dropped_commits_ > 0) return MonitorVerdict::kSaturated;
+    return MonitorVerdict::kConsistent;
+  }
+  [[nodiscard]] bool consistent() const { return !violation_.has_value(); }
+  [[nodiscard]] std::optional<TxnId> violating_commit() const {
+    return violation_;
+  }
+  [[nodiscard]] const std::string& violation_detail() const {
+    return violation_detail_;
+  }
+  [[nodiscard]] Model model() const { return model_; }
+  [[nodiscard]] std::size_t commit_count() const { return next_id_ - 1; }
+  [[nodiscard]] std::size_t size() const { return commit_count(); }
+  [[nodiscard]] std::size_t capacity() const { return cfg_.max_transactions; }
+  [[nodiscard]] std::size_t dropped_commits() const {
+    return dropped_commits_;
+  }
+
+  // --- flat-memory gauges (the STATUS wire reply reports these) --------
+  /// Transactions currently resident in the graph structure.
+  [[nodiscard]] std::size_t retained() const { return graph_.live_count(); }
+  /// Transactions pruned by the GC so far.
+  [[nodiscard]] std::size_t pruned() const { return pruned_; }
+  /// Current GC watermark W (0 until the first GC pass).
+  [[nodiscard]] TxnId watermark() const { return watermark_; }
+  /// Rough heap footprint of the retained state, for plateau audits.
+  [[nodiscard]] std::size_t approx_bytes() const;
+
+  /// Rebuilds the full dependency graph (original ids) from the commit
+  /// log. \throws ModelError unless constructed/configured with
+  /// keep_log = true.
+  [[nodiscard]] DependencyGraph graph() const;
+
+ private:
+  /// A cached node reference: resolves without a hash lookup for as long
+  /// as the generation still matches (i.e. the node was not pruned).
+  struct NodeRef {
+    TxnId id{0};
+    IncrementalDigraph::Slot slot{IncrementalDigraph::kNoSlot};
+    std::uint32_t gen{0};
+  };
+
+  struct Reader {
+    TxnId id{0};
+    IncrementalDigraph::Slot slot{IncrementalDigraph::kNoSlot};
+    std::uint32_t gen{0};
+    /// Absolute position of the version this reader read.
+    std::size_t src_pos{0};
+    /// Append sequence within the object (survives GC compaction).
+    std::uint64_t seq{0};
+  };
+
+  /// One entry of an object's reader-predecessor union: a D-predecessor
+  /// d of some retained reader, tagged with the first reader that
+  /// contributed it (needed to reproduce the dense monitor's detail
+  /// string when the composed edge d -> s closes the cycle).
+  struct ReaderPred {
+    NodeRef d;
+    TxnId reader{0};
+    /// Append sequence within the object (survives GC compaction).
+    std::uint64_t seq{0};
+  };
+
+  struct ObjectState {
+    /// Retained WW(x) suffix; absolute position of writers[i] is
+    /// base + i. Always non-empty (position 0 is the initialiser).
+    std::vector<TxnId> writers;
+    std::size_t base{0};
+    /// writer id -> absolute position, for the retained suffix only.
+    std::unordered_map<TxnId, std::size_t> writer_pos;
+    /// Retained readers with the absolute position each one read.
+    std::vector<Reader> readers;
+    /// Deduplicated union of the readers' D-predecessor lists, in
+    /// first-occurrence order over reader-major iteration. Under SI a
+    /// write composes against this union instead of the readers × preds
+    /// product: a duplicate composed edge can never be the first
+    /// violation (its first copy fails first), so first-occurrence
+    /// order preserves the dense monitor's verdict, id and detail.
+    std::vector<ReaderPred> reader_preds;
+    /// Membership index over reader_preds (merge is O(1), order lives
+    /// in the vector).
+    std::unordered_set<TxnId> reader_pred_ids;
+    /// Next append sequences for readers / reader_preds.
+    std::uint64_t readers_seq{0};
+    std::uint64_t preds_seq{0};
+    /// Everything below these sequences has already been composed
+    /// against this object's previous writer p. Those edges are
+    /// transitively implied for the next writer w through the WW edge
+    /// p -> w — and if p was pruned, so was every such d (the pruned set
+    /// is predecessor-closed) — so a write only composes entries
+    /// appended since the previous write. An implied edge can never be
+    /// the first violation: its reverse path would be a pre-existing
+    /// cycle. Verdicts, ids and details are unchanged.
+    std::uint64_t composed_readers_upto{0};
+    std::uint64_t composed_preds_upto{0};
+  };
+
+  /// A deferred anti-dependency RW(r -> s), with both endpoints cached.
+  /// compose_union marks the SI writes-path form, where the pair stands
+  /// for "every retained reader of obj" via the object's reader_preds.
+  struct PendingRw {
+    NodeRef r;
+    NodeRef s;
+    ObjId obj{0};
+    bool compose_union{false};
+    /// Union entries with seq below this were composed against the
+    /// previous writer and are transitively implied via its WW edge.
+    std::uint64_t from_seq{0};
+  };
+
+  void validate(const MonitoredCommit& c) const;
+  ObjectState& object_state(ObjId obj);
+  void add_generator(TxnId a, TxnId b, DepKind kind, ObjId obj);
+  void add_generator_slots(TxnId a, TxnId b, IncrementalDigraph::Slot sa,
+                           IncrementalDigraph::Slot sb, DepKind kind,
+                           ObjId obj);
+  void add_anti_dependency(const PendingRw& p);
+  void record_violation(TxnId at, const std::string& detail);
+
+  /// Resolves a cached reference; kNoSlot if the node has been pruned.
+  [[nodiscard]] IncrementalDigraph::Slot resolve(const NodeRef& ref) const {
+    return ref.slot != IncrementalDigraph::kNoSlot &&
+                   graph_.gen(ref.slot) == ref.gen
+               ? ref.slot
+               : IncrementalDigraph::kNoSlot;
+  }
+  /// Caches a reference to a currently-live id (hash lookup, cold path).
+  [[nodiscard]] NodeRef make_ref(TxnId id) const {
+    const auto s = slot_of(id);
+    return {id, s, s == IncrementalDigraph::kNoSlot ? 0 : graph_.gen(s)};
+  }
+
+  /// Slot of an external id, or kNoSlot if pruned (edges from pruned
+  /// sources are dropped — provably irrelevant, DESIGN.md §4f).
+  [[nodiscard]] IncrementalDigraph::Slot slot_of(TxnId id) const;
+
+  /// Commit-scoped duplicate-edge filter. The anti-dependency fan-out
+  /// re-derives the same composed edge many times within one commit
+  /// (every retained reader of an object contributes its D-predecessors
+  /// against the same overwriter). A duplicate of an edge already in the
+  /// acyclic graph can never be the violating edge — the reverse path
+  /// would have been a pre-existing cycle, caught when it formed — so
+  /// skipping it preserves verdicts, ids and detail strings exactly.
+  [[nodiscard]] bool edge_seen(IncrementalDigraph::Slot a,
+                               IncrementalDigraph::Slot b);
+
+  /// One stable-prefix GC pass (see file comment). Runs every
+  /// gc_window/2 commits.
+  void run_gc();
+
+  Model model_;
+  StreamingConfig cfg_;
+  TxnId next_id_{1};
+  std::size_t dropped_commits_{0};
+
+  IncrementalDigraph graph_;
+  /// id -> slot for every retained transaction (the id-remap table).
+  std::unordered_map<TxnId, IncrementalDigraph::Slot> id_to_slot_;
+  /// Immediate-D-predecessor lists (cached references), slot-indexed.
+  std::vector<std::vector<NodeRef>> d_preds_;
+
+  std::unordered_map<ObjId, ObjectState> objects_;
+  std::unordered_map<SessionId, TxnId> session_last_;
+  std::optional<TxnId> violation_;
+  std::string violation_detail_;
+
+  TxnId watermark_{0};
+  std::size_t pruned_{0};
+  std::size_t last_gc_at_{0};
+
+  // Scratch buffers reused across commits / GC passes.
+  std::vector<PendingRw> pending_rw_;
+  std::vector<std::pair<TxnId, IncrementalDigraph::Slot>> prune_list_;
+  std::vector<IncrementalDigraph::Slot> dead_slots_;
+
+  // Epoch stamps for edge_seen: valid per (commit, target-run) burst.
+  std::vector<std::uint64_t> seen_src_;
+  std::uint64_t seen_epoch_{0};
+  IncrementalDigraph::Slot seen_target_{IncrementalDigraph::kNoSlot};
+
+  std::vector<MonitoredCommit> log_;
+};
+
+/// replay()/replay_batched() analogues for the streaming monitor, used by
+/// the differential tests.
+[[nodiscard]] StreamingMonitor replay_streaming(const DependencyGraph& g,
+                                                Model m,
+                                                StreamingConfig cfg = {});
+
+}  // namespace sia

@@ -189,7 +189,7 @@ TxnId ConsistencyMonitor::commit(const MonitoredCommit& c) {
   const TxnId id = next_id_++;
   ensure_capacity(id + 1);
   d_preds_.resize(id + 1);
-  log_.push_back(c);
+  if (keep_log_) log_.push_back(c);
 
   // Pending anti-dependencies, processed after every D edge of this
   // commit so that d_preds_[id] is complete when they compose.
@@ -262,13 +262,24 @@ ConsistencyMonitor::ObjectState& ConsistencyMonitor::object_state(ObjId obj) {
 }
 
 DependencyGraph ConsistencyMonitor::graph() const {
+  if (!keep_log_ && commit_count() > 0) {
+    throw ModelError(
+        "ConsistencyMonitor: graph() requires the commit log; it was "
+        "disabled with set_keep_log(false)");
+  }
+  // objects_ is hashed; sort the ids to recover the deterministic
+  // ascending object order the reconstruction has always produced.
+  std::vector<ObjId> obj_ids;
+  obj_ids.reserve(objects_.size());
+  for (const auto& [obj, state] : objects_) {
+    (void)state;
+    obj_ids.push_back(obj);
+  }
+  std::sort(obj_ids.begin(), obj_ids.end());
   History h;
   {
     Transaction init;
-    for (const auto& [obj, state] : objects_) {
-      (void)state;
-      init.append(write(obj, 0));
-    }
+    for (const ObjId obj : obj_ids) init.append(write(obj, 0));
     h.append_singleton(std::move(init));
   }
   for (const MonitoredCommit& c : log_) {
@@ -283,8 +294,8 @@ DependencyGraph ConsistencyMonitor::graph() const {
       }
     }
   }
-  for (const auto& [obj, state] : objects_) {
-    g.set_write_order(obj, state.writers);
+  for (const ObjId obj : obj_ids) {
+    g.set_write_order(obj, objects_.at(obj).writers);
   }
   return g;
 }

@@ -1,10 +1,11 @@
 #pragma once
 
-#include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "core/flat_map.hpp"
 #include "graph/dependency_graph.hpp"
 #include "graph/enumeration.hpp"
 
@@ -38,7 +39,9 @@ struct MonitoredCommit {
   /// For each object the transaction *externally* reads: the monitor id
   /// of the transaction whose write it observed (0 = the initial state;
   /// the monitor owns transaction 0, the initialising transaction).
-  std::map<ObjId, TxnId> read_sources;
+  /// Sorted flat storage: iteration order matches the std::map it
+  /// replaced, so wire encodings stay byte-identical.
+  FlatMap<ObjId, TxnId> read_sources;
 };
 
 /// The monitor's overall judgement of the history so far.
@@ -115,6 +118,12 @@ class ConsistencyMonitor {
   /// 0 (the default) means unlimited.
   void set_max_transactions(std::size_t cap) { max_transactions_ = cap; }
 
+  /// Whether commits are retained for graph() reconstruction (default on
+  /// for this closure-based monitor, matching historical behaviour).
+  /// Disable for long streams: the log alone defeats any bounded-memory
+  /// claim. With the log off, graph() throws ModelError.
+  void set_keep_log(bool keep) { keep_log_ = keep; }
+
   /// Overall judgement; see MonitorVerdict.
   [[nodiscard]] MonitorVerdict verdict() const {
     if (violation_) return MonitorVerdict::kViolation;
@@ -154,13 +163,16 @@ class ConsistencyMonitor {
   [[nodiscard]] std::size_t capacity() const { return max_transactions_; }
 
   /// Rebuilds the full dependency graph ingested so far (for offline
-  /// inspection; O(history)).
+  /// inspection; O(history)). \throws ModelError if the commit log was
+  /// disabled with set_keep_log(false).
   [[nodiscard]] DependencyGraph graph() const;
 
  private:
   struct ObjectState {
-    std::vector<TxnId> writers;                     ///< WW(x) order
-    std::map<TxnId, std::size_t> writer_pos;        ///< writer -> position
+    std::vector<TxnId> writers;  ///< WW(x) order
+    /// writer -> position. Hashed: the ingest path does one lookup per
+    /// read and one insert per write; ordered iteration is never needed.
+    std::unordered_map<TxnId, std::size_t> writer_pos;
     /// Readers with the position of the version they read; the source of
     /// every future anti-dependency on this object.
     std::vector<std::pair<TxnId, std::size_t>> readers;
@@ -207,8 +219,11 @@ class ConsistencyMonitor {
   /// by the closure), needed to compose new anti-dependencies under SI.
   std::vector<std::vector<TxnId>> d_preds_{1};
 
-  std::map<ObjId, ObjectState> objects_;
-  std::map<SessionId, TxnId> session_last_;
+  /// Hashed per-object / per-session state: the ingest path only ever
+  /// does point lookups; graph() sorts the object ids when it needs the
+  /// deterministic (ascending) order the old std::map provided.
+  std::unordered_map<ObjId, ObjectState> objects_;
+  std::unordered_map<SessionId, TxnId> session_last_;
   std::optional<TxnId> violation_;
   std::string violation_detail_;
 
@@ -218,7 +233,8 @@ class ConsistencyMonitor {
   std::vector<std::pair<TxnId, TxnId>> deferred_edges_;
   std::vector<std::vector<TxnId>> deferred_adj_;
 
-  // Raw ingested data for graph() reconstruction.
+  // Raw ingested data for graph() reconstruction; empty when disabled.
+  bool keep_log_{true};
   std::vector<MonitoredCommit> log_;
 };
 

@@ -154,6 +154,13 @@ Message ServiceClient::verdict(std::uint64_t stream) {
   return request(req);
 }
 
+Message ServiceClient::status(std::uint64_t stream) {
+  Message req;
+  req.type = MsgType::kStatus;
+  req.stream = stream;
+  return request(req);
+}
+
 Message ServiceClient::close_stream(std::uint64_t stream) {
   Message req;
   req.type = MsgType::kClose;

@@ -58,6 +58,9 @@ class ServiceClient {
                        fault::RetryStats* stats = nullptr);
 
   Message verdict(std::uint64_t stream);
+  /// STATUS round-trip: the stream's flat-memory gauges (retained,
+  /// pruned, watermark, approx_bytes) plus verdict and commit count.
+  Message status(std::uint64_t stream);
   Message close_stream(std::uint64_t stream);
 
   /// ANALYZE round-trip: returns the JSON report.

@@ -7,8 +7,10 @@
 #include <sstream>
 #include <thread>
 
+#include "graph/incremental.hpp"
 #include "service/client.hpp"
 #include "workload/generator.hpp"
+#include "workload/stream_source.hpp"
 
 namespace sia::service {
 
@@ -242,6 +244,138 @@ bool clean(const LoadReport& r) {
          r.ack_count_mismatches == 0;
 }
 
+EndlessReport run_endless(const LoadgenConfig& cfg) {
+  EndlessReport report;
+  ServiceClient client;
+  client.connect(cfg.host, cfg.port);  // unreachable server throws here
+
+  workload::StreamSpec spec;
+  spec.num_keys = cfg.num_keys;
+  spec.ops_per_txn = cfg.ops_per_txn;
+  spec.write_ratio = cfg.write_ratio;
+  spec.seed = cfg.seed;
+  workload::StreamSource source(spec);
+  // The local truth. Default StreamingConfig: same GC defaults as siad —
+  // but verdict parity does not depend on the windows matching, only on
+  // the stream's snapshot lag staying inside both (it does: 512 < 8192).
+  StreamingMonitor local(cfg.model);
+
+  std::vector<std::uint64_t> retained_samples;
+  const auto t0 = Clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration<double>(cfg.duration_seconds);
+
+  std::uint64_t stream = 0;
+  try {
+    stream = client.open_stream(cfg.model);
+  } catch (const ModelError&) {
+    ++report.protocol_errors;
+    return report;
+  }
+
+  const auto sample_status = [&]() -> bool {
+    Message st;
+    try {
+      st = client.status(stream);
+    } catch (const ModelError&) {
+      report.drained_mid_run = true;
+      return false;
+    }
+    if (st.type != MsgType::kStatusReply) {
+      if (st.type != MsgType::kRetryLater) ++report.protocol_errors;
+      return true;
+    }
+    ++report.status_samples;
+    if (st.verdict != static_cast<std::uint8_t>(local.verdict())) {
+      ++report.verdict_mismatches;
+    }
+    if (st.commit_count != report.commits_acked) {
+      ++report.count_mismatches;
+    }
+    retained_samples.push_back(st.retained);
+    report.max_retained = std::max(report.max_retained, st.retained);
+    report.max_bytes = std::max(report.max_bytes, st.approx_bytes);
+    report.final_retained = st.retained;
+    report.final_bytes = st.approx_bytes;
+    report.final_pruned = st.pruned;
+    report.final_watermark = st.watermark;
+    return true;
+  };
+
+  std::vector<MonitoredCommit> batch;
+  bool batch_pending = false;
+  while (Clock::now() < deadline && !report.drained_mid_run) {
+    if (!batch_pending) {
+      batch.clear();
+      for (std::size_t i = 0; i < cfg.batch_size; ++i) {
+        batch.push_back(source.next());
+      }
+      report.commits_sent += batch.size();
+      batch_pending = true;
+    }
+    fault::RetryStats rs;
+    Message reply;
+    try {
+      reply = client.commit_retry(stream, batch, cfg.retry, &rs);
+    } catch (const ModelError&) {
+      report.drained_mid_run = true;
+      break;
+    }
+    report.retry_later += rs.attempts - 1;
+    if (reply.type == MsgType::kRetryLater) {
+      continue;  // budget exhausted; same batch again next turn
+    }
+    if (reply.type != MsgType::kCommitted) {
+      ++report.protocol_errors;
+      break;
+    }
+    // The server acked: mirror the batch into the local truth. The
+    // stream is SI-consistent by construction, so quarantines here
+    // would themselves be a protocol-level surprise worth counting.
+    report.commits_acked += reply.ids.size() - reply.quarantined.size();
+    report.protocol_errors += reply.quarantined.size();
+    (void)local.commit_all_guarded(batch);
+    batch_pending = false;
+    if (++report.batches % cfg.status_every == 0) {
+      if (!sample_status()) break;
+    }
+  }
+  if (!report.drained_mid_run) {
+    (void)sample_status();  // final gauge snapshot
+    try {
+      (void)client.close_stream(stream);
+    } catch (const ModelError&) {
+      report.drained_mid_run = true;
+    }
+  }
+
+  report.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  report.commits_per_sec =
+      report.seconds > 0
+          ? static_cast<double>(report.commits_acked) / report.seconds
+          : 0.0;
+  // Plateau: the last quarter of samples must not set a new retained
+  // high-water mark. Too few samples proves nothing either way.
+  if (retained_samples.size() >= 8) {
+    const std::size_t tail = retained_samples.size() / 4;
+    std::uint64_t head_max = 0;
+    std::uint64_t tail_max = 0;
+    for (std::size_t i = 0; i < retained_samples.size(); ++i) {
+      auto& side =
+          i < retained_samples.size() - tail ? head_max : tail_max;
+      side = std::max(side, retained_samples[i]);
+    }
+    report.memory_plateaued = tail_max <= head_max;
+  }
+  return report;
+}
+
+bool clean(const EndlessReport& r) {
+  return r.protocol_errors == 0 && r.verdict_mismatches == 0 &&
+         r.count_mismatches == 0 &&
+         (r.status_samples < 8 || r.memory_plateaued);
+}
+
 std::string to_json(const LoadgenConfig& cfg, const LoadReport& r) {
   std::ostringstream out;
   char num[64];
@@ -263,6 +397,65 @@ std::string to_json(const LoadgenConfig& cfg, const LoadReport& r) {
       << ", \"ack_count_mismatches\": " << r.ack_count_mismatches
       << ", \"seconds\": " << f2(r.seconds) << "}";
   return out.str();
+}
+
+std::string to_json(const LoadgenConfig& cfg, const EndlessReport& r) {
+  std::ostringstream out;
+  char num[64];
+  const auto f2 = [&num](double v) {
+    std::snprintf(num, sizeof(num), "%.3f", v);
+    return std::string(num);
+  };
+  out << "{\"mode\": \"endless\", \"duration_seconds\": "
+      << f2(cfg.duration_seconds) << ", \"batch_size\": " << cfg.batch_size
+      << ", \"commits_acked\": " << r.commits_acked
+      << ", \"commits_per_sec\": " << f2(r.commits_per_sec)
+      << ", \"status_samples\": " << r.status_samples
+      << ", \"max_retained\": " << r.max_retained
+      << ", \"final_retained\": " << r.final_retained
+      << ", \"max_bytes\": " << r.max_bytes
+      << ", \"final_pruned\": " << r.final_pruned
+      << ", \"final_watermark\": " << r.final_watermark
+      << ", \"memory_plateaued\": " << (r.memory_plateaued ? "true" : "false")
+      << ", \"retry_later\": " << r.retry_later
+      << ", \"protocol_errors\": " << r.protocol_errors
+      << ", \"verdict_mismatches\": " << r.verdict_mismatches
+      << ", \"count_mismatches\": " << r.count_mismatches
+      << ", \"seconds\": " << f2(r.seconds) << "}";
+  return out.str();
+}
+
+void print_report(const LoadgenConfig& cfg, const EndlessReport& r) {
+  std::printf(
+      "sia_loadgen: endless stream (%s), %.1f s budget, batch %zu, "
+      "STATUS every %zu batches\n",
+      to_string(cfg.model).c_str(), cfg.duration_seconds, cfg.batch_size,
+      cfg.status_every);
+  std::printf("  commits  : %llu sent, %llu acked, %llu batches\n",
+              static_cast<unsigned long long>(r.commits_sent),
+              static_cast<unsigned long long>(r.commits_acked),
+              static_cast<unsigned long long>(r.batches));
+  std::printf("  memory   : retained max %llu final %llu, bytes max %llu, "
+              "pruned %llu, watermark %llu -> %s\n",
+              static_cast<unsigned long long>(r.max_retained),
+              static_cast<unsigned long long>(r.final_retained),
+              static_cast<unsigned long long>(r.max_bytes),
+              static_cast<unsigned long long>(r.final_pruned),
+              static_cast<unsigned long long>(r.final_watermark),
+              r.status_samples < 8     ? "too few samples"
+              : r.memory_plateaued ? "plateaued"
+                                   : "GROWING");
+  std::printf("  rate     : %.0f commits/sec over %.3f s%s\n",
+              r.commits_per_sec, r.seconds,
+              r.drained_mid_run ? " (server drained mid-run)" : "");
+  std::printf(
+      "  audit    : %llu protocol errors, %llu verdict mismatches, "
+      "%llu count mismatches over %llu samples -> %s\n",
+      static_cast<unsigned long long>(r.protocol_errors),
+      static_cast<unsigned long long>(r.verdict_mismatches),
+      static_cast<unsigned long long>(r.count_mismatches),
+      static_cast<unsigned long long>(r.status_samples),
+      clean(r) ? "clean" : "NOT CLEAN");
 }
 
 void print_report(const LoadgenConfig& cfg, const LoadReport& r) {

@@ -15,6 +15,13 @@
 /// ConsistencyMonitor with the same batching, and the server's final
 /// verdict, violating id and commit count must match. Built as a library
 /// so the CLI driver and bench_service_throughput share one harness.
+///
+/// The endless mode (run_endless) is the flat-memory audit: one
+/// duration-bounded workload::StreamSource stream, each batch mirrored
+/// into a local StreamingMonitor, with periodic STATUS samples checking
+/// that the server's verdict and commit count track the local replay and
+/// that its retained-transaction gauge plateaus instead of growing with
+/// the stream.
 
 namespace sia::service {
 
@@ -33,6 +40,11 @@ struct LoadgenConfig {
   double write_ratio{0.5};
   std::uint64_t seed{42};
   fault::RetryPolicy retry{};
+  /// Endless mode: wall-clock budget in seconds (0 = classic bounded
+  /// mode; run_load ignores this, the CLI dispatches on it).
+  double duration_seconds{0.0};
+  /// Endless mode: batches between STATUS samples.
+  std::size_t status_every{64};
 };
 
 struct LoadReport {
@@ -57,6 +69,47 @@ struct LoadReport {
 /// overload or drain — those are counted; throws ModelError only when the
 /// server is unreachable at startup.
 [[nodiscard]] LoadReport run_load(const LoadgenConfig& cfg);
+
+/// Result of the duration-bounded endless-stream audit.
+struct EndlessReport {
+  std::uint64_t commits_sent{0};
+  std::uint64_t commits_acked{0};
+  std::uint64_t batches{0};
+  std::uint64_t retry_later{0};   ///< RETRY_LATER replies absorbed
+  std::uint64_t protocol_errors{0};
+  /// STATUS verdict != local StreamingMonitor verdict.
+  std::uint64_t verdict_mismatches{0};
+  /// STATUS commit count != commits the client saw acked.
+  std::uint64_t count_mismatches{0};
+  std::uint64_t status_samples{0};
+  // Server-side flat-memory gauges over the run.
+  std::uint64_t max_retained{0};
+  std::uint64_t final_retained{0};
+  std::uint64_t max_bytes{0};
+  std::uint64_t final_bytes{0};
+  std::uint64_t final_pruned{0};
+  std::uint64_t final_watermark{0};
+  /// Retained gauge stopped growing: the max over the last quarter of
+  /// samples does not exceed the max seen before it (needs >= 8 samples).
+  bool memory_plateaued{false};
+  bool drained_mid_run{false};
+  double seconds{0.0};
+  double commits_per_sec{0.0};
+};
+
+/// Drives one endless StreamSource stream for cfg.duration_seconds,
+/// auditing verdicts and server-side memory as described above. Throws
+/// ModelError only when the server is unreachable at startup.
+[[nodiscard]] EndlessReport run_endless(const LoadgenConfig& cfg);
+
+/// Clean = no protocol errors, no verdict/count mismatches, and the
+/// retained gauge plateaued (when the run was long enough to tell).
+[[nodiscard]] bool clean(const EndlessReport& r);
+
+[[nodiscard]] std::string to_json(const LoadgenConfig& cfg,
+                                  const EndlessReport& r);
+
+void print_report(const LoadgenConfig& cfg, const EndlessReport& r);
 
 /// True when the run is clean: no protocol errors, no verdict or ack-count
 /// mismatches. (RETRY_LATER and drain are normal operation, not failures.)

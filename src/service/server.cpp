@@ -71,13 +71,15 @@ struct Server::Connection {
   }
 };
 
-/// One stream: a monitor plus the connection final verdicts go to.
+/// One stream: a streaming monitor plus the connection final verdicts go
+/// to. GC runs inside commit_all_guarded; the shard thread owns the
+/// monitor outright so the watermark advances without any locking.
 struct Server::StreamState {
-  ConsistencyMonitor monitor;
+  StreamingMonitor monitor;
   std::weak_ptr<Connection> owner;
 
-  StreamState(Model m, std::weak_ptr<Connection> conn)
-      : monitor(m), owner(std::move(conn)) {}
+  StreamState(Model m, StreamingConfig cfg, std::weak_ptr<Connection> conn)
+      : monitor(m, cfg), owner(std::move(conn)) {}
 };
 
 struct Server::Job {
@@ -351,6 +353,7 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
     }
     case MsgType::kCommit:
     case MsgType::kVerdict:
+    case MsgType::kStatus:
     case MsgType::kClose: {
       if (draining) {
         reply_retry_later(conn, msg.stream);
@@ -412,7 +415,7 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
 }
 
 Message Server::verdict_reply(MsgType type, std::uint64_t stream,
-                              const ConsistencyMonitor& monitor) {
+                              const StreamingMonitor& monitor) {
   Message reply;
   reply.type = type;
   reply.stream = stream;
@@ -421,6 +424,20 @@ Message Server::verdict_reply(MsgType type, std::uint64_t stream,
   reply.capacity = monitor.capacity();
   reply.violating = monitor.violating_commit().value_or(0);
   reply.text = monitor.violation_detail();
+  return reply;
+}
+
+Message Server::status_reply(std::uint64_t stream,
+                             const StreamingMonitor& monitor) {
+  Message reply;
+  reply.type = MsgType::kStatusReply;
+  reply.stream = stream;
+  reply.verdict = static_cast<std::uint8_t>(monitor.verdict());
+  reply.commit_count = monitor.size();
+  reply.retained = monitor.retained();
+  reply.pruned = monitor.pruned();
+  reply.watermark = monitor.watermark();
+  reply.approx_bytes = monitor.approx_bytes();
   return reply;
 }
 
@@ -451,10 +468,13 @@ void Server::process(Shard& shard, const Job& job) {
   switch (msg.type) {
     case MsgType::kOpenStream: {
       const auto model = static_cast<Model>(msg.model);
-      StreamState state(model, job.conn);
-      state.monitor.set_max_transactions(
-          msg.capacity != 0 ? msg.capacity : cfg_.stream_ceiling);
-      shard.streams.emplace(msg.stream, std::move(state));
+      StreamingConfig mcfg;
+      mcfg.gc_window = cfg_.gc_window;
+      mcfg.keep_log = cfg_.keep_log;
+      mcfg.max_transactions =
+          msg.capacity != 0 ? msg.capacity : cfg_.stream_ceiling;
+      shard.streams.emplace(msg.stream,
+                            StreamState(model, mcfg, job.conn));
       reply.type = MsgType::kStreamOpened;
       reply.stream = msg.stream;
       break;
@@ -468,7 +488,7 @@ void Server::process(Shard& shard, const Job& job) {
         reply.text = "unknown stream " + std::to_string(msg.stream);
         break;
       }
-      ConsistencyMonitor& monitor = it->second.monitor;
+      StreamingMonitor& monitor = it->second.monitor;
       const BatchResult r = monitor.commit_all_guarded(msg.commits);
       n_commits_.fetch_add(msg.commits.size(), std::memory_order_relaxed);
       reply.type = MsgType::kCommitted;
@@ -489,6 +509,18 @@ void Server::process(Shard& shard, const Job& job) {
       }
       reply = verdict_reply(MsgType::kVerdictReply, msg.stream,
                             it->second.monitor);
+      break;
+    }
+    case MsgType::kStatus: {
+      auto it = shard.streams.find(msg.stream);
+      if (it == shard.streams.end()) {
+        n_errors_.fetch_add(1, std::memory_order_relaxed);
+        reply.type = MsgType::kError;
+        reply.stream = msg.stream;
+        reply.text = "unknown stream " + std::to_string(msg.stream);
+        break;
+      }
+      reply = status_reply(msg.stream, it->second.monitor);
       break;
     }
     case MsgType::kClose: {

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "graph/incremental.hpp"
 #include "service/wire.hpp"
 
 /// \file server.hpp
@@ -17,9 +18,13 @@
 /// thread accepts connections and decodes frames; streams are sharded
 /// across worker threads by stream id (shard = id mod #shards, #shards
 /// defaulting to core/parallel's thread count), each shard owning its
-/// streams' ConsistencyMonitor instances outright — no cross-thread
+/// streams' StreamingMonitor instances outright — no cross-thread
 /// monitor access, FIFO per shard, hence per-stream request order is the
-/// ingestion order.
+/// ingestion order. The streaming monitor's stable-prefix GC keeps each
+/// stream's memory proportional to the staleness window (gc_window), not
+/// the stream length, so the default configuration needs no transaction
+/// ceiling and never saturates; an explicit OPEN_STREAM ceiling still
+/// behaves as before (drops + kSaturated).
 ///
 /// Admission control: each shard has a bounded job queue; a request whose
 /// shard is full is answered RETRY_LATER from the IO thread without ever
@@ -44,9 +49,19 @@ struct ServerConfig {
   std::size_t shards{0};
   /// Bounded per-shard queue (requests); beyond it, RETRY_LATER.
   std::size_t queue_capacity{256};
-  /// Default ConsistencyMonitor ceiling per stream (0 = unlimited);
-  /// OPEN_STREAM may lower/raise its own stream's ceiling.
+  /// Default monitor ceiling per stream (0 = unlimited); OPEN_STREAM may
+  /// lower/raise its own stream's ceiling. With the streaming monitor the
+  /// ceiling is a compatibility knob, not a memory defence — GC already
+  /// bounds retention — so 0 is a safe default.
   std::size_t stream_ceiling{0};
+  /// Staleness window (in commits) handed to every stream's
+  /// StreamingMonitor; 0 disables GC (unbounded retention). A read naming
+  /// a version pruned below the watermark is quarantined like any other
+  /// malformed commit.
+  std::size_t gc_window{8192};
+  /// Retain commit logs for graph() reconstruction. Off by default: the
+  /// log alone would defeat the flat-memory property.
+  bool keep_log{false};
   /// Artificial per-job service delay in microseconds. 0 in production;
   /// tests and overload experiments use it to fill shard queues
   /// deterministically and observe the RETRY_LATER path.
@@ -102,7 +117,9 @@ class Server {
   void reply_retry_later(const std::shared_ptr<Connection>& conn,
                          std::uint64_t stream);
   static Message verdict_reply(MsgType type, std::uint64_t stream,
-                               const ConsistencyMonitor& monitor);
+                               const StreamingMonitor& monitor);
+  static Message status_reply(std::uint64_t stream,
+                              const StreamingMonitor& monitor);
 
   ServerConfig cfg_;
   std::uint16_t port_{0};

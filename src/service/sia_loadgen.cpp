@@ -8,11 +8,18 @@
 ///   sia_loadgen [--host A] [--port N] [--connections N] [--streams M]
 ///               [--txns N] [--batch N] [--model SER|SI|PSI] [--keys N]
 ///               [--ops N] [--write-ratio F] [--seed N] [--attempts N]
-///               [--json FILE]
+///               [--duration SECONDS] [--status-every N] [--json FILE]
+///
+/// --duration > 0 switches to the endless-stream mode: one
+/// workload::StreamSource stream for that many wall-clock seconds,
+/// mirrored into a local StreamingMonitor, with a STATUS sample every
+/// --status-every batches auditing the server's verdict, commit count
+/// and flat-memory gauges (retained must plateau, not grow).
 ///
 /// Exit code: 0 on a clean run (no protocol errors, no verdict or
-/// ack-count mismatches — RETRY_LATER and a server drain are clean),
-/// 1 otherwise, 2 on bad arguments or an unreachable server.
+/// ack-count mismatches — RETRY_LATER and a server drain are clean;
+/// endless mode additionally requires the memory plateau), 1 otherwise,
+/// 2 on bad arguments or an unreachable server.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +37,7 @@ int usage() {
       "                   [--streams M] [--txns N] [--batch N]\n"
       "                   [--model SER|SI|PSI] [--keys N] [--ops N]\n"
       "                   [--write-ratio F] [--seed N] [--attempts N]\n"
+      "                   [--duration SECONDS] [--status-every N]\n"
       "                   [--json FILE]\n");
   return 2;
 }
@@ -66,6 +74,10 @@ int main(int argc, char** argv) {
       cfg.retry.max_attempts = std::max<std::size_t>(1, num());
     } else if (arg == "--write-ratio") {
       cfg.write_ratio = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--duration") {
+      cfg.duration_seconds = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--status-every") {
+      cfg.status_every = std::max<std::size_t>(1, num());
     } else if (arg == "--json") {
       json_path = value;
     } else if (arg == "--model") {
@@ -83,14 +95,25 @@ int main(int argc, char** argv) {
     }
   }
 
-  sia::service::LoadReport report;
+  std::string json;
+  bool ok = false;
   try {
-    report = sia::service::run_load(cfg);
+    if (cfg.duration_seconds > 0) {
+      const sia::service::EndlessReport report =
+          sia::service::run_endless(cfg);
+      sia::service::print_report(cfg, report);
+      json = sia::service::to_json(cfg, report);
+      ok = sia::service::clean(report);
+    } else {
+      const sia::service::LoadReport report = sia::service::run_load(cfg);
+      sia::service::print_report(cfg, report);
+      json = sia::service::to_json(cfg, report);
+      ok = sia::service::clean(report);
+    }
   } catch (const sia::ModelError& e) {
     std::fprintf(stderr, "sia_loadgen: %s\n", e.what());
     return 2;
   }
-  sia::service::print_report(cfg, report);
 
   if (!json_path.empty()) {
     std::FILE* f = std::fopen(json_path.c_str(), "w");
@@ -99,10 +122,9 @@ int main(int argc, char** argv) {
                    json_path.c_str());
       return 2;
     }
-    const std::string json = sia::service::to_json(cfg, report);
     std::fprintf(f, "%s\n", json.c_str());
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return sia::service::clean(report) ? 0 : 1;
+  return ok ? 0 : 1;
 }

@@ -6,12 +6,23 @@
 ///
 /// Usage:
 ///   siad [--port N] [--shards N] [--queue N] [--ceiling N]
+///        [--gc-window N] [--keep-log]
 ///
 ///   --port N      TCP port (default 7401; 0 = ephemeral, printed)
 ///   --shards N    worker shards (default: hardware threads, SIA_THREADS)
 ///   --queue N     per-shard admission queue bound (default 256)
-///   --ceiling N   per-stream monitor transaction ceiling (default 0 =
-///                 unlimited; saturated streams report kSaturated)
+///   --ceiling N   per-stream transaction ceiling (default 0 = unlimited;
+///                 an explicit ceiling still drops + reports kSaturated)
+///   --gc-window N staleness window in commits for the streaming
+///                 monitor's stable-prefix GC (default 8192; 0 disables
+///                 GC and retention grows with the stream)
+///   --keep-log    retain per-stream commit logs for graph()
+///                 reconstruction (default off: the log would defeat the
+///                 flat-memory property)
+///
+/// Streams run on StreamingMonitor: memory per stream is proportional to
+/// the GC window, not the stream length, so the default config sustains
+/// endless streams without saturating.
 ///
 /// SIGTERM / SIGINT triggers the graceful drain: stop accepting, flush
 /// every shard queue (acking all in-flight commits), push final CLOSED
@@ -29,7 +40,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: siad [--port N] [--shards N] [--queue N] "
-               "[--ceiling N]\n");
+               "[--ceiling N] [--gc-window N] [--keep-log]\n");
   return 2;
 }
 
@@ -46,6 +57,10 @@ int main(int argc, char** argv) {
   cfg.port = 7401;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--keep-log") {
+      cfg.keep_log = true;
+      continue;
+    }
     std::uint64_t value = 0;
     if (i + 1 < argc && parse_num(argv[i + 1], value)) {
       if (arg == "--port") {
@@ -68,6 +83,11 @@ int main(int argc, char** argv) {
         ++i;
         continue;
       }
+      if (arg == "--gc-window") {
+        cfg.gc_window = value;
+        ++i;
+        continue;
+      }
     }
     return usage();
   }
@@ -87,8 +107,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "siad: %s\n", e.what());
     return 1;
   }
-  std::printf("siad: listening on 127.0.0.1:%u (%zu shards, queue %zu)\n",
-              server.port(), server.shard_count(), cfg.queue_capacity);
+  std::printf(
+      "siad: listening on 127.0.0.1:%u (%zu shards, queue %zu, "
+      "gc window %zu%s)\n",
+      server.port(), server.shard_count(), cfg.queue_capacity, cfg.gc_window,
+      cfg.keep_log ? ", keep-log" : "");
   std::fflush(stdout);
 
   int sig = 0;

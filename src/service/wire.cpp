@@ -126,6 +126,24 @@ bool get_verdict_body(Cursor& c, Message& out) {
          c.u32(out.violating) && c.string(out.text);
 }
 
+/// kStatusReply body: the streaming monitor's flat-memory gauges.
+void put_status_body(std::vector<std::uint8_t>& out, const Message& m) {
+  put_u64(out, m.stream);
+  put_u8(out, m.verdict);
+  put_u64(out, m.commit_count);
+  put_u64(out, m.retained);
+  put_u64(out, m.pruned);
+  put_u64(out, m.watermark);
+  put_u64(out, m.approx_bytes);
+}
+
+bool get_status_body(Cursor& c, Message& out) {
+  return c.u64(out.stream) && c.u8(out.verdict) && out.verdict <= 2 &&
+         c.u64(out.commit_count) && c.u64(out.retained) &&
+         c.u64(out.pruned) && c.u64(out.watermark) &&
+         c.u64(out.approx_bytes);
+}
+
 }  // namespace
 
 bool is_request(MsgType t) {
@@ -136,6 +154,7 @@ bool is_request(MsgType t) {
     case MsgType::kAnalyze:
     case MsgType::kClose:
     case MsgType::kDrain:
+    case MsgType::kStatus:
       return true;
     default:
       return false;
@@ -150,12 +169,14 @@ std::string to_string(MsgType t) {
     case MsgType::kAnalyze: return "ANALYZE";
     case MsgType::kClose: return "CLOSE";
     case MsgType::kDrain: return "DRAIN";
+    case MsgType::kStatus: return "STATUS";
     case MsgType::kStreamOpened: return "STREAM_OPENED";
     case MsgType::kCommitted: return "COMMITTED";
     case MsgType::kVerdictReply: return "VERDICT_REPLY";
     case MsgType::kAnalyzed: return "ANALYZED";
     case MsgType::kClosed: return "CLOSED";
     case MsgType::kDrained: return "DRAINED";
+    case MsgType::kStatusReply: return "STATUS_REPLY";
     case MsgType::kRetryLater: return "RETRY_LATER";
     case MsgType::kMalformed: return "MALFORMED";
     case MsgType::kError: return "ERROR";
@@ -197,6 +218,7 @@ std::vector<std::uint8_t> encode_payload(const Message& m) {
       break;
     case MsgType::kVerdict:
     case MsgType::kClose:
+    case MsgType::kStatus:
     case MsgType::kStreamOpened:
     case MsgType::kRetryLater:
       put_u64(out, m.stream);
@@ -221,6 +243,9 @@ std::vector<std::uint8_t> encode_payload(const Message& m) {
     case MsgType::kVerdictReply:
     case MsgType::kClosed:
       put_verdict_body(out, m);
+      break;
+    case MsgType::kStatusReply:
+      put_status_body(out, m);
       break;
   }
   return out;
@@ -251,6 +276,7 @@ bool decode_payload(const std::uint8_t* data, std::size_t size,
     }
     case MsgType::kVerdict:
     case MsgType::kClose:
+    case MsgType::kStatus:
     case MsgType::kStreamOpened:
     case MsgType::kRetryLater:
       if (!c.u64(out.stream)) return false;
@@ -283,6 +309,9 @@ bool decode_payload(const std::uint8_t* data, std::size_t size,
     case MsgType::kVerdictReply:
     case MsgType::kClosed:
       if (!get_verdict_body(c, out)) return false;
+      break;
+    case MsgType::kStatusReply:
+      if (!get_status_body(c, out)) return false;
       break;
     default:
       return false;  // unknown message type

@@ -23,9 +23,17 @@
 ///     VERDICT(stream)                    -> VERDICT_REPLY(stream, verdict,
 ///                                             count, capacity, violating,
 ///                                             detail)
+///     STATUS(stream)                     -> STATUS_REPLY(stream, verdict,
+///                                             count, retained, pruned,
+///                                             watermark, approx_bytes)
 ///     ANALYZE(history text)              -> ANALYZED(json) | ERROR(text)
 ///     CLOSE(stream)                      -> CLOSED(= VERDICT_REPLY shape)
 ///     DRAIN                              -> DRAINED  (queues flushed)
+///
+/// STATUS is the flat-memory gauge: retained / pruned / approx_bytes come
+/// straight from the stream's StreamingMonitor, so a long-running client
+/// (sia_loadgen's endless mode) can audit that server-side memory
+/// plateaus instead of growing with the stream.
 ///
 /// Any frame that fails to decode — short, oversized, bit-flipped,
 /// bad CRC, trailing garbage — earns a MALFORMED reply and the server
@@ -44,6 +52,7 @@ enum class MsgType : std::uint8_t {
   kAnalyze = 0x04,
   kClose = 0x05,
   kDrain = 0x06,
+  kStatus = 0x07,
   // Replies.
   kStreamOpened = 0x81,
   kCommitted = 0x82,
@@ -51,6 +60,7 @@ enum class MsgType : std::uint8_t {
   kAnalyzed = 0x84,
   kClosed = 0x85,
   kDrained = 0x86,
+  kStatusReply = 0x87,
   kRetryLater = 0xF0,
   kMalformed = 0xF1,
   kError = 0xF2,
@@ -79,6 +89,11 @@ struct Message {
   std::uint64_t commit_count{0};  ///< verdict replies: monitor.size()
   std::uint32_t violating{0};     ///< violating commit id, 0 = none
   std::string text;  ///< analyze in/out, error text, violation detail
+  // kStatusReply: the flat-memory gauges (StreamingMonitor accessors).
+  std::uint64_t retained{0};      ///< transactions resident in the graph
+  std::uint64_t pruned{0};        ///< transactions pruned by the GC so far
+  std::uint64_t watermark{0};     ///< current GC watermark W
+  std::uint64_t approx_bytes{0};  ///< rough heap footprint of the monitor
 };
 
 /// Serialised payload (no frame header).

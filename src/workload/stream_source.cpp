@@ -1,0 +1,96 @@
+#include "workload/stream_source.hpp"
+
+#include <algorithm>
+
+namespace sia::workload {
+
+StreamSource::StreamSource(StreamSpec spec)
+    : spec_(spec), rng_(spec.seed), keys_(spec.num_keys) {
+  if (spec_.num_keys == 0) spec_.num_keys = 1;
+  if (spec_.writer_sessions == 0) spec_.writer_sessions = 1;
+  if (spec_.ops_per_txn == 0) spec_.ops_per_txn = 1;
+  if (keys_.empty()) keys_.resize(spec_.num_keys);
+}
+
+TxnId StreamSource::version_at(ObjId key, TxnId at) const {
+  const std::vector<TxnId>& writers = keys_[key].writers;
+  // Last writer with id <= at; the boundary entry below the pruning
+  // horizon is always retained, so this never underflows.
+  const auto it = std::upper_bound(writers.begin(), writers.end(), at);
+  return *(it - 1);
+}
+
+void StreamSource::sample_keys(std::size_t count) {
+  scratch_keys_.clear();
+  count = std::min<std::size_t>(count, spec_.num_keys);
+  std::uniform_int_distribution<std::uint32_t> pick(0, spec_.num_keys - 1);
+  while (scratch_keys_.size() < count) {
+    const ObjId key = pick(rng_);
+    if (std::find(scratch_keys_.begin(), scratch_keys_.end(), key) ==
+        scratch_keys_.end()) {
+      scratch_keys_.push_back(key);
+    }
+  }
+}
+
+MonitoredCommit StreamSource::next() {
+  const TxnId id = static_cast<TxnId>(++emitted_);
+  MonitoredCommit c;
+  std::vector<Event> events;
+
+  std::vector<ObjId> written;
+  const bool snapshot = spec_.snapshot_every != 0 &&
+                        emitted_ % spec_.snapshot_every == 0 &&
+                        emitted_ > spec_.snapshot_lag;
+  if (snapshot) {
+    // Read-only consistent snapshot at T = id - lag, on the dedicated
+    // reader session. T advances monotonically, so this stays a valid SI
+    // session while dragging backward RW edges across the whole lag.
+    const TxnId at = static_cast<TxnId>(emitted_ - spec_.snapshot_lag);
+    c.session = static_cast<SessionId>(spec_.writer_sessions);
+    sample_keys(spec_.ops_per_txn);
+    for (const ObjId key : scratch_keys_) {
+      const TxnId src = version_at(key, at);
+      events.push_back(read(key, static_cast<Value>(src)));
+      c.read_sources[key] = src;
+    }
+  } else {
+    // Writer sessions: serial read-modify-write against latest versions.
+    c.session = static_cast<SessionId>(id % spec_.writer_sessions);
+    sample_keys(spec_.ops_per_txn);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    for (const ObjId key : scratch_keys_) {
+      const TxnId src = keys_[key].writers.back();
+      events.push_back(read(key, static_cast<Value>(src)));
+      c.read_sources[key] = src;
+      if (coin(rng_) < spec_.write_ratio) {
+        events.push_back(write(key, static_cast<Value>(id)));
+        written.push_back(key);
+      }
+    }
+  }
+  c.txn = Transaction(std::move(events));
+
+  // Install writes and prune each touched key's version list to the
+  // snapshot horizon (keeping the boundary version, exactly like the
+  // monitor's own table).
+  const TxnId horizon = emitted_ > spec_.snapshot_lag
+                            ? static_cast<TxnId>(emitted_ - spec_.snapshot_lag)
+                            : 0;
+  for (const ObjId key : written) {
+    keys_[key].writers.push_back(id);
+  }
+  for (const ObjId key : scratch_keys_) {
+    std::vector<TxnId>& writers = keys_[key].writers;
+    if (horizon > 0 && writers.size() > 1) {
+      const auto it =
+          std::upper_bound(writers.begin(), writers.end(), horizon);
+      if (it != writers.begin()) {
+        writers.erase(writers.begin(), it - 1);
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace sia::workload

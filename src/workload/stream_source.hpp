@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "graph/monitor.hpp"
+
+/// \file stream_source.hpp
+/// Deterministic endless commit streams for the streaming monitor: the
+/// long-stream bench, the CI plateau smoke and sia_loadgen's endless mode
+/// all draw from the same generator, so their traffic shape (and hence
+/// their memory behaviour) is directly comparable.
+///
+/// The stream is SI-consistent *by construction*, forever:
+///  - writer sessions execute serial read-modify-writes against the
+///    latest version of each key they touch (a serial execution is a
+///    valid SI execution);
+///  - one dedicated snapshot-reader session periodically reads a
+///    *consistent snapshot* that lags the stream head by a bounded number
+///    of commits, with monotonically advancing snapshot points (a valid
+///    SI read-only transaction).
+/// The lagging snapshots matter: they produce the backward RW edges
+/// (fresh reader -> overtaking writer) that force the incremental
+/// topological order to do real reorder work and keep old transactions
+/// entangled right up to the staleness bound — the worst legal case for
+/// the stable-prefix GC.
+///
+/// The generator predicts monitor ids (commit i gets id i, starting at 1),
+/// which holds whenever the consumer feeds every generated commit, in
+/// order, to a monitor that drops nothing — the loadgen asserts this
+/// against the server's acks.
+
+namespace sia::workload {
+
+/// Shape of an endless monitor-commit stream.
+struct StreamSpec {
+  std::uint32_t num_keys{64};
+  /// Writer sessions (the snapshot reader is one more, session id =
+  /// writer_sessions).
+  std::size_t writer_sessions{8};
+  std::size_t ops_per_txn{4};
+  /// Probability that a writer-session operation writes.
+  double write_ratio{0.5};
+  /// Every Nth commit is a lagging consistent-snapshot read; 0 disables.
+  std::size_t snapshot_every{16};
+  /// How far (in commits) snapshots lag the stream head. Keep below the
+  /// monitor's gc_window or the monitor will reject the read as out of
+  /// the staleness window.
+  std::size_t snapshot_lag{512};
+  std::uint64_t seed{1};
+};
+
+/// Emits the endless stream described by a StreamSpec, one commit per
+/// next() call. Deterministic for a given spec.
+class StreamSource {
+ public:
+  explicit StreamSource(StreamSpec spec);
+
+  /// The next commit; its monitor id will be emitted_count() (1-based).
+  [[nodiscard]] MonitoredCommit next();
+
+  [[nodiscard]] std::size_t emitted_count() const { return emitted_; }
+  [[nodiscard]] const StreamSpec& spec() const { return spec_; }
+
+ private:
+  /// Per-key writer ids, ascending; pruned to the snapshot horizon with
+  /// one boundary entry kept, mirroring the monitor's own version table.
+  struct KeyVersions {
+    std::vector<TxnId> writers{0};
+  };
+
+  [[nodiscard]] TxnId version_at(ObjId key, TxnId at) const;
+  void sample_keys(std::size_t count);
+
+  StreamSpec spec_;
+  std::mt19937_64 rng_;
+  std::size_t emitted_{0};
+  std::vector<KeyVersions> keys_;
+  std::vector<ObjId> scratch_keys_;
+};
+
+}  // namespace sia::workload

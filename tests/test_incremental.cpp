@@ -1,0 +1,524 @@
+#include "graph/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fault/retry.hpp"
+#include "graph/characterization.hpp"
+#include "mvcc/recorder.hpp"
+#include "mvcc/si_engine.hpp"
+#include "workload/generator.hpp"
+#include "workload/stream_source.hpp"
+
+/// \file test_incremental.cpp
+/// StreamingMonitor: the incremental (Pearce–Kelly + stable-prefix GC)
+/// monitor must be *bit-identical* to the closure-based
+/// ConsistencyMonitor — verdict, violating id and detail string — on
+/// every corpus whose reads stay within the staleness window, while
+/// keeping retained state flat on endless streams. Suite names contain
+/// "Monitor" so the TSan CI job picks them up.
+
+namespace sia {
+namespace {
+
+constexpr ObjId kX = 0;
+constexpr ObjId kY = 1;
+constexpr ObjId kZ = 2;
+
+MonitoredCommit make_commit(SessionId s, std::vector<Event> events,
+                            std::map<ObjId, TxnId> sources = {}) {
+  return MonitoredCommit{s, Transaction(std::move(events)),
+                         std::move(sources)};
+}
+
+/// Asserts full verdict equality between the two monitors.
+void expect_same_verdict(const ConsistencyMonitor& dense,
+                         const StreamingMonitor& stream,
+                         const std::string& context) {
+  EXPECT_EQ(dense.verdict(), stream.verdict()) << context;
+  EXPECT_EQ(dense.violating_commit(), stream.violating_commit()) << context;
+  EXPECT_EQ(dense.violation_detail(), stream.violation_detail()) << context;
+  EXPECT_EQ(dense.commit_count(), stream.commit_count()) << context;
+}
+
+/// Replays one commit list through both monitors and checks equality
+/// after *every* commit, so a divergence is pinned to the first commit
+/// that caused it.
+void differential_run(const std::vector<MonitoredCommit>& commits, Model m,
+                      StreamingConfig cfg, const std::string& context) {
+  ConsistencyMonitor dense(m);
+  StreamingMonitor stream(m, cfg);
+  for (std::size_t i = 0; i < commits.size(); ++i) {
+    const TxnId a = dense.commit(commits[i]);
+    const TxnId b = stream.commit(commits[i]);
+    EXPECT_EQ(a, b) << context << " commit " << i;
+    expect_same_verdict(dense, stream,
+                        context + " after commit " + std::to_string(i));
+  }
+}
+
+// ------------------------------------------------------------------------
+// IncrementalDigraph unit tests
+// ------------------------------------------------------------------------
+
+TEST(IncrementalDigraphMonitor, ForwardEdgesAreCheap) {
+  IncrementalDigraph g;
+  const auto a = g.add_node();
+  const auto b = g.add_node();
+  const auto c = g.add_node();
+  EXPECT_TRUE(g.insert_edge(a, b));
+  EXPECT_TRUE(g.insert_edge(b, c));
+  EXPECT_TRUE(g.reaches(a, c));
+  EXPECT_FALSE(g.reaches(c, a));
+  EXPECT_EQ(g.live_count(), 3u);
+}
+
+TEST(IncrementalDigraphMonitor, BackEdgeReordersInsteadOfRejecting) {
+  IncrementalDigraph g;
+  const auto a = g.add_node();
+  const auto b = g.add_node();
+  // b was created after a (higher ord); the edge b -> a forces a reorder
+  // but closes no cycle.
+  EXPECT_TRUE(g.insert_edge(b, a));
+  EXPECT_LT(g.ord(b), g.ord(a));
+  EXPECT_TRUE(g.reaches(b, a));
+}
+
+TEST(IncrementalDigraphMonitor, CycleIsRejectedAndStructureUnchanged) {
+  IncrementalDigraph g;
+  const auto a = g.add_node();
+  const auto b = g.add_node();
+  const auto c = g.add_node();
+  EXPECT_TRUE(g.insert_edge(a, b));
+  EXPECT_TRUE(g.insert_edge(b, c));
+  EXPECT_FALSE(g.insert_edge(c, a));  // closes a cycle: rejected
+  EXPECT_FALSE(g.insert_edge(a, a));  // reflexive: rejected
+  // The rejected edge left nothing behind; the DAG is still usable.
+  EXPECT_TRUE(g.reaches(a, c));
+  EXPECT_FALSE(g.reaches(c, a));
+  EXPECT_TRUE(g.insert_edge(a, c));
+}
+
+TEST(IncrementalDigraphMonitor, SlotsAreRecycled) {
+  IncrementalDigraph g;
+  const auto a = g.add_node();
+  const auto b = g.add_node();
+  EXPECT_TRUE(g.insert_edge(a, b));
+  g.remove_in_ref(b, a);
+  g.free_node(a);
+  EXPECT_EQ(g.live_count(), 1u);
+  const auto c = g.add_node();
+  EXPECT_EQ(c, a);  // slot reused
+  EXPECT_EQ(g.slot_count(), 2u);
+  EXPECT_TRUE(g.out(c).empty());
+  EXPECT_GT(g.ord(c), g.ord(b));  // fresh node gets maximal order
+}
+
+TEST(IncrementalDigraphMonitor, DeepChainThenBackEdgeFindsCycle) {
+  IncrementalDigraph g;
+  std::vector<IncrementalDigraph::Slot> chain;
+  for (int i = 0; i < 200; ++i) chain.push_back(g.add_node());
+  for (int i = 0; i + 1 < 200; ++i) {
+    ASSERT_TRUE(g.insert_edge(chain[i], chain[i + 1]));
+  }
+  EXPECT_FALSE(g.insert_edge(chain.back(), chain.front()));
+  EXPECT_TRUE(g.insert_edge(chain.front(), chain.back()));
+}
+
+// ------------------------------------------------------------------------
+// StreamingMonitor: behavioural parity on hand-built histories
+// ------------------------------------------------------------------------
+
+TEST(StreamingMonitor, EmptyIsConsistent) {
+  const StreamingMonitor m(Model::kSI);
+  EXPECT_TRUE(m.consistent());
+  EXPECT_EQ(m.commit_count(), 0u);
+  EXPECT_EQ(m.verdict(), MonitorVerdict::kConsistent);
+  EXPECT_EQ(m.retained(), 1u);  // the initialiser
+  EXPECT_EQ(m.pruned(), 0u);
+}
+
+TEST(StreamingMonitor, WriteSkewConsistentUnderSiNotSer) {
+  auto feed = [](StreamingMonitor& m) {
+    m.commit(make_commit(
+        0, {read(kX, 0), read(kY, 0), write(kX, -100)}, {{kX, 0}, {kY, 0}}));
+    m.commit(make_commit(
+        1, {read(kX, 0), read(kY, 0), write(kY, -100)}, {{kX, 0}, {kY, 0}}));
+  };
+  StreamingMonitor si(Model::kSI);
+  feed(si);
+  EXPECT_TRUE(si.consistent());
+  StreamingMonitor psi(Model::kPSI);
+  feed(psi);
+  EXPECT_TRUE(psi.consistent());
+  StreamingMonitor ser(Model::kSER);
+  feed(ser);
+  EXPECT_FALSE(ser.consistent());
+  EXPECT_EQ(ser.violating_commit(), 2u);
+}
+
+TEST(StreamingMonitor, LostUpdateMatchesDenseMonitorDetailForDetail) {
+  for (const Model model : {Model::kSER, Model::kSI, Model::kPSI}) {
+    const std::vector<MonitoredCommit> commits = {
+        make_commit(0, {read(kX, 0), write(kX, 50)}, {{kX, 0}}),
+        make_commit(1, {read(kX, 0), write(kX, 25)}, {{kX, 0}}),
+    };
+    differential_run(commits, model, {}, "lost update " + to_string(model));
+  }
+}
+
+TEST(StreamingMonitor, ValidationErrorsLeaveMonitorUntouched) {
+  StreamingMonitor m(Model::kSI);
+  m.commit(make_commit(0, {write(kX, 1)}));
+  EXPECT_THROW(m.commit(make_commit(1, {read(kX, 0)}, {{kX, 99}})),
+               ModelError);
+  EXPECT_THROW(m.commit(make_commit(1, {read(kX, 0)})), ModelError);
+  EXPECT_EQ(m.commit_count(), 1u);
+  EXPECT_TRUE(m.consistent());
+  m.commit(make_commit(1, {read(kX, 1)}, {{kX, 1}}));
+  EXPECT_EQ(m.commit_count(), 2u);
+  EXPECT_TRUE(m.consistent());
+}
+
+TEST(StreamingMonitor, ExplicitCeilingStillSaturates) {
+  StreamingConfig cfg;
+  cfg.max_transactions = 2;
+  StreamingMonitor m(Model::kSI, cfg);
+  EXPECT_EQ(m.commit(make_commit(0, {write(kX, 1)})), 1u);
+  EXPECT_EQ(m.commit(make_commit(0, {write(kX, 2)})), 2u);
+  EXPECT_EQ(m.commit(make_commit(0, {write(kX, 3)})), 0u);
+  EXPECT_EQ(m.verdict(), MonitorVerdict::kSaturated);
+  EXPECT_EQ(m.dropped_commits(), 1u);
+}
+
+TEST(StreamingMonitor, GraphRequiresOptInLog) {
+  StreamingMonitor off(Model::kSI);  // keep_log defaults off
+  off.commit(make_commit(0, {write(kX, 1)}));
+  EXPECT_THROW(off.graph(), ModelError);
+
+  StreamingConfig cfg;
+  cfg.keep_log = true;
+  StreamingMonitor on(Model::kSI, cfg);
+  const TxnId w = on.commit(make_commit(0, {write(kX, 1)}));
+  on.commit(make_commit(1, {read(kX, 1)}, {{kX, w}}));
+  const DependencyGraph g = on.graph();
+  EXPECT_TRUE(check_graph_si(g).member);
+  EXPECT_EQ(g.history().txn_count(), 3u);  // init + 2
+}
+
+TEST(StreamingMonitor, GraphMatchesDenseMonitorGraph) {
+  workload::WorkloadSpec spec;
+  spec.sessions = 3;
+  spec.txns_per_session = 12;
+  spec.num_keys = 6;
+  spec.concurrent = false;
+  spec.seed = 7;
+  const auto run = workload::run_si(spec);
+  const auto commits = monitored_commits(run.graph);
+
+  ConsistencyMonitor dense(Model::kSI);
+  StreamingConfig cfg;
+  cfg.keep_log = true;
+  StreamingMonitor stream(Model::kSI, cfg);
+  for (const auto& c : commits) {
+    dense.commit(c);
+    stream.commit(c);
+  }
+  EXPECT_EQ(dense.graph(), stream.graph());
+}
+
+// ------------------------------------------------------------------------
+// Differential corpora: engine workloads (all three models, seeds,
+// cross-model checks so violations occur too)
+// ------------------------------------------------------------------------
+
+void differential_engine_corpus(Model engine_model) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    workload::WorkloadSpec spec;
+    spec.num_keys = 5;
+    spec.sessions = 4;
+    spec.txns_per_session = 10;
+    spec.ops_per_txn = 4;
+    spec.write_ratio = 0.5;
+    spec.seed = seed;
+    spec.concurrent = false;  // deterministic interleaving
+    mvcc::RecordedRun run;
+    switch (engine_model) {
+      case Model::kSI:
+        run = workload::run_si(spec);
+        break;
+      case Model::kSER:
+        run = workload::run_ser(spec);
+        break;
+      case Model::kPSI:
+        run = workload::run_psi(spec, 2);
+        break;
+    }
+    const auto commits = monitored_commits(run.graph);
+    // Check the corpus under *every* model: checking an SI run under SER
+    // (or a PSI run under SI) regularly produces real violations, so the
+    // differential suite covers the violation paths too, detail strings
+    // included.
+    for (const Model check : {Model::kSER, Model::kSI, Model::kPSI}) {
+      const std::string context = "engine " + to_string(engine_model) +
+                                  " seed " + std::to_string(seed) +
+                                  " checked under " + to_string(check);
+      differential_run(commits, check, {}, context);
+      // Again with a GC window small enough to actually prune mid-run.
+      StreamingConfig gc;
+      gc.gc_window = 16;
+      differential_run(commits, check, gc, context + " [gc window 16]");
+    }
+  }
+}
+
+TEST(StreamingMonitorDifferential, SIEngineCorpus) {
+  differential_engine_corpus(Model::kSI);
+}
+
+TEST(StreamingMonitorDifferential, SEREngineCorpus) {
+  differential_engine_corpus(Model::kSER);
+}
+
+TEST(StreamingMonitorDifferential, PSIEngineCorpus) {
+  differential_engine_corpus(Model::kPSI);
+}
+
+// Chaos corpus: fault-injected engine runs through retrying clients, the
+// same recipe as test_chaos.cpp, replayed differentially.
+TEST(StreamingMonitorDifferential, ChaosSeedCorpus) {
+  constexpr std::uint32_t kKeys = 6;
+  constexpr std::size_t kSessions = 4;
+  constexpr std::size_t kTxnsPerSession = 6;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    mvcc::Recorder recorder;
+    fault::FaultInjector inj(fault::FaultPlan::uniform(
+        seed, /*abort=*/0.08, /*crash=*/0.05, /*delay=*/0.10));
+    mvcc::SIDatabase db(kKeys, &recorder, &inj);
+    fault::RetryPolicy policy;
+    policy.max_attempts = 64;
+    policy.base_backoff_steps = 1;
+    policy.max_backoff_steps = 8;
+    policy.jitter_seed = seed;
+    fault::RetryingClient<mvcc::SIDatabase> client(db, policy);
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      auto session = db.make_session();
+      for (std::size_t i = 0; i < kTxnsPerSession; ++i) {
+        const auto stats =
+            client.run(session, [s, i](mvcc::SITransaction& txn) {
+              const Value v = txn.read(static_cast<ObjId>((s + i) % kKeys));
+              txn.write(static_cast<ObjId>((s * 2 + i + 1) % kKeys), v + 1);
+            });
+        ASSERT_TRUE(stats.committed) << "seed " << seed;
+      }
+    }
+    const auto commits = monitored_commits(recorder.build().graph);
+    for (const Model check : {Model::kSER, Model::kSI, Model::kPSI}) {
+      const std::string context = "chaos seed " + std::to_string(seed) +
+                                  " under " + to_string(check);
+      differential_run(commits, check, {}, context);
+      StreamingConfig gc;
+      gc.gc_window = 12;
+      differential_run(commits, check, gc, context + " [gc window 12]");
+    }
+  }
+}
+
+// Batch ingestion parity: commit_all and commit_all_guarded (including
+// quarantine bookkeeping) against the dense monitor's batched paths.
+TEST(StreamingMonitorDifferential, GuardedBatchesQuarantineIdentically) {
+  workload::WorkloadSpec spec;
+  spec.sessions = 3;
+  spec.txns_per_session = 8;
+  spec.num_keys = 4;
+  spec.concurrent = false;
+  spec.seed = 3;
+  auto commits = monitored_commits(workload::run_si(spec).graph);
+  // Corrupt two commits: a bogus read source and a missing one.
+  ASSERT_GE(commits.size(), 8u);
+  for (std::size_t victim : {std::size_t{3}, std::size_t{6}}) {
+    MonitoredCommit& c = commits[victim];
+    if (!c.txn.external_read_set().empty()) {
+      if (victim % 2 == 0) {
+        c.read_sources[c.txn.external_read_set().front()] = 9999;
+      } else {
+        c.read_sources.clear();
+      }
+    }
+  }
+  ConsistencyMonitor dense(Model::kSI);
+  StreamingMonitor stream(Model::kSI);
+  const BatchResult rd = dense.commit_all_guarded(commits);
+  const BatchResult rs = stream.commit_all_guarded(commits);
+  EXPECT_EQ(rd.ids, rs.ids);
+  EXPECT_EQ(rd.quarantined, rs.quarantined);
+  expect_same_verdict(dense, stream, "guarded batch");
+
+  ConsistencyMonitor dense_b(Model::kSI);
+  StreamingMonitor stream_b(Model::kSI);
+  // Well-formed prefix via commit_all for both.
+  const std::vector<MonitoredCommit> clean(commits.begin(),
+                                           commits.begin() + 3);
+  EXPECT_EQ(dense_b.commit_all(clean), stream_b.commit_all(clean));
+  expect_same_verdict(dense_b, stream_b, "clean batch");
+}
+
+// ------------------------------------------------------------------------
+// GC correctness
+// ------------------------------------------------------------------------
+
+// A violation among retained (in-window) transactions long after many
+// GC passes must be caught identically by both monitors — pruning the
+// stable prefix may not eat the evidence.
+TEST(StreamingMonitorGC, ViolationAfterManyPrunesIsStillCaught) {
+  for (const Model model : {Model::kSER, Model::kSI, Model::kPSI}) {
+    ConsistencyMonitor dense(model);
+    StreamingConfig cfg;
+    cfg.gc_window = 64;
+    StreamingMonitor stream(model, cfg);
+    // 1000 serial filler commits on kY (RMW latest: always consistent).
+    TxnId last = 0;
+    for (int i = 0; i < 1000; ++i) {
+      const auto c = make_commit(
+          0, {read(kY, 0), write(kY, i)},
+          {{kY, last}});
+      last = dense.commit(c);
+      const TxnId sid = stream.commit(c);
+      ASSERT_EQ(last, sid);
+    }
+    ASSERT_GT(stream.pruned(), 800u) << to_string(model);
+    // Lost update on kX between two fresh sessions: a violation under
+    // every model, built entirely from retained transactions (kX's
+    // version 0 was never overwritten, so it is still readable).
+    const auto t1 = make_commit(1, {read(kX, 0), write(kX, 1)}, {{kX, 0}});
+    const auto t2 = make_commit(2, {read(kX, 0), write(kX, 2)}, {{kX, 0}});
+    dense.commit(t1);
+    stream.commit(t1);
+    dense.commit(t2);
+    stream.commit(t2);
+    EXPECT_FALSE(stream.consistent()) << to_string(model);
+    expect_same_verdict(dense, stream,
+                        "post-GC violation " + to_string(model));
+  }
+}
+
+// The invariant that makes stable-prefix pruning verdict-preserving
+// (DESIGN.md §4f): a violation *spanning* the watermark would need a
+// future edge targeting a pruned transaction, and the only way to create
+// one is a read naming a version overwritten before the watermark. Such
+// a read is outside the staleness window and is rejected with ModelError
+// — it cannot be silently mis-verdicted. This test pins both halves:
+// the rejection, and the fact that the dense monitor (no GC) accepts the
+// same read, so the contract difference is explicit and documented.
+TEST(StreamingMonitorGC, WatermarkSpanningReadIsRejectedNotMisverdicted) {
+  ConsistencyMonitor dense(Model::kSI);
+  StreamingConfig cfg;
+  cfg.gc_window = 64;
+  StreamingMonitor stream(Model::kSI, cfg);
+  // kX version 1 gets overwritten immediately, then 1000 filler commits
+  // push the watermark far past the overwrite.
+  const auto w1 = make_commit(0, {write(kX, 1)});
+  const auto w2 = make_commit(0, {write(kX, 2)});
+  dense.commit(w1);
+  stream.commit(w1);
+  dense.commit(w2);
+  stream.commit(w2);
+  TxnId last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto c = make_commit(1, {read(kY, 0), write(kY, i)}, {{kY, last}});
+    last = dense.commit(c);
+    stream.commit(c);
+  }
+  ASSERT_GT(stream.watermark(), 2u);
+  // A read of kX@T1 (overwritten by T2 <= watermark) spans the prune
+  // horizon: the streaming monitor rejects it...
+  const auto stale = make_commit(2, {read(kX, 1)}, {{kX, 1}});
+  EXPECT_THROW(stream.commit(stale), ModelError);
+  // ...without perturbing its state...
+  EXPECT_TRUE(stream.consistent());
+  EXPECT_EQ(stream.commit_count(), 1002u);
+  // ...while the dense monitor accepts the same commit (and stays
+  // consistent — so nothing was mis-verdicted, merely refused).
+  dense.commit(stale);
+  EXPECT_TRUE(dense.consistent());
+  // The *current* version of kX is still readable despite its writer
+  // being ancient: both monitors accept and agree.
+  const auto fresh = make_commit(2, {read(kX, 2)}, {{kX, 2}});
+  dense.commit(fresh);
+  stream.commit(fresh);
+  EXPECT_TRUE(stream.consistent());
+  EXPECT_EQ(dense.verdict(), stream.verdict());
+}
+
+// Ids are never renumbered by GC: a violation after heavy pruning still
+// reports original monitor ids in both the id and the detail string.
+TEST(StreamingMonitorGC, ViolationReportsOriginalIdsAfterPruning) {
+  StreamingConfig cfg;
+  cfg.gc_window = 32;
+  StreamingMonitor m(Model::kSER, cfg);
+  TxnId last = 0;
+  for (int i = 0; i < 500; ++i) {
+    last = m.commit(make_commit(0, {read(kY, 0), write(kY, i)}, {{kY, last}}));
+  }
+  ASSERT_GT(m.pruned(), 0u);
+  m.commit(make_commit(1, {read(kX, 0), write(kX, 1)}, {{kX, 0}}));
+  m.commit(make_commit(2, {read(kX, 0), write(kX, 2)}, {{kX, 0}}));
+  ASSERT_FALSE(m.consistent());
+  EXPECT_EQ(m.violating_commit(), 502u);  // original id, not a slot
+  EXPECT_NE(m.violation_detail().find("T502"), std::string::npos)
+      << m.violation_detail();
+}
+
+// ------------------------------------------------------------------------
+// CI plateau smoke: 1e5 commits, retained state must flatline. Runs under
+// ASan and TSan via the existing jobs (suite name matches the TSan
+// regex).
+// ------------------------------------------------------------------------
+
+TEST(StreamingMonitorSmoke, RetainedStatePlateausOverLongStream) {
+  workload::StreamSpec spec;
+  spec.num_keys = 64;
+  spec.writer_sessions = 8;
+  spec.ops_per_txn = 4;
+  spec.write_ratio = 0.5;
+  spec.snapshot_every = 16;
+  spec.snapshot_lag = 512;
+  spec.seed = 11;
+  workload::StreamSource source(spec);
+
+  StreamingConfig cfg;
+  cfg.gc_window = 2048;
+  StreamingMonitor m(Model::kSI, cfg);
+
+  constexpr std::size_t kCommits = 100'000;
+  std::size_t max_retained = 0;
+  std::size_t max_bytes = 0;
+  std::size_t retained_at_quarter = 0;
+  for (std::size_t i = 1; i <= kCommits; ++i) {
+    const TxnId id = m.commit(source.next());
+    ASSERT_EQ(id, static_cast<TxnId>(i));
+    if (i % 1000 == 0) {
+      max_retained = std::max(max_retained, m.retained());
+      max_bytes = std::max(max_bytes, m.approx_bytes());
+      if (i == kCommits / 4) retained_at_quarter = m.retained();
+    }
+  }
+  EXPECT_TRUE(m.consistent()) << m.violation_detail();
+  EXPECT_EQ(m.verdict(), MonitorVerdict::kConsistent);
+  // Flat memory: retained state is bounded by a small multiple of the
+  // window, not by the stream length, and stops growing after warmup.
+  EXPECT_GT(m.pruned(), kCommits * 9 / 10);
+  EXPECT_LT(max_retained, 4 * cfg.gc_window);
+  EXPECT_LT(m.retained(), 4 * cfg.gc_window);
+  ASSERT_GT(retained_at_quarter, 0u);
+  EXPECT_LT(max_retained, retained_at_quarter * 2);
+  // approx_bytes plateaus in the single-digit MB range for this shape.
+  EXPECT_LT(max_bytes, 64u * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace sia

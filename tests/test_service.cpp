@@ -15,6 +15,7 @@
 #include "service/loadgen.hpp"
 #include "tools/analysis_json.hpp"
 #include "workload/generator.hpp"
+#include "workload/stream_source.hpp"
 
 namespace sia::service {
 namespace {
@@ -126,6 +127,51 @@ TEST(Service, StreamCeilingSaturatesNotViolates) {
   EXPECT_EQ(v.verdict, static_cast<std::uint8_t>(MonitorVerdict::kSaturated));
   EXPECT_EQ(v.commit_count, 2u);
   EXPECT_EQ(v.capacity, 2u);
+}
+
+// A long stream through a small GC window: the server's STATUS gauges
+// must show pruning keeping retention bounded while the verdict stays
+// consistent — the default config no longer needs a ceiling and never
+// saturates.
+TEST(Service, StatusReportsGcGaugesAndNeverSaturates) {
+  ServerConfig cfg;
+  cfg.gc_window = 64;
+  Fixture f(cfg);
+  const std::uint64_t stream = f.client.open_stream(Model::kSI);
+
+  workload::StreamSpec spec;
+  spec.snapshot_every = 8;
+  spec.snapshot_lag = 16;  // must stay inside the 64-commit GC window
+  spec.seed = 3;
+  workload::StreamSource source(spec);
+  constexpr std::size_t kCommits = 512;
+  for (std::size_t fed = 0; fed < kCommits;) {
+    std::vector<MonitoredCommit> batch;
+    for (std::size_t i = 0; i < 32; ++i) batch.push_back(source.next());
+    const Message reply = f.client.commit(stream, batch);
+    ASSERT_EQ(reply.type, MsgType::kCommitted);
+    EXPECT_TRUE(reply.quarantined.empty());
+    fed += batch.size();
+  }
+
+  const Message st = f.client.status(stream);
+  ASSERT_EQ(st.type, MsgType::kStatusReply);
+  EXPECT_EQ(st.stream, stream);
+  EXPECT_EQ(st.verdict,
+            static_cast<std::uint8_t>(MonitorVerdict::kConsistent));
+  EXPECT_EQ(st.commit_count, kCommits);
+  // GC has passed: most of the stream is pruned, retention is bounded by
+  // the window (plus entanglement), and the gauges are consistent with
+  // each other (retained + pruned covers ids 0..512).
+  EXPECT_GT(st.pruned, kCommits / 2);
+  EXPECT_LT(st.retained, 4 * cfg.gc_window);
+  EXPECT_EQ(st.retained + st.pruned, kCommits + 1);
+  EXPECT_GT(st.watermark, 0u);
+  EXPECT_GT(st.approx_bytes, 0u);
+
+  // STATUS on an unknown stream is an error, like VERDICT.
+  const Message bad = f.client.status(stream + 999);
+  EXPECT_EQ(bad.type, MsgType::kError);
 }
 
 TEST(Service, MalformedCommitIsQuarantinedNotFatal) {

@@ -63,6 +63,25 @@ TEST(WireFuzz, RoundTripPreservesEveryField) {
   EXPECT_EQ(vout.capacity, v.capacity);
   EXPECT_EQ(vout.violating, v.violating);
   EXPECT_EQ(vout.text, v.text);
+
+  Message s;
+  s.type = MsgType::kStatusReply;
+  s.stream = 11;
+  s.verdict = 0;
+  s.commit_count = 1000000;
+  s.retained = 12345;
+  s.pruned = 987655;
+  s.watermark = 991808;
+  s.approx_bytes = 26712140;
+  const auto sp = encode_payload(s);
+  Message sout;
+  ASSERT_TRUE(decode_payload(sp.data(), sp.size(), sout));
+  EXPECT_EQ(sout.stream, s.stream);
+  EXPECT_EQ(sout.commit_count, s.commit_count);
+  EXPECT_EQ(sout.retained, s.retained);
+  EXPECT_EQ(sout.pruned, s.pruned);
+  EXPECT_EQ(sout.watermark, s.watermark);
+  EXPECT_EQ(sout.approx_bytes, s.approx_bytes);
 }
 
 // Every strict prefix of a valid frame is "need more", never a frame and
