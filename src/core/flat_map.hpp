@@ -14,6 +14,12 @@
 /// per commit, cache-dense to iterate, and keeps std::map's ascending
 /// iteration order — so wire encodings and reconstructed graphs stay
 /// byte-identical. Only the operations the ingest path uses are provided.
+///
+/// Size assumption: entries stay small (a commit's read set). Ascending
+/// insertion — the wire decoder and std::map conversions — appends in
+/// O(1) amortised; out-of-order insertion pays an O(size) vector insert
+/// per entry, quadratic in the worst case, so this is the wrong
+/// container for large random-order maps.
 
 namespace sia {
 
@@ -36,6 +42,12 @@ class FlatMap {
   FlatMap(std::map<K, V>&& m) : entries_(m.begin(), m.end()) {}
 
   V& operator[](const K& key) {
+    // Keys arriving in ascending order (the common case: decoded wire
+    // frames preserve the encoder's sorted iteration) append in O(1).
+    if (entries_.empty() || entries_.back().first < key) {
+      entries_.emplace_back(key, V{});
+      return entries_.back().second;
+    }
     auto it = lower(key);
     if (it != entries_.end() && it->first == key) return it->second;
     return entries_.insert(it, {key, V{}})->second;

@@ -1,6 +1,7 @@
 #include "graph/incremental.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace sia {
 
@@ -29,6 +30,9 @@ IncrementalDigraph::Slot IncrementalDigraph::add_node() {
   // bisect existing values, so next_ord_ stays an upper bound forever.
   n.ord = next_ord_;
   next_ord_ += kOrdStride;
+  const bool fresh_ord = live_ords_.insert(n.ord).second;
+  assert(fresh_ord && "IncrementalDigraph: duplicate live ord");
+  (void)fresh_ord;
   ++live_;
   return s;
 }
@@ -42,6 +46,7 @@ void IncrementalDigraph::free_node(Slot s) {
   n.in.clear();
   n.in.shrink_to_fit();
   n.live = false;
+  live_ords_.erase(n.ord);
   ++gen_[s];
   free_.push_back(s);
   --live_;
@@ -72,6 +77,7 @@ void IncrementalDigraph::free_nodes(const std::vector<Slot>& dead) {
     n.out.shrink_to_fit();
     n.in.clear();
     n.in.shrink_to_fit();
+    live_ords_.erase(n.ord);
     ++gen_[s];
     free_.push_back(s);
   }
@@ -110,10 +116,25 @@ bool IncrementalDigraph::insert_edge(Slot a, Slot b) {
     std::uint64_t min_succ = nb.ord;
     for (const Slot q : na.out) min_succ = std::min(min_succ, nodes_[q].ord);
     if (max_pred + 1 < min_succ) {
-      na.ord = max_pred + (min_succ - max_pred) / 2;
-      na.out.push_back(b);
-      nb.in.push_back(a);
-      return true;
+      // The gap (max_pred, min_succ) may already hold ords of unrelated
+      // nodes, and live ords must stay pairwise distinct (see the class
+      // comment): probe upward from the midpoint for a free value.
+      // Identical relocations — the hot monitor case of several fresh
+      // readers with the same D-predecessors anti-depending on one old
+      // writer — land on consecutive values. A crowded gap falls
+      // through to the bounded reorder below, which only permutes
+      // existing (distinct) ords and needs no free value.
+      std::uint64_t cand = max_pred + (min_succ - max_pred) / 2;
+      const std::uint64_t cand_end = std::min(min_succ, cand + kMaxOrdProbes);
+      for (; cand < cand_end; ++cand) {
+        if (live_ords_.insert(cand).second) {
+          live_ords_.erase(na.ord);
+          na.ord = cand;
+          na.out.push_back(b);
+          nb.in.push_back(a);
+          return true;
+        }
+      }
     }
   }
   // Pearce–Kelly: the affected region is the ord-interval (lo, hi). A
@@ -121,6 +142,7 @@ bool IncrementalDigraph::insert_edge(Slot a, Slot b) {
   // edge is rejected and nothing changes) or yields the set to shift.
   const std::uint64_t lo = nb.ord;
   const std::uint64_t hi = na.ord;
+  assert(lo < hi && "backward edge endpoints must have distinct ords");
   ++epoch_;
   delta_f_.clear();
   stack_.clear();
@@ -165,6 +187,9 @@ bool IncrementalDigraph::insert_edge(Slot a, Slot b) {
   for (const Slot s : delta_b_) ord_pool_.push_back(nodes_[s].ord);
   for (const Slot s : delta_f_) ord_pool_.push_back(nodes_[s].ord);
   std::sort(ord_pool_.begin(), ord_pool_.end());
+  assert(std::adjacent_find(ord_pool_.begin(), ord_pool_.end()) ==
+             ord_pool_.end() &&
+         "IncrementalDigraph: duplicate live ord in reorder pool");
   std::size_t i = 0;
   for (const Slot s : delta_b_) nodes_[s].ord = ord_pool_[i++];
   for (const Slot s : delta_f_) nodes_[s].ord = ord_pool_[i++];
@@ -195,11 +220,23 @@ bool IncrementalDigraph::reaches(Slot from, Slot to) const {
   return false;
 }
 
+bool IncrementalDigraph::ords_unique() const {
+  if (live_ords_.size() != live_) return false;
+  std::unordered_set<std::uint64_t> seen;
+  for (const Node& n : nodes_) {
+    if (!n.live) continue;
+    if (live_ords_.count(n.ord) == 0) return false;
+    if (!seen.insert(n.ord).second) return false;
+  }
+  return true;
+}
+
 std::size_t IncrementalDigraph::approx_bytes() const {
   std::size_t total = nodes_.capacity() * sizeof(Node) +
                       gen_.capacity() * sizeof(std::uint32_t) +
                       free_.capacity() * sizeof(Slot) +
-                      mark_.capacity() * sizeof(std::uint64_t);
+                      mark_.capacity() * sizeof(std::uint64_t) +
+                      live_ords_.size() * (sizeof(std::uint64_t) + 2 * 8);
   for (const Node& n : nodes_) {
     total += (n.out.capacity() + n.in.capacity()) * sizeof(Slot);
   }
@@ -233,16 +270,9 @@ IncrementalDigraph::Slot StreamingMonitor::slot_of(TxnId id) const {
 
 bool StreamingMonitor::edge_seen(IncrementalDigraph::Slot a,
                                  IncrementalDigraph::Slot b) {
-  if (b != seen_target_) {  // stamps are scoped to one target's burst
-    seen_target_ = b;
-    ++seen_epoch_;
-  }
-  if (seen_src_.size() < graph_.slot_count()) {
-    seen_src_.resize(graph_.slot_count(), 0);
-  }
-  if (seen_src_[a] == seen_epoch_) return true;
-  seen_src_[a] = seen_epoch_;
-  return false;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint64_t>(b);
+  return !seen_edges_.insert(key).second;
 }
 
 void StreamingMonitor::validate(const MonitoredCommit& c) const {
@@ -424,10 +454,10 @@ TxnId StreamingMonitor::commit(const MonitoredCommit& c) {
   }
   const TxnId id = next_id_++;
   if (cfg_.keep_log) log_.push_back(c);
-  // Invalidate edge_seen stamps from the previous commit (GC may have
-  // recycled slots in between, so stale marks must never carry over).
-  ++seen_epoch_;
-  seen_target_ = IncrementalDigraph::kNoSlot;
+  // Drop the previous commit's duplicate-edge pairs (GC may recycle
+  // slots between commits, so pairs must never carry over); clear()
+  // keeps the bucket array, so steady state allocates nothing.
+  seen_edges_.clear();
 
   // After the first violation the verdict is sticky and every cycle query
   // is short-circuited, so the graph structure goes quiescent; only the
@@ -672,7 +702,7 @@ std::size_t StreamingMonitor::approx_bytes() const {
     total += preds.capacity() * sizeof(NodeRef);
   }
   total += d_preds_.capacity() * sizeof(std::vector<NodeRef>);
-  total += seen_src_.capacity() * sizeof(std::uint64_t);
+  total += seen_edges_.size() * (sizeof(std::uint64_t) + 2 * 8);
   for (const auto& [obj, st] : objects_) {
     (void)obj;
     total += st.writers.capacity() * sizeof(TxnId);

@@ -51,6 +51,13 @@ namespace sia {
 /// reusable dense node slots. Detects, at insertion time, edges that
 /// would close a cycle — in which case the edge is *not* inserted, so the
 /// structure stays acyclic and the order stays valid.
+///
+/// Invariant: live ords are pairwise *distinct*. The bounded searches,
+/// the relocation fast path and the stable-prefix barrier all compare
+/// ords strictly; with a duplicated ord, a reverse path through a node
+/// sitting exactly on an interval boundary would go unvisited and a real
+/// cycle could be admitted. A hash set of live ords enforces this at
+/// every point an ord is created (see insert_edge's relocation probe).
 class IncrementalDigraph {
  public:
   using Slot = std::uint32_t;
@@ -97,6 +104,10 @@ class IncrementalDigraph {
   [[nodiscard]] std::size_t live_count() const { return live_; }
   [[nodiscard]] std::size_t slot_count() const { return nodes_.size(); }
 
+  /// Invariant probe (tests / debug): every live slot has a distinct ord
+  /// and the live-ord set mirrors the live slots exactly.
+  [[nodiscard]] bool ords_unique() const;
+
   /// Rough heap footprint of the adjacency structure, for gauges.
   [[nodiscard]] std::size_t approx_bytes() const;
 
@@ -110,11 +121,18 @@ class IncrementalDigraph {
 
   /// Gap between consecutive fresh ord values; relocation bisects gaps.
   static constexpr std::uint64_t kOrdStride = 1ull << 20;
+  /// Relocation probes at most this many values above the midpoint for a
+  /// free ord before giving up and running the bounded reorder (which
+  /// only permutes existing ords and needs no free value).
+  static constexpr std::uint64_t kMaxOrdProbes = 64;
 
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> gen_;
   std::vector<Slot> free_;
   std::uint64_t next_ord_{kOrdStride};
+  /// Ords of all live nodes — see the class comment: the order must stay
+  /// pairwise distinct or the bounded searches are unsound.
+  std::unordered_set<std::uint64_t> live_ords_;
   std::size_t live_{0};
 
   // Epoch-stamped scratch for the searches (no per-call allocation).
@@ -313,6 +331,9 @@ class StreamingMonitor {
   /// acyclic graph can never be the violating edge — the reverse path
   /// would have been a pre-existing cycle, caught when it formed — so
   /// skipping it preserves verdicts, ids and detail strings exactly.
+  /// Keyed on the (source, target) pair, so commits whose pending
+  /// anti-dependencies interleave targets still dedup fully (no
+  /// parallel duplicates accumulating in the adjacency lists).
   [[nodiscard]] bool edge_seen(IncrementalDigraph::Slot a,
                                IncrementalDigraph::Slot b);
 
@@ -345,10 +366,11 @@ class StreamingMonitor {
   std::vector<std::pair<TxnId, IncrementalDigraph::Slot>> prune_list_;
   std::vector<IncrementalDigraph::Slot> dead_slots_;
 
-  // Epoch stamps for edge_seen: valid per (commit, target-run) burst.
-  std::vector<std::uint64_t> seen_src_;
-  std::uint64_t seen_epoch_{0};
-  IncrementalDigraph::Slot seen_target_{IncrementalDigraph::kNoSlot};
+  /// Composed (source, target) slot pairs inserted by the current
+  /// commit, packed into one u64. Cleared (capacity retained) at the top
+  /// of every commit, so pairs never survive a GC slot recycle and
+  /// steady state allocates nothing.
+  std::unordered_set<std::uint64_t> seen_edges_;
 
   std::vector<MonitoredCommit> log_;
 };

@@ -118,6 +118,61 @@ TEST(IncrementalDigraphMonitor, SlotsAreRecycled) {
   EXPECT_GT(g.ord(c), g.ord(b));  // fresh node gets maximal order
 }
 
+TEST(IncrementalDigraphMonitor, IdenticalRelocationsKeepOrdsDistinct) {
+  // Regression: two (here three) nodes with the same max-predecessor and
+  // the same relocation target used to receive the *same* midpoint ord,
+  // breaking the strict total order Pearce–Kelly's bounded searches rely
+  // on — a later edge between equal-ord nodes then degenerated the
+  // reorder (lo == hi) and a real cycle could be admitted.
+  IncrementalDigraph g;
+  const auto p = g.add_node();   // shared predecessor
+  const auto b = g.add_node();   // old writer all readers relocate around
+  const auto r1 = g.add_node();  // identical neighbourhoods: in = {p},
+  const auto r2 = g.add_node();  // no successors, back edge to b
+  const auto r3 = g.add_node();
+  ASSERT_TRUE(g.insert_edge(p, r1));
+  ASSERT_TRUE(g.insert_edge(p, r2));
+  ASSERT_TRUE(g.insert_edge(p, r3));
+  ASSERT_TRUE(g.insert_edge(r1, b));  // relocation to the gap midpoint
+  ASSERT_TRUE(g.insert_edge(r2, b));  // identical relocation #1
+  ASSERT_TRUE(g.insert_edge(r3, b));  // identical relocation #2
+  EXPECT_NE(g.ord(r1), g.ord(r2));
+  EXPECT_NE(g.ord(r1), g.ord(r3));
+  EXPECT_NE(g.ord(r2), g.ord(r3));
+  EXPECT_TRUE(g.ords_unique());
+  // Cycles among the relocated trio must still be rejected: with
+  // duplicated ords the bounded searches skip nodes sitting exactly on
+  // an interval boundary, so edges among equal-ord nodes could corrupt
+  // the order and later admit a real cycle.
+  ASSERT_TRUE(g.insert_edge(r2, r3));
+  ASSERT_TRUE(g.insert_edge(r3, r1));
+  EXPECT_FALSE(g.insert_edge(r1, r2));  // closes the cycle: must reject
+  EXPECT_TRUE(g.reaches(r2, r1));
+  EXPECT_FALSE(g.reaches(r1, r2));
+  EXPECT_TRUE(g.ords_unique());
+}
+
+TEST(IncrementalDigraphMonitor, CrowdedGapFallsBackToReorder) {
+  // Exhaust the relocation probe window: many identical relocations into
+  // one gap must stay correct (distinct ords, cycles still rejected)
+  // even after the probe gives up and the bounded reorder takes over.
+  IncrementalDigraph g;
+  const auto p = g.add_node();
+  const auto b = g.add_node();
+  std::vector<IncrementalDigraph::Slot> readers;
+  for (int i = 0; i < 200; ++i) {  // > kMaxOrdProbes
+    const auto r = g.add_node();
+    ASSERT_TRUE(g.insert_edge(p, r));
+    ASSERT_TRUE(g.insert_edge(r, b)) << "reader " << i;
+    readers.push_back(r);
+  }
+  EXPECT_TRUE(g.ords_unique());
+  ASSERT_TRUE(g.insert_edge(readers[0], readers[199]));
+  ASSERT_TRUE(g.insert_edge(readers[199], readers[77]));
+  EXPECT_FALSE(g.insert_edge(readers[77], readers[0]));
+  EXPECT_TRUE(g.ords_unique());
+}
+
 TEST(IncrementalDigraphMonitor, DeepChainThenBackEdgeFindsCycle) {
   IncrementalDigraph g;
   std::vector<IncrementalDigraph::Slot> chain;
