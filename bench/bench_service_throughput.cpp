@@ -43,7 +43,7 @@ LoadgenConfig sweep_config(std::uint16_t port, std::size_t connections,
   // stable-prefix GC fires repeatedly while requests are in flight.
   cfg.txns_per_stream = gc ? 384 : 96;
   cfg.batch_size = 8;
-  cfg.model = Model::kSI;
+  cfg.model = sia::service::ServiceModel::kSI;
   cfg.seed = 42 + connections;
   return cfg;
 }

@@ -1,0 +1,172 @@
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "mvcc/si_engine.hpp"
+#include "mvcc/ssi_engine.hpp"
+#include "mvcc/ssi_ref_engine.hpp"
+
+/// \file bench_ssi_hotpath.cpp
+/// E19 artefact — the SSI hot path after epoch-watermark GC and the dense
+/// meta ring (DESIGN.md §4g), measured old-vs-new against the frozen
+/// reference engine (ssi_ref_engine.hpp) on two workloads at two sizes:
+///  - `e15_rmw`: the E15 shape — one session, uncontended RMW over 16
+///    keys. The reference keeps every SIREAD entry and TxnMeta forever,
+///    so its per-read dedup scan and per-commit reader scan are O(n);
+///    the pruned engine holds both O(1).
+///  - `contended_rmw`: four sessions whose transactions genuinely
+///    overlap every round (begin x4, read a shared hot key, write
+///    disjoint keys, commit x4) — the SIREAD-heavy shape where reader
+///    lists, not version chains, dominate.
+/// Two verdict gates make this binary CI-runnable (exit 2 on failure):
+///  - scaling: the pruned engine's 20k-txn time over its 5k-txn time
+///    must stay below 8x (linear would be 4x; the reference's quadratic
+///    growth shows up as >=10x here) — the perf-smoke regression guard;
+///  - ssi/si: pruned SSI must land within 5x of plain SI on the 20k E15
+///    workload (`ssi_over_si` row: the speedup column reads as the
+///    SSI/SI ratio), plus flat-memory gauges after the run.
+/// Results persist to BENCH_ssi_hotpath.json.
+
+namespace sia::bench {
+namespace {
+
+constexpr std::uint32_t kKeys = 16;
+constexpr std::size_t kSmall = 5000;
+constexpr std::size_t kLarge = 20000;
+
+/// E15 shape: one RMW transaction per iteration, single session.
+template <typename Db>
+void drive_e15(Db& db, std::size_t txns) {
+  auto session = db.make_session();
+  for (std::size_t i = 0; i < txns; ++i) {
+    db.run(session, [i](auto& txn) {
+      const ObjId k = static_cast<ObjId>(i % kKeys);
+      if constexpr (requires(decltype(txn) t) { t.read(k).has_value(); }) {
+        const auto v = txn.read(k);
+        if (!v) return;
+        (void)txn.write(k, *v + 1);
+      } else {
+        const Value v = txn.read(k);
+        txn.write(k, v + 1);
+      }
+    });
+  }
+}
+
+/// Contended shape: every round begins four transactions, all read the
+/// round's hot key, write disjoint keys and commit in order — so each
+/// transaction is concurrent with three others and every hot key's
+/// SIREAD list gains four entries per visit. Deterministic (no threads,
+/// no rng), so both engines see byte-identical operation sequences and
+/// produce identical verdicts; some commits abort by design.
+template <typename Db>
+void drive_contended(Db& db, std::size_t txns) {
+  using Session = decltype(db.make_session());
+  using Txn = decltype(db.begin(std::declval<Session&>()));
+  constexpr std::size_t kSessions = 4;
+  std::vector<Session> sessions;
+  sessions.reserve(kSessions);
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    sessions.push_back(db.make_session());
+  }
+  const std::size_t rounds = txns / kSessions;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::vector<Txn> open;
+    open.reserve(kSessions);
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      open.push_back(db.begin(sessions[s]));
+    }
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      const Value hot = open[s].read(static_cast<ObjId>(r % kKeys));
+      open[s].write(static_cast<ObjId>((r * kSessions + s) % kKeys), hot + 1);
+    }
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      (void)open[s].commit();
+    }
+  }
+}
+
+template <typename Db>
+double time_e15(std::size_t txns) {
+  return time_best_ns([txns] {
+    Db db(kKeys);
+    drive_e15(db, txns);
+  });
+}
+
+template <typename Db>
+double time_contended(std::size_t txns) {
+  return time_best_ns([txns] {
+    Db db(kKeys);
+    drive_contended(db, txns);
+  });
+}
+
+std::string ratio_verdict(double ratio, double limit) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2fx %s %.0fx", ratio,
+                ratio <= limit ? "<=" : ">", limit);
+  return buf;
+}
+
+bool table() {
+  header("E19", "SSI hot path: epoch GC + dense meta ring vs reference");
+
+  std::vector<KernelRow> rows;
+  rows.push_back({"e15_rmw", kSmall, time_e15<mvcc::SSIRefDatabase>(kSmall),
+                  time_e15<mvcc::SSIDatabase>(kSmall)});
+  rows.push_back({"e15_rmw", kLarge, time_e15<mvcc::SSIRefDatabase>(kLarge),
+                  time_e15<mvcc::SSIDatabase>(kLarge)});
+  rows.push_back({"contended_rmw", kSmall,
+                  time_contended<mvcc::SSIRefDatabase>(kSmall),
+                  time_contended<mvcc::SSIDatabase>(kSmall)});
+  rows.push_back({"contended_rmw", kLarge,
+                  time_contended<mvcc::SSIRefDatabase>(kLarge),
+                  time_contended<mvcc::SSIDatabase>(kLarge)});
+  // The acceptance row: old = pruned SSI, new = plain SI, so the speedup
+  // column reads directly as the SSI/SI ratio (target <= 5x).
+  rows.push_back({"ssi_over_si", kLarge, time_e15<mvcc::SSIDatabase>(kLarge),
+                  time_e15<mvcc::SIDatabase>(kLarge)});
+
+  print_kernel_rows(rows);
+  write_kernel_json("BENCH_ssi_hotpath.json", "bench_ssi_hotpath", 1, rows);
+
+  // Flat memory after the large E15 run: all three gauges must be O(1)
+  // in transaction count (bounds match test_ssi_diff's).
+  mvcc::SSIDatabase gauge(kKeys);
+  drive_e15(gauge, kLarge);
+  const bool flat = gauge.meta_retained() <= 16 &&
+                    gauge.siread_retained() <= 64 &&
+                    gauge.version_count() <= kKeys * 65;
+  std::printf(
+      "memory after %zu txns: meta_retained=%zu siread_retained=%zu "
+      "version_count=%zu watermark=%llu\n",
+      kLarge, gauge.meta_retained(), gauge.siread_retained(),
+      gauge.version_count(),
+      static_cast<unsigned long long>(gauge.watermark()));
+
+  // Verdict gates. Scaling compares the pruned engine against itself at
+  // 4x the work: linear is 4x, the 8x limit is generous to CI noise, and
+  // the reference's quadratic reader scans land well above it.
+  const double e15_scale = rows[1].new_ns / rows[0].new_ns;
+  const double cont_scale = rows[3].new_ns / rows[2].new_ns;
+  const double ssi_over_si = rows[4].speedup();
+  const std::vector<VerdictRow> verdicts = {
+      {"pruned e15 scaling t(20k)/t(5k)", "<= 8x (4x work)",
+       e15_scale <= 8.0 ? "<= 8x (4x work)" : ratio_verdict(e15_scale, 8.0)},
+      {"pruned contended scaling t(20k)/t(5k)", "<= 8x (4x work)",
+       cont_scale <= 8.0 ? "<= 8x (4x work)" : ratio_verdict(cont_scale, 8.0)},
+      {"ssi/si ratio on 20k e15", "<= 5x",
+       ssi_over_si <= 5.0 ? "<= 5x" : ratio_verdict(ssi_over_si, 5.0)},
+      {"flat memory after 20k e15", "flat", flat ? "flat" : "GROWING"},
+  };
+  return print_verdicts(verdicts);
+}
+
+}  // namespace
+}  // namespace sia::bench
+
+SIA_BENCH_MAIN(sia::bench::table)

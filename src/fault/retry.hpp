@@ -55,6 +55,23 @@ struct RetryPolicy {
   [[nodiscard]] std::uint64_t backoff_steps(std::size_t attempt) const;
 };
 
+/// Serves the deterministic backoff after failed attempt \p attempt as
+/// thread yields; returns the steps served (for accounting).
+inline std::uint64_t serve_backoff(const RetryPolicy& policy,
+                                   std::size_t attempt) {
+  const std::uint64_t steps = policy.backoff_steps(attempt);
+  for (std::uint64_t i = 0; i < steps; ++i) std::this_thread::yield();
+  return steps;
+}
+
+/// Default budget for the engines' run() retry loops: generous enough
+/// that no legitimate contention pattern exhausts it (tier-1 stress
+/// tests peak at tens of attempts), but bounded — a doomed-heavy
+/// workload surfaces as ModelError instead of spinning forever.
+inline constexpr RetryPolicy kEngineRunPolicy{
+    /*max_attempts=*/4096, /*base_backoff_steps=*/1,
+    /*max_backoff_steps=*/64, /*jitter_seed=*/0};
+
 /// Outcome of one RetryingClient::run.
 struct RetryStats {
   bool committed{false};
@@ -119,9 +136,7 @@ class RetryingClient {
 
  private:
   void wait(std::size_t attempt, RetryStats& stats) {
-    const std::uint64_t steps = policy_.backoff_steps(attempt);
-    stats.backoff_steps += steps;
-    for (std::uint64_t i = 0; i < steps; ++i) std::this_thread::yield();
+    stats.backoff_steps += serve_backoff(policy_, attempt);
   }
 
   Db* db_;

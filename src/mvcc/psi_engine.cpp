@@ -174,7 +174,7 @@ bool PSIDatabase::try_commit(PSITransaction& txn) {
   commit.deps = home.applied_per_home;  // everything applied at home so far
   for (const auto& [key, value] : txn.write_buffer_) {
     const std::uint64_t version = ++latest_version_[key];
-    commit.writes.emplace(key, std::make_pair(value, version));
+    commit.writes[key] = std::make_pair(value, version);
     record.write_versions[key] = version;
   }
   commit.handle =

@@ -3,13 +3,15 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "core/flat_map.hpp"
+#include "core/types.hpp"
+#include "fault/retry.hpp"
 #include "mvcc/recorder.hpp"
 
 /// \file psi_engine.hpp
@@ -100,7 +102,7 @@ class PSITransaction {
   ReplicaId home_{0};
   std::uint64_t snapshot_seq_{0};  ///< home replica apply-log length at begin
   bool finished_{false};
-  std::map<ObjId, Value> write_buffer_;
+  FlatMap<ObjId, Value> write_buffer_;
   std::vector<Event> events_;
   std::vector<TxnHandle> observed_;
 };
@@ -118,14 +120,18 @@ class PSIDatabase {
   [[nodiscard]] PSISession make_session(ReplicaId home);
   [[nodiscard]] PSITransaction begin(PSISession& session);
 
-  /// Retry-on-abort helper; see SIDatabase::run().
+  /// Retry-on-abort helper; see SIDatabase::run(). Bounded by \p retry
+  /// with deterministic backoff; throws ModelError on exhaustion.
   template <typename Body>
-  std::size_t run(PSISession& session, Body&& body) {
-    for (std::size_t attempt = 1;; ++attempt) {
+  std::size_t run(PSISession& session, Body&& body,
+                  const fault::RetryPolicy& retry = fault::kEngineRunPolicy) {
+    for (std::size_t attempt = 1; attempt <= retry.max_attempts; ++attempt) {
       PSITransaction txn = begin(session);
       body(txn);
       if (txn.commit()) return attempt;
+      fault::serve_backoff(retry, attempt);
     }
+    throw ModelError("PSIDatabase::run: retry budget exhausted");
   }
 
   /// Applies up to \p max_steps causally-ready remote transactions at
@@ -169,7 +175,7 @@ class PSIDatabase {
     TxnHandle handle;
     ReplicaId home;
     std::vector<std::uint64_t> deps;  ///< per-home vector clock
-    std::map<ObjId, std::pair<Value, std::uint64_t>> writes;  ///< value, ver
+    FlatMap<ObjId, std::pair<Value, std::uint64_t>> writes;  ///< value, ver
   };
 
   /// Latest version of \p key applied at \p r within the first

@@ -2,12 +2,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "core/flat_map.hpp"
+#include "core/types.hpp"
+#include "fault/retry.hpp"
 #include "mvcc/recorder.hpp"
 
 /// \file ser_engine.hpp
@@ -84,7 +86,7 @@ class SERTransaction {
   std::uint64_t token_{0};
   bool aborted_{false};
   bool finished_{false};
-  std::map<ObjId, Value> write_buffer_;
+  FlatMap<ObjId, Value> write_buffer_;
   std::vector<ObjId> shared_held_;
   std::vector<ObjId> exclusive_held_;
   std::vector<Event> events_;
@@ -103,15 +105,19 @@ class SERDatabase {
   /// Runs \p body with retry-on-abort. \p body reads/writes through the
   /// transaction and must tolerate mid-flight aborts by returning early
   /// (its reads come back as nullopt / writes return false). Returns the
-  /// number of attempts.
+  /// number of attempts. Bounded by \p retry with deterministic backoff;
+  /// throws ModelError on exhaustion.
   template <typename Body>
-  std::size_t run(SERSession& session, Body&& body) {
-    for (std::size_t attempt = 1;; ++attempt) {
+  std::size_t run(SERSession& session, Body&& body,
+                  const fault::RetryPolicy& retry = fault::kEngineRunPolicy) {
+    for (std::size_t attempt = 1; attempt <= retry.max_attempts; ++attempt) {
       SERTransaction txn = begin(session);
       body(txn);
       if (!txn.aborted() && txn.commit()) return attempt;
       if (!txn.aborted()) txn.abort();
+      fault::serve_backoff(retry, attempt);
     }
+    throw ModelError("SERDatabase::run: retry budget exhausted");
   }
 
   [[nodiscard]] std::uint64_t commits() const { return commits_.load(); }

@@ -2,13 +2,15 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <shared_mutex>
 #include <vector>
 
+#include "core/flat_map.hpp"
+#include "core/types.hpp"
+#include "fault/retry.hpp"
 #include "mvcc/recorder.hpp"
 
 /// \file si_engine.hpp
@@ -107,7 +109,7 @@ class SITransaction {
   SessionId session_{0};
   Timestamp start_ts_{0};
   bool finished_{false};
-  std::map<ObjId, Value> write_buffer_;
+  FlatMap<ObjId, Value> write_buffer_;
   std::vector<Event> events_;
   std::vector<TxnHandle> observed_;
 };
@@ -130,15 +132,20 @@ class SIDatabase {
   /// Runs \p body in a transaction, retrying on write-conflict abort until
   /// it commits. \p body receives the transaction and may read/write; it
   /// must not call commit()/abort() itself. Returns the number of attempts.
-  /// Fault-free loop: with an injector configured, use
+  /// The loop is bounded by \p retry (fault::kEngineRunPolicy by default)
+  /// with deterministic backoff between attempts; exhaustion throws
+  /// ModelError. Fault-free loop: with an injector configured, use
   /// fault::RetryingClient, which classifies and bounds injected failures.
   template <typename Body>
-  std::size_t run(SISession& session, Body&& body) {
-    for (std::size_t attempt = 1;; ++attempt) {
+  std::size_t run(SISession& session, Body&& body,
+                  const fault::RetryPolicy& retry = fault::kEngineRunPolicy) {
+    for (std::size_t attempt = 1; attempt <= retry.max_attempts; ++attempt) {
       SITransaction txn = begin(session);
       body(txn);
       if (txn.commit()) return attempt;
+      fault::serve_backoff(retry, attempt);
     }
+    throw ModelError("SIDatabase::run: retry budget exhausted");
   }
 
   [[nodiscard]] std::uint32_t num_keys() const {

@@ -7,14 +7,31 @@
 
 namespace sia::mvcc {
 
+namespace {
+
+// Version prefixes are pruned lazily on the write path once a chain holds
+// this many versions (an O(prefix) vector erase, amortised across the
+// writes that grew the chain); the periodic sweep prunes unconditionally.
+constexpr std::size_t kChainPruneThreshold = 64;
+
+// Every this many finished transactions, sweep all chains — catches
+// SIREAD entries and version prefixes on keys the commit path no longer
+// touches (read-mostly keys never scanned by a writer again).
+constexpr std::uint64_t kSweepInterval = 256;
+
+}  // namespace
+
 SSIDatabase::SSIDatabase(std::uint32_t num_keys, Recorder* recorder,
                          fault::FaultInjector* fault)
     : chains_(num_keys), recorder_(recorder), fault_(fault) {
   for (Chain& c : chains_) {
-    c.versions.push_back(Version{0, 0, /*writer token*/ 0});
+    c.versions.push_back(SSIVersion{0, 0, /*writer token*/ 0, kInitHandle});
   }
-  meta_.emplace(0, TxnMeta{0, 0, true, false, false, false, false});
-  handle_of_.emplace(0, kInitHandle);
+  // Token 0 is the initial pseudo-transaction (committed at ts 0). Its
+  // slot is pruned at the first watermark advance; nothing looks it up —
+  // reads take the handle from the version, and anti-dependency scans
+  // only touch versions with ts > some snapshot >= 0.
+  meta_.push_back(TxnMeta{0, 0, true, false, false, false, false});
 }
 
 SSISession SSIDatabase::make_session() {
@@ -26,7 +43,13 @@ SSITransaction SSIDatabase::begin(SSISession& session) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t token = next_token_.fetch_add(1);
   const Timestamp start = clock_.load();
-  meta_.emplace(token, TxnMeta{start, 0, false, false, false, false, false});
+  assert(token - base_token_ == meta_.size());
+  meta_.push_back(TxnMeta{start, 0, false, false, false, false, false});
+  active_.insert(token);
+  // The watermark never moves here: with active transactions it is their
+  // min start_ts <= start; with none it was set to the clock at the last
+  // finish, and the clock has not advanced since (only commits advance
+  // it, and commits need an active transaction).
   return SSITransaction(this, session.id(), token, start);
 }
 
@@ -40,25 +63,24 @@ bool SSIDatabase::concurrent(const TxnMeta& a, const TxnMeta& b) const {
 Value SSIDatabase::read_locked(SSITransaction& txn, ObjId key) {
   const std::lock_guard<std::mutex> lock(mutex_);
   Chain& chain = chains_[key];
-  TxnMeta& me = meta_.at(txn.token_);
+  TxnMeta& me = meta_of(txn.token_);
 
   // Snapshot read: last version with ts <= start.
   const auto it = std::upper_bound(
       chain.versions.begin(), chain.versions.end(), txn.start_ts_,
-      [](Timestamp t, const Version& v) { return t < v.ts; });
+      [](Timestamp t, const SSIVersion& v) { return t < v.ts; });
   assert(it != chain.versions.begin());
-  const Version& visible = *(it - 1);
+  const SSIVersion& visible = *(it - 1);
 
-  // SIREAD registration (dedup: one entry per reader per key suffices).
-  if (std::find(chain.readers.begin(), chain.readers.end(), txn.token_) ==
-      chain.readers.end()) {
-    chain.readers.push_back(txn.token_);
-  }
+  // SIREAD registration, deduplicated against the transaction's own read
+  // set (the chain's list may hold thousands of other readers).
+  if (txn.note_read(key)) chain.readers.push_back(txn.token_);
 
   // Anti-dependencies against committed versions newer than the snapshot:
-  // this transaction reads "into the past" of those writers.
+  // this transaction reads "into the past" of those writers. Such writers
+  // have commit_ts > start_ts >= watermark, so their meta is retained.
   for (auto newer = it; newer != chain.versions.end(); ++newer) {
-    TxnMeta& writer = meta_.at(newer->writer);
+    TxnMeta& writer = meta_of(newer->writer);
     me.out_conflict = true;
     writer.in_conflict = true;
     if (writer.committed && writer.out_conflict) {
@@ -70,7 +92,7 @@ Value SSIDatabase::read_locked(SSITransaction& txn, ObjId key) {
   if (me.in_conflict && me.out_conflict) me.doomed = true;
 
   txn.events_.push_back(sia::read(key, visible.value));
-  txn.observed_.push_back(handle_of_.at(visible.writer));
+  txn.observed_.push_back(visible.handle);
   return visible.value;
 }
 
@@ -83,6 +105,7 @@ SSITransaction& SSITransaction::operator=(SSITransaction&& other) noexcept {
     start_ts_ = other.start_ts_;
     finished_ = other.finished_;
     write_buffer_ = std::move(other.write_buffer_);
+    read_keys_ = std::move(other.read_keys_);
     events_ = std::move(other.events_);
     observed_ = std::move(other.observed_);
     other.db_ = nullptr;
@@ -93,6 +116,13 @@ SSITransaction& SSITransaction::operator=(SSITransaction&& other) noexcept {
 
 SSITransaction::~SSITransaction() {
   if (db_ != nullptr && !finished_) abort();
+}
+
+bool SSITransaction::note_read(ObjId key) {
+  const auto it = std::lower_bound(read_keys_.begin(), read_keys_.end(), key);
+  if (it != read_keys_.end() && *it == key) return false;
+  read_keys_.insert(it, key);
+  return true;
 }
 
 Value SSITransaction::read(ObjId key) {
@@ -123,7 +153,7 @@ void SSITransaction::write(ObjId key, Value value) {
 
 bool SSIDatabase::try_commit(SSITransaction& txn) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  TxnMeta& me = meta_.at(txn.token_);
+  TxnMeta& me = meta_of(txn.token_);
 
   // Plain SI first-committer-wins validation.
   for (const auto& [key, value] : txn.write_buffer_) {
@@ -131,20 +161,42 @@ bool SSIDatabase::try_commit(SSITransaction& txn) {
     if (chains_[key].versions.back().ts > txn.start_ts_) {
       me.aborted = true;
       aborts_.fetch_add(1);
+      finish_locked(txn.token_);
       return false;
     }
   }
 
   // Anti-dependencies *into* this writer from earlier readers of its
-  // write set that could not have seen the new versions.
+  // write set that could not have seen the new versions. Dead entries
+  // (aborted, or committed at or before the watermark: concurrent() is
+  // false against every present and future transaction) are compacted in
+  // passing — exactly the entries the reference engine skips, so the
+  // flags computed here are identical.
   bool ssi_abort = me.doomed;
   for (const auto& [key, value] : txn.write_buffer_) {
     (void)value;
-    for (const std::uint64_t reader_token : chains_[key].readers) {
-      if (reader_token == txn.token_) continue;
-      TxnMeta& reader = meta_.at(reader_token);
-      if (reader.aborted) continue;
-      if (!concurrent(reader, me)) continue;  // old readers: harmless edge
+    std::vector<std::uint64_t>& readers = chains_[key].readers;
+    for (std::size_t i = 0; i < readers.size();) {
+      const std::uint64_t reader_token = readers[i];
+      if (reader_token == txn.token_) {
+        ++i;
+        continue;
+      }
+      if (reader_token < base_token_) {  // meta already pruned: dead
+        readers[i] = readers.back();
+        readers.pop_back();
+        continue;
+      }
+      TxnMeta& reader = meta_of(reader_token);
+      if (prunable(reader)) {
+        readers[i] = readers.back();
+        readers.pop_back();
+        continue;
+      }
+      if (!concurrent(reader, me)) {  // old readers: harmless edge
+        ++i;
+        continue;
+      }
       reader.out_conflict = true;
       me.in_conflict = true;
       if (reader.committed && reader.in_conflict) {
@@ -156,6 +208,7 @@ bool SSIDatabase::try_commit(SSITransaction& txn) {
       if (!reader.committed && reader.in_conflict) {
         reader.doomed = true;  // active pivot: it will abort at commit
       }
+      ++i;
     }
   }
   if (me.in_conflict && me.out_conflict) ssi_abort = true;
@@ -163,6 +216,7 @@ bool SSIDatabase::try_commit(SSITransaction& txn) {
     me.aborted = true;
     aborts_.fetch_add(1);
     ssi_aborts_.fetch_add(1);
+    finish_locked(txn.token_);
     return false;
   }
 
@@ -180,12 +234,16 @@ bool SSIDatabase::try_commit(SSITransaction& txn) {
   }
   const TxnHandle handle =
       recorder_ != nullptr ? recorder_->record(std::move(record)) : 0;
-  handle_of_[txn.token_] = handle;
   for (const auto& [key, value] : txn.write_buffer_) {
-    chains_[key].versions.push_back(Version{ts, value, txn.token_});
+    Chain& chain = chains_[key];
+    if (chain.versions.size() >= kChainPruneThreshold) {
+      prune_versions_locked(chain);
+    }
+    chain.versions.push_back(SSIVersion{ts, value, txn.token_, handle});
   }
   me.committed = true;
   me.commit_ts = ts;
+  finish_locked(txn.token_);
   return true;
 }
 
@@ -208,7 +266,8 @@ bool SSITransaction::commit() {
     // Mid-commit fault: validation passed but nothing was installed; mark
     // the metadata aborted so later conflict checks ignore this txn.
     const std::lock_guard<std::mutex> lock(db_->mutex_);
-    db_->meta_.at(token_).aborted = true;
+    db_->meta_of(token_).aborted = true;
+    db_->finish_locked(token_);
     db_->aborts_.fetch_add(1);
     throw;
   }
@@ -224,7 +283,79 @@ void SSITransaction::abort() {
   if (finished_) return;
   finished_ = true;
   const std::lock_guard<std::mutex> lock(db_->mutex_);
-  db_->meta_.at(token_).aborted = true;
+  db_->meta_of(token_).aborted = true;
+  db_->finish_locked(token_);
+}
+
+void SSIDatabase::finish_locked(std::uint64_t token) {
+  active_.erase(token);
+  // Min active token has min start_ts (both issued under mutex_ in begin
+  // order), so the watermark is monotone non-decreasing.
+  const Timestamp wm =
+      active_.empty() ? clock_.load() : meta_of(*active_.begin()).start_ts;
+  if (wm > watermark_) watermark_ = wm;
+  prune_meta_locked();
+  if (++finished_count_ % kSweepInterval == 0) sweep_locked();
+}
+
+void SSIDatabase::prune_meta_locked() {
+  // Active transactions are never prunable (neither committed nor
+  // aborted), so the ring base can never overtake an active token.
+  while (!meta_.empty() && prunable(meta_.front())) {
+    meta_.pop_front();
+    ++base_token_;
+  }
+}
+
+void SSIDatabase::prune_versions_locked(Chain& chain) {
+  // First version with ts > watermark; everything strictly before its
+  // predecessor is unreachable from any active snapshot (all >= the
+  // watermark), matching SIDatabase::gc.
+  const auto it = std::upper_bound(
+      chain.versions.begin(), chain.versions.end(), watermark_,
+      [](Timestamp t, const SSIVersion& v) { return t < v.ts; });
+  assert(it != chain.versions.begin());
+  chain.versions.erase(chain.versions.begin(), it - 1);
+}
+
+void SSIDatabase::sweep_locked() {
+  for (Chain& chain : chains_) {
+    std::vector<std::uint64_t>& readers = chain.readers;
+    for (std::size_t i = 0; i < readers.size();) {
+      const std::uint64_t token = readers[i];
+      if (token < base_token_ || prunable(meta_of(token))) {
+        readers[i] = readers.back();
+        readers.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    prune_versions_locked(chain);
+  }
+}
+
+Timestamp SSIDatabase::watermark() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return watermark_;
+}
+
+std::size_t SSIDatabase::meta_retained() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return meta_.size();
+}
+
+std::size_t SSIDatabase::siread_retained() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const Chain& chain : chains_) total += chain.readers.size();
+  return total;
+}
+
+std::size_t SSIDatabase::version_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const Chain& chain : chains_) total += chain.versions.size();
+  return total;
 }
 
 void SSIDatabase::post_commit_fault() {

@@ -2,12 +2,15 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <mutex>
 #include <set>
 #include <utility>
 #include <vector>
 
+#include "core/flat_map.hpp"
+#include "core/types.hpp"
+#include "fault/retry.hpp"
 #include "mvcc/recorder.hpp"
 #include "mvcc/si_engine.hpp"
 
@@ -32,18 +35,28 @@
 ///    (the writer already committed: reader gains OUT, writer has IN);
 ///  - at commit time of a writer, against earlier readers of its keys
 ///    that did not see the new version (reader gains OUT, writer IN).
-/// Metadata of committed transactions is retained for the lifetime of
-/// the database (this is a study engine, not a production store).
+///
+/// Epoch GC (DESIGN.md §4g): all conflict bookkeeping is pruned behind a
+/// watermark — the minimum start_ts over active transactions, monotone
+/// because tokens and snapshots are issued under the same mutex in begin
+/// order. A committed transaction with commit_ts <= watermark can never
+/// again satisfy concurrent() against any present or future transaction
+/// (their snapshots are >= watermark), so its SIREAD entries and TxnMeta
+/// are dead weight; aborted transactions likewise. Token metadata lives
+/// in a dense ring (tokens are sequential: index = token - base) whose
+/// base advances as the front falls behind the watermark; SIREAD lists
+/// are compacted in place during commit scans plus a periodic full
+/// sweep; superseded version-chain prefixes are dropped keeping the
+/// newest version with ts <= watermark (the SI gc rule). Pruning only
+/// removes entries every conflict check would have skipped, so verdicts,
+/// counters and recorded histories are bit-identical to the frozen
+/// reference engine (ssi_ref_engine.hpp; enforced by test_ssi_diff).
 ///
 /// Fault injection: see si_engine.hpp — the same four hook sites. An
 /// injected abort/crash marks the transaction's metadata aborted before
 /// FaultInjected propagates; a dropped transaction does the same via RAII
 /// (otherwise its SIREAD entries would stay "concurrent" forever and doom
 /// every later writer of those keys).
-
-namespace sia::fault {
-class FaultInjector;
-}
 
 namespace sia::mvcc {
 
@@ -89,6 +102,11 @@ class SSITransaction {
                  Timestamp start_ts)
       : db_(db), session_(session), token_(token), start_ts_(start_ts) {}
 
+  /// Records \p key in the transaction's read set; true if new. Replaces
+  /// the reference engine's O(#readers-ever) dedup scan of the chain's
+  /// SIREAD list with an O(log #own-reads) probe.
+  bool note_read(ObjId key);
+
   // Defaults matter: the move constructor delegates to move assignment,
   // which inspects db_/finished_ of the (otherwise uninitialised) target.
   SSIDatabase* db_{nullptr};
@@ -96,7 +114,8 @@ class SSITransaction {
   std::uint64_t token_{0};
   Timestamp start_ts_{0};
   bool finished_{false};
-  std::map<ObjId, Value> write_buffer_;
+  FlatMap<ObjId, Value> write_buffer_;
+  std::vector<ObjId> read_keys_;  ///< sorted; own SIREAD registrations
   std::vector<Event> events_;
   std::vector<TxnHandle> observed_;
 };
@@ -109,20 +128,41 @@ class SSIDatabase {
   [[nodiscard]] SSISession make_session();
   [[nodiscard]] SSITransaction begin(SSISession& session);
 
-  /// Retry-until-commit helper; see SIDatabase::run().
+  /// Retry-until-commit helper; see SIDatabase::run(). Bounded by
+  /// \p retry (fault::kEngineRunPolicy by default: 4096 attempts with
+  /// deterministic exponential backoff); throws ModelError on exhaustion
+  /// — a doomed-heavy workload must surface, not spin.
   template <typename Body>
-  std::size_t run(SSISession& session, Body&& body) {
-    for (std::size_t attempt = 1;; ++attempt) {
+  std::size_t run(SSISession& session, Body&& body,
+                  const fault::RetryPolicy& retry = fault::kEngineRunPolicy) {
+    for (std::size_t attempt = 1; attempt <= retry.max_attempts; ++attempt) {
       SSITransaction txn = begin(session);
       body(txn);
       if (txn.commit()) return attempt;
+      fault::serve_backoff(retry, attempt);
     }
+    throw ModelError("SSIDatabase::run: retry budget exhausted");
   }
 
   [[nodiscard]] std::uint64_t commits() const { return commits_.load(); }
   [[nodiscard]] std::uint64_t aborts() const { return aborts_.load(); }
   /// Aborts caused by pivot prevention (vs plain write conflicts).
   [[nodiscard]] std::uint64_t ssi_aborts() const { return ssi_aborts_.load(); }
+
+  // ----- epoch GC introspection (tests, benches) ------------------------
+
+  /// Current epoch watermark: min start_ts over active transactions (the
+  /// clock when none is active). Monotone non-decreasing.
+  [[nodiscard]] Timestamp watermark() const;
+
+  /// TxnMeta slots currently held in the dense ring.
+  [[nodiscard]] std::size_t meta_retained() const;
+
+  /// SIREAD reader entries retained across all chains.
+  [[nodiscard]] std::size_t siread_retained() const;
+
+  /// Versions retained across all chains.
+  [[nodiscard]] std::size_t version_count() const;
 
  private:
   friend class SSITransaction;
@@ -138,30 +178,69 @@ class SSIDatabase {
     bool doomed{false};        ///< must abort at commit
   };
 
+  /// A committed version. Unlike mvcc::Version, carries the recorder
+  /// handle directly so reads need no token->handle map lookup (writer
+  /// metadata may be pruned; the handle must outlive it).
+  struct SSIVersion {
+    Timestamp ts{0};
+    Value value{0};
+    std::uint64_t writer{0};  ///< token; meta pruned once behind watermark
+    TxnHandle handle{kInitHandle};
+  };
+
   struct Chain {
-    std::vector<Version> versions;  ///< ascending ts; writer = token here
-    std::vector<std::uint64_t> readers;  ///< SIREAD tokens, kept forever
+    std::vector<SSIVersion> versions;  ///< ascending ts
+    std::vector<std::uint64_t> readers;  ///< SIREAD tokens; compacted
   };
 
   /// True iff the transactions' lifetimes overlapped (neither committed
   /// before the other began).
   [[nodiscard]] bool concurrent(const TxnMeta& a, const TxnMeta& b) const;
 
+  /// Dense ring lookup; \p token must not be pruned (>= base_token_).
+  [[nodiscard]] TxnMeta& meta_of(std::uint64_t token) {
+    return meta_[static_cast<std::size_t>(token - base_token_)];
+  }
+
+  /// A finished transaction whose commit fell behind the watermark (or
+  /// that aborted) is invisible to every conflict check: safe to drop.
+  [[nodiscard]] bool prunable(const TxnMeta& m) const {
+    return m.aborted || (m.committed && m.commit_ts <= watermark_);
+  }
+
   Value read_locked(SSITransaction& txn, ObjId key);
   bool try_commit(SSITransaction& txn);
+
+  /// Deregisters \p token from the active set, advances the watermark,
+  /// prunes the meta ring, and periodically sweeps all chains.
+  void finish_locked(std::uint64_t token);
+
+  /// Pops dead TxnMeta off the ring front, advancing base_token_.
+  void prune_meta_locked();
+
+  /// Drops the chain's version prefix, keeping the newest version with
+  /// ts <= watermark (every active snapshot still resolves identically).
+  void prune_versions_locked(Chain& chain);
+
+  /// Full pass: compact SIREAD lists + prune version prefixes of chains
+  /// the commit path touched rarely (read-only keys).
+  void sweep_locked();
 
   /// Fires the post-commit fault site; the commit stands regardless.
   void post_commit_fault();
 
   std::vector<Chain> chains_;
-  std::map<std::uint64_t, TxnMeta> meta_;
-  std::map<std::uint64_t, TxnHandle> handle_of_;  ///< token -> recorder id
+  std::deque<TxnMeta> meta_;       ///< ring: meta_[token - base_token_]
+  std::uint64_t base_token_{0};    ///< first unpruned token
+  std::set<std::uint64_t> active_;  ///< unfinished tokens (ascending)
+  Timestamp watermark_{0};
+  std::uint64_t finished_count_{0};  ///< drives the periodic sweep
   std::atomic<Timestamp> clock_{0};
   std::atomic<std::uint64_t> next_token_{1};
   std::atomic<std::uint64_t> commits_{0};
   std::atomic<std::uint64_t> aborts_{0};
   std::atomic<std::uint64_t> ssi_aborts_{0};
-  std::mutex mutex_;  ///< guards chains_, meta_, clock transitions
+  mutable std::mutex mutex_;  ///< guards chains_, meta_, clock transitions
   std::mutex session_mutex_;
   SessionId next_session_{0};
   Recorder* recorder_;

@@ -1,0 +1,237 @@
+#include "mvcc/ssi_ref_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "fault/fault.hpp"
+
+namespace sia::mvcc {
+
+SSIRefDatabase::SSIRefDatabase(std::uint32_t num_keys, Recorder* recorder,
+                               fault::FaultInjector* fault)
+    : chains_(num_keys), recorder_(recorder), fault_(fault) {
+  for (Chain& c : chains_) {
+    c.versions.push_back(Version{0, 0, /*writer token*/ 0});
+  }
+  meta_.emplace(0, TxnMeta{0, 0, true, false, false, false, false});
+  handle_of_.emplace(0, kInitHandle);
+}
+
+SSIRefSession SSIRefDatabase::make_session() {
+  const std::lock_guard<std::mutex> lock(session_mutex_);
+  return SSIRefSession(this, next_session_++);
+}
+
+SSIRefTransaction SSIRefDatabase::begin(SSIRefSession& session) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t token = next_token_.fetch_add(1);
+  const Timestamp start = clock_.load();
+  meta_.emplace(token, TxnMeta{start, 0, false, false, false, false, false});
+  return SSIRefTransaction(this, session.id(), token, start);
+}
+
+bool SSIRefDatabase::concurrent(const TxnMeta& a, const TxnMeta& b) const {
+  // Lifetimes overlap unless one committed before the other started.
+  const bool a_before_b = a.committed && a.commit_ts <= b.start_ts;
+  const bool b_before_a = b.committed && b.commit_ts <= a.start_ts;
+  return !a_before_b && !b_before_a;
+}
+
+Value SSIRefDatabase::read_locked(SSIRefTransaction& txn, ObjId key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Chain& chain = chains_[key];
+  TxnMeta& me = meta_.at(txn.token_);
+
+  // Snapshot read: last version with ts <= start.
+  const auto it = std::upper_bound(
+      chain.versions.begin(), chain.versions.end(), txn.start_ts_,
+      [](Timestamp t, const Version& v) { return t < v.ts; });
+  assert(it != chain.versions.begin());
+  const Version& visible = *(it - 1);
+
+  // SIREAD registration (dedup: one entry per reader per key suffices).
+  if (std::find(chain.readers.begin(), chain.readers.end(), txn.token_) ==
+      chain.readers.end()) {
+    chain.readers.push_back(txn.token_);
+  }
+
+  // Anti-dependencies against committed versions newer than the snapshot:
+  // this transaction reads "into the past" of those writers.
+  for (auto newer = it; newer != chain.versions.end(); ++newer) {
+    TxnMeta& writer = meta_.at(newer->writer);
+    me.out_conflict = true;
+    writer.in_conflict = true;
+    if (writer.committed && writer.out_conflict) {
+      // The writer is a committed pivot-in-waiting; the only abortable
+      // party is this reader.
+      me.doomed = true;
+    }
+  }
+  if (me.in_conflict && me.out_conflict) me.doomed = true;
+
+  txn.events_.push_back(sia::read(key, visible.value));
+  txn.observed_.push_back(handle_of_.at(visible.writer));
+  return visible.value;
+}
+
+SSIRefTransaction& SSIRefTransaction::operator=(
+    SSIRefTransaction&& other) noexcept {
+  if (this != &other) {
+    if (db_ != nullptr && !finished_) abort();
+    db_ = other.db_;
+    session_ = other.session_;
+    token_ = other.token_;
+    start_ts_ = other.start_ts_;
+    finished_ = other.finished_;
+    write_buffer_ = std::move(other.write_buffer_);
+    events_ = std::move(other.events_);
+    observed_ = std::move(other.observed_);
+    other.db_ = nullptr;
+    other.finished_ = true;
+  }
+  return *this;
+}
+
+SSIRefTransaction::~SSIRefTransaction() {
+  if (db_ != nullptr && !finished_) abort();
+}
+
+Value SSIRefTransaction::read(ObjId key) {
+  assert(!finished_);
+  if (db_->fault_ != nullptr) [[unlikely]] {
+    try {
+      db_->fault_->on(fault::FaultSite::kPreRead);
+    } catch (const fault::FaultInjected&) {
+      abort();  // marks meta_ aborted so conflict checks ignore us
+      db_->aborts_.fetch_add(1);
+      throw;
+    }
+  }
+  if (const auto it = write_buffer_.find(key); it != write_buffer_.end()) {
+    events_.push_back(sia::read(key, it->second));
+    observed_.push_back(kInitHandle);  // own-buffer read; never external
+    return it->second;
+  }
+  return db_->read_locked(*this, key);
+}
+
+void SSIRefTransaction::write(ObjId key, Value value) {
+  assert(!finished_);
+  write_buffer_[key] = value;
+  events_.push_back(sia::write(key, value));
+  observed_.push_back(kInitHandle);
+}
+
+bool SSIRefDatabase::try_commit(SSIRefTransaction& txn) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TxnMeta& me = meta_.at(txn.token_);
+
+  // Plain SI first-committer-wins validation.
+  for (const auto& [key, value] : txn.write_buffer_) {
+    (void)value;
+    if (chains_[key].versions.back().ts > txn.start_ts_) {
+      me.aborted = true;
+      aborts_.fetch_add(1);
+      return false;
+    }
+  }
+
+  // Anti-dependencies *into* this writer from earlier readers of its
+  // write set that could not have seen the new versions.
+  bool ssi_abort = me.doomed;
+  for (const auto& [key, value] : txn.write_buffer_) {
+    (void)value;
+    for (const std::uint64_t reader_token : chains_[key].readers) {
+      if (reader_token == txn.token_) continue;
+      TxnMeta& reader = meta_.at(reader_token);
+      if (reader.aborted) continue;
+      if (!concurrent(reader, me)) continue;  // old readers: harmless edge
+      reader.out_conflict = true;
+      me.in_conflict = true;
+      if (reader.committed && reader.in_conflict) {
+        // The reader is a committed transaction that now has both an
+        // inbound and outbound anti-dependency: the dangerous structure
+        // would complete if we commit. We are the only abortable party.
+        ssi_abort = true;
+      }
+      if (!reader.committed && reader.in_conflict) {
+        reader.doomed = true;  // active pivot: it will abort at commit
+      }
+    }
+  }
+  if (me.in_conflict && me.out_conflict) ssi_abort = true;
+  if (ssi_abort) {
+    me.aborted = true;
+    aborts_.fetch_add(1);
+    ssi_aborts_.fetch_add(1);
+    return false;
+  }
+
+  // Mid-commit fault window: both validations passed, no version installed
+  // yet. The catch in commit() marks our metadata aborted.
+  if (fault_ != nullptr) [[unlikely]] {
+    fault_->on(fault::FaultSite::kMidCommit);
+  }
+
+  const Timestamp ts = clock_.fetch_add(1) + 1;
+  CommitRecord record{txn.session_, txn.events_, txn.observed_, {}};
+  for (const auto& [key, value] : txn.write_buffer_) {
+    (void)value;
+    record.write_versions[key] = ts;
+  }
+  const TxnHandle handle =
+      recorder_ != nullptr ? recorder_->record(std::move(record)) : 0;
+  handle_of_[txn.token_] = handle;
+  for (const auto& [key, value] : txn.write_buffer_) {
+    chains_[key].versions.push_back(Version{ts, value, txn.token_});
+  }
+  me.committed = true;
+  me.commit_ts = ts;
+  return true;
+}
+
+bool SSIRefTransaction::commit() {
+  assert(!finished_);
+  if (db_->fault_ != nullptr) [[unlikely]] {
+    try {
+      db_->fault_->on(fault::FaultSite::kPreCommit);
+    } catch (const fault::FaultInjected&) {
+      abort();
+      db_->aborts_.fetch_add(1);
+      throw;
+    }
+  }
+  finished_ = true;
+  bool committed;
+  try {
+    committed = db_->try_commit(*this);
+  } catch (const fault::FaultInjected&) {
+    // Mid-commit fault: validation passed but nothing was installed; mark
+    // the metadata aborted so later conflict checks ignore this txn.
+    const std::lock_guard<std::mutex> lock(db_->mutex_);
+    db_->meta_.at(token_).aborted = true;
+    db_->aborts_.fetch_add(1);
+    throw;
+  }
+  if (committed) {
+    db_->commits_.fetch_add(1);
+    db_->post_commit_fault();
+    return true;
+  }
+  return false;
+}
+
+void SSIRefTransaction::abort() {
+  if (finished_) return;
+  finished_ = true;
+  const std::lock_guard<std::mutex> lock(db_->mutex_);
+  db_->meta_.at(token_).aborted = true;
+}
+
+void SSIRefDatabase::post_commit_fault() {
+  if (fault_ != nullptr) [[unlikely]] {
+    fault_->on(fault::FaultSite::kPostCommit);
+  }
+}
+
+}  // namespace sia::mvcc

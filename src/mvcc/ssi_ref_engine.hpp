@@ -1,0 +1,152 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "mvcc/recorder.hpp"
+#include "mvcc/si_engine.hpp"
+
+/// \file ssi_ref_engine.hpp
+/// The *frozen reference* SSI engine: a verbatim copy of the pre-overhaul
+/// implementation (unbounded `std::map` token metadata, SIREAD reader
+/// lists kept forever, O(#readers-ever) scans). It exists solely as the
+/// differential-testing oracle for the epoch-pruned production engine in
+/// ssi_engine.hpp: both engines are driven through identical deterministic
+/// schedules and must produce bit-identical commit/abort verdicts,
+/// `ssi_aborts()` counts and recorded histories (tests/test_ssi_diff.cpp),
+/// and bench_ssi_hotpath times the two against each other (E19).
+///
+/// Do not "fix" or optimise this engine — its value is that it does not
+/// change. Semantics documented in ssi_engine.hpp apply unchanged.
+
+namespace sia::fault {
+class FaultInjector;
+}
+
+namespace sia::mvcc {
+
+class SSIRefDatabase;
+
+/// A client session; see SIDatabase for the session semantics.
+class SSIRefSession {
+ public:
+  [[nodiscard]] SessionId id() const { return id_; }
+
+ private:
+  friend class SSIRefDatabase;
+  SSIRefSession(SSIRefDatabase* db, SessionId id) : db_(db), id_(id) {}
+  SSIRefDatabase* db_;
+  SessionId id_;
+};
+
+/// An in-flight reference-SSI transaction. Move-only; a transaction
+/// dropped without commit() aborts (RAII), and a moved-from object is
+/// inert.
+class SSIRefTransaction {
+ public:
+  SSIRefTransaction(const SSIRefTransaction&) = delete;
+  SSIRefTransaction& operator=(const SSIRefTransaction&) = delete;
+  SSIRefTransaction(SSIRefTransaction&& other) noexcept {
+    *this = std::move(other);
+  }
+  SSIRefTransaction& operator=(SSIRefTransaction&& other) noexcept;
+  ~SSIRefTransaction();
+
+  [[nodiscard]] Value read(ObjId key);
+
+  void write(ObjId key, Value value);
+
+  /// SI validation + pivot prevention. False = aborted; retry.
+  [[nodiscard]] bool commit();
+
+  void abort();
+
+ private:
+  friend class SSIRefDatabase;
+  SSIRefTransaction(SSIRefDatabase* db, SessionId session, std::uint64_t token,
+                    Timestamp start_ts)
+      : db_(db), session_(session), token_(token), start_ts_(start_ts) {}
+
+  // Defaults matter: the move constructor delegates to move assignment,
+  // which inspects db_/finished_ of the (otherwise uninitialised) target.
+  SSIRefDatabase* db_{nullptr};
+  SessionId session_{0};
+  std::uint64_t token_{0};
+  Timestamp start_ts_{0};
+  bool finished_{false};
+  std::map<ObjId, Value> write_buffer_;
+  std::vector<Event> events_;
+  std::vector<TxnHandle> observed_;
+};
+
+class SSIRefDatabase {
+ public:
+  explicit SSIRefDatabase(std::uint32_t num_keys, Recorder* recorder = nullptr,
+                          fault::FaultInjector* fault = nullptr);
+
+  [[nodiscard]] SSIRefSession make_session();
+  [[nodiscard]] SSIRefTransaction begin(SSIRefSession& session);
+
+  /// Retry-until-commit helper, unbounded like the original (the frozen
+  /// reference predates the RetryPolicy-bounded run()).
+  template <typename Body>
+  std::size_t run(SSIRefSession& session, Body&& body) {
+    for (std::size_t attempt = 1;; ++attempt) {
+      SSIRefTransaction txn = begin(session);
+      body(txn);
+      if (txn.commit()) return attempt;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t commits() const { return commits_.load(); }
+  [[nodiscard]] std::uint64_t aborts() const { return aborts_.load(); }
+  /// Aborts caused by pivot prevention (vs plain write conflicts).
+  [[nodiscard]] std::uint64_t ssi_aborts() const { return ssi_aborts_.load(); }
+
+ private:
+  friend class SSIRefTransaction;
+
+  /// Conflict-flag record of a (possibly committed) transaction.
+  struct TxnMeta {
+    Timestamp start_ts{0};
+    Timestamp commit_ts{0};  ///< 0 while active
+    bool committed{false};
+    bool aborted{false};
+    bool in_conflict{false};   ///< someone anti-depends on it
+    bool out_conflict{false};  ///< it anti-depends on someone
+    bool doomed{false};        ///< must abort at commit
+  };
+
+  struct Chain {
+    std::vector<Version> versions;  ///< ascending ts; writer = token here
+    std::vector<std::uint64_t> readers;  ///< SIREAD tokens, kept forever
+  };
+
+  [[nodiscard]] bool concurrent(const TxnMeta& a, const TxnMeta& b) const;
+
+  Value read_locked(SSIRefTransaction& txn, ObjId key);
+  bool try_commit(SSIRefTransaction& txn);
+
+  void post_commit_fault();
+
+  std::vector<Chain> chains_;
+  std::map<std::uint64_t, TxnMeta> meta_;
+  std::map<std::uint64_t, TxnHandle> handle_of_;  ///< token -> recorder id
+  std::atomic<Timestamp> clock_{0};
+  std::atomic<std::uint64_t> next_token_{1};
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> aborts_{0};
+  std::atomic<std::uint64_t> ssi_aborts_{0};
+  std::mutex mutex_;  ///< guards chains_, meta_, clock transitions
+  std::mutex session_mutex_;
+  SessionId next_session_{0};
+  Recorder* recorder_;
+  fault::FaultInjector* fault_;
+};
+
+}  // namespace sia::mvcc

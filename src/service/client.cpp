@@ -98,7 +98,8 @@ Message ServiceClient::request(const Message& req) {
   }
 }
 
-std::uint64_t ServiceClient::open_stream(Model model, std::uint64_t ceiling) {
+std::uint64_t ServiceClient::open_stream(ServiceModel model,
+                                         std::uint64_t ceiling) {
   Message req;
   req.type = MsgType::kOpenStream;
   req.model = static_cast<std::uint8_t>(model);

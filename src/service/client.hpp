@@ -42,8 +42,15 @@ class ServiceClient {
 
   /// OPEN_STREAM with bounded retries on RETRY_LATER; returns the stream
   /// id. \throws ModelError on protocol errors or budget exhaustion.
-  [[nodiscard]] std::uint64_t open_stream(Model model,
+  [[nodiscard]] std::uint64_t open_stream(ServiceModel model,
                                           std::uint64_t ceiling = 0);
+
+  /// Convenience for pre-SSI call sites: Model values map one-to-one onto
+  /// the identically-numbered ServiceModel.
+  [[nodiscard]] std::uint64_t open_stream(Model model,
+                                          std::uint64_t ceiling = 0) {
+    return open_stream(static_cast<ServiceModel>(model), ceiling);
+  }
 
   /// One COMMIT round-trip. The reply is kCommitted or kRetryLater.
   Message commit(std::uint64_t stream,

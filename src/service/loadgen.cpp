@@ -18,9 +18,10 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// The commit sequence for one stream, pre-generated from an SI-engine
-/// run so read sources are engine truth (exactly what an in-process
-/// replay would feed a monitor).
+/// The commit sequence for one stream, pre-generated from a run of the
+/// engine matching cfg.model so read sources are engine truth (exactly
+/// what an in-process replay would feed a monitor) — and so the server's
+/// audit really holds each engine's histories to its own model.
 std::vector<MonitoredCommit> stream_commits(const LoadgenConfig& cfg,
                                             std::size_t stream_index) {
   workload::WorkloadSpec spec;
@@ -31,15 +32,21 @@ std::vector<MonitoredCommit> stream_commits(const LoadgenConfig& cfg,
   spec.write_ratio = cfg.write_ratio;
   spec.seed = cfg.seed + stream_index * 7919;
   spec.concurrent = false;  // deterministic per-stream history
-  const mvcc::RecordedRun run = workload::run_si(spec);
+  mvcc::RecordedRun run;
+  switch (cfg.model) {
+    case ServiceModel::kSER: run = workload::run_ser(spec); break;
+    case ServiceModel::kSI: run = workload::run_si(spec); break;
+    case ServiceModel::kPSI: run = workload::run_psi(spec, 2); break;
+    case ServiceModel::kSSI: run = workload::run_ssi(spec); break;
+  }
   return monitored_commits(run.graph);
 }
 
 /// Offline truth: the same batches through a local monitor.
-MonitorVerdict offline_verdict(Model model,
+MonitorVerdict offline_verdict(ServiceModel model,
                                const std::vector<MonitoredCommit>& commits,
                                std::size_t batch_size, std::size_t batches) {
-  ConsistencyMonitor monitor(model);
+  ConsistencyMonitor monitor(check_model(model));
   for (std::size_t b = 0; b < batches; ++b) {
     const std::size_t lo = b * batch_size;
     const std::size_t hi = std::min(lo + batch_size, commits.size());
@@ -258,7 +265,7 @@ EndlessReport run_endless(const LoadgenConfig& cfg) {
   // The local truth. Default StreamingConfig: same GC defaults as siad —
   // but verdict parity does not depend on the windows matching, only on
   // the stream's snapshot lag staying inside both (it does: 512 < 8192).
-  StreamingMonitor local(cfg.model);
+  StreamingMonitor local(check_model(cfg.model));
 
   std::vector<std::uint64_t> retained_samples;
   const auto t0 = Clock::now();

@@ -6,6 +6,7 @@
 
 #include "fault/retry.hpp"
 #include "graph/monitor.hpp"
+#include "service/wire.hpp"
 
 /// \file loadgen.hpp
 /// The sia_loadgen core: drives a live siad with N connections × M
@@ -34,7 +35,9 @@ struct LoadgenConfig {
   std::size_t txns_per_stream{64};
   /// Commits per COMMIT request.
   std::size_t batch_size{8};
-  Model model{Model::kSI};
+  /// Which engine generates the bounded-mode traffic, and which model the
+  /// server (and the offline replay) audits it against — see check_model.
+  ServiceModel model{ServiceModel::kSI};
   std::uint32_t num_keys{16};
   std::size_t ops_per_txn{4};
   double write_ratio{0.5};

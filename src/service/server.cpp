@@ -467,7 +467,10 @@ void Server::process(Shard& shard, const Job& job) {
   Message reply;
   switch (msg.type) {
     case MsgType::kOpenStream: {
-      const auto model = static_cast<Model>(msg.model);
+      // The decoder bounds msg.model to ServiceModel's range; the stream's
+      // monitor audits against the model the engine's histories must obey
+      // (SSI maps to SER).
+      const Model model = check_model(static_cast<ServiceModel>(msg.model));
       StreamingConfig mcfg;
       mcfg.gc_window = cfg_.gc_window;
       mcfg.keep_log = cfg_.keep_log;

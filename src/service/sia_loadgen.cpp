@@ -6,9 +6,13 @@
 ///
 /// Usage:
 ///   sia_loadgen [--host A] [--port N] [--connections N] [--streams M]
-///               [--txns N] [--batch N] [--model SER|SI|PSI] [--keys N]
+///               [--txns N] [--batch N] [--model si|psi|ser|ssi] [--keys N]
 ///               [--ops N] [--write-ratio F] [--seed N] [--attempts N]
 ///               [--duration SECONDS] [--status-every N] [--json FILE]
+///
+/// --model picks which engine generates the traffic and which model the
+/// server audits it against (ssi streams are held to SER: committed SSI
+/// histories are serializable).
 ///
 /// --duration > 0 switches to the endless-stream mode: one
 /// workload::StreamSource stream for that many wall-clock seconds,
@@ -21,6 +25,7 @@
 /// endless mode additionally requires the memory plateau), 1 otherwise,
 /// 2 on bad arguments or an unreachable server.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,7 +40,7 @@ int usage() {
       stderr,
       "usage: sia_loadgen [--host A] [--port N] [--connections N]\n"
       "                   [--streams M] [--txns N] [--batch N]\n"
-      "                   [--model SER|SI|PSI] [--keys N] [--ops N]\n"
+      "                   [--model si|psi|ser|ssi] [--keys N] [--ops N]\n"
       "                   [--write-ratio F] [--seed N] [--attempts N]\n"
       "                   [--duration SECONDS] [--status-every N]\n"
       "                   [--json FILE]\n");
@@ -81,12 +86,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--json") {
       json_path = value;
     } else if (arg == "--model") {
-      if (value == "SER") {
-        cfg.model = sia::Model::kSER;
-      } else if (value == "SI") {
-        cfg.model = sia::Model::kSI;
-      } else if (value == "PSI") {
-        cfg.model = sia::Model::kPSI;
+      std::string lower = value;
+      for (char& c : lower) c = static_cast<char>(std::tolower(c));
+      if (lower == "ser") {
+        cfg.model = sia::service::ServiceModel::kSER;
+      } else if (lower == "si") {
+        cfg.model = sia::service::ServiceModel::kSI;
+      } else if (lower == "psi") {
+        cfg.model = sia::service::ServiceModel::kPSI;
+      } else if (lower == "ssi") {
+        cfg.model = sia::service::ServiceModel::kSSI;
       } else {
         return usage();
       }

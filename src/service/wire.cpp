@@ -184,6 +184,26 @@ std::string to_string(MsgType t) {
   return "UNKNOWN(" + std::to_string(static_cast<unsigned>(t)) + ")";
 }
 
+std::string to_string(ServiceModel m) {
+  switch (m) {
+    case ServiceModel::kSER: return "SER";
+    case ServiceModel::kSI: return "SI";
+    case ServiceModel::kPSI: return "PSI";
+    case ServiceModel::kSSI: return "SSI";
+  }
+  return "UNKNOWN(" + std::to_string(static_cast<unsigned>(m)) + ")";
+}
+
+Model check_model(ServiceModel m) {
+  switch (m) {
+    case ServiceModel::kSER: return Model::kSER;
+    case ServiceModel::kSI: return Model::kSI;
+    case ServiceModel::kPSI: return Model::kPSI;
+    case ServiceModel::kSSI: return Model::kSER;  // SSI commits are SER
+  }
+  return Model::kSER;
+}
+
 std::uint32_t wire_crc32(const std::uint8_t* data, std::size_t size) {
   static const std::array<std::uint32_t, 256> table = [] {
     std::array<std::uint32_t, 256> t{};
@@ -261,7 +281,7 @@ bool decode_payload(const std::uint8_t* data, std::size_t size,
   std::uint32_t n = 0;
   switch (out.type) {
     case MsgType::kOpenStream:
-      if (!c.u8(out.model) || out.model > 2 || !c.u64(out.capacity)) {
+      if (!c.u8(out.model) || out.model > 3 || !c.u64(out.capacity)) {
         return false;
       }
       break;

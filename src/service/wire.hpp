@@ -69,6 +69,26 @@ enum class MsgType : std::uint8_t {
 [[nodiscard]] bool is_request(MsgType t);
 [[nodiscard]] std::string to_string(MsgType t);
 
+/// The service-facing model selector: which engine's traffic a stream
+/// carries, and hence which declarative model the server audits it
+/// against. Values 0..2 coincide numerically with Model (SER/SI/PSI), so
+/// pre-SSI clients encode identical OPEN frames; kSSI = 3 is new wire
+/// vocabulary.
+enum class ServiceModel : std::uint8_t {
+  kSER = 0,
+  kSI = 1,
+  kPSI = 2,
+  kSSI = 3,
+};
+
+[[nodiscard]] std::string to_string(ServiceModel m);
+
+/// The declarative model a ServiceModel's histories are audited against.
+/// Identity for SER/SI/PSI; SSI maps to Model::kSER — committed SSI
+/// histories are serializable (pivot prevention, the operational side of
+/// Theorem 19), so the monitor holds them to GraphSER.
+[[nodiscard]] Model check_model(ServiceModel m);
+
 /// Hard ceiling on one frame's payload. A length prefix beyond this is
 /// malformed and rejected before any allocation (a 4-byte flip must not
 /// become a 4 GiB buffer).
@@ -80,7 +100,7 @@ inline constexpr std::size_t kMaxFramePayload = 8u << 20;
 struct Message {
   MsgType type{MsgType::kError};
   std::uint64_t stream{0};
-  std::uint8_t model{0};     ///< kOpenStream: Model enum value (0/1/2)
+  std::uint8_t model{0};     ///< kOpenStream: ServiceModel value (0..3)
   std::uint64_t capacity{0};  ///< kOpenStream ceiling; verdicts: monitor cap
   std::vector<MonitoredCommit> commits;     ///< kCommit
   std::vector<TxnId> ids;                   ///< kCommitted: BatchResult.ids

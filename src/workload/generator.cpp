@@ -184,4 +184,33 @@ mvcc::RecordedRun run_psi(const WorkloadSpec& spec, std::uint32_t replicas,
   return recorder.build();
 }
 
+mvcc::RecordedRun run_ssi(const WorkloadSpec& spec, RunStats* stats) {
+  const Script script = make_script(spec);
+  mvcc::Recorder recorder;
+  mvcc::SSIDatabase db(spec.num_keys, &recorder);
+  std::vector<mvcc::SSISession> sessions;
+  sessions.reserve(spec.sessions);
+  for (std::size_t s = 0; s < spec.sessions; ++s) {
+    sessions.push_back(db.make_session());
+  }
+  const double secs = timed([&] {
+    drive(spec, script, [&](std::size_t s, std::size_t t) {
+      db.run(sessions[s], [&](mvcc::SSITransaction& txn) {
+        for (std::size_t o = 0; o < script[s][t].size(); ++o) {
+          const ScriptedOp& op = script[s][t][o];
+          if (op.is_write) {
+            txn.write(op.key, value_for(s, t, o));
+          } else {
+            (void)txn.read(op.key);
+          }
+        }
+      });
+    });
+  });
+  if (stats != nullptr) {
+    *stats = RunStats{db.commits(), db.aborts(), secs};
+  }
+  return recorder.build();
+}
+
 }  // namespace sia::workload

@@ -8,6 +8,7 @@
 #include "mvcc/recorder.hpp"
 #include "mvcc/ser_engine.hpp"
 #include "mvcc/si_engine.hpp"
+#include "mvcc/ssi_engine.hpp"
 
 /// \file generator.hpp
 /// Random transactional workloads and runners that execute them against
@@ -78,5 +79,8 @@ mvcc::RecordedRun run_ser(const WorkloadSpec& spec, RunStats* stats = nullptr);
 /// drained at the end.
 mvcc::RecordedRun run_psi(const WorkloadSpec& spec, std::uint32_t replicas,
                           RunStats* stats = nullptr);
+
+/// Ditto for the SSI engine (serializable histories: pivot prevention).
+mvcc::RecordedRun run_ssi(const WorkloadSpec& spec, RunStats* stats = nullptr);
 
 }  // namespace sia::workload
