@@ -1,0 +1,488 @@
+/// \file bench_failover.cpp
+/// Experiment E20 — warm-standby replication and failover (DESIGN.md
+/// §4h): what does synchronous log shipping cost, and how fast does the
+/// service come back when the primary dies?
+///
+/// Three measurements, persisted to BENCH_failover.json:
+///  - steady-state overhead: run_load at 16 connections against a plain
+///    server vs a primary shipping every frame synchronously; the
+///    acceptance criterion is <= 15% commits/sec overhead on the primary.
+///    Two standby variants: "shipping" (a wire-faithful standby that acks
+///    without applying — the primary-side machinery cost, which is what a
+///    deployment with the standby on its own hardware pays) and
+///    "co-located" (a full follower applying every frame in this same
+///    process; on a host with a single hardware thread the follower's
+///    monitor ingestion serialises with the primary's, so this number is
+///    bounded below by the monitor's share of the core, not by the
+///    replication machinery),
+///  - replication lag: the primary's STATUS gauges sampled mid-load (the
+///    in-flight window bounds it; synchronous shipping drains it to zero
+///    when the load stops),
+///  - failover time: kill the primary mid-stream (hard_stop, the
+///    in-process SIGKILL) and time the client-observed outage until the
+///    auto-promoted follower acks the next sequenced commit — with the
+///    audit that nothing acknowledged was lost.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "service/client.hpp"
+#include "service/loadgen.hpp"
+#include "service/server.hpp"
+#include "workload/stream_source.hpp"
+
+namespace sia::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kShards = 4;
+constexpr std::size_t kConnections = 16;
+constexpr double kOverheadCeilingPct = 15.0;
+
+constexpr int kReps = 3;
+
+LoadgenConfig load_config(std::uint16_t port) {
+  LoadgenConfig cfg;
+  cfg.port = port;
+  cfg.connections = kConnections;
+  cfg.streams_per_connection = 2;
+  cfg.txns_per_stream = 288;
+  cfg.batch_size = 8;
+  cfg.model = ServiceModel::kSI;
+  cfg.seed = 58;
+  return cfg;
+}
+
+void keep_best(LoadReport& best, const LoadReport& r, bool first) {
+  if (first || r.commits_per_sec > best.commits_per_sec) best = r;
+}
+
+/// A wire-faithful standby endpoint that speaks the replication
+/// handshake and acks every REPL_APPEND in arrival order without
+/// applying it. Shipping to it isolates the primary-side machinery cost
+/// (WAL framing, encode, socket round-trip, deferred acks) from the
+/// standby's own monitor CPU — the split that matters when the real
+/// standby runs on its own hardware.
+class AckOnlyStandby {
+ public:
+  AckOnlyStandby() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    (void)::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr));
+    (void)::listen(listen_fd_, 4);
+    socklen_t len = sizeof(addr);
+    (void)::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                        &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { run(); });
+  }
+  ~AckOnlyStandby() {
+    stop_.store(true, std::memory_order_release);
+    (void)::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    thread_.join();
+  }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  void run() {
+    while (!stop_.load(std::memory_order_acquire)) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      serve(fd);
+      ::close(fd);
+    }
+  }
+  void serve(int fd) {
+    FrameDecoder decoder;
+    std::array<std::uint8_t, 65536> buf;
+    while (!stop_.load(std::memory_order_acquire)) {
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, 100) < 0) return;
+      if ((pfd.revents & POLLIN) == 0) continue;
+      const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+      if (n <= 0) return;
+      decoder.feed(buf.data(), static_cast<std::size_t>(n));
+      for (;;) {
+        Message msg;
+        const FrameDecoder::Status st = decoder.next(msg);
+        if (st == FrameDecoder::Status::kNeedMore) break;
+        if (st == FrameDecoder::Status::kMalformed) return;
+        Message reply;
+        if (msg.type == MsgType::kReplHello) {
+          reply.type = MsgType::kReplWelcome;
+          reply.epoch = msg.epoch;
+        } else if (msg.type == MsgType::kReplAppend) {
+          reply.type = MsgType::kReplAck;
+          reply.stream = msg.stream;
+          reply.seq = msg.seq;
+          reply.epoch = msg.epoch;
+        } else {
+          return;
+        }
+        const auto frame = encode_frame(reply);
+        if (::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL) !=
+            static_cast<ssize_t>(frame.size())) {
+          return;
+        }
+      }
+    }
+  }
+
+  int listen_fd_{-1};
+  std::uint16_t port_{0};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+struct LagSample {
+  std::uint64_t max_frames{0};
+  std::uint64_t max_bytes{0};
+  std::uint64_t final_frames{0};
+  std::uint64_t final_bytes{0};
+};
+
+struct FailoverTrial {
+  double outage_ms{0};
+  std::uint64_t epoch{0};
+  bool exact{false};  // no acked commit lost, no divergence from mirror
+};
+
+/// One kill-the-primary run: sequenced commits through a FailoverClient,
+/// hard_stop mid-stream, outage timed around the first commit that has
+/// to ride the promotion.
+FailoverTrial failover_trial(std::uint64_t seed) {
+  ServerConfig fcfg;
+  fcfg.shards = kShards;
+  fcfg.follower = true;
+  fcfg.repl.auto_promote_ms = 150;
+  Server follower(fcfg);
+  follower.start();
+  ServerConfig pcfg;
+  pcfg.shards = kShards;
+  pcfg.repl.peer_port = follower.port();
+  pcfg.repl.heartbeat_interval_ms = 25;
+  Server primary(pcfg);
+  primary.start();
+
+  FailoverClient fc({{"127.0.0.1", primary.port()},
+                     {"127.0.0.1", follower.port()}});
+  fc.connect();
+  const std::uint64_t stream = fc.open_stream(ServiceModel::kSI);
+
+  StreamingMonitor mirror(Model::kSI);
+  workload::StreamSpec spec;
+  spec.seed = 77 + seed;
+  workload::StreamSource source(spec);
+  const auto batch_of = [&source] {
+    std::vector<MonitoredCommit> batch;
+    for (int i = 0; i < 8; ++i) batch.push_back(source.next());
+    return batch;
+  };
+  const auto commit_acked = [&fc, stream](std::uint64_t seq,
+                                          const std::vector<MonitoredCommit>&
+                                              batch) {
+    for (;;) {
+      const Message reply = fc.commit(stream, seq, batch);
+      if (reply.type != MsgType::kRetryLater) {
+        return reply.type == MsgType::kCommitted ? reply.ids.size() : 0;
+      }
+    }
+  };
+
+  FailoverTrial trial;
+  std::uint64_t seq = 0;
+  std::uint64_t acked = 0;
+  for (int b = 0; b < 6; ++b) {
+    const auto batch = batch_of();
+    acked += commit_acked(++seq, batch);
+    (void)mirror.commit_all_guarded(batch);
+  }
+  primary.hard_stop();
+  {
+    const auto batch = batch_of();
+    const auto t0 = Clock::now();
+    acked += commit_acked(++seq, batch);
+    trial.outage_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    (void)mirror.commit_all_guarded(batch);
+  }
+  for (int b = 0; b < 6; ++b) {
+    const auto batch = batch_of();
+    acked += commit_acked(++seq, batch);
+    (void)mirror.commit_all_guarded(batch);
+  }
+
+  trial.epoch = fc.epoch();
+  const Message st = fc.status(stream);
+  trial.exact = st.type == MsgType::kStatusReply &&
+                st.commit_count == acked && acked == 13u * 8u &&
+                st.verdict == static_cast<std::uint8_t>(mirror.verdict()) &&
+                st.retained == mirror.retained() &&
+                st.approx_bytes == mirror.approx_bytes();
+  follower.drain();
+  return trial;
+}
+
+struct Results {
+  LoadReport baseline;
+  LoadReport shipping;    // primary -> ack-only standby
+  LoadReport co_located;  // primary -> full follower, same process
+  double shipping_overhead_pct{0};
+  double co_located_overhead_pct{0};
+  LagSample lag;
+  std::vector<FailoverTrial> trials;
+};
+
+double overhead_pct(const LoadReport& base, const LoadReport& repl) {
+  return base.commits_per_sec > 0
+             ? 100.0 * (1.0 - repl.commits_per_sec / base.commits_per_sec)
+             : 0.0;
+}
+
+/// run_load against \p primary while a sampler thread watches its global
+/// STATUS gauges; the final sample is taken after the load stops, so a
+/// drained link must read lag 0.
+LoadReport load_with_lag_sampling(Server& primary, LagSample& lag) {
+  std::atomic<bool> done{false};
+  std::thread sampler([&] {
+    ServiceClient observer;
+    observer.connect("127.0.0.1", primary.port());
+    const auto sample = [&] {
+      const Message st = observer.status(0);
+      if (st.type != MsgType::kStatusReply) return;
+      lag.final_frames = st.lag_frames;
+      lag.final_bytes = st.lag_bytes;
+      if (st.lag_frames > lag.max_frames) lag.max_frames = st.lag_frames;
+      if (st.lag_bytes > lag.max_bytes) lag.max_bytes = st.lag_bytes;
+    };
+    while (!done.load(std::memory_order_acquire)) {
+      sample();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    sample();  // after the load: synchronous shipping must have drained
+  });
+  const LoadReport report = run_load(load_config(primary.port()));
+  done.store(true, std::memory_order_release);
+  sampler.join();
+  return report;
+}
+
+/// The three variants are interleaved rep by rep (fresh servers each
+/// time), best-of-kReps each: machine-load drift hits all three equally
+/// instead of whichever variant ran in the noisy window.
+Results run_all() {
+  Results res;
+  for (int rep = 0; rep < kReps; ++rep) {
+    {
+      ServerConfig scfg;
+      scfg.shards = kShards;
+      Server server(scfg);
+      server.start();
+      keep_best(res.baseline, run_load(load_config(server.port())),
+                rep == 0);
+      server.drain();
+    }
+    {
+      AckOnlyStandby standby;
+      ServerConfig pcfg;
+      pcfg.shards = kShards;
+      pcfg.repl.peer_port = standby.port();
+      Server primary(pcfg);
+      primary.start();
+      keep_best(res.shipping, load_with_lag_sampling(primary, res.lag),
+                rep == 0);
+      primary.drain();
+    }
+    {
+      ServerConfig fcfg;
+      fcfg.shards = kShards;
+      fcfg.follower = true;
+      Server follower(fcfg);
+      follower.start();
+      ServerConfig pcfg;
+      pcfg.shards = kShards;
+      pcfg.repl.peer_port = follower.port();
+      Server primary(pcfg);
+      primary.start();
+      keep_best(res.co_located, run_load(load_config(primary.port())),
+                rep == 0);
+      primary.drain();
+      follower.drain();
+    }
+  }
+  res.shipping_overhead_pct = overhead_pct(res.baseline, res.shipping);
+  res.co_located_overhead_pct = overhead_pct(res.baseline, res.co_located);
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    res.trials.push_back(failover_trial(seed));
+  }
+  return res;
+}
+
+bool write_json(const std::string& path, const Results& res) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"bench_failover\",\n  \"model\": \"SI\",\n"
+               "  \"shards\": %zu,\n  \"connections\": %zu,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"baseline_commits_per_sec\": %.0f,\n"
+               "  \"shipping_commits_per_sec\": %.0f,\n"
+               "  \"co_located_commits_per_sec\": %.0f,\n"
+               "  \"shipping_overhead_pct\": %.2f,\n"
+               "  \"co_located_overhead_pct\": %.2f,\n"
+               "  \"overhead_ceiling_pct\": %.1f,\n"
+               "  \"baseline_p99_ms\": %.3f,\n"
+               "  \"shipping_p99_ms\": %.3f,\n"
+               "  \"co_located_p99_ms\": %.3f,\n"
+               "  \"max_lag_frames\": %llu,\n  \"max_lag_bytes\": %llu,\n"
+               "  \"final_lag_frames\": %llu,\n  \"final_lag_bytes\": %llu,\n"
+               "  \"failover_trials\": [\n",
+               kShards, kConnections,
+               std::thread::hardware_concurrency(),
+               res.baseline.commits_per_sec, res.shipping.commits_per_sec,
+               res.co_located.commits_per_sec, res.shipping_overhead_pct,
+               res.co_located_overhead_pct, kOverheadCeilingPct,
+               res.baseline.p99_ms, res.shipping.p99_ms,
+               res.co_located.p99_ms,
+               static_cast<unsigned long long>(res.lag.max_frames),
+               static_cast<unsigned long long>(res.lag.max_bytes),
+               static_cast<unsigned long long>(res.lag.final_frames),
+               static_cast<unsigned long long>(res.lag.final_bytes));
+  for (std::size_t i = 0; i < res.trials.size(); ++i) {
+    const FailoverTrial& t = res.trials[i];
+    std::fprintf(f,
+                 "    {\"outage_ms\": %.1f, \"epoch\": %llu, "
+                 "\"exact\": %s}%s\n",
+                 t.outage_ms, static_cast<unsigned long long>(t.epoch),
+                 t.exact ? "true" : "false",
+                 i + 1 < res.trials.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+bool table() {
+  bench::header("E20", "warm-standby replication: overhead and failover");
+  const Results res = run_all();
+
+  bool all_exact = true;
+  double worst_outage = 0;
+  for (const FailoverTrial& t : res.trials) {
+    all_exact = all_exact && t.exact;
+    worst_outage = t.outage_ms > worst_outage ? t.outage_ms : worst_outage;
+  }
+  char exceeded_buf[64];
+  std::snprintf(exceeded_buf, sizeof(exceeded_buf), "exceeded (%.1f%%)",
+                res.shipping_overhead_pct);
+  const std::vector<bench::VerdictRow> verdicts = {
+      {"primary-side replication overhead (16 conns)", "within 15%",
+       res.shipping_overhead_pct <= kOverheadCeilingPct
+           ? "within 15%"
+           : std::string(exceeded_buf)},
+      {"replication lag drained after load", "0 frames",
+       res.lag.final_frames == 0
+           ? "0 frames"
+           : std::to_string(res.lag.final_frames) + " frames"},
+      {"acked commits survive killing the primary (3 trials)", "all",
+       all_exact ? "all" : "LOST OR DIVERGED"},
+      {"baseline load audit", "clean",
+       clean(res.baseline) ? "clean" : "NOT CLEAN"},
+      {"replicated load audit", "clean",
+       clean(res.shipping) && clean(res.co_located) ? "clean"
+                                                    : "NOT CLEAN"},
+  };
+  const bool reproduced = bench::print_verdicts(verdicts);
+
+  std::printf("%-24s %14s %14s %14s\n", "", "baseline", "shipping",
+              "co-located");
+  std::printf("%-24s %14.0f %14.0f %14.0f\n", "commits/sec",
+              res.baseline.commits_per_sec, res.shipping.commits_per_sec,
+              res.co_located.commits_per_sec);
+  std::printf("%-24s %14.3f %14.3f %14.3f\n", "p50 (ms)",
+              res.baseline.p50_ms, res.shipping.p50_ms,
+              res.co_located.p50_ms);
+  std::printf("%-24s %14.3f %14.3f %14.3f\n", "p99 (ms)",
+              res.baseline.p99_ms, res.shipping.p99_ms,
+              res.co_located.p99_ms);
+  std::printf(
+      "overhead: shipping %.1f%% (ceiling %.0f%%), co-located %.1f%% "
+      "(%u hw threads), lag max %llu frames / %llu bytes, worst outage "
+      "%.0f ms\n",
+      res.shipping_overhead_pct, kOverheadCeilingPct,
+      res.co_located_overhead_pct, std::thread::hardware_concurrency(),
+      static_cast<unsigned long long>(res.lag.max_frames),
+      static_cast<unsigned long long>(res.lag.max_bytes), worst_outage);
+  write_json("BENCH_failover.json", res);
+  return reproduced;
+}
+
+// One synchronously replicated COMMIT round-trip (batch of 8): client ->
+// primary -> follower -> REPL_ACK -> client, against a warm pair.
+void BM_ReplicatedCommitRoundTrip(benchmark::State& state) {
+  ServerConfig fcfg;
+  fcfg.shards = 1;
+  fcfg.follower = true;
+  Server follower(fcfg);
+  follower.start();
+  ServerConfig pcfg;
+  pcfg.shards = 1;
+  pcfg.repl.peer_port = follower.port();
+  Server primary(pcfg);
+  primary.start();
+  ServiceClient client;
+  client.connect("127.0.0.1", primary.port());
+  std::uint64_t stream = client.open_stream(Model::kSI);
+
+  workload::StreamSource source({});
+  std::uint64_t acked = 0;
+  std::size_t in_stream = 0;
+  for (auto _ : state) {
+    std::vector<MonitoredCommit> batch;
+    for (int i = 0; i < 8; ++i) batch.push_back(source.next());
+    const Message reply = client.commit(stream, batch);
+    benchmark::DoNotOptimize(reply.type);
+    acked += reply.ids.size();
+    if (++in_stream >= 64) {
+      state.PauseTiming();
+      (void)client.close_stream(stream);
+      stream = client.open_stream(Model::kSI);
+      in_stream = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(acked));
+  primary.drain();
+  follower.drain();
+}
+BENCHMARK(BM_ReplicatedCommitRoundTrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sia::service
+
+SIA_BENCH_MAIN(sia::service::table)

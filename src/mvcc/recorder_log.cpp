@@ -1,5 +1,7 @@
 #include "mvcc/recorder_log.hpp"
 
+#include <unistd.h>
+
 #include <array>
 #include <cstring>
 
@@ -125,9 +127,34 @@ bool RecorderLog::decode(const std::uint8_t* data, std::size_t size,
   return c.pos == c.size;  // trailing garbage means a framing bug
 }
 
-RecorderLog::RecorderLog(std::string path, bool truncate)
+std::string to_string(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kNone: return "none";
+    case FsyncPolicy::kInterval: return "interval";
+    case FsyncPolicy::kCommit: return "commit";
+  }
+  return "unknown";
+}
+
+bool fsync_policy_from_string(const std::string& s, FsyncPolicy& out) {
+  if (s == "none") {
+    out = FsyncPolicy::kNone;
+  } else if (s == "interval") {
+    out = FsyncPolicy::kInterval;
+  } else if (s == "commit") {
+    out = FsyncPolicy::kCommit;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+RecorderLog::RecorderLog(std::string path, bool truncate, FsyncPolicy fsync,
+                         std::size_t fsync_interval)
     : path_(std::move(path)),
-      file_(std::fopen(path_.c_str(), truncate ? "wb" : "ab")) {
+      file_(std::fopen(path_.c_str(), truncate ? "wb" : "ab")),
+      fsync_(fsync),
+      fsync_interval_(fsync_interval == 0 ? 1 : fsync_interval) {
   if (file_ == nullptr) {
     throw ModelError("RecorderLog: cannot open '" + path_ + "' for writing");
   }
@@ -137,13 +164,13 @@ RecorderLog::~RecorderLog() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-void RecorderLog::append(const CommitRecord& record) {
-  const std::vector<std::uint8_t> payload = encode(record);
+void RecorderLog::append_frame(const std::uint8_t* payload,
+                               std::size_t size) {
   std::vector<std::uint8_t> frame;
-  frame.reserve(payload.size() + 8);
-  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
-  put_u32(frame, crc32(payload.data(), payload.size()));
-  frame.insert(frame.end(), payload.begin(), payload.end());
+  frame.reserve(size + 8);
+  put_u32(frame, static_cast<std::uint32_t>(size));
+  put_u32(frame, crc32(payload, size));
+  frame.insert(frame.end(), payload, payload + size);
 
   const std::lock_guard<std::mutex> lock(mutex_);
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
@@ -151,6 +178,28 @@ void RecorderLog::append(const CommitRecord& record) {
   }
   std::fflush(file_);
   ++appended_;
+  if (fsync_ == FsyncPolicy::kCommit ||
+      (fsync_ == FsyncPolicy::kInterval &&
+       ++since_sync_ >= fsync_interval_)) {
+    (void)::fsync(::fileno(file_));
+    since_sync_ = 0;
+  }
+}
+
+void RecorderLog::append(const CommitRecord& record) {
+  const std::vector<std::uint8_t> payload = encode(record);
+  append_frame(payload.data(), payload.size());
+}
+
+void RecorderLog::append_raw(const std::uint8_t* data, std::size_t size) {
+  append_frame(data, size);
+}
+
+void RecorderLog::sync() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::fflush(file_);
+  (void)::fsync(::fileno(file_));
+  since_sync_ = 0;
 }
 
 std::size_t RecorderLog::appended() const {
@@ -158,8 +207,16 @@ std::size_t RecorderLog::appended() const {
   return appended_;
 }
 
-std::vector<CommitRecord> RecorderLog::replay(const std::string& path,
-                                              ReplayReport* report) {
+namespace {
+
+/// Shared framing walk of replay()/replay_raw(): reads \p path fully,
+/// then calls \p sink(payload, len) for each intact frame until the file
+/// ends or a frame fails (torn tail). \p sink returns false to mark the
+/// frame undecodable (counts as torn, like a checksum failure).
+template <typename Sink>
+std::size_t walk_frames(const std::string& path,
+                        RecorderLog::ReplayReport* report, std::size_t& count,
+                        Sink&& sink) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     throw ModelError("RecorderLog: cannot open '" + path + "' for replay");
@@ -172,7 +229,6 @@ std::vector<CommitRecord> RecorderLog::replay(const std::string& path,
   }
   std::fclose(f);
 
-  std::vector<CommitRecord> records;
   std::size_t pos = 0;
   while (true) {
     if (bytes.size() - pos < 8) break;  // torn or empty header
@@ -184,17 +240,44 @@ std::vector<CommitRecord> RecorderLog::replay(const std::string& path,
     if (bytes.size() - pos - 8 < len) break;  // torn payload
     const std::uint8_t* payload = bytes.data() + pos + 8;
     if (crc32(payload, len) != sum) break;  // corrupt (torn mid-frame)
-    CommitRecord record;
-    if (!decode(payload, len, record)) break;
-    records.push_back(std::move(record));
+    if (!sink(payload, static_cast<std::size_t>(len))) break;
+    ++count;
     pos += 8 + len;
   }
   if (report != nullptr) {
-    report->records = records.size();
+    report->records = count;
     report->valid_bytes = pos;
     report->torn_tail = pos != bytes.size();
   }
+  return pos;
+}
+
+}  // namespace
+
+std::vector<CommitRecord> RecorderLog::replay(const std::string& path,
+                                              ReplayReport* report) {
+  std::vector<CommitRecord> records;
+  std::size_t count = 0;
+  (void)walk_frames(path, report, count,
+                    [&records](const std::uint8_t* payload, std::size_t len) {
+                      CommitRecord record;
+                      if (!decode(payload, len, record)) return false;
+                      records.push_back(std::move(record));
+                      return true;
+                    });
   return records;
+}
+
+std::vector<std::vector<std::uint8_t>> RecorderLog::replay_raw(
+    const std::string& path, ReplayReport* report) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::size_t count = 0;
+  (void)walk_frames(path, report, count,
+                    [&frames](const std::uint8_t* payload, std::size_t len) {
+                      frames.emplace_back(payload, payload + len);
+                      return true;
+                    });
+  return frames;
 }
 
 RecordedRun recover_run(const std::string& path,

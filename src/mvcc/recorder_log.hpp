@@ -29,8 +29,30 @@
 /// (short header, short payload, checksum mismatch, malformed counts). A
 /// failing *final* frame is the expected shape of a crash — a torn tail —
 /// and is dropped; everything before it is intact by checksum.
+///
+/// Besides CommitRecords, the log doubles as a generic framed WAL
+/// (append_raw / replay_raw): the replication layer ships wire-encoded
+/// service frames through the same framing, checksum and torn-tail
+/// machinery, so the durability story is proved once and reused.
 
 namespace sia::mvcc {
+
+/// When appended frames reach the disk, not just the OS page cache.
+/// Every policy fflush()es inside the append critical section (frame
+/// order is file order and another process sees complete frames); fsync
+/// is what differs:
+///  - kNone: never fsync. A machine crash may lose recent frames; a
+///    process crash loses nothing (the OS has the bytes).
+///  - kInterval: fsync every `fsync_interval` appends — bounded loss
+///    window, amortised cost.
+///  - kCommit: fsync every append — no acknowledged frame is ever lost,
+///    at the price of a disk round-trip per append.
+enum class FsyncPolicy : std::uint8_t { kNone = 0, kInterval = 1, kCommit = 2 };
+
+[[nodiscard]] std::string to_string(FsyncPolicy p);
+/// Parses "none" / "interval" / "commit"; returns false on anything else.
+[[nodiscard]] bool fsync_policy_from_string(const std::string& s,
+                                            FsyncPolicy& out);
 
 /// Append-side of the log. Thread-safe; attach to a Recorder so engines
 /// write through it transparently.
@@ -38,17 +60,35 @@ class RecorderLog {
  public:
   /// Opens \p path for writing. \p truncate starts a fresh log; pass
   /// false to continue an existing one (recovery-then-resume).
-  explicit RecorderLog(std::string path, bool truncate = true);
+  /// \p fsync / \p fsync_interval set the durability policy (see
+  /// FsyncPolicy); the historical default is kNone, the pre-policy
+  /// behaviour (fflush only).
+  explicit RecorderLog(std::string path, bool truncate = true,
+                       FsyncPolicy fsync = FsyncPolicy::kNone,
+                       std::size_t fsync_interval = 64);
   ~RecorderLog();
 
   RecorderLog(const RecorderLog&) = delete;
   RecorderLog& operator=(const RecorderLog&) = delete;
 
-  /// Appends one framed record and flushes it to the OS.
+  /// Appends one framed record and flushes it to the OS (and to disk,
+  /// per the fsync policy).
   void append(const CommitRecord& record);
+
+  /// Appends one frame of opaque payload bytes — same framing, checksum
+  /// and fsync policy as append(); recovered by replay_raw().
+  void append_raw(const std::uint8_t* data, std::size_t size);
+  void append_raw(const std::vector<std::uint8_t>& payload) {
+    append_raw(payload.data(), payload.size());
+  }
+
+  /// Forces an fsync now regardless of policy (e.g. before reporting a
+  /// replication frame as durable).
+  void sync();
 
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] std::size_t appended() const;
+  [[nodiscard]] FsyncPolicy fsync_policy() const { return fsync_; }
 
   /// Serialised payload of one record (no frame header); exposed so tests
   /// can assert bit-identity and craft torn tails.
@@ -72,11 +112,23 @@ class RecorderLog {
   [[nodiscard]] static std::vector<CommitRecord> replay(
       const std::string& path, ReplayReport* report = nullptr);
 
+  /// Reads back every intact raw frame of \p path (the append_raw
+  /// inverse): framing and torn-tail semantics identical to replay(),
+  /// payloads returned verbatim. \throws ModelError only if the file
+  /// cannot be opened.
+  [[nodiscard]] static std::vector<std::vector<std::uint8_t>> replay_raw(
+      const std::string& path, ReplayReport* report = nullptr);
+
  private:
+  void append_frame(const std::uint8_t* payload, std::size_t size);
+
   std::string path_;
   std::FILE* file_;
+  FsyncPolicy fsync_;
+  std::size_t fsync_interval_;
   mutable std::mutex mutex_;
   std::size_t appended_{0};
+  std::size_t since_sync_{0};
 };
 
 /// Replays \p path into a fresh Recorder and builds the RecordedRun —

@@ -119,10 +119,12 @@ std::uint64_t ServiceClient::open_stream(ServiceModel model,
 }
 
 Message ServiceClient::commit(std::uint64_t stream,
-                              const std::vector<MonitoredCommit>& batch) {
+                              const std::vector<MonitoredCommit>& batch,
+                              std::uint64_t seq) {
   Message req;
   req.type = MsgType::kCommit;
   req.stream = stream;
+  req.seq = seq;
   req.commits = batch;
   return request(req);
 }
@@ -169,6 +171,12 @@ Message ServiceClient::close_stream(std::uint64_t stream) {
   return request(req);
 }
 
+Message ServiceClient::promote() {
+  Message req;
+  req.type = MsgType::kPromote;
+  return request(req);
+}
+
 std::string ServiceClient::analyze(const std::string& history_text) {
   Message req;
   req.type = MsgType::kAnalyze;
@@ -188,6 +196,132 @@ void ServiceClient::drain() {
   if (reply.type != MsgType::kDrained) {
     throw ModelError("client: drain failed: " + to_string(reply.type));
   }
+}
+
+namespace {
+
+/// The rotate signal: a standby or a fenced ex-primary refusing a write.
+/// Any other ERROR (unknown stream, bad input) is a real answer.
+bool not_primary_error(const Message& m) {
+  return m.type == MsgType::kError && m.text.rfind("not primary", 0) == 0;
+}
+
+}  // namespace
+
+FailoverClient::FailoverClient(std::vector<Endpoint> endpoints,
+                               fault::RetryPolicy policy)
+    : endpoints_(std::move(endpoints)), policy_(policy) {
+  if (endpoints_.empty()) {
+    throw ModelError("failover client: empty endpoint list");
+  }
+}
+
+bool FailoverClient::try_connect(std::size_t idx) {
+  try {
+    client_.connect(endpoints_[idx].host, endpoints_[idx].port);
+    Message req;
+    req.type = MsgType::kStatus;
+    req.stream = 0;
+    const Message st = client_.request(req);
+    if (st.type != MsgType::kStatusReply ||
+        static_cast<Role>(st.role) != Role::kPrimary || st.epoch < epoch_) {
+      // Not a primary, or a deposed one: the fencing epoch must never
+      // regress, so a zombie answering with its stale epoch is refused.
+      client_.close();
+      return false;
+    }
+    if (epoch_ != 0 && st.epoch > epoch_) ++failovers_;
+    epoch_ = st.epoch;
+    current_ = idx;
+    connected_ = true;
+    return true;
+  } catch (const ModelError&) {
+    client_.close();
+    return false;
+  }
+}
+
+void FailoverClient::connect() { reconnect(); }
+
+void FailoverClient::reconnect() {
+  connected_ = false;
+  for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    for (std::size_t k = 0; k < endpoints_.size(); ++k) {
+      if (try_connect((current_ + k) % endpoints_.size())) return;
+    }
+    // Promotion (heartbeat loss) takes hundreds of ms; serve the policy's
+    // bounded steps at 1 ms each so the budget spans it.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(policy_.backoff_steps(attempt)));
+  }
+  throw ModelError("failover client: no live primary among " +
+                   std::to_string(endpoints_.size()) + " endpoint(s)");
+}
+
+Message FailoverClient::roundtrip(const Message& request) {
+  for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    if (!connected_) reconnect();  // throws on budget exhaustion
+    Message reply;
+    try {
+      reply = client_.request(request);
+    } catch (const ModelError&) {
+      connected_ = false;  // connection died mid-call: fail over and
+      continue;            // re-send (seq makes the resend exactly-once)
+    }
+    if (not_primary_error(reply)) {
+      client_.close();
+      connected_ = false;
+      continue;
+    }
+    if (reply.type == MsgType::kRetryLater) {
+      if (attempt == policy_.max_attempts) return reply;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(ServiceClient::kBackoffStepUs *
+                                    policy_.backoff_steps(attempt)));
+      continue;
+    }
+    return reply;
+  }
+  throw ModelError("failover client: retry budget exhausted");
+}
+
+std::uint64_t FailoverClient::open_stream(ServiceModel model,
+                                          std::uint64_t ceiling) {
+  Message req;
+  req.type = MsgType::kOpenStream;
+  req.model = static_cast<std::uint8_t>(model);
+  req.capacity = ceiling;
+  const Message reply = roundtrip(req);
+  if (reply.type != MsgType::kStreamOpened) {
+    throw ModelError("failover client: open_stream failed: " +
+                     to_string(reply.type) +
+                     (reply.text.empty() ? "" : " (" + reply.text + ")"));
+  }
+  return reply.stream;
+}
+
+Message FailoverClient::commit(std::uint64_t stream, std::uint64_t seq,
+                               const std::vector<MonitoredCommit>& batch) {
+  Message req;
+  req.type = MsgType::kCommit;
+  req.stream = stream;
+  req.seq = seq;
+  req.commits = batch;
+  return roundtrip(req);
+}
+
+Message FailoverClient::status(std::uint64_t stream) {
+  Message req;
+  req.type = MsgType::kStatus;
+  req.stream = stream;
+  return roundtrip(req);
+}
+
+Message FailoverClient::close_stream(std::uint64_t stream) {
+  Message req;
+  req.type = MsgType::kClose;
+  req.stream = stream;
+  return roundtrip(req);
 }
 
 }  // namespace sia::service

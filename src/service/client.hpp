@@ -20,6 +20,15 @@
 /// exponential backoff with deterministic jitter, one policy "step"
 /// sleeping kBackoffStep so a draining or overloaded shard has real time
 /// to make progress between attempts.
+///
+/// FailoverClient wraps a ServiceClient with an endpoint list and the
+/// replicated-pair failure modes: "not primary" errors and dead
+/// connections rotate to the next endpoint, reconnection is *fenced* (a
+/// server is only accepted if STATUS(0) reports role primary and an
+/// epoch >= the highest this client has seen, so a deposed zombie is
+/// never rejoined), and commits carry client-assigned per-stream
+/// sequence numbers so a resend after failover is exactly-once (the
+/// server answers a duplicate from its replicated seq cache).
 
 namespace sia::service {
 
@@ -53,8 +62,12 @@ class ServiceClient {
   }
 
   /// One COMMIT round-trip. The reply is kCommitted or kRetryLater.
+  /// \p seq is the optional exactly-once sequence number (0 = none): pass
+  /// 1, 2, 3, ... per stream and a duplicate resend is answered from the
+  /// server's cache instead of being re-ingested.
   Message commit(std::uint64_t stream,
-                 const std::vector<MonitoredCommit>& batch);
+                 const std::vector<MonitoredCommit>& batch,
+                 std::uint64_t seq = 0);
 
   /// commit() with RETRY_LATER mapped onto \p policy. Returns the final
   /// reply — still kRetryLater if the budget ran out. \p stats (optional)
@@ -67,8 +80,13 @@ class ServiceClient {
   Message verdict(std::uint64_t stream);
   /// STATUS round-trip: the stream's flat-memory gauges (retained,
   /// pruned, watermark, approx_bytes) plus verdict and commit count.
+  /// STATUS(0) is the server-global form: role, epoch, replication lag.
   Message status(std::uint64_t stream);
   Message close_stream(std::uint64_t stream);
+
+  /// PROMOTE round-trip (operator failover): returns the kPromoted reply
+  /// with the follower's new epoch and role.
+  Message promote();
 
   /// ANALYZE round-trip: returns the JSON report.
   /// \throws ModelError when the server rejects the input.
@@ -93,6 +111,65 @@ class ServiceClient {
   int fd_{-1};
   FrameDecoder decoder_;
   std::map<std::uint64_t, Message> drained_;
+};
+
+/// One server of a replicated pair.
+struct Endpoint {
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{0};
+};
+
+/// Failover-aware client over an endpoint list (see the file comment).
+/// Like ServiceClient it is single-threaded and blocking; unlike it, every
+/// operation retries across RETRY_LATER, dead connections and deposed
+/// primaries under one bounded RetryPolicy budget, and throws ModelError
+/// only when the budget is exhausted with no live primary found.
+class FailoverClient {
+ public:
+  explicit FailoverClient(std::vector<Endpoint> endpoints,
+                          fault::RetryPolicy policy = {});
+
+  /// Finds and connects to the current primary (fenced: epoch must not
+  /// regress). \throws ModelError when no endpoint qualifies in budget.
+  void connect();
+  void close() { client_.close(); connected_ = false; }
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  [[nodiscard]] std::uint64_t open_stream(ServiceModel model,
+                                          std::uint64_t ceiling = 0);
+  /// Exactly-once commit: \p seq must increase by 1 per stream batch.
+  /// Returns the final reply — kCommitted, or kRetryLater if the budget
+  /// ran out mid-overload.
+  Message commit(std::uint64_t stream, std::uint64_t seq,
+                 const std::vector<MonitoredCommit>& batch);
+  Message status(std::uint64_t stream);
+  Message server_status() { return status(0); }
+  Message close_stream(std::uint64_t stream);
+
+  /// Highest fencing epoch observed (0 before the first connect).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  /// Completed primary switches (epoch advanced or endpoint rotated).
+  [[nodiscard]] std::size_t failovers() const { return failovers_; }
+  [[nodiscard]] std::size_t endpoint_index() const { return current_; }
+  /// The wrapped single-connection client (drained() etc.).
+  [[nodiscard]] ServiceClient& raw() { return client_; }
+
+ private:
+  /// Connect + fenced-primary gate for endpoints_[idx].
+  [[nodiscard]] bool try_connect(std::size_t idx);
+  /// Rotates through the endpoint list under the policy budget.
+  void reconnect();
+  /// Request with rotate-on-failure; \p request is re-sent verbatim after
+  /// a failover, so it must be idempotent (seq-carrying COMMITs are).
+  Message roundtrip(const Message& request);
+
+  std::vector<Endpoint> endpoints_;
+  fault::RetryPolicy policy_;
+  ServiceClient client_;
+  std::size_t current_{0};
+  std::uint64_t epoch_{0};
+  std::size_t failovers_{0};
+  bool connected_{false};
 };
 
 }  // namespace sia::service

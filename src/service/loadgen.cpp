@@ -253,8 +253,17 @@ bool clean(const LoadReport& r) {
 
 EndlessReport run_endless(const LoadgenConfig& cfg) {
   EndlessReport report;
-  ServiceClient client;
-  client.connect(cfg.host, cfg.port);  // unreachable server throws here
+  // Endless mode always drives the failover-aware client: with just the
+  // primary listed it degenerates to a retrying ServiceClient; with a
+  // standby it rides out a primary kill mid-run. Commits carry seq
+  // numbers 1, 2, 3, ... so a resend after failover is exactly-once and
+  // the ack-count audit stays exact across the switch.
+  std::vector<Endpoint> endpoints{{cfg.host, cfg.port}};
+  if (cfg.failover_port != 0) {
+    endpoints.push_back({cfg.failover_host, cfg.failover_port});
+  }
+  FailoverClient client(endpoints, cfg.retry);
+  client.connect();  // unreachable server throws here
 
   workload::StreamSpec spec;
   spec.num_keys = cfg.num_keys;
@@ -306,11 +315,16 @@ EndlessReport run_endless(const LoadgenConfig& cfg) {
     report.final_bytes = st.approx_bytes;
     report.final_pruned = st.pruned;
     report.final_watermark = st.watermark;
+    report.final_role = st.role;
+    report.final_epoch = st.epoch;
+    report.final_lag_frames = st.lag_frames;
+    report.final_lag_bytes = st.lag_bytes;
     return true;
   };
 
   std::vector<MonitoredCommit> batch;
   bool batch_pending = false;
+  std::uint64_t seq = 0;  // exactly-once: one per batch, bumped on ack
   while (Clock::now() < deadline && !report.drained_mid_run) {
     if (!batch_pending) {
       batch.clear();
@@ -318,19 +332,19 @@ EndlessReport run_endless(const LoadgenConfig& cfg) {
         batch.push_back(source.next());
       }
       report.commits_sent += batch.size();
+      ++seq;
       batch_pending = true;
     }
-    fault::RetryStats rs;
     Message reply;
     try {
-      reply = client.commit_retry(stream, batch, cfg.retry, &rs);
+      reply = client.commit(stream, seq, batch);
     } catch (const ModelError&) {
       report.drained_mid_run = true;
       break;
     }
-    report.retry_later += rs.attempts - 1;
     if (reply.type == MsgType::kRetryLater) {
-      continue;  // budget exhausted; same batch again next turn
+      ++report.retry_later;  // budget exhausted; same batch + seq next turn
+      continue;
     }
     if (reply.type != MsgType::kCommitted) {
       ++report.protocol_errors;
@@ -355,6 +369,8 @@ EndlessReport run_endless(const LoadgenConfig& cfg) {
       report.drained_mid_run = true;
     }
   }
+  report.failovers = client.failovers();
+  report.final_epoch = std::max(report.final_epoch, client.epoch());
 
   report.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
   report.commits_per_sec =
@@ -424,6 +440,11 @@ std::string to_json(const LoadgenConfig& cfg, const EndlessReport& r) {
       << ", \"final_pruned\": " << r.final_pruned
       << ", \"final_watermark\": " << r.final_watermark
       << ", \"memory_plateaued\": " << (r.memory_plateaued ? "true" : "false")
+      << ", \"failovers\": " << r.failovers
+      << ", \"final_epoch\": " << r.final_epoch << ", \"final_role\": \""
+      << to_string(static_cast<Role>(r.final_role))
+      << "\", \"lag_frames\": " << r.final_lag_frames
+      << ", \"lag_bytes\": " << r.final_lag_bytes
       << ", \"retry_later\": " << r.retry_later
       << ", \"protocol_errors\": " << r.protocol_errors
       << ", \"verdict_mismatches\": " << r.verdict_mismatches
@@ -455,6 +476,14 @@ void print_report(const LoadgenConfig& cfg, const EndlessReport& r) {
   std::printf("  rate     : %.0f commits/sec over %.3f s%s\n",
               r.commits_per_sec, r.seconds,
               r.drained_mid_run ? " (server drained mid-run)" : "");
+  std::printf(
+      "  replica  : role %s, epoch %llu, lag %llu frames / %llu bytes, "
+      "%llu failover(s)\n",
+      to_string(static_cast<Role>(r.final_role)).c_str(),
+      static_cast<unsigned long long>(r.final_epoch),
+      static_cast<unsigned long long>(r.final_lag_frames),
+      static_cast<unsigned long long>(r.final_lag_bytes),
+      static_cast<unsigned long long>(r.failovers));
   std::printf(
       "  audit    : %llu protocol errors, %llu verdict mismatches, "
       "%llu count mismatches over %llu samples -> %s\n",

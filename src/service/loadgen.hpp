@@ -48,6 +48,12 @@ struct LoadgenConfig {
   double duration_seconds{0.0};
   /// Endless mode: batches between STATUS samples.
   std::size_t status_every{64};
+  /// Endless mode: warm standby to fail over to (port 0 = none). With a
+  /// standby configured the driver uses a FailoverClient — exactly-once
+  /// sequenced commits, fenced reconnect — so killing the primary
+  /// mid-run costs availability, never a verdict.
+  std::string failover_host{"127.0.0.1"};
+  std::uint16_t failover_port{0};
 };
 
 struct LoadReport {
@@ -96,6 +102,12 @@ struct EndlessReport {
   /// samples does not exceed the max seen before it (needs >= 8 samples).
   bool memory_plateaued{false};
   bool drained_mid_run{false};
+  // Replication / failover over the run (zeros without a standby).
+  std::uint64_t failovers{0};      ///< primary switches the client survived
+  std::uint64_t final_epoch{0};    ///< fencing epoch at the end
+  std::uint8_t final_role{0};      ///< Role of the server answering last
+  std::uint64_t final_lag_frames{0};  ///< replication lag, frames behind
+  std::uint64_t final_lag_bytes{0};   ///< replication lag, bytes behind
   double seconds{0.0};
   double commits_per_sec{0.0};
 };

@@ -1,0 +1,484 @@
+#include "service/replication.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace sia::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ms_since(Clock::time_point t) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - t)
+          .count());
+}
+
+}  // namespace
+
+std::string wal_path(const std::string& dir, std::size_t shard) {
+  return dir + "/wal-" + std::to_string(shard) + ".log";
+}
+
+void ensure_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return;
+  throw ModelError("replication: cannot create WAL dir '" + dir +
+                   "': " + std::strerror(errno));
+}
+
+std::vector<std::uint8_t> encode_wal_frame(std::uint64_t seq,
+                                           const std::uint8_t* payload,
+                                           std::size_t size) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + size);
+  for (int i = 0; i < 8; ++i) out.push_back((seq >> (8 * i)) & 0xFFu);
+  out.insert(out.end(), payload, payload + size);
+  return out;
+}
+
+bool decode_wal_frame(const std::vector<std::uint8_t>& frame,
+                      std::uint64_t& seq, Message& inner) {
+  if (frame.size() < 8) return false;
+  seq = 0;
+  for (int i = 0; i < 8; ++i) {
+    seq |= static_cast<std::uint64_t>(frame[i]) << (8 * i);
+  }
+  return decode_payload(frame.data() + 8, frame.size() - 8, inner);
+}
+
+WalReplay replay_wal(const std::string& dir, std::size_t shards,
+                     const StreamingConfig& cfg) {
+  WalReplay out;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    const std::string path = wal_path(dir, shard);
+    if (::access(path.c_str(), F_OK) != 0) continue;
+    mvcc::RecorderLog::ReplayReport report;
+    const auto frames = mvcc::RecorderLog::replay_raw(path, &report);
+    if (report.torn_tail) out.torn_tail = true;
+    std::uint64_t last_seq = 0;
+    for (const auto& frame : frames) {
+      std::uint64_t seq = 0;
+      Message inner;
+      if (!decode_wal_frame(frame, seq, inner) || seq != last_seq + 1) {
+        out.gap = out.gap || seq != last_seq + 1;
+        break;  // corrupt or holed shard log: trust only the prefix
+      }
+      last_seq = seq;
+      ++out.frames;
+      switch (inner.type) {
+        case MsgType::kOpenStream: {
+          StreamingConfig scfg = cfg;
+          if (inner.capacity != 0) scfg.max_transactions = inner.capacity;
+          out.streams.try_emplace(
+              inner.stream,
+              check_model(static_cast<ServiceModel>(inner.model)), scfg);
+          break;
+        }
+        case MsgType::kCommit: {
+          auto it = out.streams.find(inner.stream);
+          if (it != out.streams.end()) {
+            (void)it->second.commit_all_guarded(inner.commits);
+          }
+          break;
+        }
+        case MsgType::kClose:
+          out.streams.erase(inner.stream);
+          break;
+        default:
+          break;  // unknown inner op: ignore, like the live follower
+      }
+    }
+  }
+  return out;
+}
+
+ReplicationSender::ReplicationSender(ReplicationConfig cfg,
+                                     std::uint64_t epoch, std::size_t shards)
+    : cfg_(std::move(cfg)), epoch_(epoch), shards_(shards),
+      pending_(shards) {}
+
+ReplicationSender::~ReplicationSender() { stop(false, 0); }
+
+void ReplicationSender::start() {
+  if (started_ || !cfg_.shipping_enabled()) return;
+  if (::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    throw ModelError("replication: pipe2: " +
+                     std::string(std::strerror(errno)));
+  }
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void ReplicationSender::stop(bool flush_first, std::uint64_t flush_ms) {
+  if (flush_first && started_) (void)flush(flush_ms);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      // Already stopped; nothing in flight by now.
+      return;
+    }
+    stop_ = true;
+  }
+  if (started_) {
+    const std::uint8_t byte = 1;
+    (void)!::write(wake_pipe_[1], &byte, 1);
+    thread_.join();
+  }
+  fail_link(false, 0);  // completes any abandoned hooks
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+bool ReplicationSender::ship(std::size_t shard, std::uint64_t seq,
+                             std::vector<std::uint8_t> payload,
+                             AckHook hook) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_ || stop_ || degraded_ || fenced_) return false;
+    queued_bytes_ += payload.size();
+    queue_.push_back(Item{shard, seq, std::move(payload), std::move(hook)});
+  }
+  const std::uint8_t byte = 1;
+  (void)!::write(wake_pipe_[1], &byte, 1);
+  return true;
+}
+
+bool ReplicationSender::flush(std::uint64_t timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  flush_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    return degraded_ || fenced_ ||
+           (queue_.empty() && pending_frames_ == 0);
+  });
+  return !degraded_ && !fenced_ && queue_.empty() && pending_frames_ == 0;
+}
+
+bool ReplicationSender::degraded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return degraded_;
+}
+
+bool ReplicationSender::fenced() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return fenced_;
+}
+
+std::uint64_t ReplicationSender::fence_epoch() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return fence_epoch_;
+}
+
+std::uint64_t ReplicationSender::lag_frames() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + pending_frames_;
+}
+
+std::uint64_t ReplicationSender::lag_bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queued_bytes_ + pending_bytes_;
+}
+
+std::uint64_t ReplicationSender::shipped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shipped_;
+}
+
+std::uint64_t ReplicationSender::acked() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return acked_;
+}
+
+void ReplicationSender::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ReplicationSender::fail_link(bool fence, std::uint64_t winner_epoch) {
+  std::vector<AckHook> hooks;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    degraded_ = true;
+    if (fence) {
+      fenced_ = true;
+      fence_epoch_ = winner_epoch;
+    }
+    for (Item& item : queue_) {
+      if (item.hook) hooks.push_back(std::move(item.hook));
+    }
+    queue_.clear();
+    for (auto& shard_pending : pending_) {
+      for (Pending& p : shard_pending) {
+        if (p.hook) hooks.push_back(std::move(p.hook));
+      }
+      shard_pending.clear();
+    }
+    pending_frames_ = 0;
+    queued_bytes_ = 0;
+    pending_bytes_ = 0;
+  }
+  close_fd();
+  // Complete abandoned frames locally: the primary acks the client itself
+  // (degraded mode) — nothing is ever left hanging.
+  for (AckHook& hook : hooks) hook();
+  flush_cv_.notify_all();
+}
+
+bool ReplicationSender::send_all(const std::vector<std::uint8_t>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // closed, reset, or SO_SNDTIMEO expired
+  }
+  return true;
+}
+
+bool ReplicationSender::connect_and_hello() {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.peer_port);
+  if (::inet_pton(AF_INET, cfg_.peer_host.c_str(), &addr.sin_addr) != 1) {
+    return false;
+  }
+  for (std::size_t attempt = 0; attempt < cfg_.connect_attempts; ++attempt) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) return false;
+    }
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      break;
+    }
+    close_fd();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (fd_ < 0) return false;
+  const int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  timeval tv{};
+  tv.tv_sec = 5;  // a stuck peer must not wedge the sender forever
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  Message hello;
+  hello.type = MsgType::kReplHello;
+  hello.epoch = epoch_;
+  hello.capacity = shards_;
+  if (!send_all(encode_frame(hello))) return false;
+
+  // Wait for REPL_WELCOME (or FENCED) with a bounded patience.
+  FrameDecoder decoder;
+  std::array<std::uint8_t, 4096> buf;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(2000);
+  for (;;) {
+    Message reply;
+    const FrameDecoder::Status st = decoder.next(reply);
+    if (st == FrameDecoder::Status::kFrame) {
+      if (reply.type == MsgType::kReplWelcome) return true;
+      if (reply.type == MsgType::kFenced) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        fenced_ = true;
+        fence_epoch_ = reply.epoch;
+      }
+      return false;
+    }
+    if (st == FrameDecoder::Status::kMalformed) return false;
+    if (Clock::now() >= deadline) return false;
+    pollfd pfd{fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, 100) < 0 && errno != EINTR) return false;
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), MSG_DONTWAIT);
+    if (n > 0) {
+      decoder.feed(buf.data(), static_cast<std::size_t>(n));
+    } else if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                          errno != EINTR)) {
+      return false;
+    }
+  }
+}
+
+void ReplicationSender::run() {
+  if (!connect_and_hello()) {
+    fail_link(fenced(), fence_epoch());
+    return;
+  }
+  FrameDecoder decoder;
+  std::array<std::uint8_t, 65536> buf;
+  std::vector<Item> batch;
+  auto last_sent = Clock::now();
+
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) return;  // leftovers completed by stop()'s fail_link
+    }
+
+    // 1. Pull a batch within the in-flight window and ship it.
+    batch.clear();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      while (!queue_.empty() &&
+             pending_frames_ + batch.size() < cfg_.window) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (!batch.empty()) {
+      // Coalesce the whole batch into one write: at steady state the
+      // per-frame syscall, not the bytes, is the shipping cost.
+      std::vector<std::uint8_t> wire;
+      std::vector<std::size_t> payload_bytes(batch.size());
+      for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+        Item& item = batch[bi];
+        Message append;
+        append.type = MsgType::kReplAppend;
+        append.stream = item.shard;
+        append.seq = item.seq;
+        append.epoch = epoch_;
+        append.raw = std::move(item.payload);
+        payload_bytes[bi] = append.raw.size();
+        const std::vector<std::uint8_t> frame = encode_frame(append);
+        wire.insert(wire.end(), frame.begin(), frame.end());
+      }
+      if (!send_all(wire)) {
+        // Park the batch as pending so fail_link completes every hook
+        // exactly once (a partial write is moot: the link is dead).
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          for (Item& item : batch) {
+            pending_[item.shard].push_back(
+                Pending{item.seq, 0, std::move(item.hook)});
+            ++pending_frames_;
+          }
+        }
+        fail_link(false, 0);
+        return;
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t bi = 0; bi < batch.size(); ++bi) {
+          const std::size_t bytes = payload_bytes[bi];
+          queued_bytes_ -= bytes < queued_bytes_ ? bytes : queued_bytes_;
+          pending_[batch[bi].shard].push_back(
+              Pending{batch[bi].seq, bytes, std::move(batch[bi].hook)});
+          ++pending_frames_;
+          pending_bytes_ += bytes;
+          ++shipped_;
+        }
+      }
+      last_sent = Clock::now();
+    }
+
+    // 2. Heartbeat when idle so the follower can tell silence from death.
+    if (ms_since(last_sent) >= cfg_.heartbeat_interval_ms) {
+      Message hb;
+      hb.type = MsgType::kReplHello;
+      hb.epoch = epoch_;
+      hb.capacity = shards_;
+      if (!send_all(encode_frame(hb))) {
+        fail_link(false, 0);
+        return;
+      }
+      last_sent = Clock::now();
+    }
+
+    // 3. Wait for acks or new work (self-pipe), bounded by the heartbeat.
+    pollfd pfds[2] = {{fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const std::uint64_t since = ms_since(last_sent);
+    const int timeout = static_cast<int>(
+        since >= cfg_.heartbeat_interval_ms
+            ? 0
+            : cfg_.heartbeat_interval_ms - since);
+    if (::poll(pfds, 2, timeout) < 0 && errno != EINTR) {
+      fail_link(false, 0);
+      return;
+    }
+    if ((pfds[1].revents & POLLIN) != 0) {
+      std::array<std::uint8_t, 256> drain;
+      while (::read(wake_pipe_[0], drain.data(), drain.size()) > 0) {
+      }
+    }
+
+    // 4. Drain acks.
+    if ((pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      for (;;) {
+        const ssize_t n = ::recv(fd_, buf.data(), buf.size(), MSG_DONTWAIT);
+        if (n > 0) {
+          decoder.feed(buf.data(), static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (n < 0 && errno == EINTR) continue;
+        fail_link(false, 0);  // follower closed the link
+        return;
+      }
+      for (;;) {
+        Message reply;
+        const FrameDecoder::Status st = decoder.next(reply);
+        if (st == FrameDecoder::Status::kNeedMore) break;
+        if (st == FrameDecoder::Status::kMalformed) {
+          fail_link(false, 0);
+          return;
+        }
+        if (reply.type == MsgType::kReplWelcome) continue;  // heartbeat ack
+        if (reply.type == MsgType::kFenced) {
+          fail_link(true, reply.epoch);
+          return;
+        }
+        if (reply.type != MsgType::kReplAck || reply.stream >= shards_) {
+          fail_link(false, 0);  // protocol violation
+          return;
+        }
+        AckHook hook;
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          auto& shard_pending = pending_[reply.stream];
+          if (shard_pending.empty() ||
+              shard_pending.front().seq != reply.seq) {
+            // Ack for a frame we do not have in flight: corrupt link.
+            hook = nullptr;
+          } else {
+            Pending& front = shard_pending.front();
+            hook = std::move(front.hook);
+            pending_bytes_ -= front.bytes < pending_bytes_ ? front.bytes
+                                                           : pending_bytes_;
+            shard_pending.pop_front();
+            --pending_frames_;
+            ++acked_;
+          }
+        }
+        if (!hook) {
+          fail_link(false, 0);
+          return;
+        }
+        hook();
+        flush_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace sia::service

@@ -1,0 +1,211 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/incremental.hpp"
+#include "mvcc/recorder_log.hpp"
+#include "service/wire.hpp"
+
+/// \file replication.hpp
+/// Warm-standby replication for siad (DESIGN.md §4h): the primary appends
+/// every state-mutating client frame (OPEN_STREAM with its assigned id,
+/// accepted COMMIT, CLOSE) to a per-shard RecorderLog WAL and ships the
+/// same frames to a follower over the ordinary wire protocol. Replay
+/// determinism of the streaming monitor makes the follower's state
+/// bit-identical to the primary's by construction — the frames *are* the
+/// state.
+///
+/// Frame shape, both on disk and on the wire: the WAL payload is
+///     u64 shard seq | encode_payload(inner message)
+/// and REPL_APPEND carries (shard, seq, epoch, inner payload bytes). The
+/// per-shard sequence is gapless from 1; a gap or an undecodable inner
+/// frame on the follower means the link delivered a corrupt prefix and
+/// the follower quarantines (sticky, like a malformed monitor verdict)
+/// rather than diverge silently.
+///
+/// The sender ships synchronously in the failover sense: the primary
+/// defers each client ack until the follower's REPL_ACK for the
+/// corresponding frame (the AckHook), so an acknowledged commit is never
+/// lost by killing the primary. If the link dies or was never up, the
+/// sender completes hooks immediately and goes *degraded* — sticky
+/// local-ack mode with the durability caveat documented in DESIGN.md;
+/// re-establishing a pair means restarting it.
+///
+/// Fencing: the sender carries the primary's epoch in every frame. A
+/// follower that has been promoted (operator PROMOTE or heartbeat loss)
+/// adopts epoch + 1 and answers stale frames with FENCED; the sender then
+/// reports fenced() and the deposed primary stops accepting writes.
+
+namespace sia::service {
+
+struct ReplicationConfig {
+  /// Directory for per-shard WAL files (wal-<shard>.log). Empty = no WAL.
+  std::string wal_dir;
+  /// Durability policy for the WAL appends (see mvcc::FsyncPolicy).
+  mvcc::FsyncPolicy fsync{mvcc::FsyncPolicy::kNone};
+  std::size_t fsync_interval{64};
+  /// Follower address the primary ships frames to; port 0 = ship nothing
+  /// (WAL-only durability).
+  std::string peer_host{"127.0.0.1"};
+  std::uint16_t peer_port{0};
+  /// Heartbeat cadence: an idle sender emits REPL_HELLO this often so the
+  /// follower can tell silence from death.
+  std::uint64_t heartbeat_interval_ms{100};
+  /// Follower: promote self after this long without hearing the primary
+  /// (0 = only explicit PROMOTE). The clock starts at the first
+  /// replication frame heard, so a follower booted before its primary
+  /// does not promote spuriously.
+  std::uint64_t auto_promote_ms{0};
+  /// Shipped-but-unacked frame cap; beyond it the sender stops pulling
+  /// from its queue, bounding both sides' memory.
+  std::size_t window{256};
+  /// Initial connect attempts before declaring the link dead (50 ms
+  /// apart); once up, any failure degrades immediately.
+  std::size_t connect_attempts{40};
+
+  [[nodiscard]] bool wal_enabled() const { return !wal_dir.empty(); }
+  [[nodiscard]] bool shipping_enabled() const { return peer_port != 0; }
+  [[nodiscard]] bool enabled() const {
+    return wal_enabled() || shipping_enabled();
+  }
+};
+
+/// WAL file for shard \p shard under \p dir.
+[[nodiscard]] std::string wal_path(const std::string& dir, std::size_t shard);
+
+/// Creates \p dir if missing (single level). \throws ModelError on
+/// failure other than already-exists.
+void ensure_dir(const std::string& dir);
+
+/// WAL payload framing: u64 shard seq | inner wire payload.
+[[nodiscard]] std::vector<std::uint8_t> encode_wal_frame(
+    std::uint64_t seq, const std::uint8_t* payload, std::size_t size);
+inline std::vector<std::uint8_t> encode_wal_frame(
+    std::uint64_t seq, const std::vector<std::uint8_t>& payload) {
+  return encode_wal_frame(seq, payload.data(), payload.size());
+}
+
+/// Splits a WAL payload back into (seq, decoded inner message). Returns
+/// false on a short header or an undecodable inner frame.
+[[nodiscard]] bool decode_wal_frame(const std::vector<std::uint8_t>& frame,
+                                    std::uint64_t& seq, Message& inner);
+
+/// Offline replay of a WAL directory: every intact frame of every shard
+/// log, in per-shard seq order, applied to fresh StreamingMonitors. This
+/// is the audit oracle for failover tests — a promoted follower's STATUS
+/// gauges must match what replaying its own WAL from scratch produces.
+struct WalReplay {
+  /// Stream id -> monitor state after replay (closed streams removed,
+  /// exactly as the live server removes them).
+  std::map<std::uint64_t, StreamingMonitor> streams;
+  std::size_t frames{0};     ///< intact WAL frames applied
+  bool torn_tail{false};     ///< some shard log ended mid-frame
+  bool gap{false};           ///< a shard's seq sequence had a hole
+};
+
+[[nodiscard]] WalReplay replay_wal(const std::string& dir, std::size_t shards,
+                                   const StreamingConfig& cfg);
+
+/// The primary-side shipping thread. Owns the socket to the follower;
+/// shard threads hand it (shard, seq, payload, hook) tuples via ship()
+/// and it streams REPL_APPEND frames, matches REPL_ACKs FIFO per shard,
+/// heartbeats when idle, and tracks lag gauges. All hook invocations
+/// happen on the sender thread (or inside stop()/degrade, on the calling
+/// thread) — hooks must be thread-safe and non-blocking.
+class ReplicationSender {
+ public:
+  /// Invoked exactly once per shipped frame: when the follower acked it,
+  /// or when the link died / was fenced and the frame's fate is local.
+  using AckHook = std::function<void()>;
+
+  ReplicationSender(ReplicationConfig cfg, std::uint64_t epoch,
+                    std::size_t shards);
+  ~ReplicationSender();
+
+  ReplicationSender(const ReplicationSender&) = delete;
+  ReplicationSender& operator=(const ReplicationSender&) = delete;
+
+  void start();
+
+  /// Stops the thread. Outstanding hooks are always completed (never
+  /// leaked); \p flush_first additionally waits up to \p flush_ms for the
+  /// follower to ack everything in flight (graceful drain wants this, a
+  /// simulated SIGKILL does not).
+  void stop(bool flush_first, std::uint64_t flush_ms = 2000);
+
+  /// Queues one frame for shipping. Returns false — without queueing —
+  /// if the sender is degraded or fenced: the caller owns the ack.
+  [[nodiscard]] bool ship(std::size_t shard, std::uint64_t seq,
+                          std::vector<std::uint8_t> payload, AckHook hook);
+
+  /// Blocks until queue + in-flight are empty, or \p timeout_ms passed,
+  /// or the link died. True iff everything was acked.
+  bool flush(std::uint64_t timeout_ms);
+
+  /// Link died (or never came up); primary acks locally. Sticky.
+  [[nodiscard]] bool degraded() const;
+  /// A newer primary fenced us; the server must stop accepting writes.
+  [[nodiscard]] bool fenced() const;
+  /// The winning epoch carried by the FENCED reply (0 if not fenced).
+  [[nodiscard]] std::uint64_t fence_epoch() const;
+
+  [[nodiscard]] std::uint64_t lag_frames() const;
+  [[nodiscard]] std::uint64_t lag_bytes() const;
+  [[nodiscard]] std::uint64_t shipped() const;
+  [[nodiscard]] std::uint64_t acked() const;
+
+ private:
+  struct Item {
+    std::size_t shard{0};
+    std::uint64_t seq{0};
+    std::vector<std::uint8_t> payload;
+    AckHook hook;
+  };
+  struct Pending {
+    std::uint64_t seq{0};
+    std::size_t bytes{0};
+    AckHook hook;
+  };
+
+  void run();
+  [[nodiscard]] bool connect_and_hello();
+  [[nodiscard]] bool send_all(const std::vector<std::uint8_t>& bytes);
+  /// Completes every queued/in-flight hook and marks the link dead.
+  void fail_link(bool fence, std::uint64_t winner_epoch);
+  void close_fd();
+
+  ReplicationConfig cfg_;
+  std::uint64_t epoch_;
+  std::size_t shards_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable flush_cv_;  ///< wakes flush() waiters
+  std::deque<Item> queue_;
+  std::vector<std::deque<Pending>> pending_;
+  std::size_t pending_frames_{0};
+  std::uint64_t queued_bytes_{0};
+  std::uint64_t pending_bytes_{0};
+  bool stop_{false};
+  bool degraded_{false};
+  bool fenced_{false};
+  std::uint64_t fence_epoch_{0};
+  std::uint64_t shipped_{0};
+  std::uint64_t acked_{0};
+
+  int fd_{-1};
+  /// Self-pipe: ship()/stop() write a byte to wake the sender's poll().
+  int wake_pipe_[2]{-1, -1};
+  std::thread thread_;
+  bool started_{false};
+};
+
+}  // namespace sia::service

@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
@@ -23,6 +24,16 @@ namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw ModelError("siad: " + what + ": " + std::strerror(errno));
+}
+
+/// Monotonic milliseconds for heartbeat bookkeeping (never 0, so 0 can
+/// mean "never heard").
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+             std::chrono::duration_cast<std::chrono::milliseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) |
+         1u;
 }
 
 }  // namespace
@@ -77,6 +88,12 @@ struct Server::Connection {
 struct Server::StreamState {
   StreamingMonitor monitor;
   std::weak_ptr<Connection> owner;
+  /// Exactly-once bookkeeping: the last client-assigned COMMIT seq this
+  /// stream applied (0 = none yet) and the reply it earned. Both are
+  /// derived from the replicated frames themselves, so a promoted
+  /// follower answers a post-failover resend from the same cache.
+  std::uint64_t last_seq{0};
+  Message last_commit_reply;
 
   StreamState(Model m, StreamingConfig cfg, std::weak_ptr<Connection> conn)
       : monitor(m, cfg), owner(std::move(conn)) {}
@@ -100,6 +117,14 @@ struct Server::Shard {
   /// Streams owned by this shard; only its worker thread touches them.
   std::unordered_map<std::uint64_t, StreamState> streams;
   std::thread thread;
+  /// Position in shards_ (the REPL_APPEND address and WAL file suffix).
+  std::size_t index{0};
+  /// Replication WAL (nullptr when disabled); written by the shard
+  /// thread only, inside the same critical path that mutates the monitor.
+  std::unique_ptr<mvcc::RecorderLog> wal;
+  /// Primary: last replication seq assigned. Follower: last seq applied.
+  /// Gapless from 1; shard-thread-only.
+  std::uint64_t repl_seq{0};
 };
 
 Server::Server(ServerConfig cfg) : cfg_(cfg) {
@@ -154,9 +179,29 @@ void Server::start() {
     throw_errno("epoll_ctl(wake)");
   }
 
+  role_.store(
+      static_cast<std::uint8_t>(cfg_.follower ? Role::kFollower
+                                              : Role::kPrimary),
+      std::memory_order_release);
+  epoch_.store(cfg_.follower ? 0 : 1, std::memory_order_release);
+
   shards_.reserve(cfg_.shards);
   for (std::size_t i = 0; i < cfg_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->index = i;
+  }
+  if (cfg_.repl.wal_enabled()) {
+    ensure_dir(cfg_.repl.wal_dir);
+    for (auto& shard : shards_) {
+      shard->wal = std::make_unique<mvcc::RecorderLog>(
+          wal_path(cfg_.repl.wal_dir, shard->index), /*truncate=*/true,
+          cfg_.repl.fsync, cfg_.repl.fsync_interval);
+    }
+  }
+  if (!cfg_.follower && cfg_.repl.shipping_enabled()) {
+    sender_ = std::make_unique<ReplicationSender>(cfg_.repl, /*epoch=*/1,
+                                                  cfg_.shards);
+    sender_->start();
   }
   for (auto& shard : shards_) {
     shard->thread = std::thread([this, s = shard.get()] { shard_loop(*s); });
@@ -190,7 +235,15 @@ void Server::drain() {
     if (shard->thread.joinable()) shard->thread.join();
   }
 
-  // 3. Stop the IO thread; it closes the connections on the way out.
+  // 3. Let the follower catch up: every shipped frame is acked (and its
+  //    deferred client reply released) before the sockets go away. Then
+  //    make the WAL tail durable regardless of fsync policy.
+  if (sender_ != nullptr) sender_->stop(/*flush_first=*/true);
+  for (auto& shard : shards_) {
+    if (shard->wal != nullptr) shard->wal->sync();
+  }
+
+  // 4. Stop the IO thread; it closes the connections on the way out.
   io_stop_.store(true, std::memory_order_release);
   const std::uint64_t one = 1;
   (void)!::write(wake_fd_, &one, sizeof(one));
@@ -203,6 +256,66 @@ void Server::drain() {
   stopped_ = true;
 }
 
+void Server::hard_stop() {
+  const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (!started_ || stopped_) return;
+  draining_.store(true, std::memory_order_release);
+
+  // Kill the IO thread first: no further frame leaves the process, like a
+  // real SIGKILL. Connections are marked closed on the way out, so any
+  // worker still holding one writes into the void.
+  io_stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+  if (io_thread_.joinable()) io_thread_.join();
+
+  // Shards: jump the queue with a front-of-line stop sentinel — no
+  // backlog flush, no finalisation acks reach anyone.
+  for (auto& shard : shards_) {
+    {
+      const std::lock_guard<std::mutex> shard_lock(shard->mutex);
+      shard->stopping = true;
+      shard->queue.push_front(Job{nullptr, Message{}, nullptr, /*stop=*/true});
+    }
+    shard->cv.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+
+  // Abandon in-flight replication (hooks complete against dead sockets).
+  if (sender_ != nullptr) sender_->stop(/*flush_first=*/false);
+
+  ::close(listen_fd_);
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+  listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+  stopped_ = true;
+}
+
+void Server::promote() {
+  Role expected = Role::kFollower;
+  auto expected_raw = static_cast<std::uint8_t>(expected);
+  if (!role_.compare_exchange_strong(
+          expected_raw, static_cast<std::uint8_t>(Role::kPrimary),
+          std::memory_order_acq_rel)) {
+    return;  // already primary (idempotent) or fenced (terminal)
+  }
+  // Never heard a primary (explicit operator PROMOTE at boot): assume the
+  // lowest possible deposed epoch, 1, so the new epoch still dominates.
+  const std::uint64_t deposed =
+      std::max<std::uint64_t>(primary_epoch_.load(std::memory_order_acquire),
+                              1);
+  epoch_.store(deposed + 1, std::memory_order_release);
+  n_promotions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Server::epoch() const {
+  return role() == Role::kFollower
+             ? primary_epoch_.load(std::memory_order_acquire)
+             : epoch_.load(std::memory_order_acquire);
+}
+
 ServerStats Server::stats() const {
   ServerStats s;
   s.connections = n_connections_.load(std::memory_order_relaxed);
@@ -212,6 +325,13 @@ ServerStats Server::stats() const {
   s.malformed = n_malformed_.load(std::memory_order_relaxed);
   s.errors = n_errors_.load(std::memory_order_relaxed);
   s.analyzes = n_analyzes_.load(std::memory_order_relaxed);
+  if (sender_ != nullptr) {
+    s.repl_shipped = sender_->shipped();
+    s.repl_acked = sender_->acked();
+  }
+  s.repl_applied = n_repl_applied_.load(std::memory_order_relaxed);
+  s.fenced = n_fenced_.load(std::memory_order_relaxed);
+  s.promotions = n_promotions_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -224,6 +344,21 @@ void Server::io_loop() {
     if (n < 0) {
       if (errno == EINTR) continue;
       break;
+    }
+    // Replication housekeeping rides the epoll tick (<= 200 ms latency):
+    // a primary that was fenced stops accepting writes; a follower that
+    // lost the heartbeat promotes itself.
+    if (sender_ != nullptr && role() == Role::kPrimary && sender_->fenced()) {
+      role_.store(static_cast<std::uint8_t>(Role::kFencedRole),
+                  std::memory_order_release);
+    }
+    if (role() == Role::kFollower && cfg_.repl.auto_promote_ms > 0 &&
+        !repl_quarantined()) {
+      const std::uint64_t heard =
+          last_repl_heard_ms_.load(std::memory_order_acquire);
+      if (heard != 0 && now_ms() - heard > cfg_.repl.auto_promote_ms) {
+        promote();
+      }
     }
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
@@ -313,16 +448,33 @@ void Server::reply_retry_later(const std::shared_ptr<Connection>& conn,
   (void)conn->send_message(reply);
 }
 
-bool Server::try_enqueue(Shard& shard, Job&& job) {
+bool Server::try_enqueue(Shard& shard, Job&& job, bool force) {
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
-    if (shard.stopping || shard.queue.size() >= cfg_.queue_capacity) {
+    if (shard.stopping ||
+        (!force && shard.queue.size() >= cfg_.queue_capacity)) {
       return false;
     }
     shard.queue.push_back(std::move(job));
   }
   shard.cv.notify_one();
   return true;
+}
+
+bool Server::require_primary(const std::shared_ptr<Connection>& conn,
+                             std::uint64_t stream) {
+  const Role r = role();
+  if (r == Role::kPrimary) return true;
+  n_errors_.fetch_add(1, std::memory_order_relaxed);
+  Message reply;
+  reply.type = MsgType::kError;
+  reply.stream = stream;
+  reply.text = r == Role::kFollower
+                   ? "not primary: follower standby"
+                   : "not primary: fenced at epoch " +
+                         std::to_string(epoch_.load(std::memory_order_acquire));
+  (void)conn->send_message(reply);
+  return false;
 }
 
 void Server::dispatch(const std::shared_ptr<Connection>& conn,
@@ -342,6 +494,7 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
         reply_retry_later(conn, 0);
         return;
       }
+      if (!require_primary(conn, 0)) return;
       const std::uint64_t id =
           next_stream_.fetch_add(1, std::memory_order_relaxed);
       msg.stream = id;
@@ -355,8 +508,18 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
     case MsgType::kVerdict:
     case MsgType::kStatus:
     case MsgType::kClose: {
+      if (msg.type == MsgType::kStatus && msg.stream == 0) {
+        // Server-global status: role / epoch / lag, answered from the IO
+        // thread — it must work mid-drain and on a quarantined follower.
+        (void)conn->send_message(global_status_reply());
+        return;
+      }
       if (draining) {
         reply_retry_later(conn, msg.stream);
+        return;
+      }
+      if ((msg.type == MsgType::kCommit || msg.type == MsgType::kClose) &&
+          !require_primary(conn, msg.stream)) {
         return;
       }
       const std::uint64_t stream = msg.stream;
@@ -364,6 +527,89 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
       if (!try_enqueue(shard, Job{conn, std::move(msg), nullptr})) {
         reply_retry_later(conn, stream);
       }
+      return;
+    }
+    case MsgType::kReplHello: {
+      Message reply;
+      if (role() != Role::kFollower) {
+        n_fenced_.fetch_add(1, std::memory_order_relaxed);
+        reply.type = MsgType::kFenced;
+        reply.epoch = epoch_.load(std::memory_order_acquire);
+      } else if (msg.epoch <
+                 primary_epoch_.load(std::memory_order_acquire)) {
+        n_fenced_.fetch_add(1, std::memory_order_relaxed);
+        reply.type = MsgType::kFenced;
+        reply.epoch = primary_epoch_.load(std::memory_order_acquire);
+      } else if (msg.capacity != shards_.size()) {
+        // Replay determinism needs identical sharding on both sides.
+        n_errors_.fetch_add(1, std::memory_order_relaxed);
+        reply.type = MsgType::kError;
+        reply.text = "shard count mismatch: primary " +
+                     std::to_string(msg.capacity) + ", follower " +
+                     std::to_string(shards_.size());
+      } else {
+        primary_epoch_.store(msg.epoch, std::memory_order_release);
+        last_repl_heard_ms_.store(now_ms(), std::memory_order_release);
+        reply.type = MsgType::kReplWelcome;
+        reply.epoch = msg.epoch;
+      }
+      (void)conn->send_message(reply);
+      return;
+    }
+    case MsgType::kReplAppend: {
+      if (role() != Role::kFollower) {
+        n_fenced_.fetch_add(1, std::memory_order_relaxed);
+        Message reply;
+        reply.type = MsgType::kFenced;
+        reply.epoch = epoch_.load(std::memory_order_acquire);
+        (void)conn->send_message(reply);
+        return;
+      }
+      if (msg.epoch < primary_epoch_.load(std::memory_order_acquire)) {
+        n_fenced_.fetch_add(1, std::memory_order_relaxed);
+        Message reply;
+        reply.type = MsgType::kFenced;
+        reply.epoch = primary_epoch_.load(std::memory_order_acquire);
+        (void)conn->send_message(reply);
+        return;
+      }
+      if (msg.stream >= shards_.size()) {
+        n_errors_.fetch_add(1, std::memory_order_relaxed);
+        Message reply;
+        reply.type = MsgType::kError;
+        reply.text = "bad replication shard " + std::to_string(msg.stream);
+        (void)conn->send_message(reply);
+        return;
+      }
+      primary_epoch_.store(msg.epoch, std::memory_order_release);
+      last_repl_heard_ms_.store(now_ms(), std::memory_order_release);
+      if (draining) {
+        reply_retry_later(conn, msg.stream);
+        return;
+      }
+      // Force-enqueued: admission is bounded by the sender's in-flight
+      // window, not by queue_capacity, and replication must never starve
+      // behind client reads on the same shard.
+      Shard& shard = *shards_[msg.stream];
+      if (!try_enqueue(shard, Job{conn, std::move(msg), nullptr},
+                       /*force=*/true)) {
+        reply_retry_later(conn, msg.stream);
+      }
+      return;
+    }
+    case MsgType::kPromote: {
+      Message reply;
+      if (role() == Role::kFencedRole) {
+        n_errors_.fetch_add(1, std::memory_order_relaxed);
+        reply.type = MsgType::kError;
+        reply.text = "fenced: a newer primary exists";
+      } else {
+        promote();  // idempotent on a primary
+        reply.type = MsgType::kPromoted;
+        reply.epoch = epoch_.load(std::memory_order_acquire);
+        reply.role = role_.load(std::memory_order_acquire);
+      }
+      (void)conn->send_message(reply);
       return;
     }
     case MsgType::kAnalyze: {
@@ -438,6 +684,26 @@ Message Server::status_reply(std::uint64_t stream,
   reply.pruned = monitor.pruned();
   reply.watermark = monitor.watermark();
   reply.approx_bytes = monitor.approx_bytes();
+  reply.role = role_.load(std::memory_order_acquire);
+  reply.epoch = epoch();
+  if (sender_ != nullptr) {
+    reply.lag_frames = sender_->lag_frames();
+    reply.lag_bytes = sender_->lag_bytes();
+  }
+  return reply;
+}
+
+Message Server::global_status_reply() {
+  Message reply;
+  reply.type = MsgType::kStatusReply;
+  reply.stream = 0;
+  reply.commit_count = n_commits_.load(std::memory_order_relaxed);
+  reply.role = role_.load(std::memory_order_acquire);
+  reply.epoch = epoch();
+  if (sender_ != nullptr) {
+    reply.lag_frames = sender_->lag_frames();
+    reply.lag_bytes = sender_->lag_bytes();
+  }
   return reply;
 }
 
@@ -462,43 +728,162 @@ void Server::shard_loop(Shard& shard) {
   }
 }
 
-void Server::process(Shard& shard, const Job& job) {
+Message Server::apply_open_stream(Shard& shard, const Message& msg,
+                                  std::weak_ptr<Connection> owner) {
+  // The decoder bounds msg.model to ServiceModel's range; the stream's
+  // monitor audits against the model the engine's histories must obey
+  // (SSI maps to SER).
+  const Model model = check_model(static_cast<ServiceModel>(msg.model));
+  StreamingConfig mcfg;
+  mcfg.gc_window = cfg_.gc_window;
+  mcfg.keep_log = cfg_.keep_log;
+  mcfg.max_transactions =
+      msg.capacity != 0 ? msg.capacity : cfg_.stream_ceiling;
+  shard.streams.emplace(msg.stream,
+                        StreamState(model, mcfg, std::move(owner)));
+  Message reply;
+  reply.type = MsgType::kStreamOpened;
+  reply.stream = msg.stream;
+  return reply;
+}
+
+Message Server::apply_commit(Shard& shard, const Message& msg,
+                             bool* applied) {
+  Message reply;
+  auto it = shard.streams.find(msg.stream);
+  if (it == shard.streams.end()) {
+    n_errors_.fetch_add(1, std::memory_order_relaxed);
+    reply.type = MsgType::kError;
+    reply.stream = msg.stream;
+    reply.text = "unknown stream " + std::to_string(msg.stream);
+    return reply;
+  }
+  StreamState& state = it->second;
+  if (msg.seq != 0 && msg.seq == state.last_seq) {
+    // Exactly-once: a failover resend of the batch we already ingested
+    // earns the recorded reply, not a second ingestion.
+    return state.last_commit_reply;
+  }
+  StreamingMonitor& monitor = state.monitor;
+  const BatchResult r = monitor.commit_all_guarded(msg.commits);
+  n_commits_.fetch_add(msg.commits.size(), std::memory_order_relaxed);
+  reply.type = MsgType::kCommitted;
+  reply.stream = msg.stream;
+  reply.seq = msg.seq;
+  reply.verdict = static_cast<std::uint8_t>(monitor.verdict());
+  reply.ids = r.ids;
+  reply.quarantined.assign(r.quarantined.begin(), r.quarantined.end());
+  if (msg.seq != 0) {
+    state.last_seq = msg.seq;
+    state.last_commit_reply = reply;
+  }
+  if (applied != nullptr) *applied = true;
+  return reply;
+}
+
+Message Server::apply_close(Shard& shard, const Message& msg) {
+  Message reply;
+  auto it = shard.streams.find(msg.stream);
+  if (it == shard.streams.end()) {
+    n_errors_.fetch_add(1, std::memory_order_relaxed);
+    reply.type = MsgType::kError;
+    reply.stream = msg.stream;
+    reply.text = "unknown stream " + std::to_string(msg.stream);
+    return reply;
+  }
+  reply = verdict_reply(MsgType::kClosed, msg.stream, it->second.monitor);
+  shard.streams.erase(it);
+  return reply;
+}
+
+void Server::quarantine_follower(const std::string& why) {
+  repl_quarantined_.store(true, std::memory_order_release);
+  n_errors_.fetch_add(1, std::memory_order_relaxed);
+  (void)why;  // surfaced through the ERROR reply; no logging facility
+}
+
+void Server::process_repl_append(Shard& shard, const Job& job) {
   const Message& msg = job.msg;
   Message reply;
+  // Re-check on the shard thread: a promotion (or a newer primary) may
+  // have raced the IO-thread admission of this frame.
+  if (role() != Role::kFollower) {
+    n_fenced_.fetch_add(1, std::memory_order_relaxed);
+    reply.type = MsgType::kFenced;
+    reply.epoch = epoch_.load(std::memory_order_acquire);
+  } else if (repl_quarantined()) {
+    reply.type = MsgType::kError;
+    reply.stream = msg.stream;
+    reply.text = "follower quarantined";
+  } else if (msg.seq != shard.repl_seq + 1) {
+    quarantine_follower("gap");
+    reply.type = MsgType::kError;
+    reply.stream = msg.stream;
+    reply.text = "replication gap on shard " + std::to_string(shard.index) +
+                 ": expected seq " + std::to_string(shard.repl_seq + 1) +
+                 ", got " + std::to_string(msg.seq);
+  } else {
+    Message inner;
+    if (!decode_payload(msg.raw.data(), msg.raw.size(), inner) ||
+        (inner.type != MsgType::kOpenStream &&
+         inner.type != MsgType::kCommit && inner.type != MsgType::kClose)) {
+      quarantine_follower("bad frame");
+      reply.type = MsgType::kError;
+      reply.stream = msg.stream;
+      reply.text = "undecodable replicated frame at shard " +
+                   std::to_string(shard.index) + " seq " +
+                   std::to_string(msg.seq);
+    } else {
+      switch (inner.type) {
+        case MsgType::kOpenStream: {
+          (void)apply_open_stream(shard, inner,
+                                  std::weak_ptr<Connection>{});
+          // Keep the id allocator ahead of every replicated stream so a
+          // promoted follower never re-issues a live id.
+          std::uint64_t cur = next_stream_.load(std::memory_order_relaxed);
+          while (inner.stream >= cur &&
+                 !next_stream_.compare_exchange_weak(
+                     cur, inner.stream + 1, std::memory_order_relaxed)) {
+          }
+          break;
+        }
+        case MsgType::kCommit:
+          (void)apply_commit(shard, inner, nullptr);
+          break;
+        default:  // kClose, by the filter above
+          (void)apply_close(shard, inner);
+          break;
+      }
+      if (shard.wal != nullptr) {
+        shard.wal->append_raw(encode_wal_frame(msg.seq, msg.raw));
+      }
+      shard.repl_seq = msg.seq;
+      n_repl_applied_.fetch_add(1, std::memory_order_relaxed);
+      reply.type = MsgType::kReplAck;
+      reply.stream = shard.index;
+      reply.seq = msg.seq;
+      reply.epoch = msg.epoch;
+    }
+  }
+  if (job.conn != nullptr) (void)job.conn->send_message(reply);
+}
+
+void Server::process(Shard& shard, const Job& job) {
+  const Message& msg = job.msg;
+  if (msg.type == MsgType::kReplAppend) {
+    process_repl_append(shard, job);
+    return;
+  }
+  Message reply;
+  bool replicate = false;
   switch (msg.type) {
     case MsgType::kOpenStream: {
-      // The decoder bounds msg.model to ServiceModel's range; the stream's
-      // monitor audits against the model the engine's histories must obey
-      // (SSI maps to SER).
-      const Model model = check_model(static_cast<ServiceModel>(msg.model));
-      StreamingConfig mcfg;
-      mcfg.gc_window = cfg_.gc_window;
-      mcfg.keep_log = cfg_.keep_log;
-      mcfg.max_transactions =
-          msg.capacity != 0 ? msg.capacity : cfg_.stream_ceiling;
-      shard.streams.emplace(msg.stream,
-                            StreamState(model, mcfg, job.conn));
-      reply.type = MsgType::kStreamOpened;
-      reply.stream = msg.stream;
+      reply = apply_open_stream(shard, msg, job.conn);
+      replicate = reply.type == MsgType::kStreamOpened;
       break;
     }
     case MsgType::kCommit: {
-      auto it = shard.streams.find(msg.stream);
-      if (it == shard.streams.end()) {
-        n_errors_.fetch_add(1, std::memory_order_relaxed);
-        reply.type = MsgType::kError;
-        reply.stream = msg.stream;
-        reply.text = "unknown stream " + std::to_string(msg.stream);
-        break;
-      }
-      StreamingMonitor& monitor = it->second.monitor;
-      const BatchResult r = monitor.commit_all_guarded(msg.commits);
-      n_commits_.fetch_add(msg.commits.size(), std::memory_order_relaxed);
-      reply.type = MsgType::kCommitted;
-      reply.stream = msg.stream;
-      reply.verdict = static_cast<std::uint8_t>(monitor.verdict());
-      reply.ids = r.ids;
-      reply.quarantined.assign(r.quarantined.begin(), r.quarantined.end());
+      reply = apply_commit(shard, msg, &replicate);
       break;
     }
     case MsgType::kVerdict: {
@@ -527,16 +912,8 @@ void Server::process(Shard& shard, const Job& job) {
       break;
     }
     case MsgType::kClose: {
-      auto it = shard.streams.find(msg.stream);
-      if (it == shard.streams.end()) {
-        n_errors_.fetch_add(1, std::memory_order_relaxed);
-        reply.type = MsgType::kError;
-        reply.stream = msg.stream;
-        reply.text = "unknown stream " + std::to_string(msg.stream);
-        break;
-      }
-      reply = verdict_reply(MsgType::kClosed, msg.stream, it->second.monitor);
-      shard.streams.erase(it);
+      reply = apply_close(shard, msg);
+      replicate = reply.type == MsgType::kClosed;
       break;
     }
     case MsgType::kAnalyze: {
@@ -563,6 +940,29 @@ void Server::process(Shard& shard, const Job& job) {
     }
     default:
       return;
+  }
+  // Replicate the mutation before releasing the ack: WAL first (frame
+  // order is file order), then the follower link. A shipped frame defers
+  // the client reply to the follower's REPL_ACK — that is what makes an
+  // acknowledged commit survive killing the primary. If shipping is down
+  // (degraded/fenced), ship() refuses and the ack is local, as before.
+  if (replicate && (shard.wal != nullptr || sender_ != nullptr)) {
+    std::vector<std::uint8_t> payload = encode_payload(msg);
+    const std::uint64_t seq = ++shard.repl_seq;
+    if (shard.wal != nullptr) {
+      shard.wal->append_raw(encode_wal_frame(seq, payload));
+    }
+    if (sender_ != nullptr) {
+      auto conn = job.conn;
+      if (sender_->ship(shard.index, seq, std::move(payload),
+                        [conn, reply]() {
+                          if (conn != nullptr) {
+                            (void)conn->send_message(reply);
+                          }
+                        })) {
+        return;  // the ack hook owns the reply now
+      }
+    }
   }
   if (job.conn != nullptr) (void)job.conn->send_message(reply);
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/incremental.hpp"
+#include "service/replication.hpp"
 #include "service/wire.hpp"
 
 /// \file server.hpp
@@ -39,6 +40,17 @@
 /// each still-open stream to its owning connection and shut down. Nothing
 /// is dropped silently: a commit is either acked, or its client heard
 /// RETRY_LATER / saw the connection refuse it.
+///
+/// Replication (DESIGN.md §4h): with a ReplicationConfig, a primary
+/// appends every state-mutating frame to a per-shard WAL and ships it to
+/// a follower before releasing the client's ack (see replication.hpp). A
+/// follower applies REPL_APPEND frames on the owning shard thread —
+/// exactly the primary's code path, so state is bit-identical by replay
+/// determinism — and rejects client writes with "not primary". Promotion
+/// (wire PROMOTE, promote(), or heartbeat loss with auto_promote_ms)
+/// adopts the primary's epoch + 1 and fences any zombie frames that
+/// arrive afterwards. hard_stop() tears the server down without drain or
+/// finalisation — the in-process stand-in for SIGKILL in failover tests.
 
 namespace sia::service {
 
@@ -66,6 +78,11 @@ struct ServerConfig {
   /// tests and overload experiments use it to fill shard queues
   /// deterministically and observe the RETRY_LATER path.
   std::uint64_t worker_delay_us{0};
+  /// Start as the warm standby: reject client writes, apply REPL_APPEND
+  /// frames, promote on PROMOTE / heartbeat loss.
+  bool follower{false};
+  /// WAL + log shipping; see ReplicationConfig. Disabled by default.
+  ReplicationConfig repl{};
 };
 
 struct ServerStats {
@@ -76,6 +93,11 @@ struct ServerStats {
   std::uint64_t malformed{0};    ///< frames rejected by the decoder
   std::uint64_t errors{0};       ///< ERROR replies (unknown stream etc.)
   std::uint64_t analyzes{0};
+  std::uint64_t repl_shipped{0};  ///< frames handed to the follower link
+  std::uint64_t repl_acked{0};    ///< frames the follower acknowledged
+  std::uint64_t repl_applied{0};  ///< follower: frames applied to shards
+  std::uint64_t fenced{0};        ///< FENCED replies sent to stale epochs
+  std::uint64_t promotions{0};    ///< follower -> primary transitions
 };
 
 class Server {
@@ -97,9 +119,35 @@ class Server {
   /// threads have exited. ~Server calls it.
   void drain();
 
+  /// Abrupt shutdown: no drain barrier, no finalisation pushes, pending
+  /// replication acks abandoned. The in-process stand-in for SIGKILL —
+  /// failover tests kill the primary with this and nothing reaches the
+  /// wire that a real kill would not have sent.
+  void hard_stop();
+
+  /// Promote a follower to primary (idempotent on a primary): adopt the
+  /// deposed primary's epoch + 1 and start accepting writes. The wire
+  /// PROMOTE op and the auto_promote_ms heartbeat-loss path land here.
+  void promote();
+
   [[nodiscard]] bool running() const { return started_ && !stopped_; }
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] Role role() const {
+    return static_cast<Role>(role_.load(std::memory_order_acquire));
+  }
+  /// Fencing epoch: own epoch on a primary, the followed primary's epoch
+  /// on a follower (0 until the first REPL_HELLO).
+  [[nodiscard]] std::uint64_t epoch() const;
+  /// Follower hit a replication gap or an undecodable frame and stopped
+  /// applying (sticky): its state is a clean prefix, not a divergence.
+  [[nodiscard]] bool repl_quarantined() const {
+    return repl_quarantined_.load(std::memory_order_acquire);
+  }
+  /// Primary: the follower link died and acks are local-only (sticky).
+  [[nodiscard]] bool repl_degraded() const {
+    return sender_ != nullptr && sender_->degraded();
+  }
 
  private:
   struct Connection;
@@ -110,7 +158,7 @@ class Server {
   void io_loop();
   void shard_loop(Shard& shard);
   void dispatch(const std::shared_ptr<Connection>& conn, Message&& msg);
-  bool try_enqueue(Shard& shard, Job&& job);
+  bool try_enqueue(Shard& shard, Job&& job, bool force = false);
   void process(Shard& shard, const Job& job);
   void finalize_streams(Shard& shard);
   void close_connection(int fd);
@@ -118,8 +166,25 @@ class Server {
                          std::uint64_t stream);
   static Message verdict_reply(MsgType type, std::uint64_t stream,
                                const StreamingMonitor& monitor);
-  static Message status_reply(std::uint64_t stream,
-                              const StreamingMonitor& monitor);
+  Message status_reply(std::uint64_t stream,
+                       const StreamingMonitor& monitor);
+  /// STATUS(stream = 0): server-global role / epoch / replication lag.
+  Message global_status_reply();
+  /// Sends "not primary" when this server must not accept writes;
+  /// true = go ahead.
+  bool require_primary(const std::shared_ptr<Connection>& conn,
+                       std::uint64_t stream);
+  /// The shared apply path — identical for a primary's client ops and a
+  /// follower's replicated frames, which is what makes the two states
+  /// bit-identical by construction.
+  Message apply_open_stream(Shard& shard, const Message& msg,
+                            std::weak_ptr<Connection> owner);
+  /// \p applied is set true iff the batch mutated the monitor (false on
+  /// unknown stream and on an exactly-once duplicate served from cache).
+  Message apply_commit(Shard& shard, const Message& msg, bool* applied);
+  Message apply_close(Shard& shard, const Message& msg);
+  void process_repl_append(Shard& shard, const Job& job);
+  void quarantine_follower(const std::string& why);
 
   ServerConfig cfg_;
   std::uint16_t port_{0};
@@ -139,6 +204,19 @@ class Server {
   bool stopped_{false};
   std::mutex lifecycle_mutex_;
 
+  // Replication / failover state.
+  std::atomic<std::uint8_t> role_{0};  ///< Role; set at start()
+  /// Own fencing epoch: 1 on a fresh primary, primary's + 1 after a
+  /// promotion, 0 on a follower that was never promoted.
+  std::atomic<std::uint64_t> epoch_{1};
+  /// Follower: the highest epoch heard over REPL_HELLO / REPL_APPEND.
+  std::atomic<std::uint64_t> primary_epoch_{0};
+  /// Follower: ms timestamp (steady clock) of the last replication frame;
+  /// 0 = never heard one (auto-promotion waits for a first contact).
+  std::atomic<std::uint64_t> last_repl_heard_ms_{0};
+  std::atomic<bool> repl_quarantined_{false};
+  std::unique_ptr<ReplicationSender> sender_;
+
   // Stats counters (relaxed; read via stats()).
   std::atomic<std::uint64_t> n_connections_{0};
   std::atomic<std::uint64_t> n_frames_{0};
@@ -147,6 +225,9 @@ class Server {
   std::atomic<std::uint64_t> n_malformed_{0};
   std::atomic<std::uint64_t> n_errors_{0};
   std::atomic<std::uint64_t> n_analyzes_{0};
+  std::atomic<std::uint64_t> n_repl_applied_{0};
+  std::atomic<std::uint64_t> n_fenced_{0};
+  std::atomic<std::uint64_t> n_promotions_{0};
 };
 
 }  // namespace sia::service

@@ -9,6 +9,7 @@
 ///               [--txns N] [--batch N] [--model si|psi|ser|ssi] [--keys N]
 ///               [--ops N] [--write-ratio F] [--seed N] [--attempts N]
 ///               [--duration SECONDS] [--status-every N] [--json FILE]
+///               [--failover HOST:PORT]
 ///
 /// --model picks which engine generates the traffic and which model the
 /// server audits it against (ssi streams are held to SER: committed SSI
@@ -18,7 +19,14 @@
 /// workload::StreamSource stream for that many wall-clock seconds,
 /// mirrored into a local StreamingMonitor, with a STATUS sample every
 /// --status-every batches auditing the server's verdict, commit count
-/// and flat-memory gauges (retained must plateau, not grow).
+/// and flat-memory gauges (retained must plateau, not grow). The samples
+/// also carry the server's role, fencing epoch and replication lag,
+/// reported in the plateau summary.
+///
+/// --failover H:P (endless mode) adds a warm standby to the endpoint
+/// list: the driver rides out a killed primary by failing over with
+/// exactly-once sequenced commits, so the audit stays exact across the
+/// switch.
 ///
 /// Exit code: 0 on a clean run (no protocol errors, no verdict or
 /// ack-count mismatches — RETRY_LATER and a server drain are clean;
@@ -43,7 +51,7 @@ int usage() {
       "                   [--model si|psi|ser|ssi] [--keys N] [--ops N]\n"
       "                   [--write-ratio F] [--seed N] [--attempts N]\n"
       "                   [--duration SECONDS] [--status-every N]\n"
-      "                   [--json FILE]\n");
+      "                   [--json FILE] [--failover HOST:PORT]\n");
   return 2;
 }
 
@@ -85,6 +93,17 @@ int main(int argc, char** argv) {
       cfg.status_every = std::max<std::size_t>(1, num());
     } else if (arg == "--json") {
       json_path = value;
+    } else if (arg == "--failover") {
+      const std::size_t colon = value.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == value.size()) {
+        return usage();
+      }
+      const unsigned long long p =
+          std::strtoull(value.c_str() + colon + 1, nullptr, 10);
+      if (p == 0 || p > 65535) return usage();
+      cfg.failover_host = value.substr(0, colon);
+      cfg.failover_port = static_cast<std::uint16_t>(p);
     } else if (arg == "--model") {
       std::string lower = value;
       for (char& c : lower) c = static_cast<char>(std::tolower(c));

@@ -7,6 +7,9 @@
 /// Usage:
 ///   siad [--port N] [--shards N] [--queue N] [--ceiling N]
 ///        [--gc-window N] [--keep-log]
+///        [--wal-dir PATH] [--fsync none|interval|commit]
+///        [--fsync-interval N] [--replicate-to HOST:PORT] [--standby]
+///        [--heartbeat-ms N] [--auto-promote-ms N]
 ///
 ///   --port N      TCP port (default 7401; 0 = ephemeral, printed)
 ///   --shards N    worker shards (default: hardware threads, SIA_THREADS)
@@ -20,6 +23,25 @@
 ///                 reconstruction (default off: the log would defeat the
 ///                 flat-memory property)
 ///
+/// Replication (DESIGN.md §4h):
+///   --wal-dir PATH         append every state-mutating frame to
+///                          per-shard RecorderLog WALs under PATH
+///   --fsync POLICY         WAL durability: none (default), interval,
+///                          commit
+///   --fsync-interval N     appends between fsyncs under --fsync interval
+///                          (default 64)
+///   --replicate-to H:P     primary: ship WAL frames to the standby's
+///                          port synchronously (client acks wait for the
+///                          standby's REPL_ACK)
+///   --standby              start as the warm standby: replay replicated
+///                          frames, refuse client writes with
+///                          "not primary" until promoted
+///   --heartbeat-ms N       primary->standby heartbeat interval
+///                          (default 100)
+///   --auto-promote-ms N    standby: self-promote after N ms of
+///                          heartbeat silence (default 0 = only the
+///                          explicit PROMOTE op promotes)
+///
 /// Streams run on StreamingMonitor: memory per stream is proportional to
 /// the GC window, not the stream length, so the default config sustains
 /// endless streams without saturating.
@@ -28,6 +50,7 @@
 /// every shard queue (acking all in-flight commits), push final CLOSED
 /// verdicts for open streams, exit 0.
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -40,7 +63,11 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: siad [--port N] [--shards N] [--queue N] "
-               "[--ceiling N] [--gc-window N] [--keep-log]\n");
+               "[--ceiling N] [--gc-window N] [--keep-log]\n"
+               "            [--wal-dir PATH] [--fsync none|interval|commit] "
+               "[--fsync-interval N]\n"
+               "            [--replicate-to HOST:PORT] [--standby] "
+               "[--heartbeat-ms N] [--auto-promote-ms N]\n");
   return 2;
 }
 
@@ -48,6 +75,22 @@ bool parse_num(const char* s, std::uint64_t& out) {
   char* end = nullptr;
   out = std::strtoull(s, &end, 10);
   return end != nullptr && *end == '\0' && end != s;
+}
+
+/// "HOST:PORT" (dotted-quad host) -> (host, port); false on anything else.
+bool parse_endpoint(const std::string& s, std::string& host,
+                    std::uint16_t& port) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
+    return false;
+  }
+  std::uint64_t p = 0;
+  if (!parse_num(s.c_str() + colon + 1, p) || p == 0 || p > 65535) {
+    return false;
+  }
+  host = s.substr(0, colon);
+  port = static_cast<std::uint16_t>(p);
+  return true;
 }
 
 }  // namespace
@@ -59,6 +102,27 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--keep-log") {
       cfg.keep_log = true;
+      continue;
+    }
+    if (arg == "--standby") {
+      cfg.follower = true;
+      continue;
+    }
+    if (arg == "--wal-dir" && i + 1 < argc) {
+      cfg.repl.wal_dir = argv[++i];
+      continue;
+    }
+    if (arg == "--fsync" && i + 1 < argc) {
+      if (!sia::mvcc::fsync_policy_from_string(argv[++i], cfg.repl.fsync)) {
+        return usage();
+      }
+      continue;
+    }
+    if (arg == "--replicate-to" && i + 1 < argc) {
+      if (!parse_endpoint(argv[++i], cfg.repl.peer_host,
+                          cfg.repl.peer_port)) {
+        return usage();
+      }
       continue;
     }
     std::uint64_t value = 0;
@@ -88,6 +152,21 @@ int main(int argc, char** argv) {
         ++i;
         continue;
       }
+      if (arg == "--fsync-interval") {
+        cfg.repl.fsync_interval = std::max<std::uint64_t>(1, value);
+        ++i;
+        continue;
+      }
+      if (arg == "--heartbeat-ms") {
+        cfg.repl.heartbeat_interval_ms = value;
+        ++i;
+        continue;
+      }
+      if (arg == "--auto-promote-ms") {
+        cfg.repl.auto_promote_ms = value;
+        ++i;
+        continue;
+      }
     }
     return usage();
   }
@@ -112,6 +191,25 @@ int main(int argc, char** argv) {
       "gc window %zu%s)\n",
       server.port(), server.shard_count(), cfg.queue_capacity, cfg.gc_window,
       cfg.keep_log ? ", keep-log" : "");
+  if (cfg.repl.enabled() || cfg.follower) {
+    std::string detail;
+    if (cfg.repl.wal_enabled()) {
+      detail += ", wal " + cfg.repl.wal_dir + " (fsync " +
+                sia::mvcc::to_string(cfg.repl.fsync) + ")";
+    }
+    if (cfg.repl.shipping_enabled()) {
+      detail += ", replicating to " + cfg.repl.peer_host + ":" +
+                std::to_string(cfg.repl.peer_port);
+    }
+    if (cfg.follower && cfg.repl.auto_promote_ms > 0) {
+      detail += ", auto-promote after " +
+                std::to_string(cfg.repl.auto_promote_ms) + " ms";
+    }
+    std::printf("siad: role %s, epoch %llu%s\n",
+                sia::service::to_string(server.role()).c_str(),
+                static_cast<unsigned long long>(server.epoch()),
+                detail.c_str());
+  }
   std::fflush(stdout);
 
   int sig = 0;

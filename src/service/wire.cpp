@@ -24,6 +24,12 @@ void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
   out.insert(out.end(), s.begin(), s.end());
 }
 
+void put_bytes(std::vector<std::uint8_t>& out,
+               const std::vector<std::uint8_t>& b) {
+  put_u32(out, static_cast<std::uint32_t>(b.size()));
+  out.insert(out.end(), b.begin(), b.end());
+}
+
 /// Bounds-checked little-endian reader (the RecorderLog Cursor).
 struct Cursor {
   const std::uint8_t* data;
@@ -59,6 +65,13 @@ struct Cursor {
     std::uint32_t n = 0;
     if (!u32(n) || n > remaining()) return false;
     s.assign(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return true;
+  }
+  bool bytes(std::vector<std::uint8_t>& b) {
+    std::uint32_t n = 0;
+    if (!u32(n) || n > remaining()) return false;
+    b.assign(data + pos, data + pos + n);
     pos += n;
     return true;
   }
@@ -126,7 +139,8 @@ bool get_verdict_body(Cursor& c, Message& out) {
          c.u32(out.violating) && c.string(out.text);
 }
 
-/// kStatusReply body: the streaming monitor's flat-memory gauges.
+/// kStatusReply body: the streaming monitor's flat-memory gauges plus
+/// the server-global replication fields (role, epoch, lag).
 void put_status_body(std::vector<std::uint8_t>& out, const Message& m) {
   put_u64(out, m.stream);
   put_u8(out, m.verdict);
@@ -135,13 +149,18 @@ void put_status_body(std::vector<std::uint8_t>& out, const Message& m) {
   put_u64(out, m.pruned);
   put_u64(out, m.watermark);
   put_u64(out, m.approx_bytes);
+  put_u8(out, m.role);
+  put_u64(out, m.epoch);
+  put_u64(out, m.lag_frames);
+  put_u64(out, m.lag_bytes);
 }
 
 bool get_status_body(Cursor& c, Message& out) {
   return c.u64(out.stream) && c.u8(out.verdict) && out.verdict <= 2 &&
          c.u64(out.commit_count) && c.u64(out.retained) &&
          c.u64(out.pruned) && c.u64(out.watermark) &&
-         c.u64(out.approx_bytes);
+         c.u64(out.approx_bytes) && c.u8(out.role) && out.role <= 2 &&
+         c.u64(out.epoch) && c.u64(out.lag_frames) && c.u64(out.lag_bytes);
 }
 
 }  // namespace
@@ -155,6 +174,9 @@ bool is_request(MsgType t) {
     case MsgType::kClose:
     case MsgType::kDrain:
     case MsgType::kStatus:
+    case MsgType::kReplHello:
+    case MsgType::kReplAppend:
+    case MsgType::kPromote:
       return true;
     default:
       return false;
@@ -177,11 +199,27 @@ std::string to_string(MsgType t) {
     case MsgType::kClosed: return "CLOSED";
     case MsgType::kDrained: return "DRAINED";
     case MsgType::kStatusReply: return "STATUS_REPLY";
+    case MsgType::kReplHello: return "REPL_HELLO";
+    case MsgType::kReplAppend: return "REPL_APPEND";
+    case MsgType::kPromote: return "PROMOTE";
+    case MsgType::kReplWelcome: return "REPL_WELCOME";
+    case MsgType::kReplAck: return "REPL_ACK";
+    case MsgType::kPromoted: return "PROMOTED";
     case MsgType::kRetryLater: return "RETRY_LATER";
     case MsgType::kMalformed: return "MALFORMED";
     case MsgType::kError: return "ERROR";
+    case MsgType::kFenced: return "FENCED";
   }
   return "UNKNOWN(" + std::to_string(static_cast<unsigned>(t)) + ")";
+}
+
+std::string to_string(Role r) {
+  switch (r) {
+    case Role::kPrimary: return "primary";
+    case Role::kFollower: return "follower";
+    case Role::kFencedRole: return "fenced";
+  }
+  return "unknown";
 }
 
 std::string to_string(ServiceModel m) {
@@ -228,11 +266,15 @@ std::vector<std::uint8_t> encode_payload(const Message& m) {
   put_u8(out, static_cast<std::uint8_t>(m.type));
   switch (m.type) {
     case MsgType::kOpenStream:
+      // stream is 0 on a client open (the server assigns the id); the
+      // replicated/WAL form carries the assigned id so replay is exact.
+      put_u64(out, m.stream);
       put_u8(out, m.model);
       put_u64(out, m.capacity);
       break;
     case MsgType::kCommit:
       put_u64(out, m.stream);
+      put_u64(out, m.seq);
       put_u32(out, static_cast<std::uint32_t>(m.commits.size()));
       for (const MonitoredCommit& c : m.commits) put_commit(out, c);
       break;
@@ -251,14 +293,39 @@ std::vector<std::uint8_t> encode_payload(const Message& m) {
       break;
     case MsgType::kDrain:
     case MsgType::kDrained:
+    case MsgType::kPromote:
       break;
     case MsgType::kCommitted:
       put_u64(out, m.stream);
+      put_u64(out, m.seq);
       put_u8(out, m.verdict);
       put_u32(out, static_cast<std::uint32_t>(m.ids.size()));
       for (const TxnId id : m.ids) put_u32(out, id);
       put_u32(out, static_cast<std::uint32_t>(m.quarantined.size()));
       for (const std::uint32_t q : m.quarantined) put_u32(out, q);
+      break;
+    case MsgType::kReplHello:
+      put_u64(out, m.epoch);
+      put_u64(out, m.capacity);
+      break;
+    case MsgType::kReplWelcome:
+    case MsgType::kFenced:
+      put_u64(out, m.epoch);
+      break;
+    case MsgType::kReplAppend:
+      put_u64(out, m.stream);
+      put_u64(out, m.seq);
+      put_u64(out, m.epoch);
+      put_bytes(out, m.raw);
+      break;
+    case MsgType::kReplAck:
+      put_u64(out, m.stream);
+      put_u64(out, m.seq);
+      put_u64(out, m.epoch);
+      break;
+    case MsgType::kPromoted:
+      put_u64(out, m.epoch);
+      put_u8(out, m.role);
       break;
     case MsgType::kVerdictReply:
     case MsgType::kClosed:
@@ -281,13 +348,16 @@ bool decode_payload(const std::uint8_t* data, std::size_t size,
   std::uint32_t n = 0;
   switch (out.type) {
     case MsgType::kOpenStream:
-      if (!c.u8(out.model) || out.model > 3 || !c.u64(out.capacity)) {
+      if (!c.u64(out.stream) || !c.u8(out.model) || out.model > 3 ||
+          !c.u64(out.capacity)) {
         return false;
       }
       break;
     case MsgType::kCommit: {
       // A commit is at least session + two counts = 12 bytes.
-      if (!c.u64(out.stream) || !c.count(n, 12)) return false;
+      if (!c.u64(out.stream) || !c.u64(out.seq) || !c.count(n, 12)) {
+        return false;
+      }
       out.commits.resize(n);
       for (std::uint32_t i = 0; i < n; ++i) {
         if (!get_commit(c, out.commits[i])) return false;
@@ -309,9 +379,11 @@ bool decode_payload(const std::uint8_t* data, std::size_t size,
       break;
     case MsgType::kDrain:
     case MsgType::kDrained:
+    case MsgType::kPromote:
       break;
     case MsgType::kCommitted: {
-      if (!c.u64(out.stream) || !c.u8(out.verdict) || out.verdict > 2) {
+      if (!c.u64(out.stream) || !c.u64(out.seq) || !c.u8(out.verdict) ||
+          out.verdict > 2) {
         return false;
       }
       if (!c.count(n, 4)) return false;
@@ -332,6 +404,27 @@ bool decode_payload(const std::uint8_t* data, std::size_t size,
       break;
     case MsgType::kStatusReply:
       if (!get_status_body(c, out)) return false;
+      break;
+    case MsgType::kReplHello:
+      if (!c.u64(out.epoch) || !c.u64(out.capacity)) return false;
+      break;
+    case MsgType::kReplWelcome:
+    case MsgType::kFenced:
+      if (!c.u64(out.epoch)) return false;
+      break;
+    case MsgType::kReplAppend:
+      if (!c.u64(out.stream) || !c.u64(out.seq) || !c.u64(out.epoch) ||
+          !c.bytes(out.raw)) {
+        return false;
+      }
+      break;
+    case MsgType::kReplAck:
+      if (!c.u64(out.stream) || !c.u64(out.seq) || !c.u64(out.epoch)) {
+        return false;
+      }
+      break;
+    case MsgType::kPromoted:
+      if (!c.u64(out.epoch) || !c.u8(out.role) || out.role > 2) return false;
       break;
     default:
       return false;  // unknown message type

@@ -33,7 +33,33 @@
 /// STATUS is the flat-memory gauge: retained / pruned / approx_bytes come
 /// straight from the stream's StreamingMonitor, so a long-running client
 /// (sia_loadgen's endless mode) can audit that server-side memory
-/// plateaus instead of growing with the stream.
+/// plateaus instead of growing with the stream. STATUS(stream = 0) is the
+/// server-global form: role, fencing epoch and replication lag, with the
+/// monitor gauges zeroed (stream ids start at 1, so 0 is unambiguous).
+///
+/// Replication ops (see replication.hpp; §4h of DESIGN.md):
+///
+///     REPL_HELLO(epoch, #shards)         -> REPL_WELCOME(epoch)
+///                                         | FENCED(epoch)
+///     REPL_APPEND(shard, seq, epoch,     -> REPL_ACK(shard, seq, epoch)
+///                 inner frame bytes)      | FENCED(epoch) | ERROR
+///     PROMOTE                            -> PROMOTED(epoch, role)
+///
+/// The primary streams every state-mutating client frame (OPEN_STREAM
+/// with its assigned id, accepted COMMIT batches, CLOSE) to the follower
+/// as REPL_APPEND, with a per-shard gapless sequence number; REPL_HELLO
+/// doubles as the heartbeat. The fencing epoch totally orders primaries:
+/// a follower promoted by PROMOTE (or by heartbeat loss) adopts
+/// epoch + 1 and answers any later frame from the deposed primary with
+/// FENCED, which the zombie treats as a demotion order.
+///
+/// COMMIT carries an optional client-assigned per-stream sequence number
+/// (seq, 0 = unsequenced). The server remembers the last applied seq per
+/// stream — state that replicates with the frame itself — and answers a
+/// re-sent duplicate with the recorded COMMITTED reply instead of
+/// re-ingesting, which is what makes client failover exactly-once: a
+/// batch whose ack was lost with the primary is simply re-sent to the
+/// promoted follower.
 ///
 /// Any frame that fails to decode — short, oversized, bit-flipped,
 /// bad CRC, trailing garbage — earns a MALFORMED reply and the server
@@ -53,6 +79,10 @@ enum class MsgType : std::uint8_t {
   kClose = 0x05,
   kDrain = 0x06,
   kStatus = 0x07,
+  // Replication requests (primary -> follower, plus operator PROMOTE).
+  kReplHello = 0x10,
+  kReplAppend = 0x11,
+  kPromote = 0x12,
   // Replies.
   kStreamOpened = 0x81,
   kCommitted = 0x82,
@@ -61,13 +91,31 @@ enum class MsgType : std::uint8_t {
   kClosed = 0x85,
   kDrained = 0x86,
   kStatusReply = 0x87,
+  // Replication replies.
+  kReplWelcome = 0x90,
+  kReplAck = 0x91,
+  kPromoted = 0x92,
   kRetryLater = 0xF0,
   kMalformed = 0xF1,
   kError = 0xF2,
+  /// A frame from a deposed primary (stale fencing epoch): the sender
+  /// must stop acting as primary. Carries the winner's epoch.
+  kFenced = 0xF3,
 };
 
 [[nodiscard]] bool is_request(MsgType t);
 [[nodiscard]] std::string to_string(MsgType t);
+
+/// The server's position in a replicated pair. kFencedRole is terminal: a
+/// primary that saw FENCED stopped accepting writes (a newer primary
+/// exists) but still answers reads and status.
+enum class Role : std::uint8_t {
+  kPrimary = 0,
+  kFollower = 1,
+  kFencedRole = 2,
+};
+
+[[nodiscard]] std::string to_string(Role r);
 
 /// The service-facing model selector: which engine's traffic a stream
 /// carries, and hence which declarative model the server audits it
@@ -101,7 +149,8 @@ struct Message {
   MsgType type{MsgType::kError};
   std::uint64_t stream{0};
   std::uint8_t model{0};     ///< kOpenStream: ServiceModel value (0..3)
-  std::uint64_t capacity{0};  ///< kOpenStream ceiling; verdicts: monitor cap
+  std::uint64_t capacity{0};  ///< kOpenStream ceiling; verdicts: monitor
+                              ///< cap; kReplHello: primary shard count
   std::vector<MonitoredCommit> commits;     ///< kCommit
   std::vector<TxnId> ids;                   ///< kCommitted: BatchResult.ids
   std::vector<std::uint32_t> quarantined;   ///< kCommitted: batch indices
@@ -114,6 +163,23 @@ struct Message {
   std::uint64_t pruned{0};        ///< transactions pruned by the GC so far
   std::uint64_t watermark{0};     ///< current GC watermark W
   std::uint64_t approx_bytes{0};  ///< rough heap footprint of the monitor
+  // Replication / failover fields.
+  /// kCommit / kCommitted: client-assigned per-stream sequence (0 = none;
+  /// see the exactly-once note above). kReplAppend / kReplAck: per-shard
+  /// replication sequence, gapless from 1.
+  std::uint64_t seq{0};
+  /// Fencing epoch (kReplHello/kReplAppend/kReplAck/kPromoted/kFenced,
+  /// and every kStatusReply). Primaries start at 1; each promotion
+  /// adopts the deposed primary's epoch + 1.
+  std::uint64_t epoch{0};
+  std::uint8_t role{0};  ///< Role value (kStatusReply, kPromoted)
+  /// kStatusReply: replication lag of the attached follower — frames
+  /// shipped-but-unacked plus frames still queued, and their bytes.
+  std::uint64_t lag_frames{0};
+  std::uint64_t lag_bytes{0};
+  /// kReplAppend: the wire payload of the replicated frame, verbatim
+  /// (encode_payload of the OPEN_STREAM / COMMIT / CLOSE being shipped).
+  std::vector<std::uint8_t> raw;
 };
 
 /// Serialised payload (no frame header).

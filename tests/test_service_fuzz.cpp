@@ -274,5 +274,225 @@ TEST(WireFuzz, LiveServerRepliesMalformedAndSurvives) {
   EXPECT_EQ(client.commit(stream, {ok}).type, MsgType::kCommitted);
 }
 
+// ---------------------------------------------------------------------------
+// Replication ops (DESIGN.md §4h). The replication plane rides the same
+// framing, so it inherits the CRC guarantees; these suites cover the new
+// payload arms and the follower's behaviour under hostile feeds — a
+// follower may refuse (ERROR, FENCED) but must never crash, and only a
+// genuine sequence gap or undecodable frame may quarantine it.
+
+Message sample_repl_append() {
+  Message inner;
+  inner.type = MsgType::kOpenStream;
+  inner.stream = 7;
+  inner.model = static_cast<std::uint8_t>(ServiceModel::kSI);
+  inner.capacity = 64;
+  Message m;
+  m.type = MsgType::kReplAppend;
+  m.stream = 1;  // shard index
+  m.seq = 9;
+  m.epoch = 3;
+  m.raw = encode_payload(inner);
+  return m;
+}
+
+TEST(WireFuzz, ReplRoundTripPreservesEveryField) {
+  const Message m = sample_repl_append();
+  const auto payload = encode_payload(m);
+  Message out;
+  ASSERT_TRUE(decode_payload(payload.data(), payload.size(), out));
+  EXPECT_EQ(out.type, MsgType::kReplAppend);
+  EXPECT_EQ(out.stream, m.stream);
+  EXPECT_EQ(out.seq, m.seq);
+  EXPECT_EQ(out.epoch, m.epoch);
+  ASSERT_EQ(out.raw, m.raw);
+
+  // The inner frame decodes too, and keeps the assigned stream id — the
+  // field the replicated OPEN exists to carry.
+  Message inner;
+  ASSERT_TRUE(decode_payload(out.raw.data(), out.raw.size(), inner));
+  EXPECT_EQ(inner.type, MsgType::kOpenStream);
+  EXPECT_EQ(inner.stream, 7u);
+  EXPECT_EQ(inner.capacity, 64u);
+
+  Message hello;
+  hello.type = MsgType::kReplHello;
+  hello.epoch = 12;
+  hello.capacity = 4;
+  const auto hp = encode_payload(hello);
+  Message hout;
+  ASSERT_TRUE(decode_payload(hp.data(), hp.size(), hout));
+  EXPECT_EQ(hout.epoch, hello.epoch);
+  EXPECT_EQ(hout.capacity, hello.capacity);
+
+  Message ack;
+  ack.type = MsgType::kReplAck;
+  ack.stream = 2;
+  ack.seq = 17;
+  ack.epoch = 12;
+  const auto ap = encode_payload(ack);
+  Message aout;
+  ASSERT_TRUE(decode_payload(ap.data(), ap.size(), aout));
+  EXPECT_EQ(aout.stream, ack.stream);
+  EXPECT_EQ(aout.seq, ack.seq);
+  EXPECT_EQ(aout.epoch, ack.epoch);
+
+  Message promoted;
+  promoted.type = MsgType::kPromoted;
+  promoted.epoch = 5;
+  promoted.role = static_cast<std::uint8_t>(Role::kPrimary);
+  const auto pp = encode_payload(promoted);
+  Message pout;
+  ASSERT_TRUE(decode_payload(pp.data(), pp.size(), pout));
+  EXPECT_EQ(pout.epoch, 5u);
+  EXPECT_EQ(static_cast<Role>(pout.role), Role::kPrimary);
+
+  Message fenced;
+  fenced.type = MsgType::kFenced;
+  fenced.epoch = 6;
+  const auto fp = encode_payload(fenced);
+  Message fout;
+  ASSERT_TRUE(decode_payload(fp.data(), fp.size(), fout));
+  EXPECT_EQ(fout.epoch, 6u);
+}
+
+TEST(WireFuzz, ReplAppendTruncationNeedsMoreFlipsNeverDecode) {
+  const auto frame = encode_frame(sample_repl_append());
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameDecoder d;
+    d.feed(frame.data(), cut);
+    Message out;
+    ASSERT_EQ(d.next(out), FrameDecoder::Status::kNeedMore) << "cut " << cut;
+  }
+  for (std::size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto corrupt = frame;
+      corrupt[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      FrameDecoder d;
+      d.feed(corrupt.data(), corrupt.size());
+      Message out;
+      ASSERT_NE(d.next(out), FrameDecoder::Status::kFrame)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+// A REPL_APPEND claiming 2^32-1 raw bytes in a short payload must fail
+// the length-vs-remaining check, not allocate.
+TEST(WireFuzz, ReplAppendHostileRawLengthRejected) {
+  std::vector<std::uint8_t> payload;
+  payload.push_back(static_cast<std::uint8_t>(MsgType::kReplAppend));
+  for (int i = 0; i < 24; ++i) payload.push_back(0);  // stream, seq, epoch
+  for (int i = 0; i < 4; ++i) payload.push_back(0xff);  // raw length
+  Message out;
+  EXPECT_FALSE(decode_payload(payload.data(), payload.size(), out));
+}
+
+// Garbage on the replication socket: the follower answers MALFORMED,
+// hangs up, and is neither dead nor quarantined — a fresh, well-formed
+// feed still replicates.
+TEST(WireFuzz, LiveFollowerGarbageDoesNotQuarantine) {
+  ServerConfig cfg;
+  cfg.shards = 2;
+  cfg.follower = true;
+  Server follower(cfg);
+  follower.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(follower.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  auto bad = encode_frame(sample_repl_append());
+  bad[bad.size() - 3] ^= 0x20;  // payload flip: CRC mismatch
+  ASSERT_EQ(::send(fd, bad.data(), bad.size(), 0),
+            static_cast<ssize_t>(bad.size()));
+  std::uint8_t buf[4096];
+  while (::recv(fd, buf, sizeof(buf), 0) > 0) {
+  }
+  ::close(fd);
+  EXPECT_GE(follower.stats().malformed, 1u);
+  EXPECT_FALSE(follower.repl_quarantined());
+
+  ServiceClient feed;
+  feed.connect("127.0.0.1", follower.port());
+  Message hello;
+  hello.type = MsgType::kReplHello;
+  hello.epoch = 1;
+  hello.capacity = follower.shard_count();
+  ASSERT_EQ(feed.request(hello).type, MsgType::kReplWelcome);
+  Message append = sample_repl_append();
+  append.stream = 1;
+  append.seq = 1;
+  append.epoch = 1;
+  EXPECT_EQ(feed.request(append).type, MsgType::kReplAck);
+  EXPECT_FALSE(follower.repl_quarantined());
+}
+
+// Well-formed frames from a stale epoch are FENCED — refused without
+// quarantining, so the real primary's feed continues unharmed.
+TEST(WireFuzz, StaleEpochFramesFenceWithoutQuarantine) {
+  ServerConfig cfg;
+  cfg.shards = 2;
+  cfg.follower = true;
+  Server follower(cfg);
+  follower.start();
+  ServiceClient feed;
+  feed.connect("127.0.0.1", follower.port());
+
+  Message hello;
+  hello.type = MsgType::kReplHello;
+  hello.epoch = 5;
+  hello.capacity = follower.shard_count();
+  ASSERT_EQ(feed.request(hello).type, MsgType::kReplWelcome);
+
+  Message stale = sample_repl_append();
+  stale.stream = 0;
+  stale.seq = 1;
+  stale.epoch = 3;
+  const Message fenced = feed.request(stale);
+  ASSERT_EQ(fenced.type, MsgType::kFenced);
+  EXPECT_EQ(fenced.epoch, 5u);
+  EXPECT_FALSE(follower.repl_quarantined());
+
+  Message fresh = stale;
+  fresh.epoch = 5;
+  EXPECT_EQ(feed.request(fresh).type, MsgType::kReplAck);
+}
+
+// A shard index past the end is an ERROR, bounds-checked on the IO
+// thread — no crash, no quarantine, and the in-range feed continues.
+TEST(WireFuzz, OutOfBoundsShardIndexRejectedNotFatal) {
+  ServerConfig cfg;
+  cfg.shards = 2;
+  cfg.follower = true;
+  Server follower(cfg);
+  follower.start();
+  ServiceClient feed;
+  feed.connect("127.0.0.1", follower.port());
+
+  Message hello;
+  hello.type = MsgType::kReplHello;
+  hello.epoch = 1;
+  hello.capacity = follower.shard_count();
+  ASSERT_EQ(feed.request(hello).type, MsgType::kReplWelcome);
+
+  Message rogue = sample_repl_append();
+  rogue.stream = 7;  // only shards 0 and 1 exist
+  rogue.seq = 1;
+  rogue.epoch = 1;
+  const Message err = feed.request(rogue);
+  ASSERT_EQ(err.type, MsgType::kError);
+  EXPECT_NE(err.text.find("bad replication shard"), std::string::npos);
+  EXPECT_FALSE(follower.repl_quarantined());
+
+  Message fine = rogue;
+  fine.stream = 1;
+  EXPECT_EQ(feed.request(fine).type, MsgType::kReplAck);
+}
+
 }  // namespace
 }  // namespace sia::service
