@@ -1,0 +1,202 @@
+/// \file bench_witness.cpp
+/// Experiment E21 — the witness engine over the paper's example suites:
+/// the verdict table pins which (suite, criterion) pairs yield a concrete
+/// anomaly history (Fig. 5 under all three criteria, Fig. 11 under SER
+/// only, Fig. 12 under SER and SI) and that the cycle-guided search lands
+/// every one on its first schedule; the sweep measures witnesses-found/sec
+/// and schedules/steps explored, persisted as BENCH_witness.json. A
+/// schedules-explored ceiling guards against search-order regressions
+/// (CI runs this as a smoke test).
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "witness/witness.hpp"
+#include "witness/witness_json.hpp"
+#include "workload/paper_examples.hpp"
+
+namespace sia {
+namespace {
+
+/// Total schedules the whole sweep may explore: the guide ranks should
+/// land every witnessable pair on schedule one, so anything near the
+/// ceiling means the cycle guidance regressed.
+constexpr std::size_t kScheduleCeiling = 256;
+
+struct SweepRow {
+  std::string suite;
+  std::string criterion;
+  std::string status;
+  std::size_t schedules{0};
+  std::size_t steps{0};
+  double find_ns{0};
+};
+
+ParsedSuite as_suite(paper::NamedPrograms np) {
+  return ParsedSuite{std::move(np.programs), std::move(np.objects)};
+}
+
+std::vector<SweepRow> run_sweep() {
+  struct Case {
+    const char* name;
+    ParsedSuite suite;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"fig5", as_suite(paper::fig5_programs())});
+  cases.push_back({"fig6", as_suite(paper::fig6_programs())});
+  cases.push_back({"fig11", as_suite(paper::fig11_programs())});
+  cases.push_back({"fig12", as_suite(paper::fig12_programs())});
+
+  std::vector<SweepRow> rows;
+  for (const Case& c : cases) {
+    for (const Criterion crit :
+         {Criterion::kSER, Criterion::kSI, Criterion::kPSI}) {
+      const witness::Witness w = witness::find_witness(c.suite, crit);
+      SweepRow row;
+      row.suite = c.name;
+      row.criterion = to_string(crit);
+      row.status = to_string(w.status);
+      row.schedules = w.stats.schedules_explored;
+      row.steps = w.stats.steps_executed;
+      row.find_ns = bench::time_best_ns(
+          [&] { benchmark::DoNotOptimize(witness::find_witness(c.suite, crit)); },
+          /*budget_ns=*/5e7, /*max_reps=*/5);
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+bool write_json(const std::vector<SweepRow>& rows, std::size_t total_schedules,
+                double witnesses_per_sec) {
+  const char* path = "BENCH_witness.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", path);
+    return false;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"witness\",\n"
+               "  \"schedule_ceiling\": %zu,\n"
+               "  \"total_schedules_explored\": %zu,\n"
+               "  \"witnesses_per_sec_fig5_si\": %.1f,\n  \"rows\": [\n",
+               kScheduleCeiling, total_schedules, witnesses_per_sec);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"suite\": \"%s\", \"criterion\": \"%s\", \"status\": "
+                 "\"%s\", \"schedules\": %zu, \"steps\": %zu, \"find_ns\": "
+                 "%.0f}%s\n",
+                 r.suite.c_str(), r.criterion.c_str(), r.status.c_str(),
+                 r.schedules, r.steps, r.find_ns,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path, rows.size());
+  return true;
+}
+
+bool reproduction_table() {
+  bench::header("E21", "witness engine: concrete histories per finding");
+
+  const std::vector<SweepRow> rows = run_sweep();
+
+  // Expected status per (suite, criterion): Fig. 5 is incorrect under
+  // every criterion; Fig. 6 is correct everywhere; Fig. 11 is incorrect
+  // under SER only; Fig. 12 under SER and SI but correct under PSI.
+  const auto expect = [](const std::string& suite,
+                         const std::string& crit) -> const char* {
+    if (suite == "fig5") return "witnessed";
+    if (suite == "fig6") return "no-critical-cycle";
+    if (suite == "fig11") {
+      return crit == "SER" ? "witnessed" : "no-critical-cycle";
+    }
+    return crit == "PSI" ? "no-critical-cycle" : "witnessed";  // fig12
+  };
+
+  std::vector<bench::VerdictRow> verdicts;
+  std::size_t total_schedules = 0;
+  for (const SweepRow& r : rows) {
+    total_schedules += r.schedules;
+    verdicts.push_back({r.suite + " @ " + r.criterion,
+                        expect(r.suite, r.criterion), r.status});
+    if (r.status == "witnessed") {
+      // Cycle guidance: the first schedule tried realises the anomaly.
+      verdicts.push_back({"  schedules explored (" + r.suite + " @ " +
+                              r.criterion + ")",
+                          "1", std::to_string(r.schedules)});
+    }
+  }
+  verdicts.push_back({"sweep schedule ceiling",
+                      "<= " + std::to_string(kScheduleCeiling),
+                      total_schedules <= kScheduleCeiling
+                          ? "<= " + std::to_string(kScheduleCeiling)
+                          : std::to_string(total_schedules)});
+
+  // Round-trip: every witnessed row must replay to the same verdict.
+  bool replays_ok = true;
+  const ParsedSuite fig5 = as_suite(paper::fig5_programs());
+  for (const Criterion crit :
+       {Criterion::kSER, Criterion::kSI, Criterion::kPSI}) {
+    const witness::Witness w = witness::find_witness(fig5, crit);
+    const witness::ReplayReport rep = witness::replay_witness_text(
+        witness::to_json(w, "fig5", "bench"));
+    replays_ok = replays_ok && rep.reproduced;
+  }
+  verdicts.push_back({"fig5 witnesses replay offline", "reproduced",
+                      replays_ok ? "reproduced" : "NOT reproduced"});
+
+  const bool ok = bench::print_verdicts(verdicts);
+
+  // Throughput: end-to-end find_witness on Fig. 5 under SI, including
+  // minimisation and both confirmation gates.
+  double si_ns = 0;
+  for (const SweepRow& r : rows) {
+    if (r.suite == "fig5" && r.criterion == "SI") si_ns = r.find_ns;
+  }
+  const double per_sec = si_ns > 0 ? 1e9 / si_ns : 0;
+  std::printf("\nfig5 @ SI: %.0f witnesses/sec (%.1f us per witness)\n",
+              per_sec, si_ns / 1e3);
+
+  return write_json(rows, total_schedules, per_sec) && ok;
+}
+
+void BM_FindWitnessFig5(benchmark::State& state) {
+  const ParsedSuite suite = as_suite(paper::fig5_programs());
+  const Criterion crit = static_cast<Criterion>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(witness::find_witness(suite, crit));
+  }
+  state.SetLabel(to_string(crit));
+}
+BENCHMARK(BM_FindWitnessFig5)
+    ->Arg(static_cast<int>(Criterion::kSER))
+    ->Arg(static_cast<int>(Criterion::kSI))
+    ->Arg(static_cast<int>(Criterion::kPSI));
+
+void BM_FindWitnessNoMinimise(benchmark::State& state) {
+  const ParsedSuite suite = as_suite(paper::fig5_programs());
+  witness::WitnessOptions opts;
+  opts.minimize = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(witness::find_witness(suite, Criterion::kSI, opts));
+  }
+}
+BENCHMARK(BM_FindWitnessNoMinimise);
+
+void BM_ReplayWitness(benchmark::State& state) {
+  const ParsedSuite suite = as_suite(paper::fig5_programs());
+  const witness::Witness w = witness::find_witness(suite, Criterion::kSI);
+  const std::string doc = witness::to_json(w, "fig5", "bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(witness::replay_witness_text(doc).reproduced);
+  }
+}
+BENCHMARK(BM_ReplayWitness);
+
+}  // namespace
+}  // namespace sia
+
+SIA_BENCH_MAIN(sia::reproduction_table)

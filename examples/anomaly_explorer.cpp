@@ -1,174 +1,96 @@
 /// \file anomaly_explorer.cpp
-/// Drives the three operational engines (SER = strict 2PL, SI = the §1
-/// multi-version algorithm, PSI = replicated causal engine) through the
-/// interleavings behind the Figure 2 anomalies, records each run's
-/// dependency graph, and classifies it with the characterisation
-/// theorems. The output is the anomaly/engine matrix: which engine can
-/// produce which anomaly.
+/// Drives the witness engine (src/witness) over the paper's Figure 5
+/// chopping — the transfer/lookupAll suite whose static chopping graph
+/// has a critical cycle under SER, SI and PSI — and prints, per
+/// criterion, the concrete minimised anomaly history the engine found by
+/// executing the pieces against the matching MVCC engine, plus the
+/// violating dependency cycle. A correctly chopped variant (Figure 6's
+/// merge) shows the no-critical-cycle verdict for contrast.
+///
+/// This is the same machinery `sia_lint --witness` runs; here it is used
+/// directly through the library API.
 ///
 /// Run:  ./anomaly_explorer
 
 #include <cstdio>
-#include <optional>
 
-#include "graph/characterization.hpp"
-#include "mvcc/psi_engine.hpp"
-#include "mvcc/ser_engine.hpp"
-#include "mvcc/si_engine.hpp"
+#include "witness/witness.hpp"
 
 using namespace sia;
-using namespace sia::mvcc;
 
 namespace {
 
-constexpr ObjId kX = 0;
-constexpr ObjId kY = 1;
-
-/// Classification of one recorded run.
-struct RunClass {
-  bool produced;  ///< did the engine let the anomalous outcome commit?
-  std::string graph_class;
-};
-
-std::string classify(const DependencyGraph& g) {
-  if (check_graph_ser(g).member) return "SER";
-  if (check_graph_si(g).member) return "SI-only";
-  if (check_graph_psi(g).member) return "PSI-only";
-  return "outside PSI";
+constexpr const char* kFig5Suite = R"(# Figure 5: incorrect chopping
+program transfer {
+  piece "debit"  reads acct1 writes acct1
+  piece "credit" reads acct2 writes acct2
 }
-
-/// Write skew on the SI engine: both read both keys, write one each.
-RunClass write_skew_si() {
-  Recorder rec;
-  SIDatabase db(2, &rec);
-  SISession s1 = db.make_session();
-  SISession s2 = db.make_session();
-  SITransaction t1 = db.begin(s1);
-  SITransaction t2 = db.begin(s2);
-  (void)t1.read(kX);
-  (void)t1.read(kY);
-  (void)t2.read(kX);
-  (void)t2.read(kY);
-  t1.write(kX, -100);
-  t2.write(kY, -100);
-  const bool both = t1.commit() && t2.commit();
-  return {both, classify(rec.build().graph)};
+program lookupAll {
+  piece "read both balances" reads acct1 acct2
 }
+)";
 
-/// Write skew attempt on the SER engine: the lock conflict kills it.
-RunClass write_skew_ser() {
-  Recorder rec;
-  SERDatabase db(2, &rec);
-  SERSession s1 = db.make_session();
-  SERSession s2 = db.make_session();
-  SERTransaction t1 = db.begin(s1);
-  SERTransaction t2 = db.begin(s2);
-  bool ok = t1.read(kX).has_value() && t1.read(kY).has_value();
-  ok = ok && t2.read(kX).has_value() && t2.read(kY).has_value();
-  ok = ok && t1.write(kX, -100);
-  ok = ok && t2.write(kY, -100);
-  const bool both = ok && t1.commit() && t2.commit();
-  if (!t1.aborted() && !ok) t1.abort();
-  if (!t2.aborted() && !ok) t2.abort();
-  return {both, classify(rec.build().graph)};
+constexpr const char* kMergedSuite = R"(# Figure 6 repair: transfer merged
+program transfer {
+  piece "debit and credit" reads acct1 acct2 writes acct1 acct2
 }
-
-/// Lost update attempt on the SI engine: first committer wins.
-RunClass lost_update_si() {
-  Recorder rec;
-  SIDatabase db(1, &rec);
-  SISession s1 = db.make_session();
-  SISession s2 = db.make_session();
-  SITransaction t1 = db.begin(s1);
-  SITransaction t2 = db.begin(s2);
-  t1.write(kX, t1.read(kX) + 50);
-  t2.write(kX, t2.read(kX) + 25);
-  const bool both = t1.commit() && t2.commit();
-  return {both, classify(rec.build().graph)};
+program lookupAll {
+  piece "read both balances" reads acct1 acct2
 }
+)";
 
-/// Long fork on the PSI engine (replicas not yet synchronised).
-RunClass long_fork_psi() {
-  Recorder rec;
-  PSIDatabase db(2, 2, &rec);
-  PSISession w0 = db.make_session(0);
-  PSISession w1 = db.make_session(1);
-  PSISession r0 = db.make_session(0);
-  PSISession r1 = db.make_session(1);
-  bool ok = true;
-  {
-    PSITransaction t = db.begin(w0);
-    t.write(kX, 1);
-    ok = ok && t.commit();
+void print_witness(const witness::Witness& w) {
+  std::printf("  %-3s : %s", to_string(w.criterion).c_str(),
+              to_string(w.status).c_str());
+  if (!w.witnessed()) {
+    std::printf(" (%zu schedules explored)\n", w.stats.schedules_explored);
+    return;
   }
-  {
-    PSITransaction t = db.begin(w1);
-    t.write(kY, 1);
-    ok = ok && t.commit();
+  std::printf(
+      " — %zu events, %zu schedule(s) explored, %zu graph(s) examined\n",
+      w.events.size(), w.stats.schedules_explored, w.graphs_tried);
+  std::printf("        minimized history:\n");
+  for (const witness::WitnessEvent& e : w.events) {
+    std::printf("          %s[%zu] %s", w.programs[e.program].c_str(), e.piece,
+                to_string(e.op).c_str());
+    if (e.op == witness::WitnessEvent::Op::kRead ||
+        e.op == witness::WitnessEvent::Op::kWrite) {
+      std::printf(" %s = %lld", w.objects[e.obj].c_str(),
+                  static_cast<long long>(e.value));
+    }
+    std::printf("\n");
   }
-  Value x0, y0, x1, y1;
-  {
-    PSITransaction t = db.begin(r0);
-    x0 = t.read(kX);
-    y0 = t.read(kY);
-    ok = ok && t.commit();
+  std::printf("        violating cycle:\n");
+  for (const std::string& step : w.cycle) {
+    std::printf("          %s\n", step.c_str());
   }
-  {
-    PSITransaction t = db.begin(r1);
-    x1 = t.read(kX);
-    y1 = t.read(kY);
-    ok = ok && t.commit();
-  }
-  const bool forked = ok && x0 == 1 && y0 == 0 && x1 == 0 && y1 == 1;
-  return {forked, classify(rec.build().graph)};
+  std::printf("        monitor: %s\n",
+              w.monitor_confirmed ? "violation confirmed" : "not run");
 }
 
-/// Long fork attempt on the SI engine: a single snapshot point makes the
-/// two readers agree on some order.
-RunClass long_fork_si() {
-  Recorder rec;
-  SIDatabase db(2, &rec);
-  SISession w0 = db.make_session();
-  SISession w1 = db.make_session();
-  SISession r0 = db.make_session();
-  SISession r1 = db.make_session();
-  db.run(w0, [](SITransaction& t) { t.write(kX, 1); });
-  db.run(w1, [](SITransaction& t) { t.write(kY, 1); });
-  Value x0, y0, x1, y1;
-  db.run(r0, [&](SITransaction& t) {
-    x0 = t.read(kX);
-    y0 = t.read(kY);
-  });
-  db.run(r1, [&](SITransaction& t) {
-    x1 = t.read(kX);
-    y1 = t.read(kY);
-  });
-  const bool forked = x0 == 1 && y0 == 0 && x1 == 0 && y1 == 1;
-  return {forked, classify(rec.build().graph)};
-}
-
-void report(const char* name, const char* expectation, const RunClass& r) {
-  std::printf("%-28s %-34s produced=%-3s graph class: %s\n", name,
-              expectation, r.produced ? "yes" : "no",
-              r.graph_class.c_str());
+void explore(const char* title, const char* text) {
+  std::printf("%s\n", title);
+  const ParsedSuite suite = parse_programs(text);
+  for (const Criterion crit :
+       {Criterion::kSER, Criterion::kSI, Criterion::kPSI}) {
+    print_witness(witness::find_witness(suite, crit));
+  }
+  std::printf("\n");
 }
 
 }  // namespace
 
 int main() {
-  std::printf("=== Anomaly explorer: engines vs characterisations ===\n\n");
-  report("write skew @ SI engine", "(SI admits it: Fig 2(d))",
-         write_skew_si());
-  report("write skew @ SER engine", "(2PL must prevent it)",
-         write_skew_ser());
-  report("lost update @ SI engine", "(first committer wins: Fig 2(b))",
-         lost_update_si());
-  report("long fork @ PSI engine", "(PSI admits it: Fig 2(c))",
-         long_fork_psi());
-  report("long fork @ SI engine", "(PREFIX forbids it)", long_fork_si());
+  std::printf("=== Anomaly explorer: concrete witnesses for chopping "
+              "findings ===\n\n");
+  explore("Figure 5 chopping (transfer split in two — incorrect):",
+          kFig5Suite);
+  explore("Figure 6 repair (transfer merged — certified correct):",
+          kMergedSuite);
   std::printf(
-      "\nEvery recorded dependency graph lands in its engine's class\n"
-      "(GraphSER ⊆ GraphSI ⊆ GraphPSI) — the completeness side of\n"
-      "Theorems 8, 9 and 21, observed live.\n");
+      "Every witnessed history above was executed for real against the\n"
+      "criterion's engine, spliced back to transactions (Section 5), and\n"
+      "excluded from the model's history set both by the exact decision\n"
+      "procedure (Theorems 8/9/21) and by the online ConsistencyMonitor.\n");
   return 0;
 }

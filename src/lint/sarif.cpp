@@ -81,6 +81,12 @@ void append_result(std::ostringstream& out, const FileResult& f,
         << "},\n             \"insertedContent\": {\"text\": "
         << json_quote(d.fix->replacement) << "}}]}]}]";
   }
+  if (d.witness) {
+    // The witness document is JSON already; embed it verbatim as a
+    // SARIF property bag.
+    out << ",\n       \"properties\": {\"witness\": " << d.witness->json
+        << "}";
+  }
   out << "}";
 }
 

@@ -118,6 +118,9 @@ std::string render_human(const Diagnostic& d, std::string_view source,
     std::string line;
     while (std::getline(lines, line)) out += "  | " + line + "\n";
   }
+  if (d.witness) {
+    emit_line(d.file, SourceSpan{}, Severity::kNote, d.witness->summary, "");
+  }
   return out;
 }
 
@@ -139,6 +142,10 @@ std::string to_json(const Diagnostic& d) {
   if (d.fix) {
     out << ", \"fix\": {\"description\": " << json_quote(d.fix->description)
         << ", \"replacement\": " << json_quote(d.fix->replacement) << "}";
+  }
+  if (d.witness) {
+    // The witness document is itself JSON; embed it verbatim.
+    out << ", \"witness\": " << d.witness->json;
   }
   out << "}";
   return out.str();

@@ -37,6 +37,19 @@ struct FixIt {
   std::string replacement;
 };
 
+/// Outcome of the witness engine (src/witness) for one critical-cycle
+/// finding, carried as plain strings so this header stays free of witness
+/// types: `json` is the full single-line witness document (embedded
+/// verbatim in JSON/SARIF output and replayable by `sia_analyze
+/// --replay`), `summary` the one-line human note.
+struct WitnessInfo {
+  std::string status;  ///< "witnessed" / "refuted-under-bound"
+  std::size_t schedules_explored{0};
+  std::size_t budget{0};
+  std::string summary;
+  std::string json;
+};
+
 /// One finding of one check over one file.
 struct Diagnostic {
   std::string check;  ///< registry id, e.g. "si-critical-cycle"
@@ -49,6 +62,8 @@ struct Diagnostic {
   /// Position-independent context for baselines (e.g. "lookupAll[0]"):
   /// stable under edits that only move lines around.
   std::string context;
+  /// Concrete witness (or bounded refutation) attached by --witness.
+  std::optional<WitnessInfo> witness;
 
   /// Baseline key: "<check>|<file>|<context>".
   [[nodiscard]] std::string fingerprint() const;

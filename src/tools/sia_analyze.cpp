@@ -8,6 +8,15 @@
 /// Usage:
 ///   sia_analyze [--repair] [--autochop] [--dot] [--format json] <file | ->
 ///   sia_analyze --history [--dot] [--format json] <file | ->
+///   sia_analyze --replay <witness.json | ->
+///
+/// In --replay mode the input is a witness document emitted by
+/// `sia_lint --witness` (see src/witness/witness_json.hpp): the recorded
+/// piece history is rebuilt from the events alone, its dependency graph
+/// re-derived, and the anomaly verdict re-verified offline. Exit 0 when
+/// the verdict reproduces (or the document is an explicit
+/// refuted-under-bound mark, which carries nothing to replay), 1 when a
+/// witnessed history fails to reproduce, 2 on malformed input.
 ///
 /// In --history mode the input is a recorded trace (history_parser.hpp
 /// format); the tool decides HistSER / HistSI / HistPSI membership
@@ -40,6 +49,7 @@
 #include "tools/dot.hpp"
 #include "tools/history_parser.hpp"
 #include "tools/program_parser.hpp"
+#include "witness/witness_json.hpp"
 
 using namespace sia;
 
@@ -70,9 +80,36 @@ int usage() {
                "[--format json|text] <file|->\n"
                "       sia_analyze --history [--dot] [--format json|text] "
                "<file|->\n"
+               "       sia_analyze --replay <witness.json|->\n"
                "  program format: see src/tools/program_parser.hpp\n"
-               "  history format: see src/tools/history_parser.hpp\n");
+               "  history format: see src/tools/history_parser.hpp\n"
+               "  witness format: see src/witness/witness_json.hpp\n");
   return 2;
+}
+
+/// --replay: offline re-verification of one witness document.
+int replay_witness(const std::string& text) {
+  witness::ReplayReport rep;
+  try {
+    rep = witness::replay_witness_text(text);
+  } catch (const ModelError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::printf("witness: %s [%s] criterion %s, status %s\n", rep.file.c_str(),
+              rep.check.c_str(), rep.criterion.c_str(), rep.status.c_str());
+  if (!rep.replayable) {
+    std::printf("nothing to replay (no witnessed history in the document)\n");
+    return 0;
+  }
+  std::printf("replay verdict   : %s\n",
+              rep.reproduced ? "anomaly REPRODUCED" : "NOT reproduced");
+  std::printf("graphs examined  : %zu\n", rep.graphs_tried);
+  std::printf("monitor          : %s%s%s\n",
+              rep.monitor_confirmed ? "violation confirmed" : "no violation",
+              rep.monitor_detail.empty() ? "" : " — ",
+              rep.monitor_detail.c_str());
+  return rep.reproduced ? 0 : 1;
 }
 
 /// JSON-mode error report: still on stdout (it *is* the report), exit 2.
@@ -139,6 +176,7 @@ int main(int argc, char** argv) {
   bool want_dot = false;
   bool want_history = false;
   bool want_json = false;
+  bool want_replay = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -146,6 +184,8 @@ int main(int argc, char** argv) {
       want_repair = true;
     } else if (arg == "--history") {
       want_history = true;
+    } else if (arg == "--replay") {
+      want_replay = true;
     } else if (arg == "--autochop") {
       want_autochop = true;
     } else if (arg == "--dot") {
@@ -177,6 +217,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
+
+  if (want_replay) return replay_witness(text);
 
   if (want_json) {
     try {

@@ -13,6 +13,14 @@
 ///                                 concrete dependency-graph witness
 ///     --baseline <file>           filter findings listed in the baseline
 ///     --write-baseline <file>     write the current findings' fingerprints
+///     --witness[=budget]          execute the suite against the matching
+///                                 MVCC engine and attach a concrete
+///                                 anomaly history (or refuted-under-bound)
+///                                 to every critical-cycle finding; budget
+///                                 caps schedules explored per finding
+///     --witness-dir <dir>         also write each witness document to
+///                                 <dir>/<stem>.<check>.witness.json
+///     --witness-seed <n>          tie-break perturbation for the search
 ///     --stats                     per-check wall-time to stderr
 ///     --color always|never|auto   ANSI colors in human output
 ///     --list-checks               print the registry and exit
@@ -25,6 +33,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -32,6 +41,8 @@
 
 #include "lint/lint.hpp"
 #include "lint/sarif.hpp"
+#include "witness/attach.hpp"
+#include "witness/witness_json.hpp"
 
 using namespace sia;
 
@@ -43,6 +54,8 @@ int usage(int code) {
       "usage: sia_lint [--format human|json|sarif] [--checks=id,...]\n"
       "                [--werror] [--fix-suggest] [--concretize]\n"
       "                [--baseline file] [--write-baseline file] [--stats]\n"
+      "                [--witness[=budget]] [--witness-dir dir]\n"
+      "                [--witness-seed n]\n"
       "                [--color always|never|auto] [--list-checks]\n"
       "                <file.sia ...>\n"
       "  suite format: see src/tools/program_parser.hpp\n"
@@ -93,6 +106,9 @@ int main(int argc, char** argv) {
   std::string write_baseline_path;
   std::string color = "auto";
   bool want_stats = false;
+  bool want_witness = false;
+  witness::WitnessOptions wopts;
+  std::string witness_dir;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -129,6 +145,24 @@ int main(int argc, char** argv) {
       baseline_path = value_of("--baseline");
     } else if (arg == "--write-baseline") {
       write_baseline_path = value_of("--write-baseline");
+    } else if (arg == "--witness") {
+      want_witness = true;
+    } else if (arg.rfind("--witness=", 0) == 0) {
+      want_witness = true;
+      const std::string budget = arg.substr(10);
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(budget.c_str(), &end, 10);
+      if (budget.empty() || end == nullptr || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "sia_lint: bad --witness budget '%s'\n",
+                     budget.c_str());
+        return usage(2);
+      }
+      wopts.max_schedules = static_cast<std::size_t>(n);
+    } else if (arg == "--witness-dir") {
+      witness_dir = value_of("--witness-dir");
+    } else if (arg == "--witness-seed") {
+      wopts.seed = static_cast<std::uint64_t>(
+          std::strtoull(value_of("--witness-seed").c_str(), nullptr, 10));
     } else if (arg == "--stats") {
       want_stats = true;
     } else if (arg == "--color") {
@@ -178,7 +212,41 @@ int main(int argc, char** argv) {
     files.push_back(std::move(f));
   }
 
-  const lint::LintRun run = lint::run_lint(files, opts);
+  lint::LintRun run = lint::run_lint(files, opts);
+
+  if (want_witness) {
+    const witness::AttachStats wstats = witness::attach_witnesses(run, wopts);
+    std::fprintf(stderr,
+                 "sia_lint: witness: %zu witnessed, %zu refuted-under-bound, "
+                 "%zu skipped (%zu schedules explored)\n",
+                 wstats.witnessed, wstats.refuted, wstats.skipped,
+                 wstats.schedules_explored);
+    if (!witness_dir.empty()) {
+      for (const lint::FileResult& f : run.files) {
+        for (const Diagnostic& d : f.diagnostics) {
+          if (!d.witness) continue;
+          // <dir>/<stem>.<check>.witness.json, stem = basename minus .sia
+          std::string stem = f.file;
+          if (const std::size_t slash = stem.find_last_of('/');
+              slash != std::string::npos) {
+            stem = stem.substr(slash + 1);
+          }
+          if (stem.size() > 4 && stem.rfind(".sia") == stem.size() - 4) {
+            stem.resize(stem.size() - 4);
+          }
+          const std::string path =
+              witness_dir + "/" + stem + "." + d.check + ".witness.json";
+          std::ofstream out(path);
+          if (!out) {
+            std::fprintf(stderr, "sia_lint: cannot write witness '%s'\n",
+                         path.c_str());
+            return 2;
+          }
+          out << d.witness->json << "\n";
+        }
+      }
+    }
+  }
 
   if (!write_baseline_path.empty()) {
     std::ofstream out(write_baseline_path);

@@ -1,0 +1,73 @@
+#include "witness/attach.hpp"
+
+#include <string>
+
+#include "tools/parse_error.hpp"
+#include "witness/witness_json.hpp"
+
+namespace sia::witness {
+
+namespace {
+
+std::string summarise(const Witness& w, const WitnessOptions& opts) {
+  const std::string explored =
+      "(schedules explored: " + std::to_string(w.stats.schedules_explored) +
+      "/" + std::to_string(opts.max_schedules) + ")";
+  switch (w.status) {
+    case WitnessStatus::kWitnessed:
+      return "witness: " + std::to_string(w.events.size()) +
+             "-event anomaly history confirmed " + explored +
+             "; replay with sia_analyze --replay";
+    case WitnessStatus::kRefutedUnderBound:
+      return "witness: refuted-under-bound " + explored;
+    case WitnessStatus::kNoCycle:
+      return "witness: no critical cycle recovered under the default cycle "
+             "budget";
+  }
+  return "witness: ?";
+}
+
+}  // namespace
+
+AttachStats attach_witnesses(lint::LintRun& run, const WitnessOptions& opts) {
+  AttachStats stats;
+  for (lint::FileResult& f : run.files) {
+    if (f.parse_failed) continue;
+    bool parsed = false;
+    ParsedSuite suite;
+    for (Diagnostic& d : f.diagnostics) {
+      const std::optional<Criterion> crit = criterion_of_check(d.check);
+      if (!crit) continue;
+      if (d.context == "cycle-budget") {
+        // The static search gave up before producing a cycle: there is
+        // nothing to guide the explorer and the finding is already marked
+        // incomplete.
+        ++stats.skipped;
+        continue;
+      }
+      ++stats.eligible;
+      if (!parsed) {
+        // The file linted, so it parses; one parse serves every finding.
+        suite = parse_programs(f.source);
+        parsed = true;
+      }
+      const Witness w = find_witness(suite, *crit, opts);
+      stats.schedules_explored += w.stats.schedules_explored;
+      if (w.witnessed()) {
+        ++stats.witnessed;
+      } else {
+        ++stats.refuted;
+      }
+      WitnessInfo info;
+      info.status = to_string(w.status);
+      info.schedules_explored = w.stats.schedules_explored;
+      info.budget = opts.max_schedules;
+      info.summary = summarise(w, opts);
+      info.json = to_json(w, f.file, d.check);
+      d.witness = std::move(info);
+    }
+  }
+  return stats;
+}
+
+}  // namespace sia::witness

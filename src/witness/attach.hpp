@@ -1,0 +1,32 @@
+#pragma once
+
+#include "lint/lint.hpp"
+#include "witness/witness.hpp"
+
+/// \file attach.hpp
+/// Glue between the lint driver and the witness engine: after a lint run,
+/// walk every critical-cycle finding, search for a concrete witness and
+/// attach the outcome to the Diagnostic (as tools/diagnostic's plain
+/// WitnessInfo, so the emitters need no witness types). This lives on the
+/// witness side of the layering — sia_lint_lib does not link the engine;
+/// the sia_lint *executable* does.
+
+namespace sia::witness {
+
+/// Aggregate outcome of one attach pass (for the CLI summary line and the
+/// bench).
+struct AttachStats {
+  std::size_t eligible{0};   ///< critical-cycle findings examined
+  std::size_t witnessed{0};  ///< concrete histories found
+  std::size_t refuted{0};    ///< refuted-under-bound marks
+  std::size_t skipped{0};    ///< budget-exhausted findings left untouched
+  std::size_t schedules_explored{0};  ///< total across all searches
+};
+
+/// Runs the witness engine over every critical-cycle finding of \p run
+/// (in place). Findings whose static search already exhausted its cycle
+/// budget (context "cycle-budget") carry no cycle to guide on and are
+/// skipped. Deterministic for fixed (run, opts).
+AttachStats attach_witnesses(lint::LintRun& run, const WitnessOptions& opts);
+
+}  // namespace sia::witness

@@ -1,0 +1,720 @@
+#include "witness/witness.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "chopping/splice.hpp"
+#include "chopping/static_chopping_graph.hpp"
+#include "graph/characterization.hpp"
+#include "graph/monitor.hpp"
+#include "mvcc/psi_engine.hpp"
+#include "mvcc/recorder.hpp"
+#include "mvcc/ser_engine.hpp"
+#include "mvcc/si_engine.hpp"
+
+namespace sia::witness {
+
+namespace {
+
+/// Value installed by piece \p j of suite program \p i: nonzero (0 is the
+/// initial value) and distinct per piece, so WR edges are forced by the
+/// distinct-values discipline in every dependency-graph extension and can
+/// be re-inferred from a replayed history.
+Value value_of(std::size_t i, std::size_t j) {
+  return static_cast<Value>(100 * (i + 1) + j + 1);
+}
+
+/// One scheduled piece execution, with the accesses surviving the drop
+/// masks of the minimiser. A step whose access lists are both empty is
+/// skipped entirely (a legal run of the piece: read/write sets
+/// over-approximate what the piece *may* access).
+struct PieceStep {
+  std::size_t part{0};   ///< participant index (engine session)
+  std::size_t piece{0};  ///< piece index within the program
+  std::vector<ObjId> reads;
+  std::vector<ObjId> writes;
+  Value write_value{0};
+  [[nodiscard]] bool empty() const { return reads.empty() && writes.empty(); }
+};
+
+/// Per-piece drop masks (bit k set = k-th declared access dropped).
+struct DropMask {
+  std::uint64_t reads{0};
+  std::uint64_t writes{0};
+};
+
+struct ExecContext {
+  const std::vector<Program>* programs{nullptr};  ///< the whole suite
+  std::vector<std::size_t> participants;          ///< suite program indices
+  Criterion crit{Criterion::kSI};
+  std::uint32_t num_keys{0};
+  /// dropped[part][piece]; all-zero outside minimisation.
+  std::vector<std::vector<DropMask>> dropped;
+
+  [[nodiscard]] const Program& program_of(std::size_t part) const {
+    return (*programs)[participants[part]];
+  }
+};
+
+/// Resolves a schedule (sequence of participant indices; each occurrence
+/// runs that participant's next piece) into concrete piece steps.
+std::vector<PieceStep> plan_schedule(const ExecContext& ctx,
+                                     const std::vector<std::size_t>& schedule) {
+  std::vector<std::size_t> progress(ctx.participants.size(), 0);
+  std::vector<PieceStep> steps;
+  steps.reserve(schedule.size());
+  for (const std::size_t part : schedule) {
+    const std::size_t j = progress[part]++;
+    const Program& prog = ctx.program_of(part);
+    const Piece& piece = prog.pieces[j];
+    const DropMask& drop = ctx.dropped[part][j];
+    PieceStep s;
+    s.part = part;
+    s.piece = j;
+    s.write_value = value_of(ctx.participants[part], j);
+    for (std::size_t k = 0; k < piece.reads.size(); ++k) {
+      if ((drop.reads & (1ull << k)) == 0) s.reads.push_back(piece.reads[k]);
+    }
+    for (std::size_t k = 0; k < piece.writes.size(); ++k) {
+      if ((drop.writes & (1ull << k)) == 0) s.writes.push_back(piece.writes[k]);
+    }
+    steps.push_back(std::move(s));
+  }
+  return steps;
+}
+
+/// Outcome of executing one (partial) schedule against an engine.
+struct ExecOutcome {
+  bool ok{false};  ///< every non-empty piece committed
+  std::vector<mvcc::CommitRecord> records;  ///< handle order
+  /// (participant, piece) of each commit, parallel to records.
+  std::vector<std::pair<std::size_t, std::size_t>> committed;
+  std::optional<mvcc::RecordedRun> run;  ///< built only when requested
+};
+
+template <typename DB, typename BeginFn, typename RunPieceFn>
+bool run_steps(const std::vector<PieceStep>& steps, std::size_t nparts,
+               ExecOutcome& out, DB& db, BeginFn&& begin_session,
+               RunPieceFn&& run_piece) {
+  (void)db;
+  for (std::size_t p = 0; p < nparts; ++p) begin_session(p);
+  for (const PieceStep& s : steps) {
+    if (s.empty()) continue;
+    if (!run_piece(s)) return false;
+    out.committed.emplace_back(s.part, s.piece);
+  }
+  return true;
+}
+
+ExecOutcome execute_si(const ExecContext& ctx,
+                       const std::vector<PieceStep>& steps, bool want_run) {
+  ExecOutcome out;
+  mvcc::Recorder rec;
+  mvcc::SIDatabase db(ctx.num_keys, &rec);
+  std::vector<mvcc::SISession> sessions;
+  out.ok = run_steps(
+      steps, ctx.participants.size(), out, db,
+      [&](std::size_t) { sessions.push_back(db.make_session()); },
+      [&](const PieceStep& s) {
+        mvcc::SITransaction t = db.begin(sessions[s.part]);
+        for (const ObjId x : s.reads) (void)t.read(x);
+        for (const ObjId x : s.writes) t.write(x, s.write_value);
+        return t.commit();
+      });
+  out.records = rec.records();
+  if (out.ok && want_run) out.run = rec.build();
+  return out;
+}
+
+ExecOutcome execute_ser(const ExecContext& ctx,
+                        const std::vector<PieceStep>& steps, bool want_run) {
+  ExecOutcome out;
+  mvcc::Recorder rec;
+  mvcc::SERDatabase db(ctx.num_keys, &rec);
+  std::vector<mvcc::SERSession> sessions;
+  out.ok = run_steps(
+      steps, ctx.participants.size(), out, db,
+      [&](std::size_t) { sessions.push_back(db.make_session()); },
+      [&](const PieceStep& s) {
+        mvcc::SERTransaction t = db.begin(sessions[s.part]);
+        for (const ObjId x : s.reads) {
+          if (!t.read(x).has_value()) return false;
+        }
+        for (const ObjId x : s.writes) {
+          if (!t.write(x, s.write_value)) return false;
+        }
+        return t.commit();
+      });
+  out.records = rec.records();
+  if (out.ok && want_run) out.run = rec.build();
+  return out;
+}
+
+ExecOutcome execute_psi(const ExecContext& ctx,
+                        const std::vector<PieceStep>& steps, bool want_run) {
+  ExecOutcome out;
+  mvcc::Recorder rec;
+  // One replica: replication is trivially quiescent and every commit is
+  // visible to the next begin, so serial schedules are deterministic.
+  mvcc::PSIDatabase db(ctx.num_keys, 1, &rec);
+  std::vector<mvcc::PSISession> sessions;
+  out.ok = run_steps(
+      steps, ctx.participants.size(), out, db,
+      [&](std::size_t) { sessions.push_back(db.make_session(0)); },
+      [&](const PieceStep& s) {
+        mvcc::PSITransaction t = db.begin(sessions[s.part]);
+        for (const ObjId x : s.reads) (void)t.read(x);
+        for (const ObjId x : s.writes) t.write(x, s.write_value);
+        return t.commit();
+      });
+  out.records = rec.records();
+  if (out.ok && want_run) out.run = rec.build();
+  return out;
+}
+
+ExecOutcome execute(const ExecContext& ctx,
+                    const std::vector<std::size_t>& schedule, bool want_run,
+                    ScheduleStats& stats) {
+  const std::vector<PieceStep> steps = plan_schedule(ctx, schedule);
+  for (const PieceStep& s : steps) {
+    if (!s.empty()) ++stats.steps_executed;
+  }
+  switch (ctx.crit) {
+    case Criterion::kSI: return execute_si(ctx, steps, want_run);
+    case Criterion::kSER: return execute_ser(ctx, steps, want_run);
+    case Criterion::kPSI: return execute_psi(ctx, steps, want_run);
+  }
+  return {};
+}
+
+/// Canonical fingerprint of a prefix state for memoisation: the progress
+/// vector plus every session's commit records with engine handles
+/// rewritten to (session, per-session index). Two prefixes with equal
+/// fingerprints have identical per-key latest values, identical recorded
+/// dependency structure and identical remaining work, so their suffix
+/// subtrees coincide (Mazurkiewicz trace equivalence over serial piece
+/// schedules).
+std::string state_fingerprint(const std::vector<std::size_t>& progress,
+                              const std::vector<mvcc::CommitRecord>& records,
+                              std::size_t nparts) {
+  std::ostringstream fp;
+  for (const std::size_t p : progress) fp << p << ',';
+  fp << '|';
+  // handle (1-based) -> (session, per-session index); 0 stays "init".
+  std::vector<std::pair<SessionId, std::size_t>> of_handle;
+  of_handle.reserve(records.size() + 1);
+  of_handle.emplace_back(0, 0);  // init
+  {
+    std::vector<std::size_t> seen(nparts, 0);
+    for (const mvcc::CommitRecord& r : records) {
+      of_handle.emplace_back(r.session, seen[r.session]++);
+    }
+  }
+  std::vector<std::string> per_session(nparts);
+  for (const mvcc::CommitRecord& r : records) {
+    std::ostringstream s;
+    for (std::size_t e = 0; e < r.events.size(); ++e) {
+      const Event& ev = r.events[e];
+      s << (ev.is_read() ? 'r' : 'w') << ev.obj << '=' << ev.value;
+      if (ev.is_read() && e < r.observed_writer.size()) {
+        const mvcc::TxnHandle h = r.observed_writer[e];
+        if (h < of_handle.size()) {
+          s << '@' << of_handle[h].first << '.' << of_handle[h].second;
+        }
+      }
+      s << ';';
+    }
+    for (const auto& [obj, version] : r.write_versions) {
+      s << 'v' << obj << ':' << version << ';';
+    }
+    per_session[r.session] += s.str() + '!';
+  }
+  for (const std::string& s : per_session) fp << s << '#';
+  return fp.str();
+}
+
+/// A witness is accepted when the exact decision excludes the spliced
+/// history AND the monitor path agrees whenever it could run (the cases
+/// where it cannot — an INT violation inside a spliced transaction, a
+/// cyclic lifted dependency relation, an obstructed lift — are themselves
+/// conclusive anomalies, already covered by the exact gate).
+bool accepted(const Confirmation& c) {
+  return c.anomaly && (c.monitor_violation || !c.monitor_ran);
+}
+
+// ----- cycle-guided search -------------------------------------------------
+
+struct Searcher {
+  ExecContext ctx;
+  WitnessOptions opts;
+  std::vector<std::size_t> pieces_of;  ///< piece count per participant
+  std::vector<std::vector<std::size_t>> rank;  ///< guide rank per piece
+  std::size_t total_pieces{0};
+
+  ScheduleStats stats;
+  std::unordered_set<std::string> memo;
+  bool out_of_budget{false};
+
+  std::vector<std::size_t> schedule;  ///< DFS prefix / found schedule
+  std::optional<ExecOutcome> found_out;
+  Confirmation found_conf;
+
+  [[nodiscard]] bool dfs(std::vector<std::size_t>& progress) {
+    if (out_of_budget) return false;
+    if (schedule.size() == total_pieces) {
+      if (stats.schedules_explored >= opts.max_schedules) {
+        out_of_budget = true;
+        return false;
+      }
+      ++stats.schedules_explored;
+      ExecOutcome out = execute(ctx, schedule, /*want_run=*/true, stats);
+      if (!out.ok || !out.run) return false;
+      Confirmation c =
+          confirm_spliced(out.run->history, out.run->graph, model_of(ctx.crit));
+      if (!accepted(c)) return false;
+      found_out = std::move(out);
+      found_conf = std::move(c);
+      return true;
+    }
+    if (stats.steps_executed >= opts.max_steps) {
+      out_of_budget = true;
+      return false;
+    }
+    if (!schedule.empty()) {
+      // Memoise on the executed prefix state; equivalent prefixes share
+      // their whole suffix subtree.
+      const ExecOutcome out = execute(ctx, schedule, /*want_run=*/false, stats);
+      if (!out.ok) return false;
+      const std::string key =
+          state_fingerprint(progress, out.records, ctx.participants.size());
+      if (!memo.insert(key).second) {
+        ++stats.memo_hits;
+        return false;
+      }
+    }
+    // Candidates ordered by the guide rank of their next piece; the seed
+    // only perturbs ties.
+    std::vector<std::size_t> cands;
+    for (std::size_t p = 0; p < ctx.participants.size(); ++p) {
+      if (progress[p] < pieces_of[p]) cands.push_back(p);
+    }
+    std::stable_sort(cands.begin(), cands.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const std::size_t ra = rank[a][progress[a]];
+                       const std::size_t rb = rank[b][progress[b]];
+                       if (ra != rb) return ra < rb;
+                       const std::size_t n = ctx.participants.size();
+                       return (a + opts.seed) % n < (b + opts.seed) % n;
+                     });
+    for (const std::size_t p : cands) {
+      schedule.push_back(p);
+      ++progress[p];
+      const bool hit = dfs(progress);
+      --progress[p];
+      if (hit) return true;
+      schedule.pop_back();
+    }
+    return false;
+  }
+};
+
+/// Guide ranks: a deterministic topological sort of the participants'
+/// pieces under program order plus the critical cycle's conflict edges
+/// (source committed before target realises a WR/WW/RW conflict in a
+/// serial schedule). Falls back to flat order if the constraints are
+/// cyclic.
+std::vector<std::vector<std::size_t>> guide_ranks(
+    const StaticChoppingGraph& scg, const TypedCycle& cyc,
+    const std::vector<std::size_t>& participants,
+    const std::vector<std::size_t>& part_of_program) {
+  std::vector<std::size_t> first(participants.size(), 0);
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < participants.size(); ++p) {
+    first[p] = total;
+    total += scg.programs()[participants[p]].pieces.size();
+  }
+  const auto flat = [&](std::size_t part, std::size_t piece) {
+    return first[part] + piece;
+  };
+  std::vector<std::vector<std::size_t>> adj(total);
+  std::vector<std::size_t> indeg(total, 0);
+  const auto add_edge = [&](std::size_t a, std::size_t b) {
+    if (a == b) return;
+    if (std::find(adj[a].begin(), adj[a].end(), b) != adj[a].end()) return;
+    adj[a].push_back(b);
+    ++indeg[b];
+  };
+  for (std::size_t p = 0; p < participants.size(); ++p) {
+    const std::size_t n = scg.programs()[participants[p]].pieces.size();
+    for (std::size_t j = 0; j + 1 < n; ++j) {
+      add_edge(flat(p, j), flat(p, j + 1));
+    }
+  }
+  const std::size_t n = cyc.length();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!is_conflict(cyc.masks[k])) continue;
+    const auto [gi, ji] = scg.piece_of(cyc.vertices[k]);
+    const auto [gt, jt] = scg.piece_of(cyc.vertices[(k + 1) % n]);
+    add_edge(flat(part_of_program[gi], ji), flat(part_of_program[gt], jt));
+  }
+  // Kahn's algorithm, smallest-id-first for determinism.
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> indeg_left = indeg;
+  std::vector<bool> done(total, false);
+  while (order.size() < total) {
+    std::size_t pick = total;
+    for (std::size_t v = 0; v < total; ++v) {
+      if (!done[v] && indeg_left[v] == 0) {
+        pick = v;
+        break;
+      }
+    }
+    if (pick == total) break;  // constraint cycle
+    done[pick] = true;
+    order.push_back(pick);
+    for (const std::size_t w : adj[pick]) --indeg_left[w];
+  }
+  std::vector<std::size_t> rank_of(total);
+  if (order.size() == total) {
+    for (std::size_t i = 0; i < order.size(); ++i) rank_of[order[i]] = i;
+  } else {
+    for (std::size_t v = 0; v < total; ++v) rank_of[v] = v;
+  }
+  std::vector<std::vector<std::size_t>> ranks(participants.size());
+  for (std::size_t p = 0; p < participants.size(); ++p) {
+    const std::size_t np = scg.programs()[participants[p]].pieces.size();
+    for (std::size_t j = 0; j < np; ++j) {
+      ranks[p].push_back(rank_of[flat(p, j)]);
+    }
+  }
+  return ranks;
+}
+
+/// Greedy delta-minimisation: drop declared accesses one at a time (in
+/// deterministic order) and keep each drop that preserves the confirmed
+/// anomaly, iterating to a fixpoint. Sound because read/write sets are
+/// may-sets: a run touching fewer objects is still an execution of the
+/// same program.
+void minimise(Searcher& s) {
+  struct Cand {
+    std::size_t part, piece, index;
+    bool is_write;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t p = 0; p < s.ctx.participants.size(); ++p) {
+    const Program& prog = s.ctx.program_of(p);
+    for (std::size_t j = 0; j < prog.pieces.size(); ++j) {
+      for (std::size_t k = 0; k < prog.pieces[j].reads.size(); ++k) {
+        cands.push_back({p, j, k, false});
+      }
+      for (std::size_t k = 0; k < prog.pieces[j].writes.size(); ++k) {
+        cands.push_back({p, j, k, true});
+      }
+    }
+  }
+  bool changed = true;
+  std::size_t guard = 0;
+  while (changed && guard++ < 8) {
+    changed = false;
+    for (const Cand& c : cands) {
+      DropMask& mask = s.ctx.dropped[c.part][c.piece];
+      std::uint64_t& bits = c.is_write ? mask.writes : mask.reads;
+      const std::uint64_t bit = 1ull << c.index;
+      if ((bits & bit) != 0) continue;
+      bits |= bit;
+      ExecOutcome out = execute(s.ctx, s.schedule, /*want_run=*/true, s.stats);
+      bool keep = false;
+      if (out.ok && out.run) {
+        const Confirmation conf = confirm_spliced(
+            out.run->history, out.run->graph, model_of(s.ctx.crit));
+        keep = accepted(conf);
+      }
+      if (keep) {
+        changed = true;
+      } else {
+        bits &= ~bit;
+      }
+    }
+  }
+  // Re-execute with the final masks so the witness artefacts match.
+  ExecOutcome out = execute(s.ctx, s.schedule, /*want_run=*/true, s.stats);
+  s.found_conf =
+      confirm_spliced(out.run->history, out.run->graph, model_of(s.ctx.crit));
+  s.found_out = std::move(out);
+}
+
+}  // namespace
+
+std::string to_string(WitnessStatus s) {
+  switch (s) {
+    case WitnessStatus::kWitnessed: return "witnessed";
+    case WitnessStatus::kRefutedUnderBound: return "refuted-under-bound";
+    case WitnessStatus::kNoCycle: return "no-critical-cycle";
+  }
+  return "?";
+}
+
+std::string to_string(WitnessEvent::Op op) {
+  switch (op) {
+    case WitnessEvent::Op::kBegin: return "begin";
+    case WitnessEvent::Op::kRead: return "read";
+    case WitnessEvent::Op::kWrite: return "write";
+    case WitnessEvent::Op::kCommit: return "commit";
+  }
+  return "?";
+}
+
+std::optional<Criterion> criterion_of_check(std::string_view check_id) {
+  if (check_id == "si-critical-cycle") return Criterion::kSI;
+  if (check_id == "ser-critical-cycle") return Criterion::kSER;
+  if (check_id == "psi-critical-cycle") return Criterion::kPSI;
+  return std::nullopt;
+}
+
+Model model_of(Criterion crit) {
+  switch (crit) {
+    case Criterion::kSER: return Model::kSER;
+    case Criterion::kSI: return Model::kSI;
+    case Criterion::kPSI: return Model::kPSI;
+  }
+  return Model::kSI;
+}
+
+Confirmation confirm_spliced(const History& piece_history,
+                             const DependencyGraph& piece_graph, Model model) {
+  Confirmation c;
+  const History spl = splice_history(piece_history);
+  const HistDecision dec = decide_history(spl, model);
+  c.graphs_tried = dec.graphs_tried;
+  c.anomaly = !dec.allowed;
+  if (!c.anomaly) return c;
+
+  if (!spl.internally_consistent()) {
+    // Atomicity broken *within* a spliced transaction (a later piece read
+    // another program's write over its own program's earlier one). The
+    // monitor checks inter-transaction structure only; the exact gate
+    // already excludes the history via INT.
+    c.monitor_detail =
+        "spliced history violates INT (a spliced transaction reads a value "
+        "overwriting its own earlier write)";
+    return c;
+  }
+
+  DependencyGraph g_spl;
+  try {
+    g_spl = splice_graph(piece_graph);
+  } catch (const ModelError& e) {
+    c.monitor_detail = std::string("splice lift obstructed: ") + e.what();
+    return c;
+  }
+
+  const GraphCheck gc = check_graph(g_spl, model);
+  if (!gc.member) c.cycle = gc.witness;
+
+  // Feed the monitor in a topological order of the lifted WR ∪ WW edges:
+  // ingestion order then reproduces exactly the lifted WW orders (writers
+  // install in ingestion order) and every WR source precedes its reader.
+  const std::size_t n = spl.txn_count();
+  std::vector<std::vector<TxnId>> adj(n);
+  std::vector<std::size_t> indeg(n, 0);
+  for (const DepEdge& e : g_spl.edges()) {
+    if (e.kind != DepKind::kWR && e.kind != DepKind::kWW) continue;
+    if (e.from == 0 || e.to == 0 || e.from == e.to) continue;
+    adj[e.from].push_back(e.to);
+    ++indeg[e.to];
+  }
+  std::vector<TxnId> order;
+  std::vector<std::size_t> indeg_left = indeg;
+  std::vector<bool> done(n, true);
+  for (TxnId t = 1; t < n; ++t) done[t] = false;
+  while (order.size() + 1 < n) {
+    TxnId pick = static_cast<TxnId>(n);
+    for (TxnId t = 1; t < n; ++t) {
+      if (!done[t] && indeg_left[t] == 0) {
+        pick = t;
+        break;
+      }
+    }
+    if (pick == static_cast<TxnId>(n)) {
+      c.monitor_detail =
+          "lifted WR/WW dependencies are cyclic; no monitor ingestion order "
+          "exists (the cycle itself excludes the history)";
+      return c;
+    }
+    done[pick] = true;
+    order.push_back(pick);
+    for (const TxnId w : adj[pick]) --indeg_left[w];
+  }
+
+  ConsistencyMonitor mon(model);
+  std::vector<TxnId> mon_id(n, 0);  // spliced txn -> monitor id; init = 0
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const TxnId t = order[pos];
+    MonitoredCommit mc;
+    mc.session = static_cast<SessionId>(pos);  // distinct sessions: SO = ∅
+    mc.txn = spl.txn(t);
+    std::vector<std::pair<ObjId, TxnId>> sources;
+    for (const ObjId x : mc.txn.external_read_set()) {
+      const std::optional<TxnId> src = g_spl.read_source(x, t);
+      sources.emplace_back(x, src ? mon_id[*src] : 0);
+    }
+    std::sort(sources.begin(), sources.end());
+    for (const auto& [x, src] : sources) mc.read_sources[x] = src;
+    try {
+      mon_id[t] = mon.commit(mc);
+    } catch (const ModelError& e) {
+      c.monitor_detail = std::string("monitor rejected spliced commit: ") +
+                         e.what();
+      return c;
+    }
+  }
+  c.monitor_ran = true;
+  c.monitor_violation = mon.verdict() == MonitorVerdict::kViolation;
+  c.monitor_detail = c.monitor_violation
+                         ? mon.violation_detail()
+                         : "monitor saw no violation on the spliced commits";
+  return c;
+}
+
+DependencyGraph rebuild_piece_graph(const History& h) {
+  DependencyGraph g(h);
+  for (const ObjId x : h.objects()) {
+    g.set_write_order(x, h.writers_of(x));  // TxnId order = commit order
+  }
+  infer_read_sources_from_values(g);
+  if (const std::optional<Violation> v = g.validate()) {
+    throw ModelError("witness history malformed: " + v->axiom + ": " +
+                     v->detail);
+  }
+  return g;
+}
+
+Witness find_witness(const ParsedSuite& suite, Criterion crit,
+                     const WitnessOptions& opts) {
+  Witness w;
+  w.criterion = crit;
+  w.options = opts;
+  const std::vector<Program>& programs = suite.programs;
+  if (programs.empty()) return w;  // kNoCycle
+
+  const StaticChoppingGraph scg(programs);
+  const ChoppingVerdict verdict =
+      find_critical_cycle(scg.graph(), crit, kDefaultCycleBudget);
+  if (verdict.correct) return w;  // kNoCycle
+  if (!verdict.witness) {
+    // Static budget exhausted without a cycle: nothing to guide the
+    // search, and nothing was explored.
+    w.status = WitnessStatus::kRefutedUnderBound;
+    return w;
+  }
+  const TypedCycle& cyc = *verdict.witness;
+
+  // Participants: the cycle's programs in first-appearance order starting
+  // at the primary vertex (the same one the lint diagnostic anchors on).
+  const std::size_t n = cyc.length();
+  std::size_t primary = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_conflict(cyc.masks[(i + n - 1) % n]) && is_conflict(cyc.masks[i])) {
+      primary = i;
+      break;
+    }
+  }
+  std::vector<std::size_t> participants;
+  std::vector<std::size_t> part_of_program(programs.size(), SIZE_MAX);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto [gi, ji] = scg.piece_of(cyc.vertices[(primary + k) % n]);
+    (void)ji;
+    if (part_of_program[gi] == SIZE_MAX) {
+      part_of_program[gi] = participants.size();
+      participants.push_back(gi);
+    }
+  }
+
+  Searcher s;
+  s.ctx.programs = &programs;
+  s.ctx.participants = participants;
+  s.ctx.crit = crit;
+  s.ctx.num_keys = static_cast<std::uint32_t>(suite.objects.size());
+  s.opts = opts;
+  for (const std::size_t gi : participants) {
+    s.pieces_of.push_back(programs[gi].pieces.size());
+    s.ctx.dropped.emplace_back(programs[gi].pieces.size());
+    s.total_pieces += programs[gi].pieces.size();
+  }
+  s.rank = guide_ranks(scg, cyc, participants, part_of_program);
+
+  std::vector<std::size_t> progress(participants.size(), 0);
+  const bool hit = s.dfs(progress);
+  w.stats = s.stats;
+
+  if (!hit) {
+    w.status = WitnessStatus::kRefutedUnderBound;
+    return w;
+  }
+  if (opts.minimize) {
+    minimise(s);
+    w.stats = s.stats;
+  }
+
+  const ExecOutcome& out = *s.found_out;
+  const Confirmation& conf = s.found_conf;
+  w.status = WitnessStatus::kWitnessed;
+  w.graphs_tried = conf.graphs_tried;
+  w.monitor_confirmed = conf.monitor_violation;
+  w.monitor_detail = conf.monitor_detail;
+  w.piece_history = out.run->history;
+
+  for (const std::size_t gi : participants) {
+    w.programs.push_back(programs[gi].name);
+  }
+
+  // Dense witness-local object ids over the objects actually touched, in
+  // ascending suite-id order.
+  std::vector<ObjId> touched;
+  for (const mvcc::CommitRecord& r : out.records) {
+    for (const Event& e : r.events) touched.push_back(e.obj);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  std::vector<ObjId> local_of(suite.objects.size(), kInvalidObj);
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    local_of[touched[i]] = static_cast<ObjId>(i);
+    w.objects.push_back(suite.objects.name(touched[i]));
+  }
+
+  for (std::size_t k = 0; k < out.records.size(); ++k) {
+    const auto [part, piece] = out.committed[k];
+    const std::size_t prog = part;  // index into w.programs
+    w.events.push_back({WitnessEvent::Op::kBegin, prog, piece, kInvalidObj, 0});
+    for (const Event& e : out.records[k].events) {
+      w.events.push_back({e.is_read() ? WitnessEvent::Op::kRead
+                                      : WitnessEvent::Op::kWrite,
+                          prog, piece, local_of[e.obj], e.value});
+    }
+    w.events.push_back(
+        {WitnessEvent::Op::kCommit, prog, piece, kInvalidObj, 0});
+  }
+
+  // Render the violating cycle over spliced transactions with names.
+  const auto txn_name = [&](TxnId t) -> std::string {
+    if (t == 0) return "init";
+    const std::size_t idx = t - 1;
+    return idx < participants.size() ? programs[participants[idx]].name
+                                     : "T" + std::to_string(t);
+  };
+  for (const DepEdge& e : conf.cycle) {
+    std::string step = txn_name(e.from) + " -" + to_string(e.kind);
+    if (e.obj != kInvalidObj) step += "(" + suite.objects.name(e.obj) + ")";
+    step += "-> " + txn_name(e.to);
+    w.cycle.push_back(std::move(step));
+  }
+  if (w.cycle.empty()) {
+    w.cycle.push_back(conf.monitor_detail.empty()
+                          ? "spliced history excluded without a cycle witness"
+                          : conf.monitor_detail);
+  }
+  return w;
+}
+
+}  // namespace sia::witness

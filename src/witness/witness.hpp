@@ -1,0 +1,173 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chopping/criteria.hpp"
+#include "core/history.hpp"
+#include "graph/dependency_graph.hpp"
+#include "graph/enumeration.hpp"
+#include "tools/program_parser.hpp"
+
+/// \file witness.hpp
+/// The witness engine: a deterministic bounded-interleaving explorer that
+/// turns a *static* lint finding (an SCG critical cycle, Cor. 18 /
+/// Thms 29/31) into a *concrete* anomaly history, or honestly reports that
+/// it could not within its budget.
+///
+/// Given a parsed suite and a criterion whose chopping check failed, the
+/// explorer schedules the implicated pieces as real transactions against
+/// the matching in-repo engine (SI = the §1 MVCC algorithm, SER = strict
+/// 2PL, PSI = the replicated causal engine at one replica, so runs are
+/// deterministic), records every run through mvcc::Recorder, splices each
+/// recorded history back to program granularity (§5) and confirms the
+/// anomaly two ways:
+///  - exactly, by decide_history(splice(H), model) — the authoritative
+///    gate (Theorems 8/9/21 over every dependency-graph extension);
+///  - operationally, by feeding the spliced commits to ConsistencyMonitor
+///    in a topological order of the lifted WR ∪ WW edges, which must
+///    report a violation on the same history.
+/// The search is cycle-guided: pieces are ranked by a topological sort of
+/// (program order ∪ the critical cycle's conflict edges), so the first
+/// schedule tried is the one that realises the cycle; a DFS over serial
+/// piece interleavings with memoised state fingerprints (Mazurkiewicz
+/// trace equivalence over the recorded runs) covers the rest, bounded by
+/// per-suite schedule and step budgets. On success the history is
+/// delta-minimised: accesses are greedily dropped while the verdict still
+/// reproduces (sound because piece read/write sets over-approximate what a
+/// piece *may* access — a run touching a subset is a legal execution of
+/// the same program).
+///
+/// Scope: the explorer executes *serial* piece interleavings — each piece
+/// runs begin-to-commit without intra-piece concurrency. That suffices for
+/// every chopping anomaly whose dependency cycle orders conflict edges
+/// forward in time (Fig. 5 and friends) and keeps the search deterministic;
+/// anomalies that require genuinely concurrent snapshots (e.g. a PSI long
+/// fork) are out of reach and come back refuted-under-bound, which is the
+/// honest verdict for a bounded search. Witnesses are therefore *sound*
+/// (every one is a real execution confirmed by the exact decision
+/// procedure); refutations are relative to the bound and the serial
+/// schedule space.
+
+namespace sia::witness {
+
+/// Search knobs. Everything is deterministic for fixed options: no clocks,
+/// no global state, and the seed only perturbs tie-breaking among pieces
+/// of equal guide rank.
+struct WitnessOptions {
+  std::size_t max_schedules{4096};  ///< complete schedules to try
+  std::size_t max_steps{1u << 16};  ///< piece executions across the search
+  std::uint64_t seed{0};            ///< tie-break perturbation
+  bool minimize{true};              ///< delta-minimise successful witnesses
+};
+
+enum class WitnessStatus : std::uint8_t {
+  kWitnessed,          ///< concrete anomaly history found and confirmed
+  kRefutedUnderBound,  ///< search space (under the budgets) exhausted
+  kNoCycle,            ///< the static analysis finds no critical cycle
+};
+
+[[nodiscard]] std::string to_string(WitnessStatus s);
+
+/// One event of a witness history, at piece granularity: begin/commit
+/// bracket each executed piece; reads carry the value observed, writes the
+/// value installed.
+struct WitnessEvent {
+  enum class Op : std::uint8_t { kBegin, kRead, kWrite, kCommit };
+  Op op{Op::kBegin};
+  std::size_t program{0};  ///< index into Witness::programs
+  std::size_t piece{0};    ///< piece index within the program
+  ObjId obj{kInvalidObj};  ///< read/write only
+  Value value{0};          ///< read/write only
+};
+
+[[nodiscard]] std::string to_string(WitnessEvent::Op op);
+
+/// Search effort accounting (for refutation reports and the bench).
+struct ScheduleStats {
+  std::size_t schedules_explored{0};  ///< complete schedules executed
+  std::size_t steps_executed{0};      ///< engine piece executions
+  std::size_t memo_hits{0};           ///< prefixes skipped by memoisation
+};
+
+/// Outcome of a witness search for one (suite, criterion) pair.
+struct Witness {
+  WitnessStatus status{WitnessStatus::kNoCycle};
+  Criterion criterion{Criterion::kSI};
+  WitnessOptions options;
+
+  /// Program names participating in the witness (indexing WitnessEvent::
+  /// program); a subset of the suite's programs — the cycle's programs,
+  /// minus any the minimiser emptied out entirely.
+  std::vector<std::string> programs;
+  /// Object names touched by the witness, id = position (the dense ObjId
+  /// space of the events below).
+  std::vector<std::string> objects;
+  /// The minimised concrete history, in execution order.
+  std::vector<WitnessEvent> events;
+
+  /// The violating cycle over *spliced* transactions, rendered with
+  /// program and object names ("transfer -WR(acct1)-> lookupAll", ...).
+  std::vector<std::string> cycle;
+  /// Exhaustiveness of the exact gate: dependency-graph extensions of the
+  /// spliced history examined by decide_history.
+  std::size_t graphs_tried{0};
+  /// ConsistencyMonitor confirmation on the spliced commits.
+  bool monitor_confirmed{false};
+  std::string monitor_detail;
+
+  ScheduleStats stats;
+
+  /// The recorded piece-level history of the minimised run (init
+  /// transaction first; session s+1 = programs[s]) — what --replay
+  /// re-verifies offline.
+  History piece_history;
+
+  [[nodiscard]] bool witnessed() const {
+    return status == WitnessStatus::kWitnessed;
+  }
+};
+
+/// Criterion probed by a lint check id ("si-critical-cycle" → kSI, ...);
+/// nullopt for checks that are not critical-cycle findings.
+[[nodiscard]] std::optional<Criterion> criterion_of_check(
+    std::string_view check_id);
+
+/// Model matching a chopping criterion (the engine/monitor side).
+[[nodiscard]] Model model_of(Criterion crit);
+
+/// Searches for a concrete anomaly history witnessing the critical-cycle
+/// finding of \p crit over \p suite. Re-runs the static analysis to
+/// recover the guide cycle; returns kNoCycle when the chopping is correct
+/// (nothing to witness). Deterministic for fixed (suite, crit, opts).
+[[nodiscard]] Witness find_witness(const ParsedSuite& suite, Criterion crit,
+                                   const WitnessOptions& opts = {});
+
+/// Shared confirmation gate (used by the search and by --replay): splices
+/// \p piece_history, decides membership exactly, and cross-checks with the
+/// ConsistencyMonitor over the lifted graph when the lift is well-defined.
+struct Confirmation {
+  bool anomaly{false};  ///< splice(H) ∉ Hist(model) — the exact verdict
+  std::size_t graphs_tried{0};
+  bool monitor_ran{false};
+  bool monitor_violation{false};
+  std::string monitor_detail;
+  /// Violating cycle over spliced transactions (empty when the exclusion
+  /// is an INT violation or the lift is obstructed).
+  std::vector<DepEdge> cycle;
+};
+
+[[nodiscard]] Confirmation confirm_spliced(const History& piece_history,
+                                           const DependencyGraph& piece_graph,
+                                           Model model);
+
+/// Rebuilds the piece-level dependency graph of a replayed witness
+/// history: WW(x) from commit order (the order transactions appear in the
+/// history, which is the order they committed), WR inferred from the
+/// distinct-values discipline the explorer writes with. Throws ModelError
+/// if the history violates that discipline (a tampered witness).
+[[nodiscard]] DependencyGraph rebuild_piece_graph(const History& h);
+
+}  // namespace sia::witness

@@ -1,0 +1,187 @@
+#include "witness/witness_json.hpp"
+
+#include <sstream>
+
+#include "tools/analysis_json.hpp"
+#include "tools/json_min.hpp"
+
+namespace sia::witness {
+
+namespace {
+
+const char* boolean(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+std::string to_json(const Witness& w, std::string_view file,
+                    std::string_view check) {
+  std::ostringstream out;
+  out << "{\"tool\": \"sia_lint\", \"version\": \"" << kWitnessVersion
+      << "\", \"file\": " << json_quote(file)
+      << ", \"check\": " << json_quote(check)
+      << ", \"criterion\": " << json_quote(to_string(w.criterion))
+      << ", \"status\": " << json_quote(to_string(w.status))
+      << ", \"budget\": " << w.options.max_schedules
+      << ", \"seed\": " << w.options.seed
+      << ", \"schedules_explored\": " << w.stats.schedules_explored
+      << ", \"steps_executed\": " << w.stats.steps_executed
+      << ", \"memo_hits\": " << w.stats.memo_hits
+      << ", \"minimized\": " << boolean(w.options.minimize)
+      << ", \"graphs_tried\": " << w.graphs_tried;
+  out << ", \"programs\": [";
+  for (std::size_t i = 0; i < w.programs.size(); ++i) {
+    out << (i != 0 ? ", " : "") << json_quote(w.programs[i]);
+  }
+  out << "], \"objects\": [";
+  for (std::size_t i = 0; i < w.objects.size(); ++i) {
+    out << (i != 0 ? ", " : "") << json_quote(w.objects[i]);
+  }
+  out << "], \"events\": [";
+  for (std::size_t i = 0; i < w.events.size(); ++i) {
+    const WitnessEvent& e = w.events[i];
+    out << (i != 0 ? ", " : "") << "{\"op\": " << json_quote(to_string(e.op))
+        << ", \"program\": " << json_quote(w.programs[e.program])
+        << ", \"piece\": " << e.piece;
+    if (e.op == WitnessEvent::Op::kRead || e.op == WitnessEvent::Op::kWrite) {
+      out << ", \"obj\": " << json_quote(w.objects[e.obj])
+          << ", \"value\": " << e.value;
+    }
+    out << "}";
+  }
+  out << "], \"cycle\": [";
+  for (std::size_t i = 0; i < w.cycle.size(); ++i) {
+    out << (i != 0 ? ", " : "") << json_quote(w.cycle[i]);
+  }
+  out << "], \"monitor\": {\"confirmed\": " << boolean(w.monitor_confirmed)
+      << ", \"detail\": " << json_quote(w.monitor_detail) << "}}";
+  return out.str();
+}
+
+namespace {
+
+const JsonValue& member(const JsonValue& v, std::string_view key,
+                        JsonValue::Kind kind) {
+  const JsonValue& m = v.at(key);
+  if (!m.is(kind)) {
+    throw ModelError("witness document: member '" + std::string(key) +
+                     "' has the wrong type");
+  }
+  return m;
+}
+
+std::size_t index_of(const std::vector<std::string>& names,
+                     const std::string& name, std::string_view what) {
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  throw ModelError("witness document: unknown " + std::string(what) + " '" +
+                   name + "'");
+}
+
+}  // namespace
+
+ReplayReport replay_witness_text(std::string_view text) {
+  const JsonValue doc = parse_json(text);
+  if (!doc.is(JsonValue::Kind::kObject)) {
+    throw ModelError("witness document: top level is not an object");
+  }
+  ReplayReport rep;
+  rep.file = member(doc, "file", JsonValue::Kind::kString).string;
+  rep.check = member(doc, "check", JsonValue::Kind::kString).string;
+  rep.criterion = member(doc, "criterion", JsonValue::Kind::kString).string;
+  rep.status = member(doc, "status", JsonValue::Kind::kString).string;
+  if (rep.status != "witnessed") return rep;  // nothing to replay
+  rep.replayable = true;
+
+  Model model = Model::kSI;
+  if (rep.criterion == "SER") {
+    model = Model::kSER;
+  } else if (rep.criterion == "SI") {
+    model = Model::kSI;
+  } else if (rep.criterion == "PSI") {
+    model = Model::kPSI;
+  } else {
+    throw ModelError("witness document: unknown criterion '" + rep.criterion +
+                     "'");
+  }
+
+  std::vector<std::string> programs;
+  for (const JsonValue& p :
+       member(doc, "programs", JsonValue::Kind::kArray).array) {
+    if (!p.is(JsonValue::Kind::kString)) {
+      throw ModelError("witness document: non-string program name");
+    }
+    programs.push_back(p.string);
+  }
+  ObjectTable objects;
+  std::vector<std::string> object_names;
+  std::vector<ObjId> obj_ids;
+  for (const JsonValue& o :
+       member(doc, "objects", JsonValue::Kind::kArray).array) {
+    if (!o.is(JsonValue::Kind::kString)) {
+      throw ModelError("witness document: non-string object name");
+    }
+    object_names.push_back(o.string);
+    obj_ids.push_back(objects.intern(o.string));
+  }
+
+  // Rebuild the piece-level history: the init transaction (TxnId 0, its
+  // own session) writes 0 to every listed object, then each begin..commit
+  // bracket becomes one transaction of its program's session, appended in
+  // document order — so TxnId order is commit order, exactly the
+  // discipline rebuild_piece_graph assumes.
+  History h;
+  {
+    std::vector<Event> init;
+    init.reserve(obj_ids.size());
+    for (const ObjId x : obj_ids) init.push_back(write(x, 0));
+    h.append_singleton(Transaction(std::move(init)));
+  }
+  std::vector<Event> pending;
+  bool open = false;
+  std::size_t open_program = 0;
+  for (const JsonValue& ev :
+       member(doc, "events", JsonValue::Kind::kArray).array) {
+    const std::string& op = member(ev, "op", JsonValue::Kind::kString).string;
+    const std::string& prog_name =
+        member(ev, "program", JsonValue::Kind::kString).string;
+    const std::size_t prog = index_of(programs, prog_name, "program");
+    if (op == "begin") {
+      if (open) throw ModelError("witness document: nested begin");
+      open = true;
+      open_program = prog;
+      pending.clear();
+    } else if (op == "commit") {
+      if (!open || prog != open_program) {
+        throw ModelError("witness document: mismatched commit");
+      }
+      h.append(static_cast<SessionId>(open_program + 1),
+               Transaction(std::move(pending)));
+      pending.clear();
+      open = false;
+    } else if (op == "read" || op == "write") {
+      if (!open || prog != open_program) {
+        throw ModelError("witness document: access outside its transaction");
+      }
+      const std::string& obj_name =
+          member(ev, "obj", JsonValue::Kind::kString).string;
+      const ObjId x = obj_ids[index_of(object_names, obj_name, "object")];
+      const double raw = member(ev, "value", JsonValue::Kind::kNumber).number;
+      const Value val = static_cast<Value>(raw);
+      pending.push_back(op == "read" ? read(x, val) : write(x, val));
+    } else {
+      throw ModelError("witness document: unknown op '" + op + "'");
+    }
+  }
+  if (open) throw ModelError("witness document: unterminated transaction");
+
+  const DependencyGraph g = rebuild_piece_graph(h);
+  const Confirmation c = confirm_spliced(h, g, model);
+  rep.graphs_tried = c.graphs_tried;
+  rep.monitor_confirmed = c.monitor_violation;
+  rep.monitor_detail = c.monitor_detail;
+  rep.reproduced = c.anomaly && (c.monitor_violation || !c.monitor_ran);
+  return rep;
+}
+
+}  // namespace sia::witness

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "witness/witness.hpp"
+
+/// \file witness_json.hpp
+/// The witness interchange format: a compact single-line JSON document per
+/// (file, check) finding, embedded verbatim in lint JSON output and in the
+/// SARIF result's `properties.witness` bag, and written standalone by
+/// `sia_lint --witness-dir`. `sia_analyze --replay` reads the document
+/// back, reconstructs the piece-level history from the event list alone,
+/// and re-runs the full confirmation gate (splice → exact decision →
+/// monitor) offline — so CI can round-trip every witness without trusting
+/// anything but the recorded events.
+
+namespace sia::witness {
+
+inline constexpr std::string_view kWitnessVersion = "1.0.0";
+
+/// Serialises \p w as one line of JSON. \p file and \p check identify the
+/// originating lint finding. Deterministic: field order fixed, no clocks.
+[[nodiscard]] std::string to_json(const Witness& w, std::string_view file,
+                                  std::string_view check);
+
+/// Result of replaying a witness document offline.
+struct ReplayReport {
+  std::string file;
+  std::string check;
+  std::string criterion;
+  std::string status;      ///< status recorded in the document
+  bool replayable{false};  ///< document carries a witnessed history
+  bool reproduced{false};  ///< re-verification confirmed the anomaly
+  std::size_t graphs_tried{0};
+  bool monitor_confirmed{false};
+  std::string monitor_detail;
+};
+
+/// Parses a witness document and, when it carries a witnessed history,
+/// rebuilds the piece history from the events, re-derives the dependency
+/// graph (rebuild_piece_graph) and re-runs confirm_spliced. \throws
+/// ParseError on malformed JSON, ModelError on a structurally invalid or
+/// tampered document.
+[[nodiscard]] ReplayReport replay_witness_text(std::string_view text);
+
+}  // namespace sia::witness

@@ -1,0 +1,253 @@
+#include "witness/witness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "lint/sarif.hpp"
+#include "tools/json_min.hpp"
+#include "witness/attach.hpp"
+#include "witness/witness_json.hpp"
+
+/// \file test_witness.cpp
+/// The witness engine: concrete anomaly histories for the shipped
+/// examples under all three criteria, exact minimisation, JSON round-trip
+/// through the --replay verifier, determinism, bounded refutation, and
+/// the SARIF golden pinning the attached `witness` property.
+
+namespace sia::witness {
+namespace {
+
+std::string read_repo_file(const std::string& rel) {
+  const std::string path = std::string(SIA_SOURCE_DIR) + "/" + rel;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+ParsedSuite example_suite(const std::string& rel) {
+  return parse_programs(read_repo_file(rel));
+}
+
+std::size_t count_ops(const Witness& w, WitnessEvent::Op op) {
+  std::size_t n = 0;
+  for (const WitnessEvent& e : w.events) n += e.op == op ? 1 : 0;
+  return n;
+}
+
+TEST(WitnessSearch, BankingWitnessedUnderAllThreeCriteria) {
+  const ParsedSuite suite = example_suite("examples/banking.sia");
+  for (const Criterion crit :
+       {Criterion::kSER, Criterion::kSI, Criterion::kPSI}) {
+    const Witness w = find_witness(suite, crit);
+    ASSERT_TRUE(w.witnessed()) << to_string(crit);
+    EXPECT_TRUE(w.monitor_confirmed) << to_string(crit);
+    EXPECT_FALSE(w.cycle.empty()) << to_string(crit);
+    EXPECT_GE(w.graphs_tried, 1u);
+    // The cycle-guided search should land the anomaly on its very first
+    // schedule for the Figure 5 suite.
+    EXPECT_EQ(w.stats.schedules_explored, 1u) << to_string(crit);
+  }
+}
+
+TEST(WitnessSearch, BankingMinimisesToFourOperations) {
+  const ParsedSuite suite = example_suite("examples/banking.sia");
+  const Witness w = find_witness(suite, Criterion::kSI);
+  ASSERT_TRUE(w.witnessed());
+  // transfer[0] w(acct1), lookupAll[0] r(acct1) r(acct2), transfer[1]
+  // w(acct2) — the 4-operation core of the Figure 5 anomaly, plus the
+  // begin/commit bracket of each of the 3 pieces.
+  EXPECT_EQ(w.events.size(), 10u);
+  EXPECT_EQ(count_ops(w, WitnessEvent::Op::kBegin), 3u);
+  EXPECT_EQ(count_ops(w, WitnessEvent::Op::kCommit), 3u);
+  EXPECT_EQ(count_ops(w, WitnessEvent::Op::kRead), 2u);
+  EXPECT_EQ(count_ops(w, WitnessEvent::Op::kWrite), 2u);
+  ASSERT_EQ(w.objects.size(), 2u);
+  EXPECT_EQ(w.objects[0], "acct1");
+  EXPECT_EQ(w.objects[1], "acct2");
+  // Both programs participate even after minimisation.
+  ASSERT_EQ(w.programs.size(), 2u);
+}
+
+TEST(WitnessSearch, SafeSuiteHasNothingToWitness) {
+  const ParsedSuite suite = example_suite("examples/banking_safe.sia");
+  for (const Criterion crit :
+       {Criterion::kSER, Criterion::kSI, Criterion::kPSI}) {
+    const Witness w = find_witness(suite, crit);
+    EXPECT_EQ(w.status, WitnessStatus::kNoCycle) << to_string(crit);
+    EXPECT_TRUE(w.events.empty());
+    EXPECT_EQ(w.stats.schedules_explored, 0u);
+  }
+}
+
+TEST(WitnessSearch, ZeroScheduleBudgetRefutesUnderBound) {
+  const ParsedSuite suite = example_suite("examples/banking.sia");
+  WitnessOptions opts;
+  opts.max_schedules = 0;
+  const Witness w = find_witness(suite, Criterion::kSI, opts);
+  EXPECT_EQ(w.status, WitnessStatus::kRefutedUnderBound);
+  EXPECT_EQ(w.stats.schedules_explored, 0u);
+  EXPECT_TRUE(w.events.empty());
+}
+
+TEST(WitnessSearch, SameSeedAndBudgetGiveIdenticalWitness) {
+  const ParsedSuite suite = example_suite("examples/banking.sia");
+  WitnessOptions opts;
+  opts.seed = 42;
+  const Witness a = find_witness(suite, Criterion::kSI, opts);
+  const Witness b = find_witness(suite, Criterion::kSI, opts);
+  EXPECT_EQ(to_json(a, "f", "c"), to_json(b, "f", "c"));
+  EXPECT_EQ(a.stats.schedules_explored, b.stats.schedules_explored);
+  EXPECT_EQ(a.stats.steps_executed, b.stats.steps_executed);
+}
+
+TEST(WitnessSearch, DifferentSeedsStillWitness) {
+  const ParsedSuite suite = example_suite("examples/banking.sia");
+  for (const std::uint64_t seed : {1u, 7u, 1234u}) {
+    WitnessOptions opts;
+    opts.seed = seed;
+    const Witness w = find_witness(suite, Criterion::kSI, opts);
+    EXPECT_TRUE(w.witnessed()) << "seed " << seed;
+  }
+}
+
+TEST(WitnessReplay, RoundTripReproducesTheVerdict) {
+  const ParsedSuite suite = example_suite("examples/banking.sia");
+  for (const Criterion crit :
+       {Criterion::kSER, Criterion::kSI, Criterion::kPSI}) {
+    const Witness w = find_witness(suite, crit);
+    ASSERT_TRUE(w.witnessed());
+    const std::string doc = to_json(w, "examples/banking.sia", "check");
+    const ReplayReport rep = replay_witness_text(doc);
+    EXPECT_TRUE(rep.replayable) << to_string(crit);
+    EXPECT_TRUE(rep.reproduced) << to_string(crit);
+    EXPECT_TRUE(rep.monitor_confirmed) << to_string(crit);
+    EXPECT_EQ(rep.criterion, to_string(crit));
+  }
+}
+
+TEST(WitnessReplay, RefutedDocumentHasNothingToReplay) {
+  const ParsedSuite suite = example_suite("examples/banking.sia");
+  WitnessOptions opts;
+  opts.max_schedules = 0;
+  const Witness w = find_witness(suite, Criterion::kSI, opts);
+  const std::string doc = to_json(w, "f", "c");
+  const ReplayReport rep = replay_witness_text(doc);
+  EXPECT_FALSE(rep.replayable);
+  EXPECT_FALSE(rep.reproduced);
+  EXPECT_EQ(rep.status, "refuted-under-bound");
+}
+
+TEST(WitnessReplay, TamperedValuesAreRejected) {
+  const ParsedSuite suite = example_suite("examples/banking.sia");
+  const Witness w = find_witness(suite, Criterion::kSI);
+  ASSERT_TRUE(w.witnessed());
+  std::string doc = to_json(w, "f", "c");
+  // Forge the observed read value: no writer ever installed 999, so the
+  // value-based WR inference must fail loudly.
+  const std::size_t pos = doc.find("\"value\": 101");
+  ASSERT_NE(pos, std::string::npos);
+  doc.replace(pos, 12, "\"value\": 999");
+  EXPECT_THROW((void)replay_witness_text(doc), ModelError);
+}
+
+TEST(WitnessReplay, MalformedJsonThrows) {
+  EXPECT_THROW((void)replay_witness_text("{\"status\": "), ModelError);
+  EXPECT_THROW((void)replay_witness_text("[1, 2]"), ModelError);
+}
+
+TEST(WitnessAttach, BankingFindingsAllCarryWitnesses) {
+  lint::SourceFile f{"examples/banking.sia",
+                     read_repo_file("examples/banking.sia")};
+  lint::LintRun run = lint::run_lint({f}, {});
+  const AttachStats stats = attach_witnesses(run, {});
+  EXPECT_EQ(stats.eligible, 3u);
+  EXPECT_EQ(stats.witnessed, 3u);
+  EXPECT_EQ(stats.refuted, 0u);
+  for (const lint::FileResult& fr : run.files) {
+    for (const Diagnostic& d : fr.diagnostics) {
+      if (!criterion_of_check(d.check)) {
+        EXPECT_FALSE(d.witness.has_value()) << d.check;
+        continue;
+      }
+      ASSERT_TRUE(d.witness.has_value()) << d.check;
+      EXPECT_EQ(d.witness->status, "witnessed");
+      // The embedded document must itself be valid JSON and carry the
+      // originating check id.
+      const JsonValue doc = parse_json(d.witness->json);
+      EXPECT_EQ(doc.at("check").string, d.check);
+      EXPECT_EQ(doc.at("status").string, "witnessed");
+      // And the per-diagnostic JSON stays well-formed with it embedded.
+      const JsonValue dj = parse_json(to_json(d));
+      EXPECT_NE(dj.find("witness"), nullptr);
+    }
+  }
+}
+
+TEST(WitnessAttach, SafeSuiteAttachesNothing) {
+  lint::SourceFile f{"examples/banking_safe.sia",
+                     read_repo_file("examples/banking_safe.sia")};
+  lint::LintRun run = lint::run_lint({f}, {});
+  const AttachStats stats = attach_witnesses(run, {});
+  EXPECT_EQ(stats.eligible, 0u);
+  EXPECT_EQ(stats.witnessed, 0u);
+  for (const lint::FileResult& fr : run.files) {
+    for (const Diagnostic& d : fr.diagnostics) {
+      EXPECT_FALSE(d.witness.has_value()) << d.check;
+    }
+  }
+}
+
+TEST(WitnessAttach, TpccCriticalCyclesAllResolve) {
+  lint::SourceFile f{"examples/tpcc.sia", read_repo_file("examples/tpcc.sia")};
+  lint::LintRun run = lint::run_lint({f}, {});
+  const AttachStats stats = attach_witnesses(run, {});
+  EXPECT_GE(stats.eligible, 1u);
+  // Every critical-cycle finding must resolve one way or the other;
+  // nothing may be left unmarked.
+  EXPECT_EQ(stats.witnessed + stats.refuted, stats.eligible);
+  for (const lint::FileResult& fr : run.files) {
+    for (const Diagnostic& d : fr.diagnostics) {
+      if (criterion_of_check(d.check) && d.context != "cycle-budget") {
+        ASSERT_TRUE(d.witness.has_value()) << d.check;
+      }
+    }
+  }
+}
+
+TEST(WitnessGolden, BankingSarifWithWitnessesMatchesGolden) {
+  lint::SourceFile f{"examples/banking.sia",
+                     read_repo_file("examples/banking.sia")};
+  lint::LintRun run = lint::run_lint({f}, {});
+  (void)attach_witnesses(run, {});
+  const std::string expected =
+      read_repo_file("tests/golden/banking.witness.sarif");
+  EXPECT_EQ(lint::to_sarif(run), expected)
+      << "regenerate: ./build/src/tools/sia_lint --witness --format sarif "
+         "examples/banking.sia > tests/golden/banking.witness.sarif";
+}
+
+TEST(WitnessConfirm, RebuiltGraphConfirmsHandRolledAnomaly) {
+  // A replay-shaped piece history in the explorer's value discipline:
+  // the Figure 5 anomaly with distinct nonzero written values. Session 1
+  // is transfer (two pieces), session 2 is lookupAll.
+  const ObjId a1 = 0;
+  const ObjId a2 = 1;
+  History rh;
+  rh.append_singleton(Transaction({write(a1, 0), write(a2, 0)}));
+  rh.append(1, Transaction({write(a1, 101)}));              // transfer[0]
+  rh.append(2, Transaction({read(a1, 101), read(a2, 0)}));  // lookupAll[0]
+  rh.append(1, Transaction({write(a2, 102)}));              // transfer[1]
+  const DependencyGraph g = rebuild_piece_graph(rh);
+  const Confirmation c = confirm_spliced(rh, g, Model::kSI);
+  EXPECT_TRUE(c.anomaly);
+  EXPECT_TRUE(c.monitor_ran);
+  EXPECT_TRUE(c.monitor_violation);
+  EXPECT_FALSE(c.cycle.empty());
+}
+
+}  // namespace
+}  // namespace sia::witness
