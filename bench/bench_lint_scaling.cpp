@@ -5,10 +5,20 @@
 /// cycle-free, the SARIF report parses); the sweep compares linting N
 /// files one run_lint call at a time against one parallel run over all of
 /// them, persisted as BENCH_lint_scaling.json.
+///
+/// Experiment E22 — parametric keyspace axis: a TPC-C-shaped suite whose
+/// declared keyspace grows from ~10^2 to 10^9 representable keys while its
+/// piece structure stays fixed. The interval domain must lint it in flat
+/// time (O(pieces), not O(keys)); the verdict table gates on that, and the
+/// per-size timings land in BENCH_lint_scaling.json for regression
+/// tracking.
 
 #include <thread>
 
 #include "bench_util.hpp"
+#include <algorithm>
+
+#include "lint/abstract_keys.hpp"
 #include "lint/lint.hpp"
 #include "lint/sarif.hpp"
 #include "tools/json_min.hpp"
@@ -68,6 +78,37 @@ lint::LintOptions sweep_opts() {
   return opts;
 }
 
+/// TPC-C-shaped parametric suite whose keyspace scales with \p items
+/// (stock and the StockLevel range scan cover 10 warehouses x items keys)
+/// while the piece structure stays fixed at five pieces.
+std::string make_parametric_text(std::uint64_t items) {
+  const std::string k = std::to_string(items);
+  return "program neworder {\n"
+         "  param w in 1..10\n"
+         "  param d in 1..10\n"
+         "  param i in 1.." +
+         k +
+         "\n"
+         "  piece \"order\" reads warehouse[w] district[w, d] writes "
+         "district[w, d] orders[w, d]\n"
+         "  piece \"stock\" reads stock[w, i] orders[w, d] writes "
+         "stock[w, i] order_lines[w, d]\n"
+         "}\n"
+         "program payment {\n"
+         "  param w in 1..10\n"
+         "  param d in 1..10\n"
+         "  piece \"pay\" reads warehouse[w] district[w, d] writes "
+         "warehouse[w] district[w, d]\n"
+         "}\n"
+         "program stocklevel {\n"
+         "  param w in 1..10\n"
+         "  param d in 1..10\n"
+         "  piece \"level\" reads district[w, d] stock[w, 1.." +
+         k +
+         "] order_lines[w, d]\n"
+         "}\n";
+}
+
 bool has_check(const lint::LintRun& run, const std::string& check) {
   for (const lint::FileResult& f : run.files) {
     for (const Diagnostic& d : f.diagnostics) {
@@ -105,7 +146,7 @@ bool reproduction_table() {
   }
   rows.push_back({"SARIF report of the Fig. 5 run", "parses as SARIF 2.1.0",
                   sarif_ok ? "parses as SARIF 2.1.0" : "malformed"});
-  const bool reproduced = bench::print_verdicts(rows);
+  bool reproduced = bench::print_verdicts(rows);
 
   // ---- file-count sweep: sequential per-file runs vs one parallel run.
   const lint::LintOptions opts = sweep_opts();
@@ -129,6 +170,48 @@ bool reproduction_table() {
       sweep.push_back(row);
     }
   }
+  // ---- E22: parametric keyspace axis — flat lint time 10^2 .. 10^9 keys.
+  bench::header("E22", "parametric keyspace scaling");
+  double base_ns = 0;
+  double worst_ns = 0;
+  std::size_t base_findings = 0;
+  bool same_findings = true;
+  for (const std::uint64_t items :
+       {std::uint64_t{10}, std::uint64_t{1'000}, std::uint64_t{100'000},
+        std::uint64_t{100'000'000}}) {
+    const std::string text = make_parametric_text(items);
+    const abstract_keys::KeyStats stats =
+        abstract_keys::key_stats(parse_programs(text).programs);
+    const lint::SourceFile file{"parametric.sia", text};
+    std::size_t findings = 0;
+    const double ns = bench::time_best_ns([&] {
+      findings = lint::run_lint({file}, opts).counts.findings();
+      benchmark::DoNotOptimize(findings);
+    });
+    if (base_ns == 0) {
+      base_ns = ns;
+      base_findings = findings;
+    }
+    same_findings = same_findings && findings == base_findings;
+    worst_ns = std::max(worst_ns, ns);
+    bench::KernelRow row;
+    // old = the smallest-keyspace baseline, new = this size; a speedup
+    // near 1.0 across the axis is the O(pieces)-not-O(keys) flat line.
+    row.kernel = "lint/parametric-keys";
+    row.n = stats.representable_keys;
+    row.old_ns = base_ns;
+    row.new_ns = ns;
+    sweep.push_back(row);
+  }
+  std::vector<bench::VerdictRow> prows;
+  prows.push_back({"10^9-key parametric TPC-C lint time", "< 100 ms",
+                   worst_ns < 1e8 ? "< 100 ms" : ">= 100 ms"});
+  prows.push_back({"lint time growth, 10^2 -> 10^9 keys", "flat (< 5x)",
+                   worst_ns < 5 * base_ns ? "flat (< 5x)" : "scales with keys"});
+  prows.push_back({"findings across keyspace sizes", "invariant",
+                   same_findings ? "invariant" : "diverge"});
+  reproduced = bench::print_verdicts(prows) && reproduced;
+
   bench::print_kernel_rows(sweep);
   const bool wrote =
       bench::write_kernel_json("BENCH_lint_scaling.json", "bench_lint_scaling",

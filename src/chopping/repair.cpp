@@ -26,6 +26,15 @@ void merge_pieces(Program& program, std::size_t j) {
   writes.insert(right.writes.begin(), right.writes.end());
   left.reads.assign(reads.begin(), reads.end());
   left.writes.assign(writes.begin(), writes.end());
+  for (std::vector<KeyAccess> Piece::*member :
+       {&Piece::key_reads, &Piece::key_writes}) {
+    for (const KeyAccess& a : right.*member) {
+      auto& list = left.*member;
+      if (std::find(list.begin(), list.end(), a) == list.end()) {
+        list.push_back(a);
+      }
+    }
+  }
   program.pieces.erase(program.pieces.begin() + static_cast<std::ptrdiff_t>(j) + 1);
 }
 
@@ -96,16 +105,28 @@ std::vector<Program> explode_programs(const std::vector<Program>& programs) {
   for (const Program& p : programs) {
     Program fine;
     fine.name = p.name;
-    // One piece per object, in order of first access across the original
-    // pieces (reads and writes of one object stay together).
+    fine.params = p.params;
+    // One piece per object (and per distinct parametric access), in order
+    // of first access across the original pieces (reads and writes of one
+    // object stay together).
     std::vector<ObjId> order;
     std::set<ObjId> seen;
+    std::vector<KeyAccess> key_order;
     for (const Piece& piece : p.pieces) {
       for (const ObjId x : piece.reads) {
         if (seen.insert(x).second) order.push_back(x);
       }
       for (const ObjId x : piece.writes) {
         if (seen.insert(x).second) order.push_back(x);
+      }
+      for (const std::vector<KeyAccess> Piece::*member :
+           {&Piece::key_reads, &Piece::key_writes}) {
+        for (const KeyAccess& a : piece.*member) {
+          if (std::find(key_order.begin(), key_order.end(), a) ==
+              key_order.end()) {
+            key_order.push_back(a);
+          }
+        }
       }
     }
     const std::vector<ObjId> reads = p.read_set();
@@ -119,6 +140,21 @@ std::vector<Program> explode_programs(const std::vector<Program>& programs) {
       if (std::find(writes.begin(), writes.end(), x) != writes.end()) {
         piece.writes.push_back(x);
       }
+      fine.pieces.push_back(std::move(piece));
+    }
+    for (const KeyAccess& a : key_order) {
+      Piece piece;
+      piece.label = "key" + std::to_string(a.table);
+      const auto in_any = [&](const std::vector<KeyAccess> Piece::*member) {
+        return std::any_of(p.pieces.begin(), p.pieces.end(),
+                           [&](const Piece& orig) {
+                             const auto& list = orig.*member;
+                             return std::find(list.begin(), list.end(), a) !=
+                                    list.end();
+                           });
+      };
+      if (in_any(&Piece::key_reads)) piece.key_reads.push_back(a);
+      if (in_any(&Piece::key_writes)) piece.key_writes.push_back(a);
       fine.pieces.push_back(std::move(piece));
     }
     if (fine.pieces.empty()) {

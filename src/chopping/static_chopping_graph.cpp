@@ -2,20 +2,16 @@
 
 #include <algorithm>
 
+#include "lint/abstract_keys.hpp"
+
 namespace sia {
-
-namespace {
-
-bool intersects(const std::vector<ObjId>& a, const std::vector<ObjId>& b) {
-  return std::any_of(a.begin(), a.end(), [&b](ObjId x) {
-    return std::find(b.begin(), b.end(), x) != b.end();
-  });
-}
-
-}  // namespace
 
 StaticChoppingGraph::StaticChoppingGraph(std::vector<Program> programs)
     : programs_(std::move(programs)) {
+  // Resolve parametric key accesses to per-dimension intervals; the
+  // conflict edges below come from the sound may-overlap queries, which
+  // reduce to exact ObjId intersection on concrete suites.
+  abstract_keys::resolve(programs_);
   std::uint32_t next = 0;
   for (std::size_t i = 0; i < programs_.size(); ++i) {
     first_node_.push_back(next);
@@ -45,12 +41,18 @@ StaticChoppingGraph::StaticChoppingGraph(std::vector<Program> programs)
       if (i1 == i2) continue;
       const Piece& p1 = programs_[i1].pieces[j1];
       const Piece& p2 = programs_[i2].pieces[j2];
-      if (intersects(p1.writes, p2.reads))
+      if (abstract_keys::writes_reads_overlap(p1, p2)) {
         graph_.add_edge(n1, n2, DepKind::kWR);
-      if (intersects(p1.writes, p2.writes))
+        ++conflict_edges_;
+      }
+      if (abstract_keys::writes_writes_overlap(p1, p2)) {
         graph_.add_edge(n1, n2, DepKind::kWW);
-      if (intersects(p1.reads, p2.writes))
+        ++conflict_edges_;
+      }
+      if (abstract_keys::reads_writes_overlap(p1, p2)) {
         graph_.add_edge(n1, n2, DepKind::kRW);
+        ++conflict_edges_;
+      }
     }
   }
 }

@@ -33,6 +33,12 @@ class StaticChoppingGraph {
   /// Number of piece nodes.
   [[nodiscard]] std::size_t node_count() const { return graph_.size(); }
 
+  /// WR/WW/RW edges added between pieces of different programs — the
+  /// precision figure reported by `sia_lint --stats`.
+  [[nodiscard]] std::size_t conflict_edge_count() const {
+    return conflict_edges_;
+  }
+
   /// Flat node index of piece \p j of program \p i.
   [[nodiscard]] std::uint32_t node_of(std::size_t i, std::size_t j) const;
 
@@ -51,6 +57,7 @@ class StaticChoppingGraph {
   std::vector<std::uint32_t> first_node_;  ///< program -> first flat index
   std::vector<std::pair<std::size_t, std::size_t>> piece_of_;
   TypedGraph graph_;
+  std::size_t conflict_edges_{0};
 };
 
 /// The chopping defined by \p programs is correct under the criterion's

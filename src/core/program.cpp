@@ -24,6 +24,18 @@ std::vector<ObjId> union_of(const std::vector<Piece>& pieces,
   return {out.begin(), out.end()};
 }
 
+std::vector<KeyAccess> key_union_of(
+    const std::vector<Piece>& pieces,
+    const std::vector<KeyAccess> Piece::*member) {
+  std::vector<KeyAccess> out;
+  for (const Piece& p : pieces) {
+    for (const KeyAccess& a : p.*member) {
+      if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<ObjId> Program::read_set() const {
@@ -34,16 +46,27 @@ std::vector<ObjId> Program::write_set() const {
   return union_of(pieces, &Piece::writes);
 }
 
+bool Program::parametric() const {
+  return std::any_of(pieces.begin(), pieces.end(), [](const Piece& p) {
+    return !p.key_reads.empty() || !p.key_writes.empty();
+  });
+}
+
+bool any_parametric(const std::vector<Program>& programs) {
+  return std::any_of(programs.begin(), programs.end(),
+                     [](const Program& p) { return p.parametric(); });
+}
+
 std::vector<Program> unchop(const std::vector<Program>& programs) {
   std::vector<Program> out;
   out.reserve(programs.size());
   for (const Program& p : programs) {
     const SourceSpan piece_span =
         p.pieces.empty() ? p.span : p.pieces.front().span;
-    out.push_back(Program{
-        p.name,
-        {Piece{p.name, p.read_set(), p.write_set(), piece_span}},
-        p.span});
+    Piece merged{p.name, p.read_set(), p.write_set(),
+                 key_union_of(p.pieces, &Piece::key_reads),
+                 key_union_of(p.pieces, &Piece::key_writes), piece_span};
+    out.push_back(Program{p.name, {std::move(merged)}, p.params, p.span});
   }
   return out;
 }

@@ -1,0 +1,489 @@
+#include "lint/abstract_keys.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sia::abstract_keys {
+
+namespace {
+
+using domain::Interval;
+
+/// Lower-bound evaluation of a range end under the current parameter
+/// intervals; a ⊥ parameter poisons the whole bound (sets *bot).
+std::int64_t eval_lo(const KeyTerm& t, const std::vector<Interval>& params,
+                     bool* bot) {
+  if (t.inf < 0) return kKeyMin;
+  if (t.inf > 0) return kKeyMax;
+  if (t.param >= 0) {
+    const Interval& p = params[static_cast<std::size_t>(t.param)];
+    if (p.is_bottom()) {
+      *bot = true;
+      return kKeyMax;
+    }
+    return domain::sat_add(p.lo, t.offset);
+  }
+  return t.literal;
+}
+
+/// Upper-bound evaluation, symmetric to eval_lo.
+std::int64_t eval_hi(const KeyTerm& t, const std::vector<Interval>& params,
+                     bool* bot) {
+  if (t.inf < 0) return kKeyMin;
+  if (t.inf > 0) return kKeyMax;
+  if (t.param >= 0) {
+    const Interval& p = params[static_cast<std::size_t>(t.param)];
+    if (p.is_bottom()) {
+      *bot = true;
+      return kKeyMin;
+    }
+    return domain::sat_add(p.hi, t.offset);
+  }
+  return t.literal;
+}
+
+/// The constraint transformer F_i: the interval of values the i-th
+/// parameter's declared range permits under the current assignment.
+Interval transfer(const ParamDecl& decl, const std::vector<Interval>& params) {
+  bool bot = false;
+  const std::int64_t lo = eval_lo(decl.lo, params, &bot);
+  const std::int64_t hi = eval_hi(decl.hi, params, &bot);
+  if (bot || lo > hi) return Interval::bottom();
+  return Interval{lo, hi};
+}
+
+void check_term(const KeyTerm& t, const Program& prog, const char* where) {
+  if (t.param >= 0 &&
+      static_cast<std::size_t>(t.param) >= prog.params.size()) {
+    throw ModelError("abstract_keys: " + std::string(where) + " in program '" +
+                     prog.name + "' references parameter index " +
+                     std::to_string(t.param) + " out of range");
+  }
+}
+
+/// Chaotic iteration over one program's parameter constraints: start from
+/// the sound cross-reference-free evaluation (refs behave as ∓∞, i.e. F
+/// over ⊤), then round-robin meet-refinement. Every iterate
+/// over-approximates the valid valuations, so the round budget only
+/// bounds precision, never soundness.
+std::vector<Interval> solve_params(const Program& prog) {
+  const std::size_t n = prog.params.size();
+  std::vector<Interval> params(n, Interval::top());
+  for (std::size_t i = 0; i < n; ++i) {
+    check_term(prog.params[i].lo, prog, "parameter bound");
+    check_term(prog.params[i].hi, prog, "parameter bound");
+    for (std::uint32_t d : prog.params[i].distinct) {
+      if (d >= n) {
+        throw ModelError("abstract_keys: '!=' in program '" + prog.name +
+                         "' references parameter index " + std::to_string(d) +
+                         " out of range");
+      }
+    }
+    params[i] = transfer(prog.params[i], params);
+  }
+  const std::size_t rounds = 2 * n + 4;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Interval next = domain::meet(params[i], transfer(prog.params[i], params));
+      if (next != params[i]) {
+        params[i] = next;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return params;
+}
+
+void resolve_access(KeyAccess& access, const Program& prog,
+                    const std::vector<Interval>& params) {
+  access.dims.clear();
+  access.dims.reserve(access.subs.size());
+  for (const KeyExpr& sub : access.subs) {
+    check_term(sub.lo, prog, "subscript");
+    check_term(sub.hi, prog, "subscript");
+    bool bot = false;
+    const std::int64_t lo = eval_lo(sub.lo, params, &bot);
+    const std::int64_t hi = eval_hi(sub.hi, params, &bot);
+    access.dims.push_back(bot || lo > hi ? KeyRange{1, 0} : KeyRange{lo, hi});
+  }
+}
+
+bool declared_distinct(const Program& prog, std::int32_t a, std::int32_t b) {
+  const auto has = [&](std::int32_t i, std::int32_t j) {
+    const auto& d = prog.params[static_cast<std::size_t>(i)].distinct;
+    return std::find(d.begin(), d.end(), static_cast<std::uint32_t>(j)) !=
+           d.end();
+  };
+  return has(a, b) || has(b, a);
+}
+
+}  // namespace
+
+std::string render_key_term(const KeyTerm& t, const Program& prog) {
+  if (t.inf != 0) return "*";
+  if (t.param >= 0) {
+    std::string out = prog.params[static_cast<std::size_t>(t.param)].name;
+    if (t.offset > 0) out += "+" + std::to_string(t.offset);
+    if (t.offset < 0) out += std::to_string(t.offset);
+    return out;
+  }
+  return std::to_string(t.literal);
+}
+
+void resolve(std::vector<Program>& programs) {
+  // One arity per table across the whole suite.
+  std::unordered_map<ObjId, std::size_t> arity;
+  for (const Program& prog : programs) {
+    for (const Piece& piece : prog.pieces) {
+      for (const std::vector<KeyAccess> Piece::*member :
+           {&Piece::key_reads, &Piece::key_writes}) {
+        for (const KeyAccess& a : piece.*member) {
+          const auto [it, fresh] = arity.emplace(a.table, a.subs.size());
+          if (!fresh && it->second != a.subs.size()) {
+            throw ModelError(
+                "abstract_keys: table used with inconsistent subscript "
+                "arity (" +
+                std::to_string(it->second) + " vs " +
+                std::to_string(a.subs.size()) + ") in program '" + prog.name +
+                "'");
+          }
+        }
+      }
+    }
+  }
+  for (Program& prog : programs) {
+    if (prog.params.empty() && !prog.parametric()) continue;
+    const std::vector<Interval> params = solve_params(prog);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      prog.params[i].resolved = domain::to_range(params[i]);
+    }
+    for (Piece& piece : prog.pieces) {
+      for (KeyAccess& a : piece.key_reads) resolve_access(a, prog, params);
+      for (KeyAccess& a : piece.key_writes) resolve_access(a, prog, params);
+    }
+  }
+}
+
+bool accesses_overlap(const KeyAccess& a, const KeyAccess& b) {
+  if (a.table != b.table || a.dims.size() != b.dims.size()) return false;
+  for (std::size_t d = 0; d < a.dims.size(); ++d) {
+    if (!a.dims[d].intersects(b.dims[d])) return false;
+  }
+  return true;
+}
+
+bool sets_overlap(const std::vector<ObjId>& a_objs,
+                  const std::vector<KeyAccess>& a_keys,
+                  const std::vector<ObjId>& b_objs,
+                  const std::vector<KeyAccess>& b_keys) {
+  if (std::any_of(a_objs.begin(), a_objs.end(), [&b_objs](ObjId x) {
+        return std::find(b_objs.begin(), b_objs.end(), x) != b_objs.end();
+      })) {
+    return true;
+  }
+  for (const KeyAccess& a : a_keys) {
+    for (const KeyAccess& b : b_keys) {
+      if (accesses_overlap(a, b)) return true;
+    }
+  }
+  return false;
+}
+
+bool writes_reads_overlap(const Piece& a, const Piece& b) {
+  return sets_overlap(a.writes, a.key_writes, b.reads, b.key_reads);
+}
+
+bool writes_writes_overlap(const Piece& a, const Piece& b) {
+  return sets_overlap(a.writes, a.key_writes, b.writes, b.key_writes);
+}
+
+bool reads_writes_overlap(const Piece& a, const Piece& b) {
+  return sets_overlap(a.reads, a.key_reads, b.writes, b.key_writes);
+}
+
+bool accesses_overlap_same_instance(const Program& prog, const KeyAccess& a,
+                                    const KeyAccess& b) {
+  if (a.table != b.table || a.dims.size() != b.dims.size()) return false;
+  for (std::size_t d = 0; d < a.dims.size(); ++d) {
+    const KeyExpr& x = a.subs[d];
+    const KeyExpr& y = b.subs[d];
+    const bool x_point = x.lo == x.hi && x.lo.is_param();
+    const bool y_point = y.lo == y.hi && y.lo.is_param();
+    if (x_point && y_point) {
+      if (x.lo.param == y.lo.param) {
+        // p+c1 vs p+c2 in one instance: equal iff the offsets are.
+        if (x.lo.offset != y.lo.offset) return false;
+        continue;
+      }
+      if (x.lo.offset == y.lo.offset &&
+          declared_distinct(prog, x.lo.param, y.lo.param)) {
+        return false;  // p != q ⇒ p+c ≠ q+c
+      }
+    }
+    if (!a.dims[d].intersects(b.dims[d])) return false;
+  }
+  return true;
+}
+
+std::string render_key_access(const KeyAccess& access, const Program& prog,
+                              const ObjectTable& objects) {
+  std::string out = objects.name(access.table) + "[";
+  for (std::size_t d = 0; d < access.subs.size(); ++d) {
+    if (d != 0) out += ", ";
+    const KeyExpr& sub = access.subs[d];
+    if (sub.lo.inf < 0 && sub.hi.inf > 0) {
+      out += "*";
+    } else if (sub.lo == sub.hi) {
+      out += render_key_term(sub.lo, prog);
+    } else {
+      out += render_key_term(sub.lo, prog) + ".." +
+             render_key_term(sub.hi, prog);
+    }
+  }
+  return out + "]";
+}
+
+KeyStats key_stats(const std::vector<Program>& programs) {
+  KeyStats stats;
+  // Joined footprint per table: the keys any access may touch.
+  std::unordered_map<ObjId, std::vector<Interval>> footprint;
+  for (const Program& prog : programs) {
+    stats.params += prog.params.size();
+    for (const Piece& piece : prog.pieces) {
+      for (const std::vector<KeyAccess> Piece::*member :
+           {&Piece::key_reads, &Piece::key_writes}) {
+        for (const KeyAccess& a : piece.*member) {
+          stats.parametric = true;
+          ++stats.key_accesses;
+          auto& dims = footprint[a.table];
+          dims.resize(a.dims.size(), Interval::bottom());
+          for (std::size_t d = 0; d < a.dims.size(); ++d) {
+            dims[d] = domain::join(dims[d], domain::from_range(a.dims[d]));
+          }
+        }
+      }
+    }
+  }
+  const std::uint64_t cap = static_cast<std::uint64_t>(kKeyMax);
+  for (const auto& [table, dims] : footprint) {
+    std::uint64_t keys = 1;
+    for (const Interval& dim : dims) {
+      const std::uint64_t w = dim.width();
+      keys = (w != 0 && keys > cap / w) ? cap : keys * w;
+    }
+    stats.representable_keys = stats.representable_keys > cap - keys
+                                   ? cap
+                                   : stats.representable_keys + keys;
+  }
+  return stats;
+}
+
+std::vector<Program> clamp_universe(std::vector<Program> programs,
+                                    std::int64_t n) {
+  resolve(programs);
+  const Interval universe{1, n};
+  std::vector<Program> out;
+  for (Program& prog : programs) {
+    if (prog.params.empty() && !prog.parametric()) {
+      out.push_back(std::move(prog));
+      continue;
+    }
+    bool dead = false;
+    for (ParamDecl& p : prog.params) {
+      const Interval clamped =
+          domain::meet(domain::from_range(p.resolved), universe);
+      if (clamped.is_bottom()) {
+        dead = true;
+        break;
+      }
+      p.lo = KeyTerm{clamped.lo, -1, 0, 0};
+      p.hi = KeyTerm{clamped.hi, -1, 0, 0};
+    }
+    if (dead) continue;  // no valid instance in the n-key universe
+    for (Piece& piece : prog.pieces) {
+      for (std::vector<KeyAccess> Piece::*member :
+           {&Piece::key_reads, &Piece::key_writes}) {
+        for (KeyAccess& a : piece.*member) {
+          for (KeyExpr& sub : a.subs) {
+            if (sub.lo == sub.hi) continue;  // point subscripts untouched
+            if (sub.lo.inf < 0) sub.lo = KeyTerm{1, -1, 0, 0};
+            if (sub.lo.param < 0 && sub.lo.inf == 0) {
+              sub.lo.literal = std::max<std::int64_t>(sub.lo.literal, 1);
+            }
+            if (sub.hi.inf > 0) sub.hi = KeyTerm{n, -1, 0, 0};
+            if (sub.hi.param < 0 && sub.hi.inf == 0) {
+              sub.hi.literal = std::min(sub.hi.literal, n);
+            }
+          }
+        }
+      }
+    }
+    out.push_back(std::move(prog));
+  }
+  resolve(out);
+  return out;
+}
+
+namespace {
+
+/// Substituted value of a range end under one valuation.
+std::int64_t subst(const KeyTerm& t, const std::vector<std::int64_t>& vals,
+                   const Program& prog, const char* what) {
+  if (t.inf != 0) {
+    throw ModelError("instantiate: unbounded " + std::string(what) +
+                     " in program '" + prog.name +
+                     "' cannot be enumerated (clamp the universe first)");
+  }
+  if (t.param >= 0) {
+    return domain::sat_add(vals[static_cast<std::size_t>(t.param)], t.offset);
+  }
+  return t.literal;
+}
+
+void append_unique(std::vector<ObjId>& list, ObjId obj) {
+  if (std::find(list.begin(), list.end(), obj) == list.end()) {
+    list.push_back(obj);
+  }
+}
+
+/// Expands one access under one valuation into concrete "table[k,...]"
+/// objects appended to \p list.
+void expand_access(const KeyAccess& access,
+                   const std::vector<std::int64_t>& vals, const Program& prog,
+                   ObjectTable& objects, const InstantiateOptions& opts,
+                   std::vector<ObjId>& list) {
+  std::vector<KeyRange> dims;
+  std::uint64_t total = 1;
+  for (const KeyExpr& sub : access.subs) {
+    const std::int64_t lo = subst(sub.lo, vals, prog, "subscript");
+    const std::int64_t hi = subst(sub.hi, vals, prog, "subscript");
+    if (lo > hi) return;  // empty under this valuation: no keys accessed
+    const std::uint64_t w =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (w > opts.max_objects || total > opts.max_objects / w) {
+      throw ModelError("instantiate: access '" +
+                       render_key_access(access, prog, objects) +
+                       "' in program '" + prog.name + "' expands past " +
+                       std::to_string(opts.max_objects) + " objects");
+    }
+    total *= w;
+    dims.push_back(KeyRange{lo, hi});
+  }
+  // By value: the interns below grow the table and would dangle a
+  // reference into it.
+  const std::string table = objects.name(access.table);
+  std::vector<std::int64_t> key(dims.size());
+  for (std::size_t d = 0; d < dims.size(); ++d) key[d] = dims[d].lo;
+  while (true) {
+    std::string name = table + "[";
+    for (std::size_t d = 0; d < key.size(); ++d) {
+      if (d != 0) name += ",";
+      name += std::to_string(key[d]);
+    }
+    name += "]";
+    append_unique(list, objects.intern(name));
+    if (objects.size() > opts.max_objects) {
+      throw ModelError("instantiate: more than " +
+                       std::to_string(opts.max_objects) + " objects");
+    }
+    // Odometer over the key space.
+    std::size_t d = key.size();
+    while (d > 0 && key[d - 1] == dims[d - 1].hi) {
+      key[d - 1] = dims[d - 1].lo;
+      --d;
+    }
+    if (d == 0) break;
+    ++key[d - 1];
+  }
+}
+
+}  // namespace
+
+std::vector<Program> instantiate(const std::vector<Program>& programs,
+                                 ObjectTable& objects,
+                                 const InstantiateOptions& opts) {
+  std::vector<Program> resolved = programs;
+  resolve(resolved);
+  std::vector<Program> out;
+  std::size_t instances = 0;
+  for (const Program& prog : resolved) {
+    if (prog.params.empty() && !prog.parametric()) {
+      out.push_back(prog);
+      continue;
+    }
+    // Enumerate valuations of the (bounded) parameter ranges.
+    std::uint64_t count = 1;
+    for (const ParamDecl& p : prog.params) {
+      if (p.resolved.empty()) {
+        count = 0;
+        break;
+      }
+      if (p.resolved.lo == kKeyMin || p.resolved.hi == kKeyMax) {
+        throw ModelError("instantiate: parameter '" + p.name +
+                         "' of program '" + prog.name +
+                         "' has an unbounded range");
+      }
+      const std::uint64_t w = static_cast<std::uint64_t>(p.resolved.hi) -
+                              static_cast<std::uint64_t>(p.resolved.lo) + 1;
+      if (w > opts.max_instances || count > opts.max_instances / w) {
+        throw ModelError("instantiate: program '" + prog.name +
+                         "' expands past " +
+                         std::to_string(opts.max_instances) + " instances");
+      }
+      count *= w;
+    }
+    std::vector<std::int64_t> vals;
+    for (const ParamDecl& p : prog.params) vals.push_back(p.resolved.lo);
+    for (std::uint64_t v = 0; v < count; ++v) {
+      const bool ok = [&] {
+        for (std::size_t i = 0; i < prog.params.size(); ++i) {
+          for (std::uint32_t j : prog.params[i].distinct) {
+            if (vals[i] == vals[j]) return false;
+          }
+        }
+        return true;
+      }();
+      if (ok) {
+        if (++instances > opts.max_instances) {
+          throw ModelError("instantiate: suite expands past " +
+                           std::to_string(opts.max_instances) + " instances");
+        }
+        Program inst;
+        inst.name = prog.name;
+        for (std::size_t i = 0; i < prog.params.size(); ++i) {
+          inst.name += (i == 0 ? "@" : ",") + prog.params[i].name + "=" +
+                       std::to_string(vals[i]);
+        }
+        inst.span = prog.span;
+        for (const Piece& piece : prog.pieces) {
+          Piece p;
+          p.label = piece.label;
+          p.span = piece.span;
+          p.reads = piece.reads;
+          p.writes = piece.writes;
+          for (const KeyAccess& a : piece.key_reads) {
+            expand_access(a, vals, prog, objects, opts, p.reads);
+          }
+          for (const KeyAccess& a : piece.key_writes) {
+            expand_access(a, vals, prog, objects, opts, p.writes);
+          }
+          inst.pieces.push_back(std::move(p));
+        }
+        out.push_back(std::move(inst));
+      }
+      // Odometer over the valuation space.
+      std::size_t i = prog.params.size();
+      while (i > 0 && vals[i - 1] == prog.params[i - 1].resolved.hi) {
+        vals[i - 1] = prog.params[i - 1].resolved.lo;
+        --i;
+      }
+      if (i == 0) break;
+      ++vals[i - 1];
+    }
+  }
+  return out;
+}
+
+}  // namespace sia::abstract_keys

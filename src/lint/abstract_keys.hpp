@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+#include "core/types.hpp"
+#include "lint/domain.hpp"
+
+/// \file abstract_keys.hpp
+/// The abstract-keys engine: resolves parametric read/write sets to
+/// per-dimension key intervals (domain.hpp) and answers the sound
+/// `may_overlap` queries every static analysis builds its conflict edges
+/// from (DESIGN.md §4j).
+///
+/// Soundness contract: for any run-time instantiation of the programs,
+/// two accesses that can touch a common object satisfy may-overlap here.
+/// Thus SCG / static-dependency-graph edges computed from these queries
+/// over-approximate the real conflict edges, and every "safe" verdict
+/// (no critical cycle, robust) remains sound on parametric suites. On
+/// suites without parameters the queries reduce to exact ObjId equality,
+/// so verdicts are bit-identical to the original concrete analyses.
+
+namespace sia::abstract_keys {
+
+/// Resolves every program's parameter intervals and every key access's
+/// per-dimension intervals (KeyAccess::dims, ParamDecl::resolved) by
+/// chaotic iteration over the program's range constraints: each
+/// parameter starts at the sound evaluation of its bounds with
+/// cross-references replaced by ∓∞, then round-robin refinement meets in
+/// re-evaluated bounds until stable (or a round budget, every iterate
+/// being a sound over-approximation of the valid valuations). A ⊥
+/// parameter interval means no valid valuation assigns that parameter;
+/// its accesses resolve to empty dimensions and never overlap anything.
+///
+/// Idempotent; cheap on concrete suites (no parameters, no work).
+/// \throws ModelError on inconsistent subscript arity for one table or a
+/// subscript referencing a parameter index out of range (the parser
+/// rejects both earlier; this guards programs built directly in C++).
+void resolve(std::vector<Program>& programs);
+
+/// May these two (resolved) accesses touch a common object? Same table,
+/// same arity, and every dimension's intervals intersect. Accesses to
+/// different tables or of different arity never overlap (the parser
+/// enforces one arity per table; concrete objects are the zero-arity
+/// case and live in a disjoint namespace from subscripted tables).
+[[nodiscard]] bool accesses_overlap(const KeyAccess& a, const KeyAccess& b);
+
+/// May an access set (concrete objects + resolved key accesses) share an
+/// object with another? Concrete-vs-concrete is exact ObjId equality —
+/// bit-identical to the original analyses on concrete suites.
+[[nodiscard]] bool sets_overlap(const std::vector<ObjId>& a_objs,
+                                const std::vector<KeyAccess>& a_keys,
+                                const std::vector<ObjId>& b_objs,
+                                const std::vector<KeyAccess>& b_keys);
+
+/// Piece-level conveniences used by the conflict-edge builders:
+/// W_a ∩ R_b, W_a ∩ W_b, R_a ∩ W_b respectively.
+[[nodiscard]] bool writes_reads_overlap(const Piece& a, const Piece& b);
+[[nodiscard]] bool writes_writes_overlap(const Piece& a, const Piece& b);
+[[nodiscard]] bool reads_writes_overlap(const Piece& a, const Piece& b);
+
+/// Overlap between two accesses of the *same* run-time instance of
+/// \p prog: parameters hold one value per instance, so two point
+/// subscripts on the same parameter with equal offsets denote the same
+/// key, and parameters declared distinct (`!=`) never collide. Used by
+/// the duplicate-piece-access check; cross-program queries must use
+/// accesses_overlap (disequalities do not relate different instances).
+[[nodiscard]] bool accesses_overlap_same_instance(const Program& prog,
+                                                  const KeyAccess& a,
+                                                  const KeyAccess& b);
+
+/// Renders an access back to source syntax: "stock[w, 1..100]".
+[[nodiscard]] std::string render_key_access(const KeyAccess& access,
+                                            const Program& prog,
+                                            const ObjectTable& objects);
+
+/// Renders a single range end: "7", "w", "w+1", "*" (unbounded).
+[[nodiscard]] std::string render_key_term(const KeyTerm& t,
+                                          const Program& prog);
+
+/// Suite-level precision statistics for `sia_lint --stats`.
+struct KeyStats {
+  bool parametric{false};
+  std::size_t params{0};        ///< parameter declarations across the suite
+  std::size_t key_accesses{0};  ///< parametric accesses across the suite
+  /// Keys representable by the parametric accesses: per table the joined
+  /// footprint's key count, summed over tables, saturating at kKeyMax.
+  std::uint64_t representable_keys{0};
+};
+[[nodiscard]] KeyStats key_stats(const std::vector<Program>& programs);
+
+/// Copy of the suite restricted to the n-key universe [1, n]: every
+/// parameter range and every literal or unbounded range-subscript end is
+/// intersected with [1, n] ("an n-warehouse instantiation"). Programs
+/// whose clamped parameter range becomes empty have no valid instance
+/// and are dropped. Point subscripts and parameter-referencing range
+/// ends are left alone (the clamped parameters already bound them).
+/// The result is re-resolved.
+[[nodiscard]] std::vector<Program> clamp_universe(std::vector<Program> programs,
+                                                  std::int64_t n);
+
+struct InstantiateOptions {
+  std::size_t max_instances = 4096;  ///< explosion guard: program copies
+  std::size_t max_objects = 65536;   ///< explosion guard: interned keys
+};
+
+/// Exhaustively instantiates parametric programs over their declared
+/// (resolved) bounds: one concrete program per parameter valuation
+/// satisfying the disequalities, named "name@w=1,d=2"; every subscripted
+/// access expands to the concrete objects "table[k1,k2]" interned into
+/// \p objects. Concrete programs pass through unchanged. The result has
+/// no parametric accesses, so the exact concrete analyses apply — the
+/// differential oracle for the interval verdicts.
+/// \throws ModelError on an unbounded range or when a guard trips.
+[[nodiscard]] std::vector<Program> instantiate(
+    const std::vector<Program>& programs, ObjectTable& objects,
+    const InstantiateOptions& opts = {});
+
+}  // namespace sia::abstract_keys

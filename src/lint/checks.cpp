@@ -7,6 +7,7 @@
 
 #include "chopping/repair.hpp"
 #include "chopping/static_chopping_graph.hpp"
+#include "lint/abstract_keys.hpp"
 #include "robustness/robustness.hpp"
 
 namespace sia::lint {
@@ -195,7 +196,7 @@ void check_empty_piece(const SuiteContext& ctx, const CheckOptions&,
   for (const Program& p : ctx.suite.programs) {
     for (std::size_t j = 0; j < p.pieces.size(); ++j) {
       const Piece& piece = p.pieces[j];
-      if (!piece.reads.empty() || !piece.writes.empty()) continue;
+      if (!piece.accesses_nothing()) continue;
       Diagnostic d;
       d.check = "empty-piece";
       d.severity = Severity::kWarning;
@@ -234,6 +235,40 @@ void check_write_never_read(const SuiteContext& ctx, const CheckOptions&,
         d.message = "object '" + ctx.suite.objects.name(x) +
                     "' is written (program '" + p.name + "', piece " +
                     std::to_string(j) + ") but never read by any program";
+        out.push_back(std::move(d));
+      }
+    }
+  }
+  // Parametric analogue: a key write no key read may ever overlap. (A
+  // missed overlap would need a read of the same table intersecting on
+  // every dimension, so interval disjointness is exact disuse here.)
+  std::set<std::string> key_reported;
+  for (const Program& p : ctx.suite.programs) {
+    for (std::size_t j = 0; j < p.pieces.size(); ++j) {
+      for (const KeyAccess& w : p.pieces[j].key_writes) {
+        const bool read = [&] {
+          for (const Program& q : ctx.suite.programs) {
+            for (const Piece& piece : q.pieces) {
+              for (const KeyAccess& r : piece.key_reads) {
+                if (abstract_keys::accesses_overlap(w, r)) return true;
+              }
+            }
+          }
+          return false;
+        }();
+        if (read) continue;
+        const std::string rendered =
+            abstract_keys::render_key_access(w, p, ctx.suite.objects);
+        if (!key_reported.insert(rendered).second) continue;
+        Diagnostic d;
+        d.check = "write-never-read";
+        d.severity = Severity::kWarning;
+        d.file = ctx.file;
+        d.span = w.span.known() ? w.span : p.pieces[j].span;
+        d.context = "obj:" + rendered;
+        d.message = "access '" + rendered + "' is written (program '" +
+                    p.name + "', piece " + std::to_string(j) +
+                    ") but no program reads any overlapping keys";
         out.push_back(std::move(d));
       }
     }
@@ -278,6 +313,54 @@ void check_duplicate_access(const SuiteContext& ctx, const CheckOptions&,
                   std::to_string(pieces[0]) + ")";
       d.related.push_back(std::move(r));
       out.push_back(std::move(d));
+    }
+    // Parametric analogue, refined by `!=` declarations: two pieces of
+    // one run-time instance may touch a common key (parameters hold one
+    // value per instance, so w vs w2 with `w != w2` never collide).
+    for (const bool is_write : {false, true}) {
+      const std::vector<KeyAccess> Piece::*member =
+          is_write ? &Piece::key_writes : &Piece::key_reads;
+      for (std::size_t j2 = 1; j2 < p.pieces.size(); ++j2) {
+        for (const KeyAccess& b : p.pieces[j2].*member) {
+          for (std::size_t j1 = 0; j1 < j2; ++j1) {
+            const auto& list = p.pieces[j1].*member;
+            const auto hit = std::find_if(
+                list.begin(), list.end(), [&](const KeyAccess& a) {
+                  return abstract_keys::accesses_overlap_same_instance(p, a,
+                                                                       b);
+                });
+            if (hit == list.end()) continue;
+            const std::string rendered_a =
+                abstract_keys::render_key_access(*hit, p, ctx.suite.objects);
+            const std::string rendered_b =
+                abstract_keys::render_key_access(b, p, ctx.suite.objects);
+            Diagnostic d;
+            d.check = "duplicate-piece-access";
+            d.severity = Severity::kWarning;
+            d.file = ctx.file;
+            d.span = b.span.known() ? b.span : p.pieces[j2].span;
+            d.context = piece_context(p, j2) + ":" +
+                        (is_write ? "writes:" : "reads:") + rendered_b;
+            d.message = std::string("program '") + p.name + "' " +
+                        (is_write ? "writes" : "reads") + " keys of '" +
+                        rendered_b + "' already " +
+                        (is_write ? "written" : "read") + " as '" +
+                        rendered_a + "' in piece " + std::to_string(j1) +
+                        "; under chopping each piece commits separately, so "
+                        "the repeated access spans transaction boundaries";
+            RelatedLocation r;
+            r.file = ctx.file;
+            r.span = hit->span.known() ? hit->span : p.pieces[j1].span;
+            r.message = "first overlapping " +
+                        std::string(is_write ? "write" : "read") + " '" +
+                        rendered_a + "' is here (piece " +
+                        std::to_string(j1) + ")";
+            d.related.push_back(std::move(r));
+            out.push_back(std::move(d));
+            break;  // one finding per duplicated access
+          }
+        }
+      }
     }
   }
 }

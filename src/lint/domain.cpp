@@ -1,0 +1,69 @@
+#include "lint/domain.hpp"
+
+#include <algorithm>
+
+namespace sia::domain {
+
+std::uint64_t Interval::width() const {
+  if (is_bottom()) return 0;
+  if (lo == kKeyMin || hi == kKeyMax) {
+    return static_cast<std::uint64_t>(kKeyMax);
+  }
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  if (span == std::numeric_limits<std::uint64_t>::max()) {
+    return static_cast<std::uint64_t>(kKeyMax);
+  }
+  return std::min<std::uint64_t>(span + 1, static_cast<std::uint64_t>(kKeyMax));
+}
+
+Interval join(const Interval& a, const Interval& b) {
+  if (a.is_bottom()) return b;
+  if (b.is_bottom()) return a;
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval meet(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  const Interval m{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+  return m.is_bottom() ? Interval::bottom() : m;
+}
+
+Interval widen(const Interval& a, const Interval& b) {
+  if (a.is_bottom()) return b;
+  if (b.is_bottom()) return a;
+  return {b.lo < a.lo ? kKeyMin : a.lo, b.hi > a.hi ? kKeyMax : a.hi};
+}
+
+bool leq(const Interval& a, const Interval& b) {
+  if (a.is_bottom()) return true;
+  if (b.is_bottom()) return false;
+  return b.lo <= a.lo && a.hi <= b.hi;
+}
+
+std::int64_t sat_add(std::int64_t a, std::int64_t k) {
+  if (a == kKeyMin || a == kKeyMax || k == 0) return a;
+  if (k > 0 && a > kKeyMax - k) return kKeyMax;
+  if (k < 0 && a < kKeyMin - k) return kKeyMin;
+  return a + k;
+}
+
+Interval from_range(const KeyRange& r) {
+  return r.empty() ? Interval::bottom() : Interval{r.lo, r.hi};
+}
+
+KeyRange to_range(const Interval& i) {
+  return i.is_bottom() ? KeyRange{1, 0} : KeyRange{i.lo, i.hi};
+}
+
+std::string to_string(const Interval& i) {
+  if (i.is_bottom()) return "bot";
+  const auto end = [](std::int64_t v) -> std::string {
+    if (v == kKeyMin) return "-inf";
+    if (v == kKeyMax) return "+inf";
+    return std::to_string(v);
+  };
+  return "[" + end(i.lo) + ", " + end(i.hi) + "]";
+}
+
+}  // namespace sia::domain

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/program.hpp"
+
+/// \file domain.hpp
+/// The interval abstract domain over 64-bit integer keys: the lattice the
+/// abstract-keys engine (abstract_keys.hpp) iterates to a fixpoint when it
+/// resolves parametric subscripts. Elements are ⊥ (empty) plus all closed
+/// intervals [lo, hi] with lo ≤ hi, where kKeyMin / kKeyMax stand for the
+/// unbounded ends −∞ / +∞; ⊤ is [−∞, +∞]. Join and meet are the usual
+/// convex hull and intersection; widening jumps any unstable bound to its
+/// infinity so every ascending chain stabilises in at most two steps per
+/// bound (DESIGN.md §4j).
+
+namespace sia::domain {
+
+/// An interval lattice element. Default-constructed is ⊥.
+struct Interval {
+  std::int64_t lo{kKeyMax};  ///< ⊥ is encoded lo > hi
+  std::int64_t hi{kKeyMin};
+
+  [[nodiscard]] static Interval bottom() { return {}; }
+  [[nodiscard]] static Interval top() { return {kKeyMin, kKeyMax}; }
+  [[nodiscard]] static Interval point(std::int64_t v) { return {v, v}; }
+
+  [[nodiscard]] bool is_bottom() const { return lo > hi; }
+  [[nodiscard]] bool is_top() const { return lo == kKeyMin && hi == kKeyMax; }
+
+  /// Number of keys in the interval, saturating at kKeyMax (unbounded or
+  /// overflowing intervals report kKeyMax). Used by the precision stats.
+  [[nodiscard]] std::uint64_t width() const;
+
+  [[nodiscard]] bool contains(std::int64_t v) const {
+    return lo <= v && v <= hi;
+  }
+  [[nodiscard]] bool operator==(const Interval&) const = default;
+};
+
+/// Least upper bound (convex hull).
+[[nodiscard]] Interval join(const Interval& a, const Interval& b);
+
+/// Greatest lower bound (intersection).
+[[nodiscard]] Interval meet(const Interval& a, const Interval& b);
+
+/// Standard interval widening a ∇ b: a bound of b that escapes a jumps to
+/// its infinity. Guarantees termination of the chaotic iteration: each
+/// bound can change at most twice (once to the new value via join steps
+/// before the widening delay, once to ±∞).
+[[nodiscard]] Interval widen(const Interval& a, const Interval& b);
+
+/// a ⊑ b in the lattice order.
+[[nodiscard]] bool leq(const Interval& a, const Interval& b);
+
+/// a + k with saturation at the infinities (∞ + k = ∞).
+[[nodiscard]] std::int64_t sat_add(std::int64_t a, std::int64_t k);
+
+/// Conversions to/from the resolved-range type carried on KeyAccess.
+[[nodiscard]] Interval from_range(const KeyRange& r);
+[[nodiscard]] KeyRange to_range(const Interval& i);
+
+/// Renders "[lo, hi]" with "-inf"/"+inf" for the sentinels, "⊥" for bottom.
+[[nodiscard]] std::string to_string(const Interval& i);
+
+}  // namespace sia::domain

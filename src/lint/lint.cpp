@@ -4,6 +4,7 @@
 #include <cctype>
 #include <sstream>
 
+#include "chopping/static_chopping_graph.hpp"
 #include "core/parallel.hpp"
 #include "tools/analysis_json.hpp"
 #include "tools/parse_error.hpp"
@@ -45,6 +46,17 @@ void lint_one_file(const SourceFile& in, const LintOptions& opts,
   ctx.source = in.text;
   try {
     ctx.suite = parse_programs(in.text);
+    out.key_stats = abstract_keys::key_stats(ctx.suite.programs);
+    if (opts.domain == LintOptions::Domain::kConcrete &&
+        any_parametric(ctx.suite.programs)) {
+      // Exhaustive instantiation: the exact oracle for the interval
+      // verdicts. Throws (→ the ModelError handler below) when the
+      // declared bounds are unbounded or too large to enumerate.
+      ctx.suite.programs =
+          abstract_keys::instantiate(ctx.suite.programs, ctx.suite.objects);
+    }
+    out.conflict_edges =
+        StaticChoppingGraph(ctx.suite.programs).conflict_edge_count();
     raw = run_checks(ctx, opts.check, opts.enabled, &out.check_seconds);
   } catch (const ParseError& e) {
     out.parse_failed = true;

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "lint/abstract_keys.hpp"
 #include "lint/checks.hpp"
 
 /// \file lint.hpp
@@ -53,6 +54,14 @@ class SuppressionSet {
 
 /// Driver configuration (the CLI flags, minus output formatting).
 struct LintOptions {
+  /// How parametric key accesses reach the analyses (--domain): kInterval
+  /// analyses the abstract intervals directly (sound, O(pieces));
+  /// kConcrete exhaustively instantiates every parameter valuation first
+  /// (exact, the differential oracle — only viable at small bounds, a
+  /// guarded ModelError otherwise). Concrete suites are identical under
+  /// both.
+  enum class Domain { kInterval, kConcrete };
+  Domain domain{Domain::kInterval};
   /// Check ids to run; empty = every registered check.
   std::vector<std::string> enabled;
   /// Promote warnings to errors in the rendered output.
@@ -80,6 +89,11 @@ struct FileResult {
   std::size_t baselined{0};
   /// Wall-clock per registry slot (indexed like all_checks()).
   std::vector<double> check_seconds;
+  /// Abstract-domain precision figures for --stats: the parsed suite's
+  /// parametric footprint and the SCG conflict-edge count the analyses
+  /// actually saw.
+  abstract_keys::KeyStats key_stats;
+  std::size_t conflict_edges{0};
 };
 
 /// Aggregated per-check timing for --stats.

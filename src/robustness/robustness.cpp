@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/cycles.hpp"
+#include "lint/abstract_keys.hpp"
 #include "robustness/concretize.hpp"
 
 #include <map>
@@ -16,32 +17,32 @@ StaticDependencyGraph::StaticDependencyGraph(std::vector<Program> programs)
       dep_(programs_.size()),
       rw_(programs_.size()),
       all_(programs_.size()) {
-  auto intersects = [](const std::vector<ObjId>& a,
-                       const std::vector<ObjId>& b) {
-    return std::any_of(a.begin(), a.end(), [&b](ObjId x) {
-      return std::find(b.begin(), b.end(), x) != b.end();
-    });
+  // Program-level overlap = some piece pair overlaps. On concrete suites
+  // this is exactly the old read_set()/write_set() intersection; on
+  // parametric suites the piece-pair queries are the sound interval
+  // may-overlap of the abstract-keys engine.
+  abstract_keys::resolve(programs_);
+  const auto overlap = [this](std::uint32_t i, std::uint32_t j,
+                              bool (*pieces)(const Piece&, const Piece&)) {
+    for (const Piece& a : programs_[i].pieces) {
+      for (const Piece& b : programs_[j].pieces) {
+        if (pieces(a, b)) return true;
+      }
+    }
+    return false;
   };
-  std::vector<std::vector<ObjId>> reads;
-  std::vector<std::vector<ObjId>> writes;
-  reads.reserve(programs_.size());
-  writes.reserve(programs_.size());
-  for (const Program& p : programs_) {
-    reads.push_back(p.read_set());
-    writes.push_back(p.write_set());
-  }
   for (std::uint32_t i = 0; i < programs_.size(); ++i) {
     for (std::uint32_t j = 0; j < programs_.size(); ++j) {
       // Self-edges included: two run-time instances of one program.
-      if (intersects(writes[i], reads[j])) {
+      if (overlap(i, j, abstract_keys::writes_reads_overlap)) {
         graph_.add_edge(i, j, DepKind::kWR);
         dep_.add(i, j);
       }
-      if (intersects(writes[i], writes[j])) {
+      if (overlap(i, j, abstract_keys::writes_writes_overlap)) {
         graph_.add_edge(i, j, DepKind::kWW);
         dep_.add(i, j);
       }
-      if (intersects(reads[i], writes[j])) {
+      if (overlap(i, j, abstract_keys::reads_writes_overlap)) {
         graph_.add_edge(i, j, DepKind::kRW);
         rw_.add(i, j);
       }
@@ -156,6 +157,20 @@ RobustnessVerdict analyze_with_concretization(
         }
         return candidates.size() < kCandidateLimit;
       });
+
+  // Concretisation replays *concrete* read/write sets; on a parametric
+  // suite a failed concretisation would wrongly certify robustness (the
+  // anomaly may need keys outside any finite replay). Skip it and report
+  // the candidates unverified — conservative but sound.
+  if (any_parametric(g.programs()) && !candidates.empty()) {
+    verdict.robust = false;
+    verdict.verified = false;
+    verdict.witness = walk_of.begin()->second;
+    verdict.description =
+        "candidate cycle over a parametric suite (concretisation skipped): " +
+        render_walk(g, verdict.witness);
+    return verdict;
+  }
 
   bool all_refuted = stats.complete && candidates.size() < kCandidateLimit;
   for (const auto& multiset : candidates) {

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <map>
 #include <set>
 #include <sstream>
 
+#include "lint/abstract_keys.hpp"
 #include "tools/parse_error.hpp"
 
 namespace sia {
@@ -23,7 +27,8 @@ struct Token {
 }
 
 /// Splits a line into tokens; quoted strings form single tokens (with the
-/// quotes kept, so the caller can recognise labels).
+/// quotes kept, so the caller can recognise labels), and a '[' pulls the
+/// whole subscript — spaces included — into its token ("stock[w, 1..10]").
 std::vector<Token> tokenize(const std::string& line, std::size_t lineno) {
   std::vector<Token> tokens;
   std::size_t i = 0;
@@ -46,6 +51,13 @@ std::vector<Token> tokenize(const std::string& line, std::size_t lineno) {
     while (end < line.size() &&
            !std::isspace(static_cast<unsigned char>(line[end])) &&
            line[end] != '#') {
+      if (line[end] == '[') {
+        const std::size_t close = line.find(']', end + 1);
+        if (close == std::string::npos) {
+          fail(lineno, end + 1, "unterminated subscript (missing ']')");
+        }
+        end = close;
+      }
       ++end;
     }
     tokens.push_back(Token{line.substr(i, end - i), i + 1});
@@ -63,6 +75,137 @@ SourceSpan span_of(const Token& t, std::size_t lineno) {
   return SourceSpan{lineno, t.col, t.col + t.text.size()};
 }
 
+bool is_ident(std::string_view s) {
+  if (s.empty() ||
+      (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_')) {
+    return false;
+  }
+  return std::all_of(s.begin(), s.end(), [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  });
+}
+
+std::int32_t param_index(const Program& prog, std::string_view name) {
+  for (std::size_t i = 0; i < prog.params.size(); ++i) {
+    if (prog.params[i].name == name) return static_cast<std::int32_t>(i);
+  }
+  return -1;
+}
+
+/// Parses one range end at absolute column \p col: an integer literal, a
+/// parameter name with an optional ±offset, or '*' (unbounded towards
+/// \p sign, which is -1 for a lower end and +1 for an upper end).
+KeyTerm parse_term(const std::string& s, std::size_t lineno, std::size_t col,
+                   const Program& prog, std::int8_t sign) {
+  if (s.empty()) {
+    fail(lineno, col, "expected an integer or parameter in range");
+  }
+  if (s == "*") return KeyTerm{0, -1, 0, sign};
+  if (s[0] == '-' || std::isdigit(static_cast<unsigned char>(s[0]))) {
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (errno == ERANGE) {
+      fail(lineno, col, "integer out of range: '" + s + "'");
+    }
+    if (end == nullptr || *end != '\0') {
+      fail(lineno, col, "expected an integer or parameter, got '" + s + "'");
+    }
+    return KeyTerm{static_cast<std::int64_t>(v), -1, 0, 0};
+  }
+  std::size_t split = s.size();
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s[i] == '+' || s[i] == '-') {
+      split = i;
+      break;
+    }
+  }
+  const std::string name = s.substr(0, split);
+  if (!is_ident(name)) {
+    fail(lineno, col, "expected an integer or parameter, got '" + s + "'");
+  }
+  const std::int32_t idx = param_index(prog, name);
+  if (idx < 0) {
+    fail(lineno, col,
+         "unknown parameter '" + name + "' (declare it with 'param' first)");
+  }
+  std::int64_t offset = 0;
+  if (split < s.size()) {
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(s.c_str() + split, &end, 10);
+    if (errno == ERANGE || end == nullptr || *end != '\0' ||
+        split + 1 == s.size()) {
+      fail(lineno, col + split,
+           "malformed offset '" + s.substr(split) + "' after parameter '" +
+               name + "'");
+    }
+    offset = static_cast<std::int64_t>(v);
+  }
+  return KeyTerm{0, idx, offset, 0};
+}
+
+/// Parses one dimension ("7", "w+1", "1..100", "w..w2", "*") at absolute
+/// column \p col. Literal ranges must be non-empty (lo <= hi).
+KeyExpr parse_dim(const std::string& s, std::size_t lineno, std::size_t col,
+                  const Program& prog) {
+  if (s == "*") {
+    return KeyExpr{KeyTerm{0, -1, 0, -1}, KeyTerm{0, -1, 0, +1}};
+  }
+  const std::size_t dots = s.find("..");
+  if (dots == std::string::npos) {
+    const KeyTerm t = parse_term(s, lineno, col, prog, 0);
+    if (t.inf != 0) {
+      fail(lineno, col, "'*' must stand alone or end a range");
+    }
+    return KeyExpr{t, t};
+  }
+  const KeyTerm lo = parse_term(s.substr(0, dots), lineno, col, prog, -1);
+  const KeyTerm hi =
+      parse_term(s.substr(dots + 2), lineno, col + dots + 2, prog, +1);
+  if (lo.inf == 0 && lo.param < 0 && hi.inf == 0 && hi.param < 0 &&
+      lo.literal > hi.literal) {
+    fail(lineno, col,
+         "empty range " + std::to_string(lo.literal) + ".." +
+             std::to_string(hi.literal) + " (lower bound exceeds upper)");
+  }
+  return KeyExpr{lo, hi};
+}
+
+/// Parses a subscripted access token "table[dim, dim, ...]".
+KeyAccess parse_access(const Token& t, std::size_t lineno, const Program& prog,
+                       ObjectTable& objects) {
+  const std::size_t open = t.text.find('[');
+  const std::size_t close = t.text.find(']');
+  if (open == 0) {
+    fail(lineno, t.col, "expected a table name before '['");
+  }
+  if (close + 1 != t.text.size()) {
+    fail(lineno, t.col + close + 1, "unexpected text after ']'");
+  }
+  KeyAccess access;
+  access.table = objects.intern(t.text.substr(0, open));
+  access.span = span_of(t, lineno);
+  std::size_t start = open + 1;
+  while (true) {
+    std::size_t end = t.text.find(',', start);
+    if (end == std::string::npos || end > close) end = close;
+    // Trim surrounding spaces, keeping the column exact.
+    std::size_t lo = start;
+    std::size_t hi = end;
+    while (lo < hi && t.text[lo] == ' ') ++lo;
+    while (hi > lo && t.text[hi - 1] == ' ') --hi;
+    if (lo == hi) {
+      fail(lineno, t.col + start, "empty subscript dimension");
+    }
+    access.subs.push_back(
+        parse_dim(t.text.substr(lo, hi - lo), lineno, t.col + lo, prog));
+    if (end == close) break;
+    start = end + 1;
+  }
+  return access;
+}
+
 }  // namespace
 
 ParsedSuite parse_programs(std::string_view text) {
@@ -72,6 +215,18 @@ ParsedSuite parse_programs(std::string_view text) {
   std::size_t lineno = 0;
   bool in_program = false;
   std::set<std::string> program_names;
+  // One subscript arity per table across the suite; 0 = plain object.
+  std::map<ObjId, std::size_t> arity;
+  const auto check_arity = [&](ObjId obj, std::size_t n, std::size_t lno,
+                               std::size_t col, const std::string& name) {
+    const auto [it, fresh] = arity.emplace(obj, n);
+    if (!fresh && it->second != n) {
+      fail(lno, col,
+           "object '" + name + "' used with " + std::to_string(n) +
+               " subscript(s) but previously with " +
+               std::to_string(it->second));
+    }
+  };
 
   while (std::getline(in, line)) {
     ++lineno;
@@ -105,7 +260,7 @@ ParsedSuite parse_programs(std::string_view text) {
              "duplicate program name '" + tokens[1].text + "'");
       }
       suite.programs.push_back(
-          Program{tokens[1].text, {}, span_of(tokens[1], lineno)});
+          Program{tokens[1].text, {}, {}, span_of(tokens[1], lineno)});
       in_program = true;
       continue;
     }
@@ -121,10 +276,62 @@ ParsedSuite parse_programs(std::string_view text) {
       in_program = false;
       continue;
     }
+    if (tokens[0].text == "param") {
+      if (!in_program) {
+        fail(lineno, tokens[0].col, "'param' outside a program");
+      }
+      Program& prog = suite.programs.back();
+      if (tokens.size() < 2 || !is_ident(tokens[1].text)) {
+        const std::size_t col = tokens.size() < 2
+                                    ? tokens[0].col + tokens[0].text.size()
+                                    : tokens[1].col;
+        fail(lineno, col, "expected a parameter name after 'param'");
+      }
+      if (param_index(prog, tokens[1].text) >= 0) {
+        fail(lineno, tokens[1].col,
+             "duplicate parameter '" + tokens[1].text + "'");
+      }
+      ParamDecl decl;
+      decl.name = tokens[1].text;
+      decl.span = span_of(tokens[1], lineno);
+      std::size_t i = 2;
+      if (i < tokens.size() && tokens[i].text == "in") {
+        if (i + 1 >= tokens.size()) {
+          fail(lineno, tokens[i].col + tokens[i].text.size(),
+               "expected a range after 'in'");
+        }
+        const KeyExpr range =
+            parse_dim(tokens[i + 1].text, lineno, tokens[i + 1].col, prog);
+        decl.lo = range.lo;
+        decl.hi = range.hi;
+        i += 2;
+      }
+      while (i < tokens.size()) {
+        if (tokens[i].text != "!=") {
+          fail(lineno, tokens[i].col,
+               "expected '!=', got '" + tokens[i].text + "'");
+        }
+        if (i + 1 >= tokens.size()) {
+          fail(lineno, tokens[i].col + tokens[i].text.size(),
+               "expected a parameter name after '!='");
+        }
+        const std::int32_t other = param_index(prog, tokens[i + 1].text);
+        if (other < 0) {
+          fail(lineno, tokens[i + 1].col,
+               "unknown parameter '" + tokens[i + 1].text +
+                   "' (declare it with 'param' first)");
+        }
+        decl.distinct.push_back(static_cast<std::uint32_t>(other));
+        i += 2;
+      }
+      prog.params.push_back(std::move(decl));
+      continue;
+    }
     if (tokens[0].text == "piece") {
       if (!in_program) {
         fail(lineno, tokens[0].col, "'piece' outside a program");
       }
+      Program& prog = suite.programs.back();
       Piece piece;
       piece.span = span_of(tokens[0], lineno);
       std::size_t i = 1;
@@ -132,34 +339,51 @@ ParsedSuite parse_programs(std::string_view text) {
         piece.label = tokens[i].text.substr(1, tokens[i].text.size() - 2);
         ++i;
       }
-      std::vector<ObjId>* current = nullptr;
+      std::vector<ObjId>* objs = nullptr;
+      std::vector<KeyAccess>* keys = nullptr;
       for (; i < tokens.size(); ++i) {
         if (tokens[i].text == "reads") {
-          current = &piece.reads;
+          objs = &piece.reads;
+          keys = &piece.key_reads;
         } else if (tokens[i].text == "writes") {
-          current = &piece.writes;
-        } else if (current == nullptr) {
+          objs = &piece.writes;
+          keys = &piece.key_writes;
+        } else if (objs == nullptr) {
           fail(lineno, tokens[i].col,
                "expected 'reads' or 'writes', got '" + tokens[i].text + "'");
         } else if (is_quoted(tokens[i].text)) {
           fail(lineno, tokens[i].col, "object names must not be quoted");
+        } else if (tokens[i].text.find('[') != std::string::npos) {
+          KeyAccess access = parse_access(tokens[i], lineno, prog,
+                                          suite.objects);
+          check_arity(access.table, access.subs.size(), lineno, tokens[i].col,
+                      suite.objects.name(access.table));
+          if (std::find(keys->begin(), keys->end(), access) != keys->end()) {
+            fail(lineno, tokens[i].col,
+                 "duplicate access '" + tokens[i].text + "' in list");
+          }
+          keys->push_back(std::move(access));
         } else {
           const ObjId obj = suite.objects.intern(tokens[i].text);
-          if (std::find(current->begin(), current->end(), obj) !=
-              current->end()) {
+          check_arity(obj, 0, lineno, tokens[i].col, tokens[i].text);
+          if (std::find(objs->begin(), objs->end(), obj) != objs->end()) {
             fail(lineno, tokens[i].col,
                  "duplicate object '" + tokens[i].text + "' in list");
           }
-          current->push_back(obj);
+          objs->push_back(obj);
         }
       }
-      suite.programs.back().pieces.push_back(std::move(piece));
+      prog.pieces.push_back(std::move(piece));
       continue;
     }
     fail(lineno, tokens[0].col,
-         "expected 'program', 'piece' or '}', got '" + tokens[0].text + "'");
+         "expected 'program', 'param', 'piece' or '}', got '" +
+             tokens[0].text + "'");
   }
   if (in_program) fail(lineno, 0, "missing final '}'");
+  // Resolve parameter and subscript intervals so every consumer of the
+  // suite sees ready-to-query KeyAccess::dims.
+  abstract_keys::resolve(suite.programs);
   return suite;
 }
 
@@ -168,16 +392,38 @@ std::string format_programs(const std::vector<Program>& programs,
   std::string out;
   for (const Program& p : programs) {
     out += "program " + p.name + " {\n";
+    for (const ParamDecl& decl : p.params) {
+      out += "  param " + decl.name;
+      if (decl.lo.inf == 0 || decl.hi.inf == 0) {
+        out += " in ";
+        if (decl.lo == decl.hi) {
+          out += abstract_keys::render_key_term(decl.lo, p);
+        } else {
+          out += abstract_keys::render_key_term(decl.lo, p) + ".." +
+                 abstract_keys::render_key_term(decl.hi, p);
+        }
+      }
+      for (const std::uint32_t d : decl.distinct) {
+        out += " != " + p.params[d].name;
+      }
+      out += "\n";
+    }
     for (const Piece& piece : p.pieces) {
       out += "  piece";
       if (!piece.label.empty()) out += " \"" + piece.label + "\"";
-      if (!piece.reads.empty()) {
+      if (!piece.reads.empty() || !piece.key_reads.empty()) {
         out += " reads";
         for (const ObjId x : piece.reads) out += " " + objects.name(x);
+        for (const KeyAccess& a : piece.key_reads) {
+          out += " " + abstract_keys::render_key_access(a, p, objects);
+        }
       }
-      if (!piece.writes.empty()) {
+      if (!piece.writes.empty() || !piece.key_writes.empty()) {
         out += " writes";
         for (const ObjId x : piece.writes) out += " " + objects.name(x);
+        for (const KeyAccess& a : piece.key_writes) {
+          out += " " + abstract_keys::render_key_access(a, p, objects);
+        }
       }
       out += "\n";
     }

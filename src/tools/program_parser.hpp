@@ -21,11 +21,29 @@
 ///       piece reads acct1 acct2
 ///     }
 ///
+/// Read/write sets may also be *parametric* — subscripted tables over
+/// declared integer parameters, so a suite can describe a schema instead
+/// of enumerating objects:
+///
+///     program payment {
+///       param w in 1..100
+///       param w2 in 1..100 != w
+///       piece "home"   reads warehouse[w]  writes warehouse[w]
+///       piece "remote" reads warehouse[w2] writes stock[w2, 1..100000]
+///     }
+///
 /// Grammar (one construct per line, '#' starts a comment):
 ///   program <name> {
+///   param <name> [in <range>] [!= <name> ...]
 ///   piece ["<label>"] [reads <obj>...] [writes <obj>...]
 ///   }
-/// Object names are interned; a piece may omit either list.
+/// where an <obj> is a plain name or a subscripted access
+/// <table>[<dim>, ...]; a <dim> or <range> is an integer, a parameter
+/// with optional offset (w, w+1), <lo>..<hi> over those, or '*'
+/// (unbounded). Parameters must be declared before use; a table keeps one
+/// subscript arity suite-wide; literal ranges must satisfy lo <= hi.
+/// Object names are interned; a piece may omit either list. Parameter and
+/// subscript intervals come back resolved (abstract_keys::resolve).
 
 namespace sia {
 

@@ -7,6 +7,11 @@
 ///   sia_lint [options] <file.sia ...>
 ///     --format human|json|sarif   output format (default human)
 ///     --checks=<id,id,...>        run only the named checks
+///     --domain=interval|concrete  how parametric key accesses are
+///                                 analysed: sound interval abstraction
+///                                 (default) or exhaustive instantiation
+///                                 of every parameter valuation (exact,
+///                                 small bounds only)
 ///     --werror                    promote warnings to errors
 ///     --fix-suggest               attach repaired-chopping fix-its
 ///     --concretize                confirm robustness findings with a
@@ -52,6 +57,7 @@ int usage(int code) {
   std::fprintf(
       stderr,
       "usage: sia_lint [--format human|json|sarif] [--checks=id,...]\n"
+      "                [--domain=interval|concrete]\n"
       "                [--werror] [--fix-suggest] [--concretize]\n"
       "                [--baseline file] [--write-baseline file] [--stats]\n"
       "                [--witness[=budget]] [--witness-dir dir]\n"
@@ -135,6 +141,17 @@ int main(int argc, char** argv) {
       opts.enabled = split_ids(arg.substr(9));
     } else if (arg == "--checks") {
       opts.enabled = split_ids(value_of("--checks"));
+    } else if (arg.rfind("--domain=", 0) == 0 || arg == "--domain") {
+      const std::string d =
+          arg == "--domain" ? value_of("--domain") : arg.substr(9);
+      if (d == "interval") {
+        opts.domain = lint::LintOptions::Domain::kInterval;
+      } else if (d == "concrete") {
+        opts.domain = lint::LintOptions::Domain::kConcrete;
+      } else {
+        std::fprintf(stderr, "sia_lint: bad --domain '%s'\n", d.c_str());
+        return usage(2);
+      }
     } else if (arg == "--werror") {
       opts.werror = true;
     } else if (arg == "--fix-suggest") {
@@ -278,6 +295,20 @@ int main(int argc, char** argv) {
     for (const lint::CheckStats& s : run.stats()) {
       std::fprintf(stderr, "%-24s %12.6f %9zu\n", s.check.c_str(), s.seconds,
                    s.findings);
+    }
+    const char* domain =
+        opts.domain == lint::LintOptions::Domain::kConcrete ? "concrete"
+                                                            : "interval";
+    for (const lint::FileResult& f : run.files) {
+      if (!f.key_stats.parametric) continue;
+      std::fprintf(stderr,
+                   "%s: domain=%s params=%zu key-accesses=%zu "
+                   "representable-keys=%llu scg-conflict-edges=%zu\n",
+                   f.file.c_str(), domain, f.key_stats.params,
+                   f.key_stats.key_accesses,
+                   static_cast<unsigned long long>(
+                       f.key_stats.representable_keys),
+                   f.conflict_edges);
     }
   }
   return run.exit_code();

@@ -13,16 +13,22 @@ std::string summarise(const Witness& w, const WitnessOptions& opts) {
   const std::string explored =
       "(schedules explored: " + std::to_string(w.stats.schedules_explored) +
       "/" + std::to_string(opts.max_schedules) + ")";
+  const std::string universe =
+      w.universe != 0 ? " over the [1, " + std::to_string(w.universe) +
+                            "] instantiation (" +
+                            std::to_string(w.instantiated_programs) +
+                            " instances)"
+                      : "";
   switch (w.status) {
     case WitnessStatus::kWitnessed:
       return "witness: " + std::to_string(w.events.size()) +
-             "-event anomaly history confirmed " + explored +
+             "-event anomaly history confirmed" + universe + " " + explored +
              "; replay with sia_analyze --replay";
     case WitnessStatus::kRefutedUnderBound:
-      return "witness: refuted-under-bound " + explored;
+      return "witness: refuted-under-bound" + universe + " " + explored;
     case WitnessStatus::kNoCycle:
-      return "witness: no critical cycle recovered under the default cycle "
-             "budget";
+      return "witness: no critical cycle recovered" + universe +
+             " under the default cycle budget";
   }
   return "witness: ?";
 }

@@ -7,6 +7,7 @@
 #include "chopping/splice.hpp"
 #include "chopping/static_chopping_graph.hpp"
 #include "graph/characterization.hpp"
+#include "lint/abstract_keys.hpp"
 #include "graph/monitor.hpp"
 #include "mvcc/psi_engine.hpp"
 #include "mvcc/recorder.hpp"
@@ -592,6 +593,39 @@ DependencyGraph rebuild_piece_graph(const History& h) {
 
 Witness find_witness(const ParsedSuite& suite, Criterion crit,
                      const WitnessOptions& opts) {
+  if (any_parametric(suite.programs)) {
+    // The explorer runs concrete pieces against a real engine, so a
+    // parametric suite is witnessed over a finite instantiation: clamp
+    // the key universe to [1, n] and expand every parameter valuation.
+    // n = 1 first — one instance per program keeps the guide cycle (and
+    // hence the schedule space and the exact confirmation gate) small,
+    // and realises every anomaly that does not need two distinct keys.
+    // Escalate to n = 2 only when the 1-key universe has no critical
+    // cycle (a conflict may need distinct parameter values). A finding
+    // that needs keys outside both clamps honestly comes back
+    // no-critical-cycle at the universe reported in the telemetry.
+    Witness last;
+    last.criterion = crit;
+    last.options = opts;
+    last.status = WitnessStatus::kRefutedUnderBound;
+    for (const std::int64_t n : {std::int64_t{1}, std::int64_t{2}}) {
+      ParsedSuite inst;
+      inst.objects = suite.objects;
+      try {
+        inst.programs = abstract_keys::instantiate(
+            abstract_keys::clamp_universe(suite.programs, n), inst.objects);
+      } catch (const ModelError&) {
+        break;  // instance blow-up; keep the smaller universe's outcome
+      }
+      Witness w = find_witness(inst, crit, opts);
+      w.universe = static_cast<std::size_t>(n);
+      w.instantiated_programs = inst.programs.size();
+      if (w.status != WitnessStatus::kNoCycle) return w;
+      last = std::move(w);
+    }
+    return last;
+  }
+
   Witness w;
   w.criterion = crit;
   w.options = opts;

@@ -120,6 +120,13 @@ struct Witness {
 
   ScheduleStats stats;
 
+  /// Parametric suites are witnessed over a finite instantiation: the
+  /// universe [1, n] the suite was clamped to before exhaustive parameter
+  /// expansion (0 = the suite was concrete already, no expansion) and the
+  /// number of concrete program instances the explorer then ran against.
+  std::size_t universe{0};
+  std::size_t instantiated_programs{0};
+
   /// The recorded piece-level history of the minimised run (init
   /// transaction first; session s+1 = programs[s]) — what --replay
   /// re-verifies offline.

@@ -23,10 +23,15 @@ std::string to_json(const Witness& w, std::string_view file,
       << ", \"status\": " << json_quote(to_string(w.status))
       << ", \"budget\": " << w.options.max_schedules
       << ", \"seed\": " << w.options.seed
-      << ", \"schedules_explored\": " << w.stats.schedules_explored
+      << ", \"telemetry\": {\"schedules_explored\": "
+      << w.stats.schedules_explored
       << ", \"steps_executed\": " << w.stats.steps_executed
-      << ", \"memo_hits\": " << w.stats.memo_hits
-      << ", \"minimized\": " << boolean(w.options.minimize)
+      << ", \"memo_hits\": " << w.stats.memo_hits;
+  if (w.universe != 0) {
+    out << ", \"universe\": " << w.universe
+        << ", \"instances\": " << w.instantiated_programs;
+  }
+  out << "}, \"minimized\": " << boolean(w.options.minimize)
       << ", \"graphs_tried\": " << w.graphs_tried;
   out << ", \"programs\": [";
   for (std::size_t i = 0; i < w.programs.size(); ++i) {

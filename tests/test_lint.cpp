@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "chopping/static_chopping_graph.hpp"
@@ -465,6 +466,79 @@ TEST(LintGolden, BankingSarifAndJson) {
   const LintRun run = lint::run_lint({example("examples/banking.sia")}, opts);
   expect_matches_golden(lint::to_sarif(run), "tests/golden/banking.sarif");
   expect_matches_golden(lint::to_json(run), "tests/golden/banking.lint.json");
+}
+
+TEST(LintGolden, TpccParametricSarif) {
+  const LintRun run = lint::run_lint({example("examples/tpcc.sia")}, {});
+  expect_matches_golden(lint::to_sarif(run), "tests/golden/tpcc.sarif");
+}
+
+TEST(LintGolden, TpccUnsafeParametricSarif) {
+  const LintRun run =
+      lint::run_lint({example("examples/tpcc_unsafe.sia")}, {});
+  expect_matches_golden(lint::to_sarif(run),
+                        "tests/golden/tpcc_unsafe.sarif");
+}
+
+TEST(LintDomain, ConcreteOracleAgreesOnSmallParametricSuites) {
+  // --domain=concrete instantiates exhaustively before the checks run:
+  // on a suite with small declared bounds it is the exact oracle, and the
+  // per-check findings must agree with the interval domain's.
+  const SourceFile file{
+      "small.sia",
+      "program writer {\n"
+      "  param w in 1..3\n"
+      "  piece \"w1\" reads acct[w] writes acct[w]\n"
+      "  piece \"w2\" reads log[w] writes log[w]\n"
+      "}\n"
+      "program reader {\n"
+      "  param r in 1..3\n"
+      "  piece \"r1\" reads acct[r] log[r]\n"
+      "}\n"};
+  const LintRun interval = lint::run_lint({file}, {});
+  LintOptions opts;
+  opts.domain = LintOptions::Domain::kConcrete;
+  const LintRun concrete = lint::run_lint({file}, opts);
+  ASSERT_EQ(concrete.files.size(), 1u);
+  EXPECT_FALSE(concrete.files[0].parse_failed);
+  const auto checks_found = [](const LintRun& run) {
+    std::set<std::string> out;
+    for (const Diagnostic& d : run.files[0].diagnostics) out.insert(d.check);
+    return out;
+  };
+  const std::set<std::string> iv = checks_found(interval);
+  const std::set<std::string> cv = checks_found(concrete);
+  // The SCG-backed checks agree exactly (the differential property).
+  for (const char* check : {"si-critical-cycle", "ser-critical-cycle",
+                            "psi-critical-cycle", "empty-piece"}) {
+    EXPECT_EQ(iv.count(check), cv.count(check)) << check;
+  }
+  // Soundness: the interval domain may add findings (it skips the
+  // concretisation refinement on parametric suites, DESIGN.md §4j), but
+  // must never lose one the exact oracle reports.
+  for (const std::string& check : cv) {
+    EXPECT_EQ(iv.count(check), 1u) << "interval domain lost: " << check;
+  }
+  for (const std::string& check : iv) {
+    if (cv.count(check) != 0) continue;
+    EXPECT_TRUE(check == "robust-psi-si" || check == "robust-si-ser")
+        << "unexpected precision loss: " << check;
+  }
+}
+
+TEST(LintDomain, ConcreteDomainRejectsOversizedKeyspaces) {
+  // The shipped parametric TPC-C declares ~10^7 representable keys; the
+  // exhaustive oracle must refuse to enumerate that as a diagnostic, not
+  // by scaling with the keyspace.
+  LintOptions opts;
+  opts.domain = LintOptions::Domain::kConcrete;
+  const LintRun run = lint::run_lint({example("examples/tpcc.sia")}, opts);
+  ASSERT_EQ(run.files.size(), 1u);
+  EXPECT_TRUE(run.files[0].parse_failed);
+  ASSERT_FALSE(run.files[0].diagnostics.empty());
+  const Diagnostic& d = run.files[0].diagnostics[0];
+  EXPECT_EQ(d.check, "parse-error");
+  EXPECT_NE(d.message.find("expands past"), std::string::npos) << d.message;
 }
 
 TEST(LintGolden, BankingSafeSarifAndJson) {

@@ -208,5 +208,47 @@ TEST(Parser, EmptyInputYieldsNoPrograms) {
   EXPECT_TRUE(suite.programs.empty());
 }
 
+TEST(Parser, ParametricErrorColumnsPointAtTheOffendingToken) {
+  // Malformed parametric syntax must fail with the exact 1-based column
+  // of the offending text — the lint driver renders a caret there.
+  const auto error_at = [](const char* text, std::size_t line,
+                           std::size_t col, const char* needle) {
+    try {
+      (void)parse_programs(text);
+      FAIL() << "expected ParseError for: " << text;
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), line) << text;
+      EXPECT_EQ(e.column(), col) << text;
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  // The piece line puts its first access token at column 20.
+  const auto piece = [](const char* access) {
+    return "program p {\n  param w in 1..10\n  piece \"x\" writes " +
+           std::string(access) + "\n}\n";
+  };
+  error_at(piece("acct[5..1]").c_str(), 3, 25,
+           "empty range 5..1");  // at the range, not the table
+  error_at(piece("acct[1..1.5]").c_str(), 3, 28,
+           "expected an integer or parameter, got '1.5'");  // at the hi end
+  error_at(piece("acct[1..2").c_str(), 3, 24,
+           "unterminated subscript");  // at the '['
+  error_at(piece("acct[q]").c_str(), 3, 25,
+           "unknown parameter 'q'");  // at the dimension
+  error_at(piece("acct[w+]").c_str(), 3, 26,
+           "malformed offset '+'");  // at the offset, not the parameter
+  error_at(piece("acct[w,]").c_str(), 3, 27,
+           "empty subscript dimension");  // at the missing dimension
+  error_at(piece("acct[w] acct[w, 1]").c_str(), 3, 28,
+           "used with 2 subscript(s) but previously with 1");
+  // Parameter declarations get the same treatment.
+  error_at("program p {\n  param w in 5..1\n}\n", 2, 14, "empty range 5..1");
+  error_at("program p {\n  param d in 1..10 != z\n}\n", 2, 23,
+           "unknown parameter 'z'");
+  error_at("program p {\n  param d in\n}\n", 2, 13,
+           "expected a range after 'in'");
+}
+
 }  // namespace
 }  // namespace sia
